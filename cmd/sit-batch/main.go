@@ -1,0 +1,142 @@
+// Command sit-batch runs one schema integration non-interactively: given an
+// ECR DDL file with the component schemas and a specification file with the
+// equivalences and assertions (the scripted DDA), it prints the integrated
+// schema as ECR DDL plus, on request, the mappings, the diagram and the
+// integration report.
+//
+// Usage:
+//
+//	sit-batch -schemas schemas.ecr -spec integration.spec [-out out.ecr]
+//	          [-json] [-mappings] [-diagram] [-report]
+//	sit-batch -schemas schemas.ecr -plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/batch"
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/mapping"
+	"repro/internal/plan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sit-batch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	schemasPath := flag.String("schemas", "", "ECR DDL file holding the component schemas")
+	specPath := flag.String("spec", "", "integration specification file")
+	outPath := flag.String("out", "", "write the integrated schema's DDL to this file (default stdout)")
+	asJSON := flag.Bool("json", false, "emit the integrated schema as JSON instead of DDL")
+	withMappings := flag.Bool("mappings", false, "also print the component-to-integrated mappings")
+	mappingsOut := flag.String("mappings-out", "", "write the mappings as JSON to this file (the shared data-dictionary format)")
+	withDiagram := flag.Bool("diagram", false, "also print a text diagram of the integrated schema")
+	dotOut := flag.String("dot", "", "write a Graphviz rendering of the integrated schema to this file")
+	withReport := flag.Bool("report", false, "also print the integration decision report")
+	planOnly := flag.Bool("plan", false, "print a suggested n-ary integration order (most similar schemas first) and exit")
+	dictPath := flag.String("dict", "", "extend the builtin synonym dictionary from this file (syn/ant/abbr lines)")
+	flag.Parse()
+
+	if *schemasPath == "" {
+		return fmt.Errorf("-schemas is required")
+	}
+	ddl, err := os.ReadFile(*schemasPath)
+	if err != nil {
+		return err
+	}
+	schemas, err := ecr.ParseSchemas(string(ddl))
+	if err != nil {
+		return err
+	}
+	if *planOnly {
+		p, err := plan.Order(schemas, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("pairwise schema resemblance (best first):")
+		for _, pr := range p.RankedPairs() {
+			fmt.Printf("  %-12s %-12s %.3f\n", pr.Left, pr.Right, pr.Similarity)
+		}
+		fmt.Println("suggested binary integration order:")
+		fmt.Print(p.String())
+		return nil
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required (or use -plan)")
+	}
+	specSrc, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := batch.ParseSpec(string(specSrc))
+	if err != nil {
+		return err
+	}
+	if *dictPath != "" {
+		src, err := os.ReadFile(*dictPath)
+		if err != nil {
+			return err
+		}
+		spec.Dict, err = dictionary.Parse(dictionary.Builtin(), string(src))
+		if err != nil {
+			return err
+		}
+	}
+	res, err := batch.Run(schemas, spec)
+	if err != nil {
+		return err
+	}
+
+	var main []byte
+	if *asJSON {
+		main, err = ecr.EncodeJSON(res.Schema)
+		if err != nil {
+			return err
+		}
+	} else {
+		main = []byte(ecr.FormatSchema(res.Schema))
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, main, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(main)
+	}
+	if *withDiagram {
+		fmt.Println()
+		fmt.Print(ecr.Diagram(res.Schema))
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(ecr.DOT(res.Schema)), 0o644); err != nil {
+			return err
+		}
+	}
+	if *withMappings {
+		fmt.Println()
+		fmt.Print(res.Mappings.String())
+	}
+	if *mappingsOut != "" {
+		data, err := mapping.EncodeJSON(res.Mappings)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*mappingsOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if *withReport {
+		fmt.Println()
+		for _, line := range res.Report {
+			fmt.Println(line)
+		}
+	}
+	return nil
+}

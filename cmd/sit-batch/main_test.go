@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles this command once per test binary and returns its
+// path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sit-batch")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoPath(t *testing.T, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestBatchPaperExample(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-spec", repoPath(t, "testdata/paper.spec"),
+		"-diagram", "-mappings", "-report",
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-batch: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"schema INT_sc1_sc2",
+		"entity E_Department",
+		"entity D_Stud_Facu",
+		"category Student of D_Stud_Facu",
+		"category Grad_student of Student",
+		"E_Stud_Majo",
+		"sc1.Student.Name",
+		"derived class D_Stud_Facu",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBatchJSONAndOutFile(t *testing.T) {
+	bin := buildTool(t)
+	outFile := filepath.Join(t.TempDir(), "int.json")
+	cmd := exec.Command(bin,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-spec", repoPath(t, "testdata/paper.spec"),
+		"-json", "-out", outFile,
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("sit-batch: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"E_Department"`) {
+		t.Errorf("JSON output wrong:\n%s", data)
+	}
+}
+
+func TestBatchMissingFlags(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "required") {
+		t.Errorf("error message = %s", out)
+	}
+}
+
+func TestBatchBadSpec(t *testing.T) {
+	bin := buildTool(t)
+	bad := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(bad, []byte("bogus directive"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-spec", bad,
+	).CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+}
+
+func TestBatchPlanMode(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-plan",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-batch -plan: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"pairwise schema resemblance",
+		"suggested binary integration order:",
+		"I1 = integrate(sc1, sc2)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBatchMappingsOut(t *testing.T) {
+	bin := buildTool(t)
+	out := filepath.Join(t.TempDir(), "mappings.json")
+	if b, err := exec.Command(bin,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-spec", repoPath(t, "testdata/paper.spec"),
+		"-mappings-out", out,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("sit-batch: %v\n%s", err, b)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"integrated": "INT_sc1_sc2"`) {
+		t.Errorf("mappings JSON wrong:\n%.200s", data)
+	}
+}

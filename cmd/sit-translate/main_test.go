@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sit-translate")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoPath(t *testing.T, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestTranslateSQL(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin,
+		"-sql", repoPath(t, "testdata/personnel.sql"),
+		"-name", "personnel", "-notes",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-translate: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"schema personnel",
+		"entity Employee",
+		"category Engineer of Employee",
+		"relationship Assigned",
+		"relationship Employee_Department",
+		"# table Department -> entity set Department",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTranslateHierarchy(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin,
+		"-hier", repoPath(t, "testdata/projects.hier"), "-diagram",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-translate: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"schema projects",
+		"entity Division",
+		"relationship Division_Project",
+		"SCHEMA projects", // the -diagram section
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTranslateFlagValidation(t *testing.T) {
+	bin := buildTool(t)
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Fatalf("expected failure without inputs, got:\n%s", out)
+	}
+	if out, err := exec.Command(bin,
+		"-sql", "x.sql", "-hier", "y.hier").CombinedOutput(); err == nil {
+		t.Fatalf("expected failure with both inputs, got:\n%s", out)
+	}
+}
+
+// The translated output must parse back as valid ECR DDL and feed the
+// batch tool: the full pipeline of the paper's future-work section.
+func TestTranslatePipesIntoBatch(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin,
+		"-sql", repoPath(t, "testdata/personnel.sql"), "-name", "personnel",
+	).Output()
+	if err != nil {
+		t.Fatalf("sit-translate: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "schema personnel") {
+		t.Errorf("unexpected head: %.60s", out)
+	}
+}

@@ -1,0 +1,122 @@
+// Command sit is the interactive Schema Integration Tool of the paper: a
+// menu/form, screen-based terminal program through which a database
+// designer/administrator (DDA) defines ECR schemas, declares attribute
+// equivalences, states assertions between object classes and relationship
+// sets, and views the integrated schema.
+//
+// Usage:
+//
+//	sit [-workspace file.json] [-plain] [-schemas file.ecr] [-script inputs.txt]
+//
+// The workspace file persists schemas, equivalences and assertions between
+// runs (it is loaded if present and saved on exit). -schemas preloads
+// component schemas from an ECR DDL file. -plain suppresses the ANSI
+// clear-screen sequences, printing each screen sequentially (useful when
+// the output is piped).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ecr"
+	"repro/internal/session"
+	"repro/internal/term"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workspace := flag.String("workspace", "", "workspace JSON file to load and save")
+	plain := flag.Bool("plain", false, "print screens sequentially without ANSI clears")
+	schemas := flag.String("schemas", "", "preload component schemas from an ECR DDL file")
+	script := flag.String("script", "", "replay DDA inputs from this file before reading stdin (one input per line)")
+	flag.Parse()
+
+	ws := session.NewWorkspace()
+	if *workspace != "" {
+		if loaded, err := session.Load(*workspace); err == nil {
+			ws = loaded
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if *schemas != "" {
+		data, err := os.ReadFile(*schemas)
+		if err != nil {
+			return err
+		}
+		parsed, err := ecr.ParseSchemas(string(data))
+		if err != nil {
+			return err
+		}
+		for _, s := range parsed {
+			if ws.Schema(s.Name) != nil {
+				continue
+			}
+			if err := ws.AddSchema(s); err != nil {
+				return err
+			}
+		}
+	}
+
+	io := &termIO{
+		in:    bufio.NewScanner(os.Stdin),
+		out:   os.Stdout,
+		plain: *plain,
+		rend:  term.NewRenderer(os.Stdout),
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			return err
+		}
+		io.scripted = strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	}
+	s := session.New(ws, io)
+	s.SavePath = *workspace
+	return s.Run()
+}
+
+// termIO adapts a real terminal to the session.IO interface. When a script
+// is loaded, its lines are consumed first (a replayable DDA session); stdin
+// takes over when the script runs out.
+type termIO struct {
+	in       *bufio.Scanner
+	out      *os.File
+	plain    bool
+	rend     *term.Renderer
+	scripted []string
+}
+
+func (t *termIO) Display(screen string) {
+	if t.plain {
+		fmt.Fprintln(t.out)
+		fmt.Fprint(t.out, screen)
+		return
+	}
+	fmt.Fprint(t.out, "\x1b[2J\x1b[H", screen)
+}
+
+func (t *termIO) ReadLine(prompt string) (string, bool) {
+	fmt.Fprint(t.out, prompt)
+	if len(t.scripted) > 0 {
+		line := t.scripted[0]
+		t.scripted = t.scripted[1:]
+		fmt.Fprintln(t.out, line)
+		return line, true
+	}
+	if !t.in.Scan() {
+		fmt.Fprintln(t.out)
+		return "", false
+	}
+	return t.in.Text(), true
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sit")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoPath(t *testing.T, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestInteractiveSession drives the real binary over a pipe: preload the
+// paper schemas, declare one equivalence, assert, integrate, browse, exit.
+func TestInteractiveSession(t *testing.T) {
+	bin := buildTool(t)
+	workspace := filepath.Join(t.TempDir(), "ws.json")
+	script := strings.Join([]string{
+		"2", "sc1", "sc2", // equivalences
+		"1 1", "a 1 1", "e", "e",
+		"3", "sc1", "sc2", // assertions
+		"1 3", "e",
+		"6", "sc1", "sc2", // view results
+		"x",
+		"e",
+	}, "\n") + "\n"
+	cmd := exec.Command(bin,
+		"-plain",
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-workspace", workspace,
+	)
+	cmd.Stdin = strings.NewReader(script)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"Main Menu",
+		"Equivalence Class Creation and Deletion Screen",
+		"Assertion Collection For Object Pairs",
+		"Object Class Screen",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The workspace was saved on exit and holds both schemas.
+	data, err := os.ReadFile(workspace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sc1"`) || !strings.Contains(string(data), `"sc2"`) {
+		t.Errorf("workspace missing schemas:\n%.200s", data)
+	}
+}
+
+func TestWorkspaceReload(t *testing.T) {
+	bin := buildTool(t)
+	workspace := filepath.Join(t.TempDir(), "ws.json")
+	// First run: load schemas, exit immediately (saves workspace).
+	cmd := exec.Command(bin, "-plain", "-schemas", repoPath(t, "testdata/paper.ecr"), "-workspace", workspace)
+	cmd.Stdin = strings.NewReader("e\n")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+	// Second run without -schemas: the schemas come from the workspace.
+	cmd = exec.Command(bin, "-plain", "-workspace", workspace)
+	cmd.Stdin = strings.NewReader("1\ne\ne\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("second run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "sc1") {
+		t.Errorf("reloaded workspace missing sc1:\n%s", out)
+	}
+}
+
+func TestEOFExitsCleanly(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-plain")
+	cmd.Stdin = strings.NewReader("") // immediate EOF
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("EOF run: %v\n%s", err, out)
+	}
+}
+
+func TestBadSchemaFileFails(t *testing.T) {
+	bin := buildTool(t)
+	bad := filepath.Join(t.TempDir(), "bad.ecr")
+	if err := os.WriteFile(bad, []byte("not ddl"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-plain", "-schemas", bad)
+	cmd.Stdin = strings.NewReader("e\n")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+}
+
+func TestScriptReplay(t *testing.T) {
+	bin := buildTool(t)
+	script := filepath.Join(t.TempDir(), "inputs.txt")
+	lines := strings.Join([]string{
+		"2", "sc1", "sc2",
+		"1 1", "a 1 1", "e", "e",
+		"e",
+	}, "\n") + "\n"
+	if err := os.WriteFile(script, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-plain",
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-script", script,
+	)
+	cmd.Stdin = strings.NewReader("")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit -script: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Equivalence Class Creation and Deletion Screen") {
+		t.Errorf("scripted session did not reach Screen 7:\n%.400s", out)
+	}
+}

@@ -1,0 +1,6 @@
+// Package repro is a reproduction of "A Tool for Integrating Conceptual
+// Schemas and User Views" (Sheth, Larson, Cornelio, Navathe; ICDE 1988): an
+// interactive tool and library for integrating ECR schemas. See README.md
+// and DESIGN.md for the system inventory; the benchmark harness in
+// bench_test.go regenerates every figure and screen of the paper.
+package repro

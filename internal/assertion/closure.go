@@ -1,0 +1,143 @@
+package assertion
+
+import "sort"
+
+// CloseResult reports what a closure pass did: the entries it derived and
+// the conflicts it found. A matrix is consistent when Conflicts is empty.
+type CloseResult struct {
+	Derived   []Entry
+	Conflicts []*Conflict
+}
+
+// Consistent reports whether the closure found no contradictions.
+func (r CloseResult) Consistent() bool { return len(r.Conflicts) == 0 }
+
+// Close computes the transitive closure of the matrix: for every pair of
+// entries sharing a middle object (A~B, B~C) it composes the domain
+// relations. When the composition admits exactly one relation and the pair
+// (A, C) has no entry, the assertion is derived and added (with its trace).
+// When the pair already has an entry whose relation the composition rules
+// out, a Conflict is recorded — this is how the tool populates the
+// Assertion Conflict Resolution screen. Derivation runs to fixpoint.
+//
+// Conflicts do not stop the pass; every conflict discoverable from the
+// current entries is reported so the DDA can review them together. Each
+// conflicting (pair, proposal) combination is reported once.
+func (s *Set) Close() CloseResult {
+	var result CloseResult
+	seenConflict := map[string]bool{}
+
+	for {
+		derivedThisRound := s.closeOnce(&result, seenConflict)
+		if !derivedThisRound {
+			break
+		}
+	}
+	sort.Slice(result.Derived, func(i, j int) bool {
+		if result.Derived[i].A != result.Derived[j].A {
+			return lessKey(result.Derived[i].A, result.Derived[j].A)
+		}
+		return lessKey(result.Derived[i].B, result.Derived[j].B)
+	})
+	return result
+}
+
+// closeOnce performs one pass over all two-step paths, returning whether it
+// derived anything new.
+func (s *Set) closeOnce(result *CloseResult, seenConflict map[string]bool) bool {
+	derivedAny := false
+
+	// Snapshot the middle objects; new entries only ever add neighbors,
+	// and the fixpoint loop re-runs until stable.
+	middles := s.Objects()
+	for _, b := range middles {
+		var around []ObjKey
+		for n := range s.neighbors[b] {
+			around = append(around, n)
+		}
+		sort.Slice(around, func(i, j int) bool { return lessKey(around[i], around[j]) })
+
+		for i, a := range around {
+			r1 := s.rel(a, b)
+			if r1 == relNone {
+				continue
+			}
+			for _, c := range around[i+1:] {
+				if a == c {
+					continue
+				}
+				r2 := s.rel(b, c)
+				if r2 == relNone {
+					continue
+				}
+				possible := Compose(r1, r2)
+				trace := []Statement{
+					{A: a, B: b, Kind: s.Kind(a, b)},
+					{A: b, B: c, Kind: s.Kind(b, c)},
+				}
+				existing := s.rel(a, c)
+				if existing != relNone {
+					if !possible.Has(existing) {
+						key, _ := canonicalPair(a, c)
+						sig := key.a.String() + "|" + key.b.String()
+						if rel, ok := possible.Single(); ok {
+							sig += "|" + rel.String()
+						}
+						if !seenConflict[sig] {
+							seenConflict[sig] = true
+							held, _ := s.Entry(a, c)
+							proposed := Statement{A: a, B: c, Kind: Unspecified}
+							if rel, ok := possible.Single(); ok {
+								proposed.Kind = rel.Kind()
+							}
+							result.Conflicts = append(result.Conflicts, &Conflict{
+								Existing:        held,
+								Proposed:        proposed,
+								ProposedDerived: true,
+								Trace:           trace,
+							})
+						}
+					}
+					continue
+				}
+				rel, ok := possible.Single()
+				if !ok {
+					continue
+				}
+				key, swapped := canonicalPair(a, c)
+				stored := rel.Kind()
+				storedTrace := trace
+				if swapped {
+					stored = stored.Inverse()
+				}
+				e := &Entry{
+					Statement: Statement{A: key.a, B: key.b, Kind: stored},
+					Derived:   true,
+					Trace:     storedTrace,
+				}
+				s.put(e)
+				result.Derived = append(result.Derived, *e)
+				derivedAny = true
+			}
+		}
+	}
+	return derivedAny
+}
+
+// AssertAndClose records the assertion and immediately recomputes the
+// closure, mirroring the tool's behaviour of deriving and checking "at the
+// same time assertions are [specified]". It returns the closure result; if
+// the direct assertion itself conflicts, that conflict is the first element
+// of Conflicts and the matrix is left unchanged.
+func (s *Set) AssertAndClose(a, b ObjKey, kind Kind) CloseResult {
+	if err := s.Assert(a, b, kind); err != nil {
+		if c, ok := err.(*Conflict); ok {
+			return CloseResult{Conflicts: []*Conflict{c}}
+		}
+		return CloseResult{Conflicts: []*Conflict{{
+			Existing: Entry{},
+			Proposed: Statement{A: a, B: b, Kind: kind},
+		}}}
+	}
+	return s.Close()
+}

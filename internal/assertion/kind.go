@@ -1,0 +1,308 @@
+// Package assertion implements the assertion-specification phase of the
+// tool: the five kinds of assertions a DDA may state about the domains of
+// two object classes (or relationship sets) from different schemas, the
+// Entity Assertion matrix storing them, the rules of transitive composition
+// that derive further assertions, and the consistency checking that powers
+// the Assertion Conflict Resolution screen.
+package assertion
+
+import "fmt"
+
+// Kind is one of the five assertions of the paper (plus Unspecified for
+// pairs the DDA has not considered). The Code values are the menu numbers
+// of the tool's Assertion Collection screen.
+type Kind int
+
+const (
+	// Unspecified means no assertion has been made or derived.
+	Unspecified Kind = iota
+	// Equals: the object classes have identical domains; they are merged
+	// into a single "E_" class. Menu code 1.
+	Equals
+	// ContainedIn: the first class's domain is contained in the
+	// second's; the first becomes a category of the second. Menu code 2.
+	ContainedIn
+	// Contains: the first class's domain contains the second's. Menu
+	// code 3.
+	Contains
+	// DisjointIntegrable: the domains are disjoint but the DDA judges a
+	// common superclass useful; a derived "D_" class is created with
+	// both as categories. Menu code 4.
+	DisjointIntegrable
+	// MayBe: the domains overlap but neither contains the other; a
+	// derived "D_" class is created with both as categories. Menu
+	// code 5.
+	MayBe
+	// DisjointNonintegrable: the domains are disjoint and no useful
+	// superclass exists; the classes stay separate. Menu code 0.
+	DisjointNonintegrable
+)
+
+// Code returns the tool's menu number for the kind. Unspecified has no menu
+// number and returns -1.
+func (k Kind) Code() int {
+	switch k {
+	case Equals:
+		return 1
+	case ContainedIn:
+		return 2
+	case Contains:
+		return 3
+	case DisjointIntegrable:
+		return 4
+	case MayBe:
+		return 5
+	case DisjointNonintegrable:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// KindFromCode converts a menu number (0-5) to a Kind.
+func KindFromCode(code int) (Kind, error) {
+	switch code {
+	case 0:
+		return DisjointNonintegrable, nil
+	case 1:
+		return Equals, nil
+	case 2:
+		return ContainedIn, nil
+	case 3:
+		return Contains, nil
+	case 4:
+		return DisjointIntegrable, nil
+	case 5:
+		return MayBe, nil
+	}
+	return Unspecified, fmt.Errorf("assertion: unknown assertion code %d (want 0-5)", code)
+}
+
+// String names the kind the way the screens phrase it.
+func (k Kind) String() string {
+	switch k {
+	case Unspecified:
+		return "unspecified"
+	case Equals:
+		return "equals"
+	case ContainedIn:
+		return "contained in"
+	case Contains:
+		return "contains"
+	case DisjointIntegrable:
+		return "disjoint but integrable"
+	case MayBe:
+		return "may be integrable"
+	case DisjointNonintegrable:
+		return "disjoint & non-integrable"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Inverse returns the kind as seen from the other side of the pair:
+// Contains and ContainedIn swap; the symmetric kinds are their own inverse.
+func (k Kind) Inverse() Kind {
+	switch k {
+	case ContainedIn:
+		return Contains
+	case Contains:
+		return ContainedIn
+	default:
+		return k
+	}
+}
+
+// Rel returns the underlying domain relation of the assertion. The
+// integrability judgement in DisjointIntegrable vs DisjointNonintegrable is
+// a design decision, not a statement about domains, so both map to
+// RelDisjoint.
+func (k Kind) Rel() Rel {
+	switch k {
+	case Equals:
+		return RelEqual
+	case ContainedIn:
+		return RelSubset
+	case Contains:
+		return RelSuperset
+	case MayBe:
+		return RelOverlap
+	case DisjointIntegrable, DisjointNonintegrable:
+		return RelDisjoint
+	default:
+		return relNone
+	}
+}
+
+// Integrable reports whether the assertion lets its pair be integrated (all
+// kinds except DisjointNonintegrable and Unspecified).
+func (k Kind) Integrable() bool {
+	switch k {
+	case Equals, ContainedIn, Contains, DisjointIntegrable, MayBe:
+		return true
+	default:
+		return false
+	}
+}
+
+// Rel is a relation between the domains of two object classes. Containment
+// is proper: RelSubset excludes equality, and RelOverlap means the domains
+// intersect but neither contains the other, so the five relations are
+// mutually exclusive and exhaustive (for non-empty domains).
+type Rel int
+
+const (
+	relNone Rel = iota
+	// RelEqual: the domains are identical.
+	RelEqual
+	// RelSubset: the first domain is properly contained in the second.
+	RelSubset
+	// RelSuperset: the first domain properly contains the second.
+	RelSuperset
+	// RelOverlap: the domains intersect; neither contains the other.
+	RelOverlap
+	// RelDisjoint: the domains do not intersect.
+	RelDisjoint
+)
+
+// String names the relation.
+func (r Rel) String() string {
+	switch r {
+	case relNone:
+		return "none"
+	case RelEqual:
+		return "="
+	case RelSubset:
+		return "subset"
+	case RelSuperset:
+		return "superset"
+	case RelOverlap:
+		return "overlap"
+	case RelDisjoint:
+		return "disjoint"
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Inverse returns the relation with its sides swapped.
+func (r Rel) Inverse() Rel {
+	switch r {
+	case RelSubset:
+		return RelSuperset
+	case RelSuperset:
+		return RelSubset
+	default:
+		return r
+	}
+}
+
+// Kind returns the assertion kind expressing the relation. Derived disjoint
+// relations come out as DisjointNonintegrable — whether a disjoint pair is
+// worth integrating is the DDA's subjective call, so a derivation never
+// makes it.
+func (r Rel) Kind() Kind {
+	switch r {
+	case RelEqual:
+		return Equals
+	case RelSubset:
+		return ContainedIn
+	case RelSuperset:
+		return Contains
+	case RelOverlap:
+		return MayBe
+	case RelDisjoint:
+		return DisjointNonintegrable
+	default:
+		return Unspecified
+	}
+}
+
+// RelSet is a set of possible relations, used by the composition table.
+type RelSet uint8
+
+// Set bit positions follow the Rel constants.
+func relBit(r Rel) RelSet { return 1 << uint(r) }
+
+// Has reports whether the set contains the relation.
+func (s RelSet) Has(r Rel) bool { return s&relBit(r) != 0 }
+
+// Single returns the only relation in the set, if the set is a singleton.
+func (s RelSet) Single() (Rel, bool) {
+	var found Rel
+	n := 0
+	for _, r := range []Rel{RelEqual, RelSubset, RelSuperset, RelOverlap, RelDisjoint} {
+		if s.Has(r) {
+			found = r
+			n++
+		}
+	}
+	if n == 1 {
+		return found, true
+	}
+	return relNone, false
+}
+
+// relAll is the uninformative composition result.
+const relAll = RelSet(1<<RelEqual | 1<<RelSubset | 1<<RelSuperset | 1<<RelOverlap | 1<<RelDisjoint)
+
+// Compose returns the set of relations possible between domains A and C
+// given that A r1 B and B r2 C (for non-empty domains). The table encodes
+// the paper's "rules of transitive composition of assertions" (such as: if
+// a is a subset of b and b is a subset of c, then a is a subset of c) plus
+// the full constraint sets needed for consistency checking.
+func Compose(r1, r2 Rel) RelSet {
+	if r1 == RelEqual {
+		return relBit(r2)
+	}
+	if r2 == RelEqual {
+		return relBit(r1)
+	}
+	switch r1 {
+	case RelSubset:
+		switch r2 {
+		case RelSubset:
+			return relBit(RelSubset)
+		case RelSuperset:
+			return relAll
+		case RelOverlap:
+			return relBit(RelSubset) | relBit(RelOverlap) | relBit(RelDisjoint)
+		case RelDisjoint:
+			return relBit(RelDisjoint)
+		}
+	case RelSuperset:
+		switch r2 {
+		case RelSubset:
+			return relBit(RelEqual) | relBit(RelSubset) | relBit(RelSuperset) | relBit(RelOverlap)
+		case RelSuperset:
+			return relBit(RelSuperset)
+		case RelOverlap:
+			return relBit(RelSuperset) | relBit(RelOverlap)
+		case RelDisjoint:
+			return relBit(RelSuperset) | relBit(RelOverlap) | relBit(RelDisjoint)
+		}
+	case RelOverlap:
+		switch r2 {
+		case RelSubset:
+			return relBit(RelSubset) | relBit(RelOverlap)
+		case RelSuperset:
+			return relBit(RelSuperset) | relBit(RelOverlap) | relBit(RelDisjoint)
+		case RelOverlap:
+			return relAll
+		case RelDisjoint:
+			return relBit(RelSuperset) | relBit(RelOverlap) | relBit(RelDisjoint)
+		}
+	case RelDisjoint:
+		switch r2 {
+		case RelSubset:
+			return relBit(RelSubset) | relBit(RelOverlap) | relBit(RelDisjoint)
+		case RelSuperset:
+			return relBit(RelDisjoint)
+		case RelOverlap:
+			return relBit(RelSubset) | relBit(RelOverlap) | relBit(RelDisjoint)
+		case RelDisjoint:
+			return relAll
+		}
+	}
+	return relAll
+}

@@ -1,0 +1,239 @@
+package assertion
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindCodesRoundTrip(t *testing.T) {
+	for code := 0; code <= 5; code++ {
+		k, err := KindFromCode(code)
+		if err != nil {
+			t.Fatalf("KindFromCode(%d): %v", code, err)
+		}
+		if k.Code() != code {
+			t.Errorf("code round trip: %d -> %v -> %d", code, k, k.Code())
+		}
+	}
+	if _, err := KindFromCode(6); err == nil {
+		t.Error("code 6 should fail")
+	}
+	if Unspecified.Code() != -1 {
+		t.Error("Unspecified has no code")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		Equals:                "equals",
+		ContainedIn:           "contained in",
+		Contains:              "contains",
+		DisjointIntegrable:    "disjoint but integrable",
+		MayBe:                 "may be integrable",
+		DisjointNonintegrable: "disjoint & non-integrable",
+		Unspecified:           "unspecified",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKindInverse(t *testing.T) {
+	if ContainedIn.Inverse() != Contains || Contains.Inverse() != ContainedIn {
+		t.Error("containment inverse wrong")
+	}
+	for _, k := range []Kind{Equals, MayBe, DisjointIntegrable, DisjointNonintegrable, Unspecified} {
+		if k.Inverse() != k {
+			t.Errorf("%v should be self-inverse", k)
+		}
+	}
+}
+
+func TestKindIntegrable(t *testing.T) {
+	for _, k := range []Kind{Equals, ContainedIn, Contains, DisjointIntegrable, MayBe} {
+		if !k.Integrable() {
+			t.Errorf("%v should be integrable", k)
+		}
+	}
+	for _, k := range []Kind{DisjointNonintegrable, Unspecified} {
+		if k.Integrable() {
+			t.Errorf("%v should not be integrable", k)
+		}
+	}
+}
+
+func TestKindRel(t *testing.T) {
+	cases := map[Kind]Rel{
+		Equals:                RelEqual,
+		ContainedIn:           RelSubset,
+		Contains:              RelSuperset,
+		MayBe:                 RelOverlap,
+		DisjointIntegrable:    RelDisjoint,
+		DisjointNonintegrable: RelDisjoint,
+	}
+	for k, want := range cases {
+		if k.Rel() != want {
+			t.Errorf("%v.Rel() = %v, want %v", k, k.Rel(), want)
+		}
+	}
+}
+
+func TestRelKindRoundTrip(t *testing.T) {
+	for _, r := range allRels {
+		if r.Kind().Rel() != r {
+			t.Errorf("%v -> %v -> %v", r, r.Kind(), r.Kind().Rel())
+		}
+	}
+}
+
+var allRels = []Rel{RelEqual, RelSubset, RelSuperset, RelOverlap, RelDisjoint}
+
+func TestComposeIdentity(t *testing.T) {
+	for _, r := range allRels {
+		if got := Compose(RelEqual, r); got != relBit(r) {
+			t.Errorf("EQ o %v = %v", r, got)
+		}
+		if got := Compose(r, RelEqual); got != relBit(r) {
+			t.Errorf("%v o EQ = %v", r, got)
+		}
+	}
+}
+
+func TestComposeDefinite(t *testing.T) {
+	cases := []struct {
+		r1, r2, want Rel
+	}{
+		{RelSubset, RelSubset, RelSubset},       // a⊂b⊂c -> a⊂c (the paper's rule)
+		{RelSuperset, RelSuperset, RelSuperset}, // a⊃b⊃c -> a⊃c
+		{RelSubset, RelDisjoint, RelDisjoint},   // a⊂b, b∩c=∅ -> a∩c=∅
+		{RelDisjoint, RelSuperset, RelDisjoint}, // a∩b=∅, c⊂b -> a∩c=∅
+	}
+	for _, c := range cases {
+		got, ok := Compose(c.r1, c.r2).Single()
+		if !ok || got != c.want {
+			t.Errorf("Compose(%v, %v) = %v (single=%v), want %v", c.r1, c.r2, got, ok, c.want)
+		}
+	}
+}
+
+func TestComposeAmbiguous(t *testing.T) {
+	// These compositions do not determine a single relation.
+	cases := [][2]Rel{
+		{RelSubset, RelSuperset},
+		{RelSuperset, RelSubset},
+		{RelOverlap, RelOverlap},
+		{RelDisjoint, RelDisjoint},
+		{RelSubset, RelOverlap},
+		{RelOverlap, RelDisjoint},
+	}
+	for _, c := range cases {
+		if _, ok := Compose(c[0], c[1]).Single(); ok {
+			t.Errorf("Compose(%v, %v) should be ambiguous", c[0], c[1])
+		}
+	}
+}
+
+func TestComposeExclusions(t *testing.T) {
+	// Specific impossibilities from the set semantics.
+	cases := []struct {
+		r1, r2   Rel
+		excluded Rel
+	}{
+		{RelSuperset, RelSubset, RelDisjoint},  // b ⊆ a∩c, b nonempty
+		{RelSuperset, RelOverlap, RelDisjoint}, // a∩c ⊇ b∩c ≠ ∅
+		{RelOverlap, RelSubset, RelDisjoint},   // a∩c ⊇ a∩b ≠ ∅
+		{RelOverlap, RelSubset, RelEqual},      // a=c would imply b⊆a
+		{RelOverlap, RelDisjoint, RelSubset},   // a⊆c would imply a∩b=∅
+		{RelDisjoint, RelSubset, RelSuperset},  // a⊇c would imply a⊇b... b⊆c⊆a contradicts a∩b=∅
+	}
+	for _, c := range cases {
+		if Compose(c.r1, c.r2).Has(c.excluded) {
+			t.Errorf("Compose(%v, %v) should exclude %v", c.r1, c.r2, c.excluded)
+		}
+	}
+}
+
+// TestComposeSoundnessBySimulation checks the composition table against an
+// exhaustive model: small sets over a universe of 6 elements. For every
+// triple (A, B, C) of non-empty subsets, the relation between A and C must
+// be admitted by Compose(rel(A,B), rel(B,C)).
+func TestComposeSoundnessBySimulation(t *testing.T) {
+	const universe = 6
+	relOf := func(a, b uint) Rel {
+		switch {
+		case a == b:
+			return RelEqual
+		case a&b == 0:
+			return RelDisjoint
+		case a&b == a:
+			return RelSubset
+		case a&b == b:
+			return RelSuperset
+		default:
+			return RelOverlap
+		}
+	}
+	// Sample the subset space deterministically rather than iterating
+	// all 63^3 triples.
+	var sets []uint
+	for s := uint(1); s < 1<<universe; s += 3 {
+		sets = append(sets, s)
+	}
+	for _, a := range sets {
+		for _, b := range sets {
+			for _, c := range sets {
+				got := Compose(relOf(a, b), relOf(b, c))
+				if !got.Has(relOf(a, c)) {
+					t.Fatalf("Compose(%v, %v) = %v does not admit %v (a=%b b=%b c=%b)",
+						relOf(a, b), relOf(b, c), got, relOf(a, c), a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestComposeInversionProperty: Compose(r2⁻¹, r1⁻¹) must be the inverse set
+// of Compose(r1, r2), since reversing a path inverts every relation.
+func TestComposeInversionProperty(t *testing.T) {
+	f := func(i, j uint8) bool {
+		r1 := allRels[int(i)%len(allRels)]
+		r2 := allRels[int(j)%len(allRels)]
+		fwd := Compose(r1, r2)
+		rev := Compose(r2.Inverse(), r1.Inverse())
+		for _, r := range allRels {
+			if fwd.Has(r) != rev.Has(r.Inverse()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelSetSingle(t *testing.T) {
+	if _, ok := relAll.Single(); ok {
+		t.Error("relAll is not a singleton")
+	}
+	r, ok := relBit(RelOverlap).Single()
+	if !ok || r != RelOverlap {
+		t.Errorf("singleton = %v, %v", r, ok)
+	}
+	if _, ok := RelSet(0).Single(); ok {
+		t.Error("empty set is not a singleton")
+	}
+}
+
+func TestRelInverse(t *testing.T) {
+	if RelSubset.Inverse() != RelSuperset || RelSuperset.Inverse() != RelSubset {
+		t.Error("subset inversion wrong")
+	}
+	for _, r := range []Rel{RelEqual, RelOverlap, RelDisjoint} {
+		if r.Inverse() != r {
+			t.Errorf("%v should be self-inverse", r)
+		}
+	}
+}

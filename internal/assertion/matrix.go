@@ -1,0 +1,60 @@
+package assertion
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix renders the Entity Assertion matrix the tool keeps — element
+// (i, j) is the assertion code between object i and object j, from i's
+// point of view — as an aligned text grid. Rows and columns cover every
+// object the set mentions (or the given objects when non-nil), diagonal
+// cells show "=", unspecified pairs show ".", and derived entries are
+// marked with a trailing "*".
+func (s *Set) Matrix(objects []ObjKey) string {
+	if objects == nil {
+		objects = s.Objects()
+	}
+	labels := make([]string, len(objects))
+	width := 1
+	for i, o := range objects {
+		labels[i] = o.String()
+		if len(labels[i]) > width {
+			width = len(labels[i])
+		}
+	}
+	cell := 4 // "NN* "
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s", width, "")
+	for i := range objects {
+		fmt.Fprintf(&b, " %*s", cell-1, fmt.Sprintf("c%d", i+1))
+	}
+	b.WriteByte('\n')
+	for i, row := range objects {
+		fmt.Fprintf(&b, "%*s", width, labels[i])
+		for j, col := range objects {
+			var text string
+			switch {
+			case i == j:
+				text = "="
+			default:
+				kind := s.Kind(row, col)
+				if kind == Unspecified {
+					text = "."
+				} else {
+					text = fmt.Sprint(kind.Code())
+					if e, ok := s.Entry(row, col); ok && e.Derived {
+						text += "*"
+					}
+				}
+			}
+			fmt.Fprintf(&b, " %*s", cell-1, text)
+		}
+		b.WriteByte('\n')
+	}
+	// Column legend.
+	for i, l := range labels {
+		fmt.Fprintf(&b, "c%d = %s\n", i+1, l)
+	}
+	return b.String()
+}

@@ -1,0 +1,284 @@
+package assertion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ObjKey identifies an object class or relationship set of a component
+// schema.
+type ObjKey struct {
+	Schema string `json:"schema"`
+	Object string `json:"object"`
+}
+
+// String renders the key as schema.object.
+func (k ObjKey) String() string { return k.Schema + "." + k.Object }
+
+func lessKey(a, b ObjKey) bool {
+	if a.Schema != b.Schema {
+		return a.Schema < b.Schema
+	}
+	return a.Object < b.Object
+}
+
+// Statement is one assertion as the DDA (or the derivation engine) stated
+// it: A <kind> B.
+type Statement struct {
+	A, B ObjKey `json:"-"`
+	Kind Kind   `json:"kind"`
+}
+
+// String renders the statement in screen style, e.g.
+// "sc3.Instructor 'contained in' sc4.Grad_student".
+func (s Statement) String() string {
+	return fmt.Sprintf("%s '%s' %s", s.A, s.Kind, s.B)
+}
+
+// Entry is one cell of the Entity Assertion matrix: the assertion currently
+// held between a pair of objects, how it got there, and — for derived
+// entries — the statements it was derived from.
+type Entry struct {
+	Statement
+	// Derived is true when the entry came from transitive composition
+	// rather than the DDA.
+	Derived bool
+	// Trace lists, for derived entries, the statements composed to reach
+	// this one (the "relevant assertions used in the derivation" that
+	// Screen 9 displays).
+	Trace []Statement
+}
+
+// Conflict reports that a new or derived assertion contradicts the entry
+// already held for the pair, carrying everything the Assertion Conflict
+// Resolution screen displays.
+type Conflict struct {
+	// Existing is the assertion currently held for the pair.
+	Existing Entry
+	// Proposed is the contradicting statement.
+	Proposed Statement
+	// ProposedDerived is true when the contradiction arose from a
+	// derivation (composition of Trace) rather than direct DDA input.
+	ProposedDerived bool
+	// Trace lists the statements whose composition produced the
+	// contradiction, when ProposedDerived.
+	Trace []Statement
+}
+
+// Error renders the conflict in one line plus its derivation trace.
+func (c *Conflict) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "assertion conflict on (%s, %s): held %q vs proposed %q",
+		c.Existing.A, c.Existing.B, c.Existing.Kind.String(), c.Proposed.Kind.String())
+	for _, t := range c.Trace {
+		fmt.Fprintf(&b, "\n  derived from: %s", t)
+	}
+	for _, t := range c.Existing.Trace {
+		fmt.Fprintf(&b, "\n  existing derived from: %s", t)
+	}
+	return b.String()
+}
+
+type pairKey struct{ a, b ObjKey }
+
+func canonicalPair(a, b ObjKey) (pairKey, bool) {
+	if lessKey(b, a) {
+		return pairKey{b, a}, true
+	}
+	return pairKey{a, b}, false
+}
+
+// Set is the Entity Assertion matrix: assertions between pairs of objects,
+// stored symmetrically (asking about (b, a) returns the inverse kind of the
+// entry stored for (a, b)). The same structure serves relationship sets.
+//
+// The zero value is not ready to use; call NewSet.
+type Set struct {
+	entries map[pairKey]*Entry
+	// neighbors indexes, for each object, the objects it has an entry
+	// with, to keep closure passes near-linear in the number of entries.
+	neighbors map[ObjKey]map[ObjKey]bool
+}
+
+// NewSet returns an empty assertion matrix.
+func NewSet() *Set {
+	return &Set{
+		entries:   make(map[pairKey]*Entry),
+		neighbors: make(map[ObjKey]map[ObjKey]bool),
+	}
+}
+
+// Len returns the number of asserted (or derived) pairs.
+func (s *Set) Len() int { return len(s.entries) }
+
+// Assert records that A <kind> B, as the DDA stated it. If the pair already
+// holds an assertion whose domain relation contradicts the new one, Assert
+// leaves the matrix unchanged and returns a *Conflict. Restating a
+// compatible assertion upgrades a derived entry to a DDA-specified one
+// (e.g. turning a derived disjoint into disjoint-but-integrable).
+func (s *Set) Assert(a, b ObjKey, kind Kind) error {
+	if kind == Unspecified {
+		return fmt.Errorf("assertion: cannot assert 'unspecified' between %s and %s", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("assertion: %s asserted against itself", a)
+	}
+	key, swapped := canonicalPair(a, b)
+	stored := kind
+	if swapped {
+		stored = kind.Inverse()
+	}
+	if e, ok := s.entries[key]; ok {
+		if e.Kind.Rel() != stored.Rel() {
+			return &Conflict{
+				Existing: *e,
+				Proposed: Statement{A: a, B: b, Kind: kind},
+			}
+		}
+		// Compatible restatement: the DDA's word replaces any derived
+		// entry and may refine integrability.
+		e.Kind = stored
+		e.Derived = false
+		e.Trace = nil
+		return nil
+	}
+	s.put(&Entry{Statement: Statement{A: key.a, B: key.b, Kind: stored}})
+	return nil
+}
+
+// Override replaces whatever is held for the pair with the DDA's new
+// assertion, discarding all derived entries so the closure can be recomputed
+// from DDA-specified facts only. This is the resolution action of the
+// Assertion Conflict Resolution screen.
+func (s *Set) Override(a, b ObjKey, kind Kind) error {
+	if kind == Unspecified {
+		return fmt.Errorf("assertion: cannot assert 'unspecified' between %s and %s", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("assertion: %s asserted against itself", a)
+	}
+	key, swapped := canonicalPair(a, b)
+	stored := kind
+	if swapped {
+		stored = kind.Inverse()
+	}
+	s.DropDerived()
+	s.remove(key)
+	s.put(&Entry{Statement: Statement{A: key.a, B: key.b, Kind: stored}})
+	return nil
+}
+
+// Retract removes the assertion held between a and b (specified or derived)
+// and reports whether one existed. Derived entries are dropped wholesale
+// since their support may be gone.
+func (s *Set) Retract(a, b ObjKey) bool {
+	key, _ := canonicalPair(a, b)
+	if _, ok := s.entries[key]; !ok {
+		return false
+	}
+	s.remove(key)
+	s.DropDerived()
+	return true
+}
+
+// DropDerived removes every derived entry, keeping only DDA-specified
+// assertions.
+func (s *Set) DropDerived() {
+	for key, e := range s.entries {
+		if e.Derived {
+			s.remove(key)
+		}
+	}
+}
+
+func (s *Set) put(e *Entry) {
+	key, _ := canonicalPair(e.A, e.B)
+	s.entries[key] = e
+	if s.neighbors[key.a] == nil {
+		s.neighbors[key.a] = make(map[ObjKey]bool)
+	}
+	if s.neighbors[key.b] == nil {
+		s.neighbors[key.b] = make(map[ObjKey]bool)
+	}
+	s.neighbors[key.a][key.b] = true
+	s.neighbors[key.b][key.a] = true
+}
+
+func (s *Set) remove(key pairKey) {
+	delete(s.entries, key)
+	if m := s.neighbors[key.a]; m != nil {
+		delete(m, key.b)
+	}
+	if m := s.neighbors[key.b]; m != nil {
+		delete(m, key.a)
+	}
+}
+
+// Kind returns the assertion held from a's point of view toward b
+// (Unspecified if none).
+func (s *Set) Kind(a, b ObjKey) Kind {
+	key, swapped := canonicalPair(a, b)
+	e, ok := s.entries[key]
+	if !ok {
+		return Unspecified
+	}
+	if swapped {
+		return e.Kind.Inverse()
+	}
+	return e.Kind
+}
+
+// Entry returns the stored entry for the pair in canonical orientation.
+func (s *Set) Entry(a, b ObjKey) (Entry, bool) {
+	key, _ := canonicalPair(a, b)
+	e, ok := s.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries returns every entry, DDA-specified and derived, in a
+// deterministic order.
+func (s *Set) Entries() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return lessKey(out[i].A, out[j].A)
+		}
+		return lessKey(out[i].B, out[j].B)
+	})
+	return out
+}
+
+// Objects returns every object mentioned by any entry, sorted.
+func (s *Set) Objects() []ObjKey {
+	var out []ObjKey
+	for k, m := range s.neighbors {
+		if len(m) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessKey(out[i], out[j]) })
+	return out
+}
+
+// Clone returns an independent deep copy of the matrix.
+func (s *Set) Clone() *Set {
+	c := NewSet()
+	for _, e := range s.entries {
+		cp := *e
+		cp.Trace = append([]Statement(nil), e.Trace...)
+		c.put(&cp)
+	}
+	return c
+}
+
+// rel returns the domain relation from a toward b, or relNone.
+func (s *Set) rel(a, b ObjKey) Rel {
+	return s.Kind(a, b).Rel()
+}

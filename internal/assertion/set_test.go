@@ -1,0 +1,247 @@
+package assertion
+
+import (
+	"strings"
+	"testing"
+)
+
+func key(schema, object string) ObjKey { return ObjKey{Schema: schema, Object: object} }
+
+func TestAssertAndKind(t *testing.T) {
+	s := NewSet()
+	a, b := key("s1", "A"), key("s2", "B")
+	if err := s.Assert(a, b, Contains); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Kind(a, b); got != Contains {
+		t.Errorf("Kind(a,b) = %v", got)
+	}
+	if got := s.Kind(b, a); got != ContainedIn {
+		t.Errorf("Kind(b,a) = %v, want inverse", got)
+	}
+	if got := s.Kind(a, key("s2", "C")); got != Unspecified {
+		t.Errorf("unknown pair = %v", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestAssertRejectsSelfAndUnspecified(t *testing.T) {
+	s := NewSet()
+	a := key("s1", "A")
+	if err := s.Assert(a, a, Equals); err == nil {
+		t.Error("self-assertion should fail")
+	}
+	if err := s.Assert(a, key("s2", "B"), Unspecified); err == nil {
+		t.Error("asserting Unspecified should fail")
+	}
+}
+
+func TestAssertConflictOnSamePair(t *testing.T) {
+	s := NewSet()
+	a, b := key("s1", "A"), key("s2", "B")
+	if err := s.Assert(a, b, Equals); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Assert(a, b, DisjointNonintegrable)
+	c, ok := err.(*Conflict)
+	if !ok {
+		t.Fatalf("want *Conflict, got %v", err)
+	}
+	if c.Existing.Kind != Equals || c.Proposed.Kind != DisjointNonintegrable {
+		t.Errorf("conflict = %+v", c)
+	}
+	if !strings.Contains(c.Error(), "held") {
+		t.Errorf("conflict message: %s", c.Error())
+	}
+	// Matrix unchanged.
+	if s.Kind(a, b) != Equals {
+		t.Error("matrix changed by conflicting assert")
+	}
+}
+
+func TestAssertCompatibleRestatement(t *testing.T) {
+	s := NewSet()
+	a, b := key("s1", "A"), key("s2", "B")
+	// A derived disjoint can be upgraded to disjoint-but-integrable: the
+	// domain relation agrees.
+	if err := s.Assert(a, b, DisjointNonintegrable); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(a, b, DisjointIntegrable); err != nil {
+		t.Fatalf("compatible restatement failed: %v", err)
+	}
+	if s.Kind(a, b) != DisjointIntegrable {
+		t.Errorf("kind = %v", s.Kind(a, b))
+	}
+}
+
+func TestAssertSwappedOrientation(t *testing.T) {
+	s := NewSet()
+	// Stored canonically regardless of argument order.
+	a, b := key("z", "Z"), key("a", "A") // a sorts after b
+	if err := s.Assert(a, b, Contains); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind(a, b) != Contains || s.Kind(b, a) != ContainedIn {
+		t.Error("orientation lost for swapped keys")
+	}
+	e, ok := s.Entry(a, b)
+	if !ok {
+		t.Fatal("no entry")
+	}
+	if e.A != b || e.B != a || e.Kind != ContainedIn {
+		t.Errorf("canonical entry = %+v", e)
+	}
+}
+
+func TestRetract(t *testing.T) {
+	s := NewSet()
+	a, b := key("s1", "A"), key("s2", "B")
+	if err := s.Assert(a, b, Equals); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Retract(b, a) {
+		t.Error("retract failed")
+	}
+	if s.Retract(a, b) {
+		t.Error("second retract should be false")
+	}
+	if s.Kind(a, b) != Unspecified {
+		t.Error("assertion still present")
+	}
+}
+
+func TestOverrideResolvesConflict(t *testing.T) {
+	s := NewSet()
+	a, b, c := key("s1", "A"), key("s2", "B"), key("s2", "C")
+	if err := s.Assert(a, b, Equals); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(a, c, ContainedIn); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Override(a, b, DisjointNonintegrable); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind(a, b) != DisjointNonintegrable {
+		t.Error("override did not take")
+	}
+	// Derived entries dropped.
+	for _, e := range s.Entries() {
+		if e.Derived {
+			t.Errorf("derived entry survived override: %+v", e)
+		}
+	}
+}
+
+func TestEntriesDeterministicOrder(t *testing.T) {
+	s := NewSet()
+	pairs := [][2]ObjKey{
+		{key("s2", "X"), key("s1", "A")},
+		{key("s1", "A"), key("s2", "B")},
+		{key("s1", "C"), key("s2", "B")},
+	}
+	for _, p := range pairs {
+		if err := s.Assert(p[0], p[1], MayBe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := s.Entries()
+	for i := 1; i < len(es); i++ {
+		prev, cur := es[i-1], es[i]
+		if prev.A.String() > cur.A.String() {
+			t.Errorf("entries out of order: %v before %v", prev.A, cur.A)
+		}
+	}
+}
+
+func TestObjects(t *testing.T) {
+	s := NewSet()
+	if err := s.Assert(key("s1", "A"), key("s2", "B"), Equals); err != nil {
+		t.Fatal(err)
+	}
+	objs := s.Objects()
+	if len(objs) != 2 || objs[0].String() != "s1.A" || objs[1].String() != "s2.B" {
+		t.Errorf("Objects = %v", objs)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewSet()
+	a, b := key("s1", "A"), key("s2", "B")
+	if err := s.Assert(a, b, Equals); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.Assert(a, key("s2", "C"), MayBe); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: %d, %d", s.Len(), c.Len())
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	st := Statement{A: key("sc3", "Instructor"), B: key("sc4", "Grad_student"), Kind: ContainedIn}
+	want := "sc3.Instructor 'contained in' sc4.Grad_student"
+	if st.String() != want {
+		t.Errorf("String() = %q, want %q", st.String(), want)
+	}
+}
+
+func TestMatrixRendering(t *testing.T) {
+	s := NewSet()
+	a, b, c := key("s1", "A"), key("s2", "B"), key("s1", "C")
+	if err := s.Assert(a, b, ContainedIn); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(b, c, ContainedIn); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // derives A contained-in C
+	out := s.Matrix(nil)
+	for _, want := range []string{
+		"c1", "c2", "c3",
+		"c1 = s1.A", "c2 = s1.C", "c3 = s2.B",
+		"2*", // the derived assertion marked
+		"=",  // diagonal
+		".",  // would appear only if a pair were unspecified; here all are specified
+	} {
+		if want == "." {
+			continue // all pairs specified in this matrix
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+	// Orientation: from A's row toward B the code is 2 (contained in);
+	// from B's row toward A it is 3 (contains).
+	lines := strings.Split(out, "\n")
+	var rowA, rowB string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "s1.A") {
+			rowA = l
+		}
+		if strings.HasPrefix(l, "s2.B") {
+			rowB = l
+		}
+	}
+	if !strings.Contains(rowA, "2") || !strings.Contains(rowB, "3") {
+		t.Errorf("orientation wrong:\nA: %s\nB: %s", rowA, rowB)
+	}
+}
+
+func TestMatrixExplicitObjects(t *testing.T) {
+	s := NewSet()
+	a, b := key("s1", "A"), key("s2", "B")
+	if err := s.Assert(a, b, Equals); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Matrix([]ObjKey{a, b, key("s1", "Z")})
+	if !strings.Contains(out, "s1.Z") || !strings.Contains(out, ".") {
+		t.Errorf("explicit objects / unspecified marker missing:\n%s", out)
+	}
+}

@@ -1,0 +1,325 @@
+// Package attrequiv implements the attribute equivalence theory of Larson,
+// Navathe and Elmasri ("Attribute Equivalence for Schema Integration",
+// IEEE TSE 1987), which the paper cites as the full foundation behind its
+// simplified binary equivalent/non-equivalent decision. Two attributes are
+// characterized by their value domains and properties (uniqueness, whether
+// a value is mandatory); comparing the characterizations yields one of five
+// relations between the attributes — EQUAL, CONTAINED-IN, CONTAINS,
+// OVERLAP, DISJOINT — mirroring the five object-class assertions. The
+// interactive tool can present these classifications as evidence when the
+// DDA reviews candidate equivalences, and the resemblance package can
+// weight them.
+package attrequiv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is the domain relationship between two attributes.
+type Relation int
+
+const (
+	// Unknown means the specifications do not determine a relation.
+	Unknown Relation = iota
+	// Equal: the value domains are identical.
+	Equal
+	// ContainedIn: the first attribute's domain is a proper subset of
+	// the second's.
+	ContainedIn
+	// Contains: the first attribute's domain properly contains the
+	// second's.
+	Contains
+	// Overlap: the domains intersect but neither contains the other.
+	Overlap
+	// Disjoint: the domains do not intersect.
+	Disjoint
+)
+
+// String names the relation as the theory does.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "EQUAL"
+	case ContainedIn:
+		return "CONTAINED-IN"
+	case Contains:
+		return "CONTAINS"
+	case Overlap:
+		return "OVERLAP"
+	case Disjoint:
+		return "DISJOINT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Inverse swaps the relation's sides.
+func (r Relation) Inverse() Relation {
+	switch r {
+	case ContainedIn:
+		return Contains
+	case Contains:
+		return ContainedIn
+	default:
+		return r
+	}
+}
+
+// Degree maps the relation to a [0,1] equivalence strength usable as a
+// resemblance weight: EQUAL is full equivalence, containment and overlap
+// are partial, disjoint domains rule equivalence out.
+func (r Relation) Degree() float64 {
+	switch r {
+	case Equal:
+		return 1
+	case ContainedIn, Contains:
+		return 0.75
+	case Overlap:
+		return 0.5
+	case Disjoint:
+		return 0
+	default:
+		return 0.25
+	}
+}
+
+// DomainSpec describes an attribute's value domain. The zero value (just a
+// Type) means "all values of the type". Constraints narrow it: an
+// enumerated value set, a numeric range, or a string length bound.
+type DomainSpec struct {
+	// Type is the base domain ("char", "int", "real", "date", ...).
+	Type string
+	// Values enumerates the legal values, when finite.
+	Values []string
+	// HasRange indicates Min/Max constrain a numeric domain.
+	HasRange bool
+	Min, Max float64
+	// MaxLen bounds the length of string values (0 = unbounded).
+	MaxLen int
+}
+
+// normalizeType canonicalizes the base type for comparison.
+func normalizeType(t string) string {
+	switch strings.ToLower(strings.TrimSpace(t)) {
+	case "int", "integer", "smallint", "bigint":
+		return "int"
+	case "real", "float", "double", "decimal", "numeric":
+		return "real"
+	case "char", "varchar", "string", "text":
+		return "char"
+	case "date", "time", "datetime", "timestamp":
+		return "date"
+	case "bool", "boolean":
+		return "bool"
+	default:
+		return strings.ToLower(strings.TrimSpace(t))
+	}
+}
+
+// numericType reports whether values of the type are ordered numbers.
+func numericType(t string) bool { return t == "int" || t == "real" }
+
+// Compare classifies the relationship between two domain specifications.
+func Compare(a, b DomainSpec) Relation {
+	ta, tb := normalizeType(a.Type), normalizeType(b.Type)
+	if ta != tb {
+		// int is embeddable in real; all other base-type mismatches
+		// are disjoint domains.
+		if (ta == "int" && tb == "real") || (ta == "real" && tb == "int") {
+			if ta == "int" {
+				return combineWithTypeEmbedding(a, b, ContainedIn)
+			}
+			return combineWithTypeEmbedding(a, b, Contains)
+		}
+		return Disjoint
+	}
+
+	switch {
+	case len(a.Values) > 0 && len(b.Values) > 0:
+		return compareSets(a.Values, b.Values)
+	case len(a.Values) > 0 && len(b.Values) == 0:
+		// A finite set against a wider specification.
+		if b.HasRange && numericType(tb) {
+			return setVsRange(a.Values, b)
+		}
+		return ContainedIn // finite set inside the (larger) type domain
+	case len(b.Values) > 0:
+		return Compare(b, a).Inverse()
+	case a.HasRange && b.HasRange:
+		return compareRanges(a, b)
+	case a.HasRange:
+		return ContainedIn // a range inside the unconstrained type
+	case b.HasRange:
+		return Contains
+	case a.MaxLen > 0 || b.MaxLen > 0:
+		return compareLengths(a.MaxLen, b.MaxLen)
+	default:
+		return Equal
+	}
+}
+
+// combineWithTypeEmbedding handles int ⊂ real: the embedding gives the base
+// relation; further constraints can only keep or refine it, which we report
+// conservatively as the embedding relation (or Overlap when both sides are
+// constrained).
+func combineWithTypeEmbedding(a, b DomainSpec, base Relation) Relation {
+	if constrained(a) || constrained(b) {
+		return Overlap
+	}
+	return base
+}
+
+func constrained(d DomainSpec) bool {
+	return len(d.Values) > 0 || d.HasRange || d.MaxLen > 0
+}
+
+func compareSets(av, bv []string) Relation {
+	as, bs := toSet(av), toSet(bv)
+	inter := 0
+	for v := range as {
+		if bs[v] {
+			inter++
+		}
+	}
+	switch {
+	case inter == 0:
+		return Disjoint
+	case inter == len(as) && inter == len(bs):
+		return Equal
+	case inter == len(as):
+		return ContainedIn
+	case inter == len(bs):
+		return Contains
+	default:
+		return Overlap
+	}
+}
+
+func toSet(vals []string) map[string]bool {
+	s := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		s[strings.TrimSpace(v)] = true
+	}
+	return s
+}
+
+func compareRanges(a, b DomainSpec) Relation {
+	if a.Min > a.Max || b.Min > b.Max {
+		return Unknown
+	}
+	switch {
+	case a.Max < b.Min || b.Max < a.Min:
+		return Disjoint
+	case a.Min == b.Min && a.Max == b.Max:
+		return Equal
+	case a.Min >= b.Min && a.Max <= b.Max:
+		return ContainedIn
+	case b.Min >= a.Min && b.Max <= a.Max:
+		return Contains
+	default:
+		return Overlap
+	}
+}
+
+func setVsRange(vals []string, b DomainSpec) Relation {
+	in, out := 0, 0
+	for _, v := range vals {
+		f, err := parseNumber(v)
+		if err != nil {
+			out++
+			continue
+		}
+		if f >= b.Min && f <= b.Max {
+			in++
+		} else {
+			out++
+		}
+	}
+	switch {
+	case in == 0:
+		return Disjoint
+	case out == 0:
+		return ContainedIn // every enumerated value inside the range
+	default:
+		return Overlap
+	}
+}
+
+func parseNumber(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &f)
+	return f, err
+}
+
+func compareLengths(la, lb int) Relation {
+	switch {
+	case la == lb:
+		return Equal
+	case la == 0:
+		return Contains // unbounded contains bounded
+	case lb == 0:
+		return ContainedIn
+	case la < lb:
+		return ContainedIn
+	default:
+		return Contains
+	}
+}
+
+// Characteristics collects everything the theory uses about one attribute.
+type Characteristics struct {
+	Domain DomainSpec
+	// Unique is the key property: values identify class members.
+	Unique bool
+	// Mandatory means every member has a value (participation lower
+	// bound 1 in the theory's terms).
+	Mandatory bool
+}
+
+// Classification is the result of comparing two attributes: the domain
+// relation plus the evidence lines the tool can display to the DDA.
+type Classification struct {
+	Relation Relation
+	Evidence []string
+}
+
+// Classify compares two attribute characterizations.
+func Classify(a, b Characteristics) Classification {
+	rel := Compare(a.Domain, b.Domain)
+	var ev []string
+	ev = append(ev, fmt.Sprintf("domains: %s", rel))
+	if a.Unique == b.Unique {
+		ev = append(ev, fmt.Sprintf("uniqueness agrees (%s)", yesNo(a.Unique)))
+	} else {
+		ev = append(ev, "uniqueness differs: one side is a key, the other is not")
+	}
+	if a.Mandatory == b.Mandatory {
+		ev = append(ev, fmt.Sprintf("participation agrees (mandatory=%s)", yesNo(a.Mandatory)))
+	} else {
+		ev = append(ev, "participation differs: one side is mandatory, the other optional")
+	}
+	sort.Strings(ev[1:])
+	return Classification{Relation: rel, Evidence: ev}
+}
+
+// Score folds a classification into one [0,1] strength: the domain degree,
+// discounted when uniqueness or participation disagree.
+func (c Classification) Score(a, b Characteristics) float64 {
+	s := c.Relation.Degree()
+	if a.Unique != b.Unique {
+		s *= 0.8
+	}
+	if a.Mandatory != b.Mandatory {
+		s *= 0.9
+	}
+	return s
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,231 @@
+package attrequiv
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationStrings(t *testing.T) {
+	cases := map[Relation]string{
+		Equal:       "EQUAL",
+		ContainedIn: "CONTAINED-IN",
+		Contains:    "CONTAINS",
+		Overlap:     "OVERLAP",
+		Disjoint:    "DISJOINT",
+		Unknown:     "UNKNOWN",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestRelationInverse(t *testing.T) {
+	if ContainedIn.Inverse() != Contains || Contains.Inverse() != ContainedIn {
+		t.Error("containment inverse wrong")
+	}
+	for _, r := range []Relation{Equal, Overlap, Disjoint, Unknown} {
+		if r.Inverse() != r {
+			t.Errorf("%v should be self-inverse", r)
+		}
+	}
+}
+
+func TestRelationDegreeOrdering(t *testing.T) {
+	if !(Equal.Degree() > ContainedIn.Degree() &&
+		ContainedIn.Degree() > Overlap.Degree() &&
+		Overlap.Degree() > Disjoint.Degree()) {
+		t.Error("degree ordering broken")
+	}
+	if Disjoint.Degree() != 0 || Equal.Degree() != 1 {
+		t.Error("degree endpoints wrong")
+	}
+}
+
+func TestCompareTypes(t *testing.T) {
+	if Compare(DomainSpec{Type: "char"}, DomainSpec{Type: "CHAR"}) != Equal {
+		t.Error("same type should be Equal")
+	}
+	if Compare(DomainSpec{Type: "char"}, DomainSpec{Type: "date"}) != Disjoint {
+		t.Error("different base types are Disjoint")
+	}
+	if Compare(DomainSpec{Type: "int"}, DomainSpec{Type: "real"}) != ContainedIn {
+		t.Error("int embeds in real")
+	}
+	if Compare(DomainSpec{Type: "real"}, DomainSpec{Type: "int"}) != Contains {
+		t.Error("real contains int")
+	}
+	if Compare(DomainSpec{Type: "varchar"}, DomainSpec{Type: "text"}) != Equal {
+		t.Error("type normalization failed")
+	}
+}
+
+func TestCompareEnumerations(t *testing.T) {
+	ab := DomainSpec{Type: "char", Values: []string{"a", "b"}}
+	abc := DomainSpec{Type: "char", Values: []string{"a", "b", "c"}}
+	bc := DomainSpec{Type: "char", Values: []string{"b", "c"}}
+	xy := DomainSpec{Type: "char", Values: []string{"x", "y"}}
+
+	if Compare(ab, ab) != Equal {
+		t.Error("identical sets")
+	}
+	if Compare(ab, abc) != ContainedIn {
+		t.Error("subset")
+	}
+	if Compare(abc, ab) != Contains {
+		t.Error("superset")
+	}
+	if Compare(ab, bc) != Overlap {
+		t.Error("overlap")
+	}
+	if Compare(ab, xy) != Disjoint {
+		t.Error("disjoint")
+	}
+	// Finite set against the unconstrained type.
+	if Compare(ab, DomainSpec{Type: "char"}) != ContainedIn {
+		t.Error("set inside type domain")
+	}
+	if Compare(DomainSpec{Type: "char"}, ab) != Contains {
+		t.Error("type domain contains set")
+	}
+}
+
+func TestCompareRanges(t *testing.T) {
+	r := func(lo, hi float64) DomainSpec {
+		return DomainSpec{Type: "int", HasRange: true, Min: lo, Max: hi}
+	}
+	if Compare(r(0, 10), r(0, 10)) != Equal {
+		t.Error("equal ranges")
+	}
+	if Compare(r(2, 5), r(0, 10)) != ContainedIn {
+		t.Error("nested ranges")
+	}
+	if Compare(r(0, 10), r(2, 5)) != Contains {
+		t.Error("containing range")
+	}
+	if Compare(r(0, 5), r(3, 9)) != Overlap {
+		t.Error("overlapping ranges")
+	}
+	if Compare(r(0, 2), r(5, 9)) != Disjoint {
+		t.Error("disjoint ranges")
+	}
+	if Compare(r(0, 10), DomainSpec{Type: "int"}) != ContainedIn {
+		t.Error("range inside unconstrained type")
+	}
+	if Compare(r(5, 1), r(0, 10)) != Unknown {
+		t.Error("inverted range is Unknown")
+	}
+}
+
+func TestCompareSetVsRange(t *testing.T) {
+	set := DomainSpec{Type: "int", Values: []string{"1", "2", "3"}}
+	if got := Compare(set, DomainSpec{Type: "int", HasRange: true, Min: 0, Max: 10}); got != ContainedIn {
+		t.Errorf("set in range = %v", got)
+	}
+	if got := Compare(set, DomainSpec{Type: "int", HasRange: true, Min: 2, Max: 10}); got != Overlap {
+		t.Errorf("set straddling range = %v", got)
+	}
+	if got := Compare(set, DomainSpec{Type: "int", HasRange: true, Min: 7, Max: 10}); got != Disjoint {
+		t.Errorf("set outside range = %v", got)
+	}
+	// Reversed orientation inverts.
+	if got := Compare(DomainSpec{Type: "int", HasRange: true, Min: 0, Max: 10}, set); got != Contains {
+		t.Errorf("range vs set = %v", got)
+	}
+}
+
+func TestCompareLengths(t *testing.T) {
+	l := func(n int) DomainSpec { return DomainSpec{Type: "char", MaxLen: n} }
+	if Compare(l(10), l(10)) != Equal {
+		t.Error("equal lengths")
+	}
+	if Compare(l(10), l(40)) != ContainedIn {
+		t.Error("shorter in longer")
+	}
+	if Compare(l(40), l(10)) != Contains {
+		t.Error("longer contains shorter")
+	}
+	if Compare(l(10), DomainSpec{Type: "char"}) != ContainedIn {
+		t.Error("bounded in unbounded")
+	}
+}
+
+func TestCompareIntRealConstrained(t *testing.T) {
+	a := DomainSpec{Type: "int", HasRange: true, Min: 0, Max: 5}
+	b := DomainSpec{Type: "real"}
+	if got := Compare(a, b); got != Overlap {
+		t.Errorf("constrained cross-type = %v (conservative Overlap expected)", got)
+	}
+}
+
+// TestCompareInversionProperty: Compare(b, a) must be the inverse of
+// Compare(a, b) for every generated pair.
+func TestCompareInversionProperty(t *testing.T) {
+	mk := func(sel, lo, hi uint8) DomainSpec {
+		types := []string{"int", "char"}
+		d := DomainSpec{Type: types[int(sel)%2]}
+		switch (sel / 2) % 3 {
+		case 0: // unconstrained
+		case 1:
+			l, h := float64(lo%20), float64(hi%20)
+			if l > h {
+				l, h = h, l
+			}
+			if d.Type == "int" {
+				d.HasRange, d.Min, d.Max = true, l, h
+			} else {
+				d.MaxLen = int(lo%20) + 1
+			}
+		case 2:
+			vals := []string{"1", "2", "5", "9", "12"}
+			n := int(lo)%len(vals) + 1
+			d.Values = vals[:n]
+		}
+		return d
+	}
+	f := func(s1, l1, h1, s2, l2, h2 uint8) bool {
+		a, b := mk(s1, l1, h1), mk(s2, l2, h2)
+		return Compare(b, a) == Compare(a, b).Inverse()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	a := Characteristics{Domain: DomainSpec{Type: "char"}, Unique: true, Mandatory: true}
+	b := Characteristics{Domain: DomainSpec{Type: "char"}, Unique: true, Mandatory: true}
+	c := Classify(a, b)
+	if c.Relation != Equal {
+		t.Errorf("relation = %v", c.Relation)
+	}
+	joined := strings.Join(c.Evidence, "\n")
+	if !strings.Contains(joined, "uniqueness agrees") || !strings.Contains(joined, "participation agrees") {
+		t.Errorf("evidence = %q", joined)
+	}
+	if got := c.Score(a, b); got != 1 {
+		t.Errorf("score = %v", got)
+	}
+
+	b.Unique = false
+	b.Mandatory = false
+	c2 := Classify(a, b)
+	joined = strings.Join(c2.Evidence, "\n")
+	if !strings.Contains(joined, "uniqueness differs") || !strings.Contains(joined, "participation differs") {
+		t.Errorf("evidence = %q", joined)
+	}
+	if got := c2.Score(a, b); got >= 1 || got <= 0 {
+		t.Errorf("discounted score = %v", got)
+	}
+}
+
+func TestClassifyDisjointScoresZero(t *testing.T) {
+	a := Characteristics{Domain: DomainSpec{Type: "char"}}
+	b := Characteristics{Domain: DomainSpec{Type: "date"}}
+	c := Classify(a, b)
+	if c.Relation != Disjoint || c.Score(a, b) != 0 {
+		t.Errorf("classification = %+v score = %v", c, c.Score(a, b))
+	}
+}

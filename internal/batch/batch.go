@@ -1,0 +1,178 @@
+// Package batch runs an integration non-interactively from a textual
+// specification: which two schemas to integrate, the attribute
+// equivalences, and the assertions. It is the scripted-DDA counterpart of
+// the interactive tool, used by cmd/sit-batch and by the benchmark harness.
+//
+// Specification format, by example:
+//
+//	# integrate the paper's running example
+//	schemas sc1 sc2
+//	name INT_sc1_sc2
+//	equiv Student.Name = Grad_student.Name
+//	equiv Student.Name = Faculty.Name
+//	assert Department 1 Department
+//	assert Student 3 Grad_student
+//	assert Student 4 Faculty
+//	rel-assert Majors 1 Stud_major
+//	auto 0.95
+//
+// "equiv a.b = c.d" resolves a.b against the first schema and c.d against
+// the second. "assert O1 <code> O2" states the numbered assertion (the
+// codes of the tool's screens: 1 equals, 2 contained-in, 3 contains, 4
+// disjoint-integrable, 5 may-be, 0 disjoint-nonintegrable). "auto <t>"
+// additionally applies every dictionary-suggested attribute equivalence
+// scoring at least t.
+package batch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/assertion"
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/integrate"
+	"repro/internal/resemblance"
+)
+
+// AssertLine is one assertion statement of a spec.
+type AssertLine struct {
+	Object1 string
+	Code    int
+	Object2 string
+}
+
+// Spec is a parsed integration specification.
+type Spec struct {
+	Schema1, Schema2 string
+	Name             string
+	Equivalences     [][2]string
+	ObjectAsserts    []AssertLine
+	RelAsserts       []AssertLine
+	// AutoThreshold > 0 enables dictionary-based suggestion of further
+	// attribute equivalences at that score threshold.
+	AutoThreshold float64
+	// Dict optionally overrides the builtin dictionary used by the
+	// auto-suggestion pass (set by the caller, not the spec file).
+	Dict *dictionary.Dictionary
+}
+
+// ParseSpec reads a specification. '#' comments run to end of line.
+func ParseSpec(src string) (*Spec, error) {
+	spec := &Spec{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("batch: spec line %d: %s", i+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "schemas":
+			if len(fields) != 3 {
+				return nil, errf("usage: schemas <first> <second>")
+			}
+			spec.Schema1, spec.Schema2 = fields[1], fields[2]
+		case "name":
+			if len(fields) != 2 {
+				return nil, errf("usage: name <integrated schema name>")
+			}
+			spec.Name = fields[1]
+		case "equiv":
+			if len(fields) != 4 || fields[2] != "=" {
+				return nil, errf("usage: equiv <obj.attr> = <obj.attr>")
+			}
+			spec.Equivalences = append(spec.Equivalences, [2]string{fields[1], fields[3]})
+		case "assert", "rel-assert":
+			if len(fields) != 4 {
+				return nil, errf("usage: %s <object1> <code 0-5> <object2>", fields[0])
+			}
+			code, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, errf("bad assertion code %q", fields[2])
+			}
+			if _, err := assertion.KindFromCode(code); err != nil {
+				return nil, errf("%v", err)
+			}
+			al := AssertLine{Object1: fields[1], Code: code, Object2: fields[3]}
+			if fields[0] == "assert" {
+				spec.ObjectAsserts = append(spec.ObjectAsserts, al)
+			} else {
+				spec.RelAsserts = append(spec.RelAsserts, al)
+			}
+		case "auto":
+			if len(fields) != 2 {
+				return nil, errf("usage: auto <threshold>")
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || t <= 0 || t > 1 {
+				return nil, errf("bad threshold %q (want 0 < t <= 1)", fields[1])
+			}
+			spec.AutoThreshold = t
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if spec.Schema1 == "" || spec.Schema2 == "" {
+		return nil, fmt.Errorf("batch: spec names no schema pair (need a 'schemas' line)")
+	}
+	return spec, nil
+}
+
+// Run executes the spec against the given schemas.
+func Run(schemas []*ecr.Schema, spec *Spec) (*integrate.Result, error) {
+	find := func(name string) *ecr.Schema {
+		for _, s := range schemas {
+			if s.Name == name {
+				return s
+			}
+		}
+		return nil
+	}
+	s1, s2 := find(spec.Schema1), find(spec.Schema2)
+	if s1 == nil {
+		return nil, fmt.Errorf("batch: schema %q not found", spec.Schema1)
+	}
+	if s2 == nil {
+		return nil, fmt.Errorf("batch: schema %q not found", spec.Schema2)
+	}
+	it, err := core.New(s1, s2)
+	if err != nil {
+		return nil, err
+	}
+	if spec.AutoThreshold > 0 {
+		dict := spec.Dict
+		if dict == nil {
+			dict = dictionary.Builtin()
+		}
+		cands := resemblance.SuggestEquivalences(s1, s2,
+			resemblance.DefaultWeights(), dict, spec.AutoThreshold)
+		resemblance.ApplySuggestions(it.Registry(), cands)
+	}
+	for _, pair := range spec.Equivalences {
+		if err := it.DeclareEquivalent(pair[0], pair[1]); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range spec.ObjectAsserts {
+		kind, _ := assertion.KindFromCode(a.Code)
+		if err := it.Assert(a.Object1, kind, a.Object2); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range spec.RelAsserts {
+		kind, _ := assertion.KindFromCode(a.Code)
+		if err := it.AssertRelationship(a.Object1, kind, a.Object2); err != nil {
+			return nil, err
+		}
+	}
+	return it.Integrate(spec.Name)
+}

@@ -1,0 +1,146 @@
+package batch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+const paperSpec = `
+# The paper's running example.
+schemas sc1 sc2
+name paper
+
+equiv Student.Name = Grad_student.Name
+equiv Student.Name = Faculty.Name
+equiv Student.GPA = Grad_student.GPA
+equiv Department.Dname = Department.Dname
+equiv Majors.Since = Stud_major.Since
+
+assert Department 1 Department
+assert Student 3 Grad_student
+assert Student 4 Faculty
+rel-assert Majors 1 Stud_major
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec(paperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Schema1 != "sc1" || spec.Schema2 != "sc2" || spec.Name != "paper" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if len(spec.Equivalences) != 5 || len(spec.ObjectAsserts) != 3 || len(spec.RelAsserts) != 1 {
+		t.Errorf("counts = %d/%d/%d", len(spec.Equivalences), len(spec.ObjectAsserts), len(spec.RelAsserts))
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ src, substr string }{
+		{"", "no schema pair"},
+		{"schemas a", "usage: schemas"},
+		{"schemas a b\nequiv x y", "usage: equiv"},
+		{"schemas a b\nassert X 9 Y", "unknown assertion code"},
+		{"schemas a b\nassert X q Y", "bad assertion code"},
+		{"schemas a b\nauto 2", "bad threshold"},
+		{"schemas a b\nbogus", "unknown directive"},
+		{"schemas a b\nname", "usage: name"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("ParseSpec(%q) = %v, want %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestRunPaperSpec(t *testing.T) {
+	spec, err := ParseSpec(paperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]*ecr.Schema{paperex.Sc1(), paperex.Sc2()}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Name != "paper" {
+		t.Errorf("name = %q", res.Schema.Name)
+	}
+	for _, want := range []string{"E_Department", "D_Stud_Facu"} {
+		if res.Schema.Object(want) == nil {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRunAutoEquivalences(t *testing.T) {
+	spec, err := ParseSpec(`
+schemas sc1 sc2
+auto 0.9
+assert Department 1 Department
+assert Student 3 Grad_student
+assert Student 4 Faculty
+rel-assert Majors 1 Stud_major
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]*ecr.Schema{paperex.Sc1(), paperex.Sc2()}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dictionary-based suggestions recover the paper's equivalences,
+	// so the integrated result matches Figure 5's shape.
+	student := res.Schema.Object("Student")
+	if student == nil {
+		t.Fatal("Student missing")
+	}
+	if _, ok := student.Attribute("D_Name"); !ok {
+		t.Errorf("auto equivalences missed Name: %+v", student.Attributes)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	spec, err := ParseSpec("schemas nope sc2\nassert A 1 B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]*ecr.Schema{paperex.Sc1(), paperex.Sc2()}, spec); err == nil {
+		t.Error("unknown schema should fail")
+	}
+	spec2, err := ParseSpec("schemas sc1 sc2\nassert Nope 1 Department")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]*ecr.Schema{paperex.Sc1(), paperex.Sc2()}, spec2); err == nil {
+		t.Error("unknown object should fail")
+	}
+	spec3, err := ParseSpec("schemas sc1 sc2\nequiv Nope.X = Department.Dname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]*ecr.Schema{paperex.Sc1(), paperex.Sc2()}, spec3); err == nil {
+		t.Error("unknown equivalence target should fail")
+	}
+}
+
+func TestParseSpecNeverPanics(t *testing.T) {
+	inputs := []string{
+		"schemas", "equiv", "assert", "rel-assert", "auto",
+		"schemas a b\nequiv x =", "schemas a b\nassert x 1",
+		"name\nschemas a b", "\x00\x01\x02",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseSpec(src)
+		}()
+	}
+}

@@ -1,0 +1,250 @@
+// Package dictionary provides the synonym/antonym dictionary the paper's
+// future-work section proposes for its "syntactic processing enhancements":
+// detecting candidate pairs of equivalent attributes by name, even when the
+// schemas use different naming conventions. The dictionary knows synonym
+// groups, antonym pairs and common database-design abbreviations, and
+// normalizes identifiers (case, underscores, digits) before lookup.
+package dictionary
+
+import (
+	"sort"
+	"strings"
+)
+
+// Dictionary maps normalized words to synonym groups and records antonym
+// pairs. The zero value is unusable; call New or Builtin.
+type Dictionary struct {
+	group    map[string]int
+	members  map[int][]string
+	antonyms map[[2]string]bool
+	abbrev   map[string]string
+	nextID   int
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{
+		group:    make(map[string]int),
+		members:  make(map[int][]string),
+		antonyms: make(map[[2]string]bool),
+		abbrev:   make(map[string]string),
+		nextID:   1,
+	}
+}
+
+// Builtin returns a dictionary preloaded with a vocabulary common in
+// database design examples (the domain of the paper's figures).
+func Builtin() *Dictionary {
+	d := New()
+	groups := [][]string{
+		{"name", "label", "title"},
+		{"department", "division", "unit"},
+		{"employee", "worker", "staff"},
+		{"person", "individual"},
+		{"student", "pupil"},
+		{"faculty", "professor", "instructor", "teacher", "lecturer"},
+		{"salary", "pay", "wage", "compensation"},
+		{"location", "address", "site", "place"},
+		{"manager", "supervisor", "boss"},
+		{"course", "class", "subject"},
+		{"grade", "mark", "score"},
+		{"identifier", "id", "key", "number"},
+		{"date", "day"},
+		{"phone", "telephone"},
+		{"begin", "start"},
+		{"end", "finish", "stop"},
+		{"project", "task", "assignment"},
+		{"budget", "funds"},
+		{"company", "firm", "corporation", "enterprise"},
+		{"customer", "client", "patron"},
+		{"vendor", "supplier", "seller"},
+		{"product", "item", "article", "goods"},
+		{"order", "purchase"},
+		{"quantity", "amount", "count"},
+		{"price", "cost"},
+	}
+	for _, g := range groups {
+		d.AddSynonyms(g...)
+	}
+	for _, p := range [][2]string{
+		{"begin", "end"},
+		{"buyer", "seller"},
+		{"parent", "child"},
+		{"min", "max"},
+		{"debit", "credit"},
+	} {
+		d.AddAntonyms(p[0], p[1])
+	}
+	for abbr, full := range map[string]string{
+		"dept":  "department",
+		"emp":   "employee",
+		"empl":  "employee",
+		"mgr":   "manager",
+		"num":   "number",
+		"no":    "number",
+		"nbr":   "number",
+		"addr":  "address",
+		"sal":   "salary",
+		"qty":   "quantity",
+		"amt":   "amount",
+		"dob":   "birthdate",
+		"ssn":   "social_security_number",
+		"stud":  "student",
+		"grad":  "graduate",
+		"prof":  "professor",
+		"univ":  "university",
+		"loc":   "location",
+		"tel":   "telephone",
+		"descr": "description",
+		"desc":  "description",
+	} {
+		d.AddAbbreviation(abbr, full)
+	}
+	return d
+}
+
+// Normalize lower-cases the identifier, expands a known abbreviation, and
+// strips trailing digits and a trailing '#'.
+func (d *Dictionary) Normalize(word string) string {
+	w := strings.ToLower(strings.TrimSpace(word))
+	w = strings.TrimRight(w, "#0123456789")
+	if full, ok := d.abbrev[w]; ok {
+		return full
+	}
+	return w
+}
+
+// AddSynonyms places all the words in one synonym group, merging any groups
+// they already belong to.
+func (d *Dictionary) AddSynonyms(words ...string) {
+	if len(words) == 0 {
+		return
+	}
+	var ids []int
+	var fresh []string
+	for _, w := range words {
+		n := d.Normalize(w)
+		if id, ok := d.group[n]; ok {
+			ids = append(ids, id)
+		} else {
+			fresh = append(fresh, n)
+		}
+	}
+	var id int
+	if len(ids) > 0 {
+		sort.Ints(ids)
+		id = ids[0]
+		for _, other := range ids[1:] {
+			if other == id {
+				continue
+			}
+			for _, m := range d.members[other] {
+				d.group[m] = id
+			}
+			d.members[id] = append(d.members[id], d.members[other]...)
+			delete(d.members, other)
+		}
+	} else {
+		id = d.nextID
+		d.nextID++
+	}
+	for _, n := range fresh {
+		if _, ok := d.group[n]; ok {
+			continue
+		}
+		d.group[n] = id
+		d.members[id] = append(d.members[id], n)
+	}
+}
+
+// AddAntonyms records that a and b are opposites; Synonym(a, b) is then
+// guaranteed false and Antonym(a, b) true.
+func (d *Dictionary) AddAntonyms(a, b string) {
+	na, nb := d.Normalize(a), d.Normalize(b)
+	if na > nb {
+		na, nb = nb, na
+	}
+	d.antonyms[[2]string{na, nb}] = true
+}
+
+// AddAbbreviation registers that abbr expands to full.
+func (d *Dictionary) AddAbbreviation(abbr, full string) {
+	d.abbrev[strings.ToLower(abbr)] = strings.ToLower(full)
+}
+
+// Synonym reports whether the two words are equal after normalization or
+// share a synonym group, and are not antonyms.
+func (d *Dictionary) Synonym(a, b string) bool {
+	na, nb := d.Normalize(a), d.Normalize(b)
+	if d.antonymNorm(na, nb) {
+		return false
+	}
+	if na == nb {
+		return true
+	}
+	ida, oka := d.group[na]
+	idb, okb := d.group[nb]
+	return oka && okb && ida == idb
+}
+
+// Antonym reports whether the two words are recorded opposites.
+func (d *Dictionary) Antonym(a, b string) bool {
+	return d.antonymNorm(d.Normalize(a), d.Normalize(b))
+}
+
+func (d *Dictionary) antonymNorm(na, nb string) bool {
+	if na > nb {
+		na, nb = nb, na
+	}
+	return d.antonyms[[2]string{na, nb}]
+}
+
+// Synonyms returns the normalized synonym group of the word (including the
+// word itself), sorted. A word with no group returns just itself.
+func (d *Dictionary) Synonyms(word string) []string {
+	n := d.Normalize(word)
+	id, ok := d.group[n]
+	if !ok {
+		return []string{n}
+	}
+	out := append([]string(nil), d.members[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// SplitWords breaks a typical schema identifier ("Support_type",
+// "marriageDate", "emp-no") into its normalized component words.
+func (d *Dictionary) SplitWords(ident string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, d.Normalize(cur.String()))
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range ident {
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '.':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				flush()
+			}
+			cur.WriteRune(r)
+			prevLower = false
+		default:
+			cur.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	flush()
+	var out []string
+	for _, w := range words {
+		if w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}

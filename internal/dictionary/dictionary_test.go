@@ -1,0 +1,191 @@
+package dictionary
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSynonymBasics(t *testing.T) {
+	d := Builtin()
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"faculty", "professor", true},
+		{"Faculty", "PROFESSOR", true},
+		{"instructor", "teacher", true},
+		{"department", "division", true},
+		{"salary", "pay", true},
+		{"salary", "address", false},
+		{"student", "faculty", false},
+		{"name", "name", true}, // identity
+		{"unknownword", "unknownword", true},
+		{"unknownword", "otherword", false},
+	}
+	for _, c := range cases {
+		if got := d.Synonym(c.a, c.b); got != c.want {
+			t.Errorf("Synonym(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAntonyms(t *testing.T) {
+	d := Builtin()
+	if !d.Antonym("begin", "end") || !d.Antonym("end", "begin") {
+		t.Error("begin/end should be antonyms both ways")
+	}
+	if d.Antonym("begin", "start") {
+		t.Error("begin/start are synonyms")
+	}
+	// An antonym pair is never a synonym pair even if grouped.
+	if d.Synonym("begin", "end") {
+		t.Error("antonyms can never be synonyms")
+	}
+}
+
+func TestAbbreviations(t *testing.T) {
+	d := Builtin()
+	if d.Normalize("dept") != "department" {
+		t.Errorf("dept -> %q", d.Normalize("dept"))
+	}
+	if !d.Synonym("dept", "division") {
+		t.Error("abbreviation should join the synonym group")
+	}
+	if !d.Synonym("Emp", "worker") {
+		t.Error("emp -> employee -> worker")
+	}
+}
+
+func TestNormalizeStripsDigitsAndHash(t *testing.T) {
+	d := New()
+	if d.Normalize("Phone2") != "phone" {
+		t.Errorf("got %q", d.Normalize("Phone2"))
+	}
+	if d.Normalize("emp#") != "emp" {
+		t.Errorf("got %q", d.Normalize("emp#"))
+	}
+	if d.Normalize("  Name  ") != "name" {
+		t.Errorf("got %q", d.Normalize("  Name  "))
+	}
+}
+
+func TestAddSynonymsMergesGroups(t *testing.T) {
+	d := New()
+	d.AddSynonyms("a", "b")
+	d.AddSynonyms("c", "d")
+	if d.Synonym("a", "c") {
+		t.Error("groups should be separate")
+	}
+	d.AddSynonyms("b", "c")
+	if !d.Synonym("a", "d") {
+		t.Error("groups should have merged transitively")
+	}
+}
+
+func TestAddSynonymsEmptyAndSingle(t *testing.T) {
+	d := New()
+	d.AddSynonyms() // no-op
+	d.AddSynonyms("solo")
+	if got := d.Synonyms("solo"); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("Synonyms(solo) = %v", got)
+	}
+}
+
+func TestSynonymsSorted(t *testing.T) {
+	d := New()
+	d.AddSynonyms("zebra", "apple", "mango")
+	got := d.Synonyms("mango")
+	want := []string{"apple", "mango", "zebra"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Synonyms = %v, want %v", got, want)
+	}
+}
+
+func TestSplitWords(t *testing.T) {
+	d := Builtin()
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Support_type", []string{"support", "type"}},
+		{"marriageDate", []string{"marriage", "date"}},
+		{"emp-no", []string{"employee", "number"}},
+		{"GPA", []string{"gpa"}},
+		{"Dept_Name", []string{"department", "name"}},
+		{"a.b c", []string{"a", "b", "c"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := d.SplitWords(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitWords(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSynonymGroupsAreDisjointFromAntonymVeto(t *testing.T) {
+	d := New()
+	d.AddSynonyms("x", "y")
+	d.AddAntonyms("x", "y")
+	if d.Synonym("x", "y") {
+		t.Error("antonym declaration must veto the synonym group")
+	}
+}
+
+func TestParse(t *testing.T) {
+	src := `
+# custom vocabulary
+syn  flight, trip, journey
+ant  arrival, departure
+abbr acft = aircraft
+syn  aircraft, plane
+`
+	d, err := Parse(New(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Synonym("flight", "journey") {
+		t.Error("syn group not loaded")
+	}
+	if !d.Antonym("arrival", "departure") {
+		t.Error("ant pair not loaded")
+	}
+	if !d.Synonym("acft", "plane") {
+		t.Error("abbr + syn composition failed")
+	}
+}
+
+func TestParseMergesIntoBase(t *testing.T) {
+	d, err := Parse(Builtin(), "syn salary, remuneration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Synonym("remuneration", "pay") {
+		t.Error("parsed group did not merge with builtin group")
+	}
+}
+
+func TestParseNilBase(t *testing.T) {
+	d, err := Parse(nil, "syn a, b")
+	if err != nil || !d.Synonym("a", "b") {
+		t.Errorf("nil base: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, substr string }{
+		{"syn onlyone", "at least two"},
+		{"ant a, b, c", "exactly two"},
+		{"abbr x y", "usage: abbr"},
+		{"abbr = full", "usage: abbr"},
+		{"bogus a, b", "unknown directive"},
+		{"syn", "expected 'syn'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(New(), c.src)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("Parse(%q) = %v, want %q", c.src, err, c.substr)
+		}
+	}
+}

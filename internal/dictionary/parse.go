@@ -1,0 +1,77 @@
+package dictionary
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a dictionary definition, extending the tool beyond the
+// builtin vocabulary (the paper's future-work section expects installations
+// to bring their own synonym dictionaries). The line-oriented format:
+//
+//	# comments
+//	syn  name, label, title
+//	ant  begin, end
+//	abbr dept = department
+//
+// "syn" lines declare one synonym group; "ant" lines one antonym pair;
+// "abbr" lines one abbreviation expansion. Parsing into an existing
+// dictionary merges; use New() or Builtin() as the base.
+func Parse(base *Dictionary, src string) (*Dictionary, error) {
+	d := base
+	if d == nil {
+		d = New()
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("dictionary: line %d: %s", i+1, fmt.Sprintf(format, args...))
+		}
+		directive, rest, found := strings.Cut(line, " ")
+		if !found {
+			return nil, errf("expected 'syn', 'ant' or 'abbr' followed by words")
+		}
+		switch directive {
+		case "syn":
+			words := splitList(rest)
+			if len(words) < 2 {
+				return nil, errf("a synonym group needs at least two words")
+			}
+			d.AddSynonyms(words...)
+		case "ant":
+			words := splitList(rest)
+			if len(words) != 2 {
+				return nil, errf("an antonym line needs exactly two words")
+			}
+			d.AddAntonyms(words[0], words[1])
+		case "abbr":
+			abbr, full, ok := strings.Cut(rest, "=")
+			abbr, full = strings.TrimSpace(abbr), strings.TrimSpace(full)
+			if !ok || abbr == "" || full == "" {
+				return nil, errf("usage: abbr <short> = <full>")
+			}
+			d.AddAbbreviation(abbr, full)
+		default:
+			return nil, errf("unknown directive %q", directive)
+		}
+	}
+	return d, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		w = strings.TrimSpace(w)
+		if w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package ecr
+
+// Clone returns a deep copy of the attribute.
+func (a Attribute) Clone() Attribute {
+	c := a
+	if len(a.Components) > 0 {
+		c.Components = append([]AttrRef(nil), a.Components...)
+	}
+	return c
+}
+
+func cloneAttributes(attrs []Attribute) []Attribute {
+	if attrs == nil {
+		return nil
+	}
+	out := make([]Attribute, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the object class.
+func (o *ObjectClass) Clone() *ObjectClass {
+	if o == nil {
+		return nil
+	}
+	c := &ObjectClass{
+		Name:       o.Name,
+		Kind:       o.Kind,
+		Attributes: cloneAttributes(o.Attributes),
+	}
+	if len(o.Parents) > 0 {
+		c.Parents = append([]string(nil), o.Parents...)
+	}
+	if len(o.Sources) > 0 {
+		c.Sources = append([]ObjectRef(nil), o.Sources...)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the relationship set.
+func (r *RelationshipSet) Clone() *RelationshipSet {
+	if r == nil {
+		return nil
+	}
+	c := &RelationshipSet{
+		Name:       r.Name,
+		Attributes: cloneAttributes(r.Attributes),
+	}
+	if len(r.Participants) > 0 {
+		c.Participants = append([]Participation(nil), r.Participants...)
+	}
+	if len(r.Parents) > 0 {
+		c.Parents = append([]string(nil), r.Parents...)
+	}
+	if len(r.Sources) > 0 {
+		c.Sources = append([]ObjectRef(nil), r.Sources...)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the schema. Mutating the copy never affects
+// the original; the integration engine relies on this to treat component
+// schemas as immutable inputs.
+func (s *Schema) Clone() *Schema {
+	if s == nil {
+		return nil
+	}
+	c := &Schema{Name: s.Name}
+	for _, o := range s.Objects {
+		c.Objects = append(c.Objects, o.Clone())
+	}
+	for _, r := range s.Relationships {
+		c.Relationships = append(c.Relationships, r.Clone())
+	}
+	return c
+}

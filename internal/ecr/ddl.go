@@ -1,0 +1,481 @@
+package ecr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The ECR data description language (DDL) is the textual form of a schema.
+// The original tool collected schemas through forms; this implementation
+// additionally supports a plain-text language so that schemas can be kept in
+// files, diffed and fed to the batch tools. The grammar, by example:
+//
+//	schema sc1
+//
+//	entity Student {
+//	    attr Name: char key
+//	    attr GPA: real
+//	}
+//
+//	category Grad_student of Student {
+//	    attr Support_type: char
+//	}
+//
+//	relationship Majors (Student (0,1), Department (1,n)) {
+//	    attr Since: date
+//	}
+//
+// Comments run from '#' to end of line. A file may contain several schemas;
+// each "schema" keyword starts a new one. Categories may be defined over
+// several classes: "category C of A, B". A participation may carry a role:
+// "Student as advisee (0,n)".
+
+// ParseError reports a DDL syntax error with its position.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error renders the error as line:col: message.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ecr: ddl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// ParseSchemas parses every schema in the DDL text. Parsed schemas are
+// validated; the first validation failure aborts the parse.
+func ParseSchemas(src string) ([]*Schema, error) {
+	p := &ddlParser{src: src, line: 1, col: 1}
+	var schemas []*Schema
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		s, err := p.parseSchema()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, s)
+	}
+	if len(schemas) == 0 {
+		return nil, &ParseError{Line: p.line, Col: p.col, Msg: "no schemas in input"}
+	}
+	return schemas, nil
+}
+
+// ParseSchema parses exactly one schema from the DDL text.
+func ParseSchema(src string) (*Schema, error) {
+	schemas, err := ParseSchemas(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(schemas) != 1 {
+		return nil, fmt.Errorf("ecr: ddl: expected exactly one schema, found %d", len(schemas))
+	}
+	return schemas[0], nil
+}
+
+type ddlParser struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (p *ddlParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *ddlParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *ddlParser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+func (p *ddlParser) skipSpace() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.advance()
+		case c == '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *ddlParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *ddlParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && isIdentByte(p.peek()) {
+		p.advance()
+	}
+	if start == p.pos {
+		return "", p.errf("expected identifier, found %q", p.restHint())
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *ddlParser) restHint() string {
+	rest := p.src[p.pos:]
+	if len(rest) > 12 {
+		rest = rest[:12] + "..."
+	}
+	if rest == "" {
+		rest = "end of input"
+	}
+	return rest
+}
+
+func (p *ddlParser) expect(c byte) error {
+	p.skipSpace()
+	if p.eof() || p.peek() != c {
+		return p.errf("expected %q, found %q", string(c), p.restHint())
+	}
+	p.advance()
+	return nil
+}
+
+// keyword consumes the given keyword if it is next, reporting whether it did.
+func (p *ddlParser) keyword(kw string) bool {
+	p.skipSpace()
+	end := p.pos + len(kw)
+	if end > len(p.src) || p.src[p.pos:end] != kw {
+		return false
+	}
+	if end < len(p.src) && isIdentByte(p.src[end]) {
+		return false
+	}
+	for i := 0; i < len(kw); i++ {
+		p.advance()
+	}
+	return true
+}
+
+func (p *ddlParser) parseSchema() (*Schema, error) {
+	if !p.keyword("schema") {
+		return nil, p.errf("expected 'schema', found %q", p.restHint())
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := NewSchema(name)
+	for {
+		p.skipSpace()
+		switch {
+		case p.keyword("entity"):
+			o, err := p.parseObject(KindEntity)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.AddObject(o); err != nil {
+				return nil, p.errf("%v", err)
+			}
+		case p.keyword("category"):
+			o, err := p.parseObject(KindCategory)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.AddObject(o); err != nil {
+				return nil, p.errf("%v", err)
+			}
+		case p.keyword("relationship"):
+			r, err := p.parseRelationship()
+			if err != nil {
+				return nil, err
+			}
+			if err := s.AddRelationship(r); err != nil {
+				return nil, p.errf("%v", err)
+			}
+		default:
+			return s, nil
+		}
+	}
+}
+
+func (p *ddlParser) parseObject(kind Kind) (*ObjectClass, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	o := &ObjectClass{Name: name, Kind: kind}
+	if kind == KindCategory {
+		if !p.keyword("of") {
+			return nil, p.errf("category %s: expected 'of <parents>'", name)
+		}
+		for {
+			parent, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			o.Parents = append(o.Parents, parent)
+			p.skipSpace()
+			if p.peek() != ',' {
+				break
+			}
+			p.advance()
+		}
+	}
+	attrs, err := p.parseAttrBlock()
+	if err != nil {
+		return nil, err
+	}
+	o.Attributes = attrs
+	return o, nil
+}
+
+func (p *ddlParser) parseRelationship() (*RelationshipSet, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	r := &RelationshipSet{Name: name}
+	if p.keyword("of") {
+		for {
+			parent, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			r.Parents = append(r.Parents, parent)
+			p.skipSpace()
+			if p.peek() != ',' {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	for {
+		part, err := p.parseParticipation()
+		if err != nil {
+			return nil, err
+		}
+		r.Participants = append(r.Participants, part)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() == '{' {
+		attrs, err := p.parseAttrBlock()
+		if err != nil {
+			return nil, err
+		}
+		r.Attributes = attrs
+	}
+	return r, nil
+}
+
+func (p *ddlParser) parseParticipation() (Participation, error) {
+	obj, err := p.ident()
+	if err != nil {
+		return Participation{}, err
+	}
+	part := Participation{Object: obj, Card: Cardinality{Min: 0, Max: N}}
+	if p.keyword("as") {
+		role, err := p.ident()
+		if err != nil {
+			return Participation{}, err
+		}
+		part.Role = role
+	}
+	p.skipSpace()
+	if p.peek() == '(' {
+		card, err := p.parseCardinality()
+		if err != nil {
+			return Participation{}, err
+		}
+		part.Card = card
+	}
+	return part, nil
+}
+
+func (p *ddlParser) parseCardinality() (Cardinality, error) {
+	if err := p.expect('('); err != nil {
+		return Cardinality{}, err
+	}
+	minVal, err := p.parseBound(false)
+	if err != nil {
+		return Cardinality{}, err
+	}
+	if err := p.expect(','); err != nil {
+		return Cardinality{}, err
+	}
+	maxVal, err := p.parseBound(true)
+	if err != nil {
+		return Cardinality{}, err
+	}
+	if err := p.expect(')'); err != nil {
+		return Cardinality{}, err
+	}
+	c := Cardinality{Min: minVal, Max: maxVal}
+	if !c.Valid() {
+		return Cardinality{}, p.errf("invalid cardinality %s (need 0 <= i1 <= i2, i2 > 0)", c)
+	}
+	return c, nil
+}
+
+func (p *ddlParser) parseBound(allowN bool) (int, error) {
+	p.skipSpace()
+	if allowN && (p.peek() == 'n' || p.peek() == 'N') {
+		p.advance()
+		return N, nil
+	}
+	start := p.pos
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		p.advance()
+	}
+	if start == p.pos {
+		return 0, p.errf("expected cardinality bound, found %q", p.restHint())
+	}
+	v, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad cardinality bound: %v", err)
+	}
+	return v, nil
+}
+
+func (p *ddlParser) parseAttrBlock() ([]Attribute, error) {
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	var attrs []Attribute
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.advance()
+			return attrs, nil
+		}
+		if !p.keyword("attr") {
+			return nil, p.errf("expected 'attr' or '}', found %q", p.restHint())
+		}
+		a, err := p.parseAttr()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+	}
+}
+
+func (p *ddlParser) parseAttr() (Attribute, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Attribute{}, err
+	}
+	if err := p.expect(':'); err != nil {
+		return Attribute{}, err
+	}
+	domain, err := p.ident()
+	if err != nil {
+		return Attribute{}, err
+	}
+	a := Attribute{Name: name, Domain: domain}
+	if p.keyword("key") {
+		a.Key = true
+	}
+	return a, nil
+}
+
+// FormatSchema renders the schema in the DDL. ParseSchema(FormatSchema(s))
+// reproduces s for any valid component schema (provenance fields, which the
+// DDL does not carry, excepted).
+func FormatSchema(s *Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s\n", s.Name)
+	for _, o := range s.Objects {
+		b.WriteByte('\n')
+		switch o.Kind {
+		case KindCategory:
+			fmt.Fprintf(&b, "category %s of %s {\n", o.Name, strings.Join(o.Parents, ", "))
+		default:
+			fmt.Fprintf(&b, "entity %s {\n", o.Name)
+		}
+		formatAttrs(&b, o.Attributes)
+		b.WriteString("}\n")
+	}
+	for _, r := range s.Relationships {
+		b.WriteByte('\n')
+		var parts []string
+		for _, pt := range r.Participants {
+			seg := pt.Object
+			if pt.Role != "" {
+				seg += " as " + pt.Role
+			}
+			seg += " " + pt.Card.String()
+			parts = append(parts, seg)
+		}
+		ofClause := ""
+		if len(r.Parents) > 0 {
+			ofClause = " of " + strings.Join(r.Parents, ", ")
+		}
+		fmt.Fprintf(&b, "relationship %s%s (%s)", r.Name, ofClause, strings.Join(parts, ", "))
+		if len(r.Attributes) == 0 {
+			b.WriteString(" {}\n")
+			continue
+		}
+		b.WriteString(" {\n")
+		formatAttrs(&b, r.Attributes)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatAttrs(b *strings.Builder, attrs []Attribute) {
+	for _, a := range attrs {
+		fmt.Fprintf(b, "    attr %s: %s", a.Name, a.Domain)
+		if a.Key {
+			b.WriteString(" key")
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// FormatSchemas renders several schemas into one DDL document.
+func FormatSchemas(schemas []*Schema) string {
+	var b strings.Builder
+	for i, s := range schemas {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(FormatSchema(s))
+	}
+	return b.String()
+}

@@ -1,0 +1,333 @@
+package ecr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleDDL = `
+# The running example of the paper, schema sc1.
+schema sc1
+
+entity Student {
+    attr Name: char key
+    attr GPA: real
+}
+
+entity Department {
+    attr Dname: char key
+}
+
+relationship Majors (Student (0,1), Department (1,n)) {
+    attr Since: date
+}
+`
+
+func TestParseSchemaBasic(t *testing.T) {
+	s, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	if s.Name != "sc1" {
+		t.Errorf("name = %q", s.Name)
+	}
+	st := s.Object("Student")
+	if st == nil || len(st.Attributes) != 2 {
+		t.Fatalf("Student = %+v", st)
+	}
+	if !st.Attributes[0].Key || st.Attributes[0].Domain != "char" {
+		t.Errorf("Name attr = %+v", st.Attributes[0])
+	}
+	if st.Attributes[1].Key {
+		t.Errorf("GPA should not be key")
+	}
+	m := s.Relationship("Majors")
+	if m == nil || len(m.Participants) != 2 {
+		t.Fatalf("Majors = %+v", m)
+	}
+	if m.Participants[0].Card != (Cardinality{0, 1}) {
+		t.Errorf("Student card = %v", m.Participants[0].Card)
+	}
+	if m.Participants[1].Card != (Cardinality{1, N}) {
+		t.Errorf("Department card = %v", m.Participants[1].Card)
+	}
+}
+
+func TestParseCategory(t *testing.T) {
+	s, err := ParseSchema(`
+schema x
+entity A { attr K: int key }
+entity B { attr K: int key }
+category C of A, B { attr Extra: char }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Object("C")
+	if c == nil || c.Kind != KindCategory {
+		t.Fatalf("C = %+v", c)
+	}
+	if !reflect.DeepEqual(c.Parents, []string{"A", "B"}) {
+		t.Errorf("parents = %v", c.Parents)
+	}
+}
+
+func TestParseRelationshipDefaults(t *testing.T) {
+	s, err := ParseSchema(`
+schema x
+entity A { attr K: int key }
+entity B { attr K: int key }
+relationship R (A, B) {}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Relationship("R")
+	for _, p := range r.Participants {
+		if p.Card != (Cardinality{0, N}) {
+			t.Errorf("default card = %v, want (0,n)", p.Card)
+		}
+	}
+}
+
+func TestParseRelationshipRoles(t *testing.T) {
+	s, err := ParseSchema(`
+schema x
+entity P { attr K: int key }
+relationship Manages (P as boss (0,n), P as minion (0,1)) {}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Relationship("Manages")
+	if r.Participants[0].Role != "boss" || r.Participants[1].Role != "minion" {
+		t.Errorf("roles = %+v", r.Participants)
+	}
+}
+
+func TestParseRelationshipParents(t *testing.T) {
+	s, err := ParseSchema(`
+schema x
+entity A { attr K: int key }
+entity B { attr K: int key }
+relationship R (A, B) {}
+relationship S of R (A (0,1), B) {}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Relationship("S").Parents; len(got) != 1 || got[0] != "R" {
+		t.Errorf("S parents = %v", got)
+	}
+}
+
+func TestParseMultipleSchemas(t *testing.T) {
+	schemas, err := ParseSchemas(`
+schema a
+entity X { attr K: int key }
+schema b
+entity Y { attr K: int key }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 2 || schemas[0].Name != "a" || schemas[1].Name != "b" {
+		t.Errorf("schemas = %v", schemas)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, substr string
+	}{
+		{"", "no schemas"},
+		{"entity X {}", "expected 'schema'"},
+		{"schema", "expected identifier"},
+		{"schema s entity X attr", "expected \"{\""},
+		{"schema s entity X { attr A int }", `expected ":"`},
+		{"schema s entity X { attr A: int", "expected 'attr' or '}'"},
+		{"schema s category C { }", "expected 'of"},
+		{"schema s entity A { attr K: int key } relationship R (A (2,1), A as b) {}", "invalid cardinality"},
+		{"schema s entity A { attr K: int key } relationship R (A (x,1), A as b) {}", "expected cardinality bound"},
+		{"schema s entity A {} entity A {}", "duplicate"},
+	}
+	for _, c := range cases {
+		_, err := ParseSchema(c.src)
+		if err == nil {
+			t.Errorf("ParseSchema(%q) succeeded, want error containing %q", c.src, c.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("ParseSchema(%q) error = %v, want substring %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := ParseSchema("schema s\nentity X {\n  attr A int\n}")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %T: %v", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseValidatesResult(t *testing.T) {
+	_, err := ParseSchema(`
+schema s
+category C of Missing { attr A: int }
+`)
+	if err == nil || !strings.Contains(err.Error(), "unknown parent") {
+		t.Errorf("want validation failure, got %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatSchema(orig)
+	back, err := ParseSchema(text)
+	if err != nil {
+		t.Fatalf("re-parse of:\n%s\nfailed: %v", text, err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip changed schema:\norig: %+v\nback: %+v", orig, back)
+	}
+}
+
+func TestFormatSchemasRoundTrip(t *testing.T) {
+	src := `
+schema a
+entity X { attr K: int key }
+category Y of X { attr E: char }
+relationship R (X (0,1), Y) { attr W: int }
+
+schema b
+entity Z { attr K: int key }
+`
+	schemas, err := ParseSchemas(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchemas(FormatSchemas(schemas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(schemas, back) {
+		t.Error("FormatSchemas round trip changed schemas")
+	}
+}
+
+// TestDDLRoundTripProperty generates random valid schemas and checks
+// Parse(Format(s)) == s.
+func TestDDLRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSchema(seed)
+		text := FormatSchema(s)
+		back, err := ParseSchema(text)
+		if err != nil {
+			t.Logf("seed %d: parse failed: %v\n%s", seed, err, text)
+			return false
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Logf("seed %d: round trip mismatch", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSchema builds a small deterministic valid schema from a seed,
+// without importing math/rand (an xorshift suffices).
+func randomSchema(seed int64) *Schema {
+	x := uint64(seed)*2654435761 + 1
+	next := func(n int) int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(n))
+	}
+	domains := []string{"char", "int", "real", "date"}
+	s := NewSchema("rand")
+	nEnt := 1 + next(4)
+	for i := 0; i < nEnt; i++ {
+		o := &ObjectClass{Name: name("E", i), Kind: KindEntity}
+		nAttr := 1 + next(4)
+		for j := 0; j < nAttr; j++ {
+			o.Attributes = append(o.Attributes, Attribute{
+				Name:   name("a", j),
+				Domain: domains[next(len(domains))],
+				Key:    j == 0,
+			})
+		}
+		s.Objects = append(s.Objects, o)
+	}
+	nCat := next(3)
+	for i := 0; i < nCat; i++ {
+		parent := s.Objects[next(len(s.Objects))].Name
+		o := &ObjectClass{Name: name("C", i), Kind: KindCategory, Parents: []string{parent}}
+		if next(2) == 0 {
+			o.Attributes = []Attribute{{Name: "extra", Domain: "char"}}
+		}
+		s.Objects = append(s.Objects, o)
+	}
+	nRel := next(3)
+	for i := 0; i < nRel; i++ {
+		r := &RelationshipSet{Name: name("R", i)}
+		p1 := s.Objects[next(len(s.Objects))].Name
+		p2 := s.Objects[next(len(s.Objects))].Name
+		role1, role2 := "", ""
+		if p1 == p2 {
+			role1, role2 = "r1", "r2"
+		}
+		r.Participants = []Participation{
+			{Object: p1, Role: role1, Card: Cardinality{next(2), N}},
+			{Object: p2, Role: role2, Card: Cardinality{0, 1 + next(3)}},
+		}
+		if next(2) == 0 {
+			r.Attributes = []Attribute{{Name: "w", Domain: "int"}}
+		}
+		s.Relationships = append(s.Relationships, r)
+	}
+	return s
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('A'+i))
+}
+
+// TestParseNeverPanics: arbitrary input must produce an error or a schema,
+// never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = ParseSchemas(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Targeted fragments that stress the tokenizer.
+	for _, src := range []string{
+		"schema", "schema s entity", "schema s entity X {",
+		"schema s entity X { attr", "schema s entity X { attr a:",
+		"schema s relationship R (", "schema s relationship R (A (",
+		"schema s relationship R (A (1,", "schema s category C of",
+		"schema s\x00entity", "schema s # comment only",
+	} {
+		_, _ = ParseSchemas(src)
+	}
+}

@@ -1,0 +1,93 @@
+package ecr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagram renders a plain-text picture of the schema in the style of the
+// paper's figures: one line per structure, IS-A edges drawn as an indented
+// tree, relationship sets listing their participants with cardinalities, and
+// key attributes marked with '*'. Derived ("D_") and equivalent ("E_")
+// constructs of integrated schemas render exactly like ordinary ones, which
+// matches Figure 5 of the paper.
+func Diagram(s *Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCHEMA %s\n", s.Name)
+
+	// Roots of the IS-A forest: object classes with no parents.
+	var roots []string
+	for _, o := range s.Objects {
+		if len(o.Parents) == 0 {
+			roots = append(roots, o.Name)
+		}
+	}
+	sort.Strings(roots)
+	drawn := map[string]bool{}
+	for _, root := range roots {
+		drawObjectTree(&b, s, root, 0, drawn)
+	}
+	// Safety net for cyclic graphs (invalid, but Diagram should not
+	// hang): draw anything unreachable flat.
+	for _, o := range s.Objects {
+		if !drawn[o.Name] {
+			drawObjectTree(&b, s, o.Name, 0, drawn)
+		}
+	}
+
+	for _, r := range s.Relationships {
+		var parts []string
+		for _, p := range r.Participants {
+			parts = append(parts, p.String())
+		}
+		fmt.Fprintf(&b, "  REL %s [%s]%s\n", r.Name, strings.Join(parts, " -- "), attrList(r.Attributes))
+	}
+	return b.String()
+}
+
+func drawObjectTree(b *strings.Builder, s *Schema, name string, depth int, drawn map[string]bool) {
+	if drawn[name] {
+		return
+	}
+	drawn[name] = true
+	o := s.Object(name)
+	if o == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth+1)
+	label := "ENT"
+	if o.Kind == KindCategory {
+		label = "CAT"
+	}
+	extra := ""
+	if len(o.Parents) > 1 {
+		extra = fmt.Sprintf(" (of %s)", strings.Join(o.Parents, ", "))
+	}
+	fmt.Fprintf(b, "%s%s %s%s%s\n", indent, label, o.Name, attrList(o.Attributes), extra)
+	for _, child := range s.Children(name) {
+		// A child with several parents is drawn under its first
+		// parent only, with the full parent list annotated.
+		c := s.Object(child)
+		if c != nil && len(c.Parents) > 0 && c.Parents[0] != name {
+			continue
+		}
+		drawObjectTree(b, s, child, depth+1, drawn)
+	}
+}
+
+func attrList(attrs []Attribute) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var cols []string
+	for _, a := range attrs {
+		col := a.Name
+		if a.Key {
+			col += "*"
+		}
+		col += ":" + a.Domain
+		cols = append(cols, col)
+	}
+	return " (" + strings.Join(cols, ", ") + ")"
+}

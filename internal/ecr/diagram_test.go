@@ -1,0 +1,86 @@
+package ecr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagramBasic(t *testing.T) {
+	s, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagram(s)
+	for _, want := range []string{
+		"SCHEMA sc1",
+		"ENT Student (Name*:char, GPA:real)",
+		"ENT Department (Dname*:char)",
+		"REL Majors [Student (0,1) -- Department (1,n)] (Since:date)",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDiagramTree(t *testing.T) {
+	s, err := ParseSchema(`
+schema tree
+entity Person { attr Name: char key }
+category Student of Person { attr GPA: real }
+category Grad of Student { attr Thesis: char }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagram(s)
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Indentation deepens along the IS-A chain.
+	idx := func(sub string) int {
+		for _, l := range lines {
+			if strings.Contains(l, sub) {
+				return len(l) - len(strings.TrimLeft(l, " "))
+			}
+		}
+		return -1
+	}
+	if !(idx("Person") < idx("CAT Student") && idx("CAT Student") < idx("CAT Grad")) {
+		t.Errorf("indentation wrong:\n%s", d)
+	}
+}
+
+func TestDiagramMultiParent(t *testing.T) {
+	s, err := ParseSchema(`
+schema mp
+entity A { attr K: int key }
+entity B { attr K: int key }
+category C of A, B {}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagram(s)
+	if !strings.Contains(d, "(of A, B)") {
+		t.Errorf("multi-parent annotation missing:\n%s", d)
+	}
+	if strings.Count(d, "CAT C") != 1 {
+		t.Errorf("C drawn more than once:\n%s", d)
+	}
+}
+
+func TestDiagramCycleTerminates(t *testing.T) {
+	s := &Schema{
+		Name: "cyc",
+		Objects: []*ObjectClass{
+			{Name: "A", Kind: KindCategory, Parents: []string{"B"}},
+			{Name: "B", Kind: KindCategory, Parents: []string{"A"}},
+		},
+	}
+	d := Diagram(s) // must not hang
+	if !strings.Contains(d, "A") || !strings.Contains(d, "B") {
+		t.Errorf("cycle members missing:\n%s", d)
+	}
+}

@@ -1,0 +1,141 @@
+package ecr
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Diff compares two schemas structurally and returns human-readable
+// difference lines (empty when the schemas are identical up to declaration
+// order). The DDA uses it to review what changed between versions of a
+// component schema — the paper's schema-modification step is manual, and a
+// diff makes re-entry reviewable — and tests use it for readable failure
+// messages.
+func Diff(a, b *Schema) []string {
+	var out []string
+	addf := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	if a.Name != b.Name {
+		addf("schema name: %q vs %q", a.Name, b.Name)
+	}
+
+	// Object classes.
+	aObjs := map[string]*ObjectClass{}
+	for _, o := range a.Objects {
+		aObjs[o.Name] = o
+	}
+	bObjs := map[string]*ObjectClass{}
+	for _, o := range b.Objects {
+		bObjs[o.Name] = o
+	}
+	for _, name := range sortedKeys(aObjs) {
+		oa := aObjs[name]
+		ob, ok := bObjs[name]
+		if !ok {
+			addf("object class %s: only in %s", name, a.Name)
+			continue
+		}
+		if oa.Kind != ob.Kind {
+			addf("object class %s: kind %s vs %s", name, oa.Kind.Word(), ob.Kind.Word())
+		}
+		if !sameStringSet(oa.Parents, ob.Parents) {
+			addf("object class %s: parents %v vs %v", name, oa.Parents, ob.Parents)
+		}
+		out = append(out, diffAttrs("object class "+name, oa.Attributes, ob.Attributes)...)
+	}
+	for _, name := range sortedKeys(bObjs) {
+		if _, ok := aObjs[name]; !ok {
+			addf("object class %s: only in %s", name, b.Name)
+		}
+	}
+
+	// Relationship sets.
+	aRels := map[string]*RelationshipSet{}
+	for _, r := range a.Relationships {
+		aRels[r.Name] = r
+	}
+	bRels := map[string]*RelationshipSet{}
+	for _, r := range b.Relationships {
+		bRels[r.Name] = r
+	}
+	for _, name := range sortedKeys(aRels) {
+		ra := aRels[name]
+		rb, ok := bRels[name]
+		if !ok {
+			addf("relationship set %s: only in %s", name, a.Name)
+			continue
+		}
+		if !reflect.DeepEqual(ra.Participants, rb.Participants) {
+			addf("relationship set %s: participants %v vs %v", name, ra.Participants, rb.Participants)
+		}
+		if !sameStringSet(ra.Parents, rb.Parents) {
+			addf("relationship set %s: parents %v vs %v", name, ra.Parents, rb.Parents)
+		}
+		out = append(out, diffAttrs("relationship set "+name, ra.Attributes, rb.Attributes)...)
+	}
+	for _, name := range sortedKeys(bRels) {
+		if _, ok := aRels[name]; !ok {
+			addf("relationship set %s: only in %s", name, b.Name)
+		}
+	}
+	return out
+}
+
+func diffAttrs(owner string, a, b []Attribute) []string {
+	var out []string
+	am := map[string]Attribute{}
+	for _, x := range a {
+		am[x.Name] = x
+	}
+	bm := map[string]Attribute{}
+	for _, x := range b {
+		bm[x.Name] = x
+	}
+	for _, name := range sortedKeys(am) {
+		xa := am[name]
+		xb, ok := bm[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: attribute %s only in first", owner, name))
+			continue
+		}
+		if xa.Domain != xb.Domain {
+			out = append(out, fmt.Sprintf("%s: attribute %s domain %s vs %s", owner, name, xa.Domain, xb.Domain))
+		}
+		if xa.Key != xb.Key {
+			out = append(out, fmt.Sprintf("%s: attribute %s key %v vs %v", owner, name, xa.Key, xb.Key))
+		}
+	}
+	for _, name := range sortedKeys(bm) {
+		if _, ok := am[name]; !ok {
+			out = append(out, fmt.Sprintf("%s: attribute %s only in second", owner, name))
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+package ecr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(a, a.Clone()); len(d) != 0 {
+		t.Errorf("identical schemas diff: %v", d)
+	}
+}
+
+func TestDiffReportsEverything(t *testing.T) {
+	a, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	b.Name = "sc1x"
+	b.Object("Student").Attributes[1].Domain = "int" // GPA real -> int
+	b.Object("Student").Attributes[0].Key = false    // Name loses key
+	b.Object("Department").Attributes = append(b.Object("Department").Attributes,
+		Attribute{Name: "Chair", Domain: "char"})
+	b.RemoveRelationship("Majors")
+	if err := b.AddObject(&ObjectClass{Name: "Extra", Kind: KindEntity,
+		Attributes: []Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	d := Diff(a, b)
+	joined := strings.Join(d, "\n")
+	for _, want := range []string{
+		`schema name: "sc1" vs "sc1x"`,
+		"attribute GPA domain real vs int",
+		"attribute Name key true vs false",
+		"attribute Chair only in second",
+		"relationship set Majors: only in sc1",
+		"object class Extra: only in sc1x",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffKindAndParents(t *testing.T) {
+	a, err := ParseSchema(`
+schema s
+entity P { attr K: int key }
+entity X { attr K: int key }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	b.Object("X").Kind = KindCategory
+	b.Object("X").Parents = []string{"P"}
+	d := strings.Join(Diff(a, b), "\n")
+	if !strings.Contains(d, "kind entity vs category") || !strings.Contains(d, "parents [] vs [P]") {
+		t.Errorf("diff = %s", d)
+	}
+}
+
+func TestDiffParticipants(t *testing.T) {
+	a, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	b.Relationship("Majors").Participants[0].Card = Cardinality{Min: 1, Max: 1}
+	d := strings.Join(Diff(a, b), "\n")
+	if !strings.Contains(d, "relationship set Majors: participants") {
+		t.Errorf("diff = %s", d)
+	}
+}

@@ -1,0 +1,100 @@
+package ecr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the schema as a Graphviz document, the "graphical interface
+// for displaying and browsing schemas" the paper's future-work section asks
+// for. Entity sets render as boxes, categories as boxes with a dashed
+// border, relationship sets as diamonds; IS-A edges draw with empty-arrow
+// heads toward the parent, participations as plain edges labelled with the
+// cardinality constraint. Attributes are listed inside each node (keys
+// marked with '*', derived attributes with their 'D_' names as produced by
+// integration).
+func DOT(s *Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(s.Name))
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontname=\"Helvetica\", fontsize=10];\n")
+
+	for _, o := range s.Objects {
+		style := "solid"
+		if o.Kind == KindCategory {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %s [shape=box, style=%s, label=%q];\n",
+			dotID(o.Name), style, nodeLabel(o.Name, o.Attributes))
+	}
+	for _, r := range s.Relationships {
+		fmt.Fprintf(&b, "  %s [shape=diamond, label=%q];\n",
+			dotID(r.Name), nodeLabel(r.Name, r.Attributes))
+	}
+
+	// IS-A edges (object lattice), sorted for determinism.
+	var isa []string
+	for _, o := range s.Objects {
+		for _, p := range o.Parents {
+			isa = append(isa, fmt.Sprintf("  %s -> %s [arrowhead=empty];\n", dotID(o.Name), dotID(p)))
+		}
+	}
+	for _, r := range s.Relationships {
+		for _, p := range r.Parents {
+			isa = append(isa, fmt.Sprintf("  %s -> %s [arrowhead=empty, style=dashed];\n", dotID(r.Name), dotID(p)))
+		}
+	}
+	sort.Strings(isa)
+	for _, e := range isa {
+		b.WriteString(e)
+	}
+
+	// Participation edges.
+	for _, r := range s.Relationships {
+		for _, p := range r.Participants {
+			label := p.Card.String()
+			if p.Role != "" {
+				label = p.Role + " " + label
+			}
+			fmt.Fprintf(&b, "  %s -> %s [dir=none, label=%q];\n",
+				dotID(r.Name), dotID(p.Object), label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeLabel(name string, attrs []Attribute) string {
+	if len(attrs) == 0 {
+		return name
+	}
+	var lines []string
+	lines = append(lines, name)
+	for _, a := range attrs {
+		l := a.Name
+		if a.Key {
+			l += "*"
+		}
+		l += ": " + a.Domain
+		lines = append(lines, l)
+	}
+	return strings.Join(lines, "\\n")
+}
+
+// dotID renders a safe Graphviz identifier.
+func dotID(name string) string {
+	safe := true
+	for i, r := range name {
+		isAlpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		isDigit := r >= '0' && r <= '9'
+		if !(isAlpha || (i > 0 && isDigit)) {
+			safe = false
+			break
+		}
+	}
+	if safe && name != "" {
+		return name
+	}
+	return fmt.Sprintf("%q", name)
+}

@@ -1,0 +1,76 @@
+package ecr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTBasic(t *testing.T) {
+	s, err := ParseSchema(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DOT(s)
+	for _, want := range []string{
+		"digraph sc1 {",
+		"Student [shape=box, style=solid",
+		"Majors [shape=diamond",
+		`Name*: char`,
+		`label="(0,1)"`,
+		`label="(1,n)"`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTCategoryAndLatticeEdges(t *testing.T) {
+	s, err := ParseSchema(`
+schema x
+entity Person { attr Name: char key }
+category Student of Person { attr GPA: real }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DOT(s)
+	if !strings.Contains(out, "Student [shape=box, style=dashed") {
+		t.Errorf("category style missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Student -> Person [arrowhead=empty]") {
+		t.Errorf("IS-A edge missing:\n%s", out)
+	}
+}
+
+func TestDOTRelationshipLatticeAndRoles(t *testing.T) {
+	s, err := ParseSchema(`
+schema x
+entity P { attr K: int key }
+relationship R (P as boss (0,n), P as minion (0,1)) {}
+relationship S of R (P as boss (0,n), P as minion (0,1)) {}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DOT(s)
+	if !strings.Contains(out, "S -> R [arrowhead=empty, style=dashed]") {
+		t.Errorf("relationship lattice edge missing:\n%s", out)
+	}
+	if !strings.Contains(out, `label="boss (0,n)"`) {
+		t.Errorf("role label missing:\n%s", out)
+	}
+}
+
+func TestDOTQuotesUnsafeNames(t *testing.T) {
+	if got := dotID("has-dash"); got != `"has-dash"` {
+		t.Errorf("dotID = %s", got)
+	}
+	if got := dotID("Simple_1"); got != "Simple_1" {
+		t.Errorf("dotID = %s", got)
+	}
+	if got := dotID("1leading"); got != `"1leading"` {
+		t.Errorf("dotID = %s", got)
+	}
+}

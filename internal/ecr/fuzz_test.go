@@ -1,0 +1,26 @@
+package ecr
+
+import "testing"
+
+// FuzzParseSchemas guards the DDL parser against panics and checks that
+// anything it accepts survives a format/parse round trip.
+func FuzzParseSchemas(f *testing.F) {
+	f.Add(sampleDDL)
+	f.Add("schema s\nentity X { attr a: int key }\n")
+	f.Add("schema s\ncategory C of X {}")
+	f.Add("schema s\nrelationship R (A (0,1), B (1,n)) { attr w: int }")
+	f.Add("schema s entity X { attr")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		schemas, err := ParseSchemas(src)
+		if err != nil {
+			return
+		}
+		for _, s := range schemas {
+			text := FormatSchema(s)
+			if _, err := ParseSchema(text); err != nil {
+				t.Fatalf("accepted schema does not round-trip: %v\n%s", err, text)
+			}
+		}
+	})
+}

@@ -1,0 +1,549 @@
+// Package ecr implements the Entity-Category-Relationship (ECR) conceptual
+// data model of Elmasri, Hevner and Weeldreyer, which the schema integration
+// tool of Sheth, Larson, Cornelio and Navathe (ICDE 1988) uses as its common
+// data model.
+//
+// The ECR model extends the classical Entity-Relationship model with
+//
+//   - categories, which are subsets of entities from an object class and
+//     represent generalization hierarchies (IS-A lattices), and
+//   - structural (cardinality) constraints on the participation of object
+//     classes in relationship sets.
+//
+// A Schema holds object classes (entity sets and categories) and
+// relationship sets. Attributes carry a name, a domain and a key flag.
+// Integrated schemas produced by the integration tool reuse the same types;
+// derived and equivalent constructs carry provenance in the Sources and
+// Components fields so that the component-attribute screens of the paper can
+// be reproduced.
+package ecr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a schema structure: entity set, category or relationship
+// set. The paper's Structure Information Collection Screen uses the same
+// three-way classification (E/C/R).
+type Kind int
+
+const (
+	// KindEntity is an entity set: a class of entities with similar basic
+	// attributes. Entity sets are disjoint.
+	KindEntity Kind = iota
+	// KindCategory is a subset of entities from one or more object
+	// classes; it inherits the attributes of the classes over which it is
+	// defined.
+	KindCategory
+	// KindRelationship is a relationship set: a collection of
+	// relationships of the same type involving the same object classes.
+	KindRelationship
+)
+
+// String returns the one-letter code used by the tool's screens.
+func (k Kind) String() string {
+	switch k {
+	case KindEntity:
+		return "E"
+	case KindCategory:
+		return "C"
+	case KindRelationship:
+		return "R"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Word returns the full lower-case word for the kind.
+func (k Kind) Word() string {
+	switch k {
+	case KindEntity:
+		return "entity"
+	case KindCategory:
+		return "category"
+	case KindRelationship:
+		return "relationship"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a one-letter code (case-insensitive) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "e", "entity":
+		return KindEntity, nil
+	case "c", "category":
+		return KindCategory, nil
+	case "r", "relationship":
+		return KindRelationship, nil
+	}
+	return 0, fmt.Errorf("ecr: unknown kind %q (want e, c or r)", s)
+}
+
+// AttrRef names one attribute of one object class or relationship set in one
+// schema. It is the provenance record behind derived attributes: the paper's
+// Component Attribute Screen shows exactly these fields (original schema
+// name, original object name, original type).
+type AttrRef struct {
+	Schema string `json:"schema"`
+	Object string `json:"object"`
+	Kind   Kind   `json:"kind"`
+	Attr   string `json:"attr"`
+}
+
+// String renders the reference as schema.object.attr, the qualified form the
+// paper uses (for example "sc1.Student.Name").
+func (r AttrRef) String() string {
+	return r.Schema + "." + r.Object + "." + r.Attr
+}
+
+// ObjectRef names one object class or relationship set in one schema.
+type ObjectRef struct {
+	Schema string `json:"schema"`
+	Object string `json:"object"`
+	Kind   Kind   `json:"kind"`
+}
+
+// String renders the reference as schema.object ("sc2.Grad_student").
+func (r ObjectRef) String() string {
+	return r.Schema + "." + r.Object
+}
+
+// Attribute describes a property of an object class or relationship set.
+type Attribute struct {
+	// Name of the attribute, unique within its owner.
+	Name string `json:"name"`
+	// Domain is the value domain, e.g. "char", "int", "real", "date".
+	Domain string `json:"domain"`
+	// Key reports whether the attribute uniquely identifies members of
+	// the owning class (the "uniqueness" property of Larson et al.).
+	Key bool `json:"key,omitempty"`
+	// Components records, for an attribute of an integrated schema, the
+	// attributes of the component schemas it was derived from. Derived
+	// attributes carry the "D_" prefix in their name. Empty for
+	// attributes of ordinary component schemas.
+	Components []AttrRef `json:"components,omitempty"`
+}
+
+// Derived reports whether the attribute was generated during integration
+// from two or more component attributes.
+func (a Attribute) Derived() bool { return len(a.Components) > 0 }
+
+// Cardinality is the structural constraint (i1, i2) on the participation of
+// an object class in a relationship set: every member entity participates in
+// at least Min and at most Max relationship instances. Max == N means
+// "many" (unbounded).
+type Cardinality struct {
+	Min int `json:"min"`
+	Max int `json:"max"` // N (-1) means unbounded
+}
+
+// N is the unbounded upper cardinality, written "n" in diagrams.
+const N = -1
+
+// String renders the constraint in the paper's (i1, i2) notation.
+func (c Cardinality) String() string {
+	if c.Max == N {
+		return fmt.Sprintf("(%d,n)", c.Min)
+	}
+	return fmt.Sprintf("(%d,%d)", c.Min, c.Max)
+}
+
+// Valid reports whether the constraint satisfies the model's rule
+// 0 <= i1 <= i2 and i2 > 0 (with n counting as unbounded).
+func (c Cardinality) Valid() bool {
+	if c.Min < 0 {
+		return false
+	}
+	if c.Max == N {
+		return true
+	}
+	return c.Max > 0 && c.Min <= c.Max
+}
+
+// Contains reports whether every participation count admitted by o is also
+// admitted by c.
+func (c Cardinality) Contains(o Cardinality) bool {
+	if c.Min > o.Min {
+		return false
+	}
+	if c.Max == N {
+		return true
+	}
+	if o.Max == N {
+		return false
+	}
+	return o.Max <= c.Max
+}
+
+// Widen returns the smallest constraint admitting everything c or o admits.
+func (c Cardinality) Widen(o Cardinality) Cardinality {
+	w := Cardinality{Min: c.Min, Max: c.Max}
+	if o.Min < w.Min {
+		w.Min = o.Min
+	}
+	if w.Max != N {
+		if o.Max == N || o.Max > w.Max {
+			w.Max = o.Max
+		}
+	}
+	return w
+}
+
+// ObjectClass is an entity set or a category. The paper calls both "object
+// classes" and integrates them uniformly.
+type ObjectClass struct {
+	Name string `json:"name"`
+	// Kind is KindEntity or KindCategory.
+	Kind       Kind        `json:"kind"`
+	Attributes []Attribute `json:"attributes,omitempty"`
+	// Parents lists, for a category, the object classes over which the
+	// category is defined (whose attributes it inherits). Entity sets
+	// have no parents within a component schema; in an integrated schema
+	// an entity set may still appear as the child of a derived class, in
+	// which case the IS-A edge is recorded here as well.
+	Parents []string `json:"parents,omitempty"`
+	// Sources records, for an object class of an integrated schema, the
+	// component object classes it was merged or derived from. "E_"
+	// classes come from an equals assertion, "D_" classes are derived.
+	Sources []ObjectRef `json:"sources,omitempty"`
+}
+
+// Attribute returns the attribute with the given name and whether it exists.
+func (o *ObjectClass) Attribute(name string) (Attribute, bool) {
+	for _, a := range o.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// KeyAttributes returns the names of the key attributes in declaration
+// order.
+func (o *ObjectClass) KeyAttributes() []string {
+	var keys []string
+	for _, a := range o.Attributes {
+		if a.Key {
+			keys = append(keys, a.Name)
+		}
+	}
+	return keys
+}
+
+// Participation ties one object class into a relationship set together with
+// its structural constraint.
+type Participation struct {
+	// Object is the name of the participating object class.
+	Object string `json:"object"`
+	// Card is the cardinality constraint on the participation.
+	Card Cardinality `json:"card"`
+	// Role optionally names the role the object plays (useful when the
+	// same class participates twice).
+	Role string `json:"role,omitempty"`
+}
+
+// String renders the participation as "Object (i1,i2)" or
+// "Object/role (i1,i2)".
+func (p Participation) String() string {
+	if p.Role != "" {
+		return fmt.Sprintf("%s/%s %s", p.Object, p.Role, p.Card)
+	}
+	return fmt.Sprintf("%s %s", p.Object, p.Card)
+}
+
+// RelationshipSet associates entities from two or more object classes.
+type RelationshipSet struct {
+	Name         string          `json:"name"`
+	Attributes   []Attribute     `json:"attributes,omitempty"`
+	Participants []Participation `json:"participants"`
+	// Parents lists, in an integrated schema, the more general
+	// relationship sets this one specializes — relationship-set
+	// integration "forms lattices of relationship sets" and this field
+	// records the lattice edges. Component schemas leave it empty.
+	Parents []string `json:"parents,omitempty"`
+	// Sources records provenance for relationship sets of an integrated
+	// schema, mirroring ObjectClass.Sources.
+	Sources []ObjectRef `json:"sources,omitempty"`
+}
+
+// Attribute returns the attribute with the given name and whether it exists.
+func (r *RelationshipSet) Attribute(name string) (Attribute, bool) {
+	for _, a := range r.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// Participant returns the participation entry for the named object class.
+func (r *RelationshipSet) Participant(object string) (Participation, bool) {
+	for _, p := range r.Participants {
+		if p.Object == object {
+			return p, true
+		}
+	}
+	return Participation{}, false
+}
+
+// Schema is a component or integrated schema: a named collection of object
+// classes and relationship sets.
+type Schema struct {
+	Name          string             `json:"name"`
+	Objects       []*ObjectClass     `json:"objects,omitempty"`
+	Relationships []*RelationshipSet `json:"relationships,omitempty"`
+}
+
+// NewSchema returns an empty schema with the given name.
+func NewSchema(name string) *Schema {
+	return &Schema{Name: name}
+}
+
+// Object returns the object class with the given name, or nil.
+func (s *Schema) Object(name string) *ObjectClass {
+	for _, o := range s.Objects {
+		if o.Name == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// Relationship returns the relationship set with the given name, or nil.
+func (s *Schema) Relationship(name string) *RelationshipSet {
+	for _, r := range s.Relationships {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// AddObject appends an object class, rejecting duplicate structure names.
+func (s *Schema) AddObject(o *ObjectClass) error {
+	if o == nil {
+		return fmt.Errorf("ecr: schema %s: nil object class", s.Name)
+	}
+	if err := s.checkFreshName(o.Name); err != nil {
+		return err
+	}
+	s.Objects = append(s.Objects, o)
+	return nil
+}
+
+// AddRelationship appends a relationship set, rejecting duplicate structure
+// names.
+func (s *Schema) AddRelationship(r *RelationshipSet) error {
+	if r == nil {
+		return fmt.Errorf("ecr: schema %s: nil relationship set", s.Name)
+	}
+	if err := s.checkFreshName(r.Name); err != nil {
+		return err
+	}
+	s.Relationships = append(s.Relationships, r)
+	return nil
+}
+
+// RemoveObject deletes the named object class. It reports whether the class
+// existed. Dangling references are the caller's concern; Validate detects
+// them.
+func (s *Schema) RemoveObject(name string) bool {
+	for i, o := range s.Objects {
+		if o.Name == name {
+			s.Objects = append(s.Objects[:i], s.Objects[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveRelationship deletes the named relationship set and reports whether
+// it existed.
+func (s *Schema) RemoveRelationship(name string) bool {
+	for i, r := range s.Relationships {
+		if r.Name == name {
+			s.Relationships = append(s.Relationships[:i], s.Relationships[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Schema) checkFreshName(name string) error {
+	if name == "" {
+		return fmt.Errorf("ecr: schema %s: empty structure name", s.Name)
+	}
+	if s.Object(name) != nil || s.Relationship(name) != nil {
+		return fmt.Errorf("ecr: schema %s: duplicate structure name %q", s.Name, name)
+	}
+	return nil
+}
+
+// Entities returns the entity-set object classes in declaration order.
+func (s *Schema) Entities() []*ObjectClass {
+	var out []*ObjectClass
+	for _, o := range s.Objects {
+		if o.Kind == KindEntity {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Categories returns the category object classes in declaration order.
+func (s *Schema) Categories() []*ObjectClass {
+	var out []*ObjectClass
+	for _, o := range s.Objects {
+		if o.Kind == KindCategory {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Children returns the names of object classes that list name among their
+// parents, sorted.
+func (s *Schema) Children(name string) []string {
+	var out []string
+	for _, o := range s.Objects {
+		for _, p := range o.Parents {
+			if p == name {
+				out = append(out, o.Name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationshipChildren returns the names of relationship sets that list name
+// among their parents, sorted.
+func (s *Schema) RelationshipChildren(name string) []string {
+	var out []string
+	for _, r := range s.Relationships {
+		for _, p := range r.Parents {
+			if p == name {
+				out = append(out, r.Name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationshipsOf returns the names of relationship sets in which the named
+// object class participates, sorted.
+func (s *Schema) RelationshipsOf(object string) []string {
+	var out []string
+	for _, r := range s.Relationships {
+		if _, ok := r.Participant(object); ok {
+			out = append(out, r.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns the transitive parents of the named object class in
+// breadth-first order (nearest first), without duplicates. It tolerates
+// (and terminates on) cyclic parent graphs, which Validate reports as
+// errors.
+func (s *Schema) Ancestors(name string) []string {
+	seen := map[string]bool{name: true}
+	var out []string
+	queue := []string{name}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		o := s.Object(cur)
+		if o == nil {
+			continue
+		}
+		for _, p := range o.Parents {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+				queue = append(queue, p)
+			}
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether anc is a (transitive) ancestor of name in the
+// IS-A lattice.
+func (s *Schema) IsAncestor(anc, name string) bool {
+	for _, a := range s.Ancestors(name) {
+		if a == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// InheritedAttributes returns the attributes visible on the named object
+// class: its own attributes followed by attributes inherited from ancestors
+// (nearest ancestor first), skipping inherited attributes shadowed by an
+// equally named nearer one.
+func (s *Schema) InheritedAttributes(name string) []Attribute {
+	o := s.Object(name)
+	if o == nil {
+		return nil
+	}
+	var out []Attribute
+	seen := map[string]bool{}
+	add := func(attrs []Attribute) {
+		for _, a := range attrs {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				out = append(out, a)
+			}
+		}
+	}
+	add(o.Attributes)
+	for _, anc := range s.Ancestors(name) {
+		if ao := s.Object(anc); ao != nil {
+			add(ao.Attributes)
+		}
+	}
+	return out
+}
+
+// Stats summarises the size of a schema.
+type Stats struct {
+	Entities      int
+	Categories    int
+	Relationships int
+	Attributes    int
+}
+
+// Stats counts the structures and attributes of the schema.
+func (s *Schema) Stats() Stats {
+	var st Stats
+	for _, o := range s.Objects {
+		if o.Kind == KindCategory {
+			st.Categories++
+		} else {
+			st.Entities++
+		}
+		st.Attributes += len(o.Attributes)
+	}
+	for _, r := range s.Relationships {
+		st.Relationships++
+		st.Attributes += len(r.Attributes)
+	}
+	return st
+}
+
+// String renders a compact one-line summary of the schema.
+func (s *Schema) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("schema %s (%d entities, %d categories, %d relationships, %d attributes)",
+		s.Name, st.Entities, st.Categories, st.Relationships, st.Attributes)
+}

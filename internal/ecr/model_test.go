@@ -1,0 +1,330 @@
+package ecr
+
+import (
+	"strings"
+	"testing"
+)
+
+func studentSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema("uni")
+	mustAdd := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(s.AddObject(&ObjectClass{
+		Name: "Person",
+		Kind: KindEntity,
+		Attributes: []Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Age", Domain: "int"},
+		},
+	}))
+	mustAdd(s.AddObject(&ObjectClass{
+		Name:    "Student",
+		Kind:    KindCategory,
+		Parents: []string{"Person"},
+		Attributes: []Attribute{
+			{Name: "GPA", Domain: "real"},
+		},
+	}))
+	mustAdd(s.AddObject(&ObjectClass{
+		Name:    "Grad",
+		Kind:    KindCategory,
+		Parents: []string{"Student"},
+		Attributes: []Attribute{
+			{Name: "Thesis", Domain: "char"},
+		},
+	}))
+	mustAdd(s.AddObject(&ObjectClass{
+		Name: "Dept",
+		Kind: KindEntity,
+		Attributes: []Attribute{
+			{Name: "Dname", Domain: "char", Key: true},
+		},
+	}))
+	mustAdd(s.AddRelationship(&RelationshipSet{
+		Name: "Enrolls",
+		Participants: []Participation{
+			{Object: "Student", Card: Cardinality{Min: 1, Max: 1}},
+			{Object: "Dept", Card: Cardinality{Min: 0, Max: N}},
+		},
+		Attributes: []Attribute{{Name: "Year", Domain: "int"}},
+	}))
+	return s
+}
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		code string
+		word string
+	}{
+		{KindEntity, "E", "entity"},
+		{KindCategory, "C", "category"},
+		{KindRelationship, "R", "relationship"},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.code {
+			t.Errorf("%v.String() = %q, want %q", c.k, c.k.String(), c.code)
+		}
+		if c.k.Word() != c.word {
+			t.Errorf("%v.Word() = %q, want %q", c.k, c.k.Word(), c.word)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, in := range []string{"e", "E", "entity", " e "} {
+		k, err := ParseKind(in)
+		if err != nil || k != KindEntity {
+			t.Errorf("ParseKind(%q) = %v, %v", in, k, err)
+		}
+	}
+	if _, err := ParseKind("x"); err == nil {
+		t.Error("ParseKind(x) should fail")
+	}
+}
+
+func TestAttrRefString(t *testing.T) {
+	r := AttrRef{Schema: "sc1", Object: "Student", Attr: "Name"}
+	if got := r.String(); got != "sc1.Student.Name" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCardinalityString(t *testing.T) {
+	if got := (Cardinality{Min: 1, Max: N}).String(); got != "(1,n)" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Cardinality{Min: 0, Max: 1}).String(); got != "(0,1)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCardinalityValid(t *testing.T) {
+	cases := []struct {
+		c    Cardinality
+		want bool
+	}{
+		{Cardinality{0, 1}, true},
+		{Cardinality{1, 1}, true},
+		{Cardinality{0, N}, true},
+		{Cardinality{5, N}, true},
+		{Cardinality{-1, 1}, false},
+		{Cardinality{0, 0}, false},
+		{Cardinality{2, 1}, false},
+	}
+	for _, c := range cases {
+		if c.c.Valid() != c.want {
+			t.Errorf("%s.Valid() = %v, want %v", c.c, !c.want, c.want)
+		}
+	}
+}
+
+func TestCardinalityWiden(t *testing.T) {
+	got := Cardinality{1, 3}.Widen(Cardinality{0, 5})
+	if got != (Cardinality{0, 5}) {
+		t.Errorf("widen = %v", got)
+	}
+	got = Cardinality{1, 3}.Widen(Cardinality{2, N})
+	if got != (Cardinality{1, N}) {
+		t.Errorf("widen = %v", got)
+	}
+	got = Cardinality{0, N}.Widen(Cardinality{1, 1})
+	if got != (Cardinality{0, N}) {
+		t.Errorf("widen = %v", got)
+	}
+}
+
+func TestCardinalityContains(t *testing.T) {
+	if !(Cardinality{0, N}).Contains(Cardinality{1, 3}) {
+		t.Error("(0,n) should contain (1,3)")
+	}
+	if (Cardinality{1, 3}).Contains(Cardinality{0, 3}) {
+		t.Error("(1,3) should not contain (0,3)")
+	}
+	if (Cardinality{0, 3}).Contains(Cardinality{0, N}) {
+		t.Error("(0,3) should not contain (0,n)")
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := studentSchema(t)
+	if s.Object("Person") == nil || s.Object("Nope") != nil {
+		t.Error("Object lookup wrong")
+	}
+	if s.Relationship("Enrolls") == nil || s.Relationship("Person") != nil {
+		t.Error("Relationship lookup wrong")
+	}
+	if got := len(s.Entities()); got != 2 {
+		t.Errorf("Entities = %d, want 2", got)
+	}
+	if got := len(s.Categories()); got != 2 {
+		t.Errorf("Categories = %d, want 2", got)
+	}
+}
+
+func TestSchemaDuplicateNames(t *testing.T) {
+	s := studentSchema(t)
+	if err := s.AddObject(&ObjectClass{Name: "Person", Kind: KindEntity}); err == nil {
+		t.Error("duplicate object name should fail")
+	}
+	if err := s.AddRelationship(&RelationshipSet{Name: "Person"}); err == nil {
+		t.Error("relationship clashing with object name should fail")
+	}
+	if err := s.AddObject(&ObjectClass{Name: "", Kind: KindEntity}); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestSchemaRemove(t *testing.T) {
+	s := studentSchema(t)
+	if !s.RemoveObject("Grad") {
+		t.Error("RemoveObject(Grad) = false")
+	}
+	if s.RemoveObject("Grad") {
+		t.Error("second remove should be false")
+	}
+	if !s.RemoveRelationship("Enrolls") {
+		t.Error("RemoveRelationship failed")
+	}
+}
+
+func TestChildrenAndAncestors(t *testing.T) {
+	s := studentSchema(t)
+	if got := s.Children("Person"); len(got) != 1 || got[0] != "Student" {
+		t.Errorf("Children(Person) = %v", got)
+	}
+	anc := s.Ancestors("Grad")
+	if len(anc) != 2 || anc[0] != "Student" || anc[1] != "Person" {
+		t.Errorf("Ancestors(Grad) = %v", anc)
+	}
+	if !s.IsAncestor("Person", "Grad") {
+		t.Error("Person should be ancestor of Grad")
+	}
+	if s.IsAncestor("Grad", "Person") {
+		t.Error("Grad is not ancestor of Person")
+	}
+	if s.IsAncestor("Dept", "Grad") {
+		t.Error("Dept is unrelated")
+	}
+}
+
+func TestInheritedAttributes(t *testing.T) {
+	s := studentSchema(t)
+	attrs := s.InheritedAttributes("Grad")
+	var names []string
+	for _, a := range attrs {
+		names = append(names, a.Name)
+	}
+	want := "Thesis,GPA,Name,Age"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("InheritedAttributes(Grad) = %s, want %s", got, want)
+	}
+}
+
+func TestInheritedAttributesShadowing(t *testing.T) {
+	s := NewSchema("x")
+	if err := s.AddObject(&ObjectClass{Name: "A", Kind: KindEntity,
+		Attributes: []Attribute{{Name: "N", Domain: "char"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObject(&ObjectClass{Name: "B", Kind: KindCategory, Parents: []string{"A"},
+		Attributes: []Attribute{{Name: "N", Domain: "int"}}}); err != nil {
+		t.Fatal(err)
+	}
+	attrs := s.InheritedAttributes("B")
+	if len(attrs) != 1 || attrs[0].Domain != "int" {
+		t.Errorf("shadowing failed: %+v", attrs)
+	}
+}
+
+func TestRelationshipsOf(t *testing.T) {
+	s := studentSchema(t)
+	if got := s.RelationshipsOf("Student"); len(got) != 1 || got[0] != "Enrolls" {
+		t.Errorf("RelationshipsOf(Student) = %v", got)
+	}
+	if got := s.RelationshipsOf("Person"); got != nil {
+		t.Errorf("RelationshipsOf(Person) = %v, want none", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := studentSchema(t)
+	st := s.Stats()
+	if st.Entities != 2 || st.Categories != 2 || st.Relationships != 1 || st.Attributes != 6 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if !strings.Contains(s.String(), "uni") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestKeyAttributes(t *testing.T) {
+	s := studentSchema(t)
+	if got := s.Object("Person").KeyAttributes(); len(got) != 1 || got[0] != "Name" {
+		t.Errorf("KeyAttributes = %v", got)
+	}
+}
+
+func TestParticipationString(t *testing.T) {
+	p := Participation{Object: "Student", Card: Cardinality{1, 1}}
+	if p.String() != "Student (1,1)" {
+		t.Errorf("got %q", p.String())
+	}
+	p.Role = "advisee"
+	if p.String() != "Student/advisee (1,1)" {
+		t.Errorf("got %q", p.String())
+	}
+}
+
+func TestAttributeDerived(t *testing.T) {
+	a := Attribute{Name: "D_Name"}
+	if a.Derived() {
+		t.Error("no components -> not derived")
+	}
+	a.Components = []AttrRef{{Schema: "s", Object: "o", Attr: "Name"}}
+	if !a.Derived() {
+		t.Error("with components -> derived")
+	}
+}
+
+func TestRelationshipChildren(t *testing.T) {
+	s := NewSchema("x")
+	if err := s.AddObject(&ObjectClass{Name: "A", Kind: KindEntity,
+		Attributes: []Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObject(&ObjectClass{Name: "B", Kind: KindEntity,
+		Attributes: []Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	parts := []Participation{
+		{Object: "A", Card: Cardinality{0, N}},
+		{Object: "B", Card: Cardinality{0, N}},
+	}
+	if err := s.AddRelationship(&RelationshipSet{Name: "R", Participants: parts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelationship(&RelationshipSet{Name: "S", Participants: parts, Parents: []string{"R"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RelationshipChildren("R"); len(got) != 1 || got[0] != "S" {
+		t.Errorf("RelationshipChildren(R) = %v", got)
+	}
+}
+
+func TestAncestorsTerminatesOnCycle(t *testing.T) {
+	s := NewSchema("cyc")
+	s.Objects = []*ObjectClass{
+		{Name: "A", Kind: KindCategory, Parents: []string{"B"}},
+		{Name: "B", Kind: KindCategory, Parents: []string{"A"}},
+	}
+	anc := s.Ancestors("A")
+	if len(anc) != 1 || anc[0] != "B" {
+		t.Errorf("Ancestors on cycle = %v", anc)
+	}
+}

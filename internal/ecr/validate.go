@@ -1,0 +1,225 @@
+package ecr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ValidationError aggregates every problem found in a schema so that a DDA
+// can fix them in one pass, mirroring the bookkeeping role of the original
+// tool.
+type ValidationError struct {
+	Schema   string
+	Problems []string
+}
+
+// Error renders all problems, one per line.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("ecr: schema %s is invalid:\n  %s",
+		e.Schema, strings.Join(e.Problems, "\n  "))
+}
+
+// Validate checks the structural integrity rules of the ECR model:
+//
+//   - structure (object class and relationship set) names are non-empty and
+//     unique within the schema;
+//   - attribute names are non-empty and unique within their owner;
+//   - categories name at least one parent, every parent exists and is an
+//     object class, and the IS-A graph is acyclic;
+//   - entity sets of a component schema have no parents (integrated schemas
+//     may hang entity sets below derived classes, so parents pointing at
+//     derived "D_" classes are allowed);
+//   - relationship sets have at least two participations (or one
+//     participation appearing with two roles), every participant exists,
+//     and cardinality constraints satisfy 0 <= i1 <= i2, i2 > 0.
+//
+// It returns nil if the schema is well formed, otherwise a *ValidationError
+// listing every violation.
+func (s *Schema) Validate() error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if s.Name == "" {
+		addf("schema has no name")
+	}
+
+	names := map[string]string{} // structure name -> kind word
+	for _, o := range s.Objects {
+		if o.Name == "" {
+			addf("object class with empty name")
+			continue
+		}
+		if prev, dup := names[o.Name]; dup {
+			addf("duplicate structure name %q (already a %s)", o.Name, prev)
+		}
+		names[o.Name] = o.Kind.Word()
+		if o.Kind == KindRelationship {
+			addf("object class %q has relationship kind", o.Name)
+		}
+		problems = append(problems, validateAttributes(o.Name, o.Attributes)...)
+	}
+	for _, r := range s.Relationships {
+		if r.Name == "" {
+			addf("relationship set with empty name")
+			continue
+		}
+		if prev, dup := names[r.Name]; dup {
+			addf("duplicate structure name %q (already a %s)", r.Name, prev)
+		}
+		names[r.Name] = "relationship"
+		problems = append(problems, validateAttributes(r.Name, r.Attributes)...)
+	}
+
+	// Parent references and category rules.
+	for _, o := range s.Objects {
+		switch o.Kind {
+		case KindCategory:
+			if len(o.Parents) == 0 {
+				addf("category %q is defined over no object class", o.Name)
+			}
+		case KindEntity:
+			for _, p := range o.Parents {
+				if po := s.Object(p); po == nil || !strings.HasPrefix(po.Name, "D_") {
+					addf("entity set %q has parent %q (only derived classes may subsume an entity set)", o.Name, p)
+				}
+			}
+		}
+		seenParent := map[string]bool{}
+		for _, p := range o.Parents {
+			if seenParent[p] {
+				addf("%s %q lists parent %q twice", o.Kind.Word(), o.Name, p)
+			}
+			seenParent[p] = true
+			if p == o.Name {
+				addf("%s %q is its own parent", o.Kind.Word(), o.Name)
+				continue
+			}
+			if s.Object(p) == nil {
+				addf("%s %q has unknown parent %q", o.Kind.Word(), o.Name, p)
+			}
+		}
+	}
+	if cyc := s.findISACycle(); len(cyc) > 0 {
+		addf("IS-A cycle: %s", strings.Join(cyc, " -> "))
+	}
+
+	// Relationship participations and lattice edges.
+	for _, r := range s.Relationships {
+		seenRelParent := map[string]bool{}
+		for _, p := range r.Parents {
+			if seenRelParent[p] {
+				addf("relationship set %q lists parent %q twice", r.Name, p)
+			}
+			seenRelParent[p] = true
+			if p == r.Name {
+				addf("relationship set %q is its own parent", r.Name)
+				continue
+			}
+			if s.Relationship(p) == nil {
+				addf("relationship set %q has unknown parent relationship %q", r.Name, p)
+			}
+		}
+		if len(r.Participants) < 2 {
+			addf("relationship set %q has %d participation(s), need at least 2", r.Name, len(r.Participants))
+		}
+		seenRole := map[string]bool{}
+		for _, p := range r.Participants {
+			if p.Object == "" {
+				addf("relationship set %q has a participation with an empty object name", r.Name)
+				continue
+			}
+			if s.Object(p.Object) == nil {
+				addf("relationship set %q references unknown object class %q", r.Name, p.Object)
+			}
+			roleKey := p.Object + "/" + p.Role
+			if seenRole[roleKey] {
+				addf("relationship set %q has duplicate participation of %q (role %q)", r.Name, p.Object, p.Role)
+			}
+			seenRole[roleKey] = true
+			if !p.Card.Valid() {
+				addf("relationship set %q: participation of %q has invalid cardinality %s (need 0 <= i1 <= i2, i2 > 0)",
+					r.Name, p.Object, p.Card)
+			}
+		}
+	}
+
+	if len(problems) == 0 {
+		return nil
+	}
+	sort.Strings(problems)
+	return &ValidationError{Schema: s.Name, Problems: problems}
+}
+
+func validateAttributes(owner string, attrs []Attribute) []string {
+	var problems []string
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a.Name == "" {
+			problems = append(problems, fmt.Sprintf("structure %q has an attribute with an empty name", owner))
+			continue
+		}
+		if seen[a.Name] {
+			problems = append(problems, fmt.Sprintf("structure %q has duplicate attribute %q", owner, a.Name))
+		}
+		seen[a.Name] = true
+		if a.Domain == "" {
+			problems = append(problems, fmt.Sprintf("structure %q attribute %q has no domain", owner, a.Name))
+		}
+	}
+	return problems
+}
+
+// findISACycle returns the names along one IS-A cycle, or nil if the parent
+// graph is acyclic.
+func (s *Schema) findISACycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var cycle []string
+
+	var visit func(name string) bool
+	visit = func(name string) bool {
+		color[name] = gray
+		stack = append(stack, name)
+		o := s.Object(name)
+		if o != nil {
+			for _, p := range o.Parents {
+				switch color[p] {
+				case gray:
+					// Found a cycle: slice the stack from p.
+					for i, n := range stack {
+						if n == p {
+							cycle = append(append([]string{}, stack[i:]...), p)
+							return true
+						}
+					}
+					cycle = []string{p, name, p}
+					return true
+				case white:
+					if s.Object(p) != nil && visit(p) {
+						return true
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[name] = black
+		return false
+	}
+
+	for _, o := range s.Objects {
+		if color[o.Name] == white {
+			if visit(o.Name) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package ecr
+
+import (
+	"strings"
+	"testing"
+)
+
+func validSchema() *Schema {
+	return &Schema{
+		Name: "ok",
+		Objects: []*ObjectClass{
+			{Name: "A", Kind: KindEntity, Attributes: []Attribute{{Name: "K", Domain: "int", Key: true}}},
+			{Name: "B", Kind: KindCategory, Parents: []string{"A"}},
+		},
+		Relationships: []*RelationshipSet{
+			{Name: "R", Participants: []Participation{
+				{Object: "A", Card: Cardinality{0, N}},
+				{Object: "B", Card: Cardinality{1, 1}},
+			}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+}
+
+func wantProblem(t *testing.T, s *Schema, substr string) {
+	t.Helper()
+	err := s.Validate()
+	if err == nil {
+		t.Fatalf("expected validation problem containing %q, got nil", substr)
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error is %T, want *ValidationError", err)
+	}
+	for _, p := range ve.Problems {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Errorf("no problem contains %q; got:\n%v", substr, ve)
+}
+
+func TestValidateEmptySchemaName(t *testing.T) {
+	s := validSchema()
+	s.Name = ""
+	wantProblem(t, s, "schema has no name")
+}
+
+func TestValidateDuplicateStructure(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects, &ObjectClass{Name: "A", Kind: KindEntity})
+	wantProblem(t, s, "duplicate structure name")
+}
+
+func TestValidateDuplicateAcrossKinds(t *testing.T) {
+	s := validSchema()
+	s.Relationships = append(s.Relationships, &RelationshipSet{
+		Name: "A",
+		Participants: []Participation{
+			{Object: "A", Card: Cardinality{0, N}},
+			{Object: "B", Card: Cardinality{0, N}},
+		},
+	})
+	wantProblem(t, s, `duplicate structure name "A"`)
+}
+
+func TestValidateCategoryWithoutParents(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects, &ObjectClass{Name: "C", Kind: KindCategory})
+	wantProblem(t, s, "defined over no object class")
+}
+
+func TestValidateUnknownParent(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects, &ObjectClass{Name: "C", Kind: KindCategory, Parents: []string{"Zzz"}})
+	wantProblem(t, s, "unknown parent")
+}
+
+func TestValidateEntityWithPlainParent(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects, &ObjectClass{Name: "C", Kind: KindEntity, Parents: []string{"A"}})
+	wantProblem(t, s, "only derived classes may subsume an entity set")
+}
+
+func TestValidateEntityUnderDerivedParentOK(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects,
+		&ObjectClass{Name: "D_AB", Kind: KindEntity},
+		&ObjectClass{Name: "C", Kind: KindEntity, Parents: []string{"D_AB"}},
+	)
+	if err := s.Validate(); err != nil {
+		t.Errorf("entity under derived parent should validate: %v", err)
+	}
+}
+
+func TestValidateSelfParent(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects, &ObjectClass{Name: "C", Kind: KindCategory, Parents: []string{"C"}})
+	wantProblem(t, s, "its own parent")
+}
+
+func TestValidateParentTwice(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects, &ObjectClass{Name: "C", Kind: KindCategory, Parents: []string{"A", "A"}})
+	wantProblem(t, s, "twice")
+}
+
+func TestValidateISACycle(t *testing.T) {
+	s := &Schema{
+		Name: "cyc",
+		Objects: []*ObjectClass{
+			{Name: "A", Kind: KindCategory, Parents: []string{"C"}},
+			{Name: "B", Kind: KindCategory, Parents: []string{"A"}},
+			{Name: "C", Kind: KindCategory, Parents: []string{"B"}},
+		},
+	}
+	wantProblem(t, s, "IS-A cycle")
+}
+
+func TestValidateDuplicateAttribute(t *testing.T) {
+	s := validSchema()
+	s.Objects[0].Attributes = append(s.Objects[0].Attributes, Attribute{Name: "K", Domain: "int"})
+	wantProblem(t, s, "duplicate attribute")
+}
+
+func TestValidateEmptyAttributeName(t *testing.T) {
+	s := validSchema()
+	s.Objects[0].Attributes = append(s.Objects[0].Attributes, Attribute{Domain: "int"})
+	wantProblem(t, s, "empty name")
+}
+
+func TestValidateAttributeWithoutDomain(t *testing.T) {
+	s := validSchema()
+	s.Objects[0].Attributes = append(s.Objects[0].Attributes, Attribute{Name: "X"})
+	wantProblem(t, s, "no domain")
+}
+
+func TestValidateRelationshipTooFewParticipants(t *testing.T) {
+	s := validSchema()
+	s.Relationships = append(s.Relationships, &RelationshipSet{
+		Name:         "S",
+		Participants: []Participation{{Object: "A", Card: Cardinality{0, N}}},
+	})
+	wantProblem(t, s, "need at least 2")
+}
+
+func TestValidateRelationshipUnknownParticipant(t *testing.T) {
+	s := validSchema()
+	s.Relationships[0].Participants[0].Object = "Zzz"
+	wantProblem(t, s, "unknown object class")
+}
+
+func TestValidateRelationshipBadCardinality(t *testing.T) {
+	s := validSchema()
+	s.Relationships[0].Participants[0].Card = Cardinality{3, 1}
+	wantProblem(t, s, "invalid cardinality")
+}
+
+func TestValidateRecursiveRelationshipWithRoles(t *testing.T) {
+	s := validSchema()
+	s.Relationships = append(s.Relationships, &RelationshipSet{
+		Name: "Manages",
+		Participants: []Participation{
+			{Object: "A", Role: "boss", Card: Cardinality{0, N}},
+			{Object: "A", Role: "minion", Card: Cardinality{0, 1}},
+		},
+	})
+	if err := s.Validate(); err != nil {
+		t.Errorf("recursive relationship with roles should validate: %v", err)
+	}
+}
+
+func TestValidateDuplicateParticipationSameRole(t *testing.T) {
+	s := validSchema()
+	s.Relationships = append(s.Relationships, &RelationshipSet{
+		Name: "S",
+		Participants: []Participation{
+			{Object: "A", Card: Cardinality{0, N}},
+			{Object: "A", Card: Cardinality{0, 1}},
+		},
+	})
+	wantProblem(t, s, "duplicate participation")
+}
+
+func TestValidateRelationshipUnknownParentRel(t *testing.T) {
+	s := validSchema()
+	s.Relationships[0].Parents = []string{"Nope"}
+	wantProblem(t, s, "unknown parent relationship")
+}
+
+func TestValidateRelationshipSelfParent(t *testing.T) {
+	s := validSchema()
+	s.Relationships[0].Parents = []string{"R"}
+	wantProblem(t, s, "its own parent")
+}
+
+func TestValidateCollectsMultipleProblems(t *testing.T) {
+	s := validSchema()
+	s.Objects = append(s.Objects,
+		&ObjectClass{Name: "C", Kind: KindCategory},
+		&ObjectClass{Name: "C", Kind: KindCategory, Parents: []string{"Zzz"}},
+	)
+	err := s.Validate()
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if len(ve.Problems) < 3 {
+		t.Errorf("expected at least 3 problems, got %d: %v", len(ve.Problems), ve.Problems)
+	}
+}

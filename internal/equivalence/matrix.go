@@ -1,0 +1,159 @@
+package equivalence
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// Matrix is the Object Class Similarity (OCS) matrix derived from the
+// attribute equivalence classes: element (i, j) is the number of equivalent
+// attribute pairs between row object i of the first schema and column object
+// j of the second. The same structure serves for relationship sets.
+type Matrix struct {
+	Schema1, Schema2 string
+	Rows, Cols       []string // object class (or relationship set) names
+	Counts           [][]int
+}
+
+// At returns the equivalent-attribute count for the named row and column
+// objects. Unknown names count as zero.
+func (m *Matrix) At(row, col string) int {
+	ri, ci := -1, -1
+	for i, r := range m.Rows {
+		if r == row {
+			ri = i
+			break
+		}
+	}
+	for j, c := range m.Cols {
+		if c == col {
+			ci = j
+			break
+		}
+	}
+	if ri < 0 || ci < 0 {
+		return 0
+	}
+	return m.Counts[ri][ci]
+}
+
+// String renders the matrix as an aligned table, rows labelled by the first
+// schema's objects and columns by the second's.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OCS %s x %s\n", m.Schema1, m.Schema2)
+	w := 0
+	for _, r := range m.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%*s", w, "")
+	for _, c := range m.Cols {
+		fmt.Fprintf(&b, "  %s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range m.Rows {
+		fmt.Fprintf(&b, "%*s", w, r)
+		for j, c := range m.Cols {
+			fmt.Fprintf(&b, "  %*d", len(c), m.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ObjectMatrix derives the OCS matrix for the object classes (entity sets
+// and categories) of the two schemas from the registry's equivalence
+// classes. An entry counts distinct equivalence classes having at least one
+// member attribute in the row object and one in the column object.
+func ObjectMatrix(s1, s2 *ecr.Schema, reg *Registry) *Matrix {
+	var rows, cols []string
+	for _, o := range s1.Objects {
+		rows = append(rows, o.Name)
+	}
+	for _, o := range s2.Objects {
+		cols = append(cols, o.Name)
+	}
+	m := &Matrix{Schema1: s1.Name, Schema2: s2.Name, Rows: rows, Cols: cols}
+	m.Counts = make([][]int, len(rows))
+	for i, rname := range rows {
+		m.Counts[i] = make([]int, len(cols))
+		ro := s1.Object(rname)
+		for j, cname := range cols {
+			co := s2.Object(cname)
+			m.Counts[i][j] = EquivalentCount(s1.Name, ro, s2.Name, co, reg)
+		}
+	}
+	return m
+}
+
+// RelationshipMatrix derives the OCS-style matrix for the relationship sets
+// of the two schemas.
+func RelationshipMatrix(s1, s2 *ecr.Schema, reg *Registry) *Matrix {
+	var rows, cols []string
+	for _, r := range s1.Relationships {
+		rows = append(rows, r.Name)
+	}
+	for _, r := range s2.Relationships {
+		cols = append(cols, r.Name)
+	}
+	m := &Matrix{Schema1: s1.Name, Schema2: s2.Name, Rows: rows, Cols: cols}
+	m.Counts = make([][]int, len(rows))
+	for i, rname := range rows {
+		m.Counts[i] = make([]int, len(cols))
+		rr := s1.Relationship(rname)
+		for j, cname := range cols {
+			cr := s2.Relationship(cname)
+			m.Counts[i][j] = equivalentCountRefs(
+				relAttrRefs(s1.Name, rr), relAttrRefs(s2.Name, cr), reg)
+		}
+	}
+	return m
+}
+
+// EquivalentCount returns the number of equivalence classes shared between
+// the attributes of the two object classes.
+func EquivalentCount(schema1 string, o1 *ecr.ObjectClass, schema2 string, o2 *ecr.ObjectClass, reg *Registry) int {
+	return equivalentCountRefs(objAttrRefs(schema1, o1), objAttrRefs(schema2, o2), reg)
+}
+
+func objAttrRefs(schema string, o *ecr.ObjectClass) []ecr.AttrRef {
+	if o == nil {
+		return nil
+	}
+	refs := make([]ecr.AttrRef, 0, len(o.Attributes))
+	for _, a := range o.Attributes {
+		refs = append(refs, ecr.AttrRef{Schema: schema, Object: o.Name, Kind: o.Kind, Attr: a.Name})
+	}
+	return refs
+}
+
+func relAttrRefs(schema string, r *ecr.RelationshipSet) []ecr.AttrRef {
+	if r == nil {
+		return nil
+	}
+	refs := make([]ecr.AttrRef, 0, len(r.Attributes))
+	for _, a := range r.Attributes {
+		refs = append(refs, ecr.AttrRef{Schema: schema, Object: r.Name, Kind: ecr.KindRelationship, Attr: a.Name})
+	}
+	return refs
+}
+
+func equivalentCountRefs(refs1, refs2 []ecr.AttrRef, reg *Registry) int {
+	classes1 := map[int]bool{}
+	for _, a := range refs1 {
+		if id, ok := reg.ClassID(a); ok {
+			classes1[id] = true
+		}
+	}
+	shared := map[int]bool{}
+	for _, b := range refs2 {
+		if id, ok := reg.ClassID(b); ok && classes1[id] {
+			shared[id] = true
+		}
+	}
+	return len(shared)
+}

@@ -1,0 +1,121 @@
+package equivalence
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+// paperRegistry sets up the equivalence classes of Screen 7 on sc1/sc2.
+func paperRegistry(t *testing.T) (*ecr.Schema, *ecr.Schema, *Registry) {
+	t.Helper()
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	r := NewRegistry()
+	r.RegisterSchema(s1)
+	r.RegisterSchema(s2)
+	declare := func(a, b ecr.AttrRef) {
+		t.Helper()
+		if err := r.Declare(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	declare(ref("sc1", "Student", "Name"), ref("sc2", "Grad_student", "Name"))
+	declare(ref("sc1", "Student", "Name"), ref("sc2", "Faculty", "Name"))
+	declare(ref("sc1", "Student", "GPA"), ref("sc2", "Grad_student", "GPA"))
+	declare(ref("sc1", "Department", "Dname"), ref("sc2", "Department", "Dname"))
+	declare(
+		ecr.AttrRef{Schema: "sc1", Object: "Majors", Kind: ecr.KindRelationship, Attr: "Since"},
+		ecr.AttrRef{Schema: "sc2", Object: "Stud_major", Kind: ecr.KindRelationship, Attr: "Since"},
+	)
+	return s1, s2, r
+}
+
+func TestObjectMatrixPaperExample(t *testing.T) {
+	s1, s2, r := paperRegistry(t)
+	m := ObjectMatrix(s1, s2, r)
+	// The OCS counts behind Screen 8.
+	cases := []struct {
+		row, col string
+		want     int
+	}{
+		{"Student", "Grad_student", 2},
+		{"Student", "Faculty", 1},
+		{"Student", "Department", 0},
+		{"Department", "Department", 1},
+		{"Department", "Grad_student", 0},
+		{"Department", "Faculty", 0},
+	}
+	for _, c := range cases {
+		if got := m.At(c.row, c.col); got != c.want {
+			t.Errorf("OCS[%s][%s] = %d, want %d", c.row, c.col, got, c.want)
+		}
+	}
+}
+
+func TestMatrixAtUnknown(t *testing.T) {
+	s1, s2, r := paperRegistry(t)
+	m := ObjectMatrix(s1, s2, r)
+	if m.At("Nope", "Department") != 0 || m.At("Student", "Nope") != 0 {
+		t.Error("unknown names must count 0")
+	}
+}
+
+func TestRelationshipMatrix(t *testing.T) {
+	s1, s2, r := paperRegistry(t)
+	m := RelationshipMatrix(s1, s2, r)
+	if got := m.At("Majors", "Stud_major"); got != 1 {
+		t.Errorf("Majors/Stud_major = %d, want 1", got)
+	}
+	if got := m.At("Majors", "Works"); got != 0 {
+		t.Errorf("Majors/Works = %d, want 0", got)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s1, s2, r := paperRegistry(t)
+	m := ObjectMatrix(s1, s2, r)
+	out := m.String()
+	for _, want := range []string{"OCS sc1 x sc2", "Student", "Grad_student"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEquivalentCountSharedClassCountedOnce(t *testing.T) {
+	// Two attributes of one object in the same class as one attribute of
+	// another must count as one shared class, not two.
+	r := NewRegistry()
+	s1 := ecr.NewSchema("a")
+	if err := s1.AddObject(&ecr.ObjectClass{Name: "X", Kind: ecr.KindEntity, Attributes: []ecr.Attribute{
+		{Name: "p", Domain: "int"}, {Name: "q", Domain: "int"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := ecr.NewSchema("b")
+	if err := s2.AddObject(&ecr.ObjectClass{Name: "Y", Kind: ecr.KindEntity, Attributes: []ecr.Attribute{
+		{Name: "r", Domain: "int"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterSchema(s1)
+	r.RegisterSchema(s2)
+	if err := r.Declare(ref("a", "X", "p"), ref("b", "Y", "r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(ref("a", "X", "q"), ref("b", "Y", "r")); err != nil {
+		t.Fatal(err)
+	}
+	if got := EquivalentCount("a", s1.Object("X"), "b", s2.Object("Y"), r); got != 1 {
+		t.Errorf("count = %d, want 1 (one shared class)", got)
+	}
+}
+
+func TestEquivalentCountNilObjects(t *testing.T) {
+	r := NewRegistry()
+	if got := EquivalentCount("a", nil, "b", nil, r); got != 0 {
+		t.Errorf("nil objects count = %d", got)
+	}
+}

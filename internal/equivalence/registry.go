@@ -1,0 +1,193 @@
+// Package equivalence tracks attribute equivalence classes across component
+// schemas, the bookkeeping at the heart of the tool's schema-analysis phase.
+//
+// Two attributes of different objects are declared equivalent by the DDA
+// (guided by uniqueness, cardinality and domain per Larson et al. 87; this
+// reproduction uses the paper's simplification in which attributes are
+// either equivalent or not). The tool maintains an Attribute Class
+// Similarity (ACS) structure — here a Registry of equivalence classes with
+// the tool's Eq_class numbering — and derives from it an Object Class
+// Similarity (OCS) matrix giving, for each pair of object classes drawn from
+// the two schemas, the number of equivalent attributes they share. The OCS
+// matrix drives the resemblance ranking of candidate object pairs.
+package equivalence
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ecr"
+)
+
+// Registry holds attribute equivalence classes. Each known attribute always
+// belongs to exactly one class; freshly registered attributes form singleton
+// classes, mirroring the Equivalence Class Creation and Deletion Screen
+// where every attribute initially shows its own Eq_class number.
+//
+// The zero value is not ready to use; call NewRegistry.
+type Registry struct {
+	class   map[ecr.AttrRef]int
+	members map[int][]ecr.AttrRef
+	nextID  int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		class:   make(map[ecr.AttrRef]int),
+		members: make(map[int][]ecr.AttrRef),
+		nextID:  1,
+	}
+}
+
+// RegisterSchema registers every attribute of every structure of the schema,
+// each in its own singleton class (unless already known).
+func (r *Registry) RegisterSchema(s *ecr.Schema) {
+	for _, o := range s.Objects {
+		for _, a := range o.Attributes {
+			r.Register(ecr.AttrRef{Schema: s.Name, Object: o.Name, Kind: o.Kind, Attr: a.Name})
+		}
+	}
+	for _, rel := range s.Relationships {
+		for _, a := range rel.Attributes {
+			r.Register(ecr.AttrRef{Schema: s.Name, Object: rel.Name, Kind: ecr.KindRelationship, Attr: a.Name})
+		}
+	}
+}
+
+// Register ensures the attribute is known, assigning it a fresh singleton
+// class if it is new. It returns the attribute's class number.
+func (r *Registry) Register(a ecr.AttrRef) int {
+	if id, ok := r.class[a]; ok {
+		return id
+	}
+	id := r.nextID
+	r.nextID++
+	r.class[a] = id
+	r.members[id] = []ecr.AttrRef{a}
+	return id
+}
+
+// Declare makes a and b equivalent by merging their classes. As in the
+// paper, "the tool then changes the value of Eq_Class # of one to that of
+// the other": the surviving class number is the smaller of the two. It is
+// an error to declare two attributes of the same object equivalent — an
+// object class cannot carry the same real-world property twice.
+func (r *Registry) Declare(a, b ecr.AttrRef) error {
+	if a.Schema == b.Schema && a.Object == b.Object {
+		return fmt.Errorf("equivalence: %s and %s belong to the same object class", a, b)
+	}
+	ida, idb := r.Register(a), r.Register(b)
+	if ida == idb {
+		return nil
+	}
+	keep, drop := ida, idb
+	if idb < ida {
+		keep, drop = idb, ida
+	}
+	for _, m := range r.members[drop] {
+		r.class[m] = keep
+	}
+	r.members[keep] = append(r.members[keep], r.members[drop]...)
+	delete(r.members, drop)
+	return nil
+}
+
+// Remove takes the attribute out of its current class and gives it a fresh
+// singleton class (the (D)elete action of Screen 7). Removing an unknown
+// attribute registers it.
+func (r *Registry) Remove(a ecr.AttrRef) {
+	id, ok := r.class[a]
+	if !ok || len(r.members[id]) == 1 {
+		r.Register(a)
+		return
+	}
+	ms := r.members[id]
+	for i, m := range ms {
+		if m == a {
+			r.members[id] = append(ms[:i], ms[i+1:]...)
+			break
+		}
+	}
+	delete(r.class, a)
+	r.Register(a)
+}
+
+// ClassID returns the Eq_class number of the attribute and whether the
+// attribute is known.
+func (r *Registry) ClassID(a ecr.AttrRef) (int, bool) {
+	id, ok := r.class[a]
+	return id, ok
+}
+
+// Equivalent reports whether a and b are in the same equivalence class. An
+// attribute is always equivalent to itself, known or not.
+func (r *Registry) Equivalent(a, b ecr.AttrRef) bool {
+	if a == b {
+		return true
+	}
+	ida, oka := r.class[a]
+	idb, okb := r.class[b]
+	return oka && okb && ida == idb
+}
+
+// Class returns the members of the attribute's equivalence class in a
+// deterministic order (sorted by schema, object, attribute name).
+func (r *Registry) Class(a ecr.AttrRef) []ecr.AttrRef {
+	id, ok := r.class[a]
+	if !ok {
+		return nil
+	}
+	out := append([]ecr.AttrRef(nil), r.members[id]...)
+	sortRefs(out)
+	return out
+}
+
+// Classes returns every equivalence class with two or more members, each
+// sorted, ordered by class number. Singleton classes are the default state
+// and are omitted.
+func (r *Registry) Classes() [][]ecr.AttrRef {
+	var ids []int
+	for id, ms := range r.members {
+		if len(ms) > 1 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	out := make([][]ecr.AttrRef, 0, len(ids))
+	for _, id := range ids {
+		ms := append([]ecr.AttrRef(nil), r.members[id]...)
+		sortRefs(ms)
+		out = append(out, ms)
+	}
+	return out
+}
+
+// Len returns the number of registered attributes.
+func (r *Registry) Len() int { return len(r.class) }
+
+// Clone returns an independent deep copy of the registry.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	c.nextID = r.nextID
+	for a, id := range r.class {
+		c.class[a] = id
+	}
+	for id, ms := range r.members {
+		c.members[id] = append([]ecr.AttrRef(nil), ms...)
+	}
+	return c
+}
+
+func sortRefs(refs []ecr.AttrRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.Schema != b.Schema {
+			return a.Schema < b.Schema
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Attr < b.Attr
+	})
+}

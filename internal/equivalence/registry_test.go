@@ -1,0 +1,245 @@
+package equivalence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+func ref(schema, object, attr string) ecr.AttrRef {
+	return ecr.AttrRef{Schema: schema, Object: object, Attr: attr}
+}
+
+func TestRegisterAssignsSingletons(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc1", "Student", "GPA")
+	ida := r.Register(a)
+	idb := r.Register(b)
+	if ida == idb {
+		t.Error("fresh attributes must get distinct classes")
+	}
+	if again := r.Register(a); again != ida {
+		t.Error("re-registering changed the class")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestDeclareMergesClasses(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc2", "Grad_student", "Name")
+	c := ref("sc2", "Faculty", "Name")
+	if err := r.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equivalent(a, c) {
+		t.Error("transitive merge failed")
+	}
+	cls := r.Class(a)
+	if len(cls) != 3 {
+		t.Fatalf("class = %v", cls)
+	}
+	// Sorted by schema, object, attr.
+	if cls[0] != a || cls[1].Object != "Faculty" || cls[2].Object != "Grad_student" {
+		t.Errorf("class order = %v", cls)
+	}
+}
+
+func TestDeclareKeepsSmallerClassNumber(t *testing.T) {
+	// The paper: "the tool then changes the value of Eq_Class # of one
+	// to that of the other".
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name") // class 1
+	b := ref("sc2", "Grad_student", "Name")
+	ida := r.Register(a)
+	r.Register(b)
+	if err := r.Declare(b, a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.ClassID(b)
+	if !ok || got != ida {
+		t.Errorf("ClassID(b) = %d, want %d", got, ida)
+	}
+}
+
+func TestDeclareSameObjectRejected(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc1", "Student", "GPA")
+	if err := r.Declare(a, b); err == nil {
+		t.Error("same-object declare should fail")
+	}
+}
+
+func TestDeclareIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc2", "Grad_student", "Name")
+	if err := r.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Class(a)) != 2 {
+		t.Errorf("class = %v", r.Class(a))
+	}
+}
+
+func TestEquivalentSelf(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	if !r.Equivalent(a, a) {
+		t.Error("attribute must be equivalent to itself even unregistered")
+	}
+	b := ref("sc2", "X", "Y")
+	if r.Equivalent(a, b) {
+		t.Error("unregistered attributes are not equivalent")
+	}
+}
+
+func TestRemoveSplitsOff(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc2", "Grad_student", "Name")
+	c := ref("sc2", "Faculty", "Name")
+	if err := r.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(a, c); err != nil {
+		t.Fatal(err)
+	}
+	r.Remove(b)
+	if r.Equivalent(a, b) {
+		t.Error("b still equivalent after removal")
+	}
+	if !r.Equivalent(a, c) {
+		t.Error("removal of b must not split a and c")
+	}
+	if len(r.Class(b)) != 1 {
+		t.Errorf("b's class = %v", r.Class(b))
+	}
+}
+
+func TestRemoveSingletonKeepsRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	r.Register(a)
+	r.Remove(a)
+	if _, ok := r.ClassID(a); !ok {
+		t.Error("removed singleton should stay registered")
+	}
+}
+
+func TestRemoveUnknownRegisters(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	r.Remove(a)
+	if _, ok := r.ClassID(a); !ok {
+		t.Error("Remove of unknown should register it")
+	}
+}
+
+func TestClassesOnlyMultiMember(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc2", "Grad_student", "Name")
+	r.Register(ref("sc1", "Student", "GPA")) // stays singleton
+	if err := r.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	classes := r.Classes()
+	if len(classes) != 1 || len(classes[0]) != 2 {
+		t.Errorf("Classes = %v", classes)
+	}
+}
+
+func TestRegisterSchema(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSchema(paperex.Sc1())
+	// sc1: Student(2) + Department(1) + Majors(1) = 4 attributes.
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if _, ok := r.ClassID(ecr.AttrRef{Schema: "sc1", Object: "Majors", Kind: ecr.KindRelationship, Attr: "Since"}); !ok {
+		t.Error("relationship attribute not registered")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := ref("sc1", "Student", "Name")
+	b := ref("sc2", "Grad_student", "Name")
+	if err := r.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Clone()
+	c.Remove(b)
+	if !r.Equivalent(a, b) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+// TestUnionFindProperty: after a random sequence of declares, Equivalent
+// must agree with a naive reference partition.
+func TestUnionFindProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRegistry()
+		// Reference: map attr index -> set id via naive flood.
+		const n = 8
+		refs := make([]ecr.AttrRef, n)
+		for i := range refs {
+			schema := "s1"
+			if i%2 == 1 {
+				schema = "s2"
+			}
+			refs[i] = ref(schema, string(rune('A'+i)), "x")
+		}
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(i int) int {
+			if parent[i] != i {
+				parent[i] = find(parent[i])
+			}
+			return parent[i]
+		}
+		for _, op := range ops {
+			i := int(op) % n
+			j := int(op/8) % n
+			if refs[i].Schema == refs[j].Schema && refs[i].Object == refs[j].Object {
+				continue
+			}
+			if err := r.Declare(refs[i], refs[j]); err != nil {
+				return false
+			}
+			parent[find(i)] = find(j)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := find(i) == find(j)
+				got := r.Equivalent(refs[i], refs[j])
+				if i == j {
+					want = true
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

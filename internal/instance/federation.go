@@ -1,0 +1,181 @@
+package instance
+
+import (
+	"fmt"
+
+	"repro/internal/ecr"
+	"repro/internal/mapping"
+)
+
+// Federation executes queries phrased against an integrated (global) schema
+// by translating them into component-database queries through the mapping
+// table, running each against its component store, and renaming the result
+// columns back to the integrated attribute names — the paper's global
+// schema design context made operational.
+type Federation struct {
+	integrated *ecr.Schema
+	table      *mapping.Table
+	components map[string]*Store
+}
+
+// NewFederation wires component stores (keyed by schema name) under an
+// integrated schema and its mapping table.
+func NewFederation(integrated *ecr.Schema, table *mapping.Table, components map[string]*Store) (*Federation, error) {
+	if integrated == nil || table == nil {
+		return nil, fmt.Errorf("instance: federation needs an integrated schema and mappings")
+	}
+	for _, name := range table.Components {
+		if components[name] == nil {
+			return nil, fmt.Errorf("instance: no store for component schema %q", name)
+		}
+	}
+	return &Federation{integrated: integrated, table: table, components: components}, nil
+}
+
+// Query runs a global query: it is fanned out to the contributing component
+// structures (the queried integrated class and its descendants), each
+// subquery executes locally, and rows come back under the integrated
+// attribute names. Duplicate rows for the same key value (the same real-
+// world entity known to several databases) are merged, later sources
+// filling attributes the earlier ones lacked. The skipped list reports
+// components that could not answer (missing attributes).
+func (f *Federation) Query(q mapping.Query) ([]Row, []string, error) {
+	subs, skipped, err := mapping.IntegratedToComponents(q, f.table, f.integrated)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyAttr := f.keyOf(q.Object, q.Project)
+	merged := map[string]Row{}
+	var order []string
+	var out []Row
+	for _, sub := range subs {
+		store := f.components[sub.Schema]
+		if store == nil {
+			skipped = append(skipped, fmt.Sprintf("%s has no store", sub.Schema))
+			continue
+		}
+		rows, err := store.Select(sub)
+		if err != nil {
+			return nil, nil, fmt.Errorf("instance: component %s: %w", sub.Schema, err)
+		}
+		src := ecr.ObjectRef{Schema: sub.Schema, Object: sub.Object}
+		for _, row := range rows {
+			renamed := f.renameRow(row, src, q.Object)
+			if keyAttr == "" {
+				out = append(out, renamed)
+				continue
+			}
+			k, ok := renamed[keyAttr]
+			if !ok {
+				out = append(out, renamed)
+				continue
+			}
+			if existing, dup := merged[k]; dup {
+				for col, v := range renamed {
+					if _, has := existing[col]; !has {
+						existing[col] = v
+					}
+				}
+				continue
+			}
+			merged[k] = renamed
+			order = append(order, k)
+		}
+	}
+	for _, k := range order {
+		out = append(out, merged[k])
+	}
+	return out, skipped, nil
+}
+
+// keyOf returns the integrated key attribute of the queried class if it is
+// among the projected columns (or if the projection is empty).
+func (f *Federation) keyOf(object string, project []string) string {
+	o := f.integrated.Object(object)
+	if o == nil {
+		return ""
+	}
+	for _, a := range f.integrated.InheritedAttributes(object) {
+		if !a.Key {
+			continue
+		}
+		if len(project) == 0 {
+			return a.Name
+		}
+		for _, p := range project {
+			if p == a.Name {
+				return a.Name
+			}
+		}
+	}
+	return ""
+}
+
+// renameRow maps a component row's columns to integrated attribute names.
+func (f *Federation) renameRow(row Row, src ecr.ObjectRef, target string) Row {
+	out := make(Row, len(row))
+	for col, v := range row {
+		obj, attr, ok := f.table.TargetAttr(ecr.AttrRef{Schema: src.Schema, Object: src.Object, Attr: col})
+		if ok {
+			_ = obj // the attribute may live on an ancestor; its name is what matters
+			out[attr] = v
+		} else {
+			out[col] = v
+		}
+	}
+	return out
+}
+
+// ViewExecutor runs component view queries against an integrated store —
+// the paper's logical database design context: after integration the views
+// are virtual, and view transactions are converted into requests against
+// the logical schema.
+type ViewExecutor struct {
+	store *Store
+	table *mapping.Table
+}
+
+// NewViewExecutor wires an integrated store and its mapping table.
+func NewViewExecutor(store *Store, table *mapping.Table) (*ViewExecutor, error) {
+	if store == nil || table == nil {
+		return nil, fmt.Errorf("instance: view executor needs a store and mappings")
+	}
+	if store.schema.Name != table.Integrated {
+		return nil, fmt.Errorf("instance: store holds %q, mappings target %q", store.schema.Name, table.Integrated)
+	}
+	return &ViewExecutor{store: store, table: table}, nil
+}
+
+// Query translates a view query to the logical schema, executes it, and
+// renames the result columns back to the view's attribute names.
+func (v *ViewExecutor) Query(q mapping.Query) ([]Row, error) {
+	logical, err := mapping.ViewToIntegrated(q, v.table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := v.store.Select(logical)
+	if err != nil {
+		return nil, err
+	}
+	// Build the reverse column rename for this view object.
+	reverse := map[string]string{}
+	for _, viewAttr := range q.Project {
+		_, integratedAttr, ok := v.table.TargetAttr(ecr.AttrRef{Schema: q.Schema, Object: q.Object, Attr: viewAttr})
+		if ok {
+			reverse[integratedAttr] = viewAttr
+		}
+	}
+	out := make([]Row, 0, len(rows))
+	for _, row := range rows {
+		renamed := make(Row, len(row))
+		for col, val := range row {
+			if viewName, ok := reverse[col]; ok {
+				renamed[viewName] = val
+			} else {
+				renamed[col] = val
+			}
+		}
+		out = append(out, renamed)
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ecr"
+)
+
+// Materialize builds a populated store over the integrated schema from the
+// federation's component stores: every component structure's rows are
+// pulled through the mapping table, renamed to the integrated attribute
+// names, and inserted at the mapped structure. Rows of equals-merged
+// structures that share a key value are merged, later sources filling
+// attributes the earlier ones lack — the one-time data migration of the
+// logical database design context, where the integrated schema becomes the
+// stored database and the old views become virtual.
+func (f *Federation) Materialize() (*Store, error) {
+	out, err := NewStore(f.integrated)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group component structures by integrated target so merged rows
+	// insert once.
+	type pending struct {
+		keyAttr string
+		rows    []Row
+		order   []string
+		byKey   map[string]Row
+	}
+	targets := map[string]*pending{}
+	var targetOrder []string
+
+	// Deterministic iteration: mapping table order.
+	for _, m := range f.table.Objects {
+		store := f.components[m.Source.Schema]
+		if store == nil {
+			continue
+		}
+		if m.Source.Kind == ecr.KindRelationship {
+			// Relationship rows migrate, with participant columns
+			// renamed to the integrated participant classes.
+			if err := f.materializeRelationship(out, m.Source, m.Target); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p := targets[m.Target]
+		if p == nil {
+			p = &pending{byKey: map[string]Row{}}
+			for _, a := range f.integrated.InheritedAttributes(m.Target) {
+				if a.Key {
+					p.keyAttr = a.Name
+					break
+				}
+			}
+			targets[m.Target] = p
+			targetOrder = append(targetOrder, m.Target)
+		}
+		for _, row := range store.rows[m.Source.Object] {
+			renamed := f.renameRow(row, m.Source, m.Target)
+			if p.keyAttr == "" {
+				p.rows = append(p.rows, renamed)
+				continue
+			}
+			k, ok := renamed[p.keyAttr]
+			if !ok {
+				p.rows = append(p.rows, renamed)
+				continue
+			}
+			if existing, dup := p.byKey[k]; dup {
+				for col, v := range renamed {
+					if _, has := existing[col]; !has {
+						existing[col] = v
+					}
+				}
+				continue
+			}
+			p.byKey[k] = renamed
+			p.order = append(p.order, k)
+		}
+	}
+
+	// Insert object rows. A row whose key already exists at an ancestor
+	// or descendant structure is fine (categories share identity with
+	// their parents); the store enforces uniqueness per structure only.
+	sort.Strings(targetOrder)
+	for _, target := range targetOrder {
+		p := targets[target]
+		for _, k := range p.order {
+			if err := out.Insert(target, p.byKey[k]); err != nil {
+				return nil, fmt.Errorf("instance: materialize %s: %w", target, err)
+			}
+		}
+		for _, row := range p.rows {
+			if err := out.Insert(target, row); err != nil {
+				return nil, fmt.Errorf("instance: materialize %s: %w", target, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// materializeRelationship migrates one component relationship set's rows.
+func (f *Federation) materializeRelationship(out *Store, src ecr.ObjectRef, target string) error {
+	store := f.components[src.Schema]
+	rel := store.schema.Relationship(src.Object)
+	intRel := f.integrated.Relationship(target)
+	if rel == nil || intRel == nil {
+		return nil
+	}
+	// Participant columns rename positionally: the integration preserves
+	// participant order for the first member and unifies later members
+	// into it, so map by index where possible.
+	colRename := map[string]string{}
+	for i, p := range rel.Participants {
+		if i < len(intRel.Participants) {
+			colRename[participantColumn(p)] = participantColumn(intRel.Participants[i])
+		}
+	}
+	for _, row := range store.rows[src.Object] {
+		renamed := make(Row, len(row))
+		for col, v := range row {
+			if to, ok := colRename[col]; ok {
+				renamed[to] = v
+				continue
+			}
+			if _, attr, ok := f.table.TargetAttr(ecr.AttrRef{Schema: src.Schema, Object: src.Object, Attr: col}); ok {
+				renamed[attr] = v
+				continue
+			}
+			renamed[col] = v
+		}
+		if err := out.Insert(target, renamed); err != nil {
+			return fmt.Errorf("instance: materialize %s: %w", target, err)
+		}
+	}
+	return nil
+}

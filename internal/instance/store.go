@@ -1,0 +1,286 @@
+// Package instance provides an in-memory instance level beneath the
+// schemas, making the generated mappings operational: the paper states that
+// "mappings are used to translate requests in an operational system after
+// integration", in both directions — view requests against the logical
+// schema, and global requests against the component databases. A Store
+// holds rows for one schema's structures (respecting attribute inheritance
+// along the IS-A lattice and key uniqueness); a Federation executes
+// integrated-schema queries by fanning them out to component stores through
+// the mapping table and merging the results; a ViewExecutor runs component
+// view queries against an integrated store.
+//
+// Values are kept as strings and compared according to the attribute's
+// declared domain (numeric domains compare numerically), which is all the
+// paper's request translation requires.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ecr"
+	"repro/internal/mapping"
+)
+
+// Row is one instance: attribute name → value.
+type Row map[string]string
+
+// clone copies a row.
+func (r Row) clone() Row {
+	c := make(Row, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// Store holds instances for the structures of one schema.
+type Store struct {
+	schema *ecr.Schema
+	rows   map[string][]Row
+}
+
+// NewStore builds an empty store over a validated schema.
+func NewStore(s *ecr.Schema) (*Store, error) {
+	if s == nil {
+		return nil, fmt.Errorf("instance: nil schema")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{schema: s, rows: map[string][]Row{}}, nil
+}
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *ecr.Schema { return st.schema }
+
+// attributesOf returns the attributes visible on a structure (inherited
+// ones included for object classes).
+func (st *Store) attributesOf(structure string) ([]ecr.Attribute, error) {
+	if o := st.schema.Object(structure); o != nil {
+		return st.schema.InheritedAttributes(structure), nil
+	}
+	if r := st.schema.Relationship(structure); r != nil {
+		attrs := append([]ecr.Attribute(nil), r.Attributes...)
+		// Relationship rows also carry one column per participant,
+		// holding the key of the participating entity.
+		for _, p := range r.Participants {
+			attrs = append(attrs, ecr.Attribute{Name: participantColumn(p), Domain: "char"})
+		}
+		return attrs, nil
+	}
+	return nil, fmt.Errorf("instance: schema %s has no structure %q", st.schema.Name, structure)
+}
+
+// participantColumn names the implicit column holding a participant
+// reference.
+func participantColumn(p ecr.Participation) string {
+	if p.Role != "" {
+		return p.Object + "_" + p.Role
+	}
+	return p.Object
+}
+
+// Insert adds a row to a structure. Every row attribute must exist on the
+// structure (inherited attributes count); key attributes must be present
+// and unique within the structure.
+func (st *Store) Insert(structure string, row Row) error {
+	attrs, err := st.attributesOf(structure)
+	if err != nil {
+		return err
+	}
+	byName := map[string]ecr.Attribute{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	for col := range row {
+		if _, ok := byName[col]; !ok {
+			return fmt.Errorf("instance: %s.%s has no attribute %q", st.schema.Name, structure, col)
+		}
+	}
+	for _, a := range attrs {
+		if !a.Key {
+			continue
+		}
+		v, ok := row[a.Name]
+		if !ok {
+			return fmt.Errorf("instance: %s.%s: key attribute %q missing", st.schema.Name, structure, a.Name)
+		}
+		for _, existing := range st.rows[structure] {
+			if existing[a.Name] == v {
+				return fmt.Errorf("instance: %s.%s: duplicate key %s=%q", st.schema.Name, structure, a.Name, v)
+			}
+		}
+	}
+	st.rows[structure] = append(st.rows[structure], row.clone())
+	return nil
+}
+
+// Count returns the number of rows stored directly in a structure.
+func (st *Store) Count(structure string) int { return len(st.rows[structure]) }
+
+// Select runs a selection/projection query against the store. For an
+// object class, the result includes the rows of every descendant in the
+// IS-A lattice (a graduate student is a student); rows are returned in
+// insertion order, descendants after their ancestors, deduplicated by key
+// when the queried class has one.
+func (st *Store) Select(q mapping.Query) ([]Row, error) {
+	if q.Schema != "" && q.Schema != st.schema.Name {
+		return nil, fmt.Errorf("instance: query is against %q, store holds %q", q.Schema, st.schema.Name)
+	}
+	attrs, err := st.attributesOf(q.Object)
+	if err != nil {
+		return nil, err
+	}
+	domains := map[string]string{}
+	for _, a := range attrs {
+		domains[a.Name] = a.Domain
+	}
+	for _, p := range q.Project {
+		if _, ok := domains[p]; !ok {
+			return nil, fmt.Errorf("instance: %s.%s has no attribute %q", st.schema.Name, q.Object, p)
+		}
+	}
+	for _, w := range q.Where {
+		if _, ok := domains[w.Attr]; !ok {
+			return nil, fmt.Errorf("instance: %s.%s has no attribute %q", st.schema.Name, q.Object, w.Attr)
+		}
+	}
+
+	structures := []string{q.Object}
+	if st.schema.Object(q.Object) != nil {
+		structures = append(structures, descendantsOf(st.schema, q.Object)...)
+	}
+	keyAttr := ""
+	for _, a := range attrs {
+		if a.Key {
+			keyAttr = a.Name
+			break
+		}
+	}
+	seenKey := map[string]bool{}
+	var out []Row
+	for _, structure := range structures {
+		for _, row := range st.rows[structure] {
+			match, err := rowMatches(row, q.Where, domains)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				continue
+			}
+			if keyAttr != "" {
+				if k, ok := row[keyAttr]; ok {
+					if seenKey[k] {
+						continue
+					}
+					seenKey[k] = true
+				}
+			}
+			out = append(out, project(row, q.Project))
+		}
+	}
+	return out, nil
+}
+
+func descendantsOf(s *ecr.Schema, name string) []string {
+	var out []string
+	seen := map[string]bool{name: true}
+	queue := []string{name}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, child := range s.Children(cur) {
+			if !seen[child] {
+				seen[child] = true
+				out = append(out, child)
+				queue = append(queue, child)
+			}
+		}
+	}
+	return out
+}
+
+func project(row Row, cols []string) Row {
+	if len(cols) == 0 {
+		return row.clone()
+	}
+	out := make(Row, len(cols))
+	for _, c := range cols {
+		if v, ok := row[c]; ok {
+			out[c] = v
+		}
+	}
+	return out
+}
+
+func rowMatches(row Row, preds []mapping.Predicate, domains map[string]string) (bool, error) {
+	for _, p := range preds {
+		v, ok := row[p.Attr]
+		if !ok {
+			return false, nil
+		}
+		cmp, err := compareValues(v, p.Value, domains[p.Attr])
+		if err != nil {
+			return false, err
+		}
+		holds := false
+		switch p.Op {
+		case "=", "==":
+			holds = cmp == 0
+		case "!=", "<>":
+			holds = cmp != 0
+		case "<":
+			holds = cmp < 0
+		case "<=":
+			holds = cmp <= 0
+		case ">":
+			holds = cmp > 0
+		case ">=":
+			holds = cmp >= 0
+		default:
+			return false, fmt.Errorf("instance: unknown operator %q", p.Op)
+		}
+		if !holds {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// compareValues compares two values under the attribute's domain: int and
+// real compare numerically, everything else lexically.
+func compareValues(a, b, domain string) (int, error) {
+	switch strings.ToLower(domain) {
+	case "int", "real":
+		fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+		if errA != nil || errB != nil {
+			// Fall back to lexical comparison for unparsable data.
+			return strings.Compare(a, b), nil
+		}
+		switch {
+		case fa < fb:
+			return -1, nil
+		case fa > fb:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return strings.Compare(a, b), nil
+	}
+}
+
+// SortRows orders rows deterministically by the given column then by all
+// remaining columns, for stable test output.
+func SortRows(rows []Row, col string) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i][col] != rows[j][col] {
+			return rows[i][col] < rows[j][col]
+		}
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}

@@ -1,0 +1,262 @@
+package integrate_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/integrate"
+)
+
+func entity(name string, attrs ...string) *ecr.ObjectClass {
+	o := &ecr.ObjectClass{Name: name, Kind: ecr.KindEntity}
+	for i, a := range attrs {
+		o.Attributes = append(o.Attributes, ecr.Attribute{Name: a, Domain: "char", Key: i == 0})
+	}
+	return o
+}
+
+func schemaWith(name string, objects ...*ecr.ObjectClass) *ecr.Schema {
+	s := ecr.NewSchema(name)
+	for _, o := range objects {
+		if err := s.AddObject(o); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+func TestDerivedNameCollisionGetsSuffix(t *testing.T) {
+	// Two disjoint-integrable pairs whose 4-char truncations collide:
+	// (Alpha1, Beta1) and (Alph_x, Beta_y) both yield D_Alph_Beta.
+	s1 := schemaWith("a", entity("Alphonse", "k1"), entity("Alphard", "k2"))
+	s2 := schemaWith("b", entity("Betamax", "k3"), entity("Betatron", "k4"))
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "Alphonse"), okey("b", "Betamax"), assertion.DisjointIntegrable); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("a", "Alphard"), okey("b", "Betatron"), assertion.DisjointIntegrable); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Object("D_Alph_Beta") == nil || res.Schema.Object("D_Alph_Beta_2") == nil {
+		t.Errorf("collision suffix missing: %v", names(res.Schema))
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectInTwoDerivedPairs(t *testing.T) {
+	// X may-be Y and X may-be Z: X ends up under two derived parents (a
+	// lattice, not a tree).
+	s1 := schemaWith("a", entity("X", "k"))
+	s2 := schemaWith("b", entity("Y", "k"), entity("Z", "k2"))
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "X"), okey("b", "Y"), assertion.MayBe); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("a", "X"), okey("b", "Z"), assertion.MayBe); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Schema.Object("X")
+	if len(x.Parents) != 2 {
+		t.Errorf("X parents = %v, want two derived parents", x.Parents)
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualsMergeOfThreeViaCluster(t *testing.T) {
+	// a.P = b.P and the merged node then contains b.Q.
+	s1 := schemaWith("a", entity("P", "k"))
+	s2 := schemaWith("b", entity("P", "k"), entity("Q", "k2"))
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "P"), okey("b", "P"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("a", "P"), okey("b", "Q"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	reg := equivalence.NewRegistry()
+	if err := reg.Declare(
+		ecr.AttrRef{Schema: "a", Object: "P", Attr: "k"},
+		ecr.AttrRef{Schema: "b", Object: "P", Attr: "k"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Registry: reg, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := res.Schema.Object("E_P")
+	if ep == nil {
+		t.Fatalf("merged E_P missing: %v", names(res.Schema))
+	}
+	q := res.Schema.Object("Q")
+	if q == nil || len(q.Parents) != 1 || q.Parents[0] != "E_P" {
+		t.Errorf("Q = %+v", q)
+	}
+	if _, ok := ep.Attribute("D_k"); !ok {
+		t.Errorf("merged attribute missing: %+v", ep.Attributes)
+	}
+}
+
+func TestRelationshipCardinalityWidening(t *testing.T) {
+	mk := func(schema string, min1, max1 int) *ecr.Schema {
+		s := schemaWith(schema, entity("P", "k"), entity("Q", "k2"))
+		if err := s.AddRelationship(&ecr.RelationshipSet{
+			Name: "R",
+			Participants: []ecr.Participation{
+				{Object: "P", Card: ecr.Cardinality{Min: min1, Max: max1}},
+				{Object: "Q", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 := mk("a", 1, 1)
+	s2 := mk("b", 0, ecr.N)
+	objs := assertion.NewSet()
+	for _, n := range []string{"P", "Q"} {
+		if err := objs.Assert(okey("a", n), okey("b", n), assertion.Equals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rels := assertion.NewSet()
+	if err := rels.Assert(okey("a", "R"), okey("b", "R"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: objs, Relationships: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := res.Schema.Relationship("E_R")
+	if er == nil {
+		t.Fatalf("merged relationship missing: %v", names(res.Schema))
+	}
+	p, ok := er.Participant("E_P")
+	if !ok || p.Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Errorf("widened participation = %+v", p)
+	}
+}
+
+func TestAttributeNameCollisionInMergedClass(t *testing.T) {
+	// Both sides carry an attribute literally named "D_k" plus an
+	// equivalent pair named "k": the derived attribute would collide with
+	// the existing name and must get a suffix.
+	o1 := &ecr.ObjectClass{Name: "P", Kind: ecr.KindEntity, Attributes: []ecr.Attribute{
+		{Name: "k", Domain: "char", Key: true},
+		{Name: "D_k", Domain: "char"},
+	}}
+	o2 := &ecr.ObjectClass{Name: "P", Kind: ecr.KindEntity, Attributes: []ecr.Attribute{
+		{Name: "k", Domain: "char", Key: true},
+	}}
+	s1 := schemaWith("a", o1)
+	s2 := schemaWith("b", o2)
+	reg := equivalence.NewRegistry()
+	if err := reg.Declare(
+		ecr.AttrRef{Schema: "a", Object: "P", Attr: "k"},
+		ecr.AttrRef{Schema: "b", Object: "P", Attr: "k"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "P"), okey("b", "P"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Registry: reg, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := res.Schema.Object("E_P")
+	seen := map[string]int{}
+	for _, a := range ep.Attributes {
+		seen[a.Name]++
+	}
+	for name, n := range seen {
+		if n > 1 {
+			t.Errorf("attribute name %q appears %d times: %+v", name, n, ep.Attributes)
+		}
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoryEqualsEntity(t *testing.T) {
+	// A category of one schema asserted equal to an entity set of the
+	// other: the merged class keeps the category's parent edge.
+	s1 := ecr.NewSchema("a")
+	if err := s1.AddObject(entity("Person", "Name")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AddObject(&ecr.ObjectClass{
+		Name: "Student", Kind: ecr.KindCategory, Parents: []string{"Person"},
+		Attributes: []ecr.Attribute{{Name: "GPA", Domain: "real"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := schemaWith("b", entity("Pupil", "Name", "Year"))
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "Student"), okey("b", "Pupil"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := res.Schema.Object("E_Stud_Pupi")
+	if merged == nil {
+		t.Fatalf("merged class missing: %v", names(res.Schema))
+	}
+	if merged.Kind != ecr.KindCategory || len(merged.Parents) != 1 || merged.Parents[0] != "Person" {
+		t.Errorf("merged = %+v", merged)
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainmentCycleRejected(t *testing.T) {
+	// a.P = b.Q via equals, then P contains b.R and b.R contains a.P2
+	// where a.P2 = b.Q... construct a true cycle at the group level:
+	// A ⊃ B and B ⊃ A is caught at Assert; a cycle through merging needs
+	// three parties. Build it with raw sets to bypass incremental
+	// checks, then expect Integrate's closure to reject it.
+	s1 := schemaWith("a", entity("A", "k"), entity("C", "k3"))
+	s2 := schemaWith("b", entity("B", "k2"))
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "A"), okey("b", "B"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("b", "B"), okey("a", "C"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("a", "C"), okey("b", "B"), assertion.Contains); err == nil {
+		t.Fatal("direct contradiction should fail at Assert")
+	}
+	// C ⊃ A closes the cycle A ⊃ B ⊃ C ⊃ A.
+	if err := set.Assert(okey("a", "C"), okey("a", "A"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	_, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: set})
+	if err == nil {
+		t.Fatal("cyclic containment must be rejected")
+	}
+	if !strings.Contains(err.Error(), "inconsistent") && !strings.Contains(err.Error(), "cycle") &&
+		!strings.Contains(err.Error(), "within one schema") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,313 @@
+package integrate
+
+import (
+	"sort"
+
+	"repro/internal/assertion"
+)
+
+// nodeFinder is a union-find over the integration nodes keyed by component
+// object keys, used to merge "equals" groups.
+type nodeFinder struct {
+	nodes map[assertion.ObjKey]*node
+}
+
+func newNodeFinder(nodes map[assertion.ObjKey]*node) *nodeFinder {
+	return &nodeFinder{nodes: nodes}
+}
+
+// node resolves the current node of a key (nil for unknown keys).
+func (f *nodeFinder) node(key assertion.ObjKey) *node {
+	return f.nodes[key]
+}
+
+// union merges the nodes of a and b, keeping the one with the smaller
+// emission order and concatenating members in order.
+func (f *nodeFinder) union(a, b assertion.ObjKey) {
+	na, nb := f.nodes[a], f.nodes[b]
+	if na == nil || nb == nil || na == nb {
+		return
+	}
+	keep, drop := na, nb
+	if nb.order < na.order {
+		keep, drop = nb, na
+	}
+	keep.members = append(keep.members, drop.members...)
+	for _, m := range drop.members {
+		f.nodes[m.key] = keep
+	}
+}
+
+// groupSet is the distinct nodes after merging.
+type groupSet []*node
+
+func (f *nodeFinder) groups(keys []assertion.ObjKey) groupSet {
+	seen := map[*node]bool{}
+	var out groupSet
+	for _, k := range keys {
+		n := f.nodes[k]
+		if n != nil && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (g groupSet) nodes() []*node { return append([]*node(nil), g...) }
+
+// clusterFinder groups nodes connected by any integrable assertion — the
+// paper's clusters, which partition the schemas into manageable subsets.
+type clusterFinder struct {
+	parent map[*node]*node
+}
+
+func newClusterFinder(nodes []*node) *clusterFinder {
+	cf := &clusterFinder{parent: make(map[*node]*node, len(nodes))}
+	for _, n := range nodes {
+		cf.parent[n] = n
+	}
+	return cf
+}
+
+func (cf *clusterFinder) find(n *node) *node {
+	if cf.parent[n] == nil {
+		cf.parent[n] = n
+		return n
+	}
+	root := n
+	for cf.parent[root] != root {
+		root = cf.parent[root]
+	}
+	for cf.parent[n] != root {
+		cf.parent[n], n = root, cf.parent[n]
+	}
+	return root
+}
+
+func (cf *clusterFinder) union(a, b *node) {
+	ra, rb := cf.find(a), cf.find(b)
+	if ra != rb {
+		cf.parent[ra] = rb
+	}
+}
+
+// clusters returns the member keys of every multi-node cluster, each
+// sorted, largest cluster first.
+func (cf *clusterFinder) clusters() [][]assertion.ObjKey {
+	byRoot := map[*node][]*node{}
+	for n := range cf.parent {
+		root := cf.find(n)
+		byRoot[root] = append(byRoot[root], n)
+	}
+	var out [][]assertion.ObjKey
+	for _, ns := range byRoot {
+		var keys []assertion.ObjKey
+		for _, n := range ns {
+			keys = append(keys, nodeMemberKeys(n)...)
+		}
+		// A cluster is a group of related component objects; an
+		// equals-merged node alone still represents two related
+		// objects.
+		if len(keys) < 2 {
+			continue
+		}
+		sortKeys(keys)
+		out = append(out, keys)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0].String() < out[j][0].String()
+	})
+	return out
+}
+
+// orderedNodePair returns a canonical ordering of a node pair for use as a
+// map key.
+func orderedNodePair(a, b *node) [2]*node {
+	if b.order < a.order {
+		return [2]*node{b, a}
+	}
+	return [2]*node{a, b}
+}
+
+// nodeReaches reports whether parent is reachable from child along parent
+// edges.
+func nodeReaches(child, parent *node) bool {
+	seen := map[*node]bool{}
+	queue := []*node{child}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == parent {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		queue = append(queue, cur.parents...)
+	}
+	return false
+}
+
+// findNodeCycle returns the names (or member labels) along a cycle in the
+// parent graph, or nil.
+func findNodeCycle(nodes []*node) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*node]int{}
+	var stack []*node
+	var cycle []string
+
+	label := func(n *node) string {
+		if n.name != "" {
+			return n.name
+		}
+		if len(n.members) > 0 {
+			return n.members[0].key.String()
+		}
+		return "?"
+	}
+
+	var visit func(n *node) bool
+	visit = func(n *node) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, p := range n.parents {
+			switch color[p] {
+			case gray:
+				for i, sn := range stack {
+					if sn == p {
+						for _, cn := range stack[i:] {
+							cycle = append(cycle, label(cn))
+						}
+						cycle = append(cycle, label(p))
+						return true
+					}
+				}
+				cycle = []string{label(p), label(n), label(p)}
+				return true
+			case white:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			if visit(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// reduceParents removes redundant parent edges: a parent reachable through
+// another parent is dropped (transitive reduction of the IS-A DAG).
+func reduceParents(nodes []*node) {
+	for _, n := range nodes {
+		if len(n.parents) < 2 {
+			continue
+		}
+		var kept []*node
+		for i, p := range n.parents {
+			redundant := false
+			for j, q := range n.parents {
+				if i == j {
+					continue
+				}
+				if q != p && nodeReaches(q, p) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				kept = append(kept, p)
+			}
+		}
+		n.parents = dedupeNodes(kept)
+	}
+}
+
+func dedupeNodes(ns []*node) []*node {
+	seen := map[*node]bool{}
+	var out []*node
+	for _, n := range ns {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// topoOrder returns the nodes parents-first (ancestors before descendants).
+// Cycles have been rejected before this runs; any residual cycle members
+// are appended at the end so the order is total.
+func topoOrder(nodes []*node) []*node {
+	indeg := map[*node]int{}
+	children := map[*node][]*node{}
+	for _, n := range nodes {
+		if _, ok := indeg[n]; !ok {
+			indeg[n] = 0
+		}
+		for _, p := range n.parents {
+			children[p] = append(children[p], n)
+			indeg[n]++
+		}
+	}
+	var queue []*node
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].order < queue[j].order })
+	var out []*node
+	emitted := map[*node]bool{}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		emitted[n] = true
+		for _, c := range children[n] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if !emitted[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// trunc4 keeps the first four characters of a name, the convention behind
+// the paper's derived names (D_Stud_Facu, D_Grad_Inst, D_Secr_Engi,
+// E_Stud_Majo).
+func trunc4(name string) string {
+	r := []rune(name)
+	if len(r) > 4 {
+		r = r[:4]
+	}
+	return string(r)
+}
+
+// derivedName composes a derived-class name from its two children.
+func derivedName(prefix, a, b string) string {
+	return prefix + trunc4(a) + "_" + trunc4(b)
+}

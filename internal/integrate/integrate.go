@@ -1,0 +1,251 @@
+// Package integrate implements the fourth phase of the tool's methodology:
+// given two component schemas, the attribute equivalence classes and a
+// consistent set of assertions, it produces the integrated schema and the
+// mappings between each component schema and the integrated schema.
+//
+// Object classes connected by any assertion except disjoint-nonintegrable
+// form clusters. Within a cluster:
+//
+//   - classes asserted "equals" merge into a single class carrying the "E_"
+//     prefix;
+//   - a class asserted "contained in" another becomes a category of it;
+//   - classes asserted "may be" or "disjoint integrable" are placed under a
+//     new derived class carrying the "D_" prefix, of which they become
+//     categories.
+//
+// Equivalent attributes of merged classes, and of a category and its
+// containing class, are combined into derived attributes (prefix "D_")
+// whose component attributes are recorded for the Component Attribute
+// screens. Derived superclasses created for "may be" and
+// "disjoint integrable" pairs carry no attributes of their own: the paper's
+// own result screens show the category Student keeping its derived D_Name
+// even though D_Stud_Facu is above it, so attributes are not lifted into
+// derived superclasses (see DESIGN.md).
+//
+// Relationship sets are integrated the same way after object classes, their
+// participants remapped onto the integrated object classes; lattice edges
+// between relationship sets are recorded in RelationshipSet.Parents.
+// Finally the mappings from every component structure and attribute to its
+// integrated counterpart are emitted.
+package integrate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/mapping"
+)
+
+// Input collects everything the integration phase consumes.
+type Input struct {
+	// S1, S2 are the component schemas; they are treated as immutable.
+	S1, S2 *ecr.Schema
+	// Registry holds the attribute equivalence classes from the schema
+	// analysis phase. A nil registry means no equivalent attributes.
+	Registry *equivalence.Registry
+	// Objects is the Entity Assertion matrix for object classes; nil
+	// means no assertions (everything copies through).
+	Objects *assertion.Set
+	// Relationships is the assertion matrix for relationship sets.
+	Relationships *assertion.Set
+	// Name optionally names the integrated schema; the default is
+	// "INT_<s1>_<s2>".
+	Name string
+}
+
+// Result is the outcome of an integration.
+type Result struct {
+	// Schema is the integrated schema.
+	Schema *ecr.Schema
+	// Mappings relate every component structure and attribute to its
+	// integrated counterpart.
+	Mappings *mapping.Table
+	// Clusters lists the groups of related objects that were integrated
+	// together (each sorted), largest first. Singleton clusters
+	// (copy-through objects) are omitted.
+	Clusters [][]assertion.ObjKey
+	// Report logs the integration decisions in order, for display by the
+	// result-viewing screens.
+	Report []string
+}
+
+// Error describes why an integration could not proceed.
+type Error struct {
+	Stage string
+	Msg   string
+	// Conflicts carries assertion conflicts when Stage is "closure".
+	Conflicts []*assertion.Conflict
+}
+
+// Error renders the failure.
+func (e *Error) Error() string {
+	s := fmt.Sprintf("integrate: %s: %s", e.Stage, e.Msg)
+	for _, c := range e.Conflicts {
+		s += "\n  " + c.Error()
+	}
+	return s
+}
+
+// Integrate runs the integration phase. The assertion matrices are closed
+// (transitively completed) first; any conflict aborts with an *Error whose
+// Conflicts field carries the contradictions for the DDA to resolve.
+func Integrate(in Input) (*Result, error) {
+	if in.S1 == nil || in.S2 == nil {
+		return nil, &Error{Stage: "input", Msg: "both component schemas are required"}
+	}
+	if in.S1.Name == in.S2.Name {
+		return nil, &Error{Stage: "input", Msg: fmt.Sprintf("component schemas share the name %q", in.S1.Name)}
+	}
+	for _, s := range []*ecr.Schema{in.S1, in.S2} {
+		if err := s.Validate(); err != nil {
+			return nil, &Error{Stage: "input", Msg: err.Error()}
+		}
+	}
+	reg := in.Registry
+	if reg == nil {
+		reg = equivalence.NewRegistry()
+	}
+	objAsserts := cloneOrEmpty(in.Objects)
+	relAsserts := cloneOrEmpty(in.Relationships)
+
+	if err := checkAssertionTargets(objAsserts, in.S1, in.S2, false); err != nil {
+		return nil, err
+	}
+	if err := checkAssertionTargets(relAsserts, in.S1, in.S2, true); err != nil {
+		return nil, err
+	}
+
+	if res := objAsserts.Close(); !res.Consistent() {
+		return nil, &Error{Stage: "closure", Msg: "object assertions are inconsistent", Conflicts: res.Conflicts}
+	}
+	if res := relAsserts.Close(); !res.Consistent() {
+		return nil, &Error{Stage: "closure", Msg: "relationship assertions are inconsistent", Conflicts: res.Conflicts}
+	}
+
+	name := in.Name
+	if name == "" {
+		name = "INT_" + in.S1.Name + "_" + in.S2.Name
+	}
+
+	b := &builder{
+		s1:   in.S1.Clone(),
+		s2:   in.S2.Clone(),
+		reg:  reg,
+		out:  ecr.NewSchema(name),
+		tab:  &mapping.Table{Components: []string{in.S1.Name, in.S2.Name}, Integrated: name},
+		used: map[string]bool{},
+	}
+	if err := b.buildObjects(objAsserts); err != nil {
+		return nil, err
+	}
+	if err := b.buildRelationships(relAsserts); err != nil {
+		return nil, err
+	}
+	if err := b.out.Validate(); err != nil {
+		return nil, &Error{Stage: "assemble", Msg: "integrated schema failed validation: " + err.Error()}
+	}
+
+	return &Result{
+		Schema:   b.out,
+		Mappings: b.tab,
+		Clusters: b.clusters,
+		Report:   b.report,
+	}, nil
+}
+
+// NAry integrates several schemas by repeated binary integration, the
+// paper's stated way of handling more than two schemas ("a result of
+// integration of two schemas can be integrated with another schema").
+// Assertions and equivalences must be phrased against the accumulated
+// intermediate schema names, which the steps callback receives; most
+// callers use the workload package or the session, which handle this.
+type NAryStep struct {
+	// Next is the schema to fold in.
+	Next *ecr.Schema
+	// Prepare receives the accumulated schema and must return the inputs
+	// for integrating it with Next.
+	Prepare func(accumulated *ecr.Schema) (reg *equivalence.Registry, objects, relationships *assertion.Set, err error)
+}
+
+// NAry folds the steps into base, returning the final result and the
+// per-step mapping tables.
+func NAry(base *ecr.Schema, steps []NAryStep, nameOf func(step int) string) (*ecr.Schema, []*mapping.Table, error) {
+	acc := base
+	var tables []*mapping.Table
+	for i, st := range steps {
+		reg, objs, rels, err := st.Prepare(acc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("integrate: n-ary step %d: %w", i+1, err)
+		}
+		name := ""
+		if nameOf != nil {
+			name = nameOf(i)
+		}
+		res, err := Integrate(Input{
+			S1: acc, S2: st.Next,
+			Registry: reg, Objects: objs, Relationships: rels,
+			Name: name,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("integrate: n-ary step %d: %w", i+1, err)
+		}
+		acc = res.Schema
+		tables = append(tables, res.Mappings)
+	}
+	return acc, tables, nil
+}
+
+func cloneOrEmpty(s *assertion.Set) *assertion.Set {
+	if s == nil {
+		return assertion.NewSet()
+	}
+	return s.Clone()
+}
+
+func checkAssertionTargets(set *assertion.Set, s1, s2 *ecr.Schema, rel bool) error {
+	what := "object class"
+	if rel {
+		what = "relationship set"
+	}
+	for _, e := range set.Entries() {
+		for _, k := range []assertion.ObjKey{e.A, e.B} {
+			var s *ecr.Schema
+			switch k.Schema {
+			case s1.Name:
+				s = s1
+			case s2.Name:
+				s = s2
+			default:
+				return &Error{Stage: "input", Msg: fmt.Sprintf("assertion references unknown schema %q", k.Schema)}
+			}
+			if rel {
+				if s.Relationship(k.Object) == nil {
+					return &Error{Stage: "input", Msg: fmt.Sprintf("assertion references unknown %s %s", what, k)}
+				}
+			} else if s.Object(k.Object) == nil {
+				return &Error{Stage: "input", Msg: fmt.Sprintf("assertion references unknown %s %s", what, k)}
+			}
+		}
+		// DDA-specified assertions relate structures of different
+		// schemas; derived ones may legitimately fall within one
+		// schema (for example, a disjointness derived through a class
+		// of the other schema).
+		if !e.Derived && e.A.Schema == e.B.Schema {
+			return &Error{Stage: "input", Msg: fmt.Sprintf("assertion between %s and %s is within one schema; assertions relate structures of different schemas", e.A, e.B)}
+		}
+	}
+	return nil
+}
+
+// sortKeys orders object keys deterministically.
+func sortKeys(keys []assertion.ObjKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Schema != keys[j].Schema {
+			return keys[i].Schema < keys[j].Schema
+		}
+		return keys[i].Object < keys[j].Object
+	})
+}

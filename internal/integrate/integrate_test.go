@@ -1,0 +1,466 @@
+package integrate_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/integrate"
+	"repro/internal/paperex"
+)
+
+func okey(schema, object string) assertion.ObjKey {
+	return assertion.ObjKey{Schema: schema, Object: object}
+}
+
+func TestIntegrateInputValidation(t *testing.T) {
+	s1 := paperex.Sc1()
+	if _, err := integrate.Integrate(integrate.Input{S1: s1}); err == nil {
+		t.Error("missing schema should fail")
+	}
+	if _, err := integrate.Integrate(integrate.Input{S1: s1, S2: paperex.Sc1()}); err == nil {
+		t.Error("same-named schemas should fail")
+	}
+	bad := ecr.NewSchema("bad")
+	bad.Objects = []*ecr.ObjectClass{{Name: "C", Kind: ecr.KindCategory}}
+	if _, err := integrate.Integrate(integrate.Input{S1: s1, S2: bad}); err == nil {
+		t.Error("invalid schema should fail")
+	}
+}
+
+func TestIntegrateUnknownAssertionTarget(t *testing.T) {
+	set := assertion.NewSet()
+	if err := set.Assert(okey("sc1", "Nope"), okey("sc2", "Faculty"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	_, err := integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2(), Objects: set})
+	if err == nil || !strings.Contains(err.Error(), "unknown object class") {
+		t.Errorf("err = %v", err)
+	}
+	set2 := assertion.NewSet()
+	if err := set2.Assert(okey("zz", "X"), okey("sc2", "Faculty"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	_, err = integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2(), Objects: set2})
+	if err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIntegrateRejectsIntraSchemaUserAssertion(t *testing.T) {
+	set := assertion.NewSet()
+	if err := set.Assert(okey("sc2", "Faculty"), okey("sc2", "Grad_student"), assertion.DisjointIntegrable); err != nil {
+		t.Fatal(err)
+	}
+	_, err := integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2(), Objects: set})
+	if err == nil || !strings.Contains(err.Error(), "within one schema") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIntegrateConflictAborts(t *testing.T) {
+	set := assertion.NewSet()
+	// A = B, A ⊂ C, B disjoint C is inconsistent: A=B and A⊂C derive
+	// B⊂C, which contradicts disjointness.
+	if err := set.Assert(okey("sc1", "Student"), okey("sc2", "Grad_student"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("sc1", "Student"), okey("sc2", "Faculty"), assertion.ContainedIn); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("sc1", "Department"), okey("sc2", "Faculty"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	// Make it inconsistent directly: Grad_student disjoint Faculty
+	// contradicts Grad_student ⊂ Faculty derived via Student.
+	if err := set.Assert(okey("sc1", "Department"), okey("sc2", "Grad_student"), assertion.DisjointNonintegrable); err != nil {
+		t.Fatal(err)
+	}
+	_, err := integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2(), Objects: set})
+	ie, ok := err.(*integrate.Error)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if ie.Stage != "closure" || len(ie.Conflicts) == 0 {
+		t.Errorf("error = %+v", ie)
+	}
+}
+
+func TestIntegrateNoAssertionsCopiesEverything(t *testing.T) {
+	res, err := integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	// All objects copied; the duplicate Department names get qualified.
+	if len(s.Objects) != 5 {
+		t.Errorf("objects = %v", names(s))
+	}
+	if len(s.Relationships) != 3 {
+		t.Errorf("relationships = %v", names(s))
+	}
+	if s.Object("Department") == nil || s.Object("Department_2") == nil {
+		t.Errorf("name collision handling: %v", names(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Mapping still records where each copy went.
+	tgt, ok := res.Mappings.TargetObject(ecr.ObjectRef{Schema: "sc2", Object: "Department"})
+	if !ok || tgt != "Department_2" {
+		t.Errorf("sc2.Department -> %q", tgt)
+	}
+}
+
+func TestIntegrateDefaultName(t *testing.T) {
+	res, err := integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Name != "INT_sc1_sc2" {
+		t.Errorf("name = %q", res.Schema.Name)
+	}
+	res2, err := integrate.Integrate(integrate.Input{S1: paperex.Sc1(), S2: paperex.Sc2(), Name: "global"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Schema.Name != "global" {
+		t.Errorf("name = %q", res2.Schema.Name)
+	}
+}
+
+func TestIntegrateInputsImmutable(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	before1, before2 := ecr.FormatSchema(s1), ecr.FormatSchema(s2)
+	set := assertion.NewSet()
+	if err := set.Assert(okey("sc1", "Student"), okey("sc2", "Grad_student"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	reg := equivalence.NewRegistry()
+	if err := reg.Declare(
+		ecr.AttrRef{Schema: "sc1", Object: "Student", Attr: "Name"},
+		ecr.AttrRef{Schema: "sc2", Object: "Grad_student", Attr: "Name"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Registry: reg, Objects: set}); err != nil {
+		t.Fatal(err)
+	}
+	if ecr.FormatSchema(s1) != before1 || ecr.FormatSchema(s2) != before2 {
+		t.Error("integration mutated its input schemas")
+	}
+	if set.Len() != 1 {
+		t.Error("integration mutated the caller's assertion set")
+	}
+}
+
+func TestIntegrateEqualsDifferentNames(t *testing.T) {
+	a := ecr.NewSchema("a")
+	if err := a.AddObject(&ecr.ObjectClass{Name: "Employee", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "Name", Domain: "char", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	b := ecr.NewSchema("b")
+	if err := b.AddObject(&ecr.ObjectClass{Name: "Worker", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "Name", Domain: "char", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "Employee"), okey("b", "Worker"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	reg := equivalence.NewRegistry()
+	if err := reg.Declare(
+		ecr.AttrRef{Schema: "a", Object: "Employee", Attr: "Name"},
+		ecr.AttrRef{Schema: "b", Object: "Worker", Attr: "Name"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: a, S2: b, Registry: reg, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Object("E_Empl_Work") == nil {
+		t.Errorf("merged name wrong: %v", names(res.Schema))
+	}
+}
+
+func TestIntegrateChainOfCategories(t *testing.T) {
+	// a.Person ⊃ b.Student ⊃ a.Grad — subset chain across schemas builds
+	// a three-level lattice with transitive reduction (Grad under
+	// Student only, not directly under Person).
+	a := ecr.NewSchema("a")
+	for _, o := range []*ecr.ObjectClass{
+		{Name: "Person", Kind: ecr.KindEntity, Attributes: []ecr.Attribute{{Name: "Name", Domain: "char", Key: true}}},
+		{Name: "Grad", Kind: ecr.KindEntity, Attributes: []ecr.Attribute{{Name: "Thesis", Domain: "char"}}},
+	} {
+		if err := a.AddObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := ecr.NewSchema("b")
+	if err := b.AddObject(&ecr.ObjectClass{Name: "Student", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "GPA", Domain: "real"}}}); err != nil {
+		t.Fatal(err)
+	}
+	set := assertion.NewSet()
+	if err := set.Assert(okey("a", "Person"), okey("b", "Student"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Assert(okey("a", "Grad"), okey("b", "Student"), assertion.ContainedIn); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: a, S2: b, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	grad := s.Object("Grad")
+	if len(grad.Parents) != 1 || grad.Parents[0] != "Student" {
+		t.Errorf("Grad parents = %v (transitive reduction failed?)", grad.Parents)
+	}
+	student := s.Object("Student")
+	if len(student.Parents) != 1 || student.Parents[0] != "Person" {
+		t.Errorf("Student parents = %v", student.Parents)
+	}
+}
+
+func TestIntegratePreservesOriginalCategories(t *testing.T) {
+	// sc4 has Grad_student as a category of Student; integrating sc4
+	// with sc3 keeps the intra-schema edge.
+	s3, s4 := paperex.Sc3(), paperex.Sc4()
+	set := assertion.NewSet()
+	if err := set.Assert(okey("sc3", "Instructor"), okey("sc4", "Student"), assertion.MayBe); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s3, S2: s4, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	grad := s.Object("Grad_student")
+	if grad == nil || len(grad.Parents) != 1 || grad.Parents[0] != "Student" {
+		t.Errorf("Grad_student = %+v", grad)
+	}
+	if s.Object("D_Inst_Stud") == nil {
+		t.Errorf("derived class missing: %v", names(s))
+	}
+}
+
+func TestIntegrateReportMentionsDecisions(t *testing.T) {
+	s1, s2 := paperex.Fig2dSchemas()
+	set := assertion.NewSet()
+	if err := set.Assert(okey("f2d1", "Secretary"), okey("f2d2", "Engineer"), assertion.DisjointIntegrable); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Report, "\n")
+	if !strings.Contains(joined, "D_Secr_Engi") {
+		t.Errorf("report = %q", joined)
+	}
+}
+
+func TestNAryIntegration(t *testing.T) {
+	// Fold three schemas: sc1+sc2, then the Figure 2d pair's first
+	// schema with an equals against the accumulated result. Use a fresh
+	// third schema holding another Department.
+	third := ecr.NewSchema("sc9")
+	if err := third.AddObject(&ecr.ObjectClass{Name: "Department", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "Dname", Domain: "char", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []integrate.NAryStep{
+		{
+			Next: paperex.Sc2(),
+			Prepare: func(acc *ecr.Schema) (*equivalence.Registry, *assertion.Set, *assertion.Set, error) {
+				set := assertion.NewSet()
+				err := set.Assert(okey(acc.Name, "Department"), okey("sc2", "Department"), assertion.Equals)
+				return nil, set, nil, err
+			},
+		},
+		{
+			Next: third,
+			Prepare: func(acc *ecr.Schema) (*equivalence.Registry, *assertion.Set, *assertion.Set, error) {
+				set := assertion.NewSet()
+				err := set.Assert(okey(acc.Name, "E_Department"), okey("sc9", "Department"), assertion.Equals)
+				return nil, set, nil, err
+			},
+		},
+	}
+	final, tables, err := integrate.NAry(paperex.Sc1(), steps, func(i int) string {
+		return []string{"step1", "step2"}[i]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Name != "step2" {
+		t.Errorf("final name = %q", final.Name)
+	}
+	if len(tables) != 2 {
+		t.Errorf("tables = %d", len(tables))
+	}
+	// The thrice-merged department: E_Department merged again with sc9's.
+	found := false
+	for _, o := range final.Objects {
+		if strings.HasPrefix(o.Name, "E_") && len(o.Sources) == 2 {
+			for _, src := range o.Sources {
+				if src.Schema == "sc9" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("three-way department merge missing: %v", names(final))
+	}
+	if err := final.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateRecursiveRelationship(t *testing.T) {
+	a := ecr.NewSchema("a")
+	if err := a.AddObject(&ecr.ObjectClass{Name: "Emp", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "Name", Domain: "char", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddRelationship(&ecr.RelationshipSet{
+		Name: "Manages",
+		Participants: []ecr.Participation{
+			{Object: "Emp", Role: "boss", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			{Object: "Emp", Role: "minion", Card: ecr.Cardinality{Min: 0, Max: 1}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b := ecr.NewSchema("b")
+	if err := b.AddObject(&ecr.ObjectClass{Name: "Other", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: a, S2: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Schema.Relationship("Manages")
+	if m == nil || len(m.Participants) != 2 {
+		t.Fatalf("Manages = %+v", m)
+	}
+	if m.Participants[0].Role != "boss" || m.Participants[1].Role != "minion" {
+		t.Errorf("roles lost: %+v", m.Participants)
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateRelationshipDerivedParent(t *testing.T) {
+	// Two overlapping relationship sets derive a D_ parent relationship.
+	mk := func(schema, rel string) *ecr.Schema {
+		s := ecr.NewSchema(schema)
+		if err := s.AddObject(&ecr.ObjectClass{Name: "P", Kind: ecr.KindEntity,
+			Attributes: []ecr.Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddObject(&ecr.ObjectClass{Name: "Q", Kind: ecr.KindEntity,
+			Attributes: []ecr.Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddRelationship(&ecr.RelationshipSet{
+			Name: rel,
+			Participants: []ecr.Participation{
+				{Object: "P", Card: ecr.Cardinality{Min: 1, Max: 1}},
+				{Object: "Q", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := mk("x", "Teaches"), mk("y", "Advises")
+	objs := assertion.NewSet()
+	if err := objs.Assert(okey("x", "P"), okey("y", "P"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	if err := objs.Assert(okey("x", "Q"), okey("y", "Q"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	rels := assertion.NewSet()
+	if err := rels.Assert(okey("x", "Teaches"), okey("y", "Advises"), assertion.MayBe); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: objs, Relationships: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	d := s.Relationship("D_Teac_Advi")
+	if d == nil {
+		t.Fatalf("derived relationship missing: %v", names(s))
+	}
+	// Derived relationship generalizes: minimum participation relaxed.
+	for _, p := range d.Participants {
+		if p.Card.Min != 0 {
+			t.Errorf("derived participation %v should have min 0", p)
+		}
+	}
+	teaches := s.Relationship("Teaches")
+	if len(teaches.Parents) != 1 || teaches.Parents[0] != "D_Teac_Advi" {
+		t.Errorf("Teaches parents = %v", teaches.Parents)
+	}
+	if got := s.RelationshipChildren("D_Teac_Advi"); len(got) != 2 {
+		t.Errorf("children = %v", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateRelationshipSubset(t *testing.T) {
+	mk := func(schema, rel string) *ecr.Schema {
+		s := ecr.NewSchema(schema)
+		for _, n := range []string{"P", "Q"} {
+			if err := s.AddObject(&ecr.ObjectClass{Name: n, Kind: ecr.KindEntity,
+				Attributes: []ecr.Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.AddRelationship(&ecr.RelationshipSet{
+			Name: rel,
+			Participants: []ecr.Participation{
+				{Object: "P", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+				{Object: "Q", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := mk("x", "WorksOn"), mk("y", "Leads")
+	objs := assertion.NewSet()
+	if err := objs.Assert(okey("x", "P"), okey("y", "P"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	if err := objs.Assert(okey("x", "Q"), okey("y", "Q"), assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	rels := assertion.NewSet()
+	// Leads ⊂ WorksOn.
+	if err := rels.Assert(okey("x", "WorksOn"), okey("y", "Leads"), assertion.Contains); err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{S1: s1, S2: s2, Objects: objs, Relationships: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leads := res.Schema.Relationship("Leads")
+	if leads == nil || len(leads.Parents) != 1 || leads.Parents[0] != "WorksOn" {
+		t.Errorf("Leads = %+v", leads)
+	}
+}

@@ -1,0 +1,481 @@
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/mapping"
+)
+
+// builder carries the working state of one integration.
+type builder struct {
+	s1, s2 *ecr.Schema
+	reg    *equivalence.Registry
+	out    *ecr.Schema
+	tab    *mapping.Table
+
+	used     map[string]bool // names taken in the output schema
+	clusters [][]assertion.ObjKey
+	report   []string
+
+	// objNode maps every component object class to its integrated node.
+	objNode map[assertion.ObjKey]*node
+}
+
+func (b *builder) logf(format string, args ...any) {
+	b.report = append(b.report, fmt.Sprintf(format, args...))
+}
+
+// node is one object class of the integrated schema under construction.
+type node struct {
+	name    string
+	members []member // component classes merged into this node (empty for derived nodes)
+	derived bool     // created for a may-be or disjoint-integrable pair
+	parents []*node
+	attrs   []battr
+	// order is the emission position: members keep their first
+	// component's declaration position, derived nodes come after.
+	order int
+}
+
+// member is one component object class inside a node.
+type member struct {
+	key assertion.ObjKey
+	obj *ecr.ObjectClass
+}
+
+// battr is an attribute being assembled, with provenance.
+type battr struct {
+	name       string
+	domain     string
+	key        bool
+	components []ecr.AttrRef
+	classes    map[int]bool // equivalence class ids of the components
+}
+
+func (a *battr) sharesClass(other *battr) bool {
+	for id := range a.classes {
+		if other.classes[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// buildObjects performs object-class integration.
+func (b *builder) buildObjects(asserts *assertion.Set) error {
+	// One node per component object class, merged below.
+	b.objNode = make(map[assertion.ObjKey]*node)
+	var keys []assertion.ObjKey
+	order := 0
+	for _, s := range []*ecr.Schema{b.s1, b.s2} {
+		for _, o := range s.Objects {
+			key := assertion.ObjKey{Schema: s.Name, Object: o.Name}
+			b.objNode[key] = &node{members: []member{{key: key, obj: o}}, order: order}
+			keys = append(keys, key)
+			order++
+		}
+	}
+
+	// Merge "equals" groups with a union-find over nodes.
+	find := newNodeFinder(b.objNode)
+	for _, e := range asserts.Entries() {
+		if e.Kind.Rel() == assertion.RelEqual {
+			find.union(e.A, e.B)
+		}
+	}
+	groups := find.groups(keys)
+
+	// Group-level relations from the closed assertion matrix.
+	type groupPair struct{ child, parent *node }
+	var subsetEdges []groupPair
+	type dPair struct {
+		a, b *node
+		kind assertion.Kind
+	}
+	var dPairs []dPair
+	seenPair := map[[2]*node]bool{}
+	clusterUF := newClusterFinder(groups.nodes())
+
+	for _, e := range asserts.Entries() {
+		ga, gb := find.node(e.A), find.node(e.B)
+		if ga == gb {
+			continue
+		}
+		pk := orderedNodePair(ga, gb)
+		switch e.Kind.Rel() {
+		case assertion.RelSubset:
+			if !seenPair[pk] {
+				seenPair[pk] = true
+				subsetEdges = append(subsetEdges, groupPair{child: ga, parent: gb})
+				b.logf("contained in: %s becomes a category of %s", b.nodeLabel(ga), b.nodeLabel(gb))
+			}
+			clusterUF.union(ga, gb)
+		case assertion.RelSuperset:
+			if !seenPair[pk] {
+				seenPair[pk] = true
+				subsetEdges = append(subsetEdges, groupPair{child: gb, parent: ga})
+				b.logf("contains: %s becomes a category of %s", b.nodeLabel(gb), b.nodeLabel(ga))
+			}
+			clusterUF.union(ga, gb)
+		case assertion.RelOverlap:
+			if !seenPair[pk] {
+				seenPair[pk] = true
+				dPairs = append(dPairs, dPair{a: ga, b: gb, kind: e.Kind})
+			}
+			clusterUF.union(ga, gb)
+		case assertion.RelDisjoint:
+			if e.Kind == assertion.DisjointIntegrable {
+				if !seenPair[pk] {
+					seenPair[pk] = true
+					dPairs = append(dPairs, dPair{a: ga, b: gb, kind: e.Kind})
+				}
+				clusterUF.union(ga, gb)
+			}
+		case assertion.RelEqual:
+			// handled by merging
+		}
+	}
+	// Equals pairs also belong to clusters.
+	for _, e := range asserts.Entries() {
+		if e.Kind.Rel() == assertion.RelEqual {
+			clusterUF.union(find.node(e.A), find.node(e.B))
+		}
+	}
+	b.clusters = clusterUF.clusters()
+
+	// Intra-schema IS-A edges (original categories) become subset edges
+	// between the merged nodes.
+	for _, s := range []*ecr.Schema{b.s1, b.s2} {
+		for _, o := range s.Objects {
+			child := find.node(assertion.ObjKey{Schema: s.Name, Object: o.Name})
+			for _, p := range o.Parents {
+				parent := find.node(assertion.ObjKey{Schema: s.Name, Object: p})
+				if parent == nil || parent == child {
+					continue
+				}
+				pk := orderedNodePair(child, parent)
+				if !seenPair[pk] {
+					seenPair[pk] = true
+					subsetEdges = append(subsetEdges, groupPair{child: child, parent: parent})
+				}
+			}
+		}
+	}
+
+	// Wire subset edges and reject cycles.
+	for _, e := range subsetEdges {
+		e.child.parents = append(e.child.parents, e.parent)
+	}
+	if cyc := findNodeCycle(groups.nodes()); len(cyc) > 0 {
+		return &Error{Stage: "objects", Msg: "containment assertions form a cycle: " + strings.Join(cyc, " -> ")}
+	}
+
+	// Derived superclasses for may-be / disjoint-integrable pairs. A
+	// pair already related through the subset lattice needs no derived
+	// parent (its relation is expressed structurally), but a consistent
+	// closure never produces that situation; the guard is defensive.
+	dOrder := order
+	allNodes := groups.nodes()
+	for _, dp := range dPairs {
+		if nodeReaches(dp.a, dp.b) || nodeReaches(dp.b, dp.a) {
+			continue
+		}
+		dn := &node{derived: true, order: dOrder}
+		dOrder++
+		dp.a.parents = append(dp.a.parents, dn)
+		dp.b.parents = append(dp.b.parents, dn)
+		dn.name = b.claimName(derivedName("D_", b.nodeBaseName(dp.a), b.nodeBaseName(dp.b)))
+		b.logf("%s: derived class %s over %s and %s",
+			dp.kind, dn.name, b.nodeLabel(dp.a), b.nodeLabel(dp.b))
+		allNodes = append(allNodes, dn)
+	}
+
+	// Transitive reduction of the parent edges keeps the lattice minimal
+	// (if a<b<c, a lists only b).
+	reduceParents(allNodes)
+
+	// Names for member-backed nodes.
+	sort.SliceStable(allNodes, func(i, j int) bool { return allNodes[i].order < allNodes[j].order })
+	for _, n := range allNodes {
+		if n.derived {
+			continue
+		}
+		n.name = b.claimName(b.mergedName(n))
+		if len(n.members) > 1 {
+			b.logf("equals: %s becomes %s", joinKeys(nodeMemberKeys(n)), n.name)
+		}
+	}
+
+	// Attribute assembly, then lifting along subset edges.
+	for _, n := range allNodes {
+		b.assembleAttrs(n)
+	}
+	b.liftAttrs(allNodes)
+
+	// Emit object classes.
+	for _, n := range allNodes {
+		oc := &ecr.ObjectClass{Name: n.name}
+		if len(n.parents) > 0 {
+			oc.Kind = ecr.KindCategory
+			var ps []string
+			for _, p := range n.parents {
+				ps = append(ps, p.name)
+			}
+			sort.Strings(ps)
+			oc.Parents = ps
+		} else {
+			oc.Kind = ecr.KindEntity
+		}
+		for _, m := range n.members {
+			oc.Sources = append(oc.Sources, ecr.ObjectRef{Schema: m.key.Schema, Object: m.key.Object, Kind: m.obj.Kind})
+		}
+		for _, a := range n.attrs {
+			attr := ecr.Attribute{Name: a.name, Domain: a.domain, Key: a.key}
+			if len(a.components) > 1 {
+				attr.Components = append([]ecr.AttrRef(nil), a.components...)
+			}
+			oc.Attributes = append(oc.Attributes, attr)
+		}
+		if err := b.out.AddObject(oc); err != nil {
+			return &Error{Stage: "objects", Msg: err.Error()}
+		}
+	}
+
+	// Mappings: each component class maps to its node; each component
+	// attribute maps to wherever its battr ended up (possibly an
+	// ancestor after lifting).
+	attrHome := map[ecr.AttrRef]struct{ object, attr string }{}
+	for _, n := range allNodes {
+		for _, a := range n.attrs {
+			for _, c := range a.components {
+				attrHome[c] = struct{ object, attr string }{n.name, a.name}
+			}
+		}
+	}
+	for _, key := range keys {
+		n := find.node(key)
+		via := "copy"
+		switch {
+		case len(n.members) > 1:
+			via = "equals-merge"
+		case len(n.parents) > 0:
+			via = "category"
+		case n.name != key.Object:
+			via = "renamed"
+		}
+		m := nodeMemberFor(n, key)
+		b.tab.AddObject(ecr.ObjectRef{Schema: key.Schema, Object: key.Object, Kind: m.obj.Kind}, n.name, via)
+		for _, a := range m.obj.Attributes {
+			ref := ecr.AttrRef{Schema: key.Schema, Object: key.Object, Kind: m.obj.Kind, Attr: a.Name}
+			if home, ok := attrHome[ref]; ok {
+				b.tab.AddAttr(ref, home.object, home.attr)
+			}
+		}
+	}
+	return nil
+}
+
+// assembleAttrs builds the attribute list of a node from its members,
+// merging attributes that share an equivalence class across members into a
+// single derived attribute.
+func (b *builder) assembleAttrs(n *node) {
+	if n.derived {
+		return // derived superclasses carry no attributes
+	}
+	for _, m := range n.members {
+		for _, a := range m.obj.Attributes {
+			ref := ecr.AttrRef{Schema: m.key.Schema, Object: m.key.Object, Kind: m.obj.Kind, Attr: a.Name}
+			classes := map[int]bool{}
+			if id, ok := b.reg.ClassID(ref); ok {
+				classes[id] = true
+			}
+			candidate := &battr{
+				name:       a.Name,
+				domain:     a.Domain,
+				key:        a.Key,
+				components: []ecr.AttrRef{ref},
+				classes:    classes,
+			}
+			merged := false
+			for i := range n.attrs {
+				if n.attrs[i].sharesClass(candidate) {
+					mergeBattr(&n.attrs[i], candidate)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				n.attrs = append(n.attrs, *candidate)
+			}
+		}
+	}
+	b.finishAttrNames(n)
+}
+
+// liftAttrs merges, for every node, each attribute that has an equivalent
+// attribute on a (transitive) non-derived ancestor into that ancestor's
+// attribute — the containing class then carries the derived attribute and
+// the category inherits it, as in the paper's Student/Grad_student example.
+func (b *builder) liftAttrs(nodes []*node) {
+	// Parents before children: process in topological order.
+	ordered := topoOrder(nodes)
+	for _, n := range ordered {
+		if len(n.parents) == 0 {
+			continue
+		}
+		var kept []battr
+		for _, a := range n.attrs {
+			target := findAncestorAttr(n, &a)
+			if target == nil {
+				kept = append(kept, a)
+				continue
+			}
+			mergeBattr(target, &a)
+		}
+		n.attrs = kept
+	}
+	for _, n := range ordered {
+		b.finishAttrNames(n)
+	}
+}
+
+// findAncestorAttr searches the node's ancestors (nearest first, skipping
+// derived superclasses, which hold no attributes) for an attribute sharing
+// an equivalence class with a.
+func findAncestorAttr(n *node, a *battr) *battr {
+	queue := append([]*node(nil), n.parents...)
+	seen := map[*node]bool{n: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for i := range cur.attrs {
+			if cur.attrs[i].sharesClass(a) {
+				return &cur.attrs[i]
+			}
+		}
+		queue = append(queue, cur.parents...)
+	}
+	return nil
+}
+
+func mergeBattr(dst, src *battr) {
+	dst.components = append(dst.components, src.components...)
+	for id := range src.classes {
+		dst.classes[id] = true
+	}
+	// The merged attribute is a key only if every component is.
+	dst.key = dst.key && src.key
+	// Domains are expected to agree for equivalent attributes; the
+	// first component's domain wins otherwise.
+}
+
+// finishAttrNames renames multi-component attributes with the "D_" prefix
+// and guarantees name uniqueness within the node.
+func (b *builder) finishAttrNames(n *node) {
+	taken := map[string]bool{}
+	for i := range n.attrs {
+		a := &n.attrs[i]
+		name := a.components[0].Attr
+		if len(a.components) > 1 {
+			name = "D_" + name
+		}
+		base := name
+		for k := 2; taken[name]; k++ {
+			name = fmt.Sprintf("%s_%d", base, k)
+		}
+		taken[name] = true
+		a.name = name
+	}
+}
+
+// mergedName computes the name of a member-backed node: a single member
+// keeps its own name (qualified with its schema on collision, handled by
+// claimName); merged members use the "E_" convention — the common name if
+// all members agree, otherwise "E_" plus the truncated member names in
+// declaration order.
+func (b *builder) mergedName(n *node) string {
+	if len(n.members) == 1 {
+		return n.members[0].key.Object
+	}
+	common := n.members[0].key.Object
+	allSame := true
+	for _, m := range n.members[1:] {
+		if m.key.Object != common {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return "E_" + common
+	}
+	var parts []string
+	for _, m := range n.members {
+		parts = append(parts, trunc4(m.key.Object))
+	}
+	return "E_" + strings.Join(parts, "_")
+}
+
+// nodeBaseName is the name used when composing derived-class names.
+func (b *builder) nodeBaseName(n *node) string {
+	if n.name != "" {
+		return strings.TrimPrefix(strings.TrimPrefix(n.name, "E_"), "D_")
+	}
+	return n.members[0].key.Object
+}
+
+func (b *builder) nodeLabel(n *node) string {
+	if n.name != "" {
+		return n.name
+	}
+	return joinKeys(nodeMemberKeys(n))
+}
+
+// claimName reserves a unique name in the output schema, appending a
+// numeric suffix when taken.
+func (b *builder) claimName(name string) string {
+	if !b.used[name] {
+		b.used[name] = true
+		return name
+	}
+	for k := 2; ; k++ {
+		cand := fmt.Sprintf("%s_%d", name, k)
+		if !b.used[cand] {
+			b.used[cand] = true
+			return cand
+		}
+	}
+}
+
+func nodeMemberKeys(n *node) []assertion.ObjKey {
+	var keys []assertion.ObjKey
+	for _, m := range n.members {
+		keys = append(keys, m.key)
+	}
+	return keys
+}
+
+func nodeMemberFor(n *node, key assertion.ObjKey) member {
+	for _, m := range n.members {
+		if m.key == key {
+			return m
+		}
+	}
+	return n.members[0]
+}
+
+func joinKeys(keys []assertion.ObjKey) string {
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, k.String())
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,161 @@
+package integrate_test
+
+import (
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/integrate"
+	"repro/internal/workload"
+)
+
+// TestIntegrationInvariants checks, over a spread of generated workloads,
+// the invariants every integration result must satisfy:
+//
+//  1. the integrated schema validates;
+//  2. every component object class and relationship set has a mapping to a
+//     structure that exists in the integrated schema;
+//  3. every component attribute maps to an attribute that exists (possibly
+//     via inheritance) on its target structure;
+//  4. every multi-source structure carries provenance (Sources) matching
+//     the mapping table;
+//  5. derived attributes record at least two component attributes, each of
+//     which maps back to them;
+//  6. the result is deterministic: integrating twice yields identical DDL.
+func TestIntegrationInvariants(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		cfg := workload.DefaultConfig(seed)
+		cfg.Objects = 12 + int(seed)
+		cfg.Overlap = 0.3 + float64(seed%5)*0.15
+		cfg.NamingNoise = float64(seed%3) * 0.25
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := integrate.Input{
+			S1: w.S1, S2: w.S2,
+			Registry:      w.Registry,
+			Objects:       w.Objects,
+			Relationships: w.Relationships,
+		}
+		res, err := integrate.Integrate(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := res.Schema
+
+		// (1) validity.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid result: %v", seed, err)
+		}
+
+		// (2) total object mapping.
+		checkObjects := func(src *ecr.Schema) {
+			for _, o := range src.Objects {
+				target, ok := res.Mappings.TargetObject(ecr.ObjectRef{Schema: src.Name, Object: o.Name})
+				if !ok {
+					t.Fatalf("seed %d: no mapping for %s.%s", seed, src.Name, o.Name)
+				}
+				if s.Object(target) == nil {
+					t.Fatalf("seed %d: mapping target %q missing from result", seed, target)
+				}
+				// (3) total attribute mapping.
+				for _, a := range o.Attributes {
+					obj, attr, ok := res.Mappings.TargetAttr(ecr.AttrRef{Schema: src.Name, Object: o.Name, Attr: a.Name})
+					if !ok {
+						t.Fatalf("seed %d: no mapping for %s.%s.%s", seed, src.Name, o.Name, a.Name)
+					}
+					holder := s.Object(obj)
+					if holder == nil {
+						t.Fatalf("seed %d: attr mapping names unknown object %q", seed, obj)
+					}
+					if _, ok := holder.Attribute(attr); !ok {
+						t.Fatalf("seed %d: attr mapping names missing attribute %s.%s", seed, obj, attr)
+					}
+				}
+			}
+			for _, r := range src.Relationships {
+				target, ok := res.Mappings.TargetObject(ecr.ObjectRef{Schema: src.Name, Object: r.Name})
+				if !ok || s.Relationship(target) == nil {
+					t.Fatalf("seed %d: relationship mapping broken for %s.%s -> %q", seed, src.Name, r.Name, target)
+				}
+			}
+		}
+		checkObjects(w.S1)
+		checkObjects(w.S2)
+
+		// (4) provenance of merged structures.
+		for _, o := range s.Objects {
+			if len(o.Sources) >= 2 {
+				srcs := res.Mappings.SourcesOf(o.Name)
+				if len(srcs) != len(o.Sources) {
+					t.Fatalf("seed %d: %s sources %d != mapping sources %d", seed, o.Name, len(o.Sources), len(srcs))
+				}
+			}
+			// (5) derived attributes.
+			for _, a := range o.Attributes {
+				if a.Derived() && len(a.Components) < 2 {
+					t.Fatalf("seed %d: derived attribute %s.%s has %d components", seed, o.Name, a.Name, len(a.Components))
+				}
+				for _, c := range a.Components {
+					obj, attr, ok := res.Mappings.TargetAttr(c)
+					if !ok || obj != o.Name || attr != a.Name {
+						t.Fatalf("seed %d: component %s does not map back to %s.%s (got %s.%s ok=%v)",
+							seed, c, o.Name, a.Name, obj, attr, ok)
+					}
+				}
+			}
+		}
+
+		// (6) determinism.
+		res2, err := integrate.Integrate(in)
+		if err != nil {
+			t.Fatalf("seed %d: second run: %v", seed, err)
+		}
+		if ecr.FormatSchema(res.Schema) != ecr.FormatSchema(res2.Schema) {
+			t.Fatalf("seed %d: integration not deterministic", seed)
+		}
+	}
+}
+
+// TestIntegrationAttributeConservation: every component attribute of every
+// structure appears in the mapping exactly once, and no integrated
+// attribute exists without a component source or a copy origin.
+func TestIntegrationAttributeConservation(t *testing.T) {
+	w, err := workload.Generate(workload.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{
+		S1: w.S1, S2: w.S2,
+		Registry:      w.Registry,
+		Objects:       w.Objects,
+		Relationships: w.Relationships,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count component attributes.
+	count := func(s *ecr.Schema) int {
+		n := 0
+		for _, o := range s.Objects {
+			n += len(o.Attributes)
+		}
+		for _, r := range s.Relationships {
+			n += len(r.Attributes)
+		}
+		return n
+	}
+	want := count(w.S1) + count(w.S2)
+	if got := len(res.Mappings.Attrs); got != want {
+		t.Errorf("attribute mappings = %d, component attributes = %d", got, want)
+	}
+	// No duplicate sources in the mapping.
+	seen := map[string]bool{}
+	for _, m := range res.Mappings.Attrs {
+		k := m.Source.String()
+		if seen[k] {
+			t.Errorf("attribute %s mapped twice", k)
+		}
+		seen[k] = true
+	}
+}

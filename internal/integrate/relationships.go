@@ -1,0 +1,492 @@
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+)
+
+// rnode is one relationship set of the integrated schema under
+// construction.
+type rnode struct {
+	name    string
+	members []rmember
+	derived bool
+	parents []*rnode
+	attrs   []battr
+	parts   []ecr.Participation // assembled, phrased in integrated object names
+	order   int
+}
+
+type rmember struct {
+	key assertion.ObjKey
+	rel *ecr.RelationshipSet
+}
+
+// buildRelationships performs relationship-set integration. It requires
+// buildObjects to have run (participants are remapped onto the integrated
+// object classes).
+func (b *builder) buildRelationships(asserts *assertion.Set) error {
+	// Integrated object node lookup by final name.
+	intNode := map[string]*node{}
+	for _, n := range b.objNode {
+		intNode[n.name] = n
+	}
+
+	rnodes := map[assertion.ObjKey]*rnode{}
+	var keys []assertion.ObjKey
+	order := 0
+	for _, s := range []*ecr.Schema{b.s1, b.s2} {
+		for _, r := range s.Relationships {
+			key := assertion.ObjKey{Schema: s.Name, Object: r.Name}
+			rnodes[key] = &rnode{members: []rmember{{key: key, rel: r}}, order: order}
+			keys = append(keys, key)
+			order++
+		}
+	}
+
+	// Merge "equals" groups.
+	for _, e := range asserts.Entries() {
+		if e.Kind.Rel() != assertion.RelEqual {
+			continue
+		}
+		na, nb := rnodes[e.A], rnodes[e.B]
+		if na == nil || nb == nil || na == nb {
+			continue
+		}
+		keep, drop := na, nb
+		if nb.order < na.order {
+			keep, drop = nb, na
+		}
+		keep.members = append(keep.members, drop.members...)
+		for _, m := range drop.members {
+			rnodes[m.key] = keep
+		}
+	}
+
+	distinct := func() []*rnode {
+		seen := map[*rnode]bool{}
+		var out []*rnode
+		for _, k := range keys {
+			n := rnodes[k]
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].order < out[j].order })
+		return out
+	}
+	groups := distinct()
+
+	// Assemble participants and attributes of member-backed nodes.
+	for _, n := range groups {
+		b.assembleRelParts(n, intNode)
+		b.assembleRelAttrs(n)
+	}
+
+	// Subset edges and derived parents from the remaining assertions.
+	type dPair struct {
+		a, b *rnode
+		kind assertion.Kind
+	}
+	var dPairs []dPair
+	seenPair := map[[2]*rnode]bool{}
+	pairKeyOf := func(x, y *rnode) [2]*rnode {
+		if y.order < x.order {
+			return [2]*rnode{y, x}
+		}
+		return [2]*rnode{x, y}
+	}
+	for _, e := range asserts.Entries() {
+		na, nb := rnodes[e.A], rnodes[e.B]
+		if na == nil || nb == nil || na == nb {
+			continue
+		}
+		pk := pairKeyOf(na, nb)
+		if seenPair[pk] {
+			continue
+		}
+		switch e.Kind.Rel() {
+		case assertion.RelSubset:
+			seenPair[pk] = true
+			na.parents = append(na.parents, nb)
+		case assertion.RelSuperset:
+			seenPair[pk] = true
+			nb.parents = append(nb.parents, na)
+		case assertion.RelOverlap:
+			seenPair[pk] = true
+			dPairs = append(dPairs, dPair{a: na, b: nb, kind: e.Kind})
+		case assertion.RelDisjoint:
+			if e.Kind == assertion.DisjointIntegrable {
+				seenPair[pk] = true
+				dPairs = append(dPairs, dPair{a: na, b: nb, kind: e.Kind})
+			}
+		}
+	}
+	if cyc := findRnodeCycle(groups); len(cyc) > 0 {
+		return &Error{Stage: "relationships", Msg: "containment assertions form a cycle: " + strings.Join(cyc, " -> ")}
+	}
+
+	// Names for member-backed nodes.
+	for _, n := range groups {
+		n.name = b.claimName(b.relMergedName(n))
+		if len(n.members) > 1 {
+			b.logf("equals: %s becomes %s", joinKeys(rnodeMemberKeys(n)), n.name)
+		}
+	}
+
+	// Derived parent relationship sets.
+	all := groups
+	dOrder := order
+	for _, dp := range dPairs {
+		if rnodeReaches(dp.a, dp.b) || rnodeReaches(dp.b, dp.a) {
+			continue
+		}
+		dn := &rnode{derived: true, order: dOrder}
+		dOrder++
+		dn.name = b.claimName(derivedName("D_", relBase(dp.a), relBase(dp.b)))
+		dn.parts = b.generalizeParts(dp.a.parts, dp.b.parts, intNode)
+		dp.a.parents = append(dp.a.parents, dn)
+		dp.b.parents = append(dp.b.parents, dn)
+		b.logf("%s: derived relationship %s over %s and %s", dp.kind, dn.name, dp.a.name, dp.b.name)
+		all = append(all, dn)
+	}
+
+	// Emit.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].order < all[j].order })
+	for _, n := range all {
+		rs := &ecr.RelationshipSet{Name: n.name}
+		for _, p := range n.parents {
+			rs.Parents = append(rs.Parents, p.name)
+		}
+		sort.Strings(rs.Parents)
+		for _, m := range n.members {
+			rs.Sources = append(rs.Sources, ecr.ObjectRef{Schema: m.key.Schema, Object: m.key.Object, Kind: ecr.KindRelationship})
+		}
+		rs.Participants = append(rs.Participants, n.parts...)
+		for _, a := range n.attrs {
+			attr := ecr.Attribute{Name: a.name, Domain: a.domain, Key: a.key}
+			if len(a.components) > 1 {
+				attr.Components = append([]ecr.AttrRef(nil), a.components...)
+			}
+			rs.Attributes = append(rs.Attributes, attr)
+		}
+		if err := b.out.AddRelationship(rs); err != nil {
+			return &Error{Stage: "relationships", Msg: err.Error()}
+		}
+	}
+
+	// Mappings.
+	attrHome := map[ecr.AttrRef]struct{ object, attr string }{}
+	for _, n := range all {
+		for _, a := range n.attrs {
+			for _, c := range a.components {
+				attrHome[c] = struct{ object, attr string }{n.name, a.name}
+			}
+		}
+	}
+	for _, key := range keys {
+		n := rnodes[key]
+		via := "copy"
+		switch {
+		case len(n.members) > 1:
+			via = "equals-merge"
+		case n.name != key.Object:
+			via = "renamed"
+		}
+		b.tab.AddObject(ecr.ObjectRef{Schema: key.Schema, Object: key.Object, Kind: ecr.KindRelationship}, n.name, via)
+		m := rnodeMemberFor(n, key)
+		for _, a := range m.rel.Attributes {
+			ref := ecr.AttrRef{Schema: key.Schema, Object: key.Object, Kind: ecr.KindRelationship, Attr: a.Name}
+			if home, ok := attrHome[ref]; ok {
+				b.tab.AddAttr(ref, home.object, home.attr)
+			}
+		}
+	}
+	return nil
+}
+
+// assembleRelParts maps every member's participants onto the integrated
+// object classes and unifies them: a participant of a later member matching
+// (same integrated class, or an ancestor/descendant of) a participant of an
+// earlier member merges into it, taking the more general class and the
+// widened cardinality; unmatched participants are appended.
+func (b *builder) assembleRelParts(n *rnode, intNode map[string]*node) {
+	for mi, m := range n.members {
+		for _, p := range m.rel.Participants {
+			key := assertion.ObjKey{Schema: m.key.Schema, Object: p.Object}
+			on := b.objNode[key]
+			if on == nil {
+				// Validation guarantees participants exist; keep
+				// the raw name defensively.
+				n.parts = append(n.parts, p)
+				continue
+			}
+			mapped := ecr.Participation{Object: on.name, Card: p.Card, Role: p.Role}
+			if mi == 0 {
+				// A member's own participants never merge with
+				// each other (a recursive relationship keeps
+				// both roles).
+				n.parts = append(n.parts, mapped)
+				continue
+			}
+			merged := false
+			for i := range n.parts {
+				exist := intNode[n.parts[i].Object]
+				if exist == nil {
+					continue
+				}
+				switch {
+				case exist == on:
+					n.parts[i].Card = n.parts[i].Card.Widen(mapped.Card)
+					merged = true
+				case nodeReaches(on, exist):
+					// Existing participant is more general.
+					n.parts[i].Card = n.parts[i].Card.Widen(mapped.Card)
+					merged = true
+				case nodeReaches(exist, on):
+					// New participant is more general; replace.
+					n.parts[i].Object = on.name
+					n.parts[i].Card = n.parts[i].Card.Widen(mapped.Card)
+					merged = true
+				}
+				if merged {
+					break
+				}
+			}
+			if !merged {
+				n.parts = append(n.parts, mapped)
+			}
+		}
+	}
+}
+
+// generalizeParts builds the participant list of a derived parent
+// relationship set from its two children: matched participants (same class
+// or related in the lattice) generalize to the common ancestor side with
+// widened cardinalities and minimum participation relaxed to 0 (a member of
+// the general relationship need not appear in either child); unmatched
+// participants from both sides are included.
+func (b *builder) generalizeParts(a, c []ecr.Participation, intNode map[string]*node) []ecr.Participation {
+	out := make([]ecr.Participation, len(a))
+	copy(out, a)
+	for _, q := range c {
+		qn := intNode[q.Object]
+		merged := false
+		for i := range out {
+			en := intNode[out[i].Object]
+			if en == nil || qn == nil {
+				if out[i].Object == q.Object {
+					out[i].Card = out[i].Card.Widen(q.Card)
+					merged = true
+				}
+			} else {
+				switch {
+				case en == qn, nodeReaches(qn, en):
+					out[i].Card = out[i].Card.Widen(q.Card)
+					merged = true
+				case nodeReaches(en, qn):
+					out[i].Object = q.Object
+					out[i].Card = out[i].Card.Widen(q.Card)
+					merged = true
+				}
+			}
+			if merged {
+				break
+			}
+		}
+		if !merged {
+			out = append(out, q)
+		}
+	}
+	for i := range out {
+		out[i].Card.Min = 0
+		out[i].Role = ""
+	}
+	return out
+}
+
+// assembleRelAttrs merges member attributes by equivalence class, exactly
+// like object classes.
+func (b *builder) assembleRelAttrs(n *rnode) {
+	for _, m := range n.members {
+		for _, a := range m.rel.Attributes {
+			ref := ecr.AttrRef{Schema: m.key.Schema, Object: m.key.Object, Kind: ecr.KindRelationship, Attr: a.Name}
+			classes := map[int]bool{}
+			if id, ok := b.reg.ClassID(ref); ok {
+				classes[id] = true
+			}
+			candidate := &battr{
+				name: a.Name, domain: a.Domain, key: a.Key,
+				components: []ecr.AttrRef{ref}, classes: classes,
+			}
+			merged := false
+			for i := range n.attrs {
+				if n.attrs[i].sharesClass(candidate) {
+					mergeBattr(&n.attrs[i], candidate)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				n.attrs = append(n.attrs, *candidate)
+			}
+		}
+	}
+	b.finishRelAttrNames(n)
+}
+
+func (b *builder) finishRelAttrNames(n *rnode) {
+	taken := map[string]bool{}
+	for i := range n.attrs {
+		a := &n.attrs[i]
+		name := a.components[0].Attr
+		if len(a.components) > 1 {
+			name = "D_" + name
+		}
+		base := name
+		for k := 2; taken[name]; k++ {
+			name = fmt.Sprintf("%s_%d", base, k)
+		}
+		taken[name] = true
+		a.name = name
+	}
+}
+
+// relMergedName names a member-backed relationship node. A single member
+// keeps its name. Merged members whose names all agree take "E_" plus the
+// name; otherwise the paper's convention combines the first participant of
+// the first member with the first member's name, both truncated — sc1.Majors
+// (first participant Student) merged with sc2.Stud_major yields E_Stud_Majo,
+// as in Figure 5.
+func (b *builder) relMergedName(n *rnode) string {
+	if len(n.members) == 1 {
+		return n.members[0].key.Object
+	}
+	common := n.members[0].key.Object
+	allSame := true
+	for _, m := range n.members[1:] {
+		if m.key.Object != common {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return "E_" + common
+	}
+	first := n.members[0]
+	participant := ""
+	if len(first.rel.Participants) > 0 {
+		participant = first.rel.Participants[0].Object
+	}
+	if participant == "" {
+		var parts []string
+		for _, m := range n.members {
+			parts = append(parts, trunc4(m.key.Object))
+		}
+		return "E_" + strings.Join(parts, "_")
+	}
+	return "E_" + trunc4(participant) + "_" + trunc4(first.key.Object)
+}
+
+func relBase(n *rnode) string {
+	if n.name != "" {
+		return strings.TrimPrefix(strings.TrimPrefix(n.name, "E_"), "D_")
+	}
+	return n.members[0].key.Object
+}
+
+func rnodeMemberKeys(n *rnode) []assertion.ObjKey {
+	var keys []assertion.ObjKey
+	for _, m := range n.members {
+		keys = append(keys, m.key)
+	}
+	return keys
+}
+
+func rnodeMemberFor(n *rnode, key assertion.ObjKey) rmember {
+	for _, m := range n.members {
+		if m.key == key {
+			return m
+		}
+	}
+	return n.members[0]
+}
+
+func rnodeReaches(child, parent *rnode) bool {
+	seen := map[*rnode]bool{}
+	queue := []*rnode{child}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == parent {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		queue = append(queue, cur.parents...)
+	}
+	return false
+}
+
+func findRnodeCycle(nodes []*rnode) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*rnode]int{}
+	var stack []*rnode
+	var cycle []string
+	label := func(n *rnode) string {
+		if n.name != "" {
+			return n.name
+		}
+		if len(n.members) > 0 {
+			return n.members[0].key.String()
+		}
+		return "?"
+	}
+	var visit func(n *rnode) bool
+	visit = func(n *rnode) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, p := range n.parents {
+			switch color[p] {
+			case gray:
+				for i, sn := range stack {
+					if sn == p {
+						for _, cn := range stack[i:] {
+							cycle = append(cycle, label(cn))
+						}
+						cycle = append(cycle, label(p))
+						return true
+					}
+				}
+				cycle = []string{label(p), label(n), label(p)}
+				return true
+			case white:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			if visit(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package integrate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// Stats summarizes what an integration did, for the tool's reporting and
+// for experiment tables.
+type Stats struct {
+	// Objects and Relationships count the integrated schema's structures.
+	Objects, Relationships int
+	// EqualsMerged counts "E_" structures produced by equals assertions.
+	EqualsMerged int
+	// DerivedClasses counts "D_" structures created for may-be and
+	// disjoint-integrable pairs (object classes and relationship sets).
+	DerivedClasses int
+	// Categories counts object classes placed under a parent.
+	Categories int
+	// DerivedAttributes counts attributes merged from two or more
+	// component attributes.
+	DerivedAttributes int
+	// CopiedStructures counts structures taken over from a single
+	// component unchanged (possibly renamed).
+	CopiedStructures int
+}
+
+// Stats computes the summary from the result.
+func (r *Result) Stats() Stats {
+	var st Stats
+	s := r.Schema
+	countAttrs := func(attrs []ecr.Attribute) {
+		for _, a := range attrs {
+			if a.Derived() {
+				st.DerivedAttributes++
+			}
+		}
+	}
+	for _, o := range s.Objects {
+		st.Objects++
+		switch {
+		case len(o.Sources) >= 2 && strings.HasPrefix(o.Name, "E_"):
+			st.EqualsMerged++
+		case strings.HasPrefix(o.Name, "D_") && len(o.Sources) == 0:
+			st.DerivedClasses++
+		default:
+			st.CopiedStructures++
+		}
+		if o.Kind == ecr.KindCategory {
+			st.Categories++
+		}
+		countAttrs(o.Attributes)
+	}
+	for _, rel := range s.Relationships {
+		st.Relationships++
+		switch {
+		case len(rel.Sources) >= 2 && strings.HasPrefix(rel.Name, "E_"):
+			st.EqualsMerged++
+		case strings.HasPrefix(rel.Name, "D_") && len(rel.Sources) == 0:
+			st.DerivedClasses++
+		default:
+			st.CopiedStructures++
+		}
+		countAttrs(rel.Attributes)
+	}
+	return st
+}
+
+// String renders the summary in one line.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"%d objects (%d categories), %d relationships; %d equals-merged, %d derived classes, %d copied; %d derived attributes",
+		st.Objects, st.Categories, st.Relationships,
+		st.EqualsMerged, st.DerivedClasses, st.CopiedStructures, st.DerivedAttributes)
+}

@@ -1,0 +1,169 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// Query is a simple selection/projection request against one structure of a
+// schema — just enough of a query model to demonstrate that the generated
+// mappings translate requests in both integration contexts, as the paper
+// requires of an operational system.
+type Query struct {
+	// Schema the query is phrased against.
+	Schema string
+	// Object is the entity set, category or relationship set queried.
+	Object string
+	// Project lists the attributes to return; empty means all.
+	Project []string
+	// Where lists conjunctive predicates.
+	Where []Predicate
+}
+
+// Predicate is one comparison, attribute <op> literal.
+type Predicate struct {
+	Attr  string
+	Op    string // "=", "<", ">", "<=", ">=", "!="
+	Value string
+}
+
+// String renders the query in a compact SELECT-like form.
+func (q Query) String() string {
+	proj := "*"
+	if len(q.Project) > 0 {
+		proj = strings.Join(q.Project, ", ")
+	}
+	s := fmt.Sprintf("select %s from %s.%s", proj, q.Schema, q.Object)
+	if len(q.Where) > 0 {
+		var preds []string
+		for _, p := range q.Where {
+			preds = append(preds, fmt.Sprintf("%s %s %s", p.Attr, p.Op, p.Value))
+		}
+		s += " where " + strings.Join(preds, " and ")
+	}
+	return s
+}
+
+// ViewToIntegrated converts a request against a component schema (a user
+// view) into the equivalent request against the integrated schema — the
+// translation direction of the logical database design context.
+func ViewToIntegrated(q Query, t *Table) (Query, error) {
+	src := ecr.ObjectRef{Schema: q.Schema, Object: q.Object}
+	target, ok := t.TargetObject(src)
+	if !ok {
+		return Query{}, fmt.Errorf("mapping: no mapping for %s.%s in table for %s", q.Schema, q.Object, t.Integrated)
+	}
+	out := Query{Schema: t.Integrated, Object: target}
+	mapAttr := func(name string) (string, error) {
+		obj, attr, ok := t.TargetAttr(ecr.AttrRef{Schema: q.Schema, Object: q.Object, Attr: name})
+		if !ok {
+			return "", fmt.Errorf("mapping: no mapping for attribute %s.%s.%s", q.Schema, q.Object, name)
+		}
+		if obj != target {
+			// The attribute was lifted to an ancestor during
+			// integration; it is inherited by the target, so the
+			// name still resolves there.
+			_ = obj
+		}
+		return attr, nil
+	}
+	for _, p := range q.Project {
+		attr, err := mapAttr(p)
+		if err != nil {
+			return Query{}, err
+		}
+		out.Project = append(out.Project, attr)
+	}
+	for _, p := range q.Where {
+		attr, err := mapAttr(p.Attr)
+		if err != nil {
+			return Query{}, err
+		}
+		out.Where = append(out.Where, Predicate{Attr: attr, Op: p.Op, Value: p.Value})
+	}
+	return out, nil
+}
+
+// IntegratedToComponents maps a request against the integrated (global)
+// schema into requests against the component databases — the translation
+// direction of the global schema design context. The integrated structure's
+// instances come from every component structure mapped onto it or onto any
+// of its descendants in the IS-A lattice, so one sub-request is produced per
+// contributing component structure. Components that lack a projected or
+// filtered attribute are skipped (they cannot answer the request), which is
+// reported in the skipped list.
+func IntegratedToComponents(q Query, t *Table, integrated *ecr.Schema) (queries []Query, skipped []string, err error) {
+	if q.Schema != t.Integrated {
+		return nil, nil, fmt.Errorf("mapping: query is against %s, table is for %s", q.Schema, t.Integrated)
+	}
+	// The contributing structures: the queried one plus all descendants.
+	targets := []string{q.Object}
+	if integrated != nil {
+		targets = append(targets, descendants(integrated, q.Object)...)
+	}
+	seen := map[string]bool{}
+	for _, target := range targets {
+		for _, src := range t.SourcesOf(target) {
+			key := src.Schema + "." + src.Object
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sub := Query{Schema: src.Schema, Object: src.Object}
+			ok := true
+			for _, p := range q.Project {
+				attr, found := t.SourceAttr(src, q.Object, p)
+				if !found {
+					attr, found = t.SourceAttr(src, target, p)
+				}
+				if !found {
+					ok = false
+					skipped = append(skipped, fmt.Sprintf("%s lacks attribute %s", key, p))
+					break
+				}
+				sub.Project = append(sub.Project, attr)
+			}
+			if !ok {
+				continue
+			}
+			for _, p := range q.Where {
+				attr, found := t.SourceAttr(src, q.Object, p.Attr)
+				if !found {
+					attr, found = t.SourceAttr(src, target, p.Attr)
+				}
+				if !found {
+					ok = false
+					skipped = append(skipped, fmt.Sprintf("%s lacks attribute %s", key, p.Attr))
+					break
+				}
+				sub.Where = append(sub.Where, Predicate{Attr: attr, Op: p.Op, Value: p.Value})
+			}
+			if ok {
+				queries = append(queries, sub)
+			}
+		}
+	}
+	return queries, skipped, nil
+}
+
+// descendants returns the names of every structure below name in the IS-A
+// lattice of the schema.
+func descendants(s *ecr.Schema, name string) []string {
+	var out []string
+	seen := map[string]bool{name: true}
+	queue := []string{name}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, child := range s.Children(cur) {
+			if !seen[child] {
+				seen[child] = true
+				out = append(out, child)
+				queue = append(queue, child)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Package mapping records the correspondences between component schemas and
+// the integrated schema that the tool generates after integration, and uses
+// them to translate requests in both of the paper's contexts:
+//
+//   - logical database design: requests against a component schema (a user
+//     view) are converted into requests against the integrated (logical)
+//     schema;
+//   - global schema design: requests against the integrated (global) schema
+//     are mapped into requests against the component databases.
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// ObjectMapping records where one component object class or relationship
+// set ended up in the integrated schema.
+type ObjectMapping struct {
+	Source ecr.ObjectRef `json:"source"`
+	// Target is the integrated structure holding the source's instances.
+	Target string `json:"target"`
+	// Via explains the integration decision: "equals-merge", "category",
+	// "derived-parent", "copy" or "renamed".
+	Via string `json:"via"`
+}
+
+// AttrMapping records where one component attribute ended up.
+type AttrMapping struct {
+	Source       ecr.AttrRef `json:"source"`
+	TargetObject string      `json:"targetObject"`
+	TargetAttr   string      `json:"targetAttr"`
+}
+
+// Table is the full set of mappings for one integration. The tool keeps it
+// as part of its bookkeeping; the paper's future-work section imagines it
+// living in a shared data dictionary.
+type Table struct {
+	// Components names the component schemas in integration order.
+	Components []string `json:"components"`
+	// Integrated names the integrated schema.
+	Integrated string          `json:"integrated"`
+	Objects    []ObjectMapping `json:"objects,omitempty"`
+	Attrs      []AttrMapping   `json:"attrs,omitempty"`
+}
+
+// AddObject appends an object mapping.
+func (t *Table) AddObject(src ecr.ObjectRef, target, via string) {
+	t.Objects = append(t.Objects, ObjectMapping{Source: src, Target: target, Via: via})
+}
+
+// AddAttr appends an attribute mapping.
+func (t *Table) AddAttr(src ecr.AttrRef, targetObject, targetAttr string) {
+	t.Attrs = append(t.Attrs, AttrMapping{Source: src, TargetObject: targetObject, TargetAttr: targetAttr})
+}
+
+// TargetObject returns the integrated structure for a component structure.
+func (t *Table) TargetObject(src ecr.ObjectRef) (string, bool) {
+	for _, m := range t.Objects {
+		if m.Source.Schema == src.Schema && m.Source.Object == src.Object {
+			return m.Target, true
+		}
+	}
+	return "", false
+}
+
+// TargetAttr returns the integrated (object, attribute) pair for a component
+// attribute.
+func (t *Table) TargetAttr(src ecr.AttrRef) (object, attr string, ok bool) {
+	for _, m := range t.Attrs {
+		if m.Source.Schema == src.Schema && m.Source.Object == src.Object && m.Source.Attr == src.Attr {
+			return m.TargetObject, m.TargetAttr, true
+		}
+	}
+	return "", "", false
+}
+
+// SourcesOf returns the component structures mapped onto the integrated
+// structure, sorted.
+func (t *Table) SourcesOf(integrated string) []ecr.ObjectRef {
+	var out []ecr.ObjectRef
+	for _, m := range t.Objects {
+		if m.Target == integrated {
+			out = append(out, m.Source)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Schema != out[j].Schema {
+			return out[i].Schema < out[j].Schema
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// SourceAttr finds the component attribute of the given source structure
+// that maps to the integrated (object, attr) pair.
+func (t *Table) SourceAttr(src ecr.ObjectRef, targetObject, targetAttr string) (string, bool) {
+	for _, m := range t.Attrs {
+		if m.Source.Schema == src.Schema && m.Source.Object == src.Object &&
+			m.TargetObject == targetObject && m.TargetAttr == targetAttr {
+			return m.Source.Attr, true
+		}
+	}
+	return "", false
+}
+
+// String renders the table as aligned "source -> target" lines.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mappings %s -> %s\n", strings.Join(t.Components, "+"), t.Integrated)
+	for _, m := range t.Objects {
+		fmt.Fprintf(&b, "  %-40s -> %-24s (%s)\n", m.Source.String(), m.Target, m.Via)
+	}
+	for _, m := range t.Attrs {
+		fmt.Fprintf(&b, "  %-40s -> %s.%s\n", m.Source.String(), m.TargetObject, m.TargetAttr)
+	}
+	return b.String()
+}
+
+// EncodeJSON renders the table as indented JSON, the storage format for the
+// shared data dictionary the paper's future-work section envisions (one
+// repository of database objects and the mappings between them, available
+// to all design tools).
+func EncodeJSON(t *Table) ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("mapping: encode table for %s: %w", t.Integrated, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeJSON parses a table written by EncodeJSON.
+func DecodeJSON(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("mapping: decode table: %w", err)
+	}
+	if t.Integrated == "" {
+		return nil, fmt.Errorf("mapping: decoded table names no integrated schema")
+	}
+	return &t, nil
+}

@@ -1,0 +1,279 @@
+// Package paperex holds the worked examples of the ICDE 1988 paper as
+// ready-made fixtures: the running schemas sc1 and sc2 (Figures 3 and 4),
+// the five object-integration illustrations of Figure 2, and the sc3/sc4
+// assertion-conflict scenario of Screen 9. Tests, benchmarks and the example
+// programs all reproduce the paper from these fixtures.
+package paperex
+
+import "repro/internal/ecr"
+
+// Sc1 returns schema sc1 of Figure 3: Student (Name key, GPA), Department
+// (Dname key), and the Majors relationship between them carrying one
+// attribute. The structure counts match Screen 3 of the paper (Student e 2,
+// Department e 1, Majors r 1).
+func Sc1() *ecr.Schema {
+	s := ecr.NewSchema("sc1")
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "GPA", Domain: "real"},
+		},
+	})
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Department",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Dname", Domain: "char", Key: true},
+		},
+	})
+	mustAddRelationship(s, &ecr.RelationshipSet{
+		Name: "Majors",
+		Attributes: []ecr.Attribute{
+			{Name: "Since", Domain: "date"},
+		},
+		Participants: []ecr.Participation{
+			{Object: "Student", Card: ecr.Cardinality{Min: 0, Max: 1}},
+			{Object: "Department", Card: ecr.Cardinality{Min: 1, Max: ecr.N}},
+		},
+	})
+	return s
+}
+
+// Sc2 returns schema sc2 of Figure 4: Grad_student (Name, GPA,
+// Support_type), Faculty (Name, Rank), Department (Dname, Location), the
+// Stud_major relationship between Grad_student and Department, and the Works
+// relationship between Faculty and Department. The attribute sets are chosen
+// so that the attribute ratios of Screen 8 come out exactly as printed
+// (0.5000, 0.5000, 0.3333) and the equivalence class of Screen 7
+// ({sc1.Student.Name, sc2.Faculty.Name, sc2.Grad_student.Name}) is
+// expressible.
+func Sc2() *ecr.Schema {
+	s := ecr.NewSchema("sc2")
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Grad_student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "GPA", Domain: "real"},
+			{Name: "Support_type", Domain: "char"},
+		},
+	})
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Faculty",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Rank", Domain: "char"},
+		},
+	})
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Department",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Dname", Domain: "char", Key: true},
+			{Name: "Location", Domain: "char"},
+		},
+	})
+	mustAddRelationship(s, &ecr.RelationshipSet{
+		Name: "Stud_major",
+		Attributes: []ecr.Attribute{
+			{Name: "Since", Domain: "date"},
+		},
+		Participants: []ecr.Participation{
+			{Object: "Grad_student", Card: ecr.Cardinality{Min: 0, Max: 1}},
+			{Object: "Department", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+		},
+	})
+	mustAddRelationship(s, &ecr.RelationshipSet{
+		Name: "Works",
+		Attributes: []ecr.Attribute{
+			{Name: "Percent_time", Domain: "int"},
+		},
+		Participants: []ecr.Participation{
+			{Object: "Faculty", Card: ecr.Cardinality{Min: 1, Max: 1}},
+			{Object: "Department", Card: ecr.Cardinality{Min: 1, Max: ecr.N}},
+		},
+	})
+	return s
+}
+
+// Fig2aSchemas returns the two single-entity schemas of Figure 2a: two
+// Department entity sets with identical domains, integrated under an
+// "equals" assertion into E_Department.
+func Fig2aSchemas() (*ecr.Schema, *ecr.Schema) {
+	a := ecr.NewSchema("f2a1")
+	mustAddObject(a, &ecr.ObjectClass{
+		Name: "Department",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Dname", Domain: "char", Key: true},
+			{Name: "Budget", Domain: "int"},
+		},
+	})
+	b := ecr.NewSchema("f2a2")
+	mustAddObject(b, &ecr.ObjectClass{
+		Name: "Department",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Dname", Domain: "char", Key: true},
+			{Name: "Chair", Domain: "char"},
+		},
+	})
+	return a, b
+}
+
+// Fig2bSchemas returns the schemas of Figure 2b: Student contains
+// Grad_student, so after integration Grad_student becomes a category of
+// Student.
+func Fig2bSchemas() (*ecr.Schema, *ecr.Schema) {
+	a := ecr.NewSchema("f2b1")
+	mustAddObject(a, &ecr.ObjectClass{
+		Name: "Student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "GPA", Domain: "real"},
+		},
+	})
+	b := ecr.NewSchema("f2b2")
+	mustAddObject(b, &ecr.ObjectClass{
+		Name: "Grad_student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Support_type", Domain: "char"},
+		},
+	})
+	return a, b
+}
+
+// Fig2cSchemas returns the schemas of Figure 2c: Grad_student and Instructor
+// have overlapping domains ("may be" assertion); integration derives
+// D_Grad_Inst with both as categories.
+func Fig2cSchemas() (*ecr.Schema, *ecr.Schema) {
+	a := ecr.NewSchema("f2c1")
+	mustAddObject(a, &ecr.ObjectClass{
+		Name: "Grad_student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Support_type", Domain: "char"},
+		},
+	})
+	b := ecr.NewSchema("f2c2")
+	mustAddObject(b, &ecr.ObjectClass{
+		Name: "Instructor",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Course", Domain: "char"},
+		},
+	})
+	return a, b
+}
+
+// Fig2dSchemas returns the schemas of Figure 2d: Secretary and Engineer are
+// disjoint but integrable; integration derives D_Secr_Engi representing the
+// concept of employee.
+func Fig2dSchemas() (*ecr.Schema, *ecr.Schema) {
+	a := ecr.NewSchema("f2d1")
+	mustAddObject(a, &ecr.ObjectClass{
+		Name: "Secretary",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Typing_speed", Domain: "int"},
+		},
+	})
+	b := ecr.NewSchema("f2d2")
+	mustAddObject(b, &ecr.ObjectClass{
+		Name: "Engineer",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Discipline", Domain: "char"},
+		},
+	})
+	return a, b
+}
+
+// Fig2eSchemas returns the schemas of Figure 2e: Under_Grad_Student and
+// Full_Professor are disjoint and non-integrable; integration keeps them
+// separate.
+func Fig2eSchemas() (*ecr.Schema, *ecr.Schema) {
+	a := ecr.NewSchema("f2e1")
+	mustAddObject(a, &ecr.ObjectClass{
+		Name: "Under_Grad_Student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Class_year", Domain: "int"},
+		},
+	})
+	b := ecr.NewSchema("f2e2")
+	mustAddObject(b, &ecr.ObjectClass{
+		Name: "Full_Professor",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Tenure_date", Domain: "date"},
+		},
+	})
+	return a, b
+}
+
+// Sc3 and Sc4 reproduce the assertion-conflict scenario of Screen 9:
+// sc3.Instructor is contained in sc4.Grad_student, sc4.Grad_student is
+// contained in sc4.Student, so "sc3.Instructor contained in sc4.Student" is
+// derivable; a new assertion that sc3.Instructor and sc4.Student are
+// disjoint then conflicts.
+
+// Sc3 returns schema sc3 with the Instructor entity set.
+func Sc3() *ecr.Schema {
+	s := ecr.NewSchema("sc3")
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Instructor",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "Course", Domain: "char"},
+		},
+	})
+	return s
+}
+
+// Sc4 returns schema sc4 with Student and its category Grad_student.
+func Sc4() *ecr.Schema {
+	s := ecr.NewSchema("sc4")
+	mustAddObject(s, &ecr.ObjectClass{
+		Name: "Student",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Name", Domain: "char", Key: true},
+			{Name: "GPA", Domain: "real"},
+		},
+	})
+	mustAddObject(s, &ecr.ObjectClass{
+		Name:    "Grad_student",
+		Kind:    ecr.KindCategory,
+		Parents: []string{"Student"},
+		Attributes: []ecr.Attribute{
+			{Name: "Support_type", Domain: "char"},
+		},
+	})
+	return s
+}
+
+func mustAddObject(s *ecr.Schema, o *ecr.ObjectClass) {
+	if err := s.AddObject(o); err != nil {
+		panic(err)
+	}
+}
+
+func mustAddRelationship(s *ecr.Schema, r *ecr.RelationshipSet) {
+	if err := s.AddRelationship(r); err != nil {
+		panic(err)
+	}
+}

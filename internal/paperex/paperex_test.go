@@ -1,0 +1,102 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/ecr"
+)
+
+func TestSc1MatchesScreen3(t *testing.T) {
+	s := Sc1()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Screen 3: Student e 2, Department e 1, Majors r 1.
+	if got := len(s.Object("Student").Attributes); got != 2 {
+		t.Errorf("Student attrs = %d", got)
+	}
+	if got := len(s.Object("Department").Attributes); got != 1 {
+		t.Errorf("Department attrs = %d", got)
+	}
+	if got := len(s.Relationship("Majors").Attributes); got != 1 {
+		t.Errorf("Majors attrs = %d", got)
+	}
+	// Screen 5: Name char key y, GPA real key n.
+	name, _ := s.Object("Student").Attribute("Name")
+	if name.Domain != "char" || !name.Key {
+		t.Errorf("Name = %+v", name)
+	}
+	gpa, _ := s.Object("Student").Attribute("GPA")
+	if gpa.Domain != "real" || gpa.Key {
+		t.Errorf("GPA = %+v", gpa)
+	}
+}
+
+func TestSc2MatchesScreen7(t *testing.T) {
+	s := Sc2()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Screen 7 shows Grad_student with Name, GPA, Support_type.
+	grad := s.Object("Grad_student")
+	if len(grad.Attributes) != 3 {
+		t.Fatalf("Grad_student attrs = %+v", grad.Attributes)
+	}
+	for i, want := range []string{"Name", "GPA", "Support_type"} {
+		if grad.Attributes[i].Name != want {
+			t.Errorf("attr %d = %s, want %s", i, grad.Attributes[i].Name, want)
+		}
+	}
+	// Faculty has two attributes so that the Screen 8 ratio for
+	// Student/Faculty is 1/3.
+	if got := len(s.Object("Faculty").Attributes); got != 2 {
+		t.Errorf("Faculty attrs = %d", got)
+	}
+}
+
+func TestFigure2Fixtures(t *testing.T) {
+	pairs := []struct {
+		name   string
+		mk     func() (*ecr.Schema, *ecr.Schema)
+		first  string
+		second string
+	}{
+		{"2a", Fig2aSchemas, "Department", "Department"},
+		{"2b", Fig2bSchemas, "Student", "Grad_student"},
+		{"2c", Fig2cSchemas, "Grad_student", "Instructor"},
+		{"2d", Fig2dSchemas, "Secretary", "Engineer"},
+		{"2e", Fig2eSchemas, "Under_Grad_Student", "Full_Professor"},
+	}
+	for _, p := range pairs {
+		s1, s2 := p.mk()
+		if err := s1.Validate(); err != nil {
+			t.Errorf("%s schema1: %v", p.name, err)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Errorf("%s schema2: %v", p.name, err)
+		}
+		if s1.Object(p.first) == nil || s2.Object(p.second) == nil {
+			t.Errorf("%s: objects missing", p.name)
+		}
+		if s1.Name == s2.Name {
+			t.Errorf("%s: schema names collide", p.name)
+		}
+	}
+}
+
+func TestSc3Sc4ConflictFixture(t *testing.T) {
+	s3, s4 := Sc3(), Sc4()
+	if err := s3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	grad := s4.Object("Grad_student")
+	if grad.Kind != ecr.KindCategory || grad.Parents[0] != "Student" {
+		t.Errorf("Grad_student = %+v", grad)
+	}
+	if s3.Object("Instructor") == nil {
+		t.Error("Instructor missing")
+	}
+}

@@ -1,0 +1,170 @@
+// Package plan orders n-ary integrations: the paper integrates two schemas
+// at a time, feeding results back in, and its future-work section proposes
+// extending the resemblance function to whole schemas, "particularly useful
+// in picking similar schemas for integration in a binary approach". The
+// planner computes pairwise schema resemblances and produces a greedy
+// single-linkage merge tree: the most similar pair integrates first, and
+// each intermediate result stands for its member schemas in later steps.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/resemblance"
+)
+
+// Step is one binary integration of the plan. Left and Right name either
+// component schemas or the Result of an earlier step; Result names this
+// step's outcome ("I1", "I2", ...).
+type Step struct {
+	Left, Right string
+	Result      string
+	// Similarity is the schema resemblance that motivated this step
+	// (single-linkage: the best pairwise score between the two sides'
+	// member schemas).
+	Similarity float64
+}
+
+// Plan is the ordered sequence of binary integrations covering all input
+// schemas.
+type Plan struct {
+	Steps []Step
+	// Similarities holds the full pairwise matrix, keyed by sorted
+	// "a|b" schema-name pairs, for display.
+	Similarities map[string]float64
+}
+
+// Order computes the integration plan for the schemas. At least two
+// schemas are required; nil weights/dictionary default to
+// resemblance.DefaultWeights and the builtin dictionary.
+func Order(schemas []*ecr.Schema, w *resemblance.Weights, dict *dictionary.Dictionary) (*Plan, error) {
+	if len(schemas) < 2 {
+		return nil, fmt.Errorf("plan: need at least two schemas, got %d", len(schemas))
+	}
+	seen := map[string]bool{}
+	for _, s := range schemas {
+		if s == nil || s.Name == "" {
+			return nil, fmt.Errorf("plan: schemas must be non-nil and named")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("plan: duplicate schema name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	weights := resemblance.DefaultWeights()
+	if w != nil {
+		weights = *w
+	}
+	if dict == nil {
+		dict = dictionary.Builtin()
+	}
+
+	// Pairwise similarity matrix over the original schemas.
+	sims := map[string]float64{}
+	for i := range schemas {
+		for j := i + 1; j < len(schemas); j++ {
+			sims[simKey(schemas[i].Name, schemas[j].Name)] =
+				resemblance.SchemaResemblance(schemas[i], schemas[j], weights, dict)
+		}
+	}
+
+	// Greedy single-linkage agglomeration.
+	type cluster struct {
+		label   string
+		members []string
+	}
+	clusters := make([]*cluster, len(schemas))
+	for i, s := range schemas {
+		clusters[i] = &cluster{label: s.Name, members: []string{s.Name}}
+	}
+	linkage := func(a, b *cluster) float64 {
+		best := -1.0
+		for _, ma := range a.members {
+			for _, mb := range b.members {
+				if s, ok := sims[simKey(ma, mb)]; ok && s > best {
+					best = s
+				}
+			}
+		}
+		return best
+	}
+
+	p := &Plan{Similarities: sims}
+	stepNo := 0
+	for len(clusters) > 1 {
+		bi, bj, best := 0, 1, -1.0
+		for i := range clusters {
+			for j := i + 1; j < len(clusters); j++ {
+				s := linkage(clusters[i], clusters[j])
+				if s > best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		stepNo++
+		merged := &cluster{
+			label:   fmt.Sprintf("I%d", stepNo),
+			members: append(append([]string{}, clusters[bi].members...), clusters[bj].members...),
+		}
+		p.Steps = append(p.Steps, Step{
+			Left:       clusters[bi].label,
+			Right:      clusters[bj].label,
+			Result:     merged.label,
+			Similarity: best,
+		})
+		next := make([]*cluster, 0, len(clusters)-1)
+		for k, c := range clusters {
+			if k != bi && k != bj {
+				next = append(next, c)
+			}
+		}
+		clusters = append(next, merged)
+	}
+	return p, nil
+}
+
+func simKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// String renders the plan one step per line.
+func (p *Plan) String() string {
+	var b []byte
+	for _, s := range p.Steps {
+		b = append(b, fmt.Sprintf("%s = integrate(%s, %s)  [similarity %.3f]\n",
+			s.Result, s.Left, s.Right, s.Similarity)...)
+	}
+	return string(b)
+}
+
+// RankedPairs returns the original schema pairs ordered by decreasing
+// similarity, for display to the DDA.
+func (p *Plan) RankedPairs() []Step {
+	var out []Step
+	for key, sim := range p.Similarities {
+		var a, b string
+		for i := 0; i < len(key); i++ {
+			if key[i] == '|' {
+				a, b = key[:i], key[i+1:]
+				break
+			}
+		}
+		out = append(out, Step{Left: a, Right: b, Similarity: sim})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}

@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+// mkSchema builds a one-entity schema with the given attribute names.
+func mkSchema(name, entity string, attrs ...string) *ecr.Schema {
+	s := ecr.NewSchema(name)
+	o := &ecr.ObjectClass{Name: entity, Kind: ecr.KindEntity}
+	for i, a := range attrs {
+		o.Attributes = append(o.Attributes, ecr.Attribute{Name: a, Domain: "char", Key: i == 0})
+	}
+	if err := s.AddObject(o); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestOrderPicksMostSimilarFirst(t *testing.T) {
+	// a and b are near-identical; c is unrelated. The plan must merge
+	// a+b first.
+	a := mkSchema("a", "Employee", "Name", "Salary", "Dept")
+	b := mkSchema("b", "Worker", "Name", "Salary", "Division")
+	c := mkSchema("c", "Shipment", "Waybill", "Tonnage")
+	p, err := Order([]*ecr.Schema{c, a, b}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %+v", p.Steps)
+	}
+	first := p.Steps[0]
+	pair := first.Left + "+" + first.Right
+	if pair != "a+b" && pair != "b+a" {
+		t.Errorf("first step = %+v, want a+b", first)
+	}
+	if first.Result != "I1" {
+		t.Errorf("result label = %q", first.Result)
+	}
+	second := p.Steps[1]
+	if second.Left != "c" && second.Right != "c" {
+		t.Errorf("second step = %+v, want c folded into I1", second)
+	}
+	if !strings.Contains(p.String(), "I1 = integrate(") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestOrderCoversAllSchemas(t *testing.T) {
+	schemas := []*ecr.Schema{
+		mkSchema("s1", "A", "x"),
+		mkSchema("s2", "B", "y"),
+		mkSchema("s3", "C", "z"),
+		mkSchema("s4", "D", "w"),
+		mkSchema("s5", "E", "v"),
+	}
+	p, err := Order(schemas, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != len(schemas)-1 {
+		t.Fatalf("steps = %d, want %d", len(p.Steps), len(schemas)-1)
+	}
+	// Every schema appears exactly once as a leaf operand.
+	leafUse := map[string]int{}
+	for _, st := range p.Steps {
+		for _, side := range []string{st.Left, st.Right} {
+			if !strings.HasPrefix(side, "I") {
+				leafUse[side]++
+			}
+		}
+	}
+	for _, s := range schemas {
+		if leafUse[s.Name] != 1 {
+			t.Errorf("schema %s used %d times as a leaf", s.Name, leafUse[s.Name])
+		}
+	}
+	// The final step produces the last intermediate.
+	if p.Steps[len(p.Steps)-1].Result != "I4" {
+		t.Errorf("final result = %q", p.Steps[len(p.Steps)-1].Result)
+	}
+}
+
+func TestOrderErrors(t *testing.T) {
+	if _, err := Order(nil, nil, nil); err == nil {
+		t.Error("no schemas should fail")
+	}
+	one := []*ecr.Schema{mkSchema("a", "A", "x")}
+	if _, err := Order(one, nil, nil); err == nil {
+		t.Error("one schema should fail")
+	}
+	dup := []*ecr.Schema{mkSchema("a", "A", "x"), mkSchema("a", "B", "y")}
+	if _, err := Order(dup, nil, nil); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	withNil := []*ecr.Schema{mkSchema("a", "A", "x"), nil}
+	if _, err := Order(withNil, nil, nil); err == nil {
+		t.Error("nil schema should fail")
+	}
+}
+
+func TestRankedPairs(t *testing.T) {
+	p, err := Order([]*ecr.Schema{paperex.Sc1(), paperex.Sc2(),
+		mkSchema("other", "Cargo", "Waybill")}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := p.RankedPairs()
+	if len(ranked) != 3 {
+		t.Fatalf("pairs = %d", len(ranked))
+	}
+	// sc1/sc2 share the university domain and must outrank the cargo
+	// schema pairings.
+	top := simKey(ranked[0].Left, ranked[0].Right)
+	if top != "sc1|sc2" {
+		t.Errorf("top pair = %s (%.3f)", top, ranked[0].Similarity)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Similarity > ranked[i-1].Similarity {
+			t.Error("pairs not sorted")
+		}
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	schemas := func() []*ecr.Schema {
+		return []*ecr.Schema{
+			paperex.Sc1(), paperex.Sc2(),
+			mkSchema("x", "Employee", "Name", "Salary"),
+			mkSchema("y", "Worker", "Name", "Pay"),
+		}
+	}
+	p1, err := Order(schemas(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Order(schemas(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("plans differ:\n%s\nvs\n%s", p1, p2)
+	}
+}

@@ -1,0 +1,117 @@
+package resemblance
+
+import (
+	"sort"
+
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+)
+
+// This file implements the "semantic processing enhancement" of the paper's
+// section 4: detecting corresponding objects of *different* constructs. In
+// one schema a marriage may be an entity set while in another it is a
+// relationship between Male and Female; the paper (after Larson et al.)
+// proposes flagging two constructs of different types as candidates for
+// integration when they share several common attributes. The tool surfaces
+// these candidates for the DDA's judgement — schema modification itself
+// remains manual, as in the paper ("the DDA manually resolves such
+// conflicts and changes the schema by going back to the first phase").
+
+// CrossConstructCandidate pairs an object class of one schema with a
+// relationship set of the other that shares enough attributes to suggest
+// they model the same concept with different constructs.
+type CrossConstructCandidate struct {
+	// Object identifies the entity-set/category side.
+	Object ecr.ObjectRef
+	// Relationship identifies the relationship-set side.
+	Relationship ecr.ObjectRef
+	// Shared counts the attribute pairs judged similar.
+	Shared int
+	// Score is Shared over the smaller attribute count, in (0, 1].
+	Score float64
+	// MatchedAttrs lists the matched attribute name pairs
+	// (object attribute, relationship attribute), sorted.
+	MatchedAttrs [][2]string
+}
+
+// CrossConstructCandidates scans both directions — object classes of s1
+// against relationship sets of s2 and vice versa — and returns the pairs
+// sharing at least minShared similar attributes (by dictionary-assisted
+// name similarity at least 0.8, or exact domain+name match), best first.
+func CrossConstructCandidates(s1, s2 *ecr.Schema, dict *dictionary.Dictionary, minShared int) []CrossConstructCandidate {
+	if minShared < 1 {
+		minShared = 2 // "several common attributes", per the paper
+	}
+	var out []CrossConstructCandidate
+	scan := func(objSchema *ecr.Schema, relSchema *ecr.Schema) {
+		for _, o := range objSchema.Objects {
+			for _, r := range relSchema.Relationships {
+				matched := matchAttrSets(o.Attributes, r.Attributes, dict)
+				if len(matched) < minShared {
+					continue
+				}
+				smaller := len(o.Attributes)
+				if len(r.Attributes) < smaller {
+					smaller = len(r.Attributes)
+				}
+				if smaller == 0 {
+					continue
+				}
+				out = append(out, CrossConstructCandidate{
+					Object:       ecr.ObjectRef{Schema: objSchema.Name, Object: o.Name, Kind: o.Kind},
+					Relationship: ecr.ObjectRef{Schema: relSchema.Name, Object: r.Name, Kind: ecr.KindRelationship},
+					Shared:       len(matched),
+					Score:        float64(len(matched)) / float64(smaller),
+					MatchedAttrs: matched,
+				})
+			}
+		}
+	}
+	scan(s1, s2)
+	scan(s2, s1)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Shared != out[j].Shared {
+			return out[i].Shared > out[j].Shared
+		}
+		if out[i].Object.String() != out[j].Object.String() {
+			return out[i].Object.String() < out[j].Object.String()
+		}
+		return out[i].Relationship.String() < out[j].Relationship.String()
+	})
+	return out
+}
+
+// matchAttrSets greedily pairs attributes of the two lists by similarity.
+func matchAttrSets(a, b []ecr.Attribute, dict *dictionary.Dictionary) [][2]string {
+	used := make([]bool, len(b))
+	var matched [][2]string
+	for _, x := range a {
+		for j, y := range b {
+			if used[j] {
+				continue
+			}
+			if attrsSimilar(x, y, dict) {
+				used[j] = true
+				matched = append(matched, [2]string{x.Name, y.Name})
+				break
+			}
+		}
+	}
+	sort.Slice(matched, func(i, j int) bool {
+		if matched[i][0] != matched[j][0] {
+			return matched[i][0] < matched[j][0]
+		}
+		return matched[i][1] < matched[j][1]
+	})
+	return matched
+}
+
+func attrsSimilar(a, b ecr.Attribute, dict *dictionary.Dictionary) bool {
+	if DictNameSimilarity(a.Name, b.Name, dict) >= 0.8 {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package resemblance
+
+import (
+	"testing"
+
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+)
+
+// marriageSchemas builds the paper's own example: in one schema marriage is
+// an entity set; in the other it is a relationship between Male and Female.
+func marriageSchemas(t *testing.T) (*ecr.Schema, *ecr.Schema) {
+	t.Helper()
+	a := ecr.NewSchema("m1")
+	if err := a.AddObject(&ecr.ObjectClass{
+		Name: "Marriage",
+		Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Marriage_date", Domain: "date", Key: true},
+			{Name: "Marriage_location", Domain: "char"},
+			{Name: "Number_of_children", Domain: "int"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b := ecr.NewSchema("m2")
+	for _, n := range []string{"Male", "Female"} {
+		if err := b.AddObject(&ecr.ObjectClass{
+			Name: n, Kind: ecr.KindEntity,
+			Attributes: []ecr.Attribute{{Name: "Name", Domain: "char", Key: true}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddRelationship(&ecr.RelationshipSet{
+		Name: "Married_to",
+		Participants: []ecr.Participation{
+			{Object: "Male", Card: ecr.Cardinality{Min: 0, Max: 1}},
+			{Object: "Female", Card: ecr.Cardinality{Min: 0, Max: 1}},
+		},
+		Attributes: []ecr.Attribute{
+			{Name: "Marriage_date", Domain: "date"},
+			{Name: "Marriage_location", Domain: "char"},
+			{Name: "Number_of_children", Domain: "int"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestMarriageExample reproduces the paper's §4 scenario: the Marriage
+// entity set and the Married_to relationship set share marriage-date,
+// marriage-location and number-of-children, so they are flagged as
+// candidates for integration across constructs.
+func TestMarriageExample(t *testing.T) {
+	a, b := marriageSchemas(t)
+	cands := CrossConstructCandidates(a, b, dictionary.Builtin(), 2)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	top := cands[0]
+	if top.Object.Object != "Marriage" || top.Relationship.Object != "Married_to" {
+		t.Fatalf("top candidate = %+v", top)
+	}
+	if top.Shared != 3 {
+		t.Errorf("shared = %d, want 3", top.Shared)
+	}
+	if top.Score != 1 {
+		t.Errorf("score = %v, want 1 (all attributes of the smaller side matched)", top.Score)
+	}
+	if len(top.MatchedAttrs) != 3 || top.MatchedAttrs[0][0] != "Marriage_date" {
+		t.Errorf("matched = %v", top.MatchedAttrs)
+	}
+}
+
+func TestCrossConstructBothDirections(t *testing.T) {
+	a, b := marriageSchemas(t)
+	// Swap the argument order: the entity is now on the second schema's
+	// side and must still be found.
+	cands := CrossConstructCandidates(b, a, dictionary.Builtin(), 2)
+	if len(cands) == 0 || cands[0].Object.Object != "Marriage" {
+		t.Fatalf("reverse direction failed: %+v", cands)
+	}
+}
+
+func TestCrossConstructThreshold(t *testing.T) {
+	a, b := marriageSchemas(t)
+	if got := CrossConstructCandidates(a, b, dictionary.Builtin(), 4); len(got) != 0 {
+		t.Errorf("minShared=4 should prune the 3-attribute match: %+v", got)
+	}
+	// minShared below 1 defaults to 2.
+	if got := CrossConstructCandidates(a, b, dictionary.Builtin(), 0); len(got) == 0 {
+		t.Error("default threshold should keep the match")
+	}
+}
+
+func TestCrossConstructNoFalsePositives(t *testing.T) {
+	a := ecr.NewSchema("x")
+	if err := a.AddObject(&ecr.ObjectClass{Name: "Cargo", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{
+			{Name: "Waybill", Domain: "char", Key: true},
+			{Name: "Tonnage", Domain: "real"},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	b := ecr.NewSchema("y")
+	for _, n := range []string{"P", "Q"} {
+		if err := b.AddObject(&ecr.ObjectClass{Name: n, Kind: ecr.KindEntity,
+			Attributes: []ecr.Attribute{{Name: "K", Domain: "int", Key: true}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddRelationship(&ecr.RelationshipSet{
+		Name: "Likes",
+		Participants: []ecr.Participation{
+			{Object: "P", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			{Object: "Q", Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+		},
+		Attributes: []ecr.Attribute{{Name: "Since", Domain: "date"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := CrossConstructCandidates(a, b, dictionary.Builtin(), 2); len(got) != 0 {
+		t.Errorf("unrelated constructs flagged: %+v", got)
+	}
+}

@@ -1,0 +1,282 @@
+package resemblance
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+)
+
+// This file implements the enhancements of the paper's section 4: string
+// matching heuristics, dictionary-assisted detection of candidate equivalent
+// attributes, weighted sums of several resemblance functions (after de
+// Souza's SIS), and a schema-level resemblance function for picking similar
+// schemas in a binary integration strategy.
+
+// EditDistance returns the Levenshtein distance between two strings.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// NameSimilarity scores how alike two identifiers are in [0, 1]: 1 for
+// equality after normalization, otherwise one minus the normalized edit
+// distance of the lower-cased names.
+func NameSimilarity(a, b string) float64 {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	if la == lb {
+		return 1
+	}
+	longer := len([]rune(la))
+	if n := len([]rune(lb)); n > longer {
+		longer = n
+	}
+	if longer == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(la, lb))/float64(longer)
+}
+
+// DictNameSimilarity scores identifier similarity using the dictionary: it
+// splits both identifiers into words, counts synonym matches between the
+// word sets (antonyms veto a match), and falls back to raw NameSimilarity
+// when no words match.
+func DictNameSimilarity(a, b string, dict *dictionary.Dictionary) float64 {
+	if dict == nil {
+		return NameSimilarity(a, b)
+	}
+	wa, wb := dict.SplitWords(a), dict.SplitWords(b)
+	if len(wa) == 0 || len(wb) == 0 {
+		return NameSimilarity(a, b)
+	}
+	for _, x := range wa {
+		for _, y := range wb {
+			if dict.Antonym(x, y) {
+				return 0
+			}
+		}
+	}
+	matched := 0
+	used := make([]bool, len(wb))
+	for _, x := range wa {
+		for j, y := range wb {
+			if !used[j] && dict.Synonym(x, y) {
+				used[j] = true
+				matched++
+				break
+			}
+		}
+	}
+	longer := len(wa)
+	if len(wb) > longer {
+		longer = len(wb)
+	}
+	score := float64(matched) / float64(longer)
+	if score == 0 {
+		return NameSimilarity(a, b)
+	}
+	return score
+}
+
+// AttrCandidate is a suggested attribute equivalence with its score and the
+// evidence behind it.
+type AttrCandidate struct {
+	A, B  ecr.AttrRef
+	Score float64
+	// NameScore, DomainMatch and KeyMatch expose the components of the
+	// weighted score for the DDA's review.
+	NameScore   float64
+	DomainMatch bool
+	KeyMatch    bool
+}
+
+// Weights configures the weighted-sum resemblance over attribute
+// characteristics (name, domain, uniqueness), after the several resemblance
+// functions of SIS the paper cites.
+type Weights struct {
+	Name   float64
+	Domain float64
+	Key    float64
+}
+
+// DefaultWeights weighs names most heavily, then domains, then the key
+// property.
+func DefaultWeights() Weights { return Weights{Name: 0.6, Domain: 0.25, Key: 0.15} }
+
+func (w Weights) total() float64 { return w.Name + w.Domain + w.Key }
+
+// ScoreAttributes computes the weighted resemblance of two attributes.
+func ScoreAttributes(a, b ecr.Attribute, w Weights, dict *dictionary.Dictionary) (score, nameScore float64, domainMatch, keyMatch bool) {
+	nameScore = DictNameSimilarity(a.Name, b.Name, dict)
+	domainMatch = strings.EqualFold(a.Domain, b.Domain)
+	keyMatch = a.Key == b.Key
+	score = w.Name * nameScore
+	if domainMatch {
+		score += w.Domain
+	}
+	if keyMatch {
+		score += w.Key
+	}
+	if t := w.total(); t > 0 {
+		score /= t
+	}
+	return score, nameScore, domainMatch, keyMatch
+}
+
+// SuggestEquivalences proposes attribute equivalences between the two
+// schemas: every cross-schema attribute pair scoring at least threshold,
+// best first. The DDA reviews the list and confirms pairs into the
+// registry; nothing is declared automatically, in keeping with the paper's
+// position that specification cannot be completely automated.
+func SuggestEquivalences(s1, s2 *ecr.Schema, w Weights, dict *dictionary.Dictionary, threshold float64) []AttrCandidate {
+	var out []AttrCandidate
+	each := func(schema string, o string, kind ecr.Kind, attrs []ecr.Attribute, fn func(ecr.AttrRef, ecr.Attribute)) {
+		for _, a := range attrs {
+			fn(ecr.AttrRef{Schema: schema, Object: o, Kind: kind, Attr: a.Name}, a)
+		}
+	}
+	var refs1 []ecr.AttrRef
+	var attrs1 []ecr.Attribute
+	collect := func(s *ecr.Schema, refs *[]ecr.AttrRef, attrs *[]ecr.Attribute) {
+		for _, o := range s.Objects {
+			each(s.Name, o.Name, o.Kind, o.Attributes, func(r ecr.AttrRef, a ecr.Attribute) {
+				*refs = append(*refs, r)
+				*attrs = append(*attrs, a)
+			})
+		}
+		for _, rel := range s.Relationships {
+			each(s.Name, rel.Name, ecr.KindRelationship, rel.Attributes, func(r ecr.AttrRef, a ecr.Attribute) {
+				*refs = append(*refs, r)
+				*attrs = append(*attrs, a)
+			})
+		}
+	}
+	var refs2 []ecr.AttrRef
+	var attrs2 []ecr.Attribute
+	collect(s1, &refs1, &attrs1)
+	collect(s2, &refs2, &attrs2)
+
+	for i, r1 := range refs1 {
+		for j, r2 := range refs2 {
+			score, nameScore, dm, km := ScoreAttributes(attrs1[i], attrs2[j], w, dict)
+			if score >= threshold {
+				out = append(out, AttrCandidate{
+					A: r1, B: r2, Score: score,
+					NameScore: nameScore, DomainMatch: dm, KeyMatch: km,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return lessRef(out[i].A, out[j].A)
+		}
+		return lessRef(out[i].B, out[j].B)
+	})
+	return out
+}
+
+func lessRef(a, b ecr.AttrRef) bool {
+	if a.Schema != b.Schema {
+		return a.Schema < b.Schema
+	}
+	if a.Object != b.Object {
+		return a.Object < b.Object
+	}
+	return a.Attr < b.Attr
+}
+
+// ApplySuggestions declares every candidate into the registry, skipping
+// candidates that would pair two attributes of the same object. It returns
+// the number declared. This is the automated mode used by the batch tool
+// and the ablation benchmarks; the interactive tool lets the DDA confirm
+// each candidate instead.
+func ApplySuggestions(reg *equivalence.Registry, cands []AttrCandidate) int {
+	n := 0
+	for _, c := range cands {
+		if err := reg.Declare(c.A, c.B); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SchemaResemblance scores how alike two whole schemas are in [0, 1]: the
+// mean, over the objects of the smaller schema, of the best weighted object
+// resemblance found in the other schema, where an object pair's score is the
+// mean of its best attribute matches. Section 4 of the paper suggests such
+// a function for choosing similar schemas to integrate first in a binary
+// strategy.
+func SchemaResemblance(s1, s2 *ecr.Schema, w Weights, dict *dictionary.Dictionary) float64 {
+	small, large := s1, s2
+	if len(s2.Objects) < len(s1.Objects) {
+		small, large = s2, s1
+	}
+	if len(small.Objects) == 0 {
+		return 0
+	}
+	var total float64
+	for _, o1 := range small.Objects {
+		best := 0.0
+		for _, o2 := range large.Objects {
+			if s := objectResemblance(o1, o2, w, dict); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(small.Objects))
+}
+
+func objectResemblance(o1, o2 *ecr.ObjectClass, w Weights, dict *dictionary.Dictionary) float64 {
+	if len(o1.Attributes) == 0 || len(o2.Attributes) == 0 {
+		return DictNameSimilarity(o1.Name, o2.Name, dict) / 2
+	}
+	small, large := o1.Attributes, o2.Attributes
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	var total float64
+	for _, a := range small {
+		best := 0.0
+		for _, b := range large {
+			if s, _, _, _ := ScoreAttributes(a, b, w, dict); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	attrScore := total / float64(len(small))
+	nameScore := DictNameSimilarity(o1.Name, o2.Name, dict)
+	return 0.7*attrScore + 0.3*nameScore
+}

@@ -1,0 +1,185 @@
+package resemblance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/paperex"
+)
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xy", 2},
+		{"kitten", "sitting", 3},
+		{"name", "dname", 1},
+		{"dept", "department", 6},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	// Symmetry and the triangle-ish bound |len(a)-len(b)| <= d <= max.
+	f := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		d1, d2 := EditDistance(a, b), EditDistance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		return d1 >= lo && d1 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameSimilarity(t *testing.T) {
+	if NameSimilarity("Name", "name") != 1 {
+		t.Error("case-insensitive equality should be 1")
+	}
+	if s := NameSimilarity("Dname", "Name"); s <= 0.5 || s >= 1 {
+		t.Errorf("Dname/Name = %v", s)
+	}
+	if s := NameSimilarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint strings = %v", s)
+	}
+	if NameSimilarity("", "") != 1 {
+		t.Error("empty strings are identical")
+	}
+}
+
+func TestDictNameSimilarity(t *testing.T) {
+	d := dictionary.Builtin()
+	if s := DictNameSimilarity("Faculty", "Professor", d); s != 1 {
+		t.Errorf("synonyms should score 1, got %v", s)
+	}
+	if s := DictNameSimilarity("Begin_date", "End_date", d); s != 0 {
+		t.Errorf("antonym words should veto: %v", s)
+	}
+	if s := DictNameSimilarity("Support_type", "Support_kind", d); s <= 0 {
+		t.Errorf("word overlap should score > 0: %v", s)
+	}
+	// nil dictionary falls back to raw similarity.
+	if s := DictNameSimilarity("Name", "Name", nil); s != 1 {
+		t.Errorf("nil dict: %v", s)
+	}
+}
+
+func TestScoreAttributes(t *testing.T) {
+	d := dictionary.Builtin()
+	w := DefaultWeights()
+	a := ecr.Attribute{Name: "Name", Domain: "char", Key: true}
+	b := ecr.Attribute{Name: "Name", Domain: "char", Key: true}
+	score, nameScore, dm, km := ScoreAttributes(a, b, w, d)
+	if score != 1 || nameScore != 1 || !dm || !km {
+		t.Errorf("identical attrs: score=%v name=%v dm=%v km=%v", score, nameScore, dm, km)
+	}
+	c := ecr.Attribute{Name: "Salary", Domain: "int", Key: false}
+	score2, _, _, _ := ScoreAttributes(a, c, w, d)
+	if score2 >= score {
+		t.Error("dissimilar attrs must score lower")
+	}
+}
+
+func TestSuggestEquivalencesFindsPaperPairs(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	cands := SuggestEquivalences(s1, s2, DefaultWeights(), dictionary.Builtin(), 0.8)
+	want := map[string]bool{
+		"sc1.Student.Name|sc2.Grad_student.Name":    false,
+		"sc1.Student.Name|sc2.Faculty.Name":         false,
+		"sc1.Student.GPA|sc2.Grad_student.GPA":      false,
+		"sc1.Department.Dname|sc2.Department.Dname": false,
+		"sc1.Majors.Since|sc2.Stud_major.Since":     false,
+	}
+	for _, c := range cands {
+		k := c.A.String() + "|" + c.B.String()
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, found := range want {
+		if !found {
+			t.Errorf("suggestion missing %s", k)
+		}
+	}
+	// Sorted best-first.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Errorf("candidates out of order at %d", i)
+		}
+	}
+}
+
+func TestSuggestThreshold(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	all := SuggestEquivalences(s1, s2, DefaultWeights(), nil, 0)
+	strict := SuggestEquivalences(s1, s2, DefaultWeights(), nil, 0.95)
+	if len(strict) >= len(all) {
+		t.Errorf("threshold did not prune: %d vs %d", len(strict), len(all))
+	}
+	for _, c := range strict {
+		if c.Score < 0.95 {
+			t.Errorf("candidate below threshold: %+v", c)
+		}
+	}
+}
+
+func TestApplySuggestions(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	reg := equivalence.NewRegistry()
+	reg.RegisterSchema(s1)
+	reg.RegisterSchema(s2)
+	cands := SuggestEquivalences(s1, s2, DefaultWeights(), dictionary.Builtin(), 0.9)
+	n := ApplySuggestions(reg, cands)
+	if n == 0 {
+		t.Fatal("nothing applied")
+	}
+	if !reg.Equivalent(ref("sc1", "Student", "Name"), ref("sc2", "Grad_student", "Name")) {
+		t.Error("Name equivalence not applied")
+	}
+}
+
+func TestSchemaResemblance(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	d := dictionary.Builtin()
+	w := DefaultWeights()
+	self := SchemaResemblance(s1, s1.Clone(), w, d)
+	// Clone has the same name; give it a distinct one to be fair.
+	cross := SchemaResemblance(s1, s2, w, d)
+	if self <= cross {
+		t.Errorf("self resemblance (%v) should beat cross (%v)", self, cross)
+	}
+	empty := ecr.NewSchema("e")
+	if got := SchemaResemblance(empty, s1, w, d); got != 0 {
+		t.Errorf("empty schema resemblance = %v", got)
+	}
+	if cross <= 0 || cross > 1 {
+		t.Errorf("cross resemblance out of range: %v", cross)
+	}
+}

@@ -1,0 +1,148 @@
+// Package resemblance implements the heuristic at the centre of the tool's
+// assertion-specification phase: a resemblance function that ranks pairs of
+// object classes (and relationship sets) by how likely they are to be
+// integrated with stronger assertions.
+//
+// The paper's resemblance function is the attribute ratio
+//
+//	(# equivalent attributes) /
+//	(# equivalent attributes + # attributes in the smaller object class)
+//
+// so a pair in which every attribute of the smaller class has an equivalent
+// in the other scores 0.5, the maximum. The package also implements the
+// future-work extensions of the paper's section 4: string-matching
+// resemblance over attribute names, dictionary-assisted candidate
+// equivalences, weighted sums of several resemblance functions, and a
+// schema-level resemblance for choosing which schemas to integrate first.
+package resemblance
+
+import (
+	"sort"
+
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+)
+
+// Pair is one ranked candidate pair of structures across the two schemas,
+// as displayed by the Assertion Collection screen.
+type Pair struct {
+	Schema1, Object1 string
+	Schema2, Object2 string
+	Kind1, Kind2     ecr.Kind
+	// Equivalent is the number of shared attribute equivalence classes.
+	Equivalent int
+	// SmallerAttrs is the attribute count of the smaller structure.
+	SmallerAttrs int
+	// Ratio is the paper's attribute ratio.
+	Ratio float64
+}
+
+// AttributeRatio computes the paper's resemblance value from the number of
+// equivalent attributes and the attribute counts of the two structures.
+func AttributeRatio(equivalent, attrs1, attrs2 int) float64 {
+	smaller := attrs1
+	if attrs2 < smaller {
+		smaller = attrs2
+	}
+	den := equivalent + smaller
+	if den == 0 {
+		return 0
+	}
+	return float64(equivalent) / float64(den)
+}
+
+// RankObjects returns every pair of object classes (one from each schema)
+// ordered by decreasing attribute ratio; ties break by decreasing
+// equivalent-attribute count, then by schema declaration order, which keeps
+// the ranking deterministic and matches the ordering of Screen 8 on the
+// paper's example.
+func RankObjects(s1, s2 *ecr.Schema, reg *equivalence.Registry) []Pair {
+	var pairs []Pair
+	for _, o1 := range s1.Objects {
+		for _, o2 := range s2.Objects {
+			eq := equivalence.EquivalentCount(s1.Name, o1, s2.Name, o2, reg)
+			p := Pair{
+				Schema1: s1.Name, Object1: o1.Name, Kind1: o1.Kind,
+				Schema2: s2.Name, Object2: o2.Name, Kind2: o2.Kind,
+				Equivalent:   eq,
+				SmallerAttrs: minInt(len(o1.Attributes), len(o2.Attributes)),
+				Ratio:        AttributeRatio(eq, len(o1.Attributes), len(o2.Attributes)),
+			}
+			pairs = append(pairs, p)
+		}
+	}
+	sortPairs(pairs, s1, s2)
+	return pairs
+}
+
+// RankRelationships ranks the relationship-set pairs of the two schemas the
+// same way (the second subphase of assertion specification).
+func RankRelationships(s1, s2 *ecr.Schema, reg *equivalence.Registry) []Pair {
+	m := equivalence.RelationshipMatrix(s1, s2, reg)
+	var pairs []Pair
+	for i, r1 := range s1.Relationships {
+		for j, r2 := range s2.Relationships {
+			eq := m.Counts[i][j]
+			pairs = append(pairs, Pair{
+				Schema1: s1.Name, Object1: r1.Name, Kind1: ecr.KindRelationship,
+				Schema2: s2.Name, Object2: r2.Name, Kind2: ecr.KindRelationship,
+				Equivalent:   eq,
+				SmallerAttrs: minInt(len(r1.Attributes), len(r2.Attributes)),
+				Ratio:        AttributeRatio(eq, len(r1.Attributes), len(r2.Attributes)),
+			})
+		}
+	}
+	sortPairs(pairs, s1, s2)
+	return pairs
+}
+
+// Candidates filters ranked pairs down to those with at least one equivalent
+// attribute — the pairs the DDA is asked to review first.
+func Candidates(pairs []Pair) []Pair {
+	var out []Pair
+	for _, p := range pairs {
+		if p.Equivalent > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPairs(pairs []Pair, s1, s2 *ecr.Schema) {
+	order1 := declarationOrder(s1)
+	order2 := declarationOrder(s2)
+	sort.SliceStable(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.Ratio != b.Ratio {
+			return a.Ratio > b.Ratio
+		}
+		if a.Equivalent != b.Equivalent {
+			return a.Equivalent > b.Equivalent
+		}
+		if order1[a.Object1] != order1[b.Object1] {
+			return order1[a.Object1] < order1[b.Object1]
+		}
+		return order2[a.Object2] < order2[b.Object2]
+	})
+}
+
+func declarationOrder(s *ecr.Schema) map[string]int {
+	order := make(map[string]int, len(s.Objects)+len(s.Relationships))
+	n := 0
+	for _, o := range s.Objects {
+		order[o.Name] = n
+		n++
+	}
+	for _, r := range s.Relationships {
+		order[r.Name] = n
+		n++
+	}
+	return order
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package resemblance
+
+import (
+	"repro/internal/attrequiv"
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+)
+
+// This file connects the full attribute equivalence theory of Larson et al.
+// (package attrequiv) to the suggestion engine: instead of the binary
+// domain-string match of ScoreAttributes, the theory compares domain
+// specifications (types, ranges, enumerations, lengths) and the uniqueness
+// property, yielding a graded domain score and human-readable evidence for
+// the DDA.
+
+// Characterize builds the theory's characterization of an ECR attribute.
+// Mandatory is modelled as true for key attributes (an identifying value
+// must exist); richer participation information can be supplied by calling
+// attrequiv directly.
+func Characterize(a ecr.Attribute) attrequiv.Characteristics {
+	return attrequiv.Characteristics{
+		Domain:    attrequiv.DomainSpec{Type: a.Domain},
+		Unique:    a.Key,
+		Mandatory: a.Key,
+	}
+}
+
+// TheoryCandidate extends AttrCandidate with the theory's classification.
+type TheoryCandidate struct {
+	AttrCandidate
+	Classification attrequiv.Classification
+}
+
+// SuggestEquivalencesTheory proposes attribute equivalences using the full
+// theory: the weighted name similarity is combined with the graded domain
+// relation (EQUAL > CONTAINS/CONTAINED-IN > OVERLAP > DISJOINT) and the
+// uniqueness/participation agreement, rather than a binary domain match.
+// Pairs whose domains are provably disjoint are never suggested.
+func SuggestEquivalencesTheory(s1, s2 *ecr.Schema, w Weights, dict *dictionary.Dictionary, threshold float64) []TheoryCandidate {
+	base := SuggestEquivalences(s1, s2, w, dict, 0)
+	var out []TheoryCandidate
+	for _, c := range base {
+		a1, ok1 := findAttr(s1, c.A)
+		a2, ok2 := findAttr(s2, c.B)
+		if !ok1 || !ok2 {
+			continue
+		}
+		ca, cb := Characterize(a1), Characterize(a2)
+		cls := attrequiv.Classify(ca, cb)
+		if cls.Relation == attrequiv.Disjoint {
+			continue
+		}
+		domainScore := cls.Score(ca, cb)
+		total := w.Name*c.NameScore + (w.Domain+w.Key)*domainScore
+		if t := w.Name + w.Domain + w.Key; t > 0 {
+			total /= t
+		}
+		if total < threshold {
+			continue
+		}
+		tc := TheoryCandidate{AttrCandidate: c, Classification: cls}
+		tc.Score = total
+		out = append(out, tc)
+	}
+	sortTheoryCandidates(out)
+	return out
+}
+
+func sortTheoryCandidates(cands []TheoryCandidate) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && lessTheory(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func lessTheory(a, b TheoryCandidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.A != b.A {
+		return lessRef(a.A, b.A)
+	}
+	return lessRef(a.B, b.B)
+}
+
+func findAttr(s *ecr.Schema, ref ecr.AttrRef) (ecr.Attribute, bool) {
+	if o := s.Object(ref.Object); o != nil {
+		return o.Attribute(ref.Attr)
+	}
+	if r := s.Relationship(ref.Object); r != nil {
+		return r.Attribute(ref.Attr)
+	}
+	return ecr.Attribute{}, false
+}

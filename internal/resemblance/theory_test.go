@@ -1,0 +1,72 @@
+package resemblance
+
+import (
+	"testing"
+
+	"repro/internal/attrequiv"
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+func TestCharacterize(t *testing.T) {
+	c := Characterize(ecr.Attribute{Name: "Name", Domain: "char", Key: true})
+	if c.Domain.Type != "char" || !c.Unique || !c.Mandatory {
+		t.Errorf("characterization = %+v", c)
+	}
+	c = Characterize(ecr.Attribute{Name: "GPA", Domain: "real"})
+	if c.Unique || c.Mandatory {
+		t.Errorf("non-key characterization = %+v", c)
+	}
+}
+
+func TestSuggestEquivalencesTheoryFindsPaperPairs(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	cands := SuggestEquivalencesTheory(s1, s2, DefaultWeights(), dictionary.Builtin(), 0.8)
+	found := map[string]attrequiv.Relation{}
+	for _, c := range cands {
+		found[c.A.String()+"|"+c.B.String()] = c.Classification.Relation
+	}
+	rel, ok := found["sc1.Student.Name|sc2.Grad_student.Name"]
+	if !ok {
+		t.Fatalf("Name pair missing; candidates = %v", found)
+	}
+	if rel != attrequiv.Equal {
+		t.Errorf("Name/Name relation = %v", rel)
+	}
+}
+
+func TestSuggestEquivalencesTheoryDropsDisjointDomains(t *testing.T) {
+	a := ecr.NewSchema("a")
+	if err := a.AddObject(&ecr.ObjectClass{Name: "X", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "When", Domain: "date", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	b := ecr.NewSchema("b")
+	if err := b.AddObject(&ecr.ObjectClass{Name: "Y", Kind: ecr.KindEntity,
+		Attributes: []ecr.Attribute{{Name: "When", Domain: "int", Key: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical names, provably disjoint domains: the binary matcher
+	// would suggest this pair; the theory refuses.
+	cands := SuggestEquivalencesTheory(a, b, DefaultWeights(), nil, 0)
+	for _, c := range cands {
+		if c.A.Attr == "When" && c.B.Attr == "When" {
+			t.Errorf("disjoint-domain pair suggested: %+v", c)
+		}
+	}
+	base := SuggestEquivalences(a, b, Weights{Name: 1}, nil, 0.9)
+	if len(base) == 0 {
+		t.Error("sanity: the name-only matcher should have suggested the pair")
+	}
+}
+
+func TestSuggestEquivalencesTheorySorted(t *testing.T) {
+	s1, s2 := paperex.Sc1(), paperex.Sc2()
+	cands := SuggestEquivalencesTheory(s1, s2, DefaultWeights(), dictionary.Builtin(), 0)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Fatalf("candidates out of order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+)
+
+// collectSession runs a schema-collection script and returns the workspace.
+func collectSession(t *testing.T, inputs ...string) (*Workspace, *ScriptIO) {
+	t.Helper()
+	io := NewScriptIO(inputs...)
+	ws := NewWorkspace()
+	if err := New(ws, io).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return ws, io
+}
+
+func TestCollectionDeleteSchema(t *testing.T) {
+	ws, _ := collectSession(t,
+		"1",
+		"a", "tmp",
+		"e", // leave empty structure screen
+		"d", "tmp",
+		"e",
+		"e",
+	)
+	if ws.Schema("tmp") != nil {
+		t.Error("schema not deleted")
+	}
+}
+
+func TestCollectionDeleteUnknownSchemaNotifies(t *testing.T) {
+	_, io := collectSession(t,
+		"1",
+		"d", "ghost", "", // dismiss notice
+		"e",
+		"e",
+	)
+	if len(io.ScreensContaining("No schema named ghost")) == 0 {
+		t.Error("missing-schema notice not shown")
+	}
+}
+
+func TestCollectionUpdateSchemaAddsStructure(t *testing.T) {
+	ws, _ := collectSession(t,
+		"1",
+		"a", "s", "e", // create empty schema
+		"u", "s", // update it
+		"a", "X", "e",
+		"a", "K", "int", "y",
+		"e",
+		"e",
+		"e",
+		"e",
+	)
+	s := ws.Schema("s")
+	if s == nil || s.Object("X") == nil {
+		t.Fatalf("update flow failed: %+v", s)
+	}
+	if len(s.Object("X").Attributes) != 1 {
+		t.Errorf("attrs = %+v", s.Object("X").Attributes)
+	}
+}
+
+func TestCollectionDuplicateSchemaNotifies(t *testing.T) {
+	_, io := collectSession(t,
+		"1",
+		"a", "dup", "e",
+		"a", "dup", "", // duplicate -> notice
+		"e",
+		"e",
+	)
+	if len(io.ScreensContaining("already defined")) == 0 {
+		t.Error("duplicate notice not shown")
+	}
+}
+
+func TestCollectionDeleteStructureAndAttribute(t *testing.T) {
+	ws, _ := collectSession(t,
+		"1",
+		"a", "s",
+		"a", "X", "e",
+		"a", "K", "int", "y",
+		"a", "V", "char", "",
+		"d", "V", // delete attribute V
+		"e",
+		"a", "Y", "e",
+		"a", "K", "int", "y",
+		"e",
+		"d", "Y", // delete structure Y
+		"e",
+		"e",
+		"e",
+	)
+	s := ws.Schema("s")
+	if s.Object("Y") != nil {
+		t.Error("structure not deleted")
+	}
+	if _, ok := s.Object("X").Attribute("V"); ok {
+		t.Error("attribute not deleted")
+	}
+	if _, ok := s.Object("X").Attribute("K"); !ok {
+		t.Error("surviving attribute lost")
+	}
+}
+
+func TestCollectionCategoryFlow(t *testing.T) {
+	ws, _ := collectSession(t,
+		"1",
+		"a", "s",
+		"a", "Person", "e",
+		"a", "Name", "char", "y",
+		"e",
+		"a", "Student", "c",
+		"a", "Person", // add parent
+		"e",
+		"a", "GPA", "real", "",
+		"e",
+		"e",
+		"e",
+		"e",
+	)
+	s := ws.Schema("s")
+	st := s.Object("Student")
+	if st == nil || st.Kind != ecr.KindCategory || len(st.Parents) != 1 || st.Parents[0] != "Person" {
+		t.Fatalf("Student = %+v", st)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("collected schema invalid: %v", err)
+	}
+}
+
+func TestCollectionCategoryParentRemoval(t *testing.T) {
+	ws, _ := collectSession(t,
+		"1",
+		"a", "s",
+		"a", "A", "e", "a", "K", "int", "y", "e",
+		"a", "B", "e", "a", "K", "int", "y", "e",
+		"a", "C", "c",
+		"a", "A",
+		"a", "B",
+		"d", "A", // remove parent A again
+		"e",
+		"e", // no attributes
+		"e",
+		"e",
+		"e",
+	)
+	c := ws.Schema("s").Object("C")
+	if len(c.Parents) != 1 || c.Parents[0] != "B" {
+		t.Errorf("C parents = %v", c.Parents)
+	}
+}
+
+func TestCollectionBadKindNotifies(t *testing.T) {
+	_, io := collectSession(t,
+		"1",
+		"a", "s",
+		"a", "X", "z", "", // bad kind -> notice
+		"e",
+		"e",
+		"e",
+	)
+	if len(io.ScreensContaining("unknown kind")) == 0 {
+		t.Error("bad-kind notice not shown")
+	}
+}
+
+func TestCollectionBadCardinalityNotifies(t *testing.T) {
+	ws, io := collectSession(t,
+		"1",
+		"a", "s",
+		"a", "A", "e", "a", "K", "int", "y", "e",
+		"a", "R", "r",
+		"a", "A", "9,1", "", // invalid -> notice
+		"a", "A", "1,1",
+		"a", "A", "", "other", // duplicate participant -> role prompt; empty card = (0,n)
+		"e",
+		"e", // no attributes
+		"e",
+		"e",
+		"e",
+	)
+	if len(io.ScreensContaining("bad cardinality")) == 0 {
+		t.Error("bad-cardinality notice not shown")
+	}
+	r := ws.Schema("s").Relationship("R")
+	if len(r.Participants) != 2 {
+		t.Fatalf("participants = %+v", r.Participants)
+	}
+	if r.Participants[1].Role != "other" {
+		t.Errorf("role = %q", r.Participants[1].Role)
+	}
+	if r.Participants[1].Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Errorf("default card = %v", r.Participants[1].Card)
+	}
+}
+
+func TestCollectionRelationshipParticipantRemoval(t *testing.T) {
+	ws, _ := collectSession(t,
+		"1",
+		"a", "s",
+		"a", "A", "e", "a", "K", "int", "y", "e",
+		"a", "B", "e", "a", "K", "int", "y", "e",
+		"a", "R", "r",
+		"a", "A", "0,1",
+		"a", "B", "0,n",
+		"d", "A",
+		"a", "A", "1,1",
+		"e",
+		"e",
+		"e",
+		"e",
+		"e",
+	)
+	r := ws.Schema("s").Relationship("R")
+	p, ok := r.Participant("A")
+	if !ok || p.Card != (ecr.Cardinality{Min: 1, Max: 1}) {
+		t.Errorf("A participation = %+v ok=%v", p, ok)
+	}
+}
+
+func TestCollectionScrolling(t *testing.T) {
+	inputs := []string{"1", "a", "s"}
+	// Twelve entities so the structure window must scroll.
+	for i := 0; i < 12; i++ {
+		inputs = append(inputs, "a", "E"+string(rune('A'+i)), "e",
+			"a", "K", "int", "y", "e")
+	}
+	inputs = append(inputs, "s", "s", "s", "e", "e", "e")
+	ws, io := collectSession(t, inputs...)
+	if got := len(ws.Schema("s").Objects); got != 12 {
+		t.Fatalf("objects = %d", got)
+	}
+	// At least one displayed structure screen carries a scroll marker.
+	marked := false
+	for _, sc := range io.ScreensContaining("Structure Information Collection Screen") {
+		if strings.Contains(sc, "^") || strings.Contains(sc, "v") {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Error("no scroll markers on an overfull window")
+	}
+}
+
+func TestParseCard(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ecr.Cardinality
+		ok   bool
+	}{
+		{"", ecr.Cardinality{Min: 0, Max: ecr.N}, true},
+		{"0,1", ecr.Cardinality{Min: 0, Max: 1}, true},
+		{"(1,n)", ecr.Cardinality{Min: 1, Max: ecr.N}, true},
+		{" 2 , 5 ", ecr.Cardinality{Min: 2, Max: 5}, true},
+		{"1,N", ecr.Cardinality{Min: 1, Max: ecr.N}, true},
+		{"x,1", ecr.Cardinality{}, false},
+		{"1", ecr.Cardinality{}, false},
+		{"3,1", ecr.Cardinality{}, false},
+		{"1,x", ecr.Cardinality{}, false},
+	}
+	for _, c := range cases {
+		got, err := parseCard(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseCard(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseCard(%q) should fail", c.in)
+		}
+	}
+}

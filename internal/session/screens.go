@@ -1,0 +1,525 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/resemblance"
+	"repro/internal/tui"
+)
+
+// This file renders the paper's screens. Each function returns a
+// tui.Screen whose Text() the golden tests compare against the layouts
+// printed in the paper.
+
+// mainMenuScreen is Screen 1: the six tasks of the tool, plus task 7 — the
+// suggestion enhancement of the paper's future-work section.
+func mainMenuScreen() *tui.Screen {
+	return &tui.Screen{
+		Phase: "SCHEMA INTEGRATION TOOL",
+		Name:  "Main Menu",
+		Windows: []*tui.Window{{
+			Rows: []string{
+				"1. Define the schemas to be integrated",
+				"2. Define equivalences among attributes of object classes",
+				"3. Specify assertions between object classes",
+				"4. Define equivalences among attributes of relationship sets",
+				"5. Specify assertions between relationship sets",
+				"6. Integrate schemas and view results",
+				"7. Suggest attribute equivalences (dictionary + theory)",
+				"",
+				"e. Exit",
+			},
+		}},
+		Menu: "Enter choice =>",
+	}
+}
+
+// messageScreen shows a one-line notice within a phase.
+func messageScreen(phase, msg string) *tui.Screen {
+	return &tui.Screen{
+		Phase:   phase,
+		Windows: []*tui.Window{{Rows: []string{msg}}},
+		Menu:    "Press enter to continue =>",
+	}
+}
+
+// schemaNameCollectionScreen is Screen 2.
+func schemaNameCollectionScreen(names []string) *tui.Screen {
+	rows := tui.NumberRows(names, 1)
+	if len(rows) == 0 {
+		rows = []string{"(no schemas defined)"}
+	}
+	return &tui.Screen{
+		Phase:   "SCHEMA COLLECTION",
+		Name:    "Schema Name Collection Screen",
+		Windows: []*tui.Window{{Title: "Schema Name", Rows: rows, Height: 8}},
+		Menu:    "Choose: (A)dd (D)elete (U)pdate (E)xit :",
+	}
+}
+
+// structureCollectionScreen is Screen 3.
+func structureCollectionScreen(s *ecr.Schema, scroll int) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"Object Name", "Type(E/C/R)", "# of attributes"})
+	for _, o := range s.Objects {
+		cells = append(cells, []string{o.Name, strings.ToLower(o.Kind.String()), fmt.Sprint(len(o.Attributes))})
+	}
+	for _, r := range s.Relationships {
+		cells = append(cells, []string{r.Name, "r", fmt.Sprint(len(r.Attributes))})
+	}
+	aligned := tui.Columns(cells)
+	header, body := aligned[0], aligned[1:]
+	win := &tui.Window{Title: header, Rows: tui.NumberRows(body, 1), Height: 10, Scroll: scroll}
+	return &tui.Screen{
+		Phase:   "SCHEMA COLLECTION",
+		Name:    "Structure Information Collection Screen",
+		Header:  []string{"SCHEMA NAME: " + s.Name},
+		Windows: []*tui.Window{win},
+		Menu:    "Choose: (S)croll (A)dd (D)elete (U)pdate (E)xit :",
+	}
+}
+
+// relationshipCollectionScreen is Screen 4.
+func relationshipCollectionScreen(schema string, r *ecr.RelationshipSet) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"Object Name", "Cardinality"})
+	for _, p := range r.Participants {
+		name := p.Object
+		if p.Role != "" {
+			name += " as " + p.Role
+		}
+		cells = append(cells, []string{name, p.Card.String()})
+	}
+	aligned := tui.Columns(cells)
+	return &tui.Screen{
+		Phase:   "SCHEMA COLLECTION",
+		Name:    "Relationship Information Collection Screen",
+		Header:  []string{"SCHEMA NAME: " + schema, "RELATIONSHIP NAME: " + r.Name},
+		Windows: []*tui.Window{{Title: aligned[0], Rows: tui.NumberRows(aligned[1:], 1), Height: 8}},
+		Menu:    "Choose: (A)dd (D)elete (E)xit :",
+	}
+}
+
+// categoryCollectionScreen is the Category Information Collection Screen.
+func categoryCollectionScreen(schema string, o *ecr.ObjectClass) *tui.Screen {
+	rows := o.Parents
+	if len(rows) == 0 {
+		rows = []string{"(no parent object classes yet)"}
+	}
+	return &tui.Screen{
+		Phase:   "SCHEMA COLLECTION",
+		Name:    "Category Information Collection Screen",
+		Header:  []string{"SCHEMA NAME: " + schema, "CATEGORY NAME: " + o.Name},
+		Windows: []*tui.Window{{Title: "Defined over object classes", Rows: tui.NumberRows(rows, 1), Height: 6}},
+		Menu:    "Choose: (A)dd (D)elete (E)xit :",
+	}
+}
+
+// attributeCollectionScreen is Screen 5.
+func attributeCollectionScreen(schema, object string, kind ecr.Kind, attrs []ecr.Attribute, scroll int) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"Attribute Name", "Domain", "Key (y/n)"})
+	for _, a := range attrs {
+		key := "n"
+		if a.Key {
+			key = "y"
+		}
+		cells = append(cells, []string{a.Name, a.Domain, key})
+	}
+	aligned := tui.Columns(cells)
+	return &tui.Screen{
+		Phase: "SCHEMA COLLECTION",
+		Name:  "Attribute Information Collection Screen",
+		Header: []string{fmt.Sprintf("SCHEMA NAME: %s   OBJECT NAME: %s   TYPE: %s",
+			schema, object, strings.ToLower(kind.String()))},
+		Windows: []*tui.Window{{Title: aligned[0], Rows: tui.NumberRows(aligned[1:], 1), Height: 10, Scroll: scroll}},
+		Menu:    "Choose: (S)croll (A)dd (D)elete (E)xit :",
+	}
+}
+
+// schemaNameSelectionScreen asks which two schemas are being integrated.
+func schemaNameSelectionScreen(phase string, names []string) *tui.Screen {
+	rows := tui.NumberRows(names, 1)
+	if len(rows) == 0 {
+		rows = []string{"(no schemas defined)"}
+	}
+	return &tui.Screen{
+		Phase:   phase,
+		Name:    "Schema Name Selection Screen",
+		Windows: []*tui.Window{{Title: "Defined schemas", Rows: rows, Height: 8}},
+		Menu:    "Enter the two schema names =>",
+	}
+}
+
+// objectSelectionScreen is Screen 6: the Entity/Category Name Selection
+// Screen (also used for relationship sets).
+func objectSelectionScreen(phase string, s1, s2 *ecr.Schema, rel bool) *tui.Screen {
+	list := func(s *ecr.Schema) []string {
+		var rows []string
+		if rel {
+			for _, r := range s.Relationships {
+				rows = append(rows, r.Name)
+			}
+		} else {
+			for _, o := range s.Objects {
+				rows = append(rows, o.Name)
+			}
+		}
+		return tui.NumberRows(rows, 1)
+	}
+	name := "Entity/Category Name Selection Screen"
+	if rel {
+		name = "Relationship Name Selection Screen"
+	}
+	return &tui.Screen{
+		Phase: phase,
+		Name:  name,
+		Windows: []*tui.Window{
+			{Title: "schema1: " + s1.Name, Rows: list(s1), Height: 8},
+			{Title: "schema2: " + s2.Name, Rows: list(s2), Height: 8},
+		},
+		Menu: "Enter <#1 #2> to pick one from each schema, or (E)xit :",
+	}
+}
+
+// equivalenceScreen is Screen 7: the Equivalence Class Creation and
+// Deletion Screen.
+func equivalenceScreen(reg *equivalence.Registry, ref1, ref2 objRef) *tui.Screen {
+	column := func(r objRef) []string {
+		var cells [][]string
+		cells = append(cells, []string{"Attribute Name", "Eq_class #"})
+		for _, a := range r.attrs() {
+			id, _ := reg.ClassID(ecr.AttrRef{Schema: r.schema, Object: r.name, Kind: r.kind, Attr: a.Name})
+			cells = append(cells, []string{a.Name, fmt.Sprint(id)})
+		}
+		return tui.Columns(cells)
+	}
+	c1, c2 := column(ref1), column(ref2)
+	return &tui.Screen{
+		Phase: "EQUIVALENCE CLASS SPECIFICATION",
+		Name:  "Equivalence Class Creation and Deletion Screen",
+		Windows: []*tui.Window{
+			{Title: "(schema.object1) " + ref1.schema + "." + ref1.name + "   " + c1[0],
+				Rows: tui.NumberRows(c1[1:], 1), Height: 8},
+			{Title: "(schema.object2) " + ref2.schema + "." + ref2.name + "   " + c2[0],
+				Rows: tui.NumberRows(c2[1:], 1), Height: 8},
+		},
+		Menu: "(S)croll (A)dd or (D)elete from equiv. class (E)xit =>",
+	}
+}
+
+// assertionCollectionScreen is Screen 8.
+func assertionCollectionScreen(pairs []resemblance.Pair, asserts *assertion.Set, scroll int, rel bool) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"Schema_Name1.Obj_Class1", "Schema_Name2.Obj_Class2", "ATTRIBUTE RATIO", "ASSERTION"})
+	for _, p := range pairs {
+		cur := asserts.Kind(
+			assertion.ObjKey{Schema: p.Schema1, Object: p.Object1},
+			assertion.ObjKey{Schema: p.Schema2, Object: p.Object2},
+		)
+		code := ""
+		if cur != assertion.Unspecified {
+			code = fmt.Sprint(cur.Code())
+		}
+		cells = append(cells, []string{
+			p.Schema1 + "." + p.Object1,
+			p.Schema2 + "." + p.Object2,
+			fmt.Sprintf("%.4f", p.Ratio),
+			code,
+		})
+	}
+	aligned := tui.Columns(cells)
+	name := "Assertion Collection For Object Pairs"
+	if rel {
+		name = "Assertion Collection For Relationship Pairs"
+	}
+	return &tui.Screen{
+		Phase:   "ASSERTION SPECIFICATION",
+		Name:    name,
+		Windows: []*tui.Window{{Title: aligned[0], Rows: tui.NumberRows(aligned[1:], 1), Height: 10, Scroll: scroll}},
+		Header:  nil,
+		Menu:    "Enter <#> <assertion 0-5>, (S)croll, (L)egend, or (E)xit :",
+	}
+}
+
+// assertionLegend is the menu of assertion meanings printed on Screens 8
+// and 9.
+func assertionLegend() []string {
+	return []string{
+		"1 - OB_CL_name_1 'equals' OB_CL_name_2",
+		"2 - OB_CL_name_1 'contained in' OB_CL_name_2",
+		"3 - OB_CL_name_1 'contains' OB_CL_name_2",
+		"4 - OB_CL_name_1 and OB_CL_name_2 are disjoint but integratable",
+		"5 - OB_CL_name_1 and OB_CL_name_2 may be integratable",
+		"0 - OB_CL_name_1 and OB_CL_name_2 are disjoint & non-integratable",
+	}
+}
+
+// conflictResolutionScreen is Screen 9: the Assertion Conflict Resolution
+// Screen, listing the conflicting assertions and the derivation behind the
+// derived one.
+func conflictResolutionScreen(c *assertion.Conflict) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"SCHEMA_NAME1.OBJ_CLASS1", "SCHEMA_NAME2.OBJ_CLASS2", "CURRENT", "NEW"})
+	ex := c.Existing
+	exTag := fmt.Sprint(ex.Kind.Code())
+	if ex.Derived {
+		exTag += " <derived>"
+	}
+	cells = append(cells, []string{ex.A.String(), ex.B.String(), exTag, "(CONFLICT)"})
+	cells = append(cells, []string{c.Proposed.A.String(), c.Proposed.B.String(),
+		fmt.Sprint(c.Proposed.Kind.Code()), "<new> (CONFLICT)"})
+	for _, tr := range append(append([]assertion.Statement{}, c.Trace...), c.Existing.Trace...) {
+		cells = append(cells, []string{tr.A.String(), tr.B.String(), fmt.Sprint(tr.Kind.Code()), ""})
+	}
+	aligned := tui.Columns(cells)
+	return &tui.Screen{
+		Phase: "ASSERTION SPECIFICATION",
+		Name:  "Assertion Conflict Resolution Screen",
+		Windows: []*tui.Window{
+			{Title: aligned[0], Rows: aligned[1:]},
+			{Title: "Assertions:", Rows: assertionLegend()},
+		},
+		Menu: "Resolve: (K)eep current, (R)eplace with new, (S)kip :",
+	}
+}
+
+// matrixScreen shows the Entity Assertion matrix (or its relationship-set
+// counterpart) as the tool stores it.
+func matrixScreen(phase string, set *assertion.Set, objs []assertion.ObjKey) *tui.Screen {
+	rows := strings.Split(strings.TrimRight(set.Matrix(objs), "\n"), "\n")
+	return &tui.Screen{
+		Phase:   phase,
+		Name:    "Entity Assertion Matrix",
+		Windows: []*tui.Window{{Rows: rows, Height: 18}},
+		Menu:    "Press enter to continue =>",
+	}
+}
+
+// legendScreen shows the assertion legend standalone.
+func legendScreen(phase string) *tui.Screen {
+	return &tui.Screen{
+		Phase:   phase,
+		Windows: []*tui.Window{{Title: "Assertions:", Rows: assertionLegend()}},
+		Menu:    "Press enter to continue =>",
+	}
+}
+
+// objectClassScreen is Screen 10: the main result screen.
+func objectClassScreen(s *ecr.Schema) *tui.Screen {
+	var ents, cats, rels []string
+	for _, o := range s.Objects {
+		if o.Kind == ecr.KindCategory {
+			cats = append(cats, o.Name)
+		} else {
+			ents = append(ents, o.Name)
+		}
+	}
+	for _, r := range s.Relationships {
+		rels = append(rels, r.Name)
+	}
+	col := func(title string, items []string) *tui.Window {
+		rows := items
+		if len(rows) == 0 {
+			rows = []string{"(none)"}
+		}
+		return &tui.Window{
+			Title:  fmt.Sprintf("%s(%d)", title, len(items)),
+			Rows:   rows,
+			Height: 8,
+		}
+	}
+	return &tui.Screen{
+		Phase: "INTEGRATED SCHEMA",
+		Name:  "Object Class Screen",
+		Windows: []*tui.Window{
+			col("Entities", ents),
+			col("Categories", cats),
+			col("Relationships", rels),
+		},
+		Menu: "Type object class name then <A>ttributes, <C>ategories, <E>ntities, <R>elationships, or e<x>it =>",
+	}
+}
+
+// categoryScreen is Screen 11 (and doubles as the Entity Screen when the
+// object has no parents).
+func categoryScreen(s *ecr.Schema, o *ecr.ObjectClass) *tui.Screen {
+	var parents [][]string
+	parents = append(parents, []string{"Parent Object", "(type)"})
+	for _, p := range o.Parents {
+		po := s.Object(p)
+		typ := "E"
+		if po != nil {
+			typ = po.Kind.String()
+		}
+		parents = append(parents, []string{p, "(" + typ + ")"})
+	}
+	var children [][]string
+	children = append(children, []string{"Child Object", "(type)"})
+	for _, c := range s.Children(o.Name) {
+		co := s.Object(c)
+		typ := "E"
+		if co != nil {
+			typ = co.Kind.String()
+		}
+		children = append(children, []string{c, "(" + typ + ")"})
+	}
+	pa := tui.Columns(parents)
+	ch := tui.Columns(children)
+	name := "Entity Screen"
+	if o.Kind == ecr.KindCategory {
+		name = "Category Screen"
+	}
+	return &tui.Screen{
+		Phase:  "INTEGRATED SCHEMA",
+		Name:   name,
+		Header: []string{"< " + o.Name + " >"},
+		Windows: []*tui.Window{
+			{Title: fmt.Sprintf("Parent Object(%d)   %s", len(o.Parents), pa[0]), Rows: pa[1:]},
+			{Title: fmt.Sprintf("Child Object(%d)   %s", len(children)-1, ch[0]), Rows: ch[1:]},
+		},
+		Menu: "<A>ttributes, <Q>uivalent objects, or e<x>it =>",
+	}
+}
+
+// relationshipScreen mirrors the Category Screen for relationship sets.
+func relationshipScreen(s *ecr.Schema, r *ecr.RelationshipSet) *tui.Screen {
+	parents := r.Parents
+	if len(parents) == 0 {
+		parents = []string{"(none)"}
+	}
+	children := s.RelationshipChildren(r.Name)
+	if len(children) == 0 {
+		children = []string{"(none)"}
+	}
+	return &tui.Screen{
+		Phase:  "INTEGRATED SCHEMA",
+		Name:   "Relationship Screen",
+		Header: []string{"< " + r.Name + " >"},
+		Windows: []*tui.Window{
+			{Title: "Parent relationships", Rows: parents},
+			{Title: "Child relationships", Rows: children},
+		},
+		Menu: "<A>ttributes, <P>articipating objects, <Q>uivalent objects, or e<x>it =>",
+	}
+}
+
+// attributeScreen is the Attribute Screen listing an object's attributes.
+func attributeScreen(owner string, kindWord string, attrs []ecr.Attribute) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"Attribute Name", "Domain", "Key", "Derived"})
+	for _, a := range attrs {
+		key, der := "n", "n"
+		if a.Key {
+			key = "y"
+		}
+		if a.Derived() {
+			der = "y"
+		}
+		cells = append(cells, []string{a.Name, a.Domain, key, der})
+	}
+	aligned := tui.Columns(cells)
+	return &tui.Screen{
+		Phase:   "INTEGRATED SCHEMA",
+		Name:    "Attribute Screen",
+		Header:  []string{"< " + owner + " : " + kindWord + " >"},
+		Windows: []*tui.Window{{Title: aligned[0], Rows: tui.NumberRows(aligned[1:], 1), Height: 10}},
+		Menu:    "Enter <#> to view component attributes of a derived attribute, or (E)xit :",
+	}
+}
+
+// componentAttributeScreen is Screen 12a/12b, one per component attribute
+// of a derived attribute.
+func componentAttributeScreen(owner, kindWord string, attr ecr.Attribute, comp ecr.AttrRef, index, total int) *tui.Screen {
+	return &tui.Screen{
+		Phase:  "INTEGRATED SCHEMA",
+		Name:   "Component Attribute Screen",
+		Header: []string{"< " + owner + " : " + kindWord + " >", "< " + attr.Name + " >"},
+		Windows: []*tui.Window{{
+			Rows: []string{
+				"Attribute Name       : " + comp.Attr,
+				"Domain               : " + attr.Domain,
+				"Key                  : " + yesNo(attr.Key),
+				"original Object Name : " + comp.Object,
+				"original type        : " + comp.Kind.String(),
+				"original Schema Name : " + comp.Schema,
+				fmt.Sprintf("(component %d of %d)", index, total),
+			},
+		}},
+		Menu: "Press any key to continue, or (Q)uit =>",
+	}
+}
+
+// equivalentScreen shows the component objects behind an equivalent ("E_")
+// or derived structure.
+func equivalentScreen(owner string, sources []ecr.ObjectRef) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"original Schema", "original Object", "type"})
+	for _, src := range sources {
+		cells = append(cells, []string{src.Schema, src.Object, src.Kind.String()})
+	}
+	aligned := tui.Columns(cells)
+	rows := aligned[1:]
+	if len(rows) == 0 {
+		rows = []string{"(defined directly in one component schema)"}
+	}
+	return &tui.Screen{
+		Phase:   "INTEGRATED SCHEMA",
+		Name:    "Equivalent Screen",
+		Header:  []string{"< " + owner + " >"},
+		Windows: []*tui.Window{{Title: aligned[0], Rows: rows}},
+		Menu:    "Press enter to continue =>",
+	}
+}
+
+// participatingObjectsScreen shows the entities and categories tied to a
+// relationship set.
+func participatingObjectsScreen(r *ecr.RelationshipSet) *tui.Screen {
+	var cells [][]string
+	cells = append(cells, []string{"Object", "Cardinality", "Role"})
+	for _, p := range r.Participants {
+		cells = append(cells, []string{p.Object, p.Card.String(), p.Role})
+	}
+	aligned := tui.Columns(cells)
+	return &tui.Screen{
+		Phase:   "INTEGRATED SCHEMA",
+		Name:    "Participating Objects In Relationship Screen",
+		Header:  []string{"< " + r.Name + " >"},
+		Windows: []*tui.Window{{Title: aligned[0], Rows: aligned[1:]}},
+		Menu:    "Press enter to continue =>",
+	}
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "YES"
+	}
+	return "NO"
+}
+
+// objRef identifies one structure during the equivalence phase.
+type objRef struct {
+	schema string
+	name   string
+	kind   ecr.Kind
+	object *ecr.ObjectClass
+	rel    *ecr.RelationshipSet
+}
+
+func (r objRef) attrs() []ecr.Attribute {
+	if r.rel != nil {
+		return r.rel.Attributes
+	}
+	if r.object != nil {
+		return r.object.Attributes
+	}
+	return nil
+}
+
+func (r objRef) attrRef(name string) ecr.AttrRef {
+	return ecr.AttrRef{Schema: r.schema, Object: r.name, Kind: r.kind, Attr: name}
+}

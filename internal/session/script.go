@@ -1,0 +1,102 @@
+package session
+
+// PaperScript returns the scripted DDA inputs that drive the complete
+// running example of the paper through the tool's screens: defining sc1 and
+// sc2 (Screens 2-5), declaring the attribute equivalences of Screen 7,
+// stating the assertions of Screen 8, and integrating and browsing the
+// result (Screens 10-12). Tests and the benchmark harness replay it through
+// a ScriptIO; cmd/sit users can perform the same steps interactively.
+func PaperScript() []string {
+	return []string{
+		// --- Main menu: task 1, schema collection ---
+		"1",
+		// Screen 2: add schema sc1.
+		"a", "sc1",
+		// Screen 3 for sc1: add Student (e).
+		"a", "Student", "e",
+		"a", "Name", "char", "y",
+		"a", "GPA", "real", "",
+		"e",
+		// add Department (e).
+		"a", "Department", "e",
+		"a", "Dname", "char", "y",
+		"e",
+		// add Majors (r): Student (0,1) -- Department (1,n), attr Since.
+		"a", "Majors", "r",
+		"a", "Student", "0,1",
+		"a", "Department", "1,n",
+		"e",
+		"a", "Since", "date", "",
+		"e",
+		"e",
+		// Screen 2: add schema sc2.
+		"a", "sc2",
+		"a", "Grad_student", "e",
+		"a", "Name", "char", "y",
+		"a", "GPA", "real", "",
+		"a", "Support_type", "char", "",
+		"e",
+		"a", "Faculty", "e",
+		"a", "Name", "char", "y",
+		"a", "Rank", "char", "",
+		"e",
+		"a", "Department", "e",
+		"a", "Dname", "char", "y",
+		"a", "Location", "char", "",
+		"e",
+		"a", "Stud_major", "r",
+		"a", "Grad_student", "0,1",
+		"a", "Department", "0,n",
+		"e",
+		"a", "Since", "date", "",
+		"e",
+		"a", "Works", "r",
+		"a", "Faculty", "1,1",
+		"a", "Department", "1,n",
+		"e",
+		"a", "Percent_time", "int", "",
+		"e",
+		"e",
+		"e",
+
+		// --- Task 2: object attribute equivalences (Screens 6-7) ---
+		"2", "sc1", "sc2",
+		"1 1", "a 1 1", "a 2 2", "e",
+		"1 2", "a 1 1", "e",
+		"2 3", "a 1 1", "e",
+		"e",
+
+		// --- Task 4: relationship attribute equivalences ---
+		"4", "sc1", "sc2",
+		"1 1", "a 1 1", "e",
+		"e",
+
+		// --- Task 3: object assertions (Screen 8) ---
+		"3", "sc1", "sc2",
+		"1 3", // Student contains Grad_student
+		"2 1", // Department equals Department
+		"3 4", // Student and Faculty disjoint but integrable
+		"e",
+
+		// --- Task 5: relationship assertions ---
+		"5", "sc1", "sc2",
+		"1 1", // Majors equals Stud_major
+		"e",
+
+		// --- Task 6: integrate and view (Screens 10-12) ---
+		"6", "sc1", "sc2",
+		"Student c",
+		"a",
+		"1", "", "",
+		"e",
+		"q", "",
+		"x",
+		"E_Stud_Majo r",
+		"p", "",
+		"x",
+		"x",
+
+		// --- exit ---
+		"e",
+	}
+}

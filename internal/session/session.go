@@ -1,0 +1,163 @@
+package session
+
+import (
+	"strings"
+)
+
+// IO abstracts the terminal: the tool displays full screens and reads line
+// input. cmd/sit implements it over a real terminal; ScriptIO drives the
+// tool from a canned input list in tests and benchmarks, acting as the
+// scripted DDA this reproduction substitutes for an interactive one.
+type IO interface {
+	// Display shows a rendered screen.
+	Display(screen string)
+	// ReadLine prompts for and returns one input line; ok is false when
+	// input is exhausted (treated as exit at every level).
+	ReadLine(prompt string) (line string, ok bool)
+}
+
+// ScriptIO replays a fixed list of inputs and records every screen and
+// prompt, for tests and benchmarks.
+type ScriptIO struct {
+	Inputs  []string
+	pos     int
+	Screens []string
+	Prompts []string
+}
+
+// NewScriptIO builds a ScriptIO from input lines.
+func NewScriptIO(inputs ...string) *ScriptIO {
+	return &ScriptIO{Inputs: inputs}
+}
+
+// Display records the screen.
+func (s *ScriptIO) Display(screen string) { s.Screens = append(s.Screens, screen) }
+
+// ReadLine returns the next scripted input.
+func (s *ScriptIO) ReadLine(prompt string) (string, bool) {
+	s.Prompts = append(s.Prompts, prompt)
+	if s.pos >= len(s.Inputs) {
+		return "", false
+	}
+	line := s.Inputs[s.pos]
+	s.pos++
+	return line, true
+}
+
+// Output joins every displayed screen, separated by form feeds, for
+// inspection.
+func (s *ScriptIO) Output() string { return strings.Join(s.Screens, "\f") }
+
+// LastScreen returns the most recently displayed screen.
+func (s *ScriptIO) LastScreen() string {
+	if len(s.Screens) == 0 {
+		return ""
+	}
+	return s.Screens[len(s.Screens)-1]
+}
+
+// ScreensContaining returns the screens whose text contains the substring.
+func (s *ScriptIO) ScreensContaining(sub string) []string {
+	var out []string
+	for _, sc := range s.Screens {
+		if strings.Contains(sc, sub) {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// Session runs the tool's state machine over a workspace and an IO.
+type Session struct {
+	ws *Workspace
+	io IO
+	// SavePath, when non-empty, is written on exit from the main menu.
+	SavePath string
+}
+
+// New builds a session.
+func New(ws *Workspace, io IO) *Session {
+	return &Session{ws: ws, io: io}
+}
+
+// Workspace exposes the underlying workspace.
+func (s *Session) Workspace() *Workspace { return s.ws }
+
+// Run drives the main menu (Screen 1) until the DDA exits or input runs
+// out. It returns the save error, if any.
+func (s *Session) Run() error {
+	for {
+		s.io.Display(mainMenuScreen().Text())
+		line, ok := s.io.ReadLine("Enter choice => ")
+		if !ok {
+			break
+		}
+		switch strings.TrimSpace(strings.ToLower(line)) {
+		case "1":
+			s.runSchemaCollection()
+		case "2":
+			s.runEquivalence(false)
+		case "3":
+			s.runAssertions(false)
+		case "4":
+			s.runEquivalence(true)
+		case "5":
+			s.runAssertions(true)
+		case "6":
+			s.runResults()
+		case "7":
+			s.runSuggestions()
+		case "e", "x", "exit", "q":
+			if s.SavePath != "" {
+				return s.ws.Save(s.SavePath)
+			}
+			return nil
+		}
+	}
+	if s.SavePath != "" {
+		return s.ws.Save(s.SavePath)
+	}
+	return nil
+}
+
+// choice normalizes a menu selection.
+func choice(line string) string {
+	return strings.ToLower(strings.TrimSpace(line))
+}
+
+// readNonEmpty prompts until a non-empty line or input exhaustion.
+func (s *Session) readNonEmpty(prompt string) (string, bool) {
+	for {
+		line, ok := s.io.ReadLine(prompt)
+		if !ok {
+			return "", false
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+}
+
+// pickSchemaPair runs the Schema Name Selection screen: the DDA names the
+// two schemas being integrated.
+func (s *Session) pickSchemaPair(phase string) (s1, s2 string, ok bool) {
+	var rows []string
+	for _, sc := range s.ws.Schemas() {
+		rows = append(rows, sc.Name)
+	}
+	s.io.Display(schemaNameSelectionScreen(phase, rows).Text())
+	n1, ok := s.readNonEmpty("Name of first schema => ")
+	if !ok {
+		return "", "", false
+	}
+	n2, ok := s.readNonEmpty("Name of second schema => ")
+	if !ok {
+		return "", "", false
+	}
+	if s.ws.Schema(n1) == nil || s.ws.Schema(n2) == nil || n1 == n2 {
+		s.io.Display(messageScreen(phase, "Unknown or identical schema names: "+n1+", "+n2).Text())
+		return "", "", false
+	}
+	return n1, n2, true
+}

@@ -1,0 +1,132 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+func suggestWorkspace(t testing.TB) *Workspace {
+	t.Helper()
+	ws := NewWorkspace()
+	if err := ws.AddSchema(paperex.Sc1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AddSchema(paperex.Sc2()); err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+func TestSuggestionsAcceptAll(t *testing.T) {
+	ws := suggestWorkspace(t)
+	io := NewScriptIO(
+		"7", "sc1", "sc2",
+		"a", "", // accept all, dismiss notice
+		"e",
+		"e",
+	)
+	if err := New(ws, io).Run(); err != nil {
+		t.Fatal(err)
+	}
+	screens := io.ScreensContaining("Candidate Equivalent Attributes Screen")
+	if len(screens) == 0 {
+		t.Fatal("suggestion screen missing")
+	}
+	if !strings.Contains(screens[0], "sc1.Student.Name") || !strings.Contains(screens[0], "EQUAL") {
+		t.Errorf("suggestion rows wrong:\n%s", screens[0])
+	}
+	if !ws.Registry().Equivalent(
+		ecr.AttrRef{Schema: "sc1", Object: "Student", Kind: ecr.KindEntity, Attr: "Name"},
+		ecr.AttrRef{Schema: "sc2", Object: "Grad_student", Kind: ecr.KindEntity, Attr: "Name"},
+	) {
+		t.Error("accept-all did not declare the Name equivalence")
+	}
+}
+
+func TestSuggestionsAcceptSingle(t *testing.T) {
+	ws := suggestWorkspace(t)
+	io := NewScriptIO(
+		"7", "sc1", "sc2",
+		"1", // accept top candidate
+		"e",
+		"e",
+	)
+	if err := New(ws, io).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Registry().Classes()) != 1 {
+		t.Errorf("classes = %d, want exactly the accepted one", len(ws.Registry().Classes()))
+	}
+}
+
+func TestSuggestionsAcceptedDisappear(t *testing.T) {
+	ws := suggestWorkspace(t)
+	io := NewScriptIO(
+		"7", "sc1", "sc2",
+		"1", // accept top candidate -> it must vanish from the next display
+		"e",
+		"e",
+	)
+	if err := New(ws, io).Run(); err != nil {
+		t.Fatal(err)
+	}
+	screens := io.ScreensContaining("Candidate Equivalent Attributes Screen")
+	if len(screens) < 2 {
+		t.Fatalf("screens = %d", len(screens))
+	}
+	firstTop := topCandidateLine(screens[0])
+	if firstTop == "" {
+		t.Fatal("no top candidate on first display")
+	}
+	if strings.Contains(screens[1], firstTop) {
+		t.Errorf("accepted candidate still listed:\n%s", screens[1])
+	}
+}
+
+func topCandidateLine(screen string) string {
+	for _, line := range strings.Split(screen, "\n") {
+		if strings.Contains(line, "1> ") {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.Trim(line, "|")), "1>"))
+		}
+	}
+	return ""
+}
+
+func TestSuggestionsThresholdAdjustment(t *testing.T) {
+	ws := suggestWorkspace(t)
+	io := NewScriptIO(
+		"7", "sc1", "sc2",
+		"t 0.99", // very strict: fewer (likely zero borderline) candidates
+		"t 2",    // invalid
+		"",       // dismiss notice
+		"e",
+		"e",
+	)
+	if err := New(ws, io).Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sc := range io.ScreensContaining("Threshold: 0.99") {
+		found = true
+		_ = sc
+	}
+	if !found {
+		t.Error("threshold change not reflected")
+	}
+	if len(io.ScreensContaining("threshold must be a number")) == 0 {
+		t.Error("invalid threshold not reported")
+	}
+}
+
+func TestMainMenuShowsTask7(t *testing.T) {
+	io := NewScriptIO("e")
+	if err := New(NewWorkspace(), io).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(io.LastScreen(), "7. Suggest attribute equivalences") {
+		t.Errorf("menu missing task 7:\n%s", io.LastScreen())
+	}
+}

@@ -1,0 +1,157 @@
+// Package term is the terminal substrate of the interactive tool, standing
+// in for the curses library the original C implementation used. It provides
+// a cell buffer with box/text drawing, an ANSI renderer for real terminals,
+// and a plain-text snapshot form that tests compare against the paper's
+// printed screens. Like the original, it is "largely terminal independent":
+// everything renders through a handful of ANSI sequences, and the snapshot
+// path needs no terminal at all.
+package term
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Buffer is a W×H grid of cells.
+type Buffer struct {
+	W, H  int
+	cells [][]rune
+}
+
+// NewBuffer returns a buffer of the given size filled with spaces.
+func NewBuffer(w, h int) *Buffer {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	b := &Buffer{W: w, H: h}
+	b.cells = make([][]rune, h)
+	for y := range b.cells {
+		b.cells[y] = make([]rune, w)
+		for x := range b.cells[y] {
+			b.cells[y][x] = ' '
+		}
+	}
+	return b
+}
+
+// Clear resets every cell to space.
+func (b *Buffer) Clear() {
+	for y := range b.cells {
+		for x := range b.cells[y] {
+			b.cells[y][x] = ' '
+		}
+	}
+}
+
+// Set writes one cell; out-of-range writes are ignored.
+func (b *Buffer) Set(x, y int, r rune) {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return
+	}
+	b.cells[y][x] = r
+}
+
+// At reads one cell; out-of-range reads return space.
+func (b *Buffer) At(x, y int) rune {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return ' '
+	}
+	return b.cells[y][x]
+}
+
+// Text writes a string starting at (x, y), clipped to the buffer.
+func (b *Buffer) Text(x, y int, s string) {
+	for i, r := range s {
+		b.Set(x+i, y, r)
+	}
+}
+
+// TextCentered writes a string centered on row y.
+func (b *Buffer) TextCentered(y int, s string) {
+	x := (b.W - len([]rune(s))) / 2
+	if x < 0 {
+		x = 0
+	}
+	b.Text(x, y, s)
+}
+
+// HLine draws a horizontal run of the rune.
+func (b *Buffer) HLine(x, y, w int, r rune) {
+	for i := 0; i < w; i++ {
+		b.Set(x+i, y, r)
+	}
+}
+
+// VLine draws a vertical run of the rune.
+func (b *Buffer) VLine(x, y, h int, r rune) {
+	for i := 0; i < h; i++ {
+		b.Set(x, y+i, r)
+	}
+}
+
+// Box draws a rectangle outline using ASCII box characters (+, -, |), the
+// style of the paper's screens.
+func (b *Buffer) Box(x, y, w, h int) {
+	if w < 2 || h < 2 {
+		return
+	}
+	b.HLine(x+1, y, w-2, '-')
+	b.HLine(x+1, y+h-1, w-2, '-')
+	b.VLine(x, y+1, h-2, '|')
+	b.VLine(x+w-1, y+1, h-2, '|')
+	b.Set(x, y, '+')
+	b.Set(x+w-1, y, '+')
+	b.Set(x, y+h-1, '+')
+	b.Set(x+w-1, y+h-1, '+')
+}
+
+// Snapshot renders the buffer as plain text, trimming trailing spaces on
+// each line and trailing blank lines. Golden tests compare against this.
+func (b *Buffer) Snapshot() string {
+	lines := make([]string, 0, b.H)
+	for y := 0; y < b.H; y++ {
+		line := strings.TrimRight(string(b.cells[y]), " ")
+		lines = append(lines, line)
+	}
+	for len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// ANSI control sequences used by the renderer.
+const (
+	ansiClear = "\x1b[2J"
+	ansiHome  = "\x1b[H"
+)
+
+// Renderer paints buffers onto a terminal via ANSI escapes. For simplicity
+// and robustness it repaints the whole screen (the original tool's forms
+// are small; the cost is negligible on any modern terminal).
+type Renderer struct {
+	w io.Writer
+}
+
+// NewRenderer wraps a writer (normally os.Stdout).
+func NewRenderer(w io.Writer) *Renderer { return &Renderer{w: w} }
+
+// Paint clears the terminal and draws the buffer.
+func (r *Renderer) Paint(b *Buffer) error {
+	var sb strings.Builder
+	sb.WriteString(ansiClear)
+	sb.WriteString(ansiHome)
+	sb.WriteString(b.Snapshot())
+	_, err := io.WriteString(r.w, sb.String())
+	return err
+}
+
+// Prompt writes a prompt string at the current cursor position (after a
+// Paint, the line below the drawn content).
+func (r *Renderer) Prompt(s string) error {
+	_, err := fmt.Fprint(r.w, s)
+	return err
+}

@@ -1,0 +1,117 @@
+package term
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(10, 3)
+	if b.W != 10 || b.H != 3 {
+		t.Fatalf("size = %dx%d", b.W, b.H)
+	}
+	b.Set(0, 0, 'A')
+	b.Set(9, 2, 'Z')
+	if b.At(0, 0) != 'A' || b.At(9, 2) != 'Z' {
+		t.Error("set/at mismatch")
+	}
+	// Out of range is a no-op, not a panic.
+	b.Set(-1, 0, 'X')
+	b.Set(10, 0, 'X')
+	b.Set(0, 3, 'X')
+	if b.At(-1, 0) != ' ' || b.At(10, 0) != ' ' {
+		t.Error("out-of-range At should return space")
+	}
+}
+
+func TestBufferMinimumSize(t *testing.T) {
+	b := NewBuffer(0, -5)
+	if b.W != 1 || b.H != 1 {
+		t.Errorf("size = %dx%d, want 1x1", b.W, b.H)
+	}
+}
+
+func TestText(t *testing.T) {
+	b := NewBuffer(8, 2)
+	b.Text(2, 0, "hi")
+	if got := b.Snapshot(); got != "  hi\n" {
+		t.Errorf("snapshot = %q", got)
+	}
+	// Clipped text must not wrap.
+	b.Clear()
+	b.Text(6, 1, "long")
+	snap := b.Snapshot()
+	if strings.Contains(snap, "ng") {
+		t.Errorf("text wrapped: %q", snap)
+	}
+}
+
+func TestTextCentered(t *testing.T) {
+	b := NewBuffer(10, 1)
+	b.TextCentered(0, "abcd")
+	if got := b.Snapshot(); got != "   abcd\n" {
+		t.Errorf("snapshot = %q", got)
+	}
+	b.Clear()
+	b.TextCentered(0, "this is far too long for the buffer")
+	if !strings.HasPrefix(b.Snapshot(), "this is fa") {
+		t.Errorf("overlong centered text = %q", b.Snapshot())
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := NewBuffer(6, 4)
+	b.Box(0, 0, 6, 4)
+	want := "+----+\n|    |\n|    |\n+----+\n"
+	if got := b.Snapshot(); got != want {
+		t.Errorf("box:\n%s\nwant:\n%s", got, want)
+	}
+	// Degenerate boxes draw nothing.
+	b2 := NewBuffer(6, 4)
+	b2.Box(0, 0, 1, 1)
+	if got := b2.Snapshot(); got != "\n" {
+		t.Errorf("degenerate box drew: %q", got)
+	}
+}
+
+func TestLines(t *testing.T) {
+	b := NewBuffer(5, 3)
+	b.HLine(0, 1, 5, '-')
+	b.VLine(2, 0, 3, '|')
+	snap := b.Snapshot()
+	if !strings.Contains(snap, "--|--") {
+		t.Errorf("lines:\n%s", snap)
+	}
+}
+
+func TestSnapshotTrimsTrailing(t *testing.T) {
+	b := NewBuffer(5, 4)
+	b.Text(0, 0, "x")
+	got := b.Snapshot()
+	if got != "x\n" {
+		t.Errorf("snapshot = %q", got)
+	}
+}
+
+func TestRendererPaint(t *testing.T) {
+	var sb strings.Builder
+	r := NewRenderer(&sb)
+	b := NewBuffer(4, 2)
+	b.Text(0, 0, "ok")
+	if err := r.Paint(b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "\x1b[2J\x1b[H") {
+		t.Errorf("missing clear/home: %q", out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("content missing: %q", out)
+	}
+	if err := r.Prompt("=> "); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(sb.String(), "=> ") {
+		t.Errorf("prompt missing: %q", sb.String())
+	}
+}

@@ -1,0 +1,40 @@
+package translate
+
+import "testing"
+
+// FuzzParseSQL guards the SQL subset parser against panics; accepted
+// databases must translate or fail cleanly.
+func FuzzParseSQL(f *testing.F) {
+	f.Add(universitySQL)
+	f.Add("CREATE TABLE t (a INT PRIMARY KEY);")
+	f.Add("CREATE TABLE t (a INT, PRIMARY KEY (a), FOREIGN KEY (a) REFERENCES t (a));")
+	f.Add("CREATE TABLE")
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := ParseSQL("f", src)
+		if err != nil {
+			return
+		}
+		if _, err := FromRelational(db); err != nil {
+			// Translation may reject semantic problems; it must not
+			// panic, which the fuzz harness checks implicitly.
+			return
+		}
+	})
+}
+
+// FuzzParseHierarchy guards the segment-tree parser the same way.
+func FuzzParseHierarchy(f *testing.F) {
+	f.Add(schoolHierarchy)
+	f.Add("hierarchy h segment S { field k char key }")
+	f.Add("hierarchy h segment S { segment T { field k char } }")
+	f.Add("hierarchy")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := ParseHierarchy(src)
+		if err != nil {
+			return
+		}
+		if _, err := FromHierarchical(h); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// Field is one field of a hierarchical segment.
+type Field struct {
+	Name string
+	Type string
+	Key  bool // sequence (key) field of the segment
+}
+
+// Segment is one segment type of a hierarchical (IMS-style) database: a
+// record type with fields and child segment types.
+type Segment struct {
+	Name     string
+	Fields   []Field
+	Children []*Segment
+}
+
+// Hierarchy is a named forest of segment types.
+type Hierarchy struct {
+	Name  string
+	Roots []*Segment
+}
+
+// HierarchicalResult is the outcome of translating a hierarchy.
+type HierarchicalResult struct {
+	Schema *ecr.Schema
+	Notes  []string
+}
+
+// FromHierarchical abstracts a hierarchical database into an ECR schema:
+// every segment type becomes an entity set (fields become attributes, the
+// sequence field the key), and every parent-child arc becomes a binary
+// relationship set named <parent>_<child> in which the child participates
+// with cardinality (1,1) — a hierarchical child exists under exactly one
+// parent occurrence — and the parent with (0,n).
+func FromHierarchical(h *Hierarchy) (*HierarchicalResult, error) {
+	if h == nil || h.Name == "" {
+		return nil, fmt.Errorf("translate: hierarchy with a name is required")
+	}
+	if len(h.Roots) == 0 {
+		return nil, fmt.Errorf("translate: hierarchy %q has no segments", h.Name)
+	}
+	out := ecr.NewSchema(h.Name)
+	res := &HierarchicalResult{Schema: out}
+	notef := func(format string, args ...any) {
+		res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+	}
+
+	var walk func(seg *Segment, parent *Segment) error
+	walk = func(seg *Segment, parent *Segment) error {
+		if seg.Name == "" {
+			return fmt.Errorf("translate: hierarchy %q has a segment with no name", h.Name)
+		}
+		if len(seg.Fields) == 0 {
+			return fmt.Errorf("translate: segment %q has no fields", seg.Name)
+		}
+		o := &ecr.ObjectClass{Name: seg.Name, Kind: ecr.KindEntity}
+		for _, f := range seg.Fields {
+			o.Attributes = append(o.Attributes, ecr.Attribute{
+				Name:   f.Name,
+				Domain: mapDomain(f.Type),
+				Key:    f.Key,
+			})
+		}
+		if err := out.AddObject(o); err != nil {
+			return err
+		}
+		notef("segment %s -> entity set %s", seg.Name, o.Name)
+		if parent != nil {
+			rs := &ecr.RelationshipSet{
+				Name: parent.Name + "_" + seg.Name,
+				Participants: []ecr.Participation{
+					{Object: parent.Name, Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+					{Object: seg.Name, Card: ecr.Cardinality{Min: 1, Max: 1}},
+				},
+			}
+			if err := out.AddRelationship(rs); err != nil {
+				return err
+			}
+			notef("parent-child %s/%s -> relationship set %s", parent.Name, seg.Name, rs.Name)
+		}
+		for _, child := range seg.Children {
+			if err := walk(child, seg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range h.Roots {
+		if err := walk(root, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// ParseHierarchy reads the textual segment-tree language:
+//
+//	hierarchy school
+//	segment Dept {
+//	    field Dname char key
+//	    segment Emp {
+//	        field Ename char key
+//	        field Salary int
+//	    }
+//	}
+//
+// '#' comments run to end of line. Nested "segment" blocks define the
+// parent-child structure.
+func ParseHierarchy(src string) (*Hierarchy, error) {
+	toks, err := hierTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &hierParser{toks: toks}
+	if !p.acceptWord("hierarchy") {
+		return nil, fmt.Errorf("translate: hierarchy: expected 'hierarchy', found %q", p.peek())
+	}
+	name := p.next()
+	if name == "" || name == "{" {
+		return nil, fmt.Errorf("translate: hierarchy: missing name")
+	}
+	h := &Hierarchy{Name: name}
+	for !p.eof() {
+		if !p.acceptWord("segment") {
+			return nil, fmt.Errorf("translate: hierarchy: expected 'segment', found %q", p.peek())
+		}
+		seg, err := p.parseSegment()
+		if err != nil {
+			return nil, err
+		}
+		h.Roots = append(h.Roots, seg)
+	}
+	if len(h.Roots) == 0 {
+		return nil, fmt.Errorf("translate: hierarchy %q has no segments", name)
+	}
+	return h, nil
+}
+
+type hierParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *hierParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *hierParser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos]
+}
+
+// next returns the next token, or "" at end of input.
+func (p *hierParser) next() string {
+	if p.eof() {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *hierParser) acceptWord(w string) bool {
+	if !p.eof() && p.toks[p.pos] == w {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *hierParser) parseSegment() (*Segment, error) {
+	name := p.next()
+	if name == "" || name == "{" || name == "}" {
+		return nil, fmt.Errorf("translate: hierarchy: bad segment name %q", name)
+	}
+	seg := &Segment{Name: name}
+	if !p.acceptWord("{") {
+		return nil, fmt.Errorf("translate: hierarchy: segment %s: expected '{'", name)
+	}
+	for {
+		switch {
+		case p.acceptWord("}"):
+			return seg, nil
+		case p.acceptWord("field"):
+			fname := p.next()
+			ftype := p.next()
+			if fname == "" || ftype == "" || fname == "}" || ftype == "}" {
+				return nil, fmt.Errorf("translate: hierarchy: segment %s: bad field", name)
+			}
+			f := Field{Name: fname, Type: ftype}
+			if p.acceptWord("key") {
+				f.Key = true
+			}
+			seg.Fields = append(seg.Fields, f)
+		case p.acceptWord("segment"):
+			child, err := p.parseSegment()
+			if err != nil {
+				return nil, err
+			}
+			seg.Children = append(seg.Children, child)
+		case p.eof():
+			return nil, fmt.Errorf("translate: hierarchy: segment %s: unexpected end of input", name)
+		default:
+			return nil, fmt.Errorf("translate: hierarchy: segment %s: unexpected token %q", name, p.peek())
+		}
+	}
+}
+
+func hierTokens(src string) ([]string, error) {
+	var toks []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "{", " { ")
+		line = strings.ReplaceAll(line, "}", " } ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	return toks, nil
+}

@@ -1,0 +1,376 @@
+// Package translate implements the schema translation substrate the paper
+// relies on: before integration, component schemas defined in conventional
+// data models must be mapped into the ECR model. Navathe and Awong (1987)
+// describe procedures for abstracting relational and hierarchical schemas
+// into a semantic model; this package implements both directions of entry —
+// a relational database (tables, keys, foreign keys) and a hierarchical
+// database (segment trees) — each with a small textual definition language
+// and a translator producing a validated ECR schema plus notes explaining
+// each abstraction decision.
+package translate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// Column is one column of a relational table.
+type Column struct {
+	Name    string
+	Type    string
+	NotNull bool
+}
+
+// ForeignKey relates columns of a table to the primary key of another.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Table is one relational table.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+}
+
+// Column returns the named column and whether it exists.
+func (t *Table) Column(name string) (Column, bool) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+func (t *Table) isKeyColumn(name string) bool {
+	for _, k := range t.PrimaryKey {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Database is a named collection of relational tables.
+type Database struct {
+	Name   string
+	Tables []*Table
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// RelationalResult is the outcome of translating a relational database.
+type RelationalResult struct {
+	Schema *ecr.Schema
+	// Notes log, per table, the abstraction decision applied (entity,
+	// relationship table, subtype, implied relationship, dependent
+	// entity) — the kind of interrogation record Navathe & Awong's
+	// procedure produces.
+	Notes []string
+}
+
+// FromRelational abstracts a relational database into an ECR schema,
+// following the classification rules of the Navathe & Awong procedure:
+//
+//   - a table whose primary key is wholly composed of two or more foreign
+//     keys is a relationship table: it becomes a relationship set between
+//     the referenced entity sets, its non-key columns becoming relationship
+//     attributes;
+//   - a table whose primary key is a single foreign key is a subtype: it
+//     becomes a category of the referenced entity set;
+//   - every other table becomes an entity set, its columns attributes and
+//     its primary-key columns key attributes;
+//   - a foreign key of an entity table outside its primary key implies a
+//     binary relationship set (named <table>_<reftable>) with cardinality
+//     (1,1) on the referencing side when the column is NOT NULL, (0,1)
+//     otherwise, and (0,n) on the referenced side.
+func FromRelational(db *Database) (*RelationalResult, error) {
+	if db == nil || db.Name == "" {
+		return nil, fmt.Errorf("translate: database with a name is required")
+	}
+	if err := checkRelational(db); err != nil {
+		return nil, err
+	}
+	out := ecr.NewSchema(db.Name)
+	res := &RelationalResult{Schema: out}
+	notef := func(format string, args ...any) {
+		res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+	}
+
+	kindOf := map[string]string{} // table -> "entity" | "relationship" | "subtype"
+	for _, t := range db.Tables {
+		switch {
+		case isRelationshipTable(t):
+			kindOf[t.Name] = "relationship"
+		case isSubtypeTable(t):
+			kindOf[t.Name] = "subtype"
+		default:
+			kindOf[t.Name] = "entity"
+		}
+	}
+
+	// Pass 1: entity sets and subtypes (object classes must exist before
+	// relationship sets reference them).
+	for _, t := range db.Tables {
+		switch kindOf[t.Name] {
+		case "entity":
+			o := &ecr.ObjectClass{Name: t.Name, Kind: ecr.KindEntity}
+			fkCols := foreignKeyColumns(t)
+			for _, c := range t.Columns {
+				if fkCols[c.Name] && !t.isKeyColumn(c.Name) {
+					continue // represented by an implied relationship
+				}
+				o.Attributes = append(o.Attributes, ecr.Attribute{
+					Name:   c.Name,
+					Domain: mapDomain(c.Type),
+					Key:    t.isKeyColumn(c.Name),
+				})
+			}
+			if err := out.AddObject(o); err != nil {
+				return nil, err
+			}
+			notef("table %s -> entity set %s", t.Name, o.Name)
+		case "subtype":
+			fk := t.ForeignKeys[0]
+			o := &ecr.ObjectClass{Name: t.Name, Kind: ecr.KindCategory, Parents: []string{fk.RefTable}}
+			for _, c := range t.Columns {
+				if t.isKeyColumn(c.Name) {
+					continue // inherited identity
+				}
+				o.Attributes = append(o.Attributes, ecr.Attribute{
+					Name:   c.Name,
+					Domain: mapDomain(c.Type),
+				})
+			}
+			if err := out.AddObject(o); err != nil {
+				return nil, err
+			}
+			notef("table %s -> category of %s (primary key references its key)", t.Name, fk.RefTable)
+		}
+	}
+
+	// Pass 2: relationship tables and implied relationships.
+	for _, t := range db.Tables {
+		switch kindOf[t.Name] {
+		case "relationship":
+			rs := &ecr.RelationshipSet{Name: t.Name}
+			for _, fk := range t.ForeignKeys {
+				rs.Participants = append(rs.Participants, ecr.Participation{
+					Object: fk.RefTable,
+					Card:   ecr.Cardinality{Min: 0, Max: ecr.N},
+				})
+			}
+			fkCols := foreignKeyColumns(t)
+			for _, c := range t.Columns {
+				if fkCols[c.Name] {
+					continue
+				}
+				rs.Attributes = append(rs.Attributes, ecr.Attribute{
+					Name:   c.Name,
+					Domain: mapDomain(c.Type),
+				})
+			}
+			if err := out.AddRelationship(rs); err != nil {
+				return nil, err
+			}
+			notef("table %s -> relationship set over %s", t.Name, joinParticipants(rs))
+		case "entity":
+			for _, fk := range t.ForeignKeys {
+				if allInPrimaryKey(t, fk) {
+					continue
+				}
+				minCard := 0
+				if colsNotNull(t, fk.Columns) {
+					minCard = 1
+				}
+				rs := &ecr.RelationshipSet{
+					Name: t.Name + "_" + fk.RefTable,
+					Participants: []ecr.Participation{
+						{Object: t.Name, Card: ecr.Cardinality{Min: minCard, Max: 1}},
+						{Object: fk.RefTable, Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+					},
+				}
+				if out.Relationship(rs.Name) != nil {
+					rs.Name = rs.Name + "_" + strings.Join(fk.Columns, "_")
+				}
+				if err := out.AddRelationship(rs); err != nil {
+					return nil, err
+				}
+				notef("foreign key %s(%s) -> relationship set %s", t.Name, strings.Join(fk.Columns, ","), rs.Name)
+			}
+		}
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: result invalid: %w", err)
+	}
+	return res, nil
+}
+
+func checkRelational(db *Database) error {
+	seen := map[string]bool{}
+	for _, t := range db.Tables {
+		if t.Name == "" {
+			return fmt.Errorf("translate: table with empty name")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("translate: duplicate table %q", t.Name)
+		}
+		seen[t.Name] = true
+		if len(t.Columns) == 0 {
+			return fmt.Errorf("translate: table %q has no columns", t.Name)
+		}
+		for _, k := range t.PrimaryKey {
+			if _, ok := t.Column(k); !ok {
+				return fmt.Errorf("translate: table %q: primary key column %q missing", t.Name, k)
+			}
+		}
+		for _, fk := range t.ForeignKeys {
+			for _, c := range fk.Columns {
+				if _, ok := t.Column(c); !ok {
+					return fmt.Errorf("translate: table %q: foreign key column %q missing", t.Name, c)
+				}
+			}
+			if db.Table(fk.RefTable) == nil {
+				return fmt.Errorf("translate: table %q references unknown table %q", t.Name, fk.RefTable)
+			}
+		}
+	}
+	return nil
+}
+
+// isRelationshipTable reports whether every primary-key column belongs to a
+// foreign key and at least two foreign keys are involved in the key.
+func isRelationshipTable(t *Table) bool {
+	if len(t.PrimaryKey) == 0 || len(t.ForeignKeys) < 2 {
+		return false
+	}
+	keyFKs := 0
+	covered := map[string]bool{}
+	for _, fk := range t.ForeignKeys {
+		inKey := true
+		for _, c := range fk.Columns {
+			if !t.isKeyColumn(c) {
+				inKey = false
+				break
+			}
+		}
+		if inKey {
+			keyFKs++
+			for _, c := range fk.Columns {
+				covered[c] = true
+			}
+		}
+	}
+	if keyFKs < 2 {
+		return false
+	}
+	for _, k := range t.PrimaryKey {
+		if !covered[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSubtypeTable reports whether the primary key is exactly one foreign key
+// (identity shared with the referenced table).
+func isSubtypeTable(t *Table) bool {
+	if len(t.PrimaryKey) == 0 || len(t.ForeignKeys) == 0 {
+		return false
+	}
+	for _, fk := range t.ForeignKeys {
+		if len(fk.Columns) != len(t.PrimaryKey) {
+			continue
+		}
+		match := true
+		cols := append([]string(nil), fk.Columns...)
+		keys := append([]string(nil), t.PrimaryKey...)
+		sort.Strings(cols)
+		sort.Strings(keys)
+		for i := range cols {
+			if cols[i] != keys[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func foreignKeyColumns(t *Table) map[string]bool {
+	m := map[string]bool{}
+	for _, fk := range t.ForeignKeys {
+		for _, c := range fk.Columns {
+			m[c] = true
+		}
+	}
+	return m
+}
+
+func allInPrimaryKey(t *Table, fk ForeignKey) bool {
+	for _, c := range fk.Columns {
+		if !t.isKeyColumn(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func colsNotNull(t *Table, cols []string) bool {
+	for _, name := range cols {
+		c, ok := t.Column(name)
+		if !ok || !c.NotNull {
+			return false
+		}
+	}
+	return true
+}
+
+func joinParticipants(rs *ecr.RelationshipSet) string {
+	var parts []string
+	for _, p := range rs.Participants {
+		parts = append(parts, p.Object)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// mapDomain converts a SQL-ish column type to an ECR attribute domain.
+func mapDomain(sqlType string) string {
+	t := strings.ToLower(sqlType)
+	if i := strings.IndexByte(t, '('); i >= 0 {
+		t = t[:i]
+	}
+	switch t {
+	case "int", "integer", "smallint", "bigint", "serial":
+		return "int"
+	case "float", "real", "double", "decimal", "numeric":
+		return "real"
+	case "date", "time", "timestamp", "datetime":
+		return "date"
+	case "char", "varchar", "text", "string", "clob":
+		return "char"
+	case "bool", "boolean", "bit":
+		return "bool"
+	default:
+		return "char"
+	}
+}

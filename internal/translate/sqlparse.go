@@ -1,0 +1,265 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseSQL reads a small subset of SQL DDL — CREATE TABLE statements with
+// column definitions, NOT NULL, PRIMARY KEY (inline or table-level) and
+// FOREIGN KEY ... REFERENCES clauses — and builds a relational Database.
+// This is the input format of the sit-translate tool. Statements end with
+// ';'; '--' comments run to end of line. The database name comes from the
+// caller.
+func ParseSQL(name, src string) (*Database, error) {
+	db := &Database{Name: name}
+	toks, err := sqlTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	for !p.eof() {
+		if !p.acceptWord("create") {
+			return nil, p.errf("expected CREATE, found %q", p.peek())
+		}
+		if !p.acceptWord("table") {
+			return nil, p.errf("expected TABLE, found %q", p.peek())
+		}
+		t, err := p.parseTable()
+		if err != nil {
+			return nil, err
+		}
+		db.Tables = append(db.Tables, t)
+	}
+	if len(db.Tables) == 0 {
+		return nil, fmt.Errorf("translate: sql: no CREATE TABLE statements")
+	}
+	if err := checkRelational(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+type sqlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sqlParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *sqlParser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sqlParser) next() string {
+	t := p.peek()
+	if !p.eof() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) acceptWord(w string) bool {
+	if !p.eof() && strings.EqualFold(p.toks[p.pos], w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) accept(tok string) bool {
+	if !p.eof() && p.toks[p.pos] == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expect(tok string) error {
+	if !p.accept(tok) {
+		return p.errf("expected %q, found %q", tok, p.peek())
+	}
+	return nil
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("translate: sql: token %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) parseTable() (*Table, error) {
+	name := p.next()
+	if !isSQLIdent(name) {
+		return nil, p.errf("bad table name %q", name)
+	}
+	t := &Table{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptWord("primary"):
+			if !p.acceptWord("key") {
+				return nil, p.errf("expected KEY after PRIMARY")
+			}
+			cols, err := p.parseColumnList()
+			if err != nil {
+				return nil, err
+			}
+			t.PrimaryKey = cols
+		case p.acceptWord("foreign"):
+			if !p.acceptWord("key") {
+				return nil, p.errf("expected KEY after FOREIGN")
+			}
+			cols, err := p.parseColumnList()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptWord("references") {
+				return nil, p.errf("expected REFERENCES")
+			}
+			ref := p.next()
+			if !isSQLIdent(ref) {
+				return nil, p.errf("bad referenced table %q", ref)
+			}
+			refCols, err := p.parseColumnList()
+			if err != nil {
+				return nil, err
+			}
+			t.ForeignKeys = append(t.ForeignKeys, ForeignKey{Columns: cols, RefTable: ref, RefColumns: refCols})
+		default:
+			col, inlinePK, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			t.Columns = append(t.Columns, col)
+			if inlinePK {
+				t.PrimaryKey = append(t.PrimaryKey, col.Name)
+			}
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (p *sqlParser) parseColumn() (Column, bool, error) {
+	name := p.next()
+	if !isSQLIdent(name) {
+		return Column{}, false, p.errf("bad column name %q", name)
+	}
+	typ := p.next()
+	if !isSQLIdent(typ) {
+		return Column{}, false, p.errf("bad type %q for column %s", typ, name)
+	}
+	// Optional length, e.g. VARCHAR ( 40 ).
+	if p.accept("(") {
+		typ += "("
+		for !p.eof() && p.peek() != ")" {
+			typ += p.next()
+		}
+		if err := p.expect(")"); err != nil {
+			return Column{}, false, err
+		}
+		typ += ")"
+	}
+	col := Column{Name: name, Type: typ}
+	inlinePK := false
+	for {
+		switch {
+		case p.acceptWord("not"):
+			if !p.acceptWord("null") {
+				return Column{}, false, p.errf("expected NULL after NOT")
+			}
+			col.NotNull = true
+		case p.acceptWord("primary"):
+			if !p.acceptWord("key") {
+				return Column{}, false, p.errf("expected KEY after PRIMARY")
+			}
+			inlinePK = true
+			col.NotNull = true
+		default:
+			return col, inlinePK, nil
+		}
+	}
+}
+
+func (p *sqlParser) parseColumnList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c := p.next()
+		if !isSQLIdent(c) {
+			return nil, p.errf("bad column name %q in list", c)
+		}
+		cols = append(cols, c)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func isSQLIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return unicode.IsLetter(rune(s[0])) || s[0] == '_'
+}
+
+// sqlTokens splits the source into identifiers, numbers and the punctuation
+// "(", ")", ",", ";".
+func sqlTokens(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == ';':
+			toks = append(toks, string(c))
+			i++
+		case isIdentStart(c) || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(src) && (isIdentStart(src[j]) || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("translate: sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

@@ -1,0 +1,386 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+)
+
+const universitySQL = `
+-- A small university database.
+CREATE TABLE Department (
+    Dname VARCHAR(40) PRIMARY KEY,
+    Budget INT
+);
+
+CREATE TABLE Student (
+    Sid INT PRIMARY KEY,
+    Name VARCHAR(40) NOT NULL,
+    GPA REAL,
+    Major VARCHAR(40) NOT NULL,
+    FOREIGN KEY (Major) REFERENCES Department (Dname)
+);
+
+CREATE TABLE Grad_student (
+    Sid INT PRIMARY KEY,
+    Support_type VARCHAR(20),
+    FOREIGN KEY (Sid) REFERENCES Student (Sid)
+);
+
+CREATE TABLE Enrolled (
+    Sid INT,
+    Dname VARCHAR(40),
+    Since DATE,
+    PRIMARY KEY (Sid, Dname),
+    FOREIGN KEY (Sid) REFERENCES Student (Sid),
+    FOREIGN KEY (Dname) REFERENCES Department (Dname)
+);
+`
+
+func parseUniversity(t testing.TB) *Database {
+	t.Helper()
+	db, err := ParseSQL("uni", universitySQL)
+	if err != nil {
+		t.Fatalf("ParseSQL: %v", err)
+	}
+	return db
+}
+
+func TestParseSQLStructure(t *testing.T) {
+	db := parseUniversity(t)
+	if len(db.Tables) != 4 {
+		t.Fatalf("tables = %d", len(db.Tables))
+	}
+	student := db.Table("Student")
+	if student == nil {
+		t.Fatal("no Student table")
+	}
+	if len(student.Columns) != 4 {
+		t.Errorf("Student columns = %+v", student.Columns)
+	}
+	if len(student.PrimaryKey) != 1 || student.PrimaryKey[0] != "Sid" {
+		t.Errorf("Student PK = %v", student.PrimaryKey)
+	}
+	if len(student.ForeignKeys) != 1 || student.ForeignKeys[0].RefTable != "Department" {
+		t.Errorf("Student FKs = %+v", student.ForeignKeys)
+	}
+	c, ok := student.Column("Name")
+	if !ok || !c.NotNull {
+		t.Errorf("Name column = %+v", c)
+	}
+	enrolled := db.Table("Enrolled")
+	if len(enrolled.PrimaryKey) != 2 || len(enrolled.ForeignKeys) != 2 {
+		t.Errorf("Enrolled = %+v", enrolled)
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	cases := []struct{ src, substr string }{
+		{"", "no CREATE TABLE"},
+		{"DROP TABLE x;", "expected CREATE"},
+		{"CREATE VIEW v;", "expected TABLE"},
+		{"CREATE TABLE t (a INT", `expected ")"`},
+		{"CREATE TABLE t (a INT)", `expected ";"`},
+		{"CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES zzz (b));", "unknown table"},
+		{"CREATE TABLE t (a INT, PRIMARY KEY (nope));", "primary key column"},
+		{"CREATE TABLE t (a INT NOT);", "expected NULL"},
+		{"CREATE TABLE t (@ INT);", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := ParseSQL("x", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("ParseSQL(%q) error = %v, want substring %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestFromRelationalEntities(t *testing.T) {
+	res, err := FromRelational(parseUniversity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	dept := s.Object("Department")
+	if dept == nil || dept.Kind != ecr.KindEntity {
+		t.Fatalf("Department = %+v", dept)
+	}
+	if a, ok := dept.Attribute("Dname"); !ok || !a.Key || a.Domain != "char" {
+		t.Errorf("Dname = %+v", a)
+	}
+	if a, ok := dept.Attribute("Budget"); !ok || a.Domain != "int" {
+		t.Errorf("Budget = %+v", a)
+	}
+}
+
+func TestFromRelationalSubtype(t *testing.T) {
+	res, err := FromRelational(parseUniversity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := res.Schema.Object("Grad_student")
+	if grad == nil || grad.Kind != ecr.KindCategory {
+		t.Fatalf("Grad_student = %+v", grad)
+	}
+	if len(grad.Parents) != 1 || grad.Parents[0] != "Student" {
+		t.Errorf("parents = %v", grad.Parents)
+	}
+	// The shared key column is inherited, not repeated.
+	if _, ok := grad.Attribute("Sid"); ok {
+		t.Error("subtype should not repeat the inherited key")
+	}
+	if _, ok := grad.Attribute("Support_type"); !ok {
+		t.Error("Support_type missing")
+	}
+}
+
+func TestFromRelationalRelationshipTable(t *testing.T) {
+	res, err := FromRelational(parseUniversity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enr := res.Schema.Relationship("Enrolled")
+	if enr == nil {
+		t.Fatal("Enrolled relationship missing")
+	}
+	if len(enr.Participants) != 2 {
+		t.Errorf("participants = %+v", enr.Participants)
+	}
+	if _, ok := enr.Attribute("Since"); !ok {
+		t.Error("Since attribute missing")
+	}
+	if a, _ := enr.Attribute("Since"); a.Domain != "date" {
+		t.Errorf("Since domain = %v", a.Domain)
+	}
+}
+
+func TestFromRelationalImpliedRelationship(t *testing.T) {
+	res, err := FromRelational(parseUniversity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	rel := s.Relationship("Student_Department")
+	if rel == nil {
+		t.Fatalf("implied relationship missing; rels: %v", relNames(s))
+	}
+	// Major is NOT NULL -> (1,1) on the student side.
+	p, ok := rel.Participant("Student")
+	if !ok || p.Card != (ecr.Cardinality{Min: 1, Max: 1}) {
+		t.Errorf("Student participation = %+v", p)
+	}
+	p, ok = rel.Participant("Department")
+	if !ok || p.Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Errorf("Department participation = %+v", p)
+	}
+	// The FK column itself is not duplicated as an entity attribute.
+	if _, ok := s.Object("Student").Attribute("Major"); ok {
+		t.Error("FK column should be represented by the relationship only")
+	}
+}
+
+func TestFromRelationalNotesAndValidity(t *testing.T) {
+	res, err := FromRelational(parseUniversity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Errorf("translated schema invalid: %v", err)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	for _, want := range []string{"entity set Department", "category of Student", "relationship set over"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFromRelationalNilAndInvalid(t *testing.T) {
+	if _, err := FromRelational(nil); err == nil {
+		t.Error("nil db should fail")
+	}
+	db := &Database{Name: "x", Tables: []*Table{{Name: "t"}}}
+	if _, err := FromRelational(db); err == nil {
+		t.Error("table without columns should fail")
+	}
+}
+
+func TestFromRelationalNullableFK(t *testing.T) {
+	db, err := ParseSQL("x", `
+CREATE TABLE A (Id INT PRIMARY KEY);
+CREATE TABLE B (Id INT PRIMARY KEY, Aref INT, FOREIGN KEY (Aref) REFERENCES A (Id));
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromRelational(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := res.Schema.Relationship("B_A")
+	p, ok := rel.Participant("B")
+	if !ok || p.Card.Min != 0 {
+		t.Errorf("nullable FK should give (0,1): %+v", p)
+	}
+}
+
+func TestMapDomain(t *testing.T) {
+	cases := map[string]string{
+		"INT":         "int",
+		"VARCHAR(40)": "char",
+		"REAL":        "real",
+		"DATE":        "date",
+		"BOOLEAN":     "bool",
+		"WEIRD":       "char",
+	}
+	for in, want := range cases {
+		if got := mapDomain(in); got != want {
+			t.Errorf("mapDomain(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+const schoolHierarchy = `
+# A small IMS-style database.
+hierarchy school
+segment Dept {
+    field Dname char key
+    field Budget int
+    segment Emp {
+        field Ename char key
+        field Salary int
+        segment Dependent {
+            field Dep_name char key
+        }
+    }
+    segment Project {
+        field Pname char key
+    }
+}
+`
+
+func TestParseHierarchy(t *testing.T) {
+	h, err := ParseHierarchy(schoolHierarchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "school" || len(h.Roots) != 1 {
+		t.Fatalf("h = %+v", h)
+	}
+	dept := h.Roots[0]
+	if dept.Name != "Dept" || len(dept.Fields) != 2 || len(dept.Children) != 2 {
+		t.Fatalf("Dept = %+v", dept)
+	}
+	if !dept.Fields[0].Key || dept.Fields[1].Key {
+		t.Errorf("key flags = %+v", dept.Fields)
+	}
+	if dept.Children[0].Name != "Emp" || len(dept.Children[0].Children) != 1 {
+		t.Errorf("Emp = %+v", dept.Children[0])
+	}
+}
+
+func TestParseHierarchyErrors(t *testing.T) {
+	cases := []struct{ src, substr string }{
+		{"", "expected 'hierarchy'"},
+		{"hierarchy", "missing name"},
+		{"hierarchy x", "no segments"},
+		{"hierarchy x segment S { field", "bad field"},
+		{"hierarchy x segment S {", "unexpected end"},
+		{"hierarchy x segment S { bogus }", "unexpected token"},
+	}
+	for _, c := range cases {
+		_, err := ParseHierarchy(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("ParseHierarchy(%q) error = %v, want %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestFromHierarchical(t *testing.T) {
+	h, err := ParseHierarchy(schoolHierarchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromHierarchical(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schema
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Dept", "Emp", "Dependent", "Project"} {
+		if s.Object(name) == nil {
+			t.Errorf("entity %s missing", name)
+		}
+	}
+	rel := s.Relationship("Dept_Emp")
+	if rel == nil {
+		t.Fatalf("Dept_Emp missing; rels = %v", relNames(s))
+	}
+	p, _ := rel.Participant("Emp")
+	if p.Card != (ecr.Cardinality{Min: 1, Max: 1}) {
+		t.Errorf("child participation = %+v", p)
+	}
+	p, _ = rel.Participant("Dept")
+	if p.Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Errorf("parent participation = %+v", p)
+	}
+	if s.Relationship("Emp_Dependent") == nil || s.Relationship("Dept_Project") == nil {
+		t.Errorf("relationships = %v", relNames(s))
+	}
+	if len(res.Notes) == 0 {
+		t.Error("no notes")
+	}
+}
+
+func TestFromHierarchicalErrors(t *testing.T) {
+	if _, err := FromHierarchical(nil); err == nil {
+		t.Error("nil hierarchy should fail")
+	}
+	if _, err := FromHierarchical(&Hierarchy{Name: "x"}); err == nil {
+		t.Error("empty hierarchy should fail")
+	}
+	h := &Hierarchy{Name: "x", Roots: []*Segment{{Name: "S"}}}
+	if _, err := FromHierarchical(h); err == nil {
+		t.Error("segment without fields should fail")
+	}
+	dup := &Hierarchy{Name: "x", Roots: []*Segment{
+		{Name: "S", Fields: []Field{{Name: "k", Type: "int", Key: true}}},
+		{Name: "S", Fields: []Field{{Name: "k", Type: "int", Key: true}}},
+	}}
+	if _, err := FromHierarchical(dup); err == nil {
+		t.Error("duplicate segments should fail")
+	}
+}
+
+func relNames(s *ecr.Schema) []string {
+	var out []string
+	for _, r := range s.Relationships {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// TestParsersNeverPanic: arbitrary inputs must error, not panic.
+func TestParsersNeverPanic(t *testing.T) {
+	inputs := []string{
+		"", "CREATE", "CREATE TABLE", "CREATE TABLE t", "CREATE TABLE t (",
+		"CREATE TABLE t (a", "CREATE TABLE t (a INT,", "CREATE TABLE t (a INT ( 4",
+		"CREATE TABLE t (PRIMARY", "CREATE TABLE t (FOREIGN KEY",
+		"hierarchy", "hierarchy h segment", "hierarchy h segment S",
+		"hierarchy h segment S { field f", "hierarchy h segment S { segment",
+		"hierarchy h segment S { { } }",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseSQL("x", src)
+			_, _ = ParseHierarchy(src)
+		}()
+	}
+}

@@ -1,0 +1,218 @@
+// Package tui builds the menu-and-form screens of the schema integration
+// tool on top of the term substrate. Each screen is composed of a banner
+// (the all-caps phase title and the angle-bracketed screen name of the
+// paper), any number of windows — bordered regions holding rows, some of
+// which scroll — and a bottom menu line. Screens render to a term.Buffer
+// and are compared against the paper's printed screens in golden tests.
+package tui
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// DefaultWidth is the screen width used by the tool, matching a classic
+// 80-column terminal.
+const DefaultWidth = 78
+
+// Window is one bordered region of rows. When the rows exceed the window
+// height, Scroll selects the first visible row and the window shows
+// scrolling markers, reproducing the tool's scrollable windows.
+type Window struct {
+	Title  string
+	Rows   []string
+	Height int // visible rows; 0 means fit exactly
+	Scroll int
+}
+
+// visible returns the rows in view and whether there is content above or
+// below.
+func (w *Window) visible() (rows []string, above, below bool) {
+	h := w.Height
+	if h <= 0 || h > len(w.Rows) {
+		if w.Height <= 0 {
+			h = len(w.Rows)
+		}
+	}
+	start := w.Scroll
+	if start < 0 {
+		start = 0
+	}
+	if start > len(w.Rows) {
+		start = len(w.Rows)
+	}
+	end := start + h
+	if end > len(w.Rows) {
+		end = len(w.Rows)
+	}
+	return w.Rows[start:end], start > 0, end < len(w.Rows)
+}
+
+// MaxScroll returns the largest useful scroll offset.
+func (w *Window) MaxScroll() int {
+	if w.Height <= 0 || len(w.Rows) <= w.Height {
+		return 0
+	}
+	return len(w.Rows) - w.Height
+}
+
+// ScrollBy moves the view, clamping to the valid range.
+func (w *Window) ScrollBy(delta int) {
+	w.Scroll += delta
+	if w.Scroll < 0 {
+		w.Scroll = 0
+	}
+	if m := w.MaxScroll(); w.Scroll > m {
+		w.Scroll = m
+	}
+}
+
+// Screen is one full display of the tool.
+type Screen struct {
+	// Phase is the all-caps banner ("SCHEMA COLLECTION").
+	Phase string
+	// Name is the angle-bracketed screen name ("<Schema Name Collection
+	// Screen>").
+	Name string
+	// Header lines appear under the banner, outside any window
+	// ("SCHEMA NAME: sc1").
+	Header []string
+	// Windows hold the body content.
+	Windows []*Window
+	// Menu is the bottom choice line ("Choose: (S)croll (A)dd ...").
+	Menu string
+	// Width overrides DefaultWidth when positive.
+	Width int
+}
+
+// Render draws the screen into a fresh buffer.
+func (s *Screen) Render() *term.Buffer {
+	width := s.Width
+	if width <= 0 {
+		width = DefaultWidth
+	}
+
+	// Compute total height first.
+	h := 0
+	h += 2 // top border + phase
+	if s.Name != "" {
+		h++
+	}
+	h++ // separator
+	h += len(s.Header)
+	for _, w := range s.Windows {
+		rows, _, _ := w.visible()
+		h += len(rows)
+		if w.Title != "" {
+			h++
+		}
+		h++ // blank line after window
+	}
+	if s.Menu != "" {
+		h++
+	}
+	h++ // bottom border
+
+	buf := term.NewBuffer(width, h)
+	buf.Box(0, 0, width, h)
+	y := 1
+	buf.TextCentered(y, s.Phase)
+	y++
+	if s.Name != "" {
+		buf.TextCentered(y, "< "+s.Name+" >")
+		y++
+	}
+	buf.HLine(1, y, width-2, '-')
+	buf.Set(0, y, '+')
+	buf.Set(width-1, y, '+')
+	y++
+	for _, line := range s.Header {
+		buf.Text(2, y, clip(line, width-4))
+		y++
+	}
+	for _, w := range s.Windows {
+		if w.Title != "" {
+			buf.Text(2, y, clip(w.Title, width-4))
+			y++
+		}
+		rows, above, below := w.visible()
+		for i, row := range rows {
+			buf.Text(2, y, clip(row, width-6))
+			if i == 0 && above {
+				buf.Text(width-4, y, "^")
+			}
+			if i == len(rows)-1 && below {
+				buf.Text(width-4, y, "v")
+			}
+			y++
+		}
+		y++ // spacing
+	}
+	if s.Menu != "" {
+		buf.Text(2, y, clip(s.Menu, width-4))
+	}
+	return buf
+}
+
+// Text renders the screen to its snapshot string.
+func (s *Screen) Text() string {
+	return s.Render().Snapshot()
+}
+
+func clip(s string, w int) string {
+	r := []rune(s)
+	if len(r) <= w {
+		return s
+	}
+	if w <= 3 {
+		return string(r[:w])
+	}
+	return string(r[:w-3]) + "..."
+}
+
+// Columns lays out rows of cells into aligned columns separated by two
+// spaces, the tabular style of the tool's forms.
+func Columns(rows [][]string) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	ncols := 0
+	for _, r := range rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	for _, r := range rows {
+		for i, cell := range r {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		var b strings.Builder
+		for i, cell := range r {
+			if i == ncols-1 || i == len(r)-1 {
+				b.WriteString(cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+		}
+		out = append(out, strings.TrimRight(b.String(), " "))
+	}
+	return out
+}
+
+// NumberRows prefixes each row with the "1>" numbering of the tool's
+// scrollable lists, starting at start (1-based).
+func NumberRows(rows []string, start int) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%d> %s", start+i, r)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package tui
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWindowVisible(t *testing.T) {
+	w := &Window{Rows: []string{"a", "b", "c", "d", "e"}, Height: 2}
+	rows, above, below := w.visible()
+	if len(rows) != 2 || rows[0] != "a" || above || !below {
+		t.Errorf("visible = %v above=%v below=%v", rows, above, below)
+	}
+	w.Scroll = 2
+	rows, above, below = w.visible()
+	if rows[0] != "c" || !above || !below {
+		t.Errorf("scrolled = %v above=%v below=%v", rows, above, below)
+	}
+	w.Scroll = 3
+	rows, _, below = w.visible()
+	if rows[0] != "d" || below {
+		t.Errorf("end = %v below=%v", rows, below)
+	}
+}
+
+func TestWindowScrollClamps(t *testing.T) {
+	w := &Window{Rows: []string{"a", "b", "c"}, Height: 2}
+	w.ScrollBy(100)
+	if w.Scroll != 1 {
+		t.Errorf("scroll = %d, want 1", w.Scroll)
+	}
+	w.ScrollBy(-100)
+	if w.Scroll != 0 {
+		t.Errorf("scroll = %d, want 0", w.Scroll)
+	}
+	// Window without Height never scrolls.
+	w2 := &Window{Rows: []string{"a", "b"}}
+	if w2.MaxScroll() != 0 {
+		t.Error("no-height window should not scroll")
+	}
+}
+
+func TestScreenRenderStructure(t *testing.T) {
+	s := &Screen{
+		Phase:  "SCHEMA COLLECTION",
+		Name:   "Schema Name Collection Screen",
+		Header: []string{"SCHEMA NAME: sc1"},
+		Windows: []*Window{
+			{Title: "Schema Name", Rows: []string{"1> sc1", "2> sc2"}},
+		},
+		Menu: "Choose: (A)dd (D)elete (E)xit :",
+	}
+	out := s.Text()
+	for _, want := range []string{
+		"SCHEMA COLLECTION",
+		"< Schema Name Collection Screen >",
+		"SCHEMA NAME: sc1",
+		"1> sc1",
+		"Choose: (A)dd",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("screen missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	first, last := lines[0], lines[len(lines)-1]
+	if !strings.HasPrefix(first, "+--") || !strings.HasPrefix(last, "+--") {
+		t.Errorf("screen not boxed:\n%s", out)
+	}
+}
+
+func TestScreenScrollMarkers(t *testing.T) {
+	rows := make([]string, 10)
+	for i := range rows {
+		rows[i] = "row"
+	}
+	s := &Screen{
+		Phase:   "X",
+		Windows: []*Window{{Rows: rows, Height: 3, Scroll: 2}},
+	}
+	out := s.Text()
+	if !strings.Contains(out, "^") || !strings.Contains(out, "v") {
+		t.Errorf("scroll markers missing:\n%s", out)
+	}
+}
+
+func TestScreenClipsLongRows(t *testing.T) {
+	s := &Screen{
+		Phase:   "X",
+		Windows: []*Window{{Rows: []string{strings.Repeat("w", 200)}}},
+		Width:   40,
+	}
+	out := s.Text()
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 40 {
+			t.Errorf("line longer than width: %q", line)
+		}
+	}
+	if !strings.Contains(out, "...") {
+		t.Error("clip ellipsis missing")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	got := Columns([][]string{
+		{"Attribute Name", "Domain", "Key"},
+		{"Name", "char", "y"},
+		{"GPA", "real", "n"},
+	})
+	want := []string{
+		"Attribute Name  Domain  Key",
+		"Name            char    y",
+		"GPA             real    n",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Columns = %q, want %q", got, want)
+	}
+}
+
+func TestColumnsRagged(t *testing.T) {
+	got := Columns([][]string{{"a", "b", "c"}, {"only"}})
+	if len(got) != 2 || got[1] != "only" {
+		t.Errorf("ragged = %q", got)
+	}
+	if Columns(nil) != nil {
+		t.Error("nil rows should return nil")
+	}
+}
+
+func TestNumberRows(t *testing.T) {
+	got := NumberRows([]string{"x", "y"}, 3)
+	if got[0] != "3> x" || got[1] != "4> y" {
+		t.Errorf("NumberRows = %v", got)
+	}
+}
+
+// TestScreenWidthInvariant: no rendered line may exceed the screen width,
+// whatever the content.
+func TestScreenWidthInvariant(t *testing.T) {
+	contents := [][]string{
+		{strings.Repeat("x", 500)},
+		{"short", strings.Repeat("ab ", 100)},
+		{""},
+		{"unicode ↔ content with ünïcödé and 漢字 runs"},
+	}
+	for _, rows := range contents {
+		for _, width := range []int{20, 40, 78} {
+			s := &Screen{
+				Phase:   "PHASE WITH A VERY LONG NAME THAT MIGHT OVERFLOW THE HEADER",
+				Name:    "A Screen Name",
+				Header:  []string{strings.Repeat("h", 300)},
+				Windows: []*Window{{Title: strings.Repeat("t", 200), Rows: rows}},
+				Menu:    strings.Repeat("m", 300),
+				Width:   width,
+			}
+			for _, line := range strings.Split(s.Text(), "\n") {
+				if n := len([]rune(line)); n > width {
+					t.Fatalf("width %d: line %d runes: %q", width, n, line)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package workload generates synthetic pairs of component schemas with
+// known ground truth, standing in for the real enterprise schemas the
+// original tool was used on (which the paper does not publish). A generated
+// workload exercises every code path of the methodology — attribute
+// equivalences, resemblance ranking, assertion closure, and integration —
+// at arbitrary scale, and carries an oracle (the true equivalences and
+// assertions) so benchmarks can score heuristics against the truth.
+//
+// The generator draws both schemas from a shared pool of "concepts"
+// (real-world object classes with attribute sets). A configurable fraction
+// of each schema's objects come from shared concepts, with the relation
+// between the two renderings chosen round-robin over the five assertion
+// kinds; the rest are private to one schema. Naming noise rewrites
+// attribute and object names through synonyms and abbreviations so that
+// name-based matching is imperfect, the situation the paper's dictionary
+// enhancement targets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/assertion"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+)
+
+// Config parameterizes a generated workload.
+type Config struct {
+	// Seed makes the workload reproducible.
+	Seed int64
+	// Objects is the number of object classes per schema.
+	Objects int
+	// AttrsPerObject is the number of attributes per object class.
+	AttrsPerObject int
+	// Overlap is the fraction (0..1) of each schema's objects drawn from
+	// concepts shared with the other schema.
+	Overlap float64
+	// Relationships is the number of relationship sets per schema.
+	Relationships int
+	// NamingNoise is the probability (0..1) that a shared attribute or
+	// object appears under a different name in the second schema.
+	NamingNoise float64
+}
+
+// DefaultConfig returns a medium workload.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Objects:        20,
+		AttrsPerObject: 4,
+		Overlap:        0.5,
+		Relationships:  6,
+		NamingNoise:    0.2,
+	}
+}
+
+// TruePair is one ground-truth assertion between objects of the two
+// schemas.
+type TruePair struct {
+	A, B assertion.ObjKey
+	Kind assertion.Kind
+}
+
+// Workload is a generated schema pair with its oracle.
+type Workload struct {
+	S1, S2 *ecr.Schema
+	// Registry holds the true attribute equivalences.
+	Registry *equivalence.Registry
+	// Objects and Relationships hold the true assertions, ready for
+	// integration.
+	Objects       *assertion.Set
+	Relationships *assertion.Set
+	// TruePairs lists the object-class ground truth for scoring
+	// heuristics.
+	TruePairs []TruePair
+}
+
+// renames maps base words to alternates, simulating schemas written by
+// different designers (synonyms and abbreviations the builtin dictionary
+// knows).
+var renames = map[string][]string{
+	"name":       {"label", "title"},
+	"department": {"division", "dept"},
+	"employee":   {"worker", "emp"},
+	"salary":     {"pay", "sal"},
+	"location":   {"address", "loc"},
+	"manager":    {"supervisor", "mgr"},
+	"number":     {"id", "num"},
+	"quantity":   {"amount", "qty"},
+	"price":      {"cost"},
+	"customer":   {"client"},
+	"product":    {"item"},
+}
+
+var attrWords = []string{
+	"name", "number", "salary", "location", "manager", "quantity",
+	"price", "grade", "phone", "rank", "status", "category", "weight",
+	"length", "volume", "color", "speed", "budget", "year", "region",
+}
+
+var domains = []string{"char", "int", "real", "date"}
+
+// Generate builds a workload from the configuration.
+func Generate(cfg Config) (*Workload, error) {
+	if cfg.Objects <= 0 || cfg.AttrsPerObject <= 0 {
+		return nil, fmt.Errorf("workload: Objects and AttrsPerObject must be positive")
+	}
+	if cfg.Overlap < 0 || cfg.Overlap > 1 || cfg.NamingNoise < 0 || cfg.NamingNoise > 1 {
+		return nil, fmt.Errorf("workload: Overlap and NamingNoise must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		S1:            ecr.NewSchema("w1"),
+		S2:            ecr.NewSchema("w2"),
+		Registry:      equivalence.NewRegistry(),
+		Objects:       assertion.NewSet(),
+		Relationships: assertion.NewSet(),
+	}
+
+	shared := int(float64(cfg.Objects) * cfg.Overlap)
+	kinds := []assertion.Kind{
+		assertion.Equals,
+		assertion.Contains,
+		assertion.ContainedIn,
+		assertion.MayBe,
+		assertion.DisjointIntegrable,
+	}
+
+	// Shared concepts, rendered into both schemas.
+	for i := 0; i < shared; i++ {
+		kind := kinds[i%len(kinds)]
+		base := fmt.Sprintf("Concept%02d", i)
+		attrs := conceptAttrs(rng, cfg.AttrsPerObject, i)
+
+		o1 := renderObject(base, attrs, nil)
+		name2 := base
+		if rng.Float64() < cfg.NamingNoise {
+			name2 = base + "_v2"
+		}
+		// The second rendering shares a prefix of the attributes; for
+		// containment kinds it adds specialization attributes.
+		sharedAttrs := len(attrs)
+		if kind != assertion.Equals {
+			sharedAttrs = 1 + rng.Intn(len(attrs))
+		}
+		attrs2 := append([]attrSpec(nil), attrs[:sharedAttrs]...)
+		extra := cfg.AttrsPerObject - sharedAttrs
+		for e := 0; e < extra; e++ {
+			attrs2 = append(attrs2, attrSpec{
+				name:   fmt.Sprintf("Extra%02d_%d", i, e),
+				domain: domains[rng.Intn(len(domains))],
+			})
+		}
+		o2 := renderObject(name2, attrs2, func(name string) string {
+			return noisyName(rng, cfg.NamingNoise, name)
+		})
+		if err := w.S1.AddObject(o1); err != nil {
+			return nil, err
+		}
+		if err := w.S2.AddObject(o2); err != nil {
+			return nil, err
+		}
+
+		// Oracle: equivalences for the shared attribute prefix.
+		for j := 0; j < sharedAttrs; j++ {
+			if err := w.Registry.Declare(
+				ecr.AttrRef{Schema: "w1", Object: o1.Name, Kind: ecr.KindEntity, Attr: o1.Attributes[j].Name},
+				ecr.AttrRef{Schema: "w2", Object: o2.Name, Kind: ecr.KindEntity, Attr: o2.Attributes[j].Name},
+			); err != nil {
+				return nil, err
+			}
+		}
+		a := assertion.ObjKey{Schema: "w1", Object: o1.Name}
+		b := assertion.ObjKey{Schema: "w2", Object: o2.Name}
+		if err := w.Objects.Assert(a, b, kind); err != nil {
+			return nil, err
+		}
+		w.TruePairs = append(w.TruePairs, TruePair{A: a, B: b, Kind: kind})
+	}
+
+	// Private concepts.
+	for i := shared; i < cfg.Objects; i++ {
+		a1 := conceptAttrs(rng, cfg.AttrsPerObject, 1000+i)
+		if err := w.S1.AddObject(renderObject(fmt.Sprintf("Only1_%02d", i), a1, nil)); err != nil {
+			return nil, err
+		}
+		a2 := conceptAttrs(rng, cfg.AttrsPerObject, 2000+i)
+		if err := w.S2.AddObject(renderObject(fmt.Sprintf("Only2_%02d", i), a2, nil)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Relationship sets: random pairs inside each schema; the first
+	// sharedRels relationship sets correspond across schemas (equals).
+	sharedRels := int(float64(cfg.Relationships) * cfg.Overlap)
+	for i := 0; i < cfg.Relationships; i++ {
+		r1 := randomRelationship(rng, w.S1, fmt.Sprintf("Rel1_%02d", i), i)
+		if err := w.S1.AddRelationship(r1); err != nil {
+			return nil, err
+		}
+		r2 := randomRelationship(rng, w.S2, fmt.Sprintf("Rel2_%02d", i), i)
+		if err := w.S2.AddRelationship(r2); err != nil {
+			return nil, err
+		}
+		if i < sharedRels {
+			if err := w.Relationships.Assert(
+				assertion.ObjKey{Schema: "w1", Object: r1.Name},
+				assertion.ObjKey{Schema: "w2", Object: r2.Name},
+				assertion.Equals,
+			); err != nil {
+				return nil, err
+			}
+			if len(r1.Attributes) > 0 && len(r2.Attributes) > 0 {
+				if err := w.Registry.Declare(
+					ecr.AttrRef{Schema: "w1", Object: r1.Name, Kind: ecr.KindRelationship, Attr: r1.Attributes[0].Name},
+					ecr.AttrRef{Schema: "w2", Object: r2.Name, Kind: ecr.KindRelationship, Attr: r2.Attributes[0].Name},
+				); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if err := w.S1.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.S2.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+type attrSpec struct {
+	name   string
+	domain string
+	key    bool
+}
+
+func conceptAttrs(rng *rand.Rand, n, salt int) []attrSpec {
+	attrs := make([]attrSpec, 0, n)
+	seen := map[string]bool{}
+	for j := 0; j < n; j++ {
+		word := attrWords[rng.Intn(len(attrWords))]
+		name := fmt.Sprintf("%s_%02d", word, salt%97)
+		for seen[name] {
+			name += "x"
+		}
+		seen[name] = true
+		attrs = append(attrs, attrSpec{
+			name:   name,
+			domain: domains[rng.Intn(len(domains))],
+			key:    j == 0,
+		})
+	}
+	return attrs
+}
+
+func renderObject(name string, attrs []attrSpec, rename func(string) string) *ecr.ObjectClass {
+	o := &ecr.ObjectClass{Name: name, Kind: ecr.KindEntity}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		n := a.name
+		if rename != nil {
+			n = rename(n)
+		}
+		for seen[n] {
+			n += "y"
+		}
+		seen[n] = true
+		o.Attributes = append(o.Attributes, ecr.Attribute{Name: n, Domain: a.domain, Key: a.key})
+	}
+	return o
+}
+
+// noisyName rewrites the base word of an attribute name through the rename
+// table with the given probability.
+func noisyName(rng *rand.Rand, noise float64, name string) string {
+	if rng.Float64() >= noise {
+		return name
+	}
+	for base, alts := range renames {
+		if len(name) >= len(base) && name[:len(base)] == base {
+			return alts[rng.Intn(len(alts))] + name[len(base):]
+		}
+	}
+	return name
+}
+
+func randomRelationship(rng *rand.Rand, s *ecr.Schema, name string, i int) *ecr.RelationshipSet {
+	n := len(s.Objects)
+	a := s.Objects[i%n].Name
+	b := s.Objects[(i+1+rng.Intn(n-1))%n].Name
+	role1, role2 := "", ""
+	if a == b {
+		role1, role2 = "r1", "r2"
+	}
+	return &ecr.RelationshipSet{
+		Name: name,
+		Participants: []ecr.Participation{
+			{Object: a, Role: role1, Card: ecr.Cardinality{Min: 0, Max: 1}},
+			{Object: b, Role: role2, Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+		},
+		Attributes: []ecr.Attribute{
+			{Name: fmt.Sprintf("weight_%02d", i), Domain: "int"},
+		},
+	}
+}

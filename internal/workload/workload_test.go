@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/assertion"
+	"repro/internal/integrate"
+	"repro/internal/resemblance"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := DefaultConfig(1)
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.S1.Objects) != cfg.Objects || len(w.S2.Objects) != cfg.Objects {
+		t.Errorf("objects = %d/%d", len(w.S1.Objects), len(w.S2.Objects))
+	}
+	if len(w.S1.Relationships) != cfg.Relationships {
+		t.Errorf("relationships = %d", len(w.S1.Relationships))
+	}
+	shared := int(float64(cfg.Objects) * cfg.Overlap)
+	if len(w.TruePairs) != shared {
+		t.Errorf("true pairs = %d, want %d", len(w.TruePairs), shared)
+	}
+	if err := w.S1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := w.S2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.S1, b.S1) || !reflect.DeepEqual(a.S2, b.S2) {
+		t.Error("same seed produced different schemas")
+	}
+	c, err := Generate(DefaultConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.S1, c.S1) {
+		t.Error("different seeds produced identical schemas")
+	}
+}
+
+func TestGenerateOracleConsistent(t *testing.T) {
+	w, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := w.Objects.Clone().Close(); !res.Consistent() {
+		t.Fatalf("oracle assertions inconsistent: %v", res.Conflicts)
+	}
+}
+
+func TestGenerateIntegrates(t *testing.T) {
+	w, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := integrate.Integrate(integrate.Input{
+		S1: w.S1, S2: w.S2,
+		Registry:      w.Registry,
+		Objects:       w.Objects,
+		Relationships: w.Relationships,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Every equals pair produced a merged class with two sources.
+	merged := 0
+	for _, o := range res.Schema.Objects {
+		if len(o.Sources) == 2 {
+			merged++
+		}
+	}
+	var wantMerged int
+	for _, p := range w.TruePairs {
+		if p.Kind == assertion.Equals {
+			wantMerged++
+		}
+	}
+	if merged < wantMerged {
+		t.Errorf("merged classes = %d, want at least %d", merged, wantMerged)
+	}
+}
+
+func TestGenerateRankingFindsTruePairs(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.NamingNoise = 0
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := resemblance.Candidates(resemblance.RankObjects(w.S1, w.S2, w.Registry))
+	// Every true pair must appear among the candidates (it shares at
+	// least one equivalent attribute by construction).
+	found := map[string]bool{}
+	for _, p := range pairs {
+		found[p.Object1+"|"+p.Object2] = true
+	}
+	for _, tp := range w.TruePairs {
+		if !found[tp.A.Object+"|"+tp.B.Object] {
+			t.Errorf("true pair %s/%s not among candidates", tp.A.Object, tp.B.Object)
+		}
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	bad := DefaultConfig(1)
+	bad.Overlap = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("overlap > 1 should fail")
+	}
+}
+
+func TestGenerateScales(t *testing.T) {
+	cfg := Config{Seed: 3, Objects: 100, AttrsPerObject: 5, Overlap: 0.4, Relationships: 30, NamingNoise: 0.3}
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.S1.Objects) != 100 {
+		t.Errorf("objects = %d", len(w.S1.Objects))
+	}
+	if res := w.Objects.Clone().Close(); !res.Consistent() {
+		t.Error("large oracle inconsistent")
+	}
+}
+
+func TestGenerateZeroOverlap(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Overlap = 0
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.TruePairs) != 0 || w.Objects.Len() != 0 {
+		t.Error("zero overlap should produce no true pairs")
+	}
+}
+
+func TestGenerateExtremes(t *testing.T) {
+	cases := []Config{
+		{Seed: 1, Objects: 5, AttrsPerObject: 1, Overlap: 1, Relationships: 0, NamingNoise: 1},
+		{Seed: 2, Objects: 2, AttrsPerObject: 8, Overlap: 0.5, Relationships: 2, NamingNoise: 0},
+		{Seed: 3, Objects: 30, AttrsPerObject: 2, Overlap: 0.9, Relationships: 10, NamingNoise: 0.8},
+	}
+	for _, cfg := range cases {
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if err := w.S1.Validate(); err != nil {
+			t.Errorf("%+v: s1 invalid: %v", cfg, err)
+		}
+		if err := w.S2.Validate(); err != nil {
+			t.Errorf("%+v: s2 invalid: %v", cfg, err)
+		}
+		if res := w.Objects.Clone().Close(); !res.Consistent() {
+			t.Errorf("%+v: oracle inconsistent", cfg)
+		}
+		if _, err := integrate.Integrate(integrate.Input{
+			S1: w.S1, S2: w.S2, Registry: w.Registry,
+			Objects: w.Objects, Relationships: w.Relationships,
+		}); err != nil {
+			t.Errorf("%+v: integrate: %v", cfg, err)
+		}
+	}
+}
+
+func TestGenerateNegativeNoise(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.NamingNoise = -0.1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative noise should fail")
+	}
+}

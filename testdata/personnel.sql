@@ -1,0 +1,25 @@
+-- A small relational personnel database.
+CREATE TABLE Department (
+    Dname VARCHAR(40) PRIMARY KEY,
+    Budget INT
+);
+CREATE TABLE Employee (
+    Eno INT PRIMARY KEY,
+    Name VARCHAR(40) NOT NULL,
+    Salary INT,
+    Dept VARCHAR(40) NOT NULL,
+    FOREIGN KEY (Dept) REFERENCES Department (Dname)
+);
+CREATE TABLE Engineer (
+    Eno INT PRIMARY KEY,
+    Discipline VARCHAR(40),
+    FOREIGN KEY (Eno) REFERENCES Employee (Eno)
+);
+CREATE TABLE Assigned (
+    Eno INT,
+    Dname VARCHAR(40),
+    Percent INT,
+    PRIMARY KEY (Eno, Dname),
+    FOREIGN KEY (Eno) REFERENCES Employee (Eno),
+    FOREIGN KEY (Dname) REFERENCES Department (Dname)
+);
