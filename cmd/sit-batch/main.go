@@ -21,6 +21,7 @@ import (
 	"repro/internal/ecr"
 	"repro/internal/mapping"
 	"repro/internal/plan"
+	"repro/internal/version"
 )
 
 func main() {
@@ -42,8 +43,13 @@ func run() error {
 	withReport := flag.Bool("report", false, "also print the integration decision report")
 	planOnly := flag.Bool("plan", false, "print a suggested n-ary integration order (most similar schemas first) and exit")
 	dictPath := flag.String("dict", "", "extend the builtin synonym dictionary from this file (syn/ant/abbr lines)")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String("sit-batch"))
+		return nil
+	}
 	if *schemasPath == "" {
 		return fmt.Errorf("-schemas is required")
 	}

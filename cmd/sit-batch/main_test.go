@@ -143,3 +143,14 @@ func TestBatchMappingsOut(t *testing.T) {
 		t.Errorf("mappings JSON wrong:\n%.200s", data)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-batch -version: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "sit-batch version") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,95 @@
+// Command sit-server serves the schema integration pipeline over
+// HTTP/JSON: upload component schemas (ECR DDL or JSON), declare attribute
+// equivalences, fetch resemblance-ranked pairs and dictionary suggestions,
+// state assertions (with immediate closure and conflict reporting), and run
+// integrations — synchronously or through an async job queue backed by a
+// bounded worker pool. See docs/MANUAL.md, "The server API", for the
+// endpoint reference.
+//
+// Usage:
+//
+//	sit-server [-addr :8080] [-schemas file.ecr] [-workspace file.json]
+//	           [-workers 4] [-queue 64] [-request-timeout 30s]
+//	           [-job-timeout 5m] [-quiet]
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener drains
+// in-flight requests and the job queue finishes in-flight jobs within the
+// shutdown grace period.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/session"
+	"repro/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sit-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	schemas := flag.String("schemas", "", "preload component schemas from an ECR DDL file")
+	workspace := flag.String("workspace", "", "preload a saved workspace JSON file (schemas, equivalences, assertions)")
+	workers := flag.Int("workers", 4, "job queue worker pool size")
+	queueCap := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 503)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job execution timeout")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+	quiet := flag.Bool("quiet", false, "suppress request logging")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("sit-server"))
+		return nil
+	}
+
+	store := server.NewStore()
+	if *workspace != "" {
+		ws, err := session.Load(*workspace)
+		if err != nil {
+			return err
+		}
+		store = server.NewStoreFrom(ws)
+	}
+	if *schemas != "" {
+		data, err := os.ReadFile(*schemas)
+		if err != nil {
+			return err
+		}
+		if _, err := store.AddSchemasDDL(string(data)); err != nil {
+			return err
+		}
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueCapacity:  *queueCap,
+		RequestTimeout: *reqTimeout,
+		JobTimeout:     *jobTimeout,
+		ShutdownGrace:  *grace,
+		Logger:         logger,
+		Store:          store,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Run(ctx, *addr)
+}

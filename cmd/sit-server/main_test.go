@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildTool compiles this command once per test binary and returns its
+// path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sit-server")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoPath(t *testing.T, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestVersionFlag(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-server -version: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "sit-server version") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+// TestServeAndGracefulShutdown boots the real binary on an ephemeral port
+// with the paper's schemas preloaded, talks to it over HTTP, then sends
+// SIGTERM and expects a clean exit.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	bin := buildTool(t)
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-quiet",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	resp, err := http.Get(base + "/v1/schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Schemas []struct {
+			Name string `json:"name"`
+		} `json:"schemas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Schemas) != 2 || list.Schemas[0].Name != "sc1" {
+		t.Errorf("preloaded schemas = %+v", list.Schemas)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	// Bind port 0 briefly to find a free port for the child process.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}

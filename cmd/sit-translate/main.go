@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/ecr"
 	"repro/internal/translate"
+	"repro/internal/version"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func run() error {
 	notes := flag.Bool("notes", false, "print the abstraction decisions as comments")
 	diagram := flag.Bool("diagram", false, "print a text diagram of the result")
 	dotOut := flag.String("dot", "", "write a Graphviz rendering of the result to this file")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String("sit-translate"))
+		return nil
+	}
 	if (*sqlPath == "") == (*hierPath == "") {
 		return fmt.Errorf("exactly one of -sql or -hier is required")
 	}

@@ -96,3 +96,14 @@ func TestTranslatePipesIntoBatch(t *testing.T) {
 		t.Errorf("unexpected head: %.60s", out)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit-translate -version: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "sit-translate version") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ecr"
 	"repro/internal/session"
 	"repro/internal/term"
+	"repro/internal/version"
 )
 
 func main() {
@@ -39,7 +40,13 @@ func run() error {
 	plain := flag.Bool("plain", false, "print screens sequentially without ANSI clears")
 	schemas := flag.String("schemas", "", "preload component schemas from an ECR DDL file")
 	script := flag.String("script", "", "replay DDA inputs from this file before reading stdin (one input per line)")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("sit"))
+		return nil
+	}
 
 	ws := session.NewWorkspace()
 	if *workspace != "" {

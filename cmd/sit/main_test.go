@@ -139,3 +139,14 @@ func TestScriptReplay(t *testing.T) {
 		t.Errorf("scripted session did not reach Screen 7:\n%.400s", out)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sit -version: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "sit version") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,202 @@
+// Server walkthrough: the paper's running example over the HTTP API.
+//
+// The program starts sit-server in-process on an ephemeral port, then
+// plays the DDA's session as an HTTP client: upload the Figure 3/4
+// component schemas (sc1, sc2), declare the attribute equivalences of
+// Screen 7, state the running example's assertions, submit the integration
+// as an async job, poll it to completion, and print the integrated schema
+// plus the server's metrics. Finally the server is shut down gracefully.
+//
+// Run with: go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+const schemasDDL = `
+schema sc1
+
+entity Student {
+    attr Name: char key
+    attr GPA: real
+}
+
+entity Department {
+    attr Dname: char key
+}
+
+relationship Majors (Student (0,1), Department (1,n)) {
+    attr Since: date
+}
+
+schema sc2
+
+entity Grad_student {
+    attr Name: char key
+    attr GPA: real
+    attr Support_type: char
+}
+
+entity Faculty {
+    attr Name: char key
+    attr Rank: char
+}
+
+entity Department {
+    attr Dname: char key
+    attr Location: char
+}
+
+relationship Stud_major (Grad_student (0,1), Department (0,n)) {
+    attr Since: date
+}
+
+relationship Works (Faculty (1,1), Department (1,n)) {
+    attr Percent_time: int
+}
+`
+
+func main() {
+	// 1. Start the service in-process on an ephemeral port.
+	srv := server.New(server.Config{Workers: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + addr
+	fmt.Println("sit-server listening on", addr)
+
+	// 2. Upload the component schemas as ECR DDL.
+	post(base+"/v1/schemas", map[string]string{"ddl": schemasDDL}, nil)
+	fmt.Println("uploaded schemas sc1 and sc2")
+
+	// 3. Declare the attribute equivalences of Screen 7.
+	for _, pair := range [][2]string{
+		{"Student.Name", "Grad_student.Name"},
+		{"Student.Name", "Faculty.Name"},
+		{"Student.GPA", "Grad_student.GPA"},
+		{"Department.Dname", "Department.Dname"},
+		{"Majors.Since", "Stud_major.Since"},
+	} {
+		post(base+"/v1/equivalences", map[string]string{
+			"schema1": "sc1", "attr1": pair[0],
+			"schema2": "sc2", "attr2": pair[1],
+		}, nil)
+	}
+	fmt.Println("declared 5 attribute equivalences")
+
+	// 4. The ranked pairs the Assertion Collection screen would show.
+	var ranked struct {
+		Pairs []struct {
+			Object1, Object2 string
+			Ratio            float64
+		} `json:"pairs"`
+	}
+	get(base+"/v1/resemblance?schema1=sc1&schema2=sc2", &ranked)
+	fmt.Println("\nresemblance-ranked object pairs:")
+	for _, p := range ranked.Pairs {
+		fmt.Printf("  %-12s %-14s %.4f\n", p.Object1, p.Object2, p.Ratio)
+	}
+
+	// 5. State the running example's assertions (codes: 1 equals, 3
+	// contains, 4 disjoint-integrable).
+	type assertReq struct {
+		Schema1      string `json:"schema1"`
+		Object1      string `json:"object1"`
+		Code         int    `json:"code"`
+		Schema2      string `json:"schema2"`
+		Object2      string `json:"object2"`
+		Relationship bool   `json:"relationship,omitempty"`
+	}
+	for _, a := range []assertReq{
+		{"sc1", "Department", 1, "sc2", "Department", false},
+		{"sc1", "Student", 3, "sc2", "Grad_student", false},
+		{"sc1", "Student", 4, "sc2", "Faculty", false},
+		{"sc1", "Majors", 1, "sc2", "Stud_major", true},
+	} {
+		post(base+"/v1/assertions", a, nil)
+	}
+	fmt.Println("\nstated 4 assertions")
+
+	// 6. Submit the integration as an async job and poll it.
+	var job server.Job
+	post(base+"/v1/jobs", server.JobRequest{
+		Type: "integrate", Schema1: "sc1", Schema2: "sc2",
+	}, &job)
+	fmt.Println("submitted", job.ID)
+	for !job.State.Terminal() {
+		time.Sleep(10 * time.Millisecond)
+		get(base+"/v1/jobs/"+job.ID, &job)
+	}
+	if job.State != server.JobDone {
+		log.Fatalf("job ended %s: %s", job.State, job.Error)
+	}
+
+	// 7. Print the integrated schema and the integration report.
+	fmt.Println("\nintegrated schema:")
+	fmt.Println(job.Result.DDL)
+	fmt.Println("integration report:")
+	for _, line := range job.Result.Report {
+		fmt.Println(" ", line)
+	}
+
+	// 8. Peek at the server's metrics before shutting down.
+	var metrics server.MetricsSnapshot
+	get(base+"/metrics", &metrics)
+	fmt.Printf("\nmetrics: %d integration(s), queue depth %d\n",
+		metrics.IntegrationLatency.Count, metrics.QueueDepth)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server shut down cleanly")
+}
+
+// post sends v as JSON and decodes the response into out when non-nil.
+func post(url string, v, out any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// get fetches URL and decodes the JSON response into out.
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		log.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

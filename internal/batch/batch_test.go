@@ -40,20 +40,66 @@ func TestParseSpec(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	cases := []struct{ src, substr string }{
+		// Missing or malformed schemas line.
 		{"", "no schema pair"},
+		{"# only a comment\n\n", "no schema pair"},
+		{"name x\nequiv a.b = c.d", "no schema pair"},
 		{"schemas a", "usage: schemas"},
+		{"schemas a b c", "usage: schemas"},
+		// Malformed equiv lines: wrong arity, missing '=', '=' misplaced.
 		{"schemas a b\nequiv x y", "usage: equiv"},
+		{"schemas a b\nequiv a.b c.d", "usage: equiv"},
+		{"schemas a b\nequiv a.b = c.d extra", "usage: equiv"},
+		{"schemas a b\nequiv = a.b c.d", "usage: equiv"},
+		// Assertion lines: wrong arity, out-of-range and non-numeric codes
+		// (both assert and rel-assert take the same shape).
+		{"schemas a b\nassert X Y", "usage: assert"},
+		{"schemas a b\nassert X 1 Y Z", "usage: assert"},
+		{"schemas a b\nrel-assert X Y", "usage: rel-assert"},
 		{"schemas a b\nassert X 9 Y", "unknown assertion code"},
+		{"schemas a b\nassert X -1 Y", "unknown assertion code"},
+		{"schemas a b\nrel-assert X 9 Y", "unknown assertion code"},
 		{"schemas a b\nassert X q Y", "bad assertion code"},
+		{"schemas a b\nrel-assert X 1.5 Y", "bad assertion code"},
+		// Auto thresholds: wrong arity, unparsable, out of (0, 1].
+		{"schemas a b\nauto", "usage: auto"},
+		{"schemas a b\nauto 0.5 0.6", "usage: auto"},
+		{"schemas a b\nauto high", "bad threshold"},
 		{"schemas a b\nauto 2", "bad threshold"},
+		{"schemas a b\nauto 0", "bad threshold"},
+		{"schemas a b\nauto -0.5", "bad threshold"},
+		// Unknown directives.
 		{"schemas a b\nbogus", "unknown directive"},
+		{"schemas a b\nassert-rel X 1 Y", "unknown directive"},
 		{"schemas a b\nname", "usage: name"},
+		{"schemas a b\nname x y", "usage: name"},
 	}
 	for _, c := range cases {
 		_, err := ParseSpec(c.src)
 		if err == nil || !strings.Contains(err.Error(), c.substr) {
 			t.Errorf("ParseSpec(%q) = %v, want %q", c.src, err, c.substr)
 		}
+	}
+}
+
+func TestParseSpecErrorReportsLineNumber(t *testing.T) {
+	// The bad directive sits on line 4 (comments and blanks still count).
+	src := "# header\nschemas a b\n\nbogus line here\n"
+	_, err := ParseSpec(src)
+	if err == nil || !strings.Contains(err.Error(), "spec line 4") {
+		t.Errorf("ParseSpec = %v, want a 'spec line 4' error", err)
+	}
+}
+
+func TestParseSpecCommentsAndWhitespace(t *testing.T) {
+	// Inline comments are stripped, indentation and blank lines ignored.
+	src := "  schemas a b   # the pair\n\n\tname x # trailing\n  # full-line comment\n"
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Schema1 != "a" || spec.Schema2 != "b" || spec.Name != "x" {
+		t.Errorf("spec = %+v", spec)
 	}
 }
 

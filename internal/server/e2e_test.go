@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+// goldenPaperDDL computes the reference integration result for the paper's
+// running example directly through the batch pipeline, the same golden
+// outcome the repo's existing integration tests pin down.
+func goldenPaperDDL(t testing.TB) string {
+	t.Helper()
+	specSrc, err := os.ReadFile("../../testdata/paper.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := batch.ParseSpec(string(specSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := batch.Run([]*ecr.Schema{paperex.Sc1(), paperex.Sc2()}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ecr.FormatSchema(res.Schema)
+}
+
+// TestEndToEndPaperExample replays the paper's running example through the
+// HTTP API — upload, equivalences, assertions, async integration job — and
+// checks the result against the golden batch outcome.
+func TestEndToEndPaperExample(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+
+	// 1. Upload the Figure 3/4 schemas as DDL.
+	uploadPaperSchemas(t, client, ts.URL)
+
+	// 2. Declare the five attribute equivalences of Screen 7.
+	for _, pair := range [][2]string{
+		{"Student.Name", "Grad_student.Name"},
+		{"Student.Name", "Faculty.Name"},
+		{"Student.GPA", "Grad_student.GPA"},
+		{"Department.Dname", "Department.Dname"},
+		{"Majors.Since", "Stud_major.Since"},
+	} {
+		req := equivalenceRequest{Schema1: "sc1", Attr1: pair[0], Schema2: "sc2", Attr2: pair[1]}
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/equivalences", req, nil); status != http.StatusCreated {
+			t.Fatalf("declare %v: status %d", pair, status)
+		}
+	}
+
+	// 3. Consult the ranked pairs as the Assertion Collection screen does:
+	// Student/Grad_student must lead with the paper's 0.5000 ratio.
+	var pairs struct {
+		Pairs []struct {
+			Object1 string  `json:"Object1"`
+			Object2 string  `json:"Object2"`
+			Ratio   float64 `json:"Ratio"`
+		} `json:"pairs"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/resemblance?schema1=sc1&schema2=sc2", nil, &pairs)
+	if len(pairs.Pairs) == 0 || pairs.Pairs[0].Ratio != 0.5 {
+		t.Fatalf("ranked pairs = %+v", pairs.Pairs)
+	}
+
+	// 4. State the running example's assertions.
+	for _, a := range []assertionRequest{
+		{Schema1: "sc1", Object1: "Department", Code: 1, Schema2: "sc2", Object2: "Department"},
+		{Schema1: "sc1", Object1: "Student", Code: 3, Schema2: "sc2", Object2: "Grad_student"},
+		{Schema1: "sc1", Object1: "Student", Code: 4, Schema2: "sc2", Object2: "Faculty"},
+		{Schema1: "sc1", Object1: "Majors", Code: 1, Schema2: "sc2", Object2: "Stud_major", Relationship: true},
+	} {
+		var resp assertionResponse
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/assertions", a, &resp); status != http.StatusCreated || !resp.Consistent {
+			t.Fatalf("assert %+v: status %d resp %+v", a, status, resp)
+		}
+	}
+
+	// 5. Submit the integration as an async job and poll to completion.
+	var job Job
+	status := doJSON(t, client, "POST", ts.URL+"/v1/jobs",
+		JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &job)
+	if status != http.StatusAccepted {
+		t.Fatalf("job submit status = %d", status)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !job.State.Terminal() && time.Now().Before(deadline) {
+		doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+job.ID, nil, &job)
+	}
+	if job.State != JobDone || job.Result == nil {
+		t.Fatalf("job = %+v", job)
+	}
+
+	// 6. The integrated schema matches the golden batch result.
+	if want := goldenPaperDDL(t); job.Result.DDL != want {
+		t.Errorf("integrated DDL drifted from golden:\n%s\nwant:\n%s", job.Result.DDL, want)
+	}
+	if job.Result.Name != "INT_sc1_sc2" {
+		t.Errorf("name = %q", job.Result.Name)
+	}
+
+	// 7. The sync endpoint agrees with the job result.
+	var syncRes IntegrationResult
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/integrate",
+		JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &syncRes); status != 200 {
+		t.Fatalf("sync integrate status = %d", status)
+	}
+	if syncRes.DDL != job.Result.DDL {
+		t.Error("sync and job results disagree")
+	}
+}
+
+// TestConcurrentUploadsAndJobs hammers the service from many goroutines:
+// parallel schema uploads and integration jobs, verifying every job
+// reaches a terminal state with the correct result. With -race this is the
+// acceptance gate for the concurrent store and worker pool.
+func TestConcurrentUploadsAndJobs(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueCapacity: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	const (
+		uploaders  = 4
+		submitters = 4
+		perWorker  = 10
+	)
+	want := goldenPaperDDL(t)
+	jobIDs := make(chan string, submitters*perWorker)
+	var wg sync.WaitGroup
+
+	for g := 0; g < uploaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("up_%d_%d", g, i)
+				ddl := fmt.Sprintf("schema %s\nentity Thing {\n attr Id: int key\n attr Label: char\n}\n", name)
+				if status := doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+					map[string]string{"ddl": ddl}, nil); status != http.StatusCreated {
+					t.Errorf("upload %s: status %d", name, status)
+					return
+				}
+				// Interleave reads to widen the race surface.
+				doJSON(t, client, "GET", ts.URL+"/v1/schemas", nil, nil)
+			}
+		}(g)
+	}
+	specSrc, err := os.ReadFile("../../testdata/paper.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var job Job
+				status := doJSON(t, client, "POST", ts.URL+"/v1/jobs",
+					JobRequest{Type: "spec", Spec: string(specSrc)}, &job)
+				if status != http.StatusAccepted {
+					t.Errorf("job submit status = %d", status)
+					return
+				}
+				jobIDs <- job.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(jobIDs)
+
+	deadline := time.Now().Add(30 * time.Second)
+	count := 0
+	for id := range jobIDs {
+		count++
+		var job Job
+		for {
+			doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+id, nil, &job)
+			if job.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, job.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if job.State != JobDone || job.Result == nil {
+			t.Fatalf("job %s = %+v", id, job)
+		}
+		if job.Result.DDL != want {
+			t.Errorf("job %s result drifted from golden", id)
+		}
+	}
+	if count != submitters*perWorker {
+		t.Fatalf("collected %d jobs, want %d", count, submitters*perWorker)
+	}
+
+	// Queue depth settled back to zero and the metrics saw every job.
+	var metrics MetricsSnapshot
+	doJSON(t, client, "GET", ts.URL+"/metrics", nil, &metrics)
+	if metrics.QueueDepth != 0 {
+		t.Errorf("queueDepth = %d", metrics.QueueDepth)
+	}
+	if metrics.Jobs["done"] != uint64(submitters*perWorker) {
+		t.Errorf("jobs done = %d", metrics.Jobs["done"])
+	}
+	if metrics.IntegrationLatency.Count != uint64(submitters*perWorker) {
+		t.Errorf("latency count = %d", metrics.IntegrationLatency.Count)
+	}
+}
+
+// TestServerStartShutdown exercises the real listener lifecycle: start on
+// an ephemeral port, serve a request, shut down gracefully, and verify the
+// listener is gone.
+func TestServerStartShutdown(t *testing.T) {
+	srv := New(Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestServerRunStopsOnContextCancel drives Run the way cmd/sit-server does
+// (SIGTERM becomes a context cancellation).
+func TestServerRunStopsOnContextCancel(t *testing.T) {
+	srv := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, "127.0.0.1:0") }()
+
+	// Wait for the listener, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Addr() == "" {
+		t.Fatal("server never started listening")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ecr"
+	"repro/internal/integrate"
+	"repro/internal/mapping"
+	"repro/internal/version"
+)
+
+// maxBodyBytes bounds request bodies; component schemas are text, so 4 MiB
+// is generous.
+const maxBodyBytes = 4 << 20
+
+// IntegrationResult is the JSON form of an integrate.Result, shared by the
+// synchronous endpoint and the job queue.
+type IntegrationResult struct {
+	Name string `json:"name"`
+	// Schema is the integrated schema in the ECR JSON encoding.
+	Schema json.RawMessage `json:"schema"`
+	// DDL is the same schema in ECR DDL, for human eyes.
+	DDL string `json:"ddl"`
+	// Clusters lists the integrated groups, largest first.
+	Clusters [][]string `json:"clusters,omitempty"`
+	// Report logs the integration decisions in order.
+	Report []string `json:"report,omitempty"`
+	// Mappings is the component-to-integrated mapping table in the shared
+	// data-dictionary JSON format.
+	Mappings  json.RawMessage `json:"mappings,omitempty"`
+	ElapsedMs float64         `json:"elapsedMs"`
+}
+
+func newIntegrationResult(res *integrate.Result, elapsed time.Duration) (*IntegrationResult, error) {
+	schemaJSON, err := ecr.EncodeJSON(res.Schema)
+	if err != nil {
+		return nil, err
+	}
+	mappingsJSON, err := mapping.EncodeJSON(res.Mappings)
+	if err != nil {
+		return nil, err
+	}
+	out := &IntegrationResult{
+		Name:      res.Schema.Name,
+		Schema:    schemaJSON,
+		DDL:       ecr.FormatSchema(res.Schema),
+		Report:    res.Report,
+		Mappings:  mappingsJSON,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	for _, cluster := range res.Clusters {
+		var names []string
+		for _, k := range cluster {
+			names = append(names, k.String())
+		}
+		out.Clusters = append(out.Clusters, names)
+	}
+	return out, nil
+}
+
+// --- JSON plumbing ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// errStatus maps a pipeline error onto an HTTP status: missing structures
+// are 404, everything else is the caller's fault.
+func errStatus(err error) int {
+	if strings.Contains(err.Error(), "not found") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- health and metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": version.Version,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// --- schemas ---
+
+// schemasRequest uploads component schemas: either DDL text (one or more
+// "schema" blocks) or one schema in the ECR JSON encoding.
+type schemasRequest struct {
+	DDL    string          `json:"ddl,omitempty"`
+	Schema json.RawMessage `json:"schema,omitempty"`
+}
+
+func (s *Server) handleSchemasPost(w http.ResponseWriter, r *http.Request) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var req schemasRequest
+	if ct == "text/plain" || ct == "application/x-ecr-ddl" {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.DDL = string(body)
+	} else if !decodeBody(w, r, &req) {
+		return
+	}
+
+	var (
+		added []string
+		err   error
+	)
+	switch {
+	case req.DDL != "" && req.Schema != nil:
+		err = fmt.Errorf("request has both ddl and schema; send one")
+	case req.DDL != "":
+		added, err = s.store.AddSchemasDDL(req.DDL)
+	case req.Schema != nil:
+		var schema *ecr.Schema
+		schema, err = ecr.DecodeJSON(req.Schema)
+		if err == nil {
+			added, err = s.store.AddSchemas([]*ecr.Schema{schema})
+		}
+	default:
+		err = fmt.Errorf("request needs a ddl or schema field")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"added": added})
+}
+
+func (s *Server) handleSchemasList(w http.ResponseWriter, r *http.Request) {
+	list := s.store.Schemas()
+	if list == nil {
+		list = []SchemaStats{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schemas": list})
+}
+
+func (s *Server) handleSchemaGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	schema := s.store.Schema(name)
+	if schema == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("schema %q not found", name))
+		return
+	}
+	schemaJSON, err := ecr.EncodeJSON(schema)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":   schema.Name,
+		"schema": json.RawMessage(schemaJSON),
+		"ddl":    ecr.FormatSchema(schema),
+	})
+}
+
+func (s *Server) handleSchemaDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.RemoveSchema(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("schema %q not found", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// --- equivalences ---
+
+// equivalenceRequest declares two "object.attribute" references, each
+// resolved against its named schema, attribute-equivalent.
+type equivalenceRequest struct {
+	Schema1 string `json:"schema1"`
+	Attr1   string `json:"attr1"`
+	Schema2 string `json:"schema2"`
+	Attr2   string `json:"attr2"`
+}
+
+func (s *Server) handleEquivalencesPost(w http.ResponseWriter, r *http.Request) {
+	var req equivalenceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.store.DeclareEquivalence(req.Schema1, req.Attr1, req.Schema2, req.Attr2); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"declared": true})
+}
+
+func (s *Server) handleEquivalencesList(w http.ResponseWriter, r *http.Request) {
+	classes := s.store.EquivalenceClasses()
+	if classes == nil {
+		classes = [][]ecr.AttrRef{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"classes": classes})
+}
+
+// --- resemblance and suggestions ---
+
+func pairParams(r *http.Request) (s1, s2 string, rel bool, err error) {
+	q := r.URL.Query()
+	s1, s2 = q.Get("schema1"), q.Get("schema2")
+	if s1 == "" || s2 == "" {
+		return "", "", false, fmt.Errorf("schema1 and schema2 query parameters are required")
+	}
+	switch kind := q.Get("kind"); kind {
+	case "", "objects":
+	case "relationships":
+		rel = true
+	default:
+		return "", "", false, fmt.Errorf("bad kind %q (want objects or relationships)", kind)
+	}
+	return s1, s2, rel, nil
+}
+
+func (s *Server) handleResemblance(w http.ResponseWriter, r *http.Request) {
+	s1, s2, rel, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pairs, err := s.store.RankedPairs(s1, s2, rel)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pairs": pairs})
+}
+
+func (s *Server) handleSuggestions(w http.ResponseWriter, r *http.Request) {
+	s1, s2, _, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	threshold := 0.5
+	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		threshold, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad threshold %q", raw))
+			return
+		}
+	}
+	cands, err := s.store.Suggest(s1, s2, threshold)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"suggestions": cands})
+}
+
+// --- assertions ---
+
+// assertionRequest states one assertion between structures of two schemas,
+// using the tool's numeric codes (1 equals, 2 contained-in, 3 contains, 4
+// disjoint-integrable, 5 may-be, 0 disjoint-nonintegrable).
+type assertionRequest struct {
+	Schema1 string `json:"schema1"`
+	Object1 string `json:"object1"`
+	Code    int    `json:"code"`
+	Schema2 string `json:"schema2"`
+	Object2 string `json:"object2"`
+	// Relationship selects the relationship-set matrix.
+	Relationship bool `json:"relationship,omitempty"`
+}
+
+// assertionResponse reports the immediate closure of the matrix after the
+// new assertion.
+type assertionResponse struct {
+	Consistent bool     `json:"consistent"`
+	Derived    []string `json:"derived,omitempty"`
+	Conflicts  []string `json:"conflicts,omitempty"`
+}
+
+func (s *Server) handleAssertionsPost(w http.ResponseWriter, r *http.Request) {
+	var req assertionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.store.Assert(req.Schema1, req.Object1, req.Code, req.Schema2, req.Object2, req.Relationship)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp := assertionResponse{Consistent: res.Consistent()}
+	for _, d := range res.Derived {
+		resp.Derived = append(resp.Derived, d.Statement.String())
+	}
+	for _, c := range res.Conflicts {
+		resp.Conflicts = append(resp.Conflicts, c.Error())
+	}
+	status := http.StatusCreated
+	if !resp.Consistent {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleAssertionsList(w http.ResponseWriter, r *http.Request) {
+	s1, s2, rel, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, err := s.store.Assertions(s1, s2, rel)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	type entryJSON struct {
+		Statement string `json:"statement"`
+		Derived   bool   `json:"derived"`
+	}
+	out := []entryJSON{}
+	for _, e := range entries {
+		out = append(out, entryJSON{Statement: e.Statement.String(), Derived: e.Derived})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"assertions": out})
+}
+
+// --- integration: sync endpoint and job queue ---
+
+// runIntegration executes one integration request against the store,
+// timing it into the latency histogram.
+func (s *Server) runIntegration(req JobRequest) (*IntegrationResult, error) {
+	start := time.Now()
+	var (
+		res *integrate.Result
+		err error
+	)
+	switch req.Type {
+	case "integrate":
+		res, err = s.store.Integrate(req.Schema1, req.Schema2)
+	case "spec":
+		res, err = s.store.RunSpec(req.Spec)
+	default:
+		err = fmt.Errorf("server: unknown job type %q", req.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	s.metrics.IntegrationLatency.Observe(elapsed)
+	return newIntegrationResult(res, elapsed)
+}
+
+func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Type == "" {
+		req.Type = "integrate"
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	result, err := s.runIntegration(req)
+	if err != nil {
+		var ierr *integrate.Error
+		if errors.As(err, &ierr) {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	job, err := s.queue.Submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue is full") || strings.Contains(err.Error(), "shut down") {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.List()
+	if jobs == nil {
+		jobs = []Job{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}

@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/paperex"
+)
+
+// testServer returns a quiet server and its httptest wrapper.
+func testServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{Workers: 2, QueueCapacity: 16})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	return srv, ts
+}
+
+// doJSON posts v as JSON and decodes the response body into out (when
+// non-nil), returning the status code.
+func doJSON(t testing.TB, client *http.Client, method, url string, v, out any) int {
+	t.Helper()
+	var body io.Reader
+	if v != nil {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s %s response %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func uploadPaperSchemas(t testing.TB, client *http.Client, base string) {
+	t.Helper()
+	ddl, err := os.ReadFile("../../testdata/paper.ecr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Added []string `json:"added"`
+	}
+	status := doJSON(t, client, "POST", base+"/v1/schemas", map[string]string{"ddl": string(ddl)}, &out)
+	if status != http.StatusCreated || len(out.Added) != 2 {
+		t.Fatalf("upload: status %d, added %v", status, out.Added)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	var out map[string]string
+	if status := doJSON(t, ts.Client(), "GET", ts.URL+"/healthz", nil, &out); status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	if out["status"] != "ok" || out["version"] == "" {
+		t.Errorf("healthz = %v", out)
+	}
+}
+
+func TestSchemasEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	// Upload one more as ECR JSON.
+	extra := paperex.Sc3()
+	schemaJSON, err := ecr.EncodeJSON(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]json.RawMessage{"schema": schemaJSON}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("JSON upload status = %d", status)
+	}
+
+	// Plain-text DDL upload.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/schemas",
+		strings.NewReader("schema tiny\nentity T {\n attr Id: int key\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("text/plain upload status = %d", resp.StatusCode)
+	}
+
+	var list struct {
+		Schemas []SchemaStats `json:"schemas"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/schemas", nil, &list)
+	if len(list.Schemas) != 4 {
+		t.Errorf("schemas = %+v", list.Schemas)
+	}
+
+	var got struct {
+		Name string `json:"name"`
+		DDL  string `json:"ddl"`
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/schemas/sc1", nil, &got); status != 200 {
+		t.Fatalf("get sc1 status = %d", status)
+	}
+	if got.Name != "sc1" || !strings.Contains(got.DDL, "entity Student") {
+		t.Errorf("get sc1 = %+v", got)
+	}
+
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/schemas/ghost", nil, nil); status != http.StatusNotFound {
+		t.Errorf("missing schema status = %d", status)
+	}
+	if status := doJSON(t, client, "DELETE", ts.URL+"/v1/schemas/tiny", nil, nil); status != 200 {
+		t.Errorf("delete status = %d", status)
+	}
+	if status := doJSON(t, client, "DELETE", ts.URL+"/v1/schemas/tiny", nil, nil); status != http.StatusNotFound {
+		t.Errorf("double delete status = %d", status)
+	}
+
+	// Error shapes: both fields, neither field, bad DDL, unknown field.
+	for _, body := range []any{
+		map[string]string{},
+		map[string]string{"ddl": "schema broken {"},
+		map[string]string{"bogus": "x"},
+	} {
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/schemas", body, nil); status != http.StatusBadRequest {
+			t.Errorf("POST %v status = %d", body, status)
+		}
+	}
+}
+
+func TestEquivalenceAndResemblanceEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	eq := equivalenceRequest{Schema1: "sc1", Attr1: "Student.Name", Schema2: "sc2", Attr2: "Grad_student.Name"}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/equivalences", eq, nil); status != http.StatusCreated {
+		t.Fatalf("declare status = %d", status)
+	}
+	var classes struct {
+		Classes [][]ecr.AttrRef `json:"classes"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/equivalences", nil, &classes)
+	if len(classes.Classes) != 1 || len(classes.Classes[0]) != 2 {
+		t.Errorf("classes = %+v", classes.Classes)
+	}
+
+	eq.Schema2 = "ghost"
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/equivalences", eq, nil); status != http.StatusNotFound {
+		t.Errorf("unknown schema status = %d", status)
+	}
+
+	var pairs struct {
+		Pairs []json.RawMessage `json:"pairs"`
+	}
+	status := doJSON(t, client, "GET",
+		ts.URL+"/v1/resemblance?schema1=sc1&schema2=sc2&kind=objects", nil, &pairs)
+	if status != 200 || len(pairs.Pairs) == 0 {
+		t.Errorf("resemblance status=%d pairs=%d", status, len(pairs.Pairs))
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/resemblance?schema1=sc1", nil, nil); status != http.StatusBadRequest {
+		t.Errorf("missing params status = %d", status)
+	}
+	if status := doJSON(t, client, "GET",
+		ts.URL+"/v1/resemblance?schema1=sc1&schema2=sc2&kind=bogus", nil, nil); status != http.StatusBadRequest {
+		t.Errorf("bad kind status = %d", status)
+	}
+
+	var sugg struct {
+		Suggestions []json.RawMessage `json:"suggestions"`
+	}
+	status = doJSON(t, client, "GET",
+		ts.URL+"/v1/suggestions?schema1=sc1&schema2=sc2&threshold=0.9", nil, &sugg)
+	if status != 200 || len(sugg.Suggestions) == 0 {
+		t.Errorf("suggestions status=%d n=%d", status, len(sugg.Suggestions))
+	}
+	if status := doJSON(t, client, "GET",
+		ts.URL+"/v1/suggestions?schema1=sc1&schema2=sc2&threshold=oops", nil, nil); status != http.StatusBadRequest {
+		t.Errorf("bad threshold status = %d", status)
+	}
+}
+
+func TestAssertionEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	post := func(req assertionRequest) (int, assertionResponse) {
+		var resp assertionResponse
+		status := doJSON(t, client, "POST", ts.URL+"/v1/assertions", req, &resp)
+		return status, resp
+	}
+	status, resp := post(assertionRequest{Schema1: "sc1", Object1: "Student", Code: 3, Schema2: "sc2", Object2: "Grad_student"})
+	if status != http.StatusCreated || !resp.Consistent {
+		t.Fatalf("assert: %d %+v", status, resp)
+	}
+	// Contradicting the held assertion yields 409 with the conflict text.
+	status, resp = post(assertionRequest{Schema1: "sc1", Object1: "Student", Code: 0, Schema2: "sc2", Object2: "Grad_student"})
+	if status != http.StatusConflict || resp.Consistent || len(resp.Conflicts) == 0 {
+		t.Fatalf("conflict: %d %+v", status, resp)
+	}
+	status, _ = post(assertionRequest{Schema1: "sc1", Object1: "Ghost", Code: 1, Schema2: "sc2", Object2: "Faculty"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown object status = %d", status)
+	}
+
+	rel := assertionRequest{Schema1: "sc1", Object1: "Majors", Code: 1, Schema2: "sc2", Object2: "Stud_major", Relationship: true}
+	if status, _ := post(rel); status != http.StatusCreated {
+		t.Errorf("relationship assert status = %d", status)
+	}
+
+	var listed struct {
+		Assertions []struct {
+			Statement string `json:"statement"`
+			Derived   bool   `json:"derived"`
+		} `json:"assertions"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/assertions?schema1=sc1&schema2=sc2", nil, &listed)
+	if len(listed.Assertions) != 1 || !strings.Contains(listed.Assertions[0].Statement, "Student") {
+		t.Errorf("assertions = %+v", listed.Assertions)
+	}
+}
+
+func TestIntegrateSyncEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	spec, err := os.ReadFile("../../testdata/paper.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result IntegrationResult
+	status := doJSON(t, client, "POST", ts.URL+"/v1/integrate",
+		JobRequest{Type: "spec", Spec: string(spec)}, &result)
+	if status != 200 {
+		t.Fatalf("integrate status = %d", status)
+	}
+	if result.Name != "INT_sc1_sc2" || !strings.Contains(result.DDL, "E_Department") {
+		t.Errorf("result = %s / %s", result.Name, result.DDL)
+	}
+	if len(result.Report) == 0 || len(result.Clusters) == 0 || result.Mappings == nil {
+		t.Errorf("result missing report/clusters/mappings: %+v", result)
+	}
+
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/integrate",
+		JobRequest{Type: "bogus"}, nil); status != http.StatusBadRequest {
+		t.Errorf("bad type status = %d", status)
+	}
+	// The type field defaults to "integrate" on the sync endpoint, so a
+	// bare schema pair works as the manual documents.
+	var bare IntegrationResult
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/integrate",
+		JobRequest{Schema1: "sc1", Schema2: "sc2"}, &bare); status != 200 {
+		t.Errorf("bare pair status = %d", status)
+	} else if !strings.Contains(bare.DDL, "schema INT_sc1_sc2") {
+		t.Errorf("bare pair DDL = %s", bare.DDL)
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/integrate",
+		JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "ghost"}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown schema status = %d", status)
+	}
+
+	// The integration latency histogram observed the run.
+	var metrics MetricsSnapshot
+	doJSON(t, client, "GET", ts.URL+"/metrics", nil, &metrics)
+	if metrics.IntegrationLatency.Count == 0 {
+		t.Error("integration latency not observed")
+	}
+	if metrics.Requests["POST /v1/integrate"]["2xx"] != 2 {
+		t.Errorf("request metrics = %v", metrics.Requests)
+	}
+}
+
+func TestJobsEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	var job Job
+	status := doJSON(t, client, "POST", ts.URL+"/v1/jobs",
+		JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &job)
+	if status != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: %d %+v", status, job)
+	}
+
+	// Poll until terminal.
+	for i := 0; i < 500; i++ {
+		if doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+job.ID, nil, &job); job.State.Terminal() {
+			break
+		}
+	}
+	if job.State != JobDone || job.Result == nil || job.Result.Name != "INT_sc1_sc2" {
+		t.Fatalf("job = %+v", job)
+	}
+
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/jobs", nil, &list)
+	if len(list.Jobs) != 1 {
+		t.Errorf("jobs = %+v", list.Jobs)
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/jobs/ghost", nil, nil); status != http.StatusNotFound {
+		t.Errorf("missing job status = %d", status)
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/jobs", JobRequest{Type: "nope"}, nil); status != http.StatusBadRequest {
+		t.Errorf("bad job status = %d", status)
+	}
+
+	// A failing job surfaces its error in the job record, not over HTTP.
+	doJSON(t, client, "POST", ts.URL+"/v1/jobs", JobRequest{Type: "spec", Spec: "schemas ghost1 ghost2"}, &job)
+	for i := 0; i < 500; i++ {
+		if doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+job.ID, nil, &job); job.State.Terminal() {
+			break
+		}
+	}
+	if job.State != JobFailed || job.Error == "" {
+		t.Errorf("failed job = %+v", job)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/healthz", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueueFullOverHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	// Slow jobs: a big spec run takes a moment; saturate with a burst and
+	// expect at least one 503. Use many submissions to make the race
+	// deterministic enough.
+	spec := "schemas sc1 sc2\nassert Department 1 Department"
+	got503 := false
+	for i := 0; i < 200 && !got503; i++ {
+		status := doJSON(t, client, "POST", ts.URL+"/v1/jobs", JobRequest{Type: "spec", Spec: spec}, nil)
+		switch status {
+		case http.StatusAccepted:
+		case http.StatusServiceUnavailable:
+			got503 = true
+		default:
+			t.Fatalf("unexpected status %d", status)
+		}
+	}
+	if !got503 {
+		t.Skip("queue never filled; timing dependent")
+	}
+}

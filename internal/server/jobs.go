@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle position. Queued and Running are
+// transient; Done, Failed and Canceled are terminal.
+type JobState string
+
+// The job states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobRequest is the payload of one integration job. Exactly one of two
+// forms is used: Spec carries a self-contained batch specification
+// (batch.ParseSpec format); otherwise Schema1/Schema2 name a pair to
+// integrate from the workspace's declared equivalences and assertions.
+type JobRequest struct {
+	// Type is "integrate" (workspace pair) or "spec" (batch spec).
+	Type    string `json:"type"`
+	Schema1 string `json:"schema1,omitempty"`
+	Schema2 string `json:"schema2,omitempty"`
+	Spec    string `json:"spec,omitempty"`
+}
+
+// Validate checks the request shape before it is queued.
+func (r JobRequest) Validate() error {
+	switch r.Type {
+	case "integrate":
+		if r.Schema1 == "" || r.Schema2 == "" {
+			return fmt.Errorf("server: integrate job needs schema1 and schema2")
+		}
+	case "spec":
+		if r.Spec == "" {
+			return fmt.Errorf("server: spec job needs a spec body")
+		}
+	default:
+		return fmt.Errorf("server: unknown job type %q (want integrate or spec)", r.Type)
+	}
+	return nil
+}
+
+// Job is one queued integration. Snapshot copies are handed out by the
+// queue; the worker goroutine owns the live record.
+type Job struct {
+	ID      string     `json:"id"`
+	Request JobRequest `json:"request"`
+	State   JobState   `json:"state"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is set when State is done.
+	Result *IntegrationResult `json:"result,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// JobExecutor runs one job's work, returning the integration outcome.
+type JobExecutor func(ctx context.Context, req JobRequest) (*IntegrationResult, error)
+
+// Queue is a bounded asynchronous job queue over a fixed worker pool.
+// Submit enqueues (rejecting when the buffer is full), workers drain in
+// FIFO order, and Shutdown stops intake, cancels the workers' context and
+// waits for in-flight jobs. Jobs still queued at shutdown become canceled.
+type Queue struct {
+	exec    JobExecutor
+	jobs    chan *Job
+	timeout time.Duration
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	byID   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+	// depth is the number of jobs submitted but not yet terminal.
+	depth int
+
+	// observe, when set, is called after every state transition with a
+	// snapshot (metrics hook).
+	observe func(Job)
+}
+
+// NewQueue starts a queue with the given worker count and buffer capacity.
+// timeout bounds each job's execution; 0 means no per-job limit.
+func NewQueue(workers, capacity int, timeout time.Duration, exec JobExecutor) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		exec:    exec,
+		jobs:    make(chan *Job, capacity),
+		timeout: timeout,
+		cancel:  cancel,
+		byID:    map[string]*Job{},
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker(ctx)
+	}
+	return q
+}
+
+// SetObserver installs a state-transition hook (call before serving).
+func (q *Queue) SetObserver(fn func(Job)) { q.observe = fn }
+
+// Submit validates and enqueues a job, returning its snapshot. It fails
+// when the queue buffer is full or the queue is shut down.
+func (q *Queue) Submit(req JobRequest) (Job, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("server: queue is shut down")
+	}
+	q.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%d", q.nextID),
+		Request: req,
+		State:   JobQueued,
+		Created: time.Now().UTC(),
+	}
+	select {
+	case q.jobs <- job:
+	default:
+		q.nextID-- // not enqueued; reuse the ID
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("server: job queue is full (capacity %d)", cap(q.jobs))
+	}
+	q.byID[job.ID] = job
+	q.order = append(q.order, job.ID)
+	q.depth++
+	snap := *job
+	q.mu.Unlock()
+	q.notify(snap)
+	return snap, nil
+}
+
+// Get returns a snapshot of the identified job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.byID[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// List returns snapshots of every job in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.byID[id])
+	}
+	return out
+}
+
+// Depth returns the number of non-terminal jobs (queued + running).
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+func (q *Queue) notify(snap Job) {
+	if q.observe != nil {
+		q.observe(snap)
+	}
+}
+
+// transition updates a job under the lock and reports the snapshot.
+func (q *Queue) transition(job *Job, fn func(*Job)) {
+	q.mu.Lock()
+	fn(job)
+	if job.State.Terminal() {
+		q.depth--
+	}
+	snap := *job
+	q.mu.Unlock()
+	q.notify(snap)
+}
+
+func (q *Queue) worker(ctx context.Context) {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job, ok := <-q.jobs:
+			if !ok {
+				return
+			}
+			q.runOne(ctx, job)
+		}
+	}
+}
+
+func (q *Queue) runOne(ctx context.Context, job *Job) {
+	if ctx.Err() != nil {
+		q.transition(job, func(j *Job) {
+			j.State = JobCanceled
+			j.Error = "queue shut down before the job ran"
+			now := time.Now().UTC()
+			j.Finished = &now
+		})
+		return
+	}
+	q.transition(job, func(j *Job) {
+		j.State = JobRunning
+		now := time.Now().UTC()
+		j.Started = &now
+	})
+	runCtx := ctx
+	if q.timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, q.timeout)
+		defer cancel()
+	}
+	res, err := q.exec(runCtx, job.Request)
+	q.transition(job, func(j *Job) {
+		now := time.Now().UTC()
+		j.Finished = &now
+		if err != nil {
+			j.State = JobFailed
+			j.Error = err.Error()
+			return
+		}
+		j.State = JobDone
+		j.Result = res
+	})
+}
+
+// Shutdown stops intake and waits for the workers to drain in-flight work,
+// up to the context deadline; jobs never started are marked canceled. It
+// returns the context's error when the deadline cuts the wait short.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		q.cancel() // force workers to stop at the next checkpoint
+		<-done
+	}
+	// Anything still buffered never ran.
+	for job := range q.jobs {
+		q.transition(job, func(j *Job) {
+			j.State = JobCanceled
+			j.Error = "queue shut down before the job ran"
+			now := time.Now().UTC()
+			j.Finished = &now
+		})
+	}
+	q.cancel()
+	return err
+}

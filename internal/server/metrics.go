@@ -1,0 +1,180 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the integration latency
+// histogram; the implicit last bucket is +Inf.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram returns a histogram over latencyBuckets.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	h.counts[i]++
+	h.sum += secs
+	h.n++
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	// Buckets maps each upper bound (seconds; the final entry is +Inf,
+	// rendered "inf") to the cumulative observation count at or under it.
+	Buckets []BucketCount `json:"buckets"`
+	Count   uint64        `json:"count"`
+	SumSecs float64       `json:"sumSeconds"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot renders the histogram with cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.n, SumSecs: h.sum}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		le := "inf"
+		if i < len(latencyBuckets) {
+			le = formatBound(latencyBuckets[i])
+		}
+		snap.Buckets = append(snap.Buckets, BucketCount{LE: le, Count: cum})
+	}
+	return snap
+}
+
+func formatBound(b float64) string {
+	if b >= 1 && b == float64(int64(b)) {
+		return strconv.FormatInt(int64(b), 10) + "s"
+	}
+	return strconv.FormatInt(int64(b*1000), 10) + "ms"
+}
+
+// Metrics aggregates the server's operational counters: requests by route
+// and status class, job lifecycle counts, queue depth and the integration
+// latency histogram. Everything is hand-rolled over a mutex so the package
+// needs nothing beyond the standard library.
+type Metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests map[string]map[string]uint64 // route -> status class -> count
+	jobs     map[JobState]uint64
+
+	// IntegrationLatency times successful integration runs (sync and
+	// job-queue alike).
+	IntegrationLatency *Histogram
+
+	// queueDepth, when set, reports the live queue depth for snapshots.
+	queueDepth func() int
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		started:            time.Now().UTC(),
+		requests:           map[string]map[string]uint64{},
+		jobs:               map[JobState]uint64{},
+		IntegrationLatency: NewHistogram(),
+	}
+}
+
+// SetQueueDepthFunc wires the live queue-depth gauge.
+func (m *Metrics) SetQueueDepthFunc(fn func() int) { m.queueDepth = fn }
+
+// ObserveRequest counts one served request under its route pattern and
+// status class ("2xx", "4xx", ...).
+func (m *Metrics) ObserveRequest(route string, status int) {
+	class := statusClass(status)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[route]
+	if byStatus == nil {
+		byStatus = map[string]uint64{}
+		m.requests[route] = byStatus
+	}
+	byStatus[class]++
+}
+
+// ObserveJob counts one job state transition.
+func (m *Metrics) ObserveJob(state JobState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[state]++
+}
+
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds      float64                      `json:"uptimeSeconds"`
+	Requests           map[string]map[string]uint64 `json:"requestsByRoute"`
+	Jobs               map[string]uint64            `json:"jobs"`
+	QueueDepth         int                          `json:"queueDepth"`
+	IntegrationLatency HistogramSnapshot            `json:"integrationLatency"`
+}
+
+// Snapshot renders every metric at once.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	requests := make(map[string]map[string]uint64, len(m.requests))
+	for route, byStatus := range m.requests {
+		cp := make(map[string]uint64, len(byStatus))
+		for class, n := range byStatus {
+			cp[class] = n
+		}
+		requests[route] = cp
+	}
+	jobs := make(map[string]uint64, len(m.jobs))
+	for state, n := range m.jobs {
+		jobs[string(state)] = n
+	}
+	started := m.started
+	depthFn := m.queueDepth
+	m.mu.Unlock()
+
+	snap := MetricsSnapshot{
+		UptimeSeconds:      time.Since(started).Seconds(),
+		Requests:           requests,
+		Jobs:               jobs,
+		IntegrationLatency: m.IntegrationLatency.Snapshot(),
+	}
+	if depthFn != nil {
+		snap.QueueDepth = depthFn()
+	}
+	return snap
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so logging and
+// metrics middleware can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-route plumbing: request-scoped
+// timeout, structured logging and request metrics. route is the mux
+// pattern the handler is registered under, used as the metrics label so no
+// unbounded path cardinality leaks into the counters.
+func instrument(route string, logger *slog.Logger, metrics *Metrics, timeout time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		if metrics != nil {
+			metrics.ObserveRequest(route, rec.status)
+		}
+		if logger != nil {
+			logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"durationMs", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}

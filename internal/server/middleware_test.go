@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInstrumentLogsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	m := NewMetrics()
+	h := instrument("GET /v1/things", logger, m, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/things", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if m.Snapshot().Requests["GET /v1/things"]["4xx"] != 1 {
+		t.Errorf("metrics = %v", m.Snapshot().Requests)
+	}
+	log := buf.String()
+	for _, want := range []string{"method=GET", "route=\"GET /v1/things\"", "status=418"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log line missing %q: %s", want, log)
+		}
+	}
+}
+
+func TestInstrumentDefaultsStatus200(t *testing.T) {
+	m := NewMetrics()
+	h := instrument("GET /ok", nil, m, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hi")) // implicit 200 via Write
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+	if m.Snapshot().Requests["GET /ok"]["2xx"] != 1 {
+		t.Errorf("metrics = %v", m.Snapshot().Requests)
+	}
+
+	// A handler that writes nothing at all still counts as 200.
+	h2 := instrument("GET /empty", nil, m, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h2.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/empty", nil))
+	if m.Snapshot().Requests["GET /empty"]["2xx"] != 1 {
+		t.Errorf("metrics = %v", m.Snapshot().Requests)
+	}
+}
+
+func TestInstrumentAppliesTimeout(t *testing.T) {
+	h := instrument("GET /slow", nil, nil, 10*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case <-time.After(5 * time.Second):
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want the handler to observe cancellation", rec.Code)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout did not fire")
+	}
+}
+
+func TestInstrumentNoTimeoutLeavesContext(t *testing.T) {
+	h := instrument("GET /x", nil, nil, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Error("unexpected deadline")
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil).WithContext(context.Background()))
+}

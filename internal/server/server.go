@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable: sensible
+// defaults are filled in by New.
+type Config struct {
+	// Workers is the job-queue worker pool size (default 4).
+	Workers int
+	// QueueCapacity bounds the number of queued-but-unstarted jobs
+	// (default 64); submissions beyond it are rejected with 503.
+	QueueCapacity int
+	// RequestTimeout bounds each HTTP request's context (default 30s).
+	RequestTimeout time.Duration
+	// JobTimeout bounds each job's execution context (default 5m).
+	JobTimeout time.Duration
+	// ShutdownGrace bounds the drain on graceful shutdown (default 10s).
+	ShutdownGrace time.Duration
+	// Logger receives structured request and lifecycle logs; nil
+	// disables logging.
+	Logger *slog.Logger
+	// Store optionally supplies a pre-populated store (for example from
+	// a loaded workspace); nil starts empty.
+	Store *Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.Store == nil {
+		c.Store = NewStore()
+	}
+	return c
+}
+
+// Server ties the store, the job queue, the metrics registry and the HTTP
+// mux together.
+type Server struct {
+	cfg     Config
+	store   *Store
+	queue   *Queue
+	metrics *Metrics
+	mux     *http.ServeMux
+	log     *slog.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// New builds a ready-to-serve Server (not yet listening).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		log:     cfg.Logger,
+	}
+	s.queue = NewQueue(cfg.Workers, cfg.QueueCapacity, cfg.JobTimeout,
+		func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return s.runIntegration(req)
+		})
+	s.metrics.SetQueueDepthFunc(s.queue.Depth)
+	s.queue.SetObserver(func(j Job) { s.metrics.ObserveJob(j.State) })
+	s.routes()
+	return s
+}
+
+// Store exposes the underlying store (tests, in-process embedding).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// handle registers a route with the standard middleware stack.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, instrument(pattern, s.log, s.metrics, s.cfg.RequestTimeout, h))
+}
+
+func (s *Server) routes() {
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+
+	s.handle("POST /v1/schemas", s.handleSchemasPost)
+	s.handle("GET /v1/schemas", s.handleSchemasList)
+	s.handle("GET /v1/schemas/{name}", s.handleSchemaGet)
+	s.handle("DELETE /v1/schemas/{name}", s.handleSchemaDelete)
+
+	s.handle("POST /v1/equivalences", s.handleEquivalencesPost)
+	s.handle("GET /v1/equivalences", s.handleEquivalencesList)
+
+	s.handle("GET /v1/resemblance", s.handleResemblance)
+	s.handle("GET /v1/suggestions", s.handleSuggestions)
+
+	s.handle("POST /v1/assertions", s.handleAssertionsPost)
+	s.handle("GET /v1/assertions", s.handleAssertionsList)
+
+	s.handle("POST /v1/integrate", s.handleIntegrate)
+	s.handle("POST /v1/jobs", s.handleJobsPost)
+	s.handle("GET /v1/jobs", s.handleJobsList)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+}
+
+// Handler returns the full HTTP handler (httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr ("host:port"; port 0 picks a free one) and serves
+// in the background, returning the bound address. Pair with Shutdown.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.httpSrv = srv
+	s.mu.Unlock()
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if s.log != nil {
+				s.log.Error("serve", "error", err)
+			}
+		}
+	}()
+	if s.log != nil {
+		s.log.Info("listening", "addr", ln.Addr().String())
+	}
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the HTTP listener (draining in-flight requests) and then
+// the job queue, bounded by the context (falling back to the configured
+// grace period when the context has no deadline).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ShutdownGrace)
+		defer cancel()
+	}
+	var first error
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.mu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			first = err
+		}
+	}
+	if err := s.queue.Shutdown(ctx); err != nil && first == nil {
+		first = err
+	}
+	if s.log != nil {
+		s.log.Info("shut down", "error", first)
+	}
+	return first
+}
+
+// Run serves on addr until the context is canceled (typically by SIGTERM
+// via signal.NotifyContext), then shuts down gracefully.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	if _, err := s.Start(addr); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	// The parent context is already canceled; shut down on a fresh one
+	// bounded by the grace period.
+	return s.Shutdown(context.Background())
+}
+
+// Addr returns the bound address after Start, or "".
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}

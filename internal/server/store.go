@@ -1,0 +1,368 @@
+// Package server exposes the schema-integration pipeline over HTTP/JSON:
+// schema upload (ECR DDL or JSON), attribute equivalences, resemblance
+// ranking, dictionary suggestions, assertions with immediate closure, and
+// integration — synchronously for small requests and through an async job
+// queue backed by a bounded worker pool for heavy ones. The package adds
+// the production plumbing the interactive tool never needed: a concurrency-
+// safe store over session.Workspace, structured request logging, metrics,
+// request timeouts and graceful shutdown.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/assertion"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/integrate"
+	"repro/internal/resemblance"
+	"repro/internal/session"
+)
+
+// Store is the concurrency-safe layer over a session.Workspace. The
+// workspace itself is single-user by design (the interactive tool owns its
+// terminal); the store guards every access with an RWMutex so that HTTP
+// handlers and job-queue workers can share one workspace.
+//
+// Integration results are cached per schema pair, tagged with a generation
+// counter that every mutation bumps: a result computed against an older
+// generation is returned to its requester but never cached, so readers can
+// integrate outside the lock without serializing behind each other.
+type Store struct {
+	mu  sync.RWMutex
+	ws  *session.Workspace
+	gen uint64
+	// results caches integrations keyed by sorted pair, valid for the
+	// generation at which they were computed.
+	results map[string]cachedResult
+}
+
+type cachedResult struct {
+	gen uint64
+	res *integrate.Result
+}
+
+// NewStore returns a store over an empty workspace.
+func NewStore() *Store {
+	return NewStoreFrom(session.NewWorkspace())
+}
+
+// NewStoreFrom wraps an existing workspace (for example one loaded from a
+// saved JSON file). The caller must not touch the workspace afterwards.
+func NewStoreFrom(ws *session.Workspace) *Store {
+	return &Store{ws: ws, results: map[string]cachedResult{}}
+}
+
+func resultKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// touch invalidates cached results; callers hold the write lock.
+func (st *Store) touch() {
+	st.gen++
+	st.results = map[string]cachedResult{}
+}
+
+// AddSchemas validates and registers the given schemas, all or none.
+func (st *Store) AddSchemas(schemas []*ecr.Schema) ([]string, error) {
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("server: no schemas in request")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seen := map[string]bool{}
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] || st.ws.Schema(s.Name) != nil {
+			return nil, fmt.Errorf("server: schema %q already defined", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	var names []string
+	for _, s := range schemas {
+		if err := st.ws.AddSchema(s); err != nil {
+			return nil, err // unreachable after the pre-checks above
+		}
+		names = append(names, s.Name)
+	}
+	st.touch()
+	return names, nil
+}
+
+// AddSchemasDDL parses ECR DDL (one or more "schema" blocks) and registers
+// every schema it defines.
+func (st *Store) AddSchemasDDL(src string) ([]string, error) {
+	schemas, err := ecr.ParseSchemas(src)
+	if err != nil {
+		return nil, err
+	}
+	return st.AddSchemas(schemas)
+}
+
+// SchemaNames lists the defined schemas in definition order.
+func (st *Store) SchemaNames() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var names []string
+	for _, s := range st.ws.Schemas() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// SchemaStats summarizes one schema for listings.
+type SchemaStats struct {
+	Name          string `json:"name"`
+	Entities      int    `json:"entities"`
+	Categories    int    `json:"categories"`
+	Relationships int    `json:"relationships"`
+	Attributes    int    `json:"attributes"`
+}
+
+// Schemas lists per-schema summaries in definition order.
+func (st *Store) Schemas() []SchemaStats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []SchemaStats
+	for _, s := range st.ws.Schemas() {
+		stats := s.Stats()
+		out = append(out, SchemaStats{
+			Name:          s.Name,
+			Entities:      stats.Entities,
+			Categories:    stats.Categories,
+			Relationships: stats.Relationships,
+			Attributes:    stats.Attributes,
+		})
+	}
+	return out
+}
+
+// Schema returns a deep clone of the named schema, or nil. The clone is the
+// caller's to serialize without further locking.
+func (st *Store) Schema(name string) *ecr.Schema {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if s := st.ws.Schema(name); s != nil {
+		return s.Clone()
+	}
+	return nil
+}
+
+// RemoveSchema deletes the named schema and its assertions.
+func (st *Store) RemoveSchema(name string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.ws.RemoveSchema(name) {
+		return false
+	}
+	st.touch()
+	return true
+}
+
+// DeclareEquivalence resolves "object.attribute" references against the two
+// named schemas and places the attributes in one equivalence class.
+func (st *Store) DeclareEquivalence(schema1, ref1, schema2, ref2 string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s1, s2 := st.ws.Schema(schema1), st.ws.Schema(schema2)
+	if s1 == nil {
+		return fmt.Errorf("server: schema %q not found", schema1)
+	}
+	if s2 == nil {
+		return fmt.Errorf("server: schema %q not found", schema2)
+	}
+	a, err := core.ResolveAttr(s1, ref1)
+	if err != nil {
+		return err
+	}
+	b, err := core.ResolveAttr(s2, ref2)
+	if err != nil {
+		return err
+	}
+	if err := st.ws.Registry().Declare(a, b); err != nil {
+		return err
+	}
+	st.touch()
+	return nil
+}
+
+// EquivalenceClasses returns the declared classes (each sorted), sorted by
+// their first member.
+func (st *Store) EquivalenceClasses() [][]ecr.AttrRef {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.ws.Registry().Classes()
+}
+
+// schemaPair fetches both schemas of a pair under the read lock.
+func (st *Store) schemaPair(schema1, schema2 string) (*ecr.Schema, *ecr.Schema, error) {
+	s1, s2 := st.ws.Schema(schema1), st.ws.Schema(schema2)
+	if s1 == nil {
+		return nil, nil, fmt.Errorf("server: schema %q not found", schema1)
+	}
+	if s2 == nil {
+		return nil, nil, fmt.Errorf("server: schema %q not found", schema2)
+	}
+	return s1, s2, nil
+}
+
+// RankedPairs returns the resemblance-ranked object-class (or, with rel,
+// relationship-set) pairs of the two schemas.
+func (st *Store) RankedPairs(schema1, schema2 string, rel bool) ([]resemblance.Pair, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s1, s2, err := st.schemaPair(schema1, schema2)
+	if err != nil {
+		return nil, err
+	}
+	if rel {
+		return resemblance.RankRelationships(s1, s2, st.ws.Registry()), nil
+	}
+	return resemblance.RankObjects(s1, s2, st.ws.Registry()), nil
+}
+
+// Suggest runs the dictionary-based attribute equivalence suggestion pass
+// at the given score threshold.
+func (st *Store) Suggest(schema1, schema2 string, threshold float64) ([]resemblance.AttrCandidate, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("server: bad threshold %v (want 0 < t <= 1)", threshold)
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s1, s2, err := st.schemaPair(schema1, schema2)
+	if err != nil {
+		return nil, err
+	}
+	return resemblance.SuggestEquivalences(s1, s2,
+		resemblance.DefaultWeights(), dictionary.Builtin(), threshold), nil
+}
+
+// Assert records an assertion between object classes (or, with rel,
+// relationship sets) of the two schemas and immediately closes the matrix.
+// The closure result carries derived assertions and conflicts; a conflicted
+// matrix keeps the assertion, as the interactive tool does, leaving
+// resolution to a later Retract.
+func (st *Store) Assert(schema1, object1 string, code int, schema2, object2 string, rel bool) (assertion.CloseResult, error) {
+	kind, err := assertion.KindFromCode(code)
+	if err != nil {
+		return assertion.CloseResult{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s1, s2, err := st.schemaPair(schema1, schema2)
+	if err != nil {
+		return assertion.CloseResult{}, err
+	}
+	var set *assertion.Set
+	if rel {
+		if s1.Relationship(object1) == nil {
+			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no relationship set %q", s1.Name, object1)
+		}
+		if s2.Relationship(object2) == nil {
+			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no relationship set %q", s2.Name, object2)
+		}
+		set = st.ws.RelationshipAssertions(schema1, schema2)
+	} else {
+		if s1.Object(object1) == nil {
+			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no object class %q", s1.Name, object1)
+		}
+		if s2.Object(object2) == nil {
+			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no object class %q", s2.Name, object2)
+		}
+		set = st.ws.ObjectAssertions(schema1, schema2)
+	}
+	res := set.AssertAndClose(
+		assertion.ObjKey{Schema: schema1, Object: object1},
+		assertion.ObjKey{Schema: schema2, Object: object2}, kind)
+	st.touch()
+	return res, nil
+}
+
+// Assertions lists the entries of the pair's assertion matrix.
+func (st *Store) Assertions(schema1, schema2 string, rel bool) ([]assertion.Entry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, _, err := st.schemaPair(schema1, schema2); err != nil {
+		return nil, err
+	}
+	// ObjectAssertions/RelationshipAssertions create the empty set on
+	// first touch, hence the write lock.
+	if rel {
+		return st.ws.RelationshipAssertions(schema1, schema2).Entries(), nil
+	}
+	return st.ws.ObjectAssertions(schema1, schema2).Entries(), nil
+}
+
+// Integrate runs (or returns the cached) integration of the pair using the
+// workspace's declared equivalences and assertions. The computation happens
+// outside the lock against cloned inputs, so long integrations of distinct
+// pairs proceed concurrently; the result is cached only if no mutation
+// landed meanwhile.
+func (st *Store) Integrate(schema1, schema2 string) (*integrate.Result, error) {
+	st.mu.Lock()
+	key := resultKey(schema1, schema2)
+	if c, ok := st.results[key]; ok && c.gen == st.gen {
+		st.mu.Unlock()
+		return c.res, nil
+	}
+	s1, s2, err := st.schemaPair(schema1, schema2)
+	if err != nil {
+		st.mu.Unlock()
+		return nil, err
+	}
+	gen := st.gen
+	var (
+		reg  *equivalence.Registry = st.ws.Registry().Clone()
+		objs *assertion.Set        = st.ws.ObjectAssertions(schema1, schema2).Clone()
+		rels *assertion.Set        = st.ws.RelationshipAssertions(schema1, schema2).Clone()
+	)
+	st.mu.Unlock()
+
+	res, err := integrate.Integrate(integrate.Input{
+		S1: s1, S2: s2,
+		Registry:      reg,
+		Objects:       objs,
+		Relationships: rels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	if st.gen == gen {
+		st.results[key] = cachedResult{gen: gen, res: res}
+	}
+	st.mu.Unlock()
+	return res, nil
+}
+
+// RunSpec parses and executes a batch integration specification against the
+// store's schemas — the one-shot path: the spec carries its own
+// equivalences and assertions and leaves the workspace untouched.
+func (st *Store) RunSpec(src string) (*integrate.Result, error) {
+	spec, err := batch.ParseSpec(src)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.RLock()
+	schemas := append([]*ecr.Schema(nil), st.ws.Schemas()...)
+	st.mu.RUnlock()
+	// Schemas are immutable once registered, so batch.Run can proceed on
+	// the snapshot without holding the lock.
+	return batch.Run(schemas, spec)
+}
+
+// Generation returns the mutation counter (diagnostics and tests).
+func (st *Store) Generation() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.gen
+}

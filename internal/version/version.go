@@ -1,0 +1,19 @@
+// Package version holds the build version shared by every binary of the
+// reproduction. The Version variable is meant to be set at link time:
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3" ./cmd/...
+//
+// so that one flag stamps sit, sit-batch, sit-translate and sit-server
+// alike. An unstamped build reports "dev".
+package version
+
+import "runtime"
+
+// Version is the build version, overridable via -ldflags -X.
+var Version = "dev"
+
+// String renders the one-line version banner a binary prints for -version:
+// the program name, the stamped version and the Go runtime that built it.
+func String(program string) string {
+	return program + " version " + Version + " (" + runtime.Version() + ")"
+}

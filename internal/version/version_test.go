@@ -1,0 +1,26 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+
+	Version = "v9.9.9"
+	got := String("sit-server")
+	if !strings.HasPrefix(got, "sit-server version v9.9.9 (go") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDefaultIsDev(t *testing.T) {
+	if Version != "dev" {
+		t.Skip("version stamped by ldflags; nothing to check")
+	}
+	if !strings.Contains(String("sit"), "sit version dev") {
+		t.Errorf("String() = %q", String("sit"))
+	}
+}
