@@ -11,6 +11,16 @@
 //	sit-server [-addr :8080] [-schemas file.ecr] [-workspace file.json]
 //	           [-workers 4] [-queue 64] [-request-timeout 30s]
 //	           [-job-timeout 5m] [-quiet]
+//	           [-data-dir dir] [-fsync always|interval|never]
+//	           [-fsync-interval 100ms] [-snapshot-every 256]
+//
+// With -data-dir the server is durable: every mutating operation (schema
+// upload, equivalence, assertion, job lifecycle) is written ahead to an
+// append-only journal in that directory, periodically compacted into a
+// snapshot. On startup the workspace and job table are rebuilt from
+// snapshot + journal tail; jobs that were queued at crash time run again,
+// jobs that were running come back in the retryable "interrupted" state.
+// See docs/MANUAL.md, "Durability and recovery".
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener drains
 // in-flight requests and the job queue finishes in-flight jobs within the
@@ -27,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/server"
 	"repro/internal/session"
 	"repro/internal/version"
@@ -48,6 +59,10 @@ func run() error {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job execution timeout")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+	dataDir := flag.String("data-dir", "", "data directory for the write-ahead journal; empty runs in memory only")
+	fsyncPolicy := flag.String("fsync", "always", "journal fsync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync spacing under -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 256, "compact the journal into a snapshot after this many records")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
@@ -57,37 +72,84 @@ func run() error {
 		return nil
 	}
 
-	store := server.NewStore()
-	if *workspace != "" {
-		ws, err := session.Load(*workspace)
-		if err != nil {
-			return err
-		}
-		store = server.NewStoreFrom(ws)
-	}
-	if *schemas != "" {
-		data, err := os.ReadFile(*schemas)
-		if err != nil {
-			return err
-		}
-		if _, err := store.AddSchemasDDL(string(data)); err != nil {
-			return err
-		}
-	}
-
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueCapacity:  *queueCap,
 		RequestTimeout: *reqTimeout,
 		JobTimeout:     *jobTimeout,
 		ShutdownGrace:  *grace,
 		Logger:         logger,
-		Store:          store,
-	})
+	}
+
+	var srv *server.Server
+	if *dataDir != "" {
+		// The data directory is the workspace; a -workspace preload would
+		// bypass the journal and silently vanish on the next restart.
+		if *workspace != "" {
+			return fmt.Errorf("-workspace cannot be combined with -data-dir (the data directory already persists the workspace)")
+		}
+		policy, err := journal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		var report *server.RecoveryReport
+		srv, report, err = server.Open(cfg, server.DurabilityConfig{
+			Dir:           *dataDir,
+			Sync:          policy,
+			SyncInterval:  *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			return err
+		}
+		if logger != nil {
+			logger.Info("recovered",
+				"dataDir", *dataDir,
+				"snapshotSeq", report.SnapshotSeq,
+				"replayedRecords", report.ReplayedRecords,
+				"droppedBytes", report.DroppedBytes,
+				"schemas", report.Schemas,
+				"recoveredJobs", report.RecoveredJobs,
+				"requeuedJobs", report.RequeuedJobs,
+				"interruptedJobs", report.InterruptedJobs,
+			)
+		}
+		// -schemas seeds an empty data directory only: a recovered
+		// workspace is authoritative, and re-adding its schemas would fail.
+		if report.RecoveredWorkspaces > 0 && *schemas != "" {
+			if logger != nil {
+				logger.Warn("ignoring -schemas preload: data directory already holds a workspace")
+			}
+			*schemas = ""
+		}
+	} else {
+		store := server.NewStore()
+		if *workspace != "" {
+			ws, err := session.Load(*workspace)
+			if err != nil {
+				return err
+			}
+			store = server.NewStoreFrom(ws)
+		}
+		cfg.Store = store
+		srv = server.New(cfg)
+	}
+
+	if *schemas != "" {
+		// Goes through the store, so on a durable server the preload is
+		// journaled like any other upload.
+		data, err := os.ReadFile(*schemas)
+		if err != nil {
+			return err
+		}
+		if _, err := srv.Store().AddSchemasDDL(string(data)); err != nil {
+			return err
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

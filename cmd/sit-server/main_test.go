@@ -100,6 +100,113 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestDataDirSurvivesHardKill boots the binary with -data-dir, preloads
+// and uploads schemas, kills the process with SIGKILL (no drain, no final
+// snapshot) and restarts it on the same directory: everything written
+// before the kill must come back.
+func TestDataDirSurvivesHardKill(t *testing.T) {
+	bin := buildTool(t)
+	dataDir := t.TempDir()
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := []string{
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-schemas", repoPath(t, "testdata/paper.ecr"),
+		"-quiet",
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	body := strings.NewReader(`{"ddl": "schema extra\nentity T {\n attr Id: int key\n}\n"}`)
+	resp, err := http.Post(base+"/v1/schemas", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: a real crash
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	port2 := freePort(t)
+	addr2 := fmt.Sprintf("127.0.0.1:%d", port2)
+	cmd2 := exec.Command(bin,
+		"-addr", addr2,
+		"-data-dir", dataDir,
+		"-schemas", repoPath(t, "testdata/paper.ecr"), // must be ignored: dir is populated
+		"-quiet",
+	)
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd2.Process.Kill()
+	base2 := "http://" + addr2
+	waitHealthy(t, base2)
+
+	resp, err = http.Get(base2 + "/v1/schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Schemas []struct {
+			Name string `json:"name"`
+		} `json:"schemas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var names []string
+	for _, s := range list.Schemas {
+		names = append(names, s.Name)
+	}
+	if len(names) != 3 {
+		t.Fatalf("schemas after restart = %v, want sc1 sc2 extra", names)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+// TestWorkspaceFlagRejectedWithDataDir pins the CLI guard: a -workspace
+// preload would bypass the journal, so the pairing is refused.
+func TestWorkspaceFlagRejectedWithDataDir(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin,
+		"-data-dir", t.TempDir(),
+		"-workspace", "whatever.json",
+	).CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected a failure, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-workspace cannot be combined with -data-dir") {
+		t.Errorf("error output = %q", out)
+	}
+}
+
 func freePort(t *testing.T) int {
 	t.Helper()
 	// Bind port 0 briefly to find a free port for the child process.

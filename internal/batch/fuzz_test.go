@@ -1,0 +1,53 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/assertion"
+)
+
+// FuzzParseSpec guards the spec parser against panics and checks the
+// invariants any accepted spec must hold: a named schema pair, assertion
+// codes the tool defines, well-formed equivalence references and a
+// threshold in (0, 1].
+func FuzzParseSpec(f *testing.F) {
+	f.Add("schemas sc1 sc2\nname INT_sc1_sc2\n" +
+		"equiv Student.Name = Grad_student.Name\n" +
+		"assert Department 1 Department\n" +
+		"assert Student 3 Grad_student\n" +
+		"rel-assert Majors 1 Stud_major\n" +
+		"auto 0.95\n")
+	f.Add("schemas a b")
+	f.Add("# comment only\nschemas a b # trailing")
+	f.Add("schemas a\n")
+	f.Add("equiv x.y = z")
+	f.Add("assert A six B")
+	f.Add("auto 2")
+	f.Add("")
+	f.Add("schemas a b\r\nassert A 0 B\n\tname  n ")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := ParseSpec(src)
+		if err != nil {
+			return
+		}
+		if spec.Schema1 == "" || spec.Schema2 == "" {
+			t.Fatalf("accepted spec without a schema pair: %+v", spec)
+		}
+		for _, a := range append(append([]AssertLine(nil), spec.ObjectAsserts...), spec.RelAsserts...) {
+			if _, err := assertion.KindFromCode(a.Code); err != nil {
+				t.Fatalf("accepted assertion with bad code %d: %v", a.Code, err)
+			}
+			if a.Object1 == "" || a.Object2 == "" {
+				t.Fatalf("accepted assertion with empty object: %+v", a)
+			}
+		}
+		for _, pair := range spec.Equivalences {
+			if pair[0] == "" || pair[1] == "" {
+				t.Fatalf("accepted equivalence with empty side: %+v", pair)
+			}
+		}
+		if spec.AutoThreshold < 0 || spec.AutoThreshold > 1 {
+			t.Fatalf("accepted threshold %v outside (0, 1]", spec.AutoThreshold)
+		}
+	})
+}

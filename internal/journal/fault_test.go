@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// The fault-injection harness: every test here breaks the journal the way
+// a real deployment would — a write killed mid-record, a disk that fills
+// up, a tail corrupted on the platter — and asserts the journal either
+// refuses cleanly or recovers every complete record.
+
+func journalPath(dir string) string { return filepath.Join(dir, journalName) }
+
+func TestTornWriteMidRecordIsRolledBack(t *testing.T) {
+	dir := t.TempDir()
+	killNext := false
+	opts := Options{Sync: SyncNever, Hooks: Hooks{
+		BeforeAppend: func(line []byte) (int, error) {
+			if killNext {
+				killNext = false
+				return len(line) / 2, errors.New("injected: process killed mid-write")
+			}
+			return len(line), nil
+		},
+	}}
+	j := mustOpen(t, dir, opts)
+	appendN(t, j, 2)
+
+	killNext = true
+	if _, err := j.Append("doomed", op{Name: "torn"}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The journal rolled the torn prefix back and stays usable.
+	if seq, err := j.Append("after", op{Name: "ok"}); err != nil || seq != 3 {
+		t.Fatalf("append after torn write = %d, %v", seq, err)
+	}
+	j.Close()
+
+	j2 := mustOpen(t, dir, Options{})
+	recs := j2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	if recs[2].Op != "after" {
+		t.Errorf("last op = %s", recs[2].Op)
+	}
+	if j2.DroppedBytes() != 0 {
+		t.Errorf("rolled-back journal still dropped %d bytes", j2.DroppedBytes())
+	}
+}
+
+func TestDiskFullRefusesAppendAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	full := false
+	opts := Options{Sync: SyncNever, Hooks: Hooks{
+		BeforeAppend: func(line []byte) (int, error) {
+			if full {
+				return 0, syscall.ENOSPC
+			}
+			return len(line), nil
+		},
+	}}
+	j := mustOpen(t, dir, opts)
+	appendN(t, j, 2)
+
+	full = true
+	if _, err := j.Append("op", op{}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on full disk = %v, want ENOSPC", err)
+	}
+	// Space freed: the journal resumes where it left off.
+	full = false
+	if seq, err := j.Append("op", op{}); err != nil || seq != 3 {
+		t.Fatalf("append after space freed = %d, %v", seq, err)
+	}
+	j.Close()
+
+	if recs := mustOpen(t, dir, Options{}).Records(); len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+}
+
+func TestFsyncFailureSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	fail := false
+	opts := Options{Sync: SyncAlways, Hooks: Hooks{
+		BeforeSync: func() error {
+			if fail {
+				return syscall.EIO
+			}
+			return nil
+		},
+	}}
+	j := mustOpen(t, dir, opts)
+	appendN(t, j, 1)
+	fail = true
+	if _, err := j.Append("op", op{}); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append with failing fsync = %v, want EIO", err)
+	}
+	fail = false
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedTailRecovery(t *testing.T) {
+	// A crash mid-write leaves a final record without its newline: the
+	// scanner must keep every complete record and drop the fragment.
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	appendN(t, j, 3)
+	j.CloseAbrupt()
+
+	path := journalPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	if recs := j2.Records(); len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	if j2.DroppedBytes() == 0 {
+		t.Error("truncation not reported")
+	}
+	// The tail was cut off the file, so new appends start clean.
+	if seq, err := j2.Append("op", op{}); err != nil || seq != 3 {
+		t.Fatalf("append after recovery = %d, %v", seq, err)
+	}
+	j2.Close()
+	if recs := mustOpen(t, dir, Options{}).Records(); len(recs) != 3 {
+		t.Errorf("post-recovery log replays %d records, want 3", len(recs))
+	}
+}
+
+func TestCorruptedTailRecovery(t *testing.T) {
+	// Bit rot in the final record fails its checksum; earlier records
+	// survive.
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	appendN(t, j, 3)
+	j.CloseAbrupt()
+
+	path := journalPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	if recs := j2.Records(); len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	if j2.DroppedBytes() == 0 {
+		t.Error("corruption not reported")
+	}
+}
+
+func TestCorruptionMidFileDropsSuffix(t *testing.T) {
+	// Corruption in the middle of the log ends replay there: trusting
+	// records that follow a broken one risks replaying operations out of
+	// their causal order.
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	appendN(t, j, 4)
+	j.CloseAbrupt()
+
+	path := journalPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	if recs := j2.Records(); len(recs) >= 4 {
+		t.Fatalf("recovered %d records across a corrupt frame", len(recs))
+	}
+	if j2.DroppedBytes() == 0 {
+		t.Error("mid-file corruption not reported")
+	}
+}
+
+func TestCorruptSnapshotFailsOpen(t *testing.T) {
+	// Snapshots are written atomically, so a malformed one means real
+	// damage; silently starting empty would masquerade as data loss.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open with corrupt snapshot succeeded")
+	}
+}

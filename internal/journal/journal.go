@@ -1,0 +1,566 @@
+// Package journal implements the durability layer under the integration
+// server: an append-only write-ahead log of JSONL records plus periodically
+// compacted snapshots, both living in one data directory. Every mutating
+// operation is appended (and optionally fsynced) before it is applied, so a
+// process that crashes — or is killed — can rebuild its exact state by
+// loading the last snapshot and replaying the journal tail.
+//
+// On-disk layout:
+//
+//	<dir>/journal.jsonl   one framed record per line (see below)
+//	<dir>/snapshot.json   {"seq": N, "savedAt": ..., "state": <opaque JSON>}
+//
+// Each journal line is framed as
+//
+//	crc32(8 hex digits) SP <record JSON> LF
+//
+// where the checksum covers the JSON bytes. A torn or corrupted final
+// record — the expected outcome of a crash mid-write — fails its checksum
+// (or never reaches its newline) and is dropped on open; every complete
+// record before it is recovered. Snapshots are written to a temporary file,
+// fsynced and renamed, so they are atomic; records already covered by the
+// snapshot carry a sequence number at or below the snapshot's and are
+// skipped during replay, which makes a crash between the snapshot rename
+// and the journal rewrite harmless.
+//
+// The package knows nothing about the operations it stores: records are an
+// (op, opaque JSON) pair with a sequence number, and snapshots are opaque
+// bytes. The server layers its own semantics on top.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+// The fsync policies.
+const (
+	// SyncAlways fsyncs after every append: no acknowledged write is ever
+	// lost, at the cost of one fsync per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncInterval, bounding
+	// the window of acknowledged-but-unsynced records after an OS crash.
+	// (A process crash alone loses nothing: the records are already in
+	// the page cache.)
+	SyncInterval
+	// SyncNever leaves syncing to the operating system.
+	SyncNever
+)
+
+// String names the policy as the -fsync flag spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy reads a -fsync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("journal: bad fsync policy %q (want always, interval or never)", s)
+}
+
+// Hooks injects faults into the journal's file operations; tests use them
+// to kill writes mid-record, fill the disk and break fsync. Production code
+// leaves them nil.
+type Hooks struct {
+	// BeforeAppend sees every framed line about to be written and returns
+	// how many of its bytes to actually write plus an error. (len(line),
+	// nil) is a no-op; (n < len(line), err) simulates a torn write — the
+	// prefix hits the file, the append fails; (0, err) simulates a full
+	// disk that accepted nothing.
+	BeforeAppend func(line []byte) (int, error)
+	// BeforeSync, when it returns an error, fails the fsync.
+	BeforeSync func() error
+}
+
+// Options parameterizes Open.
+type Options struct {
+	Sync SyncPolicy
+	// SyncInterval is the minimum spacing between fsyncs under
+	// SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	Hooks        Hooks
+}
+
+// Record is one journaled operation.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Op   string          `json:"op"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+type snapshotFile struct {
+	Seq     uint64          `json:"seq"`
+	SavedAt time.Time       `json:"savedAt"`
+	State   json.RawMessage `json:"state"`
+}
+
+// Journal is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	offset int64 // file length through the last complete record
+	seq    uint64
+	broken error // sticky failure: appends are refused once set
+
+	snapSeq   uint64
+	snapState []byte
+	snapTime  time.Time
+
+	records      []Record // replay tail loaded by Open
+	droppedBytes int64    // torn/corrupt tail bytes discarded by Open
+
+	appends      uint64
+	sinceCompact uint64
+	lastSync     time.Time
+	dirty        bool
+
+	// observe, when set, is called after every append attempt with the
+	// fsync duration (zero when no sync ran) and the append's error.
+	observe func(fsync time.Duration, err error)
+}
+
+// Open creates the directory if needed, loads the snapshot, scans the
+// journal — dropping a torn or corrupt tail — and returns a journal ready
+// for appends. The recovered snapshot and records are available through
+// Snapshot and Records.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, snapTime: time.Now(), lastSync: time.Now()}
+
+	snapPath := filepath.Join(dir, snapshotName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("journal: corrupt snapshot %s: %w", snapPath, err)
+		}
+		j.snapSeq, j.snapState = snap.Seq, snap.State
+		if !snap.SavedAt.IsZero() {
+			j.snapTime = snap.SavedAt
+		}
+		j.seq = snap.Seq
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	if err := j.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// scan reads the journal from the start, keeping complete records newer
+// than the snapshot and truncating anything after the first bad frame.
+func (j *Journal) scan() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("journal: read %s: %w", j.f.Name(), err)
+	}
+	valid := int64(0)
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn final record: no newline
+		}
+		rec, err := parseLine(data[off : off+nl])
+		if err != nil {
+			break // corrupt frame: drop it and everything after
+		}
+		off += nl + 1
+		valid = int64(off)
+		if rec.Seq <= j.snapSeq {
+			continue // already covered by the snapshot
+		}
+		j.records = append(j.records, rec)
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+	}
+	j.droppedBytes = int64(len(data)) - valid
+	j.offset = valid
+	if j.droppedBytes > 0 {
+		if err := j.f.Truncate(valid); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// frameLine renders a record as its checksummed journal line.
+func frameLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseLine validates one journal line (without its newline).
+func parseLine(line []byte) (Record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, fmt.Errorf("journal: malformed frame")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("journal: malformed checksum: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return Record{}, fmt.Errorf("journal: checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, fmt.Errorf("journal: decode record: %w", err)
+	}
+	return rec, nil
+}
+
+// SetObserver installs the append/fsync metrics hook (call before the
+// journal is shared). The observer must not call back into the journal.
+func (j *Journal) SetObserver(fn func(fsync time.Duration, err error)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.observe = fn
+}
+
+// Append journals one operation, fsyncing per the configured policy, and
+// returns the record's sequence number. The record is durable (to the
+// policy's guarantee) before Append returns, so callers append first and
+// apply to memory second. A failed append leaves the journal consistent
+// when the partial write can be rolled back; when it cannot, the journal
+// turns sticky-broken and every later append fails fast.
+func (j *Journal) Append(op string, v any) (uint64, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("journal: encode %s: %w", op, err)
+	}
+	j.mu.Lock()
+	seq, fsync, err := j.appendLocked(op, data)
+	observe := j.observe
+	j.mu.Unlock()
+	if observe != nil {
+		observe(fsync, err)
+	}
+	return seq, err
+}
+
+func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, error) {
+	if j.broken != nil {
+		return 0, 0, j.broken
+	}
+	rec := Record{Seq: j.seq + 1, Op: op, Data: data}
+	line, err := frameLine(rec)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := len(line)
+	var hookErr error
+	if hook := j.opts.Hooks.BeforeAppend; hook != nil {
+		n, hookErr = hook(line)
+		if n > len(line) {
+			n = len(line)
+		}
+	}
+	var wrote int
+	if n > 0 {
+		wrote, err = j.f.Write(line[:n])
+	}
+	if hookErr != nil && err == nil {
+		err = hookErr
+	}
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		// Roll the torn prefix back so the log stays well-formed; if even
+		// that fails the journal is done for.
+		if wrote > 0 {
+			if terr := j.f.Truncate(j.offset); terr != nil {
+				j.broken = fmt.Errorf("journal: unrecoverable after failed append: %w", terr)
+			} else {
+				_, _ = j.f.Seek(j.offset, io.SeekStart)
+			}
+		}
+		return 0, 0, fmt.Errorf("journal: append %s: %w", op, err)
+	}
+	j.offset += int64(len(line))
+	j.seq = rec.Seq
+	j.appends++
+	j.sinceCompact++
+	j.dirty = true
+	fsync, err := j.maybeSyncLocked(false)
+	if err != nil {
+		return rec.Seq, fsync, fmt.Errorf("journal: sync after %s: %w", op, err)
+	}
+	return rec.Seq, fsync, nil
+}
+
+// maybeSyncLocked fsyncs per policy (or unconditionally when force is set),
+// returning how long the fsync took.
+func (j *Journal) maybeSyncLocked(force bool) (time.Duration, error) {
+	if !j.dirty {
+		return 0, nil
+	}
+	switch {
+	case force || j.opts.Sync == SyncAlways:
+	case j.opts.Sync == SyncInterval && time.Since(j.lastSync) >= j.opts.SyncInterval:
+	default:
+		return 0, nil
+	}
+	if hook := j.opts.Hooks.BeforeSync; hook != nil {
+		if err := hook(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if err := j.f.Sync(); err != nil {
+		return 0, err
+	}
+	j.lastSync = time.Now()
+	j.dirty = false
+	return time.Since(start), nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return j.broken
+	}
+	_, err := j.maybeSyncLocked(true)
+	return err
+}
+
+// Compact writes state as the new snapshot covering every record with
+// sequence number at most uptoSeq, then rewrites the journal keeping only
+// newer records. The caller guarantees that state reflects exactly the
+// operations through uptoSeq; records appended concurrently (they carry
+// higher sequence numbers) survive the rewrite.
+func (j *Journal) Compact(state []byte, uptoSeq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return j.broken
+	}
+	// 1. Atomically publish the snapshot.
+	snap, err := json.Marshal(snapshotFile{Seq: uptoSeq, SavedAt: time.Now().UTC(), State: state})
+	if err != nil {
+		return fmt.Errorf("journal: encode snapshot: %w", err)
+	}
+	snapPath := filepath.Join(j.dir, snapshotName)
+	if err := writeFileSync(snapPath, snap); err != nil {
+		return err
+	}
+
+	// 2. Rewrite the journal without the records the snapshot covers. A
+	// crash anywhere in here is safe: replay skips records at or below the
+	// published snapshot's sequence number.
+	if _, err := j.maybeSyncLocked(true); err != nil {
+		return fmt.Errorf("journal: sync before compact: %w", err)
+	}
+	path := filepath.Join(j.dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var keep []byte
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[off : off+nl+1]
+		off += nl + 1
+		rec, err := parseLine(line[:len(line)-1])
+		if err != nil {
+			break
+		}
+		if rec.Seq > uptoSeq {
+			keep = append(keep, line...)
+		}
+	}
+	if err := writeFileSync(path+".tmp", keep); err != nil {
+		return err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		j.broken = fmt.Errorf("journal: reopen after compact: %w", err)
+		return j.broken
+	}
+	j.f.Close()
+	j.f = nf
+	j.offset = int64(len(keep))
+	j.snapSeq, j.snapState, j.snapTime = uptoSeq, state, time.Now()
+	j.sinceCompact = 0
+	j.dirty = false
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	tmp := path
+	final := ""
+	if filepath.Ext(path) != ".tmp" {
+		tmp, final = path+".tmp", path
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close %s: %w", tmp, err)
+	}
+	if final != "" {
+		if err := os.Rename(tmp, final); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the state bytes loaded from the snapshot file at Open
+// (or written by the latest Compact), with ok false when none exists.
+func (j *Journal) Snapshot() (state []byte, seq uint64, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapState, j.snapSeq, j.snapState != nil
+}
+
+// Records returns the replay tail recovered by Open: every complete record
+// newer than the snapshot, in log order.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// DroppedBytes reports how many torn or corrupt tail bytes Open discarded.
+func (j *Journal) DroppedBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.droppedBytes
+}
+
+// Seq returns the last assigned sequence number.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Appends returns the number of records appended since Open.
+func (j *Journal) Appends() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// SinceCompact returns the number of records appended since the last
+// compaction (or Open), the compaction trigger.
+func (j *Journal) SinceCompact() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sinceCompact
+}
+
+// SnapshotTime returns when the current snapshot was written (the open
+// time when there is none), for the snapshot-age gauge.
+func (j *Journal) SnapshotTime() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapTime
+}
+
+// Close syncs (best effort) and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	_, serr := j.maybeSyncLocked(true)
+	cerr := j.f.Close()
+	j.f = nil
+	j.broken = fmt.Errorf("journal: closed")
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// CloseAbrupt closes the journal file without syncing — the crash-test
+// hook: whatever the OS has is what the next Open sees.
+func (j *Journal) CloseAbrupt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.broken = fmt.Errorf("journal: closed")
+}

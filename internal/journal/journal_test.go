@@ -1,0 +1,185 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type op struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := j.Append("op", op{Name: "x", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncAlways})
+	seq1, err := j.Append("add", op{Name: "a", N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := j.Append("remove", op{Name: "b", N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 != 1 || seq2 != 2 {
+		t.Fatalf("seqs = %d, %d", seq1, seq2)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	recs := j2.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	if recs[0].Op != "add" || recs[1].Op != "remove" {
+		t.Errorf("ops = %s, %s", recs[0].Op, recs[1].Op)
+	}
+	var o op
+	if err := json.Unmarshal(recs[1].Data, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "b" || o.N != 2 {
+		t.Errorf("data = %+v", o)
+	}
+	if j2.DroppedBytes() != 0 {
+		t.Errorf("dropped %d bytes from a clean log", j2.DroppedBytes())
+	}
+	// Appends continue the sequence.
+	if seq, err := j2.Append("more", op{}); err != nil || seq != 3 {
+		t.Fatalf("next append = %d, %v", seq, err)
+	}
+}
+
+func TestCompactKeepsNewerRecords(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncNever})
+	appendN(t, j, 5)
+	// Snapshot covering the first three records only.
+	if err := j.Compact([]byte(`{"through":3}`), 3); err != nil {
+		t.Fatal(err)
+	}
+	if j.SinceCompact() != 0 {
+		t.Errorf("sinceCompact = %d", j.SinceCompact())
+	}
+	appendN(t, j, 1) // seq 6
+	j.Close()
+
+	j2 := mustOpen(t, dir, Options{})
+	state, seq, ok := j2.Snapshot()
+	if !ok || seq != 3 || string(state) != `{"through":3}` {
+		t.Fatalf("snapshot = %q seq %d ok %v", state, seq, ok)
+	}
+	recs := j2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("replay tail has %d records, want 3 (seqs 4..6)", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(4+i) {
+			t.Errorf("record %d seq = %d", i, rec.Seq)
+		}
+	}
+}
+
+func TestStaleRecordsSkippedAfterCompactionCrash(t *testing.T) {
+	// Simulate a crash between the snapshot rename and the journal
+	// rewrite: the snapshot covers records that are still in the journal.
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	appendN(t, j, 4)
+	j.Close()
+
+	snap, err := json.Marshal(snapshotFile{Seq: 4, SavedAt: time.Now(), State: []byte(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	if recs := j2.Records(); len(recs) != 0 {
+		t.Fatalf("replayed %d stale records, want 0", len(recs))
+	}
+	if j2.Seq() != 4 {
+		t.Errorf("seq = %d, want 4", j2.Seq())
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			j := mustOpen(t, dir, Options{Sync: policy, SyncInterval: time.Hour})
+			appendN(t, j, 3)
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			j2 := mustOpen(t, dir, Options{})
+			if len(j2.Records()) != 3 {
+				t.Errorf("recovered %d records", len(j2.Records()))
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, want := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(want.String())
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%s) = %v, %v", want, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestObserverSeesAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncAlways})
+	var calls int
+	var failures int
+	j.SetObserver(func(fsync time.Duration, err error) {
+		calls++
+		if err != nil {
+			failures++
+		}
+	})
+	appendN(t, j, 2)
+	if calls != 2 || failures != 0 {
+		t.Errorf("observer calls = %d failures = %d", calls, failures)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), Options{})
+	j.Close()
+	if _, err := j.Append("op", op{}); err == nil {
+		t.Error("append after close succeeded")
+	}
+}

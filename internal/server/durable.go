@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ecr"
+	"repro/internal/journal"
+	"repro/internal/session"
+)
+
+// The journaled operations. Store mutations are written ahead of being
+// applied; job records trace each job's lifecycle (a job whose trace stops
+// at "submitted" is re-enqueued on recovery, one stopped at "started"
+// comes back interrupted).
+const (
+	opAddSchemas   = "add_schemas"
+	opRemoveSchema = "remove_schema"
+	opDeclareEquiv = "declare_equiv"
+	opAssert       = "assert"
+	opJobSubmit    = "job_submit"
+	opJobStart     = "job_start"
+	opJobFinish    = "job_finish"
+)
+
+type addSchemasRec struct {
+	// Schemas carries each schema in the ECR JSON encoding.
+	Schemas []json.RawMessage `json:"schemas"`
+}
+
+type removeSchemaRec struct {
+	Name string `json:"name"`
+}
+
+type declareEquivRec struct {
+	Schema1 string `json:"schema1"`
+	Attr1   string `json:"attr1"`
+	Schema2 string `json:"schema2"`
+	Attr2   string `json:"attr2"`
+}
+
+type assertRec struct {
+	Schema1 string `json:"schema1"`
+	Object1 string `json:"object1"`
+	Code    int    `json:"code"`
+	Schema2 string `json:"schema2"`
+	Object2 string `json:"object2"`
+	Rel     bool   `json:"rel,omitempty"`
+}
+
+type jobSubmitRec struct {
+	ID      string     `json:"id"`
+	Request JobRequest `json:"request"`
+	Created time.Time  `json:"created"`
+}
+
+type jobStartRec struct {
+	ID      string    `json:"id"`
+	Started time.Time `json:"started"`
+}
+
+type jobFinishRec struct {
+	ID       string             `json:"id"`
+	State    JobState           `json:"state"`
+	Error    string             `json:"error,omitempty"`
+	Result   *IntegrationResult `json:"result,omitempty"`
+	Finished time.Time          `json:"finished"`
+}
+
+// persistedState is the snapshot body: the full workspace (in the saved-
+// workspace encoding the interactive tool also uses) plus the job table.
+type persistedState struct {
+	Workspace json.RawMessage `json:"workspace,omitempty"`
+	Jobs      []Job           `json:"jobs,omitempty"`
+	NextJobID int             `json:"nextJobId"`
+}
+
+// DurabilityConfig parameterizes the server's journal.
+type DurabilityConfig struct {
+	// Dir is the data directory (journal + snapshot). Required.
+	Dir string
+	// Sync is the fsync policy (default SyncAlways).
+	Sync journal.SyncPolicy
+	// SyncInterval spaces fsyncs under journal.SyncInterval.
+	SyncInterval time.Duration
+	// SnapshotEvery compacts the journal into a fresh snapshot after this
+	// many appended records (default 256).
+	SnapshotEvery int
+	// Hooks injects faults (tests only).
+	Hooks journal.Hooks
+}
+
+// RecoveryReport summarizes what Open rebuilt from the data directory.
+type RecoveryReport struct {
+	// SnapshotSeq is the sequence number the loaded snapshot covered (0
+	// when none existed).
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// ReplayedRecords counts journal records applied on top.
+	ReplayedRecords int `json:"replayedRecords"`
+	// DroppedBytes counts torn/corrupt tail bytes discarded.
+	DroppedBytes int64 `json:"droppedBytes"`
+	// RecoveredWorkspaces is 1 when any state was rebuilt (the server
+	// holds one workspace; the metric is future-proofed for sharding).
+	RecoveredWorkspaces int `json:"recoveredWorkspaces"`
+	// Schemas counts schemas in the rebuilt workspace.
+	Schemas int `json:"schemas"`
+	// RecoveredJobs counts job records rebuilt into the job table.
+	RecoveredJobs int `json:"recoveredJobs"`
+	// RequeuedJobs were queued at crash time and run again now.
+	RequeuedJobs int `json:"requeuedJobs"`
+	// InterruptedJobs were running at crash time; they are terminal with
+	// a retryable error.
+	InterruptedJobs int `json:"interruptedJobs"`
+}
+
+// Open builds a durable Server: it opens (or creates) the data directory's
+// journal, rebuilds the workspace and job table from snapshot + journal
+// tail, re-enqueues jobs that were still queued, marks jobs that were
+// running as interrupted, and returns the server with write-ahead
+// journaling armed on every mutating path.
+func Open(cfg Config, dcfg DurabilityConfig) (*Server, *RecoveryReport, error) {
+	if dcfg.Dir == "" {
+		return nil, nil, fmt.Errorf("server: durability needs a data directory")
+	}
+	if dcfg.SnapshotEvery <= 0 {
+		dcfg.SnapshotEvery = 256
+	}
+	j, err := journal.Open(dcfg.Dir, journal.Options{
+		Sync: dcfg.Sync, SyncInterval: dcfg.SyncInterval, Hooks: dcfg.Hooks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	report := &RecoveryReport{}
+	ws := session.NewWorkspace()
+	var jobs []Job
+	byID := map[string]int{}
+	nextID := 0
+	if state, seq, ok := j.Snapshot(); ok {
+		var ps persistedState
+		if err := json.Unmarshal(state, &ps); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("server: decode snapshot state: %w", err)
+		}
+		if len(ps.Workspace) > 0 {
+			if ws, err = session.Unmarshal(ps.Workspace); err != nil {
+				j.Close()
+				return nil, nil, fmt.Errorf("server: rebuild workspace from snapshot: %w", err)
+			}
+		}
+		for _, job := range ps.Jobs {
+			byID[job.ID] = len(jobs)
+			jobs = append(jobs, job)
+		}
+		nextID = ps.NextJobID
+		report.SnapshotSeq = seq
+	}
+
+	store := NewStoreFrom(ws)
+	for _, rec := range j.Records() {
+		if err := applyRecord(store, rec, byID, &jobs, &nextID); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("server: replay journal record %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+		report.ReplayedRecords++
+	}
+	report.DroppedBytes = j.DroppedBytes()
+	report.Schemas = len(store.SchemaNames())
+	report.RecoveredJobs = len(jobs)
+	if report.Schemas > 0 || len(jobs) > 0 {
+		report.RecoveredWorkspaces = 1
+	}
+
+	cfg.Store = store
+	s := New(cfg)
+	s.attachJournal(j, dcfg, report, jobs, nextID)
+	return s, report, nil
+}
+
+// applyRecord replays one journal record against the store being rebuilt
+// (store journaling is not armed yet, so nothing is re-journaled).
+func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]Job, nextID *int) error {
+	switch rec.Op {
+	case opAddSchemas:
+		var r addSchemasRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		schemas := make([]*ecr.Schema, 0, len(r.Schemas))
+		for _, raw := range r.Schemas {
+			s, err := ecr.DecodeJSON(raw)
+			if err != nil {
+				return err
+			}
+			schemas = append(schemas, s)
+		}
+		_, err := store.AddSchemas(schemas)
+		return err
+	case opRemoveSchema:
+		var r removeSchemaRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		_, err := store.RemoveSchema(r.Name)
+		return err
+	case opDeclareEquiv:
+		var r declareEquivRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		return store.DeclareEquivalence(r.Schema1, r.Attr1, r.Schema2, r.Attr2)
+	case opAssert:
+		var r assertRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		_, err := store.Assert(r.Schema1, r.Object1, r.Code, r.Schema2, r.Object2, r.Rel)
+		return err
+	case opJobSubmit:
+		var r jobSubmitRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		byID[r.ID] = len(*jobs)
+		*jobs = append(*jobs, Job{ID: r.ID, Request: r.Request, State: JobQueued, Created: r.Created})
+		if n, err := strconv.Atoi(strings.TrimPrefix(r.ID, "job-")); err == nil && n > *nextID {
+			*nextID = n
+		}
+		return nil
+	case opJobStart:
+		var r jobStartRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		if i, ok := byID[r.ID]; ok {
+			(*jobs)[i].State = JobRunning
+			(*jobs)[i].Started = &r.Started
+		}
+		return nil
+	case opJobFinish:
+		var r jobFinishRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		if i, ok := byID[r.ID]; ok {
+			(*jobs)[i].State = r.State
+			(*jobs)[i].Error = r.Error
+			(*jobs)[i].Result = r.Result
+			(*jobs)[i].Finished = &r.Finished
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown operation")
+}
+
+// persister owns the server side of the journal: the compaction loop and
+// the shutdown/crash teardown.
+type persister struct {
+	j        *journal.Journal
+	every    int
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// stopLoop halts the compaction loop and waits for it to exit; safe to
+// call more than once (Shutdown and Kill both do).
+func (p *persister) stopLoop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+func (s *Server) attachJournal(j *journal.Journal, dcfg DurabilityConfig, report *RecoveryReport, jobs []Job, nextID int) {
+	p := &persister{j: j, every: dcfg.SnapshotEvery, stop: make(chan struct{}), done: make(chan struct{})}
+	s.persist = p
+
+	j.SetObserver(func(fsync time.Duration, err error) {
+		s.metrics.ObserveJournalAppend(fsync, err)
+	})
+	appendFn := func(op string, v any) error {
+		_, err := j.Append(op, v)
+		return err
+	}
+	s.store.SetPersist(appendFn)
+	s.queue.SetPersist(appendFn, func(err error) {
+		if s.log != nil {
+			s.log.Error("journal append", "error", err)
+		}
+	})
+
+	// Seed the job table before the server sees traffic; requeued jobs
+	// start executing (and journaling) immediately, which is why the
+	// hooks above are armed first.
+	report.RequeuedJobs, report.InterruptedJobs = s.queue.Restore(jobs, nextID)
+	s.metrics.SetDurability(report.RecoveredWorkspaces, report.RecoveredJobs, func() float64 {
+		return time.Since(j.SnapshotTime()).Seconds()
+	})
+	go p.loop(s)
+}
+
+// loop compacts the journal into a fresh snapshot whenever enough records
+// have accumulated.
+func (p *persister) loop(s *Server) {
+	defer close(p.done)
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			if p.j.SinceCompact() >= uint64(p.every) {
+				if err := s.Compact(); err != nil && s.log != nil {
+					s.log.Error("compact", "error", err)
+				}
+			}
+		}
+	}
+}
+
+// Compact snapshots the full server state (workspace + job table) and
+// truncates the journal to the records the snapshot does not cover. Safe
+// to call concurrently with traffic: the store lock blocks store appends
+// for the duration, and queue records appended mid-compaction carry higher
+// sequence numbers, so the rewrite keeps them and replay — which is
+// idempotent for job records — stays correct.
+func (s *Server) Compact() error {
+	if s.persist == nil {
+		return nil
+	}
+	st := s.store
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Order matters: read the sequence number first, then capture state.
+	// Every record at or below uptoSeq is fully reflected in the captured
+	// state; records landing after the read are preserved by Compact.
+	uptoSeq := s.persist.j.Seq()
+	wsData, err := session.Marshal(st.ws)
+	if err != nil {
+		return err
+	}
+	jobs, nextID := s.queue.snapshotState()
+	state, err := json.Marshal(persistedState{Workspace: wsData, Jobs: jobs, NextJobID: nextID})
+	if err != nil {
+		return err
+	}
+	if err := s.persist.j.Compact(state, uptoSeq); err != nil {
+		return err
+	}
+	s.metrics.ObserveCompaction()
+	return nil
+}
+
+// Journal exposes the underlying journal (tests, diagnostics); nil when
+// the server is not durable.
+func (s *Server) Journal() *journal.Journal {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.j
+}
+
+// Kill tears the server down as a crash would: no drain, no final
+// compaction, no journal sync. The data directory is left exactly as the
+// write-ahead log put it — which is the point; tests restart from it.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	srv, ln := s.httpSrv, s.listener
+	s.httpSrv, s.listener = nil, nil
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	} else if ln != nil {
+		ln.Close()
+	}
+	if s.persist != nil {
+		s.persist.stopLoop()
+		// Close the journal fd first: any worker still finishing a job
+		// fails its append harmlessly instead of writing past the "crash".
+		s.persist.j.CloseAbrupt()
+	}
+	s.queue.Kill()
+}

@@ -84,10 +84,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// errStatus maps a pipeline error onto an HTTP status: missing structures
-// are 404, everything else is the caller's fault.
+// errStatus maps a pipeline error onto an HTTP status: durability failures
+// are 503 (the request was valid; the journal could not record it), missing
+// structures are 404, everything else is the caller's fault.
 func errStatus(err error) int {
-	if strings.Contains(err.Error(), "not found") {
+	msg := err.Error()
+	if strings.Contains(msg, "journal:") {
+		return http.StatusServiceUnavailable
+	}
+	if strings.Contains(msg, "not found") {
 		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
@@ -158,7 +163,11 @@ func (s *Server) handleSchemasPost(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("request needs a ddl or schema field")
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "journal:") {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"added": added})
@@ -193,7 +202,12 @@ func (s *Server) handleSchemaGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSchemaDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.store.RemoveSchema(name) {
+	found, err := s.store.RemoveSchema(name)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if !found {
 		writeError(w, http.StatusNotFound, fmt.Errorf("schema %q not found", name))
 		return
 	}
@@ -405,6 +419,30 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, result)
 }
 
+// retryAfterSeconds estimates how long a rejected submitter should back
+// off before the queue has room: the current backlog divided across the
+// worker pool, paced by the mean observed integration latency (1s when the
+// histogram is still empty), clamped to [1s, 300s].
+func (s *Server) retryAfterSeconds() int {
+	mean := s.metrics.IntegrationLatency.Mean()
+	if mean <= 0 {
+		mean = 1
+	}
+	depth := s.queue.Depth()
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	secs := int(mean*float64(depth)/float64(workers) + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
 func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if !decodeBody(w, r, &req) {
@@ -413,7 +451,12 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	job, err := s.queue.Submit(req)
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "queue is full") || strings.Contains(err.Error(), "shut down") {
+		msg := err.Error()
+		switch {
+		case strings.Contains(msg, "queue is full"):
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		case strings.Contains(msg, "shut down"), strings.Contains(msg, "journal unavailable"):
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)

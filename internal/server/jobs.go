@@ -8,7 +8,7 @@ import (
 )
 
 // JobState is a job's lifecycle position. Queued and Running are
-// transient; Done, Failed and Canceled are terminal.
+// transient; Done, Failed, Canceled and Interrupted are terminal.
 type JobState string
 
 // The job states.
@@ -18,12 +18,19 @@ const (
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
+	// JobInterrupted marks a job that was running when the process died
+	// (or was torn down); the work may or may not have completed, so the
+	// job is safe to resubmit — integration is idempotent.
+	JobInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCanceled
+	return s == JobDone || s == JobFailed || s == JobCanceled || s == JobInterrupted
 }
+
+// Retryable reports whether resubmitting the job's request makes sense.
+func (s JobState) Retryable() bool { return s == JobInterrupted || s == JobCanceled }
 
 // JobRequest is the payload of one integration job. Exactly one of two
 // forms is used: Spec carries a self-contained batch specification
@@ -96,6 +103,16 @@ type Queue struct {
 	// observe, when set, is called after every state transition with a
 	// snapshot (metrics hook).
 	observe func(Job)
+
+	// persist, when set, journals submissions (write-ahead, before the
+	// job enters the buffer) and start/finish transitions. Cancellations
+	// caused by queue teardown are deliberately not journaled: a job whose
+	// log ends at "submitted" is re-enqueued by the next process, one
+	// whose log ends at "started" comes back as interrupted.
+	persist func(op string, v any) error
+	// persistErr receives journal failures on paths that cannot reject
+	// (state transitions); nil drops them.
+	persistErr func(error)
 }
 
 // NewQueue starts a queue with the given worker count and buffer capacity.
@@ -125,6 +142,16 @@ func NewQueue(workers, capacity int, timeout time.Duration, exec JobExecutor) *Q
 // SetObserver installs a state-transition hook (call before serving).
 func (q *Queue) SetObserver(fn func(Job)) { q.observe = fn }
 
+// SetPersist installs the journaling hooks (call before serving). onErr
+// receives journal failures from state transitions, which cannot be
+// rejected; submission failures are returned to the submitter instead.
+func (q *Queue) SetPersist(fn func(op string, v any) error, onErr func(error)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.persist = fn
+	q.persistErr = onErr
+}
+
 // Submit validates and enqueues a job, returning its snapshot. It fails
 // when the queue buffer is full or the queue is shut down.
 func (q *Queue) Submit(req JobRequest) (Job, error) {
@@ -136,6 +163,14 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 		q.mu.Unlock()
 		return Job{}, fmt.Errorf("server: queue is shut down")
 	}
+	// Reject a full buffer before journaling, so a rejected job never
+	// reaches the log (and would not be resurrected on restart). Workers
+	// only drain the buffer, so the room observed here cannot vanish
+	// before the send below.
+	if len(q.jobs) == cap(q.jobs) {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("server: job queue is full (capacity %d)", cap(q.jobs))
+	}
 	q.nextID++
 	job := &Job{
 		ID:      fmt.Sprintf("job-%d", q.nextID),
@@ -143,10 +178,18 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 		State:   JobQueued,
 		Created: time.Now().UTC(),
 	}
+	if q.persist != nil {
+		if err := q.persist(opJobSubmit, jobSubmitRec{ID: job.ID, Request: req, Created: job.Created}); err != nil {
+			q.nextID-- // not enqueued; reuse the ID
+			q.mu.Unlock()
+			return Job{}, fmt.Errorf("server: job not accepted, journal unavailable: %w", err)
+		}
+	}
 	select {
 	case q.jobs <- job:
 	default:
-		q.nextID-- // not enqueued; reuse the ID
+		// Unreachable: capacity was checked under the lock above.
+		q.nextID--
 		q.mu.Unlock()
 		return Job{}, fmt.Errorf("server: job queue is full (capacity %d)", cap(q.jobs))
 	}
@@ -194,14 +237,30 @@ func (q *Queue) notify(snap Job) {
 	}
 }
 
-// transition updates a job under the lock and reports the snapshot.
-func (q *Queue) transition(job *Job, fn func(*Job)) {
+// transition updates a job under the lock, journals it under persistOp
+// (when set and a journal is attached) and reports the snapshot. Holding
+// the lock across the journal append keeps the log order identical to the
+// in-memory order.
+func (q *Queue) transition(job *Job, persistOp string, fn func(*Job)) {
 	q.mu.Lock()
 	fn(job)
 	if job.State.Terminal() {
 		q.depth--
 	}
 	snap := *job
+	if persistOp != "" && q.persist != nil {
+		var rec any
+		switch persistOp {
+		case opJobStart:
+			rec = jobStartRec{ID: snap.ID, Started: *snap.Started}
+		case opJobFinish:
+			rec = jobFinishRec{ID: snap.ID, State: snap.State, Error: snap.Error,
+				Result: snap.Result, Finished: *snap.Finished}
+		}
+		if err := q.persist(persistOp, rec); err != nil && q.persistErr != nil {
+			q.persistErr(err)
+		}
+	}
 	q.mu.Unlock()
 	q.notify(snap)
 }
@@ -223,7 +282,10 @@ func (q *Queue) worker(ctx context.Context) {
 
 func (q *Queue) runOne(ctx context.Context, job *Job) {
 	if ctx.Err() != nil {
-		q.transition(job, func(j *Job) {
+		// Queue torn down before the job ran. With a journal attached the
+		// job stays "queued" on disk (no terminal record) and the next
+		// process re-enqueues it; in memory it reads canceled.
+		q.transition(job, "", func(j *Job) {
 			j.State = JobCanceled
 			j.Error = "queue shut down before the job ran"
 			now := time.Now().UTC()
@@ -231,7 +293,7 @@ func (q *Queue) runOne(ctx context.Context, job *Job) {
 		})
 		return
 	}
-	q.transition(job, func(j *Job) {
+	q.transition(job, opJobStart, func(j *Job) {
 		j.State = JobRunning
 		now := time.Now().UTC()
 		j.Started = &now
@@ -243,7 +305,19 @@ func (q *Queue) runOne(ctx context.Context, job *Job) {
 		defer cancel()
 	}
 	res, err := q.exec(runCtx, job.Request)
-	q.transition(job, func(j *Job) {
+	if err != nil && ctx.Err() != nil {
+		// The queue's own context died mid-run (shutdown or Kill), not the
+		// per-job timeout. Journaling no finish record leaves the log at
+		// "started", which replays as interrupted — exactly what happened.
+		q.transition(job, "", func(j *Job) {
+			j.State = JobInterrupted
+			j.Error = "job interrupted by shutdown; resubmit to retry"
+			now := time.Now().UTC()
+			j.Finished = &now
+		})
+		return
+	}
+	q.transition(job, opJobFinish, func(j *Job) {
 		now := time.Now().UTC()
 		j.Finished = &now
 		if err != nil {
@@ -282,9 +356,12 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 		q.cancel() // force workers to stop at the next checkpoint
 		<-done
 	}
-	// Anything still buffered never ran.
+	// Anything still buffered never ran. The journal keeps these at
+	// "submitted" — no terminal record is written — so a durable queue's
+	// leftovers are re-enqueued by the next process; in memory they read
+	// canceled either way.
 	for job := range q.jobs {
-		q.transition(job, func(j *Job) {
+		q.transition(job, "", func(j *Job) {
 			j.State = JobCanceled
 			j.Error = "queue shut down before the job ran"
 			now := time.Now().UTC()
@@ -293,4 +370,69 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 	}
 	q.cancel()
 	return err
+}
+
+// Kill tears the queue down without draining: intake closes and the worker
+// context is canceled immediately. Used by Server.Kill to simulate a
+// crash; jobs in flight become interrupted in memory and stay "started" in
+// the journal.
+func (q *Queue) Kill() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs)
+	}
+	q.mu.Unlock()
+	q.cancel()
+	q.wg.Wait()
+}
+
+// Restore seeds the queue with jobs recovered from the journal, before the
+// queue is exposed to traffic. Queued (and running — i.e. interrupted mid-
+// flight) jobs are re-enqueued or marked interrupted; terminal jobs keep
+// their recorded state. nextID continues the recovered ID sequence.
+func (q *Queue) Restore(jobs []Job, nextID int) (requeued, interrupted int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if nextID > q.nextID {
+		q.nextID = nextID
+	}
+	for i := range jobs {
+		job := jobs[i] // private copy; the queue owns the live record
+		switch job.State {
+		case JobQueued:
+			select {
+			case q.jobs <- &job:
+				q.depth++
+				requeued++
+			default:
+				// The recovered backlog exceeds this process's buffer.
+				job.State = JobInterrupted
+				job.Error = "job recovered but the queue buffer is smaller than the backlog; resubmit to retry"
+				now := time.Now().UTC()
+				job.Finished = &now
+				interrupted++
+			}
+		case JobRunning:
+			job.State = JobInterrupted
+			job.Error = "job interrupted by server restart; resubmit to retry"
+			now := time.Now().UTC()
+			job.Finished = &now
+			interrupted++
+		}
+		q.byID[job.ID] = &job
+		q.order = append(q.order, job.ID)
+	}
+	return requeued, interrupted
+}
+
+// snapshotState returns every job plus the ID counter for compaction.
+func (q *Queue) snapshotState() ([]Job, int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jobs := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		jobs = append(jobs, *q.byID[id])
+	}
+	return jobs, q.nextID
 }

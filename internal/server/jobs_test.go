@@ -1,8 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -163,6 +167,67 @@ func TestQueueShutdownDeadlineCancels(t *testing.T) {
 		if !job.State.Terminal() {
 			t.Errorf("job %s not terminal after forced shutdown: %s", id, job.State)
 		}
+	}
+}
+
+// TestQueueFullSetsRetryAfter checks that a 503 from a full queue carries
+// a Retry-After estimate derived from the backlog and the observed mean
+// integration latency.
+func TestQueueFullSetsRetryAfter(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	// Swap in a single-worker, single-slot queue whose job blocks, so the
+	// backlog is under test control.
+	block := make(chan struct{})
+	old := srv.queue
+	srv.queue = NewQueue(1, 1, 0, func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
+		select {
+		case <-block:
+			return &IntegrationResult{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	defer func() {
+		close(block)
+		srv.queue.Shutdown(context.Background())
+		old.Shutdown(context.Background())
+	}()
+	// Seed a known latency profile: mean 10s.
+	srv.metrics.IntegrationLatency.Observe(10 * time.Second)
+
+	req := JobRequest{Type: "integrate", Schema1: "a", Schema2: "b"}
+	if _, err := srv.queue.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pull job-1 off the buffer, then fill the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if job, _ := srv.queue.Get("job-1"); job.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job-1 never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := srv.queue.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// Depth 2 (one running, one buffered) x 10s mean / 1 worker = 20s.
+	if got := resp.Header.Get("Retry-After"); got != "20" {
+		t.Errorf("Retry-After = %q, want \"20\"", got)
 	}
 }
 

@@ -35,6 +35,17 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.n++
 }
 
+// Mean returns the average observed duration in seconds, or 0 when the
+// histogram is empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
 // HistogramSnapshot is the JSON form of a histogram.
 type HistogramSnapshot struct {
 	// Buckets maps each upper bound (seconds; the final entry is +Inf,
@@ -83,10 +94,22 @@ type Metrics struct {
 	started  time.Time
 	requests map[string]map[string]uint64 // route -> status class -> count
 	jobs     map[JobState]uint64
+	panics   uint64
+
+	// journal counters (durable servers only).
+	durable             bool
+	journalAppends      uint64
+	journalErrors       uint64
+	compactions         uint64
+	recoveredWorkspaces int
+	recoveredJobs       int
+	snapshotAge         func() float64
 
 	// IntegrationLatency times successful integration runs (sync and
 	// job-queue alike).
 	IntegrationLatency *Histogram
+	// JournalFsync times the fsyncs the write-ahead journal performs.
+	JournalFsync *Histogram
 
 	// queueDepth, when set, reports the live queue depth for snapshots.
 	queueDepth func() int
@@ -99,6 +122,7 @@ func NewMetrics() *Metrics {
 		requests:           map[string]map[string]uint64{},
 		jobs:               map[JobState]uint64{},
 		IntegrationLatency: NewHistogram(),
+		JournalFsync:       NewHistogram(),
 	}
 }
 
@@ -126,6 +150,46 @@ func (m *Metrics) ObserveJob(state JobState) {
 	m.jobs[state]++
 }
 
+// ObservePanic counts one recovered handler panic.
+func (m *Metrics) ObservePanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+// ObserveJournalAppend counts one journal append attempt, timing its fsync
+// (zero when the sync policy skipped it).
+func (m *Metrics) ObserveJournalAppend(fsync time.Duration, err error) {
+	m.mu.Lock()
+	if err != nil {
+		m.journalErrors++
+	} else {
+		m.journalAppends++
+	}
+	m.mu.Unlock()
+	if fsync > 0 {
+		m.JournalFsync.Observe(fsync)
+	}
+}
+
+// ObserveCompaction counts one successful snapshot compaction.
+func (m *Metrics) ObserveCompaction() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compactions++
+}
+
+// SetDurability marks the registry durable, recording the recovery counts
+// and wiring the snapshot-age gauge.
+func (m *Metrics) SetDurability(recoveredWorkspaces, recoveredJobs int, age func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = true
+	m.recoveredWorkspaces = recoveredWorkspaces
+	m.recoveredJobs = recoveredJobs
+	m.snapshotAge = age
+}
+
 func statusClass(status int) string {
 	switch {
 	case status >= 500:
@@ -145,7 +209,21 @@ type MetricsSnapshot struct {
 	Requests           map[string]map[string]uint64 `json:"requestsByRoute"`
 	Jobs               map[string]uint64            `json:"jobs"`
 	QueueDepth         int                          `json:"queueDepth"`
+	PanicsTotal        uint64                       `json:"panicsTotal"`
 	IntegrationLatency HistogramSnapshot            `json:"integrationLatency"`
+	// Journal is present only on durable servers (started with a data dir).
+	Journal *JournalSnapshot `json:"journal,omitempty"`
+}
+
+// JournalSnapshot is the durability section of the /metrics response.
+type JournalSnapshot struct {
+	AppendsTotal        uint64            `json:"journal_appends_total"`
+	ErrorsTotal         uint64            `json:"journal_errors_total"`
+	CompactionsTotal    uint64            `json:"compactions_total"`
+	FsyncSeconds        HistogramSnapshot `json:"journal_fsync_seconds"`
+	SnapshotAgeSeconds  float64           `json:"snapshot_age_seconds"`
+	RecoveredWorkspaces int               `json:"recovered_workspaces"`
+	RecoveredJobs       int               `json:"recovered_jobs"`
 }
 
 // Snapshot renders every metric at once.
@@ -165,16 +243,37 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	started := m.started
 	depthFn := m.queueDepth
+	panics := m.panics
+	var journal *JournalSnapshot
+	var ageFn func() float64
+	if m.durable {
+		journal = &JournalSnapshot{
+			AppendsTotal:        m.journalAppends,
+			ErrorsTotal:         m.journalErrors,
+			CompactionsTotal:    m.compactions,
+			RecoveredWorkspaces: m.recoveredWorkspaces,
+			RecoveredJobs:       m.recoveredJobs,
+		}
+		ageFn = m.snapshotAge
+	}
 	m.mu.Unlock()
 
 	snap := MetricsSnapshot{
 		UptimeSeconds:      time.Since(started).Seconds(),
 		Requests:           requests,
 		Jobs:               jobs,
+		PanicsTotal:        panics,
 		IntegrationLatency: m.IntegrationLatency.Snapshot(),
 	}
 	if depthFn != nil {
 		snap.QueueDepth = depthFn()
+	}
+	if journal != nil {
+		journal.FsyncSeconds = m.JournalFsync.Snapshot()
+		if ageFn != nil {
+			journal.SnapshotAgeSeconds = ageFn()
+		}
+		snap.Journal = journal
 	}
 	return snap
 }

@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
@@ -39,7 +41,31 @@ func instrument(route string, logger *slog.Logger, metrics *Metrics, timeout tim
 			r = r.WithContext(ctx)
 		}
 		rec := &statusRecorder{ResponseWriter: w}
-		next.ServeHTTP(rec, r)
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if metrics != nil {
+					metrics.ObservePanic()
+				}
+				if logger != nil {
+					logger.Error("panic in handler",
+						"route", route,
+						"panic", fmt.Sprint(v),
+						"stack", string(debug.Stack()),
+					)
+				}
+				// If the handler already started the response we can
+				// only drop the connection; otherwise answer 500.
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError,
+						fmt.Errorf("internal server error"))
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		}()
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}

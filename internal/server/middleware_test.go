@@ -74,6 +74,55 @@ func TestInstrumentAppliesTimeout(t *testing.T) {
 	}
 }
 
+func TestInstrumentRecoversPanic(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	m := NewMetrics()
+	h := instrument("GET /boom", logger, m, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "internal server error") {
+		t.Errorf("body = %q", body)
+	}
+	snap := m.Snapshot()
+	if snap.PanicsTotal != 1 {
+		t.Errorf("panicsTotal = %d", snap.PanicsTotal)
+	}
+	if snap.Requests["GET /boom"]["5xx"] != 1 {
+		t.Errorf("request metrics = %v", snap.Requests)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "kaboom") || !strings.Contains(log, "goroutine") {
+		t.Errorf("panic log missing value or stack: %s", log)
+	}
+}
+
+func TestInstrumentPanicAfterWriteKeepsStatus(t *testing.T) {
+	m := NewMetrics()
+	h := instrument("GET /late", nil, m, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("too late for a 500")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/late", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d; the committed response must stand", rec.Code)
+	}
+	snap := m.Snapshot()
+	if snap.PanicsTotal != 1 {
+		t.Errorf("panicsTotal = %d", snap.PanicsTotal)
+	}
+	if snap.Requests["GET /late"]["2xx"] != 1 {
+		t.Errorf("request metrics = %v", snap.Requests)
+	}
+}
+
 func TestInstrumentNoTimeoutLeavesContext(t *testing.T) {
 	h := instrument("GET /x", nil, nil, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, ok := r.Context().Deadline(); ok {

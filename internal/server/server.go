@@ -64,6 +64,10 @@ type Server struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 
+	// persist is the durability layer (journal + compaction loop); nil
+	// for a memory-only server. Set by Open via attachJournal.
+	persist *persister
+
 	mu       sync.Mutex
 	listener net.Listener
 	httpSrv  *http.Server
@@ -177,8 +181,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			first = err
 		}
 	}
+	// Compact before draining the queue: jobs still buffered are captured
+	// as queued in the snapshot (the drain below only cancels them in
+	// memory), so they are re-enqueued by the next process.
+	if s.persist != nil {
+		s.persist.stopLoop()
+		if err := s.Compact(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if err := s.queue.Shutdown(ctx); err != nil && first == nil {
 		first = err
+	}
+	if s.persist != nil {
+		if err := s.persist.j.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	if s.log != nil {
 		s.log.Info("shut down", "error", first)

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -39,6 +40,11 @@ type Store struct {
 	// results caches integrations keyed by sorted pair, valid for the
 	// generation at which they were computed.
 	results map[string]cachedResult
+	// persist, when set, journals every mutation before it is applied
+	// (write-ahead): mutations are pre-validated, then journaled, then
+	// applied, so an operation the journal rejected never reaches memory
+	// and an operation in the journal always replays cleanly.
+	persist func(op string, v any) error
 }
 
 type cachedResult struct {
@@ -55,6 +61,24 @@ func NewStore() *Store {
 // saved JSON file). The caller must not touch the workspace afterwards.
 func NewStoreFrom(ws *session.Workspace) *Store {
 	return &Store{ws: ws, results: map[string]cachedResult{}}
+}
+
+// SetPersist installs the write-ahead hook (nil disables journaling).
+// Call before the store is shared; replay during recovery runs with the
+// hook unset so replayed operations are not re-journaled.
+func (st *Store) SetPersist(fn func(op string, v any) error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.persist = fn
+}
+
+// journal write-aheads one mutation; callers hold the write lock and have
+// already validated that the operation will apply cleanly.
+func (st *Store) journal(op string, v any) error {
+	if st.persist == nil {
+		return nil
+	}
+	return st.persist(op, v)
 }
 
 func resultKey(a, b string) string {
@@ -86,6 +110,19 @@ func (st *Store) AddSchemas(schemas []*ecr.Schema) ([]string, error) {
 			return nil, fmt.Errorf("server: schema %q already defined", s.Name)
 		}
 		seen[s.Name] = true
+	}
+	if st.persist != nil {
+		rec := addSchemasRec{}
+		for _, s := range schemas {
+			data, err := ecr.EncodeJSON(s)
+			if err != nil {
+				return nil, err
+			}
+			rec.Schemas = append(rec.Schemas, json.RawMessage(data))
+		}
+		if err := st.journal(opAddSchemas, rec); err != nil {
+			return nil, err
+		}
 	}
 	var names []string
 	for _, s := range schemas {
@@ -157,15 +194,21 @@ func (st *Store) Schema(name string) *ecr.Schema {
 	return nil
 }
 
-// RemoveSchema deletes the named schema and its assertions.
-func (st *Store) RemoveSchema(name string) bool {
+// RemoveSchema deletes the named schema and its assertions. found is false
+// when no such schema exists; err reports a durability failure (the schema
+// is kept).
+func (st *Store) RemoveSchema(name string) (found bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if !st.ws.RemoveSchema(name) {
-		return false
+	if st.ws.Schema(name) == nil {
+		return false, nil
 	}
+	if err := st.journal(opRemoveSchema, removeSchemaRec{Name: name}); err != nil {
+		return true, err
+	}
+	st.ws.RemoveSchema(name)
 	st.touch()
-	return true
+	return true, nil
 }
 
 // DeclareEquivalence resolves "object.attribute" references against the two
@@ -188,8 +231,18 @@ func (st *Store) DeclareEquivalence(schema1, ref1, schema2, ref2 string) error {
 	if err != nil {
 		return err
 	}
-	if err := st.ws.Registry().Declare(a, b); err != nil {
+	// Registry.Declare's only failure mode is a same-object pair; check it
+	// here so the journaled record is guaranteed to replay.
+	if a.Schema == b.Schema && a.Object == b.Object {
+		return fmt.Errorf("equivalence: %s and %s belong to the same object class", a, b)
+	}
+	if err := st.journal(opDeclareEquiv, declareEquivRec{
+		Schema1: schema1, Attr1: ref1, Schema2: schema2, Attr2: ref2,
+	}); err != nil {
 		return err
+	}
+	if err := st.ws.Registry().Declare(a, b); err != nil {
+		return err // unreachable after the pre-check above
 	}
 	st.touch()
 	return nil
@@ -279,6 +332,12 @@ func (st *Store) Assert(schema1, object1 string, code int, schema2, object2 stri
 			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no object class %q", s2.Name, object2)
 		}
 		set = st.ws.ObjectAssertions(schema1, schema2)
+	}
+	if err := st.journal(opAssert, assertRec{
+		Schema1: schema1, Object1: object1, Code: code,
+		Schema2: schema2, Object2: object2, Rel: rel,
+	}); err != nil {
+		return assertion.CloseResult{}, err
 	}
 	res := set.AssertAndClose(
 		assertion.ObjKey{Schema: schema1, Object: object1},

@@ -80,11 +80,11 @@ func TestStoreAddListRemove(t *testing.T) {
 	if st.Schema("sc1") == nil {
 		t.Error("clone mutation leaked into store")
 	}
-	if st.RemoveSchema("nope") {
-		t.Error("removed a schema that does not exist")
+	if found, err := st.RemoveSchema("nope"); err != nil || found {
+		t.Errorf("RemoveSchema(nope) = %v, %v; want false, nil", found, err)
 	}
-	if !st.RemoveSchema("sc2") {
-		t.Error("failed to remove sc2")
+	if found, err := st.RemoveSchema("sc2"); err != nil || !found {
+		t.Errorf("RemoveSchema(sc2) = %v, %v; want true, nil", found, err)
 	}
 	if got := st.SchemaNames(); len(got) != 1 {
 		t.Errorf("after remove, SchemaNames = %v", got)

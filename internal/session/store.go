@@ -187,9 +187,11 @@ type storedWorkspace struct {
 	RelAssertions []storedAssertion `json:"relationshipAssertions,omitempty"`
 }
 
-// Save writes the workspace to a JSON file. Only DDA-specified assertions
-// are stored; derived entries are recomputed on demand.
-func (w *Workspace) Save(path string) error {
+// Marshal encodes the workspace as JSON: schemas, multi-member
+// equivalence classes and DDA-specified assertions (derived entries are
+// recomputed on load). It is the byte-level form behind Save and the
+// server's durability snapshots.
+func Marshal(w *Workspace) ([]byte, error) {
 	st := storedWorkspace{
 		Schemas:      w.schemas,
 		Equivalences: w.registry.Classes(),
@@ -220,7 +222,17 @@ func (w *Workspace) Save(path string) error {
 
 	data, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
-		return fmt.Errorf("session: encode workspace: %w", err)
+		return nil, fmt.Errorf("session: encode workspace: %w", err)
+	}
+	return data, nil
+}
+
+// Save writes the workspace to a JSON file. Only DDA-specified assertions
+// are stored; derived entries are recomputed on demand.
+func (w *Workspace) Save(path string) error {
+	data, err := Marshal(w)
+	if err != nil {
+		return err
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
@@ -229,12 +241,8 @@ func (w *Workspace) Save(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// Load reads a workspace from a JSON file written by Save.
-func Load(path string) (*Workspace, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// Unmarshal rebuilds a workspace from Marshal's encoding.
+func Unmarshal(data []byte) (*Workspace, error) {
 	var st storedWorkspace
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, fmt.Errorf("session: decode workspace: %w", err)
@@ -279,4 +287,13 @@ func Load(path string) (*Workspace, error) {
 		return nil, fmt.Errorf("session: load relationship assertions: %w", err)
 	}
 	return w, nil
+}
+
+// Load reads a workspace from a JSON file written by Save.
+func Load(path string) (*Workspace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
 }
