@@ -83,7 +83,7 @@ func TestDiskFullRefusesAppendAndRecovers(t *testing.T) {
 	}
 }
 
-func TestFsyncFailureSurfacesError(t *testing.T) {
+func TestFsyncFailureRollsBackUnsyncedRecord(t *testing.T) {
 	dir := t.TempDir()
 	fail := false
 	opts := Options{Sync: SyncAlways, Hooks: Hooks{
@@ -95,14 +95,40 @@ func TestFsyncFailureSurfacesError(t *testing.T) {
 		},
 	}}
 	j := mustOpen(t, dir, opts)
-	appendN(t, j, 1)
+	appendN(t, j, 2)
+
 	fail = true
-	if _, err := j.Append("op", op{}); !errors.Is(err, syscall.EIO) {
+	_, err := j.Append("doomed", op{Name: "unsynced"})
+	if !errors.Is(err, syscall.EIO) {
 		t.Fatalf("append with failing fsync = %v, want EIO", err)
 	}
+	if !IsError(err) {
+		t.Errorf("fsync failure not tagged as a journal error: %v", err)
+	}
+	// The write landed but stable storage never confirmed it, and the
+	// caller saw a failure: the record must leave the log and the sequence
+	// must not advance — otherwise a rejected operation replays after a
+	// restart, and a caller's retry collides with its ghost.
+	if j.Seq() != 2 {
+		t.Errorf("seq after rolled-back append = %d, want 2", j.Seq())
+	}
 	fail = false
+	if seq, err := j.Append("after", op{}); err != nil || seq != 3 {
+		t.Fatalf("append after fsync healed = %d, %v", seq, err)
+	}
 	if err := j.Sync(); err != nil {
 		t.Fatal(err)
+	}
+	j.Close()
+
+	recs := mustOpen(t, dir, Options{}).Records()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Op == "doomed" {
+			t.Error("record rejected on fsync failure resurrected on replay")
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ package journal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -40,6 +41,29 @@ import (
 	"sync"
 	"time"
 )
+
+// Error wraps every failure returned by the journal's mutating methods
+// (Append, Sync, Compact, Close), so callers can recognize a durability
+// failure with errors.As instead of matching message text — messages carry
+// user-controlled names like schema identifiers.
+type Error struct{ Err error }
+
+func (e *Error) Error() string { return e.Err.Error() }
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsError reports whether err is (or wraps) a journal failure.
+func IsError(err error) bool {
+	var je *Error
+	return errors.As(err, &je)
+}
+
+// wrapErr tags err as a journal failure (idempotently; nil stays nil).
+func wrapErr(err error) error {
+	if err == nil || IsError(err) {
+		return err
+	}
+	return &Error{Err: err}
+}
 
 const (
 	journalName  = "journal.jsonl"
@@ -279,13 +303,15 @@ func (j *Journal) SetObserver(fn func(fsync time.Duration, err error)) {
 // Append journals one operation, fsyncing per the configured policy, and
 // returns the record's sequence number. The record is durable (to the
 // policy's guarantee) before Append returns, so callers append first and
-// apply to memory second. A failed append leaves the journal consistent
-// when the partial write can be rolled back; when it cannot, the journal
-// turns sticky-broken and every later append fails fast.
+// apply to memory second. A failed append — including a write that landed
+// but whose fsync failed — leaves the journal consistent when the record
+// can be rolled back, so the on-disk log only ever holds acknowledged
+// operations; when rollback itself fails, the journal turns sticky-broken
+// and every later append fails fast.
 func (j *Journal) Append(op string, v any) (uint64, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		return 0, fmt.Errorf("journal: encode %s: %w", op, err)
+		return 0, wrapErr(fmt.Errorf("journal: encode %s: %w", op, err))
 	}
 	j.mu.Lock()
 	seq, fsync, err := j.appendLocked(op, data)
@@ -294,7 +320,7 @@ func (j *Journal) Append(op string, v any) (uint64, error) {
 	if observe != nil {
 		observe(fsync, err)
 	}
-	return seq, err
+	return seq, wrapErr(err)
 }
 
 func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, error) {
@@ -306,6 +332,7 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 	if err != nil {
 		return 0, 0, err
 	}
+	prev := j.offset
 	n := len(line)
 	var hookErr error
 	if hook := j.opts.Hooks.BeforeAppend; hook != nil {
@@ -328,11 +355,7 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 		// Roll the torn prefix back so the log stays well-formed; if even
 		// that fails the journal is done for.
 		if wrote > 0 {
-			if terr := j.f.Truncate(j.offset); terr != nil {
-				j.broken = fmt.Errorf("journal: unrecoverable after failed append: %w", terr)
-			} else {
-				_, _ = j.f.Seek(j.offset, io.SeekStart)
-			}
+			j.rollbackLocked(prev)
 		}
 		return 0, 0, fmt.Errorf("journal: append %s: %w", op, err)
 	}
@@ -341,11 +364,34 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 	j.appends++
 	j.sinceCompact++
 	j.dirty = true
-	fsync, err := j.maybeSyncLocked(false)
-	if err != nil {
-		return rec.Seq, fsync, fmt.Errorf("journal: sync after %s: %w", op, err)
+	fsync, serr := j.maybeSyncLocked(false)
+	if serr != nil {
+		// The record hit the file but stable storage never confirmed it, and
+		// the caller will treat the operation as not persisted — so take the
+		// record back out of the log. Leaving it would resurrect a rejected
+		// operation on the next replay, and a caller's retry would then
+		// collide with it (duplicate schema, duplicate job ID).
+		if j.rollbackLocked(prev) {
+			j.seq = rec.Seq - 1
+			j.appends--
+			j.sinceCompact--
+		}
+		return 0, fsync, fmt.Errorf("journal: sync after %s: %w", op, serr)
 	}
 	return rec.Seq, fsync, nil
+}
+
+// rollbackLocked truncates the log to offset after a failed append,
+// reporting whether the file was restored; on truncate failure the journal
+// turns sticky-broken, since its in-memory view no longer matches disk.
+func (j *Journal) rollbackLocked(offset int64) bool {
+	if terr := j.f.Truncate(offset); terr != nil {
+		j.broken = wrapErr(fmt.Errorf("journal: unrecoverable after failed append: %w", terr))
+		return false
+	}
+	_, _ = j.f.Seek(offset, io.SeekStart)
+	j.offset = offset
+	return true
 }
 
 // maybeSyncLocked fsyncs per policy (or unconditionally when force is set),
@@ -382,7 +428,7 @@ func (j *Journal) Sync() error {
 		return j.broken
 	}
 	_, err := j.maybeSyncLocked(true)
-	return err
+	return wrapErr(err)
 }
 
 // Compact writes state as the new snapshot covering every record with
@@ -390,9 +436,10 @@ func (j *Journal) Sync() error {
 // newer records. The caller guarantees that state reflects exactly the
 // operations through uptoSeq; records appended concurrently (they carry
 // higher sequence numbers) survive the rewrite.
-func (j *Journal) Compact(state []byte, uptoSeq uint64) error {
+func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	defer func() { err = wrapErr(err) }()
 	if j.broken != nil {
 		return j.broken
 	}
@@ -441,7 +488,7 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) error {
 	}
 	nf, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		j.broken = fmt.Errorf("journal: reopen after compact: %w", err)
+		j.broken = wrapErr(fmt.Errorf("journal: reopen after compact: %w", err))
 		return j.broken
 	}
 	j.f.Close()
@@ -546,11 +593,11 @@ func (j *Journal) Close() error {
 	_, serr := j.maybeSyncLocked(true)
 	cerr := j.f.Close()
 	j.f = nil
-	j.broken = fmt.Errorf("journal: closed")
+	j.broken = wrapErr(fmt.Errorf("journal: closed"))
 	if serr != nil {
-		return serr
+		return wrapErr(serr)
 	}
-	return cerr
+	return wrapErr(cerr)
 }
 
 // CloseAbrupt closes the journal file without syncing — the crash-test
@@ -562,5 +609,5 @@ func (j *Journal) CloseAbrupt() {
 		j.f.Close()
 		j.f = nil
 	}
-	j.broken = fmt.Errorf("journal: closed")
+	j.broken = wrapErr(fmt.Errorf("journal: closed"))
 }

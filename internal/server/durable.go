@@ -226,6 +226,14 @@ func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return err
 		}
+		if _, ok := byID[r.ID]; ok {
+			// The snapshot already holds this job: it was submitted while a
+			// compaction ran, after the snapshot's cutoff sequence was read
+			// but before the queue state was captured, so its submit record
+			// survived the rewrite too. The snapshot's copy is at least as
+			// fresh; replaying the submit again would duplicate the job.
+			return nil
+		}
 		byID[r.ID] = len(*jobs)
 		*jobs = append(*jobs, Job{ID: r.ID, Request: r.Request, State: JobQueued, Created: r.Created})
 		if n, err := strconv.Atoi(strings.TrimPrefix(r.ID, "job-")); err == nil && n > *nextID {

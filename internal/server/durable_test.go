@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -298,6 +299,126 @@ func TestJournalFullDegradesTo503(t *testing.T) {
 	}
 	if len(srv2.Store().EquivalenceClasses()) != 0 {
 		t.Error("refused equivalence resurrected after restart")
+	}
+}
+
+// TestFsyncFailureDoesNotResurrectRejectedOps pins the rollback contract
+// end to end: operations rejected with 503 because their fsync failed must
+// leave no trace in the journal — the client's retry succeeds (no
+// duplicate-schema collision, no reused job ID) and a restart replays
+// exactly the acknowledged state.
+func TestFsyncFailureDoesNotResurrectRejectedOps(t *testing.T) {
+	dir := t.TempDir()
+	var fail atomic.Bool
+	hooks := journal.Hooks{BeforeSync: func() error {
+		if fail.Load() {
+			return errors.New("injected fsync failure")
+		}
+		return nil
+	}}
+	srv, _ := openDurable(t, dir, hooks)
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	fail.Store(true)
+	ddl := "schema tiny\nentity T {\n attr Id: int key\n}\n"
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]string{"ddl": ddl}, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("schema upload with failing fsync: status %d, want 503", status)
+	}
+	jobReq := JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/jobs", jobReq, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("job submit with failing fsync: status %d, want 503", status)
+	}
+
+	// Storage heals; the client retries both. The schema must not collide
+	// with a ghost of the rejected record, and the job must not reuse the
+	// burned ID.
+	fail.Store(false)
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]string{"ddl": ddl}, nil); status != http.StatusCreated {
+		t.Fatalf("schema retry after fsync healed: status %d, want 201", status)
+	}
+	var job Job
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/jobs", jobReq, &job); status != http.StatusAccepted {
+		t.Fatalf("job retry after fsync healed: status %d", status)
+	}
+	if job.ID != "job-2" {
+		t.Errorf("retried job ID = %s, want job-2 (job-1 was burned by the failed persist)", job.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !job.State.Terminal() && time.Now().Before(deadline) {
+		doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+job.ID, nil, &job)
+	}
+	if !job.State.Terminal() {
+		t.Fatal("retried job never finished")
+	}
+
+	ts.Close()
+	srv.Kill()
+	srv2, report := openDurable(t, dir, journal.Hooks{})
+	defer srv2.Shutdown(context.Background())
+	if report.Schemas != 3 {
+		t.Fatalf("recovered %d schemas, want sc1+sc2+tiny: %+v", report.Schemas, report)
+	}
+	if report.RecoveredJobs != 1 {
+		t.Fatalf("recovered %d jobs, want only the acknowledged one: %+v", report.RecoveredJobs, report)
+	}
+	if _, ok := srv2.queue.Get("job-1"); ok {
+		t.Error("job rejected on fsync failure resurrected after restart")
+	}
+	if _, ok := srv2.queue.Get("job-2"); !ok {
+		t.Error("acknowledged job lost after restart")
+	}
+}
+
+// TestReplayedJobSubmitAlreadyInSnapshotIsSkipped reproduces the
+// compaction race: a job submitted while Compact runs lands in the
+// captured queue state AND keeps its submit record in the rewritten
+// journal (its sequence number is above the snapshot cutoff). Replay must
+// not turn that into two copies of the job.
+func TestReplayedJobSubmitAlreadyInSnapshotIsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}
+	created := time.Now().UTC()
+	if _, err := j.Append(opJobSubmit, jobSubmitRec{ID: "job-1", Request: req, Created: created}); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the queue as Compact would have captured it — with the
+	// freshly submitted job — against a cutoff below the submit record's
+	// sequence number, so the record survives the rewrite too.
+	state, err := json.Marshal(persistedState{
+		Jobs:      []Job{{ID: "job-1", Request: req, State: JobQueued, Created: created}},
+		NextJobID: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(state, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, report := openDurable(t, dir, journal.Hooks{})
+	defer srv.Shutdown(context.Background())
+	if report.RecoveredJobs != 1 || report.RequeuedJobs != 1 {
+		t.Fatalf("recovery report = %+v, want exactly one copy of job-1", report)
+	}
+	count := 0
+	for _, job := range srv.queue.List() {
+		if job.ID == "job-1" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("job-1 appears %d times after replay, want 1", count)
 	}
 }
 

@@ -8,11 +8,11 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/ecr"
 	"repro/internal/integrate"
+	"repro/internal/journal"
 	"repro/internal/mapping"
 	"repro/internal/version"
 )
@@ -86,13 +86,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // errStatus maps a pipeline error onto an HTTP status: durability failures
 // are 503 (the request was valid; the journal could not record it), missing
-// structures are 404, everything else is the caller's fault.
+// structures are 404, everything else is the caller's fault. Classification
+// goes through typed errors, never message text — the messages embed
+// user-controlled names that could otherwise steer the status.
 func errStatus(err error) int {
-	msg := err.Error()
-	if strings.Contains(msg, "journal:") {
+	if journal.IsError(err) {
 		return http.StatusServiceUnavailable
 	}
-	if strings.Contains(msg, "not found") {
+	if errors.Is(err, ErrNotFound) {
 		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
@@ -163,11 +164,7 @@ func (s *Server) handleSchemasPost(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("request needs a ddl or schema field")
 	}
 	if err != nil {
-		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "journal:") {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"added": added})
@@ -204,7 +201,7 @@ func (s *Server) handleSchemaDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	found, err := s.store.RemoveSchema(name)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	if !found {
@@ -451,12 +448,11 @@ func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
 	job, err := s.queue.Submit(req)
 	if err != nil {
 		status := http.StatusBadRequest
-		msg := err.Error()
 		switch {
-		case strings.Contains(msg, "queue is full"):
+		case errors.Is(err, errQueueFull):
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		case strings.Contains(msg, "shut down"), strings.Contains(msg, "journal unavailable"):
+		case errors.Is(err, errQueueClosed), journal.IsError(err):
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)

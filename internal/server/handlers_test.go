@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"strings"
 	"testing"
@@ -392,5 +393,23 @@ func TestQueueFullOverHTTP(t *testing.T) {
 	}
 	if !got503 {
 		t.Skip("queue never filled; timing dependent")
+	}
+}
+
+// TestErrStatusIgnoresHostileNames: status codes are classified by typed
+// errors, so a schema name that embeds classifier-looking text ("journal:",
+// "not found") must not steer a missing-schema 404 into anything else.
+func TestErrStatusIgnoresHostileNames(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	for _, name := range []string{"journal: evil", "looks not found-ish"} {
+		req := equivalenceRequest{Schema1: name, Attr1: "X.Y", Schema2: name, Attr2: "X.Y"}
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/equivalences", req, nil); status != http.StatusNotFound {
+			t.Errorf("equivalence on missing schema %q: status %d, want 404", name, status)
+		}
+		u := ts.URL + "/v1/resemblance?schema1=" + url.QueryEscape(name) + "&schema2=" + url.QueryEscape(name)
+		if status := doJSON(t, client, "GET", u, nil, nil); status != http.StatusNotFound {
+			t.Errorf("resemblance on missing schema %q: status %d, want 404", name, status)
+		}
 	}
 }

@@ -2,9 +2,17 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+)
+
+// The queue's rejection reasons. Handlers classify them with errors.Is —
+// never by message text, which can embed user-controlled input.
+var (
+	errQueueFull   = errors.New("job queue is full")
+	errQueueClosed = errors.New("queue is shut down")
 )
 
 // JobState is a job's lifecycle position. Queued and Running are
@@ -161,7 +169,7 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return Job{}, fmt.Errorf("server: queue is shut down")
+		return Job{}, fmt.Errorf("server: %w", errQueueClosed)
 	}
 	// Reject a full buffer before journaling, so a rejected job never
 	// reaches the log (and would not be resurrected on restart). Workers
@@ -169,7 +177,7 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 	// before the send below.
 	if len(q.jobs) == cap(q.jobs) {
 		q.mu.Unlock()
-		return Job{}, fmt.Errorf("server: job queue is full (capacity %d)", cap(q.jobs))
+		return Job{}, fmt.Errorf("server: %w (capacity %d)", errQueueFull, cap(q.jobs))
 	}
 	q.nextID++
 	job := &Job{
@@ -180,7 +188,9 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 	}
 	if q.persist != nil {
 		if err := q.persist(opJobSubmit, jobSubmitRec{ID: job.ID, Request: req, Created: job.Created}); err != nil {
-			q.nextID-- // not enqueued; reuse the ID
+			// The ID is burned, never reused: if the journal could not roll
+			// the failed record back (it is sticky-broken then), a reused ID
+			// would collide with that record on replay.
 			q.mu.Unlock()
 			return Job{}, fmt.Errorf("server: job not accepted, journal unavailable: %w", err)
 		}
@@ -188,10 +198,10 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 	select {
 	case q.jobs <- job:
 	default:
-		// Unreachable: capacity was checked under the lock above.
-		q.nextID--
+		// Unreachable: capacity was checked under the lock above. The ID is
+		// burned here too — its submit record may already be journaled.
 		q.mu.Unlock()
-		return Job{}, fmt.Errorf("server: job queue is full (capacity %d)", cap(q.jobs))
+		return Job{}, fmt.Errorf("server: %w (capacity %d)", errQueueFull, cap(q.jobs))
 	}
 	q.byID[job.ID] = job
 	q.order = append(q.order, job.ID)

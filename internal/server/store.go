@@ -10,6 +10,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -51,6 +52,11 @@ type cachedResult struct {
 	gen uint64
 	res *integrate.Result
 }
+
+// ErrNotFound marks lookups of named structures that do not exist; handlers
+// map it to 404 with errors.Is rather than by matching message text (the
+// messages embed user-controlled names).
+var ErrNotFound = errors.New("not found")
 
 // NewStore returns a store over an empty workspace.
 func NewStore() *Store {
@@ -218,10 +224,10 @@ func (st *Store) DeclareEquivalence(schema1, ref1, schema2, ref2 string) error {
 	defer st.mu.Unlock()
 	s1, s2 := st.ws.Schema(schema1), st.ws.Schema(schema2)
 	if s1 == nil {
-		return fmt.Errorf("server: schema %q not found", schema1)
+		return fmt.Errorf("server: schema %q %w", schema1, ErrNotFound)
 	}
 	if s2 == nil {
-		return fmt.Errorf("server: schema %q not found", schema2)
+		return fmt.Errorf("server: schema %q %w", schema2, ErrNotFound)
 	}
 	a, err := core.ResolveAttr(s1, ref1)
 	if err != nil {
@@ -260,10 +266,10 @@ func (st *Store) EquivalenceClasses() [][]ecr.AttrRef {
 func (st *Store) schemaPair(schema1, schema2 string) (*ecr.Schema, *ecr.Schema, error) {
 	s1, s2 := st.ws.Schema(schema1), st.ws.Schema(schema2)
 	if s1 == nil {
-		return nil, nil, fmt.Errorf("server: schema %q not found", schema1)
+		return nil, nil, fmt.Errorf("server: schema %q %w", schema1, ErrNotFound)
 	}
 	if s2 == nil {
-		return nil, nil, fmt.Errorf("server: schema %q not found", schema2)
+		return nil, nil, fmt.Errorf("server: schema %q %w", schema2, ErrNotFound)
 	}
 	return s1, s2, nil
 }
