@@ -1,0 +1,118 @@
+// Similarity-engine benchmarks: the dense reference path against the
+// sparse engine at three workload sizes, the count-matrix construction,
+// and the server's memoized read path. BENCH_similarity.json records the
+// before/after numbers.
+//
+// Run with: go test -run='^$' -bench 'RankObjects|ObjectMatrix|StoreCached' -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/resemblance"
+	"repro/internal/server"
+	"repro/internal/similarity"
+)
+
+// benchSizes are the object counts of the scalability sweep; 800 is the
+// headline size of the optimization (640,000 pairs per ranking).
+var benchSizes = []int{50, 200, 800}
+
+func BenchmarkRankObjects(b *testing.B) {
+	for _, n := range benchSizes {
+		w := genWorkload(b, n)
+		b.Run(fmt.Sprintf("dense/objects=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pairs := resemblance.RankObjects(w.S1, w.S2, w.Registry)
+				if len(pairs) != n*n {
+					b.Fatal("pair count wrong")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse/objects=%d", n), func(b *testing.B) {
+			e := similarity.Attach(w.Registry)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pairs := e.RankObjects(w.S1, w.S2)
+				if len(pairs) != n*n {
+					b.Fatal("pair count wrong")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkObjectMatrix(b *testing.B) {
+	for _, n := range benchSizes {
+		w := genWorkload(b, n)
+		b.Run(fmt.Sprintf("dense/objects=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := equivalence.ObjectMatrix(w.S1, w.S2, w.Registry)
+				if len(m.Rows) != n {
+					b.Fatal("matrix shape wrong")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse/objects=%d", n), func(b *testing.B) {
+			e := similarity.Attach(w.Registry)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := e.ObjectMatrix(w.S1, w.S2)
+				if len(m.Rows) != n {
+					b.Fatal("matrix shape wrong")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreCachedRankedPairs measures the server's memoized read
+// path: after the first request the ranking is served from the versioned
+// cache, which should cost two map lookups and allocate nothing.
+func BenchmarkStoreCachedRankedPairs(b *testing.B) {
+	w := genWorkload(b, 200)
+	st := server.NewStore()
+	if _, err := st.AddSchemas([]*ecr.Schema{w.S1, w.S2}); err != nil {
+		b.Fatal(err)
+	}
+	// The workload's registry is separate from the store's; re-declare its
+	// equivalences through the store so the ranking has nonzero content.
+	for _, class := range w.Registry.Classes() {
+		for i := 1; i < len(class); i++ {
+			a, z := class[0], class[i]
+			if a.Schema == z.Schema && a.Object == z.Object {
+				continue
+			}
+			if err := st.DeclareEquivalence(
+				a.Schema, a.Object+"."+a.Attr,
+				z.Schema, z.Object+"."+z.Attr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := st.RankedPairs(w.S1.Name, w.S2.Name, false); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, err := st.RankedPairs(w.S1.Name, w.S2.Name, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pairs) != 200*200 {
+			b.Fatal("pair count wrong")
+		}
+	}
+	b.StopTimer()
+	if hits, _ := st.SimilarityCacheStats(); hits == 0 {
+		b.Fatal("cache never hit")
+	}
+}

@@ -13,6 +13,7 @@
 //	           [-job-timeout 5m] [-quiet]
 //	           [-data-dir dir] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 256]
+//	           [-pprof addr]
 //
 // With -data-dir the server is durable: every mutating operation (schema
 // upload, equivalence, assertion, job lifecycle) is written ahead to an
@@ -29,9 +30,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,6 +69,7 @@ func run() error {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync spacing under -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", 256, "compact the journal into a snapshot after this many records")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate debug address (for example localhost:6060); empty disables it")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -153,5 +159,42 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		stopPprof, err := servePprof(*pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
+
 	return srv.Run(ctx, *addr)
+}
+
+// servePprof starts the debug profiling listener on its own mux and
+// address, so the profiling endpoints never ride on the API listener. The
+// returned function stops it.
+func servePprof(addr string, logger *slog.Logger) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if logger != nil {
+				logger.Error("pprof serve", "error", err)
+			}
+		}
+	}()
+	if logger != nil {
+		logger.Info("pprof listening", "addr", ln.Addr().String())
+	}
+	return func() { srv.Close() }, nil
 }

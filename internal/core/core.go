@@ -15,6 +15,7 @@ import (
 	"repro/internal/equivalence"
 	"repro/internal/integrate"
 	"repro/internal/resemblance"
+	"repro/internal/similarity"
 )
 
 // Integration is one pairwise integration in progress: two component
@@ -23,6 +24,7 @@ import (
 type Integration struct {
 	s1, s2   *ecr.Schema
 	registry *equivalence.Registry
+	sim      *similarity.Engine
 	objects  *assertion.Set
 	rels     *assertion.Set
 }
@@ -48,6 +50,7 @@ func New(s1, s2 *ecr.Schema) (*Integration, error) {
 	return &Integration{
 		s1: s1, s2: s2,
 		registry: reg,
+		sim:      similarity.Attach(reg),
 		objects:  assertion.NewSet(),
 		rels:     assertion.NewSet(),
 	}, nil
@@ -107,13 +110,15 @@ func ResolveAttr(s *ecr.Schema, ref string) (ecr.AttrRef, error) {
 
 // RankedObjectPairs returns the object-class pairs ordered by the
 // resemblance function, as the Assertion Collection screen presents them.
+// The ranking runs on the sparse similarity engine; its output is identical
+// to resemblance.RankObjects on the same inputs.
 func (it *Integration) RankedObjectPairs() []resemblance.Pair {
-	return resemblance.RankObjects(it.s1, it.s2, it.registry)
+	return it.sim.RankObjects(it.s1, it.s2)
 }
 
 // RankedRelationshipPairs ranks the relationship-set pairs.
 func (it *Integration) RankedRelationshipPairs() []resemblance.Pair {
-	return resemblance.RankRelationships(it.s1, it.s2, it.registry)
+	return it.sim.RankRelationships(it.s1, it.s2)
 }
 
 // Assert records an object-class assertion: object1 of the first schema

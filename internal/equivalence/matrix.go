@@ -3,6 +3,7 @@ package equivalence
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ecr"
 )
@@ -12,28 +13,39 @@ import (
 // attribute pairs between row object i of the first schema and column object
 // j of the second. The same structure serves for relationship sets.
 type Matrix struct {
-	Schema1, Schema2 string
-	Rows, Cols       []string // object class (or relationship set) names
-	Counts           [][]int
+	Schema1 string `json:"schema1"`
+	Schema2 string `json:"schema2"`
+	// Rows and Cols are object class (or relationship set) names.
+	Rows   []string `json:"rows"`
+	Cols   []string `json:"cols"`
+	Counts [][]int  `json:"counts"`
+
+	// name→index maps behind At, built once on first use.
+	indexOnce      sync.Once
+	rowIdx, colIdx map[string]int
+}
+
+// buildIndex populates the name→index maps exactly once.
+func (m *Matrix) buildIndex() {
+	m.indexOnce.Do(func() {
+		m.rowIdx = make(map[string]int, len(m.Rows))
+		for i, r := range m.Rows {
+			m.rowIdx[r] = i
+		}
+		m.colIdx = make(map[string]int, len(m.Cols))
+		for j, c := range m.Cols {
+			m.colIdx[c] = j
+		}
+	})
 }
 
 // At returns the equivalent-attribute count for the named row and column
 // objects. Unknown names count as zero.
 func (m *Matrix) At(row, col string) int {
-	ri, ci := -1, -1
-	for i, r := range m.Rows {
-		if r == row {
-			ri = i
-			break
-		}
-	}
-	for j, c := range m.Cols {
-		if c == col {
-			ci = j
-			break
-		}
-	}
-	if ri < 0 || ci < 0 {
+	m.buildIndex()
+	ri, okr := m.rowIdx[row]
+	ci, okc := m.colIdx[col]
+	if !okr || !okc {
 		return 0
 	}
 	return m.Counts[ri][ci]
@@ -70,10 +82,11 @@ func (m *Matrix) String() string {
 // classes. An entry counts distinct equivalence classes having at least one
 // member attribute in the row object and one in the column object.
 func ObjectMatrix(s1, s2 *ecr.Schema, reg *Registry) *Matrix {
-	var rows, cols []string
+	rows := make([]string, 0, len(s1.Objects))
 	for _, o := range s1.Objects {
 		rows = append(rows, o.Name)
 	}
+	cols := make([]string, 0, len(s2.Objects))
 	for _, o := range s2.Objects {
 		cols = append(cols, o.Name)
 	}
@@ -93,10 +106,11 @@ func ObjectMatrix(s1, s2 *ecr.Schema, reg *Registry) *Matrix {
 // RelationshipMatrix derives the OCS-style matrix for the relationship sets
 // of the two schemas.
 func RelationshipMatrix(s1, s2 *ecr.Schema, reg *Registry) *Matrix {
-	var rows, cols []string
+	rows := make([]string, 0, len(s1.Relationships))
 	for _, r := range s1.Relationships {
 		rows = append(rows, r.Name)
 	}
+	cols := make([]string, 0, len(s2.Relationships))
 	for _, r := range s2.Relationships {
 		cols = append(cols, r.Name)
 	}

@@ -19,6 +19,25 @@ import (
 	"repro/internal/ecr"
 )
 
+// Observer receives registry change notifications. The similarity engine
+// uses it to maintain its inverted index (posting lists from class ID to
+// owning structures) incrementally, so a single new equivalence adjusts only
+// the affected postings instead of invalidating derived state wholesale.
+//
+// Callbacks fire after the registry has applied the change, exactly once per
+// structural transition, and never for no-op operations (registering a known
+// attribute, declaring two attributes already equivalent).
+type Observer interface {
+	// ClassCreated reports a fresh singleton class holding only a.
+	ClassCreated(id int, a ecr.AttrRef)
+	// ClassesMerged reports that every member of class drop moved into
+	// class keep; drop no longer exists.
+	ClassesMerged(keep, drop int)
+	// MemberRemoved reports that a left class id (it is re-registered as a
+	// singleton immediately afterwards, via ClassCreated).
+	MemberRemoved(id int, a ecr.AttrRef)
+}
+
 // Registry holds attribute equivalence classes. Each known attribute always
 // belongs to exactly one class; freshly registered attributes form singleton
 // classes, mirroring the Equivalence Class Creation and Deletion Screen
@@ -29,6 +48,10 @@ type Registry struct {
 	class   map[ecr.AttrRef]int
 	members map[int][]ecr.AttrRef
 	nextID  int
+	// version counts structural changes (registrations, merges, removals);
+	// caches key on it to detect staleness without diffing classes.
+	version  uint64
+	observer Observer
 }
 
 // NewRegistry returns an empty registry.
@@ -37,6 +60,25 @@ func NewRegistry() *Registry {
 		class:   make(map[ecr.AttrRef]int),
 		members: make(map[int][]ecr.AttrRef),
 		nextID:  1,
+	}
+}
+
+// SetObserver installs the change observer (nil disables notifications).
+// At most one observer is supported; it does not survive Clone.
+func (r *Registry) SetObserver(o Observer) { r.observer = o }
+
+// Version returns the structural version counter: it increments on every
+// registration, merge and removal, so equal versions imply identical
+// classes. The counter is monotonic for a given registry (and its clones
+// continue from the value at cloning time).
+func (r *Registry) Version() uint64 { return r.version }
+
+// ForEach calls f for every registered attribute with its class number, in
+// unspecified order. It is the bulk-load path for index structures that
+// attach to an already-populated registry.
+func (r *Registry) ForEach(f func(a ecr.AttrRef, class int)) {
+	for a, id := range r.class {
+		f(a, id)
 	}
 }
 
@@ -65,6 +107,10 @@ func (r *Registry) Register(a ecr.AttrRef) int {
 	r.nextID++
 	r.class[a] = id
 	r.members[id] = []ecr.AttrRef{a}
+	r.version++
+	if r.observer != nil {
+		r.observer.ClassCreated(id, a)
+	}
 	return id
 }
 
@@ -90,6 +136,10 @@ func (r *Registry) Declare(a, b ecr.AttrRef) error {
 	}
 	r.members[keep] = append(r.members[keep], r.members[drop]...)
 	delete(r.members, drop)
+	r.version++
+	if r.observer != nil {
+		r.observer.ClassesMerged(keep, drop)
+	}
 	return nil
 }
 
@@ -110,6 +160,10 @@ func (r *Registry) Remove(a ecr.AttrRef) {
 		}
 	}
 	delete(r.class, a)
+	r.version++
+	if r.observer != nil {
+		r.observer.MemberRemoved(id, a)
+	}
 	r.Register(a)
 }
 
@@ -166,10 +220,13 @@ func (r *Registry) Classes() [][]ecr.AttrRef {
 // Len returns the number of registered attributes.
 func (r *Registry) Len() int { return len(r.class) }
 
-// Clone returns an independent deep copy of the registry.
+// Clone returns an independent deep copy of the registry. The clone keeps
+// the version counter (so caches keyed on it stay coherent) but not the
+// observer: index structures must re-attach to the clone.
 func (r *Registry) Clone() *Registry {
 	c := NewRegistry()
 	c.nextID = r.nextID
+	c.version = r.version
 	for a, id := range r.class {
 		c.class[a] = id
 	}

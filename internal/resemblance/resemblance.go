@@ -57,7 +57,7 @@ func AttributeRatio(equivalent, attrs1, attrs2 int) float64 {
 // the ranking deterministic and matches the ordering of Screen 8 on the
 // paper's example.
 func RankObjects(s1, s2 *ecr.Schema, reg *equivalence.Registry) []Pair {
-	var pairs []Pair
+	pairs := make([]Pair, 0, len(s1.Objects)*len(s2.Objects))
 	for _, o1 := range s1.Objects {
 		for _, o2 := range s2.Objects {
 			eq := equivalence.EquivalentCount(s1.Name, o1, s2.Name, o2, reg)
@@ -79,7 +79,7 @@ func RankObjects(s1, s2 *ecr.Schema, reg *equivalence.Registry) []Pair {
 // same way (the second subphase of assertion specification).
 func RankRelationships(s1, s2 *ecr.Schema, reg *equivalence.Registry) []Pair {
 	m := equivalence.RelationshipMatrix(s1, s2, reg)
-	var pairs []Pair
+	pairs := make([]Pair, 0, len(s1.Relationships)*len(s2.Relationships))
 	for i, r1 := range s1.Relationships {
 		for j, r2 := range s2.Relationships {
 			eq := m.Counts[i][j]
@@ -99,7 +99,13 @@ func RankRelationships(s1, s2 *ecr.Schema, reg *equivalence.Registry) []Pair {
 // Candidates filters ranked pairs down to those with at least one equivalent
 // attribute — the pairs the DDA is asked to review first.
 func Candidates(pairs []Pair) []Pair {
-	var out []Pair
+	n := 0
+	for _, p := range pairs {
+		if p.Equivalent > 0 {
+			n++
+		}
+	}
+	out := make([]Pair, 0, n)
 	for _, p := range pairs {
 		if p.Equivalent > 0 {
 			out = append(out, p)

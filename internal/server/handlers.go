@@ -274,6 +274,20 @@ func (s *Server) handleResemblance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"pairs": pairs})
 }
 
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	s1, s2, rel, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.store.Matrix(s1, s2, rel)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matrix": m})
+}
+
 func (s *Server) handleSuggestions(w http.ResponseWriter, r *http.Request) {
 	s1, s2, _, err := pairParams(r)
 	if err != nil {

@@ -113,6 +113,9 @@ type Metrics struct {
 
 	// queueDepth, when set, reports the live queue depth for snapshots.
 	queueDepth func() int
+	// similarityStats, when set, reports the store's similarity-cache
+	// hit and miss counters for snapshots.
+	similarityStats func() (hits, misses uint64)
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -128,6 +131,11 @@ func NewMetrics() *Metrics {
 
 // SetQueueDepthFunc wires the live queue-depth gauge.
 func (m *Metrics) SetQueueDepthFunc(fn func() int) { m.queueDepth = fn }
+
+// SetSimilarityStatsFunc wires the similarity-cache counters.
+func (m *Metrics) SetSimilarityStatsFunc(fn func() (hits, misses uint64)) {
+	m.similarityStats = fn
+}
 
 // ObserveRequest counts one served request under its route pattern and
 // status class ("2xx", "4xx", ...).
@@ -211,6 +219,10 @@ type MetricsSnapshot struct {
 	QueueDepth         int                          `json:"queueDepth"`
 	PanicsTotal        uint64                       `json:"panicsTotal"`
 	IntegrationLatency HistogramSnapshot            `json:"integrationLatency"`
+	// Similarity-cache counters (ranked pairs and count matrices memoized
+	// per schema pair in the store).
+	SimilarityCacheHits   uint64 `json:"similarity_cache_hits"`
+	SimilarityCacheMisses uint64 `json:"similarity_cache_misses"`
 	// Journal is present only on durable servers (started with a data dir).
 	Journal *JournalSnapshot `json:"journal,omitempty"`
 }
@@ -243,6 +255,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	started := m.started
 	depthFn := m.queueDepth
+	simFn := m.similarityStats
 	panics := m.panics
 	var journal *JournalSnapshot
 	var ageFn func() float64
@@ -267,6 +280,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if depthFn != nil {
 		snap.QueueDepth = depthFn()
+	}
+	if simFn != nil {
+		snap.SimilarityCacheHits, snap.SimilarityCacheMisses = simFn()
 	}
 	if journal != nil {
 		journal.FsyncSeconds = m.JournalFsync.Snapshot()

@@ -91,6 +91,7 @@ func New(cfg Config) *Server {
 			return s.runIntegration(req)
 		})
 	s.metrics.SetQueueDepthFunc(s.queue.Depth)
+	s.metrics.SetSimilarityStatsFunc(s.store.SimilarityCacheStats)
 	s.queue.SetObserver(func(j Job) { s.metrics.ObserveJob(j.State) })
 	s.routes()
 	return s
@@ -120,6 +121,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/equivalences", s.handleEquivalencesList)
 
 	s.handle("GET /v1/resemblance", s.handleResemblance)
+	s.handle("GET /v1/matrix", s.handleMatrix)
 	s.handle("GET /v1/suggestions", s.handleSuggestions)
 
 	s.handle("POST /v1/assertions", s.handleAssertionsPost)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/assertion"
 	"repro/internal/batch"
@@ -41,6 +42,18 @@ type Store struct {
 	// results caches integrations keyed by sorted pair, valid for the
 	// generation at which they were computed.
 	results map[string]cachedResult
+	// schemaGen counts schema additions and removals only. Together with
+	// the registry's version counter it stamps similarity-cache entries:
+	// assertions bump gen but neither of these, so rankings stay cached
+	// across assertion traffic.
+	schemaGen uint64
+	// simMu guards simCache (its own mutex so cached similarity reads
+	// don't contend with the workspace lock more than needed; lock order
+	// is always st.mu before simMu).
+	simMu    sync.Mutex
+	simCache map[simKey]simEntry
+	// simHits/simMisses count similarity-cache outcomes for /metrics.
+	simHits, simMisses atomic.Uint64
 	// persist, when set, journals every mutation before it is applied
 	// (write-ahead): mutations are pre-validated, then journaled, then
 	// applied, so an operation the journal rejected never reaches memory
@@ -51,6 +64,24 @@ type Store struct {
 type cachedResult struct {
 	gen uint64
 	res *integrate.Result
+}
+
+// simKey identifies one cached similarity query: the ordered schema pair,
+// the structure kind, and whether the ranking or the full count matrix was
+// asked for.
+type simKey struct {
+	schema1, schema2 string
+	rel              bool
+	matrix           bool
+}
+
+// simEntry is one cached similarity result, valid while the registry
+// version and schema generation it was computed under remain current.
+type simEntry struct {
+	regVersion uint64
+	schemaGen  uint64
+	pairs      []resemblance.Pair
+	matrix     *equivalence.Matrix
 }
 
 // ErrNotFound marks lookups of named structures that do not exist; handlers
@@ -66,7 +97,11 @@ func NewStore() *Store {
 // NewStoreFrom wraps an existing workspace (for example one loaded from a
 // saved JSON file). The caller must not touch the workspace afterwards.
 func NewStoreFrom(ws *session.Workspace) *Store {
-	return &Store{ws: ws, results: map[string]cachedResult{}}
+	return &Store{
+		ws:       ws,
+		results:  map[string]cachedResult{},
+		simCache: map[simKey]simEntry{},
+	}
 }
 
 // SetPersist installs the write-ahead hook (nil disables journaling).
@@ -95,9 +130,50 @@ func resultKey(a, b string) string {
 }
 
 // touch invalidates cached results; callers hold the write lock.
+// Integration results are dropped wholesale; similarity entries are swept
+// only when their version stamps no longer match, so assertion traffic
+// (which changes neither the registry nor the schema set) leaves them hot.
 func (st *Store) touch() {
 	st.gen++
 	st.results = map[string]cachedResult{}
+	regV := st.ws.Registry().Version()
+	st.simMu.Lock()
+	for k, e := range st.simCache {
+		if e.regVersion != regV || e.schemaGen != st.schemaGen {
+			delete(st.simCache, k)
+		}
+	}
+	st.simMu.Unlock()
+}
+
+// simLookup consults the similarity cache; callers hold st.mu (read or
+// write), so the version stamps cannot move underneath the comparison.
+func (st *Store) simLookup(key simKey) (simEntry, bool) {
+	regV := st.ws.Registry().Version()
+	st.simMu.Lock()
+	e, ok := st.simCache[key]
+	st.simMu.Unlock()
+	if ok && e.regVersion == regV && e.schemaGen == st.schemaGen {
+		st.simHits.Add(1)
+		return e, true
+	}
+	st.simMisses.Add(1)
+	return simEntry{}, false
+}
+
+// simStore records a freshly computed result; callers hold st.mu, so the
+// stamps match the state the result was computed under.
+func (st *Store) simStore(key simKey, e simEntry) {
+	e.regVersion = st.ws.Registry().Version()
+	e.schemaGen = st.schemaGen
+	st.simMu.Lock()
+	st.simCache[key] = e
+	st.simMu.Unlock()
+}
+
+// SimilarityCacheStats reports cumulative similarity-cache hits and misses.
+func (st *Store) SimilarityCacheStats() (hits, misses uint64) {
+	return st.simHits.Load(), st.simMisses.Load()
 }
 
 // AddSchemas validates and registers the given schemas, all or none.
@@ -137,6 +213,7 @@ func (st *Store) AddSchemas(schemas []*ecr.Schema) ([]string, error) {
 		}
 		names = append(names, s.Name)
 	}
+	st.schemaGen++
 	st.touch()
 	return names, nil
 }
@@ -213,6 +290,7 @@ func (st *Store) RemoveSchema(name string) (found bool, err error) {
 		return true, err
 	}
 	st.ws.RemoveSchema(name)
+	st.schemaGen++
 	st.touch()
 	return true, nil
 }
@@ -275,7 +353,10 @@ func (st *Store) schemaPair(schema1, schema2 string) (*ecr.Schema, *ecr.Schema, 
 }
 
 // RankedPairs returns the resemblance-ranked object-class (or, with rel,
-// relationship-set) pairs of the two schemas.
+// relationship-set) pairs of the two schemas. Results are computed on the
+// workspace's sparse similarity engine and memoized until an equivalence
+// declaration or a schema change invalidates them; callers must not mutate
+// the returned slice.
 func (st *Store) RankedPairs(schema1, schema2 string, rel bool) ([]resemblance.Pair, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -283,10 +364,42 @@ func (st *Store) RankedPairs(schema1, schema2 string, rel bool) ([]resemblance.P
 	if err != nil {
 		return nil, err
 	}
-	if rel {
-		return resemblance.RankRelationships(s1, s2, st.ws.Registry()), nil
+	key := simKey{schema1: schema1, schema2: schema2, rel: rel}
+	if e, ok := st.simLookup(key); ok {
+		return e.pairs, nil
 	}
-	return resemblance.RankObjects(s1, s2, st.ws.Registry()), nil
+	var pairs []resemblance.Pair
+	if rel {
+		pairs = st.ws.RankRelationships(s1, s2)
+	} else {
+		pairs = st.ws.RankObjects(s1, s2)
+	}
+	st.simStore(key, simEntry{pairs: pairs})
+	return pairs, nil
+}
+
+// Matrix returns the attribute-equivalence count matrix of the two schemas
+// — the ACS over object classes, or with rel the OCS over relationship
+// sets. Cached like RankedPairs; callers must not mutate the result.
+func (st *Store) Matrix(schema1, schema2 string, rel bool) (*equivalence.Matrix, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s1, s2, err := st.schemaPair(schema1, schema2)
+	if err != nil {
+		return nil, err
+	}
+	key := simKey{schema1: schema1, schema2: schema2, rel: rel, matrix: true}
+	if e, ok := st.simLookup(key); ok {
+		return e.matrix, nil
+	}
+	var m *equivalence.Matrix
+	if rel {
+		m = st.ws.Similarity().RelationshipMatrix(s1, s2)
+	} else {
+		m = st.ws.Similarity().ObjectMatrix(s1, s2)
+	}
+	st.simStore(key, simEntry{matrix: m})
+	return m, nil
 }
 
 // Suggest runs the dictionary-based attribute equivalence suggestion pass

@@ -33,9 +33,9 @@ func (s *Session) runAssertions(rel bool) {
 	for {
 		var pairs []resemblance.Pair
 		if rel {
-			pairs = resemblance.RankRelationships(s1, s2, s.ws.Registry())
+			pairs = s.ws.RankRelationships(s1, s2)
 		} else {
-			pairs = resemblance.RankObjects(s1, s2, s.ws.Registry())
+			pairs = s.ws.RankObjects(s1, s2)
 		}
 		s.io.Display(assertionCollectionScreen(pairs, set, scroll, rel).Text())
 		line, ok := s.io.ReadLine("Enter <#> <assertion 0-5>, (S)croll, (L)egend, (M)atrix, or (E)xit : ")

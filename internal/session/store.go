@@ -17,12 +17,17 @@ import (
 	"repro/internal/ecr"
 	"repro/internal/equivalence"
 	"repro/internal/integrate"
+	"repro/internal/resemblance"
+	"repro/internal/similarity"
 )
 
 // Workspace is the tool's persistent state.
 type Workspace struct {
 	schemas  []*ecr.Schema
 	registry *equivalence.Registry
+	// sim is the sparse similarity engine over registry, maintained
+	// incrementally through the registry's observer hooks.
+	sim *similarity.Engine
 	// Assertion matrices per schema pair, keyed by sorted pair name.
 	objAsserts map[string]*assertion.Set
 	relAsserts map[string]*assertion.Set
@@ -33,12 +38,14 @@ type Workspace struct {
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace {
-	return &Workspace{
+	w := &Workspace{
 		registry:   equivalence.NewRegistry(),
 		objAsserts: map[string]*assertion.Set{},
 		relAsserts: map[string]*assertion.Set{},
 		results:    map[string]*integrate.Result{},
 	}
+	w.sim = similarity.Attach(w.registry)
+	return w
 }
 
 // Schemas returns the defined schemas in definition order.
@@ -91,6 +98,21 @@ func (w *Workspace) RemoveSchema(name string) bool {
 
 // Registry exposes the attribute equivalence registry.
 func (w *Workspace) Registry() *equivalence.Registry { return w.registry }
+
+// Similarity exposes the sparse similarity engine attached to the registry.
+func (w *Workspace) Similarity() *similarity.Engine { return w.sim }
+
+// RankObjects ranks the object-class pairs of the two schemas by the
+// resemblance function through the sparse engine (identical output to
+// resemblance.RankObjects).
+func (w *Workspace) RankObjects(s1, s2 *ecr.Schema) []resemblance.Pair {
+	return w.sim.RankObjects(s1, s2)
+}
+
+// RankRelationships ranks the relationship-set pairs the same way.
+func (w *Workspace) RankRelationships(s1, s2 *ecr.Schema) []resemblance.Pair {
+	return w.sim.RankRelationships(s1, s2)
+}
 
 func pairKey(a, b string) string {
 	if b < a {

@@ -1,0 +1,40 @@
+package similarity
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelPairs is the grid size (rows × cols) above which queries fan
+// their accumulation and key extraction out across workers. Below it the
+// per-goroutine overhead outweighs the work; 16K pairs is roughly a 128×128
+// schema pair.
+const parallelPairs = 1 << 14
+
+// forRowRanges splits [0, n) into at most GOMAXPROCS contiguous ranges and
+// runs fn over each concurrently, returning when all are done. fn must
+// confine its writes to its own range (workers share no scratch).
+func forRowRanges(n int, fn func(lo, hi int)) {
+	p := runtime.GOMAXPROCS(0)
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

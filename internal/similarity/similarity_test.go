@@ -1,0 +1,239 @@
+package similarity
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/equivalence"
+	"repro/internal/resemblance"
+	"repro/internal/workload"
+)
+
+// requireSamePairs fails unless got is element-for-element identical to the
+// dense reference ranking, order included.
+func requireSamePairs(t *testing.T, label string, got, want []resemblance.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d differs:\n got  %+v\n want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func requireSameMatrix(t *testing.T, label string, got, want *equivalence.Matrix) {
+	t.Helper()
+	if got.Schema1 != want.Schema1 || got.Schema2 != want.Schema2 {
+		t.Fatalf("%s: schema names differ: got %s×%s want %s×%s",
+			label, got.Schema1, got.Schema2, want.Schema1, want.Schema2)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) || !reflect.DeepEqual(got.Cols, want.Cols) {
+		t.Fatalf("%s: row/col labels differ", label)
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Fatalf("%s: counts differ:\n got  %v\n want %v", label, got.Counts, want.Counts)
+	}
+}
+
+// checkAgainstDense compares every engine query against the dense reference
+// implementation on the same inputs.
+func checkAgainstDense(t *testing.T, label string, e *Engine, s1, s2 *ecr.Schema, reg *equivalence.Registry) {
+	t.Helper()
+	requireSamePairs(t, label+"/rank-objects",
+		e.RankObjects(s1, s2), resemblance.RankObjects(s1, s2, reg))
+	requireSamePairs(t, label+"/rank-relationships",
+		e.RankRelationships(s1, s2), resemblance.RankRelationships(s1, s2, reg))
+	requireSameMatrix(t, label+"/object-matrix",
+		e.ObjectMatrix(s1, s2), equivalence.ObjectMatrix(s1, s2, reg))
+	requireSameMatrix(t, label+"/relationship-matrix",
+		e.RelationshipMatrix(s1, s2), equivalence.RelationshipMatrix(s1, s2, reg))
+}
+
+func genWorkload(t testing.TB, objects int, seed int64) *workload.Workload {
+	cfg := workload.DefaultConfig(seed)
+	cfg.Objects = objects
+	cfg.Relationships = objects / 3
+	if cfg.Relationships < 2 {
+		cfg.Relationships = 2
+	}
+	if objects < 2 {
+		// randomRelationship needs at least two object classes to draw from.
+		cfg.Relationships = 0
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDifferentialAgainstDense(t *testing.T) {
+	for _, objects := range []int{1, 3, 8, 25, 60, 150} {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("objects=%d/seed=%d", objects, seed), func(t *testing.T) {
+				w := genWorkload(t, objects, seed)
+				e := Attach(w.Registry)
+				checkAgainstDense(t, "generated", e, w.S1, w.S2, w.Registry)
+			})
+		}
+	}
+}
+
+// TestDifferentialAcrossParallelThreshold forces a grid big enough for the
+// parallel accumulation and key-extraction paths.
+func TestDifferentialAcrossParallelThreshold(t *testing.T) {
+	w := genWorkload(t, 160, 7) // 160×160 = 25600 pairs > parallelPairs
+	e := Attach(w.Registry)
+	checkAgainstDense(t, "parallel", e, w.S1, w.S2, w.Registry)
+}
+
+// TestIncrementalDeclareRemove edits the registry after Attach and checks
+// the posting lists track every transition: fresh declarations, transitive
+// merges, removals and re-declarations.
+func TestIncrementalDeclareRemove(t *testing.T) {
+	w := genWorkload(t, 12, 42)
+	reg := w.Registry
+	e := Attach(reg)
+
+	ref := func(schema string, obj, attr string) ecr.AttrRef {
+		s := w.S1
+		if schema == "w2" {
+			s = w.S2
+		}
+		o := s.Object(obj)
+		if o == nil {
+			t.Fatalf("no object %s in %s", obj, schema)
+		}
+		return ecr.AttrRef{Schema: schema, Object: obj, Kind: o.Kind, Attr: attr}
+	}
+	a := ref("w1", w.S1.Objects[0].Name, w.S1.Objects[0].Attributes[0].Name)
+	b := ref("w2", w.S2.Objects[1].Name, w.S2.Objects[1].Attributes[0].Name)
+	c := ref("w2", w.S2.Objects[2].Name, w.S2.Objects[2].Attributes[1].Name)
+
+	steps := []struct {
+		name string
+		op   func() error
+	}{
+		{"declare-a-b", func() error { return reg.Declare(a, b) }},
+		{"declare-a-c (transitive merge)", func() error { return reg.Declare(a, c) }},
+		{"remove-b", func() error { reg.Remove(b); return nil }},
+		{"re-declare-b-c", func() error { return reg.Declare(b, c) }},
+		{"remove-a", func() error { reg.Remove(a); return nil }},
+		{"remove-unknown", func() error {
+			reg.Remove(ecr.AttrRef{Schema: "w1", Object: "ghost", Attr: "x"})
+			return nil
+		}},
+	}
+	for _, step := range steps {
+		if err := step.op(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		checkAgainstDense(t, step.name, e, w.S1, w.S2, reg)
+	}
+}
+
+// TestSchemaReplaceStaleEquivalences reproduces the stale-registry case: a
+// schema is dropped and a namesake with different attributes takes its
+// place while the registry still holds the old schema's equivalences. The
+// engine's live-attribute filter must match the dense path, which only
+// looks up attributes the current schema declares.
+func TestSchemaReplaceStaleEquivalences(t *testing.T) {
+	mk := func(name, obj string, attrs ...string) *ecr.Schema {
+		s := ecr.NewSchema(name)
+		o := &ecr.ObjectClass{Name: obj, Kind: ecr.KindEntity}
+		for i, a := range attrs {
+			o.Attributes = append(o.Attributes, ecr.Attribute{Name: a, Domain: "char", Key: i == 0})
+		}
+		if err := s.AddObject(o); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 := mk("a", "O", "x", "y")
+	s2 := mk("b", "P", "u", "v")
+	reg := equivalence.NewRegistry()
+	reg.RegisterSchema(s1)
+	reg.RegisterSchema(s2)
+	e := Attach(reg)
+	if err := reg.Declare(
+		ecr.AttrRef{Schema: "a", Object: "O", Kind: ecr.KindEntity, Attr: "x"},
+		ecr.AttrRef{Schema: "b", Object: "P", Kind: ecr.KindEntity, Attr: "u"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstDense(t, "before-replace", e, s1, s2, reg)
+
+	// Replace schema "a": same object name, attribute x gone. The stale
+	// a.O.x equivalence must stop counting for the new schema.
+	s1v2 := mk("a", "O", "z", "y")
+	reg.RegisterSchema(s1v2)
+	checkAgainstDense(t, "after-replace", e, s1v2, s2, reg)
+	if got := e.ObjectMatrix(s1v2, s2).At("O", "P"); got != 0 {
+		t.Fatalf("stale equivalence still counted after replace: got %d, want 0", got)
+	}
+
+	// And the old schema value still queries consistently too.
+	checkAgainstDense(t, "old-schema-value", e, s1, s2, reg)
+}
+
+// TestEmptyAndLopsided covers degenerate shapes: empty schemas, no
+// relationships, single structures.
+func TestEmptyAndLopsided(t *testing.T) {
+	empty := ecr.NewSchema("empty")
+	w := genWorkload(t, 4, 3)
+	reg := w.Registry
+	e := Attach(reg)
+	checkAgainstDense(t, "empty-left", e, empty, w.S2, reg)
+	checkAgainstDense(t, "empty-right", e, w.S1, empty, reg)
+	checkAgainstDense(t, "empty-both", e, empty, empty, reg)
+	checkAgainstDense(t, "same-schema-both-sides", e, w.S1, w.S1, reg)
+}
+
+// TestAttachToPopulatedRegistry checks the bulk-load path builds the same
+// index as incremental maintenance.
+func TestAttachToPopulatedRegistry(t *testing.T) {
+	w := genWorkload(t, 20, 11)
+	late := Attach(w.Registry) // attach after workload declared everything
+	checkAgainstDense(t, "late-attach", late, w.S1, w.S2, w.Registry)
+}
+
+func TestRegistryVersionAdvances(t *testing.T) {
+	reg := equivalence.NewRegistry()
+	v0 := reg.Version()
+	a := ecr.AttrRef{Schema: "s", Object: "O", Attr: "x"}
+	b := ecr.AttrRef{Schema: "t", Object: "P", Attr: "y"}
+	reg.Register(a)
+	if reg.Version() == v0 {
+		t.Fatal("Register did not bump version")
+	}
+	v1 := reg.Version()
+	reg.Register(a) // no-op
+	if reg.Version() != v1 {
+		t.Fatal("re-registering a known attribute bumped version")
+	}
+	if err := reg.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	v2 := reg.Version()
+	if v2 == v1 {
+		t.Fatal("Declare did not bump version")
+	}
+	if err := reg.Declare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Version() != v2 {
+		t.Fatal("re-declaring an existing equivalence bumped version")
+	}
+	reg.Remove(b)
+	if reg.Version() == v2 {
+		t.Fatal("Remove did not bump version")
+	}
+	clone := reg.Clone()
+	if clone.Version() != reg.Version() {
+		t.Fatal("Clone lost the version counter")
+	}
+}
