@@ -6,22 +6,31 @@
 // bounded worker pool. See docs/MANUAL.md, "The server API", for the
 // endpoint reference.
 //
+// The server is multi-tenant: named workspaces, created over the API
+// (POST /v1/workspaces), each carry their own schemas, assertions, job
+// queue and — under -data-dir — their own journal, and never share a lock.
+// The unprefixed /v1/... routes address the built-in "default" workspace,
+// so single-tenant clients need no changes.
+//
 // Usage:
 //
 //	sit-server [-addr :8080] [-schemas file.ecr] [-workspace file.json]
-//	           [-workers 4] [-queue 64] [-request-timeout 30s]
-//	           [-job-timeout 5m] [-quiet]
+//	           [-workers 4] [-queue 64] [-max-workspaces 64]
+//	           [-request-timeout 30s] [-job-timeout 5m] [-quiet]
 //	           [-data-dir dir] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 256]
 //	           [-pprof addr]
 //
 // With -data-dir the server is durable: every mutating operation (schema
 // upload, equivalence, assertion, job lifecycle) is written ahead to an
-// append-only journal in that directory, periodically compacted into a
-// snapshot. On startup the workspace and job table are rebuilt from
-// snapshot + journal tail; jobs that were queued at crash time run again,
-// jobs that were running come back in the retryable "interrupted" state.
-// See docs/MANUAL.md, "Durability and recovery".
+// append-only journal, one per workspace under <data-dir>/<name>/,
+// periodically compacted into a snapshot. On startup every workspace's
+// state and job table are rebuilt from snapshot + journal tail; jobs that
+// were queued at crash time run again, jobs that were running come back in
+// the retryable "interrupted" state. A data directory written by the older
+// single-tenant layout is migrated into the default workspace's
+// subdirectory automatically. See docs/MANUAL.md, "Durability and
+// recovery".
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener drains
 // in-flight requests and the job queue finishes in-flight jobs within the
@@ -60,7 +69,8 @@ func run() error {
 	schemas := flag.String("schemas", "", "preload component schemas from an ECR DDL file")
 	workspace := flag.String("workspace", "", "preload a saved workspace JSON file (schemas, equivalences, assertions)")
 	workers := flag.Int("workers", 4, "job queue worker pool size")
-	queueCap := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 503)")
+	queueCap := flag.Int("queue", 64, "per-workspace job queue capacity (submissions beyond it get 503)")
+	maxWorkspaces := flag.Int("max-workspaces", 64, "maximum live workspaces, counting the default one (workspaces on disk always recover)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job execution timeout")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
@@ -85,6 +95,7 @@ func run() error {
 	cfg := server.Config{
 		Workers:        *workers,
 		QueueCapacity:  *queueCap,
+		MaxWorkspaces:  *maxWorkspaces,
 		RequestTimeout: *reqTimeout,
 		JobTimeout:     *jobTimeout,
 		ShutdownGrace:  *grace,
@@ -115,6 +126,8 @@ func run() error {
 		if logger != nil {
 			logger.Info("recovered",
 				"dataDir", *dataDir,
+				"workspaces", report.RecoveredWorkspaces,
+				"migratedLegacyLayout", report.MigratedLegacyLayout,
 				"snapshotSeq", report.SnapshotSeq,
 				"replayedRecords", report.ReplayedRecords,
 				"droppedBytes", report.DroppedBytes,

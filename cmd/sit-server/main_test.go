@@ -191,6 +191,110 @@ func TestDataDirSurvivesHardKill(t *testing.T) {
 	}
 }
 
+// TestWorkspacesSurviveHardKill boots the binary with -data-dir, creates
+// a named workspace next to the default one, uploads a schema into each,
+// SIGKILLs the process and restarts it on the same directory: both
+// tenants must come back with their own data.
+func TestWorkspacesSurviveHardKill(t *testing.T) {
+	bin := buildTool(t)
+	dataDir := t.TempDir()
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-max-workspaces", "4",
+		"-quiet",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	post := func(url, body string, want int) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s status = %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+	post(base+"/v1/workspaces", `{"name":"team-a"}`, http.StatusCreated)
+	post(base+"/v1/workspaces/team-a/schemas",
+		`{"ddl": "schema ours\nentity T {\n attr Id: int key\n}\n"}`, http.StatusCreated)
+	post(base+"/v1/schemas",
+		`{"ddl": "schema base\nentity U {\n attr Id: int key\n}\n"}`, http.StatusCreated)
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: a real crash
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	port2 := freePort(t)
+	addr2 := fmt.Sprintf("127.0.0.1:%d", port2)
+	cmd2 := exec.Command(bin,
+		"-addr", addr2,
+		"-data-dir", dataDir,
+		"-max-workspaces", "4",
+		"-quiet",
+	)
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd2.Process.Kill()
+	base2 := "http://" + addr2
+	waitHealthy(t, base2)
+
+	schemaNames := func(url string) []string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var list struct {
+			Schemas []struct {
+				Name string `json:"name"`
+			} `json:"schemas"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, s := range list.Schemas {
+			names = append(names, s.Name)
+		}
+		return names
+	}
+	if got := schemaNames(base2 + "/v1/workspaces/team-a/schemas"); len(got) != 1 || got[0] != "ours" {
+		t.Errorf("team-a schemas after restart = %v, want [ours]", got)
+	}
+	if got := schemaNames(base2 + "/v1/schemas"); len(got) != 1 || got[0] != "base" {
+		t.Errorf("default schemas after restart = %v, want [base]", got)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
 // TestWorkspaceFlagRejectedWithDataDir pins the CLI guard: a -workspace
 // preload would bypass the journal, so the pairing is refused.
 func TestWorkspaceFlagRejectedWithDataDir(t *testing.T) {

@@ -1,11 +1,14 @@
 // Server walkthrough: the paper's running example over the HTTP API.
 //
 // The program starts sit-server in-process on an ephemeral port, then
-// plays the DDA's session as an HTTP client: upload the Figure 3/4
-// component schemas (sc1, sc2), declare the attribute equivalences of
-// Screen 7, state the running example's assertions, submit the integration
-// as an async job, poll it to completion, and print the integrated schema
-// plus the server's metrics. Finally the server is shut down gracefully.
+// plays the DDA's session as an HTTP client — inside its own workspace, as
+// a tenant of a multi-tenant server: create the "registrar" workspace,
+// upload the Figure 3/4 component schemas (sc1, sc2), declare the
+// attribute equivalences of Screen 7, state the running example's
+// assertions, submit the integration as an async job, poll it to
+// completion, and print the integrated schema plus the server's metrics.
+// A second workspace comes and goes along the way to show that tenants
+// are fully isolated. Finally the server is shut down gracefully.
 //
 // Run with: go run ./examples/server
 package main
@@ -76,9 +79,23 @@ func main() {
 	base := "http://" + addr
 	fmt.Println("sit-server listening on", addr)
 
-	// 2. Upload the component schemas as ECR DDL.
-	post(base+"/v1/schemas", map[string]string{"ddl": schemasDDL}, nil)
+	// 2. Create a workspace for this integration session and upload the
+	// component schemas as ECR DDL into it. (The unprefixed /v1/... routes
+	// would address the built-in "default" workspace instead.)
+	post(base+"/v1/workspaces", map[string]string{"name": "registrar"}, nil)
+	ws := base + "/v1/workspaces/registrar"
+	fmt.Println("created workspace registrar")
+	post(ws+"/schemas", map[string]string{"ddl": schemasDDL}, nil)
 	fmt.Println("uploaded schemas sc1 and sc2")
+
+	// Another tenant's workspace is fully independent: it can hold its own
+	// schema named sc1 without touching ours, and deleting it later removes
+	// only its data.
+	post(base+"/v1/workspaces", map[string]string{"name": "library"}, nil)
+	post(base+"/v1/workspaces/library/schemas", map[string]string{
+		"ddl": "schema sc1\nentity Book {\n attr Isbn: char key\n}\n",
+	}, nil)
+	fmt.Println("created workspace library with its own, unrelated sc1")
 
 	// 3. Declare the attribute equivalences of Screen 7.
 	for _, pair := range [][2]string{
@@ -88,7 +105,7 @@ func main() {
 		{"Department.Dname", "Department.Dname"},
 		{"Majors.Since", "Stud_major.Since"},
 	} {
-		post(base+"/v1/equivalences", map[string]string{
+		post(ws+"/equivalences", map[string]string{
 			"schema1": "sc1", "attr1": pair[0],
 			"schema2": "sc2", "attr2": pair[1],
 		}, nil)
@@ -102,7 +119,7 @@ func main() {
 			Ratio            float64
 		} `json:"pairs"`
 	}
-	get(base+"/v1/resemblance?schema1=sc1&schema2=sc2", &ranked)
+	get(ws+"/resemblance?schema1=sc1&schema2=sc2", &ranked)
 	fmt.Println("\nresemblance-ranked object pairs:")
 	for _, p := range ranked.Pairs {
 		fmt.Printf("  %-12s %-14s %.4f\n", p.Object1, p.Object2, p.Ratio)
@@ -124,19 +141,19 @@ func main() {
 		{"sc1", "Student", 4, "sc2", "Faculty", false},
 		{"sc1", "Majors", 1, "sc2", "Stud_major", true},
 	} {
-		post(base+"/v1/assertions", a, nil)
+		post(ws+"/assertions", a, nil)
 	}
 	fmt.Println("\nstated 4 assertions")
 
 	// 6. Submit the integration as an async job and poll it.
 	var job server.Job
-	post(base+"/v1/jobs", server.JobRequest{
+	post(ws+"/jobs", server.JobRequest{
 		Type: "integrate", Schema1: "sc1", Schema2: "sc2",
 	}, &job)
 	fmt.Println("submitted", job.ID)
 	for !job.State.Terminal() {
 		time.Sleep(10 * time.Millisecond)
-		get(base+"/v1/jobs/"+job.ID, &job)
+		get(ws+"/jobs/"+job.ID, &job)
 	}
 	if job.State != server.JobDone {
 		log.Fatalf("job ended %s: %s", job.State, job.Error)
@@ -150,11 +167,16 @@ func main() {
 		fmt.Println(" ", line)
 	}
 
-	// 8. Peek at the server's metrics before shutting down.
+	// 8. The other tenant is done: delete its workspace. Ours — and the
+	// default — are untouched.
+	del(base + "/v1/workspaces/library")
+	fmt.Println("\ndeleted workspace library")
+
+	// 9. Peek at the server's metrics before shutting down.
 	var metrics server.MetricsSnapshot
 	get(base+"/metrics", &metrics)
-	fmt.Printf("\nmetrics: %d integration(s), queue depth %d\n",
-		metrics.IntegrationLatency.Count, metrics.QueueDepth)
+	fmt.Printf("\nmetrics: %d integration(s), queue depth %d, %d workspace(s) active\n",
+		metrics.IntegrationLatency.Count, metrics.QueueDepth, metrics.WorkspacesActive)
 	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Fatal(err)
 	}
@@ -183,6 +205,22 @@ func post(url string, v, out any) {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// del issues a DELETE and checks it succeeded.
+func del(url string) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		log.Fatalf("DELETE %s: %d", url, resp.StatusCode)
 	}
 }
 

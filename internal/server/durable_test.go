@@ -169,7 +169,7 @@ func TestCrashRecoveryTornTail(t *testing.T) {
 	ts.Close()
 	srv.Kill()
 
-	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, DefaultWorkspace, "journal.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestCrashRecoveryTruncatedFinalRecord(t *testing.T) {
 	ts.Close()
 	srv.Kill()
 
-	path := filepath.Join(dir, "journal.jsonl")
+	path := filepath.Join(dir, DefaultWorkspace, "journal.jsonl")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -365,10 +365,10 @@ func TestFsyncFailureDoesNotResurrectRejectedOps(t *testing.T) {
 	if report.RecoveredJobs != 1 {
 		t.Fatalf("recovered %d jobs, want only the acknowledged one: %+v", report.RecoveredJobs, report)
 	}
-	if _, ok := srv2.queue.Get("job-1"); ok {
+	if _, ok := srv2.defaultWS().queue.Get("job-1"); ok {
 		t.Error("job rejected on fsync failure resurrected after restart")
 	}
-	if _, ok := srv2.queue.Get("job-2"); !ok {
+	if _, ok := srv2.defaultWS().queue.Get("job-2"); !ok {
 		t.Error("acknowledged job lost after restart")
 	}
 }
@@ -412,7 +412,7 @@ func TestReplayedJobSubmitAlreadyInSnapshotIsSkipped(t *testing.T) {
 		t.Fatalf("recovery report = %+v, want exactly one copy of job-1", report)
 	}
 	count := 0
-	for _, job := range srv.queue.List() {
+	for _, job := range srv.defaultWS().queue.List() {
 		if job.ID == "job-1" {
 			count++
 		}

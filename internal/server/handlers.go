@@ -7,6 +7,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -122,6 +123,88 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
+// --- workspace lifecycle ---
+
+// workspaceInfo summarizes one workspace for listings and GETs.
+type workspaceInfo struct {
+	Name       string    `json:"name"`
+	Created    time.Time `json:"created"`
+	Schemas    int       `json:"schemas"`
+	QueueDepth int       `json:"queueDepth"`
+}
+
+func newWorkspaceInfo(ws *Workspace) workspaceInfo {
+	return workspaceInfo{
+		Name:       ws.name,
+		Created:    ws.created,
+		Schemas:    len(ws.store.SchemaNames()),
+		QueueDepth: ws.queue.Depth(),
+	}
+}
+
+// workspacePath is the canonical URL of a workspace's API root.
+func workspacePath(name string) string {
+	return "/v1/workspaces/" + url.PathEscape(name)
+}
+
+func (s *Server) handleWorkspacesList(w http.ResponseWriter, r *http.Request) {
+	out := []workspaceInfo{}
+	for _, ws := range s.manager.List() {
+		out = append(out, newWorkspaceInfo(ws))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workspaces": out})
+}
+
+// workspaceRequest creates a named workspace.
+type workspaceRequest struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleWorkspacesPost(w http.ResponseWriter, r *http.Request) {
+	var req workspaceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ws, err := s.manager.Create(req.Name)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrWorkspaceExists):
+			status = http.StatusConflict
+		case errors.Is(err, ErrWorkspaceCap):
+			status = http.StatusForbidden
+		case journal.IsError(err):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Location", workspacePath(ws.name))
+	writeJSON(w, http.StatusCreated, newWorkspaceInfo(ws))
+}
+
+func (s *Server) handleWorkspaceGet(w http.ResponseWriter, r *http.Request) {
+	ws, err := s.manager.Get(r.PathValue("ws"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, newWorkspaceInfo(ws))
+}
+
+func (s *Server) handleWorkspaceDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ws")
+	if err := s.manager.Delete(name); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
 // --- schemas ---
 
 // schemasRequest uploads component schemas: either DDL text (one or more
@@ -131,7 +214,7 @@ type schemasRequest struct {
 	Schema json.RawMessage `json:"schema,omitempty"`
 }
 
-func (s *Server) handleSchemasPost(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSchemasPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var req schemasRequest
 	if ct == "text/plain" || ct == "application/x-ecr-ddl" {
@@ -153,12 +236,12 @@ func (s *Server) handleSchemasPost(w http.ResponseWriter, r *http.Request) {
 	case req.DDL != "" && req.Schema != nil:
 		err = fmt.Errorf("request has both ddl and schema; send one")
 	case req.DDL != "":
-		added, err = s.store.AddSchemasDDL(req.DDL)
+		added, err = ws.store.AddSchemasDDL(req.DDL)
 	case req.Schema != nil:
 		var schema *ecr.Schema
 		schema, err = ecr.DecodeJSON(req.Schema)
 		if err == nil {
-			added, err = s.store.AddSchemas([]*ecr.Schema{schema})
+			added, err = ws.store.AddSchemas([]*ecr.Schema{schema})
 		}
 	default:
 		err = fmt.Errorf("request needs a ddl or schema field")
@@ -170,17 +253,17 @@ func (s *Server) handleSchemasPost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]any{"added": added})
 }
 
-func (s *Server) handleSchemasList(w http.ResponseWriter, r *http.Request) {
-	list := s.store.Schemas()
+func (s *Server) handleSchemasList(ws *Workspace, w http.ResponseWriter, r *http.Request) {
+	list := ws.store.Schemas()
 	if list == nil {
 		list = []SchemaStats{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"schemas": list})
 }
 
-func (s *Server) handleSchemaGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSchemaGet(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	schema := s.store.Schema(name)
+	schema := ws.store.Schema(name)
 	if schema == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("schema %q not found", name))
 		return
@@ -197,9 +280,9 @@ func (s *Server) handleSchemaGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleSchemaDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSchemaDelete(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	found, err := s.store.RemoveSchema(name)
+	found, err := ws.store.RemoveSchema(name)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -222,20 +305,20 @@ type equivalenceRequest struct {
 	Attr2   string `json:"attr2"`
 }
 
-func (s *Server) handleEquivalencesPost(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEquivalencesPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req equivalenceRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.store.DeclareEquivalence(req.Schema1, req.Attr1, req.Schema2, req.Attr2); err != nil {
+	if err := ws.store.DeclareEquivalence(req.Schema1, req.Attr1, req.Schema2, req.Attr2); err != nil {
 		writeError(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"declared": true})
 }
 
-func (s *Server) handleEquivalencesList(w http.ResponseWriter, r *http.Request) {
-	classes := s.store.EquivalenceClasses()
+func (s *Server) handleEquivalencesList(ws *Workspace, w http.ResponseWriter, r *http.Request) {
+	classes := ws.store.EquivalenceClasses()
 	if classes == nil {
 		classes = [][]ecr.AttrRef{}
 	}
@@ -260,13 +343,13 @@ func pairParams(r *http.Request) (s1, s2 string, rel bool, err error) {
 	return s1, s2, rel, nil
 }
 
-func (s *Server) handleResemblance(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResemblance(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	s1, s2, rel, err := pairParams(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pairs, err := s.store.RankedPairs(s1, s2, rel)
+	pairs, err := ws.store.RankedPairs(s1, s2, rel)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -274,13 +357,13 @@ func (s *Server) handleResemblance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"pairs": pairs})
 }
 
-func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMatrix(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	s1, s2, rel, err := pairParams(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := s.store.Matrix(s1, s2, rel)
+	m, err := ws.store.Matrix(s1, s2, rel)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -288,7 +371,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"matrix": m})
 }
 
-func (s *Server) handleSuggestions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSuggestions(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	s1, s2, _, err := pairParams(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -302,7 +385,7 @@ func (s *Server) handleSuggestions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	cands, err := s.store.Suggest(s1, s2, threshold)
+	cands, err := ws.store.Suggest(s1, s2, threshold)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -333,12 +416,12 @@ type assertionResponse struct {
 	Conflicts  []string `json:"conflicts,omitempty"`
 }
 
-func (s *Server) handleAssertionsPost(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAssertionsPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req assertionRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := s.store.Assert(req.Schema1, req.Object1, req.Code, req.Schema2, req.Object2, req.Relationship)
+	res, err := ws.store.Assert(req.Schema1, req.Object1, req.Code, req.Schema2, req.Object2, req.Relationship)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -357,13 +440,13 @@ func (s *Server) handleAssertionsPost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-func (s *Server) handleAssertionsList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAssertionsList(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	s1, s2, rel, err := pairParams(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	entries, err := s.store.Assertions(s1, s2, rel)
+	entries, err := ws.store.Assertions(s1, s2, rel)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -381,9 +464,10 @@ func (s *Server) handleAssertionsList(w http.ResponseWriter, r *http.Request) {
 
 // --- integration: sync endpoint and job queue ---
 
-// runIntegration executes one integration request against the store,
-// timing it into the latency histogram.
-func (s *Server) runIntegration(req JobRequest) (*IntegrationResult, error) {
+// runIntegration executes one integration request against the workspace's
+// store, timing it into the shared latency histogram and counting it under
+// the workspace's name.
+func (s *Server) runIntegration(ws *Workspace, req JobRequest) (*IntegrationResult, error) {
 	start := time.Now()
 	var (
 		res *integrate.Result
@@ -391,9 +475,9 @@ func (s *Server) runIntegration(req JobRequest) (*IntegrationResult, error) {
 	)
 	switch req.Type {
 	case "integrate":
-		res, err = s.store.Integrate(req.Schema1, req.Schema2)
+		res, err = ws.store.Integrate(req.Schema1, req.Schema2)
 	case "spec":
-		res, err = s.store.RunSpec(req.Spec)
+		res, err = ws.store.RunSpec(req.Spec)
 	default:
 		err = fmt.Errorf("server: unknown job type %q", req.Type)
 	}
@@ -402,10 +486,11 @@ func (s *Server) runIntegration(req JobRequest) (*IntegrationResult, error) {
 	}
 	elapsed := time.Since(start)
 	s.metrics.IntegrationLatency.Observe(elapsed)
+	s.metrics.ObserveIntegration(ws.name)
 	return newIntegrationResult(res, elapsed)
 }
 
-func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIntegrate(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -417,7 +502,7 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	result, err := s.runIntegration(req)
+	result, err := s.runIntegration(ws, req)
 	if err != nil {
 		var ierr *integrate.Error
 		if errors.As(err, &ierr) {
@@ -431,15 +516,15 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 }
 
 // retryAfterSeconds estimates how long a rejected submitter should back
-// off before the queue has room: the current backlog divided across the
-// worker pool, paced by the mean observed integration latency (1s when the
-// histogram is still empty), clamped to [1s, 300s].
-func (s *Server) retryAfterSeconds() int {
+// off before the workspace's queue has room: the current backlog divided
+// across the worker pool, paced by the mean observed integration latency
+// (1s when the histogram is still empty), clamped to [1s, 300s].
+func (s *Server) retryAfterSeconds(ws *Workspace) int {
 	mean := s.metrics.IntegrationLatency.Mean()
 	if mean <= 0 {
 		mean = 1
 	}
-	depth := s.queue.Depth()
+	depth := ws.queue.Depth()
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -454,39 +539,50 @@ func (s *Server) retryAfterSeconds() int {
 	return secs
 }
 
-func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
+// jobPath is the URL a submitted job can be polled at. Jobs are namespaced
+// per workspace: a submit through the workspace-scoped route points into
+// that workspace, one through the unprefixed alias keeps the legacy
+// unprefixed form (both address the same default-workspace job).
+func jobPath(r *http.Request, id string) string {
+	if ws := r.PathValue("ws"); ws != "" {
+		return workspacePath(ws) + "/jobs/" + id
+	}
+	return "/v1/jobs/" + id
+}
+
+func (s *Server) handleJobsPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	job, err := s.queue.Submit(req)
+	job, err := ws.queue.Submit(req)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
 		case errors.Is(err, errQueueFull):
 			status = http.StatusServiceUnavailable
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(ws)))
 		case errors.Is(err, errQueueClosed), journal.IsError(err):
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
 		return
 	}
-	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	w.Header().Set("Location", jobPath(r, job.ID))
 	writeJSON(w, http.StatusAccepted, job)
 }
 
-func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.queue.List()
+func (s *Server) handleJobsList(ws *Workspace, w http.ResponseWriter, r *http.Request) {
+	jobs := ws.queue.List()
 	if jobs == nil {
 		jobs = []Job{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobGet(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := s.queue.Get(id)
+	job, ok := ws.queue.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
 		return

@@ -178,8 +178,9 @@ func TestQueueFullSetsRetryAfter(t *testing.T) {
 	// Swap in a single-worker, single-slot queue whose job blocks, so the
 	// backlog is under test control.
 	block := make(chan struct{})
-	old := srv.queue
-	srv.queue = NewQueue(1, 1, 0, func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
+	ws := srv.defaultWS()
+	old := ws.queue
+	ws.queue = NewQueue(1, 1, 0, func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
 		select {
 		case <-block:
 			return &IntegrationResult{}, nil
@@ -189,20 +190,20 @@ func TestQueueFullSetsRetryAfter(t *testing.T) {
 	})
 	defer func() {
 		close(block)
-		srv.queue.Shutdown(context.Background())
+		ws.queue.Shutdown(context.Background())
 		old.Shutdown(context.Background())
 	}()
 	// Seed a known latency profile: mean 10s.
 	srv.metrics.IntegrationLatency.Observe(10 * time.Second)
 
 	req := JobRequest{Type: "integrate", Schema1: "a", Schema2: "b"}
-	if _, err := srv.queue.Submit(req); err != nil {
+	if _, err := ws.queue.Submit(req); err != nil {
 		t.Fatal(err)
 	}
 	// Wait for the worker to pull job-1 off the buffer, then fill the slot.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if job, _ := srv.queue.Get("job-1"); job.State == JobRunning {
+		if job, _ := ws.queue.Get("job-1"); job.State == JobRunning {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -210,7 +211,7 @@ func TestQueueFullSetsRetryAfter(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := srv.queue.Submit(req); err != nil {
+	if _, err := ws.queue.Submit(req); err != nil {
 		t.Fatal(err)
 	}
 

@@ -85,6 +85,27 @@ func formatBound(b float64) string {
 	return strconv.FormatInt(int64(b*1000), 10) + "ms"
 }
 
+// maxWorkspaceLabels bounds how many workspaces get their own entry in the
+// /metrics per-workspace table; the rest fold into "other" so a server with
+// many tenants cannot blow up the metric's label cardinality.
+const maxWorkspaceLabels = 8
+
+// WorkspaceCounters are one workspace's traffic counters.
+type WorkspaceCounters struct {
+	// JobsFinished counts jobs that reached a terminal state (done, failed
+	// or canceled).
+	JobsFinished uint64 `json:"jobsFinished"`
+	// Integrations counts successful integration runs (sync and async).
+	Integrations uint64 `json:"integrations"`
+}
+
+func (c WorkspaceCounters) traffic() uint64 { return c.JobsFinished + c.Integrations }
+
+func (c *WorkspaceCounters) add(o WorkspaceCounters) {
+	c.JobsFinished += o.JobsFinished
+	c.Integrations += o.Integrations
+}
+
 // Metrics aggregates the server's operational counters: requests by route
 // and status class, job lifecycle counts, queue depth and the integration
 // latency histogram. Everything is hand-rolled over a mutex so the package
@@ -95,6 +116,15 @@ type Metrics struct {
 	requests map[string]map[string]uint64 // route -> status class -> count
 	jobs     map[JobState]uint64
 	panics   uint64
+
+	// workspaces holds per-tenant counters for live workspaces (bounded by
+	// the server's workspace cap); otherWS accumulates counters folded in
+	// from deleted workspaces.
+	workspaces map[string]*WorkspaceCounters
+	otherWS    WorkspaceCounters
+	// workspaceCount, when set, reports the live workspace count (the
+	// workspaces_active gauge).
+	workspaceCount func() int
 
 	// journal counters (durable servers only).
 	durable             bool
@@ -124,6 +154,7 @@ func NewMetrics() *Metrics {
 		started:            time.Now().UTC(),
 		requests:           map[string]map[string]uint64{},
 		jobs:               map[JobState]uint64{},
+		workspaces:         map[string]*WorkspaceCounters{},
 		IntegrationLatency: NewHistogram(),
 		JournalFsync:       NewHistogram(),
 	}
@@ -135,6 +166,39 @@ func (m *Metrics) SetQueueDepthFunc(fn func() int) { m.queueDepth = fn }
 // SetSimilarityStatsFunc wires the similarity-cache counters.
 func (m *Metrics) SetSimilarityStatsFunc(fn func() (hits, misses uint64)) {
 	m.similarityStats = fn
+}
+
+// SetWorkspaceCountFunc wires the workspaces_active gauge.
+func (m *Metrics) SetWorkspaceCountFunc(fn func() int) { m.workspaceCount = fn }
+
+// workspace returns the named workspace's counters, creating them on first
+// touch. Caller holds m.mu.
+func (m *Metrics) workspace(ws string) *WorkspaceCounters {
+	c := m.workspaces[ws]
+	if c == nil {
+		c = &WorkspaceCounters{}
+		m.workspaces[ws] = c
+	}
+	return c
+}
+
+// ObserveIntegration counts one successful integration run under its
+// workspace.
+func (m *Metrics) ObserveIntegration(ws string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workspace(ws).Integrations++
+}
+
+// ForgetWorkspace folds a deleted workspace's counters into the "other"
+// bucket so totals survive the tenant without the label lingering.
+func (m *Metrics) ForgetWorkspace(ws string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.workspaces[ws]; c != nil {
+		m.otherWS.add(*c)
+		delete(m.workspaces, ws)
+	}
 }
 
 // ObserveRequest counts one served request under its route pattern and
@@ -151,11 +215,16 @@ func (m *Metrics) ObserveRequest(route string, status int) {
 	byStatus[class]++
 }
 
-// ObserveJob counts one job state transition.
-func (m *Metrics) ObserveJob(state JobState) {
+// ObserveJob counts one job state transition: globally by state, and —
+// when the state is terminal — under the owning workspace's counters.
+func (m *Metrics) ObserveJob(ws string, state JobState) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobs[state]++
+	switch state {
+	case JobDone, JobFailed, JobCanceled:
+		m.workspace(ws).JobsFinished++
+	}
 }
 
 // ObservePanic counts one recovered handler panic.
@@ -198,6 +267,44 @@ func (m *Metrics) SetDurability(recoveredWorkspaces, recoveredJobs int, age func
 	m.snapshotAge = age
 }
 
+// snapshotWorkspacesLocked renders the per-workspace counters with bounded
+// cardinality: the top maxWorkspaceLabels workspaces by traffic keep their
+// label; the rest — plus everything ForgetWorkspace already folded — merge
+// into "other". Caller holds m.mu.
+func (m *Metrics) snapshotWorkspacesLocked() map[string]WorkspaceCounters {
+	if len(m.workspaces) == 0 && m.otherWS.traffic() == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m.workspaces))
+	for name := range m.workspaces {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := m.workspaces[names[i]].traffic(), m.workspaces[names[j]].traffic()
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
+	})
+	out := make(map[string]WorkspaceCounters, maxWorkspaceLabels+1)
+	other := m.otherWS
+	for i, name := range names {
+		if i < maxWorkspaceLabels {
+			out[name] = *m.workspaces[name]
+		} else {
+			other.add(*m.workspaces[name])
+		}
+	}
+	if other.traffic() > 0 {
+		folded := other
+		if prev, ok := out["other"]; ok {
+			folded.add(prev)
+		}
+		out["other"] = folded
+	}
+	return out
+}
+
 func statusClass(status int) string {
 	switch {
 	case status >= 500:
@@ -219,6 +326,12 @@ type MetricsSnapshot struct {
 	QueueDepth         int                          `json:"queueDepth"`
 	PanicsTotal        uint64                       `json:"panicsTotal"`
 	IntegrationLatency HistogramSnapshot            `json:"integrationLatency"`
+	// WorkspacesActive gauges the live workspace count.
+	WorkspacesActive int `json:"workspaces_active"`
+	// Workspaces carries per-tenant traffic counters, cardinality-bounded:
+	// the top maxWorkspaceLabels workspaces by traffic keep their own label;
+	// everything else (and every deleted workspace) aggregates as "other".
+	Workspaces map[string]WorkspaceCounters `json:"workspaces,omitempty"`
 	// Similarity-cache counters (ranked pairs and count matrices memoized
 	// per schema pair in the store).
 	SimilarityCacheHits   uint64 `json:"similarity_cache_hits"`
@@ -256,7 +369,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	started := m.started
 	depthFn := m.queueDepth
 	simFn := m.similarityStats
+	countFn := m.workspaceCount
 	panics := m.panics
+	wsSnap := m.snapshotWorkspacesLocked()
 	var journal *JournalSnapshot
 	var ageFn func() float64
 	if m.durable {
@@ -277,9 +392,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Jobs:               jobs,
 		PanicsTotal:        panics,
 		IntegrationLatency: m.IntegrationLatency.Snapshot(),
+		Workspaces:         wsSnap,
 	}
 	if depthFn != nil {
 		snap.QueueDepth = depthFn()
+	}
+	if countFn != nil {
+		snap.WorkspacesActive = countFn()
 	}
 	if simFn != nil {
 		snap.SimilarityCacheHits, snap.SimilarityCacheMisses = simFn()

@@ -51,10 +51,11 @@ func TestMetricsRequestsAndJobs(t *testing.T) {
 	m.ObserveRequest("GET /healthz", 204)
 	m.ObserveRequest("POST /v1/schemas", 400)
 	m.ObserveRequest("POST /v1/schemas", 503)
-	m.ObserveJob(JobQueued)
-	m.ObserveJob(JobRunning)
-	m.ObserveJob(JobDone)
+	m.ObserveJob(DefaultWorkspace, JobQueued)
+	m.ObserveJob(DefaultWorkspace, JobRunning)
+	m.ObserveJob(DefaultWorkspace, JobDone)
 	m.SetQueueDepthFunc(func() int { return 7 })
+	m.SetWorkspaceCountFunc(func() int { return 3 })
 
 	snap := m.Snapshot()
 	if snap.Requests["GET /healthz"]["2xx"] != 2 {
@@ -68,6 +69,12 @@ func TestMetricsRequestsAndJobs(t *testing.T) {
 	}
 	if snap.QueueDepth != 7 {
 		t.Errorf("queueDepth = %d", snap.QueueDepth)
+	}
+	if snap.WorkspacesActive != 3 {
+		t.Errorf("workspacesActive = %d", snap.WorkspacesActive)
+	}
+	if snap.Workspaces[DefaultWorkspace].JobsFinished != 1 {
+		t.Errorf("workspace counters = %+v", snap.Workspaces)
 	}
 	if snap.UptimeSeconds < 0 {
 		t.Errorf("uptime = %v", snap.UptimeSeconds)
@@ -83,7 +90,7 @@ func TestMetricsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				m.ObserveRequest("GET /x", 200)
-				m.ObserveJob(JobDone)
+				m.ObserveJob(DefaultWorkspace, JobDone)
 				m.IntegrationLatency.Observe(time.Millisecond)
 				_ = m.Snapshot()
 			}

@@ -13,10 +13,10 @@ import (
 // Config parameterizes a Server. The zero value is usable: sensible
 // defaults are filled in by New.
 type Config struct {
-	// Workers is the job-queue worker pool size (default 4).
+	// Workers is the per-workspace job-queue worker pool size (default 4).
 	Workers int
-	// QueueCapacity bounds the number of queued-but-unstarted jobs
-	// (default 64); submissions beyond it are rejected with 503.
+	// QueueCapacity bounds the number of queued-but-unstarted jobs per
+	// workspace (default 64); submissions beyond it are rejected with 503.
 	QueueCapacity int
 	// RequestTimeout bounds each HTTP request's context (default 30s).
 	RequestTimeout time.Duration
@@ -24,11 +24,16 @@ type Config struct {
 	JobTimeout time.Duration
 	// ShutdownGrace bounds the drain on graceful shutdown (default 10s).
 	ShutdownGrace time.Duration
+	// MaxWorkspaces caps how many workspaces may exist at once, counting
+	// the default one (default 64). Recovery never refuses workspaces that
+	// already exist on disk; the cap applies to creations.
+	MaxWorkspaces int
 	// Logger receives structured request and lifecycle logs; nil
 	// disables logging.
 	Logger *slog.Logger
-	// Store optionally supplies a pre-populated store (for example from
-	// a loaded workspace); nil starts empty.
+	// Store optionally seeds the default workspace with a pre-populated
+	// store (for example from a loaded workspace file); nil starts empty.
+	// Ignored by Open, where the data directory is authoritative.
 	Store *Store
 }
 
@@ -48,57 +53,137 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
-	if c.Store == nil {
-		c.Store = NewStore()
+	if c.MaxWorkspaces <= 0 {
+		c.MaxWorkspaces = 64
 	}
 	return c
 }
 
-// Server ties the store, the job queue, the metrics registry and the HTTP
-// mux together.
+// Server ties the workspace manager, the metrics registry and the HTTP mux
+// together. Each workspace carries its own store, job queue and (on
+// durable servers) journal; the server owns only the shared plumbing.
 type Server struct {
 	cfg     Config
-	store   *Store
-	queue   *Queue
+	manager *Manager
 	metrics *Metrics
 	mux     *http.ServeMux
 	log     *slog.Logger
 
-	// persist is the durability layer (journal + compaction loop); nil
-	// for a memory-only server. Set by Open via attachJournal.
-	persist *persister
+	// dcfg, when set, makes every workspace durable: each gets its own
+	// journal under dcfg.Dir/<name>/. Set by Open before any workspace is
+	// built.
+	dcfg *DurabilityConfig
+
+	// seed, when set, becomes the default workspace's store on first
+	// build (consumed exactly once).
+	seed *Store
 
 	mu       sync.Mutex
 	listener net.Listener
 	httpSrv  *http.Server
 }
 
-// New builds a ready-to-serve Server (not yet listening).
+// New builds a ready-to-serve memory-only Server (not yet listening) with
+// the default workspace created.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	s := newServer(cfg, nil)
+	s.seed = cfg.Store
+	if _, err := s.manager.Create(DefaultWorkspace); err != nil {
+		// Unreachable: the manager is empty and the name is valid.
+		panic(err)
+	}
+	return s
+}
+
+// newServer wires the shared pieces (manager, metrics, routes) without
+// creating any workspace; Open populates the manager from disk instead.
+func newServer(cfg Config, dcfg *DurabilityConfig) *Server {
 	s := &Server{
 		cfg:     cfg,
-		store:   cfg.Store,
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		log:     cfg.Logger,
+		dcfg:    dcfg,
 	}
-	s.queue = NewQueue(cfg.Workers, cfg.QueueCapacity, cfg.JobTimeout,
-		func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			return s.runIntegration(req)
-		})
-	s.metrics.SetQueueDepthFunc(s.queue.Depth)
-	s.metrics.SetSimilarityStatsFunc(s.store.SimilarityCacheStats)
-	s.queue.SetObserver(func(j Job) { s.metrics.ObserveJob(j.State) })
+	s.manager = NewManager(cfg.MaxWorkspaces, s.buildWorkspace, s.destroyWorkspace)
+	s.metrics.SetQueueDepthFunc(s.manager.TotalQueueDepth)
+	s.metrics.SetSimilarityStatsFunc(s.manager.TotalSimilarityStats)
+	s.metrics.SetWorkspaceCountFunc(s.manager.Len)
 	s.routes()
 	return s
 }
 
-// Store exposes the underlying store (tests, in-process embedding).
-func (s *Server) Store() *Store { return s.store }
+// newWorkspaceFrom assembles a workspace around an existing store: its own
+// job queue (own job-ID sequence) whose executor runs against that store,
+// wired into the shared metrics under the workspace's name.
+func (s *Server) newWorkspaceFrom(name string, st *Store) *Workspace {
+	ws := &Workspace{name: name, created: time.Now().UTC(), store: st}
+	ws.queue = NewQueue(s.cfg.Workers, s.cfg.QueueCapacity, s.cfg.JobTimeout,
+		func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return s.runIntegration(ws, req)
+		})
+	ws.queue.SetObserver(func(j Job) { s.metrics.ObserveJob(name, j.State) })
+	return ws
+}
+
+// buildWorkspace provisions a brand-new workspace (Manager.Create hook):
+// an empty store — or the configured seed for the first default — plus, on
+// durable servers, a fresh journal directory.
+func (s *Server) buildWorkspace(name string) (*Workspace, error) {
+	st := NewStore()
+	if name == DefaultWorkspace && s.seed != nil {
+		st = s.seed
+		s.seed = nil
+	}
+	ws := s.newWorkspaceFrom(name, st)
+	if s.dcfg != nil {
+		if err := s.openWorkspaceJournal(ws); err != nil {
+			ws.queue.Kill()
+			return nil, err
+		}
+	}
+	return ws, nil
+}
+
+// destroyWorkspace releases a deleted workspace's resources: the queue is
+// torn down (in-flight jobs are awaited, buffered ones canceled), the
+// journal closed, and the data subdirectory removed. Runs outside the
+// manager lock.
+func (s *Server) destroyWorkspace(ws *Workspace) {
+	ws.queue.Kill()
+	if ws.persist != nil {
+		ws.persist.stopLoop()
+		ws.persist.j.CloseAbrupt()
+		if err := removeWorkspaceDir(s.dcfg.Dir, ws.name); err != nil && s.log != nil {
+			s.log.Error("remove workspace data", "workspace", ws.name, "error", err)
+		}
+	}
+	s.metrics.ForgetWorkspace(ws.name)
+	if s.log != nil {
+		s.log.Info("workspace deleted", "workspace", ws.name)
+	}
+}
+
+// Workspaces exposes the workspace manager (tests, in-process embedding).
+func (s *Server) Workspaces() *Manager { return s.manager }
+
+// defaultWS returns the default workspace, which exists for the server's
+// whole lifetime.
+func (s *Server) defaultWS() *Workspace {
+	ws, err := s.manager.Get(DefaultWorkspace)
+	if err != nil {
+		panic("server: default workspace missing")
+	}
+	return ws
+}
+
+// Store exposes the default workspace's store (tests, in-process
+// embedding, CLI preloads).
+func (s *Server) Store() *Store { return s.defaultWS().store }
 
 // Metrics exposes the metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -108,29 +193,57 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.Handle(pattern, instrument(pattern, s.log, s.metrics, s.cfg.RequestTimeout, h))
 }
 
+// handleWS registers one data-plane route twice: under the workspace
+// prefix (/v1/workspaces/{ws}/...) and unprefixed (/v1/...) as an alias
+// for the default workspace, so pre-workspace clients keep working. The
+// handler receives the resolved workspace; an unknown name is 404.
+func (s *Server) handleWS(method, suffix string, h func(*Workspace, http.ResponseWriter, *http.Request)) {
+	wrapped := func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("ws")
+		if name == "" {
+			name = DefaultWorkspace
+		}
+		ws, err := s.manager.Get(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		h(ws, w, r)
+	}
+	s.handle(method+" /v1"+suffix, wrapped)
+	s.handle(method+" /v1/workspaces/{ws}"+suffix, wrapped)
+}
+
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 
-	s.handle("POST /v1/schemas", s.handleSchemasPost)
-	s.handle("GET /v1/schemas", s.handleSchemasList)
-	s.handle("GET /v1/schemas/{name}", s.handleSchemaGet)
-	s.handle("DELETE /v1/schemas/{name}", s.handleSchemaDelete)
+	// Workspace lifecycle.
+	s.handle("GET /v1/workspaces", s.handleWorkspacesList)
+	s.handle("POST /v1/workspaces", s.handleWorkspacesPost)
+	s.handle("GET /v1/workspaces/{ws}", s.handleWorkspaceGet)
+	s.handle("DELETE /v1/workspaces/{ws}", s.handleWorkspaceDelete)
 
-	s.handle("POST /v1/equivalences", s.handleEquivalencesPost)
-	s.handle("GET /v1/equivalences", s.handleEquivalencesList)
+	// Data plane, workspace-scoped with unprefixed default aliases.
+	s.handleWS("POST", "/schemas", s.handleSchemasPost)
+	s.handleWS("GET", "/schemas", s.handleSchemasList)
+	s.handleWS("GET", "/schemas/{name}", s.handleSchemaGet)
+	s.handleWS("DELETE", "/schemas/{name}", s.handleSchemaDelete)
 
-	s.handle("GET /v1/resemblance", s.handleResemblance)
-	s.handle("GET /v1/matrix", s.handleMatrix)
-	s.handle("GET /v1/suggestions", s.handleSuggestions)
+	s.handleWS("POST", "/equivalences", s.handleEquivalencesPost)
+	s.handleWS("GET", "/equivalences", s.handleEquivalencesList)
 
-	s.handle("POST /v1/assertions", s.handleAssertionsPost)
-	s.handle("GET /v1/assertions", s.handleAssertionsList)
+	s.handleWS("GET", "/resemblance", s.handleResemblance)
+	s.handleWS("GET", "/matrix", s.handleMatrix)
+	s.handleWS("GET", "/suggestions", s.handleSuggestions)
 
-	s.handle("POST /v1/integrate", s.handleIntegrate)
-	s.handle("POST /v1/jobs", s.handleJobsPost)
-	s.handle("GET /v1/jobs", s.handleJobsList)
-	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handleWS("POST", "/assertions", s.handleAssertionsPost)
+	s.handleWS("GET", "/assertions", s.handleAssertionsList)
+
+	s.handleWS("POST", "/integrate", s.handleIntegrate)
+	s.handleWS("POST", "/jobs", s.handleJobsPost)
+	s.handleWS("GET", "/jobs", s.handleJobsList)
+	s.handleWS("GET", "/jobs/{id}", s.handleJobGet)
 }
 
 // Handler returns the full HTTP handler (httptest and embedding).
@@ -165,8 +278,8 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Shutdown stops the HTTP listener (draining in-flight requests) and then
-// the job queue, bounded by the context (falling back to the configured
-// grace period when the context has no deadline).
+// every workspace's job queue, bounded by the context (falling back to the
+// configured grace period when the context has no deadline).
 func (s *Server) Shutdown(ctx context.Context) error {
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
@@ -183,21 +296,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			first = err
 		}
 	}
-	// Compact before draining the queue: jobs still buffered are captured
-	// as queued in the snapshot (the drain below only cancels them in
-	// memory), so they are re-enqueued by the next process.
-	if s.persist != nil {
-		s.persist.stopLoop()
-		if err := s.Compact(); err != nil && first == nil {
+	// Per workspace: compact before draining the queue, so jobs still
+	// buffered are captured as queued in the snapshot (the drain below only
+	// cancels them in memory) and are re-enqueued by the next process.
+	for _, ws := range s.manager.List() {
+		if ws.persist != nil {
+			ws.persist.stopLoop()
+			if err := s.compactWorkspace(ws); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := ws.queue.Shutdown(ctx); err != nil && first == nil {
 			first = err
 		}
-	}
-	if err := s.queue.Shutdown(ctx); err != nil && first == nil {
-		first = err
-	}
-	if s.persist != nil {
-		if err := s.persist.j.Close(); err != nil && first == nil {
-			first = err
+		if ws.persist != nil {
+			if err := ws.persist.j.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	if s.log != nil {

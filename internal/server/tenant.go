@@ -1,0 +1,218 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultWorkspace is the tenant behind the unprefixed /v1/... routes:
+// every pre-workspace client keeps talking to it without change. It exists
+// from server start and cannot be deleted.
+const DefaultWorkspace = "default"
+
+// MaxWorkspaceNameLen bounds workspace names. Names become directory names
+// under the data directory, so the cap keeps paths portable.
+const MaxWorkspaceNameLen = 64
+
+// Workspace lifecycle errors. Handlers classify them with errors.Is, never
+// by message text.
+var (
+	// ErrWorkspaceExists rejects creating a name that is already taken.
+	ErrWorkspaceExists = errors.New("workspace already exists")
+	// ErrWorkspaceCap rejects creation beyond the configured maximum.
+	ErrWorkspaceCap = errors.New("workspace cap reached")
+	// ErrDefaultWorkspace rejects deleting the default workspace.
+	ErrDefaultWorkspace = errors.New("the default workspace cannot be deleted")
+)
+
+// ValidateWorkspaceName enforces the naming rules: 1..MaxWorkspaceNameLen
+// characters from [A-Za-z0-9._-], no path separators, no ".." sequence, and
+// no leading "." or "-" (hidden directories are reserved for the server's
+// own bookkeeping; a leading dash reads like a flag).
+func ValidateWorkspaceName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("server: workspace name is empty")
+	case len(name) > MaxWorkspaceNameLen:
+		return fmt.Errorf("server: workspace name longer than %d characters", MaxWorkspaceNameLen)
+	case strings.ContainsAny(name, "/\\"):
+		return fmt.Errorf("server: workspace name %q contains a path separator", name)
+	case strings.Contains(name, ".."):
+		return fmt.Errorf("server: workspace name %q contains %q", name, "..")
+	case name[0] == '.' || name[0] == '-':
+		return fmt.Errorf("server: workspace name %q starts with %q", name, string(name[0]))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("server: workspace name %q contains %q (allowed: letters, digits, '.', '_', '-')", name, string(r))
+		}
+	}
+	return nil
+}
+
+// Workspace is one tenant of the server: a named store with its own
+// RWMutex, generation counters and similarity/integration caches, its own
+// job queue (and job-ID sequence), and — on durable servers — its own
+// write-ahead journal under <data-dir>/<name>/. Two workspaces share no
+// locks, so traffic for different tenants never serializes.
+type Workspace struct {
+	name    string
+	created time.Time
+	store   *Store
+	queue   *Queue
+	// persist is the workspace's durability layer (journal + compaction
+	// loop); nil on memory-only servers.
+	persist *persister
+}
+
+// Name returns the workspace's name.
+func (ws *Workspace) Name() string { return ws.name }
+
+// Created returns the workspace's creation (or recovery) time.
+func (ws *Workspace) Created() time.Time { return ws.created }
+
+// Store exposes the workspace's store (tests, in-process embedding).
+func (ws *Workspace) Store() *Store { return ws.store }
+
+// Manager owns the named workspaces: a concurrent map guarded by an
+// RWMutex that covers only membership — every workspace's own traffic runs
+// on the workspace's locks. build provisions a new workspace's resources
+// (store, queue, journal), destroy releases them; destroy runs outside the
+// manager lock so tearing one tenant down never stalls the others.
+type Manager struct {
+	max     int
+	build   func(name string) (*Workspace, error)
+	destroy func(*Workspace)
+
+	mu     sync.RWMutex
+	byName map[string]*Workspace
+}
+
+// NewManager returns a manager enforcing the given workspace cap (counting
+// the default workspace).
+func NewManager(max int, build func(name string) (*Workspace, error), destroy func(*Workspace)) *Manager {
+	return &Manager{
+		max:     max,
+		build:   build,
+		destroy: destroy,
+		byName:  map[string]*Workspace{},
+	}
+}
+
+// Get returns the named workspace, or an ErrNotFound-classified error.
+func (m *Manager) Get(name string) (*Workspace, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ws, ok := m.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("server: workspace %q %w", name, ErrNotFound)
+	}
+	return ws, nil
+}
+
+// Create validates the name, enforces the cap, provisions the workspace
+// and registers it. The build runs under the manager lock: creation is
+// rare and cheap (a map insert, or a directory plus an empty journal on
+// durable servers), and holding the lock keeps two concurrent creates of
+// the same name from racing.
+func (m *Manager) Create(name string) (*Workspace, error) {
+	if err := ValidateWorkspaceName(name); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byName[name]; ok {
+		return nil, fmt.Errorf("server: workspace %q: %w", name, ErrWorkspaceExists)
+	}
+	if m.max > 0 && len(m.byName) >= m.max {
+		return nil, fmt.Errorf("server: %w (max %d)", ErrWorkspaceCap, m.max)
+	}
+	ws, err := m.build(name)
+	if err != nil {
+		return nil, err
+	}
+	m.byName[name] = ws
+	return ws, nil
+}
+
+// adopt registers an already-provisioned workspace (recovery). It bypasses
+// the cap — workspaces that exist on disk are never refused — but still
+// rejects duplicate names.
+func (m *Manager) adopt(ws *Workspace) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byName[ws.name]; ok {
+		return fmt.Errorf("server: workspace %q: %w", ws.name, ErrWorkspaceExists)
+	}
+	m.byName[ws.name] = ws
+	return nil
+}
+
+// Delete removes the named workspace and releases its resources (queue,
+// journal, data subdirectory). The map entry goes under the lock so new
+// requests immediately 404; the teardown — which waits out in-flight jobs —
+// runs after the lock is dropped so other tenants keep moving.
+func (m *Manager) Delete(name string) error {
+	if name == DefaultWorkspace {
+		return fmt.Errorf("server: %w", ErrDefaultWorkspace)
+	}
+	m.mu.Lock()
+	ws, ok := m.byName[name]
+	if ok {
+		delete(m.byName, name)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: workspace %q %w", name, ErrNotFound)
+	}
+	if m.destroy != nil {
+		m.destroy(ws)
+	}
+	return nil
+}
+
+// List returns the workspaces sorted by name.
+func (m *Manager) List() []*Workspace {
+	m.mu.RLock()
+	out := make([]*Workspace, 0, len(m.byName))
+	for _, ws := range m.byName {
+		out = append(out, ws)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of live workspaces (the workspaces_active gauge).
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byName)
+}
+
+// TotalQueueDepth sums the queue depth across every workspace.
+func (m *Manager) TotalQueueDepth() int {
+	total := 0
+	for _, ws := range m.List() {
+		total += ws.queue.Depth()
+	}
+	return total
+}
+
+// TotalSimilarityStats sums the similarity-cache counters across every
+// workspace.
+func (m *Manager) TotalSimilarityStats() (hits, misses uint64) {
+	for _, ws := range m.List() {
+		h, miss := ws.store.SimilarityCacheStats()
+		hits += h
+		misses += miss
+	}
+	return hits, misses
+}

@@ -1,0 +1,631 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ecr"
+	"repro/internal/journal"
+	"repro/internal/paperex"
+)
+
+func TestValidateWorkspaceName(t *testing.T) {
+	accept := []string{
+		"a", "default", "team-1", "Team_2", "a.b.c", "x" + strings.Repeat("y", 62),
+		"0numeric", "UPPER", "mixed-Case_1.2",
+	}
+	for _, name := range accept {
+		if err := ValidateWorkspaceName(name); err != nil {
+			t.Errorf("ValidateWorkspaceName(%q) = %v, want nil", name, err)
+		}
+	}
+	reject := []struct {
+		name, why string
+	}{
+		{"", "empty"},
+		{strings.Repeat("x", MaxWorkspaceNameLen+1), "too long"},
+		{"a/b", "path separator"},
+		{`a\b`, "backslash"},
+		{"..", "dot-dot"},
+		{"a..b", "embedded dot-dot"},
+		{"../etc", "traversal"},
+		{".hidden", "leading dot"},
+		{"-flag", "leading dash"},
+		{"sp ace", "space"},
+		{"tab\tname", "tab"},
+		{"unié", "non-ASCII"},
+		{"semi;colon", "punctuation"},
+		{"null\x00byte", "NUL"},
+	}
+	for _, tc := range reject {
+		if err := ValidateWorkspaceName(tc.name); err == nil {
+			t.Errorf("ValidateWorkspaceName(%q) accepted (%s)", tc.name, tc.why)
+		}
+	}
+}
+
+// uploadPaperSchemasAt uploads the paper's two schemas under an API root
+// that already carries the workspace prefix (uploadPaperSchemas assumes the
+// unprefixed legacy routes).
+func uploadPaperSchemasAt(t testing.TB, client *http.Client, root string) {
+	t.Helper()
+	ddl, err := os.ReadFile("../../testdata/paper.ecr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := doJSON(t, client, "POST", root+"/schemas", map[string]string{"ddl": string(ddl)}, nil); status != http.StatusCreated {
+		t.Fatalf("upload under %s: status %d", root, status)
+	}
+}
+
+// populatePaperWorkspaceAt replays the paper's running example under a
+// workspace-prefixed API root.
+func populatePaperWorkspaceAt(t testing.TB, client *http.Client, root string) {
+	t.Helper()
+	uploadPaperSchemasAt(t, client, root)
+	for _, pair := range [][2]string{
+		{"Student.Name", "Grad_student.Name"},
+		{"Student.Name", "Faculty.Name"},
+		{"Student.GPA", "Grad_student.GPA"},
+		{"Department.Dname", "Department.Dname"},
+		{"Majors.Since", "Stud_major.Since"},
+	} {
+		req := equivalenceRequest{Schema1: "sc1", Attr1: pair[0], Schema2: "sc2", Attr2: pair[1]}
+		if status := doJSON(t, client, "POST", root+"/equivalences", req, nil); status != http.StatusCreated {
+			t.Fatalf("declare %v under %s: status %d", pair, root, status)
+		}
+	}
+	for _, a := range paperAssertions() {
+		if status := doJSON(t, client, "POST", root+"/assertions", a, nil); status != http.StatusCreated {
+			t.Fatalf("assert %+v under %s: status %d", a, root, status)
+		}
+	}
+}
+
+// request performs a request and returns the response (status plus headers;
+// doJSON drops the headers).
+func request(t testing.TB, client *http.Client, method, url string, v any) *http.Response {
+	t.Helper()
+	var body *bytes.Reader
+	var req *http.Request
+	var err error
+	if v != nil {
+		data, merr := json.Marshal(v)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		body = bytes.NewReader(data)
+		req, err = http.NewRequest(method, url, body)
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestWorkspaceLifecycleHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxWorkspaces: 3})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	client := ts.Client()
+
+	// Create: 201 with a Location header.
+	resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "alpha"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/workspaces/alpha" {
+		t.Errorf("Location = %q", loc)
+	}
+
+	// Duplicate: 409. Invalid name: 400. Over cap (default + alpha + one
+	// more = 3): the fourth is 403.
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "alpha"}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create status = %d, want 409", resp.StatusCode)
+	}
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "../oops"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid-name status = %d, want 400", resp.StatusCode)
+	}
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "beta"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("third create status = %d", resp.StatusCode)
+	}
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "gamma"}); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("over-cap status = %d, want 403", resp.StatusCode)
+	}
+
+	// List is name-sorted and includes the default.
+	var list struct {
+		Workspaces []workspaceInfo `json:"workspaces"`
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/workspaces", nil, &list); status != http.StatusOK {
+		t.Fatalf("list status = %d", status)
+	}
+	var names []string
+	for _, ws := range list.Workspaces {
+		names = append(names, ws.Name)
+	}
+	if want := []string{"alpha", "beta", "default"}; fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("list = %v, want %v", names, want)
+	}
+
+	// Get: known 200, unknown 404.
+	var info workspaceInfo
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/workspaces/alpha", nil, &info); status != http.StatusOK || info.Name != "alpha" {
+		t.Errorf("get alpha = %d %+v", status, info)
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/workspaces/nope", nil, nil); status != http.StatusNotFound {
+		t.Errorf("get unknown status = %d, want 404", status)
+	}
+
+	// Delete: default refused with 400, unknown 404, real one 200 and its
+	// routes 404 afterwards (freeing a cap slot).
+	if resp := request(t, client, "DELETE", ts.URL+"/v1/workspaces/default", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("delete default status = %d, want 400", resp.StatusCode)
+	}
+	if resp := request(t, client, "DELETE", ts.URL+"/v1/workspaces/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown status = %d, want 404", resp.StatusCode)
+	}
+	if resp := request(t, client, "DELETE", ts.URL+"/v1/workspaces/beta", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("delete beta status = %d", resp.StatusCode)
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/workspaces/beta/schemas", nil, nil); status != http.StatusNotFound {
+		t.Errorf("deleted workspace data plane status = %d, want 404", status)
+	}
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "gamma"}); resp.StatusCode != http.StatusCreated {
+		t.Errorf("create after delete status = %d, want 201 (slot freed)", resp.StatusCode)
+	}
+}
+
+// TestWorkspaceIsolation uploads same-named schemas with different shapes
+// into two workspaces and checks neither sees the other's data — and that
+// the unprefixed routes keep addressing the default workspace.
+func TestWorkspaceIsolation(t *testing.T) {
+	srv, ts := testServer(t)
+	client := ts.Client()
+
+	for _, name := range []string{"red", "blue"} {
+		if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: name}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d", name, resp.StatusCode)
+		}
+	}
+	redDDL := "schema mine\nentity Red {\n attr Id: int key\n}\n"
+	blueDDL := "schema mine\nentity Blue {\n attr Id: int key\n attr Hue: char\n}\n"
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces/red/schemas", map[string]string{"ddl": redDDL}, nil); status != http.StatusCreated {
+		t.Fatalf("red upload: %d", status)
+	}
+	// The same schema name uploads cleanly in another workspace: no shared
+	// namespace, no conflict.
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces/blue/schemas", map[string]string{"ddl": blueDDL}, nil); status != http.StatusCreated {
+		t.Fatalf("blue upload: %d", status)
+	}
+
+	var got struct {
+		DDL string `json:"ddl"`
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/workspaces/red/schemas/mine", nil, &got); status != http.StatusOK {
+		t.Fatalf("red get: %d", status)
+	}
+	if !strings.Contains(got.DDL, "Red") || strings.Contains(got.DDL, "Blue") {
+		t.Errorf("red schema bled: %s", got.DDL)
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/workspaces/blue/schemas/mine", nil, &got); status != http.StatusOK {
+		t.Fatalf("blue get: %d", status)
+	}
+	if !strings.Contains(got.DDL, "Blue") || strings.Contains(got.DDL, "Red") {
+		t.Errorf("blue schema bled: %s", got.DDL)
+	}
+
+	// The default workspace saw none of it, and the unprefixed alias reads
+	// the default workspace.
+	if names := srv.Store().SchemaNames(); len(names) != 0 {
+		t.Errorf("default workspace schemas = %v, want none", names)
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/schemas/mine", nil, nil); status != http.StatusNotFound {
+		t.Errorf("unprefixed get of tenant schema = %d, want 404", status)
+	}
+}
+
+// TestConcurrentIntegrationIndependentLocks pins the sharding guarantee:
+// one workspace's store can sit write-locked indefinitely while another
+// workspace's integration completes. Under the old architecture both ran
+// behind one global RWMutex and this test would deadlock-timeout.
+func TestConcurrentIntegrationIndependentLocks(t *testing.T) {
+	srv, ts := testServer(t)
+	client := ts.Client()
+
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "busy"}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("create busy")
+	}
+	uploadPaperSchemasAt(t, client, ts.URL+"/v1/workspaces/busy")
+
+	// Write-lock the DEFAULT workspace's store and hold it.
+	st := srv.Store()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		var res IntegrationResult
+		status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces/busy/integrate",
+			JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &res)
+		if status != http.StatusOK {
+			done <- fmt.Errorf("integrate status = %d", status)
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("integration in workspace busy blocked behind another workspace's lock")
+	}
+}
+
+// TestWorkspaceHammer drives N workspaces concurrently through their whole
+// life — create, upload, equivalence, assertion, integrate, verify, delete —
+// under -race, asserting no cross-tenant bleed.
+func TestWorkspaceHammer(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueCapacity: 16, MaxWorkspaces: 32})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	client := ts.Client()
+
+	const tenants = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*rounds)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("tenant-%d-%d", i, r)
+				base := ts.URL + "/v1/workspaces/" + name
+				if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: name}); resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Errorf("%s: create %d", name, resp.StatusCode)
+					return
+				}
+				uploadPaperSchemasAt(t, client, base)
+				marker := fmt.Sprintf("schema only%d\nentity Mark%d {\n attr Id: int key\n}\n", i, i)
+				if status := doJSON(t, client, "POST", base+"/schemas", map[string]string{"ddl": marker}, nil); status != http.StatusCreated {
+					errs <- fmt.Errorf("%s: marker upload %d", name, status)
+					return
+				}
+				req := equivalenceRequest{Schema1: "sc1", Attr1: "Student.Name", Schema2: "sc2", Attr2: "Grad_student.Name"}
+				if status := doJSON(t, client, "POST", base+"/equivalences", req, nil); status != http.StatusCreated {
+					errs <- fmt.Errorf("%s: equivalence %d", name, status)
+					return
+				}
+				a := assertionRequest{Schema1: "sc1", Object1: "Student", Code: 3, Schema2: "sc2", Object2: "Grad_student"}
+				if status := doJSON(t, client, "POST", base+"/assertions", a, nil); status != http.StatusCreated {
+					errs <- fmt.Errorf("%s: assertion %d", name, status)
+					return
+				}
+				var res IntegrationResult
+				if status := doJSON(t, client, "POST", base+"/integrate",
+					JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &res); status != http.StatusOK {
+					errs <- fmt.Errorf("%s: integrate %d", name, status)
+					return
+				}
+				// No bleed: exactly our three schemas, including our own
+				// marker and nobody else's.
+				var list struct {
+					Schemas []SchemaStats `json:"schemas"`
+				}
+				if status := doJSON(t, client, "GET", base+"/schemas", nil, &list); status != http.StatusOK {
+					errs <- fmt.Errorf("%s: list %d", name, status)
+					return
+				}
+				seen := map[string]bool{}
+				for _, s := range list.Schemas {
+					seen[s.Name] = true
+				}
+				if len(seen) != 3 || !seen["sc1"] || !seen["sc2"] || !seen[fmt.Sprintf("only%d", i)] {
+					errs <- fmt.Errorf("%s: schema set bled: %v", name, seen)
+					return
+				}
+				if resp := request(t, client, "DELETE", ts.URL+"/v1/workspaces/"+name, nil); resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: delete %d", name, resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Only the default workspace remains, untouched.
+	if n := srv.Workspaces().Len(); n != 1 {
+		t.Errorf("workspaces after hammer = %d, want 1", n)
+	}
+	if names := srv.Store().SchemaNames(); len(names) != 0 {
+		t.Errorf("default workspace schemas after hammer = %v", names)
+	}
+}
+
+// TestJobLocationHeader pins the satellite fix: a job submitted through a
+// workspace-scoped route gets a workspace-scoped Location, while the legacy
+// unprefixed route keeps the legacy form.
+func TestJobLocationHeader(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: "w1"}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("create w1")
+	}
+	req := JobRequest{Type: "integrate", Schema1: "a", Schema2: "b"}
+
+	resp := request(t, client, "POST", ts.URL+"/v1/workspaces/w1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scoped submit status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/workspaces/w1/jobs/job-1" {
+		t.Errorf("scoped Location = %q, want /v1/workspaces/w1/jobs/job-1", loc)
+	}
+
+	resp = request(t, client, "POST", ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy submit status = %d", resp.StatusCode)
+	}
+	// The default workspace has its own job-ID sequence: this is ITS job-1.
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/job-1" {
+		t.Errorf("legacy Location = %q, want /v1/jobs/job-1", loc)
+	}
+}
+
+// TestMetricsWorkspaceCardinality checks the label bound: only the top
+// maxWorkspaceLabels workspaces by traffic keep their own entry, the tail
+// folds into "other", totals are conserved, and ForgetWorkspace moves a
+// deleted tenant's counters into "other" too.
+func TestMetricsWorkspaceCardinality(t *testing.T) {
+	m := NewMetrics()
+	const tenants = maxWorkspaceLabels + 4
+	var total uint64
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("ws%02d", i)
+		for j := 0; j <= i; j++ {
+			m.ObserveIntegration(name)
+			total++
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap.Workspaces) != maxWorkspaceLabels+1 {
+		t.Fatalf("labels = %d, want %d named + other", len(snap.Workspaces), maxWorkspaceLabels)
+	}
+	// The busiest tenant keeps its label; the quietest folds.
+	top := fmt.Sprintf("ws%02d", tenants-1)
+	if snap.Workspaces[top].Integrations != uint64(tenants) {
+		t.Errorf("top workspace = %+v", snap.Workspaces[top])
+	}
+	if _, ok := snap.Workspaces["ws00"]; ok {
+		t.Error("quietest workspace kept its label past the cardinality bound")
+	}
+	var sum uint64
+	for _, c := range snap.Workspaces {
+		sum += c.Integrations
+	}
+	if sum != total {
+		t.Errorf("integrations across labels = %d, want %d (folding must conserve totals)", sum, total)
+	}
+
+	m.ForgetWorkspace(top)
+	snap = m.Snapshot()
+	if _, ok := snap.Workspaces[top]; ok {
+		t.Error("forgotten workspace still labeled")
+	}
+	sum = 0
+	for _, c := range snap.Workspaces {
+		sum += c.Integrations
+	}
+	if sum != total {
+		t.Errorf("integrations after forget = %d, want %d", sum, total)
+	}
+	if snap.Workspaces["other"].Integrations < uint64(tenants) {
+		t.Errorf("other after forget = %+v, should hold the forgotten tenant's count", snap.Workspaces["other"])
+	}
+}
+
+// TestMultiWorkspaceCrashRecovery is the multi-tenant durability
+// acceptance test: several workspaces, each with its own journal, crash
+// hard, and every one of them — schemas, equivalences, assertions, finished
+// jobs — recovers independently, while a workspace deleted before the crash
+// stays gone.
+func TestMultiWorkspaceCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	want := goldenPaperDDL(t)
+
+	srv, _ := openDurable(t, dir, journal.Hooks{})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	for _, name := range []string{"alpha", "beta", "doomed"} {
+		if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: name}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d", name, resp.StatusCode)
+		}
+	}
+
+	// alpha: the full paper example plus a finished integration job.
+	alpha := ts.URL + "/v1/workspaces/alpha"
+	populatePaperWorkspaceAt(t, client, alpha)
+	var job Job
+	if status := doJSON(t, client, "POST", alpha+"/jobs",
+		JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &job); status != http.StatusAccepted {
+		t.Fatalf("alpha job submit: %d", status)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !job.State.Terminal() && time.Now().Before(deadline) {
+		doJSON(t, client, "GET", alpha+"/jobs/"+job.ID, nil, &job)
+	}
+	if job.State != JobDone {
+		t.Fatalf("alpha job = %+v", job)
+	}
+
+	// beta: one small schema of its own. default: a different one.
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces/beta/schemas",
+		map[string]string{"ddl": "schema betaonly\nentity B {\n attr Id: int key\n}\n"}, nil); status != http.StatusCreated {
+		t.Fatalf("beta upload: %d", status)
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]string{"ddl": "schema defonly\nentity D {\n attr Id: int key\n}\n"}, nil); status != http.StatusCreated {
+		t.Fatalf("default upload: %d", status)
+	}
+	// doomed: populated, then deleted before the crash.
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces/doomed/schemas",
+		map[string]string{"ddl": "schema gone\nentity G {\n attr Id: int key\n}\n"}, nil); status != http.StatusCreated {
+		t.Fatalf("doomed upload: %d", status)
+	}
+	if resp := request(t, client, "DELETE", ts.URL+"/v1/workspaces/doomed", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete doomed: %d", resp.StatusCode)
+	}
+
+	ts.Close()
+	srv.Kill()
+
+	srv2, report := openDurable(t, dir, journal.Hooks{})
+	defer srv2.Shutdown(context.Background())
+	if report.RecoveredWorkspaces != 3 {
+		t.Fatalf("recovered %d workspaces, want alpha+beta+default: %+v", report.RecoveredWorkspaces, report)
+	}
+	var recoveredNames []string
+	for _, wr := range report.Workspaces {
+		recoveredNames = append(recoveredNames, wr.Name)
+	}
+	if fmt.Sprint(recoveredNames) != fmt.Sprint([]string{"alpha", "beta", "default"}) {
+		t.Fatalf("recovered workspaces = %v", recoveredNames)
+	}
+
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := ts2.Client()
+
+	// alpha came back whole: the job with its result, and the workspace
+	// still integrates to the golden schema.
+	alpha2 := ts2.URL + "/v1/workspaces/alpha"
+	var recovered Job
+	if status := doJSON(t, client2, "GET", alpha2+"/jobs/"+job.ID, nil, &recovered); status != http.StatusOK {
+		t.Fatalf("alpha recovered job: %d", status)
+	}
+	if recovered.State != JobDone || recovered.Result == nil || recovered.Result.DDL != want {
+		t.Fatalf("alpha recovered job = %+v", recovered)
+	}
+	var res IntegrationResult
+	if status := doJSON(t, client2, "POST", alpha2+"/integrate",
+		JobRequest{Type: "integrate", Schema1: "sc1", Schema2: "sc2"}, &res); status != http.StatusOK {
+		t.Fatalf("alpha integrate after recovery: %d", status)
+	}
+	if res.DDL != want {
+		t.Errorf("alpha integration drifted after recovery")
+	}
+
+	// beta and default each recovered exactly their own schema.
+	if status := doJSON(t, client2, "GET", ts2.URL+"/v1/workspaces/beta/schemas/betaonly", nil, nil); status != http.StatusOK {
+		t.Errorf("beta schema after recovery: %d", status)
+	}
+	if status := doJSON(t, client2, "GET", ts2.URL+"/v1/schemas/defonly", nil, nil); status != http.StatusOK {
+		t.Errorf("default schema after recovery: %d", status)
+	}
+	if status := doJSON(t, client2, "GET", ts2.URL+"/v1/workspaces/beta/schemas/defonly", nil, nil); status != http.StatusNotFound {
+		t.Errorf("default schema visible in beta after recovery")
+	}
+
+	// The deleted workspace stayed deleted.
+	if status := doJSON(t, client2, "GET", ts2.URL+"/v1/workspaces/doomed", nil, nil); status != http.StatusNotFound {
+		t.Errorf("deleted workspace resurrected by recovery")
+	}
+}
+
+// TestLegacyLayoutMigration pins the upgrade path: a data directory written
+// by the pre-workspace single-tenant server (journal.jsonl/snapshot.json at
+// the top level) is migrated into the default workspace's subdirectory with
+// nothing lost — and a directory in a mixed state is refused with an
+// actionable error instead of guessing.
+func TestLegacyLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	// Forge a legacy single-tenant journal holding one schema.
+	j, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ecr.EncodeJSON(paperex.Sc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(opAddSchemas, addSchemasRec{Schemas: []json.RawMessage{raw}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, report := openDurable(t, dir, journal.Hooks{})
+	if !report.MigratedLegacyLayout {
+		t.Error("legacy layout not reported as migrated")
+	}
+	if report.RecoveredWorkspaces != 1 || report.Schemas != 1 {
+		t.Fatalf("report after migration = %+v", report)
+	}
+	if srv.Store().Schema("sc1") == nil {
+		t.Error("legacy schema lost in migration")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal.jsonl")); !os.IsNotExist(err) {
+		t.Error("top-level legacy journal still present after migration")
+	}
+	if _, err := os.Stat(filepath.Join(dir, DefaultWorkspace, "journal.jsonl")); err != nil {
+		t.Errorf("migrated journal missing: %v", err)
+	}
+	// The migration holds across a crash and restart.
+	srv.Kill()
+	srv2, report2 := openDurable(t, dir, journal.Hooks{})
+	if report2.MigratedLegacyLayout {
+		t.Error("second start re-reported a migration")
+	}
+	if report2.Schemas != 1 {
+		t.Fatalf("second start report = %+v", report2)
+	}
+	srv2.Kill()
+
+	// Mixed state: both a top-level legacy journal AND a default/ directory.
+	// Refuse, tell the operator what to do, touch nothing.
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), []byte{}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Config{}, DurabilityConfig{Dir: dir})
+	if err == nil {
+		t.Fatal("mixed legacy/workspace layout accepted")
+	}
+	for _, hint := range []string{"legacy", DefaultWorkspace, "move"} {
+		if !strings.Contains(err.Error(), hint) {
+			t.Errorf("mixed-state error %q does not mention %q", err, hint)
+		}
+	}
+}
