@@ -7,15 +7,16 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS  = -X repro/internal/version.Version=$(VERSION)
 BINDIR   = bin
 
-.PHONY: all build check vet test race clean
+.PHONY: all build check vet sit-vet test race clean
 
 all: check
 
-# Full verification: everything compiles, vet is clean, tests pass under
-# the race detector.
+# Full verification: everything compiles, vet (standard and project
+# analyzers) is clean, tests pass under the race detector.
 check:
 	go build ./...
 	go vet ./...
+	$(MAKE) sit-vet
 	go test -race ./...
 
 build:
@@ -23,6 +24,14 @@ build:
 
 vet:
 	go vet ./...
+	$(MAKE) sit-vet
+
+# sit-vet runs the project-specific analyzers (lock discipline, error
+# classification, journal ordering, metric cardinality, I/O under locks)
+# over the whole tree through the go vet driver.
+sit-vet:
+	go build -o $(BINDIR)/sit-vet ./cmd/sit-vet
+	go vet -vettool=$(BINDIR)/sit-vet ./...
 
 test:
 	go test ./...

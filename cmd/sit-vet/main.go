@@ -1,0 +1,57 @@
+// Command sit-vet is the repo's static-analysis vettool: it runs the
+// internal/analysis suite — lockguard, errtype, journalorder, metriclabel,
+// lockio — under `go vet -vettool`, which drives it across every package
+// and caches its results alongside the compiler's.
+//
+// Usage:
+//
+//	go build -o bin/sit-vet ./cmd/sit-vet
+//	go vet -vettool=bin/sit-vet ./...
+//
+// or simply `make vet`. Each diagnostic is an invariant violation, not a
+// style nit; there is no suppression syntax. Fix the code or, if the code
+// is right and the contract is wrong, fix the annotation it checks.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/errtype"
+	"repro/internal/analysis/journalorder"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/lockio"
+	"repro/internal/analysis/metriclabel"
+	"repro/internal/analysis/unit"
+)
+
+// journalCfg names this repo's durable mutations and its write-ahead
+// helper. The session/equivalence/assertion calls change state the server
+// promises to survive a crash; Store.journal is the one sanctioned door to
+// the workspace journal in front of them.
+var journalCfg = journalorder.Config{
+	// The write-ahead contract holds in the durable layer only; the
+	// in-memory session/equivalence/assertion packages and the ephemeral
+	// CLI call these mutators freely.
+	Packages: []string{
+		"repro/internal/server",
+		"repro/internal/server_test",
+	},
+	Mutators: []string{
+		"repro/internal/session.Workspace.AddSchema",
+		"repro/internal/session.Workspace.RemoveSchema",
+		"repro/internal/equivalence.Registry.Declare",
+		"repro/internal/assertion.Set.AssertAndClose",
+	},
+	JournalFns: []string{
+		"repro/internal/server.Store.journal",
+	},
+}
+
+func main() {
+	unit.Main([]*analysis.Analyzer{
+		lockguard.Analyzer,
+		errtype.Analyzer,
+		journalorder.New(journalCfg),
+		metriclabel.Analyzer,
+		lockio.Analyzer,
+	}...)
+}

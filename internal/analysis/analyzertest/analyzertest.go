@@ -1,0 +1,198 @@
+// Package analyzertest runs an analyzer over fixture packages and checks
+// its diagnostics against "// want" comments, in the manner of
+// golang.org/x/tools/go/analysis/analysistest (which the offline build
+// cannot depend on).
+//
+// Fixtures live under the analyzer's testdata/src/<path>/ directory, one
+// package per directory; imports between fixture packages resolve within
+// the same src root, and standard-library imports are type-checked from
+// source. A fixture line expecting a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps may follow one want). The test fails on
+// any unmatched expectation and on any unexpected diagnostic, so every
+// fixture proves both true positives and non-findings.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// under srcRoot and everything else through the source importer.
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	pkgs    map[string]*loaded
+	std     types.Importer
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func newLoader(srcRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		srcRoot: srcRoot,
+		pkgs:    map[string]*loaded{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, lp.err
+	}
+	lp := &loaded{}
+	l.pkgs[path] = lp
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		lp.err = err
+		return lp, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		lp.err = fmt.Errorf("analyzertest: no Go files in %s", dir)
+		return lp, lp.err
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			lp.err = err
+			return lp, err
+		}
+		lp.files = append(lp.files, f)
+	}
+	lp.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := &types.Config{Importer: l}
+	lp.pkg, lp.err = conf.Check(path, l.fset, lp.files, lp.info)
+	return lp, lp.err
+}
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					lit, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+					}
+					pattern, _ := strconv.Unquote(lit)
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pattern,
+					})
+					rest = strings.TrimSpace(rest[len(lit):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Run loads the fixture package at srcRoot/<pkgPath> and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func Run(t *testing.T, srcRoot, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	l := newLoader(srcRoot)
+	lp, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.RunAll([]*analysis.Analyzer{a}, l.fset, lp.files, lp.pkg, lp.info)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants := parseWants(t, l.fset, lp.files)
+
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

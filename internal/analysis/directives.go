@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directive is one "//sit:<name> <args>" comment. Directives are the
+// analyzers' annotation language: they declare contracts (which mutex a
+// caller must hold, which parameters are metric labels, which functions
+// return bounded label values) — they never suppress findings.
+type Directive struct {
+	Name string
+	Args string
+	Pos  token.Pos
+}
+
+// Directives extracts the //sit: directives from a comment group.
+func Directives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//sit:")
+		if !ok {
+			continue
+		}
+		name, args, _ := strings.Cut(text, " ")
+		out = append(out, Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()})
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group carries //sit:<name>.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	for _, d := range Directives(doc) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// GuardedBy reports the mutex named by a "guarded by <mu>" phrase in the
+// field's doc or line comment, if any. The phrase is the contract lockguard
+// enforces: every access to the field must hold <mu> (a sibling field of
+// the same struct), and writes must hold it exclusively.
+func GuardedBy(field *ast.Field) (mu string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// FuncName returns the name of a function declaration including its
+// receiver type, in the form "Recv.Name" (or just "Name" for functions).
+func FuncName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

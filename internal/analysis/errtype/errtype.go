@@ -1,0 +1,141 @@
+// Package errtype forbids classifying errors by their message text or by
+// naked identity comparison.
+//
+// The server's error taxonomy is typed — journal.Error codes, the
+// server.ErrNotFound and workspace sentinels, the queue sentinels — and
+// every classification site must go through errors.Is or errors.As so that
+// wrapped errors keep their meaning. The analyzer flags:
+//
+//   - ==/!= between two error values (unless one side is nil);
+//   - strings.Contains/HasPrefix/HasSuffix/EqualFold/Index whose arguments
+//     include an err.Error() call;
+//   - ==/!= comparing an err.Error() result against anything.
+//
+// This is the bug class caught by hand in the PR 2 review (HTTP status
+// derived from substring-matching error text); errtype makes the catch
+// mechanical. Tests that genuinely need to assert on rendered messages use
+// the internal/errtest helper, which is the one sanctioned
+// message-matching point.
+package errtype
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errtype analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtype",
+	Doc:  "classify errors with errors.Is/errors.As, never by message text or ==",
+	Run:  run,
+}
+
+var stringsMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+	"Index":     true,
+	"Compare":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkStringsCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	if isErrorCall(pass, cmp.X) || isErrorCall(pass, cmp.Y) {
+		pass.Reportf(cmp.OpPos, "comparison of err.Error() text; classify with errors.Is/errors.As against a typed error")
+		return
+	}
+	if isErrorValue(pass, cmp.X) && isErrorValue(pass, cmp.Y) &&
+		!isNil(pass, cmp.X) && !isNil(pass, cmp.Y) {
+		pass.Reportf(cmp.OpPos, "direct %s comparison of error values; use errors.Is so wrapped errors match", cmp.Op)
+	}
+}
+
+func checkStringsCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !stringsMatchers[sel.Sel.Name] {
+		return
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	for _, arg := range call.Args {
+		if containsErrorCall(pass, arg) {
+			pass.Reportf(call.Pos(), "strings.%s on err.Error() text; classify with errors.Is/errors.As against a typed error", sel.Sel.Name)
+			return
+		}
+	}
+}
+
+// isErrorCall reports whether expr is a call to the Error() method of an
+// error value.
+func isErrorCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorValue(pass, sel.X)
+}
+
+func containsErrorCall(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isErrorCall(pass, e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorValue reports whether expr's static type implements error. Pointer
+// receivers are considered too, so *journal.Error values qualify.
+func isErrorValue(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if types.Implements(t, errorIface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), errorIface) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNil(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && tv.IsNil()
+}

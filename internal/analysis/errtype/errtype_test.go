@@ -1,0 +1,12 @@
+package errtype_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/errtype"
+)
+
+func TestErrtype(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "cls", errtype.Analyzer)
+}

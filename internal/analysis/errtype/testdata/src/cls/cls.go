@@ -1,0 +1,56 @@
+// Package cls exercises errtype: string-matching on error text, naked
+// sentinel comparison, and the sanctioned errors.Is/errors.As forms.
+package cls
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errGone = errors.New("gone")
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want "strings.Contains on err.Error"
+}
+
+func badPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "code") // want "strings.HasPrefix on err.Error"
+}
+
+func badEqual(err error) bool {
+	return err.Error() == "gone" // want "comparison of err.Error"
+}
+
+func badSentinel(err error) bool {
+	return err == errGone // want "direct == comparison of error values"
+}
+
+func badNotSentinel(err error) bool {
+	return err != errGone // want "direct != comparison of error values"
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, errGone)
+}
+
+func goodAs(err error) bool {
+	var ce *codeError
+	return errors.As(err, &ce)
+}
+
+func goodNilCheck(err error) bool {
+	return err != nil
+}
+
+func goodPlainStrings(s string) bool {
+	return strings.Contains(s, "gone")
+}
+
+func goodMessageForHumans(err error) string {
+	return "failed: " + err.Error()
+}

@@ -1,0 +1,36 @@
+// Package jo exercises journalorder: mutations with and without a
+// preceding journal append, the replay exemption, and read-only calls.
+package jo
+
+import "jo/store"
+
+type Server struct{ db *store.DB }
+
+func (s *Server) journal(op string) error { return nil }
+
+func (s *Server) good(k, v string) {
+	if err := s.journal("put"); err != nil {
+		return
+	}
+	s.db.Put(k, v)
+}
+
+func (s *Server) bad(k, v string) {
+	s.db.Put(k, v) // want "durable mutation jo/store.DB.Put is not preceded by a journal append"
+}
+
+func (s *Server) badOrder(k, v string) {
+	s.db.Put(k, v) // want "durable mutation jo/store.DB.Put is not preceded by a journal append"
+	_ = s.journal("put")
+}
+
+// replay applies records that are already durable.
+//
+//sit:replay
+func (s *Server) replay(k, v string) {
+	s.db.Put(k, v)
+}
+
+func (s *Server) read(k string) string {
+	return s.db.Get(k)
+}

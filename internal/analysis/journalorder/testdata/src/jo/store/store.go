@@ -1,0 +1,11 @@
+// Package store is the durable-state stand-in for the journalorder
+// fixture: DB.Put is the configured mutator.
+package store
+
+type DB struct{ m map[string]string }
+
+func New() *DB { return &DB{m: map[string]string{}} }
+
+func (d *DB) Put(k, v string) { d.m[k] = v }
+
+func (d *DB) Get(k string) string { return d.m[k] }

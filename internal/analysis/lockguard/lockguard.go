@@ -1,0 +1,149 @@
+// Package lockguard checks that struct fields documented "guarded by <mu>"
+// are only accessed while <mu> is held, and never written while it is only
+// read-locked.
+//
+// The contract language:
+//
+//   - a field comment containing "guarded by <mu>" names a sibling mutex
+//     field that must be held for every access;
+//   - a function doc comment "//sit:locked <mu>" declares that callers hold
+//     <mu> exclusively on entry (the convention-named "...Locked" methods
+//     carry the same meaning for every mutex);
+//   - "//sit:rlocked <mu>" declares callers hold at least a read lock;
+//   - "//sit:exclusive" declares the function runs before its receiver is
+//     shared (constructors, recovery scans) and exempts it.
+//
+// Lock state is tracked by a conservative lexical interpreter
+// (analysis.WalkWithLocks): accesses are flagged only when the mutex is
+// provably unlocked on some path, or provably read-locked at a write.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields documented 'guarded by <mu>' are accessed with <mu> held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guards := guardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// guardedFields maps each field object with a "guarded by <mu>" comment to
+// its guard's field name.
+func guardedFields(pass *analysis.Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := analysis.GuardedBy(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[*types.Var]string) {
+	if analysis.HasDirective(fn.Doc, "exclusive") {
+		return
+	}
+	def := analysis.LockFree
+	initial := map[string]analysis.LockState{}
+	recv := receiverName(fn)
+	for _, d := range analysis.Directives(fn.Doc) {
+		var state analysis.LockState
+		switch d.Name {
+		case "locked":
+			state = analysis.LockWrite
+		case "rlocked":
+			state = analysis.LockRead
+		default:
+			continue
+		}
+		for _, mu := range strings.Fields(d.Args) {
+			initial[lockKey(recv, mu)] = state
+		}
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		// Convention: the caller holds whatever lock the method needs; no
+		// mutex can be assumed free here.
+		def = analysis.LockUnknown
+	}
+	written := analysis.WrittenExprs(fn.Body)
+	analysis.WalkWithLocks(pass.TypesInfo, fn.Body, initial, def, func(n ast.Node, locks analysis.Locks) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return
+		}
+		mu, guarded := guards[obj]
+		if !guarded {
+			return
+		}
+		key := lockKey(types.ExprString(sel.X), mu)
+		switch locks.State(key) {
+		case analysis.LockFree:
+			pass.Reportf(sel.Pos(), "access to %s.%s (guarded by %s) without %s held",
+				types.ExprString(sel.X), sel.Sel.Name, mu, key)
+		case analysis.LockRead:
+			if written[sel] {
+				pass.Reportf(sel.Pos(), "write to %s.%s (guarded by %s) while %s is only read-locked",
+					types.ExprString(sel.X), sel.Sel.Name, mu, key)
+			}
+		}
+	})
+}
+
+// lockKey joins a base expression and a mutex name into the interpreter's
+// key form ("st.mu"). A directive argument that already names a full path
+// ("s.store.mu") is used as is.
+func lockKey(base, mu string) string {
+	if strings.Contains(mu, ".") || base == "" {
+		return mu
+	}
+	return base + "." + mu
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "counter", lockguard.Analyzer)
+}

@@ -1,0 +1,89 @@
+// Package counter exercises lockguard: guarded-field access under no lock,
+// a read lock, a write lock, directive-declared caller contracts and the
+// branch-merge conservatism.
+package counter
+
+import "sync"
+
+type counter struct {
+	mu   sync.RWMutex
+	n    int // guarded by mu
+	name string
+}
+
+func (c *counter) bad() int {
+	return c.n // want "access to c.n .* without c.mu held"
+}
+
+func (c *counter) good() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) badWrite() {
+	c.mu.RLock()
+	c.n++ // want "write to c.n .* read-locked"
+	c.mu.RUnlock()
+}
+
+func (c *counter) goodWrite(v int) {
+	c.mu.Lock()
+	c.n = v
+	c.mu.Unlock()
+}
+
+func (c *counter) earlyReturn(b bool) int {
+	c.mu.RLock()
+	if b {
+		c.mu.RUnlock()
+		return 0
+	}
+	v := c.n // still read-locked: the unlocking branch returned
+	c.mu.RUnlock()
+	return v
+}
+
+// bump requires the caller to hold the write lock.
+//
+//sit:locked mu
+func (c *counter) bump() {
+	c.n++
+}
+
+// setLocked follows the naming convention: the caller holds the lock.
+func (c *counter) setLocked(v int) {
+	c.n = v
+}
+
+// newCounter runs before the value is shared.
+//
+//sit:exclusive
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+func (c *counter) unguarded() string {
+	return c.name // no contract on name
+}
+
+func (c *counter) maybe(b bool) int {
+	if b {
+		c.mu.RLock()
+	}
+	v := c.n // lock state unknown here: conservatively silent
+	if b {
+		c.mu.RUnlock()
+	}
+	return v
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.RLock()
+	v := c.n
+	c.mu.RUnlock()
+	v += c.n // want "access to c.n .* without c.mu held"
+	return v
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "io", lockio.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package io exercises lockio: direct and helper-wrapped file I/O under an
+// in-memory mutex, I/O after release, and the owns-file exemption.
+package io
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+func (s *store) bad(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = os.Remove(path) // want "I/O call os.Remove while s.mu is held"
+}
+
+func (s *store) good(path string) {
+	s.mu.Lock()
+	delete(s.data, path)
+	s.mu.Unlock()
+	_ = os.Remove(path)
+}
+
+func touchFile(path string) {
+	f, err := os.Create(path)
+	if err == nil {
+		_ = f.Close()
+	}
+}
+
+func (s *store) badHelper(path string) {
+	s.mu.Lock()
+	touchFile(path) // want "I/O call touchFile while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *store) goodHelper(path string) {
+	touchFile(path)
+}
+
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// flush serializes writes to the file the wal owns: its mutex IS the
+// file's lock, so holding it across the sync is the contract.
+func (w *wal) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}

@@ -1,0 +1,434 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockState is the abstract state of one mutex at one program point, as
+// tracked by the lexical lock interpreter shared by lockguard and lockio.
+type LockState uint8
+
+// The lock states. LockUnknown is the conservative join of conflicting
+// branches: analyzers must not flag accesses under it.
+const (
+	LockUnknown LockState = iota
+	LockFree
+	LockRead
+	LockWrite
+)
+
+func (s LockState) String() string {
+	switch s {
+	case LockFree:
+		return "unlocked"
+	case LockRead:
+		return "read-locked"
+	case LockWrite:
+		return "write-locked"
+	}
+	return "unknown"
+}
+
+// Locks is the lock environment in effect at a visited node. Keys are the
+// printed form of the mutex expression ("st.mu", "q.mu", ...).
+type Locks struct {
+	env map[string]LockState
+	def LockState
+}
+
+// State returns the abstract state of the named mutex expression.
+func (l Locks) State(key string) LockState {
+	if s, ok := l.env[key]; ok {
+		return s
+	}
+	return l.def
+}
+
+// Held returns every mutex expression currently read- or write-locked.
+func (l Locks) Held() []string {
+	var out []string
+	for k, s := range l.env {
+		if s == LockRead || s == LockWrite {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// lockWalker interprets a function body statement by statement, tracking
+// Lock/RLock/Unlock/RUnlock calls on sync.Mutex/sync.RWMutex values and
+// invoking onNode for every AST node with the environment in effect at its
+// enclosing statement. Control flow is handled conservatively: branch
+// states that disagree join to LockUnknown, branches that terminate
+// (return, panic-like, break/continue/goto) do not join, and deferred
+// unlocks never close an interval. Nested function literals are walked
+// with a fresh all-unknown environment — a closure's caller, not its
+// lexical position, determines what it holds.
+type lockWalker struct {
+	info   *types.Info
+	onNode func(n ast.Node, locks Locks)
+}
+
+// WalkWithLocks runs the lock interpreter over body. initial seeds the
+// environment (annotated contracts like //sit:locked); def is the state
+// assumed for mutexes not in the environment — LockFree for ordinary
+// function bodies, LockUnknown for closures.
+func WalkWithLocks(info *types.Info, body *ast.BlockStmt, initial map[string]LockState, def LockState, onNode func(n ast.Node, locks Locks)) {
+	w := &lockWalker{info: info, onNode: onNode}
+	env := map[string]LockState{}
+	for k, v := range initial {
+		env[k] = v
+	}
+	w.walkBody(body.List, env, def)
+}
+
+// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock call on a
+// sync mutex, returning the mutex key and the resulting state.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (key string, state LockState, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	var next LockState
+	switch sel.Sel.Name {
+	case "Lock":
+		next = LockWrite
+	case "RLock":
+		next = LockRead
+	case "Unlock", "RUnlock":
+		next = LockFree
+	default:
+		return "", 0, false
+	}
+	fn, _ := w.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), next, true
+}
+
+func copyEnv(env map[string]LockState) map[string]LockState {
+	out := make(map[string]LockState, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeEnv joins two branch environments in place into a: agreeing keys
+// keep their state, disagreeing keys become LockUnknown.
+func mergeEnv(a, b map[string]LockState) map[string]LockState {
+	for k, v := range b {
+		if av, ok := a[k]; !ok || av != v {
+			if !ok {
+				a[k] = LockUnknown
+			} else if av != v {
+				a[k] = LockUnknown
+			}
+		}
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			a[k] = LockUnknown
+		}
+	}
+	return a
+}
+
+// visitExpr reports every node of expr (skipping function literal bodies,
+// which are walked separately with an unknown environment) and applies any
+// mutex operations found inside the expression itself.
+func (w *lockWalker) visitExpr(expr ast.Expr, env map[string]LockState, def LockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.walkBody(lit.Body.List, map[string]LockState{}, LockUnknown)
+			return false
+		}
+		if n != nil {
+			w.onNode(n, Locks{env: env, def: def})
+		}
+		return true
+	})
+	// Apply lock transitions performed inside the expression (rare — most
+	// lock calls are standalone statements, handled by walkBody).
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, state, ok := w.mutexOp(call); ok {
+				env[key] = state
+			}
+		}
+		return true
+	})
+}
+
+// walkBody interprets a statement list, returning the exit environment and
+// whether every path through the list terminates (return/branch).
+func (w *lockWalker) walkBody(list []ast.Stmt, env map[string]LockState, def LockState) (out map[string]LockState, terminates bool) {
+	for _, s := range list {
+		var term bool
+		env, term = w.walkStmt(s, env, def)
+		if term {
+			return env, true
+		}
+	}
+	return env, false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, env map[string]LockState, def LockState) (out map[string]LockState, terminates bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, state, ok2 := w.mutexOp(call); ok2 {
+				w.onNode(s.X, Locks{env: env, def: def})
+				env[key] = state
+				return env, false
+			}
+		}
+		w.visitExpr(s.X, env, def)
+		return env, false
+	case *ast.DeferStmt:
+		// Deferred unlocks run at return; they never end the interval
+		// lexically. Deferred closures execute later under unknown locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range s.Call.Args {
+				w.visitExpr(a, env, def)
+			}
+			w.walkBody(lit.Body.List, map[string]LockState{}, LockUnknown)
+			return env, false
+		}
+		if _, _, ok := w.mutexOp(s.Call); ok {
+			return env, false
+		}
+		w.visitExpr(s.Call, env, def)
+		return env, false
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range s.Call.Args {
+				w.visitExpr(a, env, def)
+			}
+			w.walkBody(lit.Body.List, map[string]LockState{}, LockUnknown)
+			return env, false
+		}
+		w.visitExpr(s.Call, env, def)
+		return env, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.visitExpr(e, env, def)
+		}
+		for _, e := range s.Lhs {
+			w.visitExpr(e, env, def)
+		}
+		return env, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.visitExpr(v, env, def)
+					}
+				}
+			}
+		}
+		return env, false
+	case *ast.IncDecStmt:
+		w.visitExpr(s.X, env, def)
+		return env, false
+	case *ast.SendStmt:
+		w.visitExpr(s.Chan, env, def)
+		w.visitExpr(s.Value, env, def)
+		return env, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.visitExpr(e, env, def)
+		}
+		return env, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; joining their state
+		// into the following statement would be wrong, so treat the path
+		// as terminated (conservative for loop exits).
+		return env, true
+	case *ast.BlockStmt:
+		return w.walkBody(s.List, env, def)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, env, def)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env, def)
+		}
+		w.visitExpr(s.Cond, env, def)
+		thenEnv, thenTerm := w.walkBody(s.Body.List, copyEnv(env), def)
+		elseEnv, elseTerm := copyEnv(env), false
+		if s.Else != nil {
+			elseEnv, elseTerm = w.walkStmt(s.Else, elseEnv, def)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return env, true
+		case thenTerm:
+			return elseEnv, false
+		case elseTerm:
+			return thenEnv, false
+		default:
+			return mergeEnv(thenEnv, elseEnv), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env, def)
+		}
+		w.visitExpr(s.Cond, env, def)
+		bodyEnv, _ := w.walkBody(s.Body.List, copyEnv(env), def)
+		if s.Post != nil {
+			bodyEnv, _ = w.walkStmt(s.Post, bodyEnv, def)
+		}
+		if s.Cond == nil {
+			// for{}: falls out only via break (already conservative).
+			return mergeEnv(copyEnv(env), bodyEnv), false
+		}
+		return mergeEnv(copyEnv(env), bodyEnv), false
+	case *ast.RangeStmt:
+		w.visitExpr(s.X, env, def)
+		bodyEnv, _ := w.walkBody(s.Body.List, copyEnv(env), def)
+		return mergeEnv(copyEnv(env), bodyEnv), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env, def)
+		}
+		w.visitExpr(s.Tag, env, def)
+		return w.walkClauses(s.Body.List, env, def)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env, def)
+		}
+		if as, ok := s.Assign.(*ast.AssignStmt); ok {
+			for _, e := range as.Rhs {
+				w.visitExpr(e, env, def)
+			}
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			w.visitExpr(es.X, env, def)
+		}
+		return w.walkClauses(s.Body.List, env, def)
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body.List, env, def)
+	case *ast.EmptyStmt:
+		return env, false
+	default:
+		return env, false
+	}
+}
+
+// walkClauses joins the bodies of switch/select clauses. The entry
+// environment joins in too unless a default clause guarantees some body
+// runs.
+func (w *lockWalker) walkClauses(clauses []ast.Stmt, env map[string]LockState, def LockState) (map[string]LockState, bool) {
+	var merged map[string]LockState
+	hasDefault := false
+	allTerminate := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.visitExpr(e, env, def)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				env2 := copyEnv(env)
+				env2, _ = w.walkStmt(c.Comm, env2, def)
+				out, term := w.walkBody(c.Body, env2, def)
+				if !term {
+					allTerminate = false
+					if merged == nil {
+						merged = out
+					} else {
+						merged = mergeEnv(merged, out)
+					}
+				}
+				continue
+			}
+			hasDefault = true
+			body = c.Body
+		}
+		out, term := w.walkBody(body, copyEnv(env), def)
+		if !term {
+			allTerminate = false
+			if merged == nil {
+				merged = out
+			} else {
+				merged = mergeEnv(merged, out)
+			}
+		}
+	}
+	if len(clauses) == 0 {
+		return env, false
+	}
+	if !hasDefault {
+		allTerminate = false
+		if merged == nil {
+			merged = copyEnv(env)
+		} else {
+			merged = mergeEnv(merged, copyEnv(env))
+		}
+	}
+	if merged == nil {
+		merged = env
+	}
+	return merged, allTerminate
+}
+
+// WrittenExprs collects the expressions a function body writes to:
+// assignment targets (traced through index, star and paren expressions),
+// ++/-- targets, delete() map arguments and unary & operands. lockguard
+// uses node identity to decide whether a guarded-field access is a write.
+func WrittenExprs(body *ast.BlockStmt) map[ast.Expr]bool {
+	written := map[ast.Expr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+				continue
+			case *ast.IndexExpr:
+				// Writing m[k] mutates the map/slice behind the base
+				// expression.
+				e = x.X
+				continue
+			case *ast.StarExpr:
+				e = x.X
+				continue
+			}
+			break
+		}
+		written[e] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return written
+}

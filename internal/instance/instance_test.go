@@ -1,12 +1,12 @@
 package instance
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/assertion"
 	"repro/internal/core"
 	"repro/internal/ecr"
+	"repro/internal/errtest"
 	"repro/internal/integrate"
 	"repro/internal/mapping"
 	"repro/internal/paperex"
@@ -336,8 +336,7 @@ func TestViewExecutor(t *testing.T) {
 
 func TestViewExecutorWiring(t *testing.T) {
 	st1, _, res := paperStores(t)
-	if _, err := NewViewExecutor(st1, res.Mappings); err == nil ||
-		!strings.Contains(err.Error(), "store holds") {
+	if _, err := NewViewExecutor(st1, res.Mappings); !errtest.Contains(err, "store holds") {
 		t.Errorf("mismatched store should fail: %v", err)
 	}
 }

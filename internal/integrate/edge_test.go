@@ -1,12 +1,12 @@
 package integrate_test
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/assertion"
 	"repro/internal/ecr"
 	"repro/internal/equivalence"
+	"repro/internal/errtest"
 	"repro/internal/integrate"
 )
 
@@ -255,8 +255,8 @@ func TestContainmentCycleRejected(t *testing.T) {
 	if err == nil {
 		t.Fatal("cyclic containment must be rejected")
 	}
-	if !strings.Contains(err.Error(), "inconsistent") && !strings.Contains(err.Error(), "cycle") &&
-		!strings.Contains(err.Error(), "within one schema") {
+	if !errtest.Contains(err, "inconsistent") && !errtest.Contains(err, "cycle") &&
+		!errtest.Contains(err, "within one schema") {
 		t.Errorf("unexpected error: %v", err)
 	}
 }

@@ -156,32 +156,34 @@ type Journal struct {
 	opts Options
 
 	mu     sync.Mutex
-	f      *os.File
-	offset int64 // file length through the last complete record
-	seq    uint64
-	broken error // sticky failure: appends are refused once set
+	f      *os.File // guarded by mu
+	offset int64    // guarded by mu; file length through the last complete record
+	seq    uint64   // guarded by mu
+	broken error    // guarded by mu; sticky failure: appends are refused once set
 
-	snapSeq   uint64
-	snapState []byte
-	snapTime  time.Time
+	snapSeq   uint64    // guarded by mu
+	snapState []byte    // guarded by mu
+	snapTime  time.Time // guarded by mu
 
-	records      []Record // replay tail loaded by Open
-	droppedBytes int64    // torn/corrupt tail bytes discarded by Open
+	records      []Record // guarded by mu; replay tail loaded by Open
+	droppedBytes int64    // guarded by mu; torn/corrupt tail bytes discarded by Open
 
-	appends      uint64
-	sinceCompact uint64
-	lastSync     time.Time
-	dirty        bool
+	appends      uint64    // guarded by mu
+	sinceCompact uint64    // guarded by mu
+	lastSync     time.Time // guarded by mu
+	dirty        bool      // guarded by mu
 
 	// observe, when set, is called after every append attempt with the
 	// fsync duration (zero when no sync ran) and the append's error.
-	observe func(fsync time.Duration, err error)
+	observe func(fsync time.Duration, err error) // guarded by mu
 }
 
 // Open creates the directory if needed, loads the snapshot, scans the
 // journal — dropping a torn or corrupt tail — and returns a journal ready
 // for appends. The recovered snapshot and records are available through
 // Snapshot and Records.
+//
+//sit:exclusive
 func Open(dir string, opts Options) (*Journal, error) {
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = 100 * time.Millisecond
@@ -213,14 +215,19 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 	j.f = f
 	if err := j.scan(); err != nil {
-		f.Close()
+		// Open is failing; the scan error is what the caller needs to see,
+		// and nothing was written through this handle.
+		_ = f.Close()
 		return nil, err
 	}
 	return j, nil
 }
 
 // scan reads the journal from the start, keeping complete records newer
-// than the snapshot and truncating anything after the first bad frame.
+// than the snapshot and truncating anything after the first bad frame. It
+// runs from Open, before the journal is shared.
+//
+//sit:exclusive
 func (j *Journal) scan() error {
 	data, err := io.ReadAll(j.f)
 	if err != nil {
@@ -323,6 +330,7 @@ func (j *Journal) Append(op string, v any) (uint64, error) {
 	return seq, wrapErr(err)
 }
 
+//sit:locked mu
 func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, error) {
 	if j.broken != nil {
 		return 0, 0, j.broken
@@ -384,6 +392,8 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 // rollbackLocked truncates the log to offset after a failed append,
 // reporting whether the file was restored; on truncate failure the journal
 // turns sticky-broken, since its in-memory view no longer matches disk.
+//
+//sit:locked mu
 func (j *Journal) rollbackLocked(offset int64) bool {
 	if terr := j.f.Truncate(offset); terr != nil {
 		j.broken = wrapErr(fmt.Errorf("journal: unrecoverable after failed append: %w", terr))
@@ -396,6 +406,8 @@ func (j *Journal) rollbackLocked(offset int64) bool {
 
 // maybeSyncLocked fsyncs per policy (or unconditionally when force is set),
 // returning how long the fsync took.
+//
+//sit:locked mu
 func (j *Journal) maybeSyncLocked(force bool) (time.Duration, error) {
 	if !j.dirty {
 		return 0, nil
@@ -442,6 +454,14 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 	defer func() { err = wrapErr(err) }()
 	if j.broken != nil {
 		return j.broken
+	}
+	if uptoSeq < j.snapSeq {
+		// A snapshot covering more of the journal is already published;
+		// overwriting it with this older capture would lose the records
+		// between the two sequence numbers, which the previous rewrite
+		// already truncated. Stale captures happen when two compactions
+		// race (manual /compact against the background loop).
+		return nil
 	}
 	// 1. Atomically publish the snapshot.
 	snap, err := json.Marshal(snapshotFile{Seq: uptoSeq, SavedAt: time.Now().UTC(), State: state})
@@ -491,7 +511,9 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 		j.broken = wrapErr(fmt.Errorf("journal: reopen after compact: %w", err))
 		return j.broken
 	}
-	j.f.Close()
+	// The old handle points at the pre-rename inode, already synced and now
+	// unlinked; a close failure cannot lose data the new file holds.
+	_ = j.f.Close()
 	j.f = nf
 	j.offset = int64(len(keep))
 	j.snapSeq, j.snapState, j.snapTime = uptoSeq, state, time.Now()
@@ -512,11 +534,13 @@ func writeFileSync(path string, data []byte) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		// The write error is authoritative; the temp file is abandoned.
+		_ = f.Close()
 		return fmt.Errorf("journal: write %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		// The sync error is authoritative; the temp file is abandoned.
+		_ = f.Close()
 		return fmt.Errorf("journal: sync %s: %w", tmp, err)
 	}
 	if err := f.Close(); err != nil {
@@ -606,7 +630,9 @@ func (j *Journal) CloseAbrupt() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f != nil {
-		j.f.Close()
+		// Deliberately unsynced and unchecked: the point is to model a
+		// crash, so whatever didn't reach the OS is meant to be lost.
+		_ = j.f.Close()
 		j.f = nil
 	}
 	j.broken = wrapErr(fmt.Errorf("journal: closed"))

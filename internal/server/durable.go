@@ -535,26 +535,32 @@ func (p *persister) loop(s *Server, ws *Workspace) {
 
 // compactWorkspace snapshots one workspace's full state (schemas + job
 // table) and truncates its journal to the records the snapshot does not
-// cover. Safe to call concurrently with traffic: the store lock blocks
-// store appends for the duration, and queue records appended mid-compaction
+// cover. Safe to call concurrently with traffic: the state is captured
+// atomically under the store lock, records appended after the capture
 // carry higher sequence numbers, so the rewrite keeps them and replay —
-// which is idempotent for job records — stays correct.
+// which is idempotent for job records — stays correct. The journal
+// rewrite itself runs after the store lock is released: Compact fsyncs
+// and rewrites files, and holding st.mu across that would stall every
+// request on the workspace for the disk's milliseconds. Two captures
+// racing to Compact resolve inside the journal, which refuses to publish
+// a snapshot older than the one it already has.
 func (s *Server) compactWorkspace(ws *Workspace) error {
 	if ws.persist == nil {
 		return nil
 	}
 	st := ws.store
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	// Order matters: read the sequence number first, then capture state.
 	// Every record at or below uptoSeq is fully reflected in the captured
 	// state; records landing after the read are preserved by Compact.
 	uptoSeq := ws.persist.j.Seq()
 	wsData, err := session.Marshal(st.ws)
 	if err != nil {
+		st.mu.Unlock()
 		return err
 	}
 	jobs, nextID := ws.queue.snapshotState()
+	st.mu.Unlock()
 	state, err := json.Marshal(persistedState{Workspace: wsData, Jobs: jobs, NextJobID: nextID})
 	if err != nil {
 		return err

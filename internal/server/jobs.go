@@ -101,26 +101,26 @@ type Queue struct {
 	wg     sync.WaitGroup
 
 	mu     sync.Mutex
-	byID   map[string]*Job
-	order  []string
-	nextID int
-	closed bool
+	byID   map[string]*Job // guarded by mu
+	order  []string        // guarded by mu
+	nextID int             // guarded by mu
+	closed bool            // guarded by mu
 	// depth is the number of jobs submitted but not yet terminal.
-	depth int
+	depth int // guarded by mu
 
 	// observe, when set, is called after every state transition with a
-	// snapshot (metrics hook).
-	observe func(Job)
+	// snapshot (metrics hook). The callback itself runs outside the lock.
+	observe func(Job) // guarded by mu
 
 	// persist, when set, journals submissions (write-ahead, before the
 	// job enters the buffer) and start/finish transitions. Cancellations
 	// caused by queue teardown are deliberately not journaled: a job whose
 	// log ends at "submitted" is re-enqueued by the next process, one
 	// whose log ends at "started" comes back as interrupted.
-	persist func(op string, v any) error
+	persist func(op string, v any) error // guarded by mu
 	// persistErr receives journal failures on paths that cannot reject
 	// (state transitions); nil drops them.
-	persistErr func(error)
+	persistErr func(error) // guarded by mu
 }
 
 // NewQueue starts a queue with the given worker count and buffer capacity.
@@ -147,8 +147,14 @@ func NewQueue(workers, capacity int, timeout time.Duration, exec JobExecutor) *Q
 	return q
 }
 
-// SetObserver installs a state-transition hook (call before serving).
-func (q *Queue) SetObserver(fn func(Job)) { q.observe = fn }
+// SetObserver installs a state-transition hook. Workers may already be
+// draining restored jobs when the hook is wired, so the write takes the
+// lock like any other.
+func (q *Queue) SetObserver(fn func(Job)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.observe = fn
+}
 
 // SetPersist installs the journaling hooks (call before serving). onErr
 // receives journal failures from state transitions, which cannot be
@@ -241,9 +247,15 @@ func (q *Queue) Depth() int {
 	return q.depth
 }
 
+// notify reports a transition to the observer. The hook is captured under
+// the lock but invoked outside it: the observer feeds the metrics
+// registry, which takes its own lock.
 func (q *Queue) notify(snap Job) {
-	if q.observe != nil {
-		q.observe(snap)
+	q.mu.Lock()
+	fn := q.observe
+	q.mu.Unlock()
+	if fn != nil {
+		fn(snap)
 	}
 }
 

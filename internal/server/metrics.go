@@ -14,9 +14,9 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 // Histogram is a fixed-bucket latency histogram.
 type Histogram struct {
 	mu     sync.Mutex
-	counts []uint64
-	sum    float64
-	n      uint64
+	counts []uint64 // guarded by mu
+	sum    float64  // guarded by mu
+	n      uint64   // guarded by mu
 }
 
 // NewHistogram returns a histogram over latencyBuckets.
@@ -112,40 +112,41 @@ func (c *WorkspaceCounters) add(o WorkspaceCounters) {
 // needs nothing beyond the standard library.
 type Metrics struct {
 	mu       sync.Mutex
-	started  time.Time
-	requests map[string]map[string]uint64 // route -> status class -> count
-	jobs     map[JobState]uint64
-	panics   uint64
+	started  time.Time                    // immutable after NewMetrics
+	requests map[string]map[string]uint64 // guarded by mu; route -> status class -> count
+	jobs     map[JobState]uint64          // guarded by mu
+	panics   uint64                       // guarded by mu
 
 	// workspaces holds per-tenant counters for live workspaces (bounded by
 	// the server's workspace cap); otherWS accumulates counters folded in
-	// from deleted workspaces.
-	workspaces map[string]*WorkspaceCounters
-	otherWS    WorkspaceCounters
+	// from deleted workspaces. Both guarded by mu.
+	workspaces map[string]*WorkspaceCounters // guarded by mu
+	otherWS    WorkspaceCounters             // guarded by mu
 	// workspaceCount, when set, reports the live workspace count (the
 	// workspaces_active gauge).
-	workspaceCount func() int
+	workspaceCount func() int // guarded by mu
 
 	// journal counters (durable servers only).
-	durable             bool
-	journalAppends      uint64
-	journalErrors       uint64
-	compactions         uint64
-	recoveredWorkspaces int
-	recoveredJobs       int
-	snapshotAge         func() float64
+	durable             bool           // guarded by mu
+	journalAppends      uint64         // guarded by mu
+	journalErrors       uint64         // guarded by mu
+	compactions         uint64         // guarded by mu
+	recoveredWorkspaces int            // guarded by mu
+	recoveredJobs       int            // guarded by mu
+	snapshotAge         func() float64 // guarded by mu
 
 	// IntegrationLatency times successful integration runs (sync and
-	// job-queue alike).
+	// job-queue alike). The pointer is immutable after NewMetrics; the
+	// histogram carries its own lock.
 	IntegrationLatency *Histogram
 	// JournalFsync times the fsyncs the write-ahead journal performs.
 	JournalFsync *Histogram
 
 	// queueDepth, when set, reports the live queue depth for snapshots.
-	queueDepth func() int
+	queueDepth func() int // guarded by mu
 	// similarityStats, when set, reports the store's similarity-cache
 	// hit and miss counters for snapshots.
-	similarityStats func() (hits, misses uint64)
+	similarityStats func() (hits, misses uint64) // guarded by mu
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -160,19 +161,37 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// SetQueueDepthFunc wires the live queue-depth gauge.
-func (m *Metrics) SetQueueDepthFunc(fn func() int) { m.queueDepth = fn }
+// SetQueueDepthFunc wires the live queue-depth gauge. The default
+// workspace's gauge is wired during startup, but tenant workspaces are
+// created while /metrics may be rendering, so the write must take the
+// lock like any other.
+func (m *Metrics) SetQueueDepthFunc(fn func() int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = fn
+}
 
 // SetSimilarityStatsFunc wires the similarity-cache counters.
 func (m *Metrics) SetSimilarityStatsFunc(fn func() (hits, misses uint64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.similarityStats = fn
 }
 
 // SetWorkspaceCountFunc wires the workspaces_active gauge.
-func (m *Metrics) SetWorkspaceCountFunc(fn func() int) { m.workspaceCount = fn }
+func (m *Metrics) SetWorkspaceCountFunc(fn func() int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workspaceCount = fn
+}
 
 // workspace returns the named workspace's counters, creating them on first
-// touch. Caller holds m.mu.
+// touch. The workspace-name label is bounded inside this registry: live
+// entries cannot outnumber the server's workspace cap, ForgetWorkspace
+// folds deleted tenants into "other", and snapshotWorkspacesLocked folds
+// everything past the top maxWorkspaceLabels at render time.
+//
+//sit:locked mu
 func (m *Metrics) workspace(ws string) *WorkspaceCounters {
 	c := m.workspaces[ws]
 	if c == nil {
@@ -202,7 +221,10 @@ func (m *Metrics) ForgetWorkspace(ws string) {
 }
 
 // ObserveRequest counts one served request under its route pattern and
-// status class ("2xx", "4xx", ...).
+// status class ("2xx", "4xx", ...). route must be the mux pattern the
+// handler is registered under, never the request's raw path.
+//
+//sit:metriclabel route
 func (m *Metrics) ObserveRequest(route string, status int) {
 	class := statusClass(status)
 	m.mu.Lock()

@@ -188,7 +188,10 @@ func (s *Server) Store() *Store { return s.defaultWS().store }
 // Metrics exposes the metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// handle registers a route with the standard middleware stack.
+// handle registers a route with the standard middleware stack. pattern
+// doubles as the request-metrics label, so it must be a mux pattern.
+//
+//sit:metriclabel pattern
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.Handle(pattern, instrument(pattern, s.log, s.metrics, s.cfg.RequestTimeout, h))
 }
@@ -197,6 +200,8 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // prefix (/v1/workspaces/{ws}/...) and unprefixed (/v1/...) as an alias
 // for the default workspace, so pre-workspace clients keep working. The
 // handler receives the resolved workspace; an unknown name is 404.
+//
+//sit:metriclabel method suffix
 func (s *Server) handleWS(method, suffix string, h func(*Workspace, http.ResponseWriter, *http.Request)) {
 	wrapped := func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("ws")

@@ -37,28 +37,28 @@ import (
 // integrate outside the lock without serializing behind each other.
 type Store struct {
 	mu  sync.RWMutex
-	ws  *session.Workspace
-	gen uint64
+	ws  *session.Workspace // guarded by mu
+	gen uint64             // guarded by mu
 	// results caches integrations keyed by sorted pair, valid for the
 	// generation at which they were computed.
-	results map[string]cachedResult
+	results map[string]cachedResult // guarded by mu
 	// schemaGen counts schema additions and removals only. Together with
 	// the registry's version counter it stamps similarity-cache entries:
 	// assertions bump gen but neither of these, so rankings stay cached
 	// across assertion traffic.
-	schemaGen uint64
+	schemaGen uint64 // guarded by mu
 	// simMu guards simCache (its own mutex so cached similarity reads
 	// don't contend with the workspace lock more than needed; lock order
 	// is always st.mu before simMu).
 	simMu    sync.Mutex
-	simCache map[simKey]simEntry
+	simCache map[simKey]simEntry // guarded by simMu
 	// simHits/simMisses count similarity-cache outcomes for /metrics.
 	simHits, simMisses atomic.Uint64
 	// persist, when set, journals every mutation before it is applied
 	// (write-ahead): mutations are pre-validated, then journaled, then
 	// applied, so an operation the journal rejected never reaches memory
 	// and an operation in the journal always replays cleanly.
-	persist func(op string, v any) error
+	persist func(op string, v any) error // guarded by mu
 }
 
 type cachedResult struct {
@@ -115,6 +115,8 @@ func (st *Store) SetPersist(fn func(op string, v any) error) {
 
 // journal write-aheads one mutation; callers hold the write lock and have
 // already validated that the operation will apply cleanly.
+//
+//sit:locked mu
 func (st *Store) journal(op string, v any) error {
 	if st.persist == nil {
 		return nil
@@ -133,6 +135,8 @@ func resultKey(a, b string) string {
 // Integration results are dropped wholesale; similarity entries are swept
 // only when their version stamps no longer match, so assertion traffic
 // (which changes neither the registry nor the schema set) leaves them hot.
+//
+//sit:locked mu
 func (st *Store) touch() {
 	st.gen++
 	st.results = map[string]cachedResult{}
@@ -148,6 +152,8 @@ func (st *Store) touch() {
 
 // simLookup consults the similarity cache; callers hold st.mu (read or
 // write), so the version stamps cannot move underneath the comparison.
+//
+//sit:rlocked mu
 func (st *Store) simLookup(key simKey) (simEntry, bool) {
 	regV := st.ws.Registry().Version()
 	st.simMu.Lock()
@@ -163,6 +169,8 @@ func (st *Store) simLookup(key simKey) (simEntry, bool) {
 
 // simStore records a freshly computed result; callers hold st.mu, so the
 // stamps match the state the result was computed under.
+//
+//sit:rlocked mu
 func (st *Store) simStore(key simKey, e simEntry) {
 	e.regVersion = st.ws.Registry().Version()
 	e.schemaGen = st.schemaGen
@@ -341,6 +349,8 @@ func (st *Store) EquivalenceClasses() [][]ecr.AttrRef {
 }
 
 // schemaPair fetches both schemas of a pair under the read lock.
+//
+//sit:rlocked mu
 func (st *Store) schemaPair(schema1, schema2 string) (*ecr.Schema, *ecr.Schema, error) {
 	s1, s2 := st.ws.Schema(schema1), st.ws.Schema(schema2)
 	if s1 == nil {

@@ -1,9 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
-	"strings"
 	"sync"
 	"testing"
 
@@ -145,8 +145,7 @@ func TestStoreEquivalences(t *testing.T) {
 	if !found {
 		t.Errorf("no three-member Name class in %v", classes)
 	}
-	if err := st.DeclareEquivalence("sc1", "Student.Name", "nope", "X.Y"); err == nil ||
-		!strings.Contains(err.Error(), "not found") {
+	if err := st.DeclareEquivalence("sc1", "Student.Name", "nope", "X.Y"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown schema error = %v", err)
 	}
 	if err := st.DeclareEquivalence("sc1", "Student.Nope", "sc2", "Faculty.Name"); err == nil {

@@ -91,8 +91,11 @@ type Manager struct {
 	build   func(name string) (*Workspace, error)
 	destroy func(*Workspace)
 
-	mu     sync.RWMutex
-	byName map[string]*Workspace
+	mu sync.RWMutex
+	// byName maps workspace names to live workspaces. A nil value is a
+	// reservation: a Create in flight holds the name (and a slot under the
+	// cap) while it provisions outside the lock.
+	byName map[string]*Workspace // guarded by mu
 }
 
 // NewManager returns a manager enforcing the given workspace cap (counting
@@ -111,31 +114,41 @@ func (m *Manager) Get(name string) (*Workspace, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	ws, ok := m.byName[name]
-	if !ok {
+	if !ok || ws == nil {
 		return nil, fmt.Errorf("server: workspace %q %w", name, ErrNotFound)
 	}
 	return ws, nil
 }
 
 // Create validates the name, enforces the cap, provisions the workspace
-// and registers it. The build runs under the manager lock: creation is
-// rare and cheap (a map insert, or a directory plus an empty journal on
-// durable servers), and holding the lock keeps two concurrent creates of
-// the same name from racing.
+// and registers it. The name (and its slot under the cap) is reserved
+// under the manager lock, but the build itself — a directory, an empty
+// journal and an fsync on durable servers — runs outside it, so a slow
+// disk never stalls lookups for other tenants. A concurrent Create of the
+// same name sees the reservation and fails with ErrWorkspaceExists; a
+// failed build releases the reservation.
 func (m *Manager) Create(name string) (*Workspace, error) {
 	if err := ValidateWorkspaceName(name); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.byName[name]; ok {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("server: workspace %q: %w", name, ErrWorkspaceExists)
 	}
 	if m.max > 0 && len(m.byName) >= m.max {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("server: %w (max %d)", ErrWorkspaceCap, m.max)
 	}
+	m.byName[name] = nil // reserve the name while building
+	m.mu.Unlock()
+
 	ws, err := m.build(name)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err != nil {
+		delete(m.byName, name)
 		return nil, err
 	}
 	m.byName[name] = ws
@@ -156,17 +169,22 @@ func (m *Manager) adopt(ws *Workspace) error {
 }
 
 // Delete removes the named workspace and releases its resources (queue,
-// journal, data subdirectory). The map entry goes under the lock so new
-// requests immediately 404; the teardown — which waits out in-flight jobs —
-// runs after the lock is dropped so other tenants keep moving.
+// journal, data subdirectory). The entry is downgraded to a reservation
+// under the lock — new requests immediately 404, and a concurrent Create
+// of the same name is refused rather than allowed to rebuild the data
+// directory while the teardown is still renaming it into the trash. The
+// teardown itself — which waits out in-flight jobs — runs outside the
+// lock so other tenants keep moving; only when it finishes is the name
+// released for reuse.
 func (m *Manager) Delete(name string) error {
 	if name == DefaultWorkspace {
 		return fmt.Errorf("server: %w", ErrDefaultWorkspace)
 	}
 	m.mu.Lock()
 	ws, ok := m.byName[name]
+	ok = ok && ws != nil // a reservation is not yet a deletable workspace
 	if ok {
-		delete(m.byName, name)
+		m.byName[name] = nil // hold the name until the teardown completes
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -175,6 +193,9 @@ func (m *Manager) Delete(name string) error {
 	if m.destroy != nil {
 		m.destroy(ws)
 	}
+	m.mu.Lock()
+	delete(m.byName, name)
+	m.mu.Unlock()
 	return nil
 }
 
@@ -183,7 +204,9 @@ func (m *Manager) List() []*Workspace {
 	m.mu.RLock()
 	out := make([]*Workspace, 0, len(m.byName))
 	for _, ws := range m.byName {
-		out = append(out, ws)
+		if ws != nil { // skip in-flight reservations
+			out = append(out, ws)
+		}
 	}
 	m.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })

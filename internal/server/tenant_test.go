@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ecr"
+	"repro/internal/errtest"
 	"repro/internal/journal"
 	"repro/internal/paperex"
 )
@@ -624,8 +625,96 @@ func TestLegacyLayoutMigration(t *testing.T) {
 		t.Fatal("mixed legacy/workspace layout accepted")
 	}
 	for _, hint := range []string{"legacy", DefaultWorkspace, "move"} {
-		if !strings.Contains(err.Error(), hint) {
+		if !errtest.Contains(err, hint) {
 			t.Errorf("mixed-state error %q does not mention %q", err, hint)
 		}
+	}
+}
+
+// TestConcurrentCreateDeleteSameName hammers POST and DELETE of one
+// workspace name from racing goroutines on a durable server. Every
+// response must be one of the sanctioned outcomes, no ".trash-*" staging
+// directory may survive (a delete that loses the race must still complete
+// its teardown), and the final state must be consistent: the HTTP view and
+// the on-disk layout agree, and the name remains usable.
+func TestConcurrentCreateDeleteSameName(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := openDurable(t, dir, journal.Hooks{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	client := ts.Client()
+
+	const name = "contested"
+	const workers = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	bad := make(chan error, workers*rounds)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if i%2 == 0 {
+					resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: name})
+					if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+						bad <- fmt.Errorf("create %s: %d", name, resp.StatusCode)
+						return
+					}
+				} else {
+					resp := request(t, client, "DELETE", ts.URL+"/v1/workspaces/"+name, nil)
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						bad <- fmt.Errorf("delete %s: %d", name, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(bad)
+	for err := range bad {
+		t.Error(err)
+	}
+
+	// The HTTP view and the directory tree agree, and no teardown leaked
+	// its trash staging directory.
+	resp := request(t, client, "GET", ts.URL+"/v1/workspaces/"+name, nil)
+	exists := resp.StatusCode == http.StatusOK
+	if !exists && resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("final GET %s: %d", name, resp.StatusCode)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirExists := false
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".trash-") {
+			t.Errorf("leaked staging directory %s", e.Name())
+		}
+		if e.Name() == name {
+			dirExists = true
+		}
+	}
+	if exists != dirExists {
+		t.Fatalf("workspace %s: HTTP says exists=%v, directory says %v", name, exists, dirExists)
+	}
+
+	// The name is still usable: make sure it exists, then prove the
+	// workspace accepts and persists data.
+	if !exists {
+		if resp := request(t, client, "POST", ts.URL+"/v1/workspaces", workspaceRequest{Name: name}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create after hammer: %d", resp.StatusCode)
+		}
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces/"+name+"/schemas",
+		map[string]string{"ddl": "schema survivor\nentity S {\n attr Id: int key\n}\n"}, nil); status != http.StatusCreated {
+		t.Fatalf("upload after hammer: %d", status)
+	}
+	if _, err := os.Stat(filepath.Join(dir, name, "journal.jsonl")); err != nil {
+		t.Fatalf("workspace journal after hammer: %v", err)
 	}
 }

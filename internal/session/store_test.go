@@ -3,11 +3,11 @@ package session
 import (
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 
 	"repro/internal/assertion"
 	"repro/internal/ecr"
+	"repro/internal/errtest"
 	"repro/internal/paperex"
 )
 
@@ -162,7 +162,7 @@ func TestLoadErrors(t *testing.T) {
 	if err := writeFile(bad, "{not json"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "decode") {
+	if _, err := Load(bad); !errtest.Contains(err, "decode") {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -54,17 +54,17 @@ type Engine struct {
 
 	// attrIDs interns every registered AttrRef once; attrOwner maps the
 	// interned ID to its owner ID.
-	attrIDs   map[ecr.AttrRef]int32
-	attrOwner []int32
+	attrIDs   map[ecr.AttrRef]int32 // guarded by mu
+	attrOwner []int32               // guarded by mu
 
 	// owners interns (schema, object, kind) triples.
-	owners map[ownerKey]int32
+	owners map[ownerKey]int32 // guarded by mu
 
 	// classes holds the posting lists: equivalence-class ID → member
 	// attribute IDs. multi tracks the classes with ≥2 members — the only
 	// ones that can ever contribute to a similarity count.
-	classes map[int][]int32
-	multi   map[int]struct{}
+	classes map[int][]int32  // guarded by mu
+	multi   map[int]struct{} // guarded by mu
 }
 
 // Attach builds an engine over the registry's current contents and installs
@@ -87,6 +87,8 @@ func Attach(reg *equivalence.Registry) *Engine {
 // add interns the attribute and appends it to its class's posting list.
 // Callers hold the write lock (or own the engine exclusively, as Attach
 // does).
+//
+//sit:locked mu
 func (e *Engine) add(a ecr.AttrRef, class int) {
 	id, ok := e.attrIDs[a]
 	if !ok {
@@ -197,6 +199,8 @@ type grid struct {
 // what keeps the engine correct when a schema has been removed or replaced
 // while its old equivalences linger in the registry — exactly the dense
 // path's behavior of only looking up attributes the schema still declares.
+//
+//sit:rlocked mu
 func (e *Engine) mark(s *ecr.Schema, rel bool, sd side, pos []int32, live []bool) {
 	markAttrs := func(name string, kind ecr.Kind, attrs []ecr.Attribute, idx int) {
 		if oid, ok := e.owners[ownerKey{schema: s.Name, object: name, kind: kind}]; ok {
@@ -255,6 +259,8 @@ func (e *Engine) newGrid(s1, s2 *ecr.Schema, rel bool) grid {
 // disjoint row ranges write disjoint counter cells. An entry counts each
 // class once per pair (set semantics): the per-class token arrays dedup
 // multiple member attributes landing on the same structure.
+//
+//sit:rlocked mu
 func (e *Engine) accumulate(g *grid, rowPos, colPos []int32, live []bool, lo, hi int) {
 	nc := len(g.cols.names)
 	rowTok := make([]int32, len(g.rows.names))

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ecr"
+	"repro/internal/errtest"
 )
 
 const universitySQL = `
@@ -89,7 +90,7 @@ func TestParseSQLErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		_, err := ParseSQL("x", c.src)
-		if err == nil || !strings.Contains(err.Error(), c.substr) {
+		if !errtest.Contains(err, c.substr) {
 			t.Errorf("ParseSQL(%q) error = %v, want substring %q", c.src, err, c.substr)
 		}
 	}
@@ -290,7 +291,7 @@ func TestParseHierarchyErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		_, err := ParseHierarchy(c.src)
-		if err == nil || !strings.Contains(err.Error(), c.substr) {
+		if !errtest.Contains(err, c.substr) {
 			t.Errorf("ParseHierarchy(%q) error = %v, want %q", c.src, err, c.substr)
 		}
 	}
