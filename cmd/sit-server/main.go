@@ -19,6 +19,7 @@
 //	           [-request-timeout 30s] [-job-timeout 5m] [-quiet]
 //	           [-data-dir dir] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 256]
+//	           [-follow http://leader:8080] [-poll-interval 100ms]
 //	           [-pprof addr]
 //
 // With -data-dir the server is durable: every mutating operation (schema
@@ -31,6 +32,15 @@
 // single-tenant layout is migrated into the default workspace's
 // subdirectory automatically. See docs/MANUAL.md, "Durability and
 // recovery".
+//
+// With -follow the server starts as a read-only follower of the given
+// leader: it bootstraps each workspace from a leader snapshot, tails the
+// leader's journals record by record (converging on byte-identical journal
+// files), serves every read endpoint from the replicated state, and refuses
+// mutations with 421 plus a Location header pointing at the leader. POST
+// /v1/promote turns a follower into a leader. -follow requires -data-dir:
+// the replicated stream IS a write-ahead journal. See docs/MANUAL.md,
+// "Replication and read scale-out".
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener drains
 // in-flight requests and the job queue finishes in-flight jobs within the
@@ -78,6 +88,8 @@ func run() error {
 	fsyncPolicy := flag.String("fsync", "always", "journal fsync policy: always, interval or never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync spacing under -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", 256, "compact the journal into a snapshot after this many records")
+	follow := flag.String("follow", "", "run as a read-only follower replicating this leader URL (requires -data-dir)")
+	pollInterval := flag.Duration("poll-interval", 100*time.Millisecond, "follower sync pacing when idle or disconnected (with -follow)")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate debug address (for example localhost:6060); empty disables it")
 	showVersion := flag.Bool("version", false, "print the version and exit")
@@ -100,6 +112,16 @@ func run() error {
 		JobTimeout:     *jobTimeout,
 		ShutdownGrace:  *grace,
 		Logger:         logger,
+	}
+
+	if *follow != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-follow requires -data-dir (the replicated stream is a write-ahead journal)")
+		}
+		if *schemas != "" || *workspace != "" {
+			return fmt.Errorf("-follow cannot be combined with -schemas or -workspace (a follower's state comes from the leader)")
+		}
+		cfg.Follow = &server.FollowerConfig{Leader: *follow, PollInterval: *pollInterval}
 	}
 
 	var srv *server.Server

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer boots one sit-server process and waits for /healthz.
+func startServer(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+func postJSON(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return -1
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func waitCond(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+func readJournal(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "default", "journal.jsonl"))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// TestFollowerRequiresDataDir pins the CLI guard.
+func TestFollowerRequiresDataDir(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-follow", "http://localhost:1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected a failure, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-follow requires -data-dir") {
+		t.Errorf("error output = %q", out)
+	}
+}
+
+// TestChaosReplication is the replication acceptance test at the process
+// level: a leader is SIGKILLed mid-stream while a writer hammers it and a
+// follower tails it, then restarts from its data directory on the same
+// address. The follower must converge on the restarted leader's exact
+// journal bytes, and promoting it must yield a server that accepts writes.
+func TestChaosReplication(t *testing.T) {
+	bin := buildTool(t)
+	dirL, dirF := t.TempDir(), t.TempDir()
+	portL, portF := freePort(t), freePort(t)
+	addrL := fmt.Sprintf("127.0.0.1:%d", portL)
+	addrF := fmt.Sprintf("127.0.0.1:%d", portF)
+	baseL, baseF := "http://"+addrL, "http://"+addrF
+
+	leader := startServer(t, bin, "-addr", addrL, "-data-dir", dirL, "-quiet")
+	waitHealthy(t, baseL)
+	if status := postJSON(t, baseL+"/v1/schemas",
+		`{"ddl": "schema s1\nentity A {\n attr Id: int key\n attr Name: char\n}\nschema s2\nentity B {\n attr Id: int key\n attr Name: char\n}\n"}`); status != http.StatusCreated {
+		t.Fatalf("seed upload status = %d", status)
+	}
+
+	startServer(t, bin, "-addr", addrF, "-data-dir", dirF,
+		"-follow", baseL, "-poll-interval", "10ms", "-quiet")
+	waitHealthy(t, baseF)
+
+	// A follower is gated: the same upload bounces with 421 to the leader.
+	resp, err := http.Post(baseF+"/v1/schemas", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower write status = %d, want 421", resp.StatusCode)
+	}
+
+	// Hammer the leader with journaled writes and SIGKILL it mid-stream.
+	assertion := `{"schema1":"s1","object1":"A","code":5,"schema2":"s2","object2":"B"}`
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			postJSON(t, baseL+"/v1/assertions", assertion)
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	if err := leader.Process.Kill(); err != nil { // SIGKILL: a real crash
+		t.Fatal(err)
+	}
+	leader.Wait()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-writerDone
+
+	// Restart the leader from its crashed directory on the same address.
+	startServer(t, bin, "-addr", addrL, "-data-dir", dirL, "-quiet")
+	waitHealthy(t, baseL)
+	if status := postJSON(t, baseL+"/v1/equivalences",
+		`{"schema1":"s1","attr1":"A.Name","schema2":"s2","attr2":"B.Name"}`); status != http.StatusCreated {
+		t.Fatalf("post-restart write status = %d", status)
+	}
+
+	// The follower converges on the restarted leader's journal bytes: its
+	// file is exactly the leader's tail after its bootstrap point (the whole
+	// file when it never re-bootstrapped).
+	waitCond(t, 20*time.Second, func() bool {
+		lb, fb := readJournal(t, dirL), readJournal(t, dirF)
+		return len(fb) > 0 && bytes.HasSuffix(lb, fb)
+	}, "follower journal to converge byte-identically")
+
+	// The follower reports a healthy, caught-up replica for LB gating.
+	waitCond(t, 10*time.Second, func() bool {
+		resp, err := http.Get(baseF + "/healthz?max-lag=0")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var health struct {
+			Role string `json:"role"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&health) != nil {
+			return false
+		}
+		return resp.StatusCode == http.StatusOK && health.Role == "follower"
+	}, "follower to report caught-up health")
+
+	// Promote the follower; it must start accepting and journaling writes.
+	if status := postJSON(t, baseF+"/v1/promote", ""); status != http.StatusOK {
+		t.Fatalf("promote status = %d", status)
+	}
+	if status := postJSON(t, baseF+"/v1/schemas",
+		`{"ddl": "schema s3\nentity C {\n attr Id: int key\n}\n"}`); status != http.StatusCreated {
+		t.Fatalf("write after promote status = %d", status)
+	}
+	resp, err = http.Get(baseF + "/v1/schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Schemas []struct {
+			Name string `json:"name"`
+		} `json:"schemas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Schemas) != 3 {
+		t.Fatalf("promoted follower schemas = %+v, want s1 s2 s3", list.Schemas)
+	}
+}

@@ -30,10 +30,15 @@ import (
 var journalCfg = journalorder.Config{
 	// The write-ahead contract holds in the durable layer only; the
 	// in-memory session/equivalence/assertion packages and the ephemeral
-	// CLI call these mutators freely.
+	// CLI call these mutators freely. internal/replication is in scope:
+	// the follower sync path hands every leader record to the journal
+	// before any in-memory apply, so a direct mutator call there would be
+	// a contract break, not a convenience.
 	Packages: []string{
 		"repro/internal/server",
 		"repro/internal/server_test",
+		"repro/internal/replication",
+		"repro/internal/replication_test",
 	},
 	Mutators: []string{
 		"repro/internal/session.Workspace.AddSchema",
@@ -43,6 +48,10 @@ var journalCfg = journalorder.Config{
 	},
 	JournalFns: []string{
 		"repro/internal/server.Store.journal",
+		// The follower's sanctioned door: a replicated frame is appended
+		// to the local journal (verbatim leader bytes) before its
+		// operation is applied to the in-memory store.
+		"repro/internal/journal.Journal.AppendFrame",
 	},
 }
 

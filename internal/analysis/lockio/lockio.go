@@ -51,13 +51,16 @@ var netSafe = map[string]bool{
 	"Timeout": true, "Temporary": true,
 }
 
-// journalPkg's file-backed operations; the rest of the package's surface
-// (Seq, Offset, Path, record accessors) is in-memory.
+// journalPkg's file-backed operations — including the replication-stream
+// surface (AppendFrame, TailSince, ResetTo), which reads or writes the
+// journal file just like Append does; the rest of the package's surface
+// (Seq, Offset, CompactedThrough, record accessors) is in-memory.
 var journalPkg = "repro/internal/journal"
 
 var journalIO = map[string]bool{
 	"Open": true, "Append": true, "Sync": true, "Compact": true,
 	"Close": true, "CloseAbrupt": true, "Rotate": true,
+	"AppendFrame": true, "TailSince": true, "ResetTo": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -57,6 +57,16 @@ func IsError(err error) bool {
 	return errors.As(err, &je)
 }
 
+// Replica-append sentinels. AppendFrame refuses records that do not carry
+// exactly the next sequence number; callers classify the refusal with
+// errors.Is and react — skip a duplicate, re-snapshot on a gap.
+var (
+	// ErrSeqGap marks an AppendFrame whose record skips ahead of the log.
+	ErrSeqGap = errors.New("journal: sequence gap")
+	// ErrDuplicateSeq marks an AppendFrame at or below the log's sequence.
+	ErrDuplicateSeq = errors.New("journal: duplicate sequence")
+)
+
 // wrapErr tags err as a journal failure (idempotently; nil stays nil).
 func wrapErr(err error) error {
 	if err == nil || IsError(err) {
@@ -168,10 +178,22 @@ type Journal struct {
 	records      []Record // guarded by mu; replay tail loaded by Open
 	droppedBytes int64    // guarded by mu; torn/corrupt tail bytes discarded by Open
 
+	// tailFirst and tailOffs index the records currently in the journal
+	// file: the file always holds a contiguous ascending run of sequence
+	// numbers, and the record with sequence tailFirst+i starts at byte
+	// offset tailOffs[i]. TailSince uses the index to read exactly the
+	// requested range instead of rescanning the whole file per call.
+	tailFirst uint64  // guarded by mu
+	tailOffs  []int64 // guarded by mu
+
 	appends      uint64    // guarded by mu
 	sinceCompact uint64    // guarded by mu
 	lastSync     time.Time // guarded by mu
 	dirty        bool      // guarded by mu
+
+	// changed, when non-nil, is closed after the next successful append
+	// (and replaced lazily by Changed); long-poll tail readers wait on it.
+	changed chan struct{} // guarded by mu
 
 	// observe, when set, is called after every append attempt with the
 	// fsync duration (zero when no sync ran) and the append's error.
@@ -243,6 +265,10 @@ func (j *Journal) scan() error {
 		if err != nil {
 			break // corrupt frame: drop it and everything after
 		}
+		if len(j.tailOffs) == 0 {
+			j.tailFirst = rec.Seq
+		}
+		j.tailOffs = append(j.tailOffs, int64(off))
 		off += nl + 1
 		valid = int64(off)
 		if rec.Seq <= j.snapSeq {
@@ -277,6 +303,17 @@ func frameLine(rec Record) ([]byte, error) {
 	line = append(line, payload...)
 	line = append(line, '\n')
 	return line, nil
+}
+
+// FrameRecord renders a record in the journal's on-disk framing — also the
+// wire format of the replication stream.
+func FrameRecord(rec Record) ([]byte, error) { return frameLine(rec) }
+
+// ParseFrame validates one framed line (trailing newline optional) and
+// returns its record. The CRC check doubles as the wire-integrity check
+// replication relies on.
+func ParseFrame(line []byte) (Record, error) {
+	return parseLine(bytes.TrimSuffix(line, []byte{'\n'}))
 }
 
 // parseLine validates one journal line (without its newline).
@@ -340,6 +377,20 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 	if err != nil {
 		return 0, 0, err
 	}
+	fsync, err := j.writeLineLocked(op, rec.Seq, line)
+	if err != nil {
+		return 0, fsync, err
+	}
+	return rec.Seq, fsync, nil
+}
+
+// writeLineLocked writes one pre-framed line carrying seq as its record's
+// sequence number, fsyncing per policy, with the shared rollback discipline:
+// a torn write or failed fsync takes the record back out of the log, and a
+// failed rollback turns the journal sticky-broken.
+//
+//sit:locked mu
+func (j *Journal) writeLineLocked(op string, seq uint64, line []byte) (time.Duration, error) {
 	prev := j.offset
 	n := len(line)
 	var hookErr error
@@ -349,7 +400,10 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 			n = len(line)
 		}
 	}
-	var wrote int
+	var (
+		wrote int
+		err   error
+	)
 	if n > 0 {
 		wrote, err = j.f.Write(line[:n])
 	}
@@ -365,10 +419,10 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 		if wrote > 0 {
 			j.rollbackLocked(prev)
 		}
-		return 0, 0, fmt.Errorf("journal: append %s: %w", op, err)
+		return 0, fmt.Errorf("journal: append %s: %w", op, err)
 	}
 	j.offset += int64(len(line))
-	j.seq = rec.Seq
+	j.seq = seq
 	j.appends++
 	j.sinceCompact++
 	j.dirty = true
@@ -380,13 +434,117 @@ func (j *Journal) appendLocked(op string, data []byte) (uint64, time.Duration, e
 		// operation on the next replay, and a caller's retry would then
 		// collide with it (duplicate schema, duplicate job ID).
 		if j.rollbackLocked(prev) {
-			j.seq = rec.Seq - 1
+			j.seq = seq - 1
 			j.appends--
 			j.sinceCompact--
 		}
-		return 0, fsync, fmt.Errorf("journal: sync after %s: %w", op, serr)
+		return fsync, fmt.Errorf("journal: sync after %s: %w", op, serr)
 	}
-	return rec.Seq, fsync, nil
+	if len(j.tailOffs) == 0 {
+		j.tailFirst = seq
+	}
+	j.tailOffs = append(j.tailOffs, prev)
+	j.notifyChangedLocked()
+	return fsync, nil
+}
+
+// notifyChangedLocked wakes every Changed waiter after a successful append.
+//
+//sit:locked mu
+func (j *Journal) notifyChangedLocked() {
+	if j.changed != nil {
+		close(j.changed)
+		j.changed = nil
+	}
+}
+
+// Changed returns a channel that is closed after the next successful
+// append, for long-poll tail readers. Grab the channel, read the tail, and
+// wait on the channel only if the tail came back empty — re-arm by calling
+// Changed again after each wake-up.
+func (j *Journal) Changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.changed == nil {
+		j.changed = make(chan struct{})
+	}
+	return j.changed
+}
+
+// AppendFrame appends one pre-framed record line verbatim — the replica's
+// append path: the line arrives from a leader's journal stream, is
+// CRC-verified here, and must carry exactly the next sequence number. A
+// record at or below the current sequence fails with ErrDuplicateSeq (the
+// caller skips it: re-delivery after a reconnect); one skipping ahead
+// fails with ErrSeqGap (the caller falls back to a snapshot). Appending
+// the leader's bytes untouched keeps a replica's journal byte-identical
+// to its leader's.
+func (j *Journal) AppendFrame(line []byte) (Record, error) {
+	rec, err := ParseFrame(line)
+	if err != nil {
+		return Record{}, wrapErr(err)
+	}
+	framed := line
+	if len(framed) == 0 || framed[len(framed)-1] != '\n' {
+		framed = append(append(make([]byte, 0, len(framed)+1), framed...), '\n')
+	}
+	var (
+		fsync   time.Duration
+		written bool
+	)
+	j.mu.Lock()
+	switch {
+	case j.broken != nil:
+		err = j.broken
+	case rec.Seq <= j.seq:
+		err = fmt.Errorf("%w: record %d at or below log sequence %d", ErrDuplicateSeq, rec.Seq, j.seq)
+	case rec.Seq != j.seq+1:
+		err = fmt.Errorf("%w: record %d does not follow log sequence %d", ErrSeqGap, rec.Seq, j.seq)
+	default:
+		written = true
+		fsync, err = j.writeLineLocked(rec.Op, rec.Seq, framed)
+	}
+	observe := j.observe
+	j.mu.Unlock()
+	if observe != nil && written {
+		observe(fsync, err)
+	}
+	return rec, wrapErr(err)
+}
+
+// TailSince reads the raw framed lines of every record with sequence
+// number greater than from, concatenated in log order — the leader side of
+// the replication stream. horizon is the compaction horizon (the
+// snapshot's sequence number) and last the log's current sequence; when
+// from is below horizon the requested records no longer exist and data is
+// nil — the caller must ship a snapshot instead.
+func (j *Journal) TailSince(from uint64) (data []byte, horizon, last uint64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	horizon, last = j.snapSeq, j.seq
+	if j.f == nil {
+		return nil, horizon, last, wrapErr(errors.New("journal: closed"))
+	}
+	if from < horizon || from >= last {
+		return nil, horizon, last, nil
+	}
+	// The tail index maps the first requested sequence number to its byte
+	// offset, so only the requested range is read — not the whole file.
+	// Reading under mu is safe against Compact's rename (same lock), and
+	// the j.offset fence keeps torn in-flight bytes out of the stream. (The
+	// page cache makes unsynced-but-written records visible, which is
+	// correct: they are acknowledged appends.)
+	if from+1 < j.tailFirst || from+1-j.tailFirst >= uint64(len(j.tailOffs)) {
+		return nil, horizon, last, wrapErr(fmt.Errorf(
+			"journal: tail: no index entry for record %d (file holds %d records from %d)",
+			from+1, len(j.tailOffs), j.tailFirst))
+	}
+	start := j.tailOffs[from+1-j.tailFirst]
+	data = make([]byte, j.offset-start)
+	if _, err := j.f.ReadAt(data, start); err != nil {
+		return nil, horizon, last, wrapErr(fmt.Errorf("journal: tail: %w", err))
+	}
+	return data, horizon, last, nil
 }
 
 // rollbackLocked truncates the log to offset after a failed append,
@@ -484,7 +642,10 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	var keep []byte
+	var (
+		keep     []byte
+		keepOffs []int64
+	)
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
@@ -497,6 +658,7 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 			break
 		}
 		if rec.Seq > uptoSeq {
+			keepOffs = append(keepOffs, int64(len(keep)))
 			keep = append(keep, line...)
 		}
 	}
@@ -505,6 +667,9 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 	}
 	if err := os.Rename(path+".tmp", path); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
 	}
 	nf, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
@@ -516,6 +681,7 @@ func (j *Journal) Compact(state []byte, uptoSeq uint64) (err error) {
 	_ = j.f.Close()
 	j.f = nf
 	j.offset = int64(len(keep))
+	j.tailFirst, j.tailOffs = uptoSeq+1, keepOffs
 	j.snapSeq, j.snapState, j.snapTime = uptoSeq, state, time.Now()
 	j.sinceCompact = 0
 	j.dirty = false
@@ -550,7 +716,71 @@ func writeFileSync(path string, data []byte) error {
 		if err := os.Rename(tmp, final); err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
+		// The rename is atomic but not durable until the directory entry
+		// itself is on disk; without this a power loss can forget the
+		// rename even though both file contents were synced.
+		if err := syncDir(filepath.Dir(final)); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making the renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: %w", cerr)
+	}
+	return nil
+}
+
+// ResetTo discards the journal's entire contents and publishes state as a
+// snapshot at seq — the replica-bootstrap path, taken when the leader has
+// compacted past the replica's position (or the replica is brand new). The
+// journal is truncated before the snapshot is written: a crash between the
+// two steps leaves an older-but-consistent snapshot with an empty log,
+// which the next bootstrap simply overwrites.
+func (j *Journal) ResetTo(state []byte, seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return j.broken
+	}
+	if j.f == nil {
+		return wrapErr(errors.New("journal: closed"))
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return wrapErr(fmt.Errorf("journal: reset: %w", err))
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return wrapErr(fmt.Errorf("journal: reset: %w", err))
+	}
+	if err := j.f.Sync(); err != nil {
+		return wrapErr(fmt.Errorf("journal: reset: %w", err))
+	}
+	snap, err := json.Marshal(snapshotFile{Seq: seq, SavedAt: time.Now().UTC(), State: state})
+	if err != nil {
+		return wrapErr(fmt.Errorf("journal: encode snapshot: %w", err))
+	}
+	if err := writeFileSync(filepath.Join(j.dir, snapshotName), snap); err != nil {
+		return wrapErr(err)
+	}
+	j.offset = 0
+	j.seq = seq
+	j.tailFirst, j.tailOffs = 0, nil
+	j.snapSeq, j.snapState, j.snapTime = seq, state, time.Now()
+	j.records = nil
+	j.sinceCompact = 0
+	j.dirty = false
 	return nil
 }
 
@@ -582,6 +812,23 @@ func (j *Journal) Seq() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.seq
+}
+
+// CompactedThrough returns the compaction horizon: the sequence number of
+// the current snapshot. Records at or below it exist only inside the
+// snapshot; a replica asking to resume from below it must re-bootstrap.
+func (j *Journal) CompactedThrough() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapSeq
+}
+
+// Offset returns the journal file's length through the last complete
+// record — the byte position replication lag is measured against.
+func (j *Journal) Offset() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.offset
 }
 
 // Appends returns the number of records appended since Open.

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ecr"
@@ -232,6 +233,12 @@ func Open(cfg Config, dcfg DurabilityConfig) (*Server, *RecoveryReport, error) {
 	}
 
 	s.metrics.SetDurability(report.RecoveredWorkspaces, report.RecoveredJobs, s.oldestSnapshotAge)
+	if s.cfg.Follow != nil {
+		if err := s.startFollowing(); err != nil {
+			s.closeAllJournals()
+			return nil, nil, err
+		}
+	}
 	return s, report, nil
 }
 
@@ -316,9 +323,37 @@ func scanWorkspaceDirs(dir string) ([]string, error) {
 	return names, nil
 }
 
+// decodePersistedState rebuilds a workspace and job table from a snapshot
+// body (recovery, and replica bootstrap — the leader's snapshot wire format
+// IS the snapshot file format).
+func decodePersistedState(state []byte) (*session.Workspace, []Job, map[string]int, int, error) {
+	sessWS := session.NewWorkspace()
+	var jobs []Job
+	byID := map[string]int{}
+	var ps persistedState
+	if err := json.Unmarshal(state, &ps); err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("decode snapshot state: %w", err)
+	}
+	if len(ps.Workspace) > 0 {
+		var err error
+		if sessWS, err = session.Unmarshal(ps.Workspace); err != nil {
+			return nil, nil, nil, 0, fmt.Errorf("rebuild workspace from snapshot: %w", err)
+		}
+	}
+	for _, job := range ps.Jobs {
+		byID[job.ID] = len(jobs)
+		jobs = append(jobs, job)
+	}
+	return sessWS, jobs, byID, ps.NextJobID, nil
+}
+
 // recoverWorkspace rebuilds one workspace from its subdirectory: snapshot
 // first, then the journal tail, then the job table is restored into the
-// fresh queue (re-enqueueing still-queued jobs) with journaling armed.
+// fresh queue (re-enqueueing still-queued jobs) with journaling armed — or,
+// on a follower, stashed as the replica state with the apply loop taking
+// over where the journal ends.
+//
+//sit:replay
 func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, error) {
 	wr := WorkspaceRecovery{Name: name}
 	j, err := journal.Open(filepath.Join(s.dcfg.Dir, name), journal.Options{
@@ -333,22 +368,10 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 	byID := map[string]int{}
 	nextID := 0
 	if state, seq, ok := j.Snapshot(); ok {
-		var ps persistedState
-		if err := json.Unmarshal(state, &ps); err != nil {
+		if sessWS, jobs, byID, nextID, err = decodePersistedState(state); err != nil {
 			j.Close()
-			return nil, wr, fmt.Errorf("decode snapshot state: %w", err)
+			return nil, wr, err
 		}
-		if len(ps.Workspace) > 0 {
-			if sessWS, err = session.Unmarshal(ps.Workspace); err != nil {
-				j.Close()
-				return nil, wr, fmt.Errorf("rebuild workspace from snapshot: %w", err)
-			}
-		}
-		for _, job := range ps.Jobs {
-			byID[job.ID] = len(jobs)
-			jobs = append(jobs, job)
-		}
-		nextID = ps.NextJobID
 		wr.SnapshotSeq = seq
 	}
 
@@ -365,7 +388,11 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 	wr.RecoveredJobs = len(jobs)
 
 	ws := s.newWorkspaceFrom(name, store)
-	wr.RequeuedJobs, wr.InterruptedJobs = s.armJournal(ws, j, jobs, nextID)
+	if s.cfg.Follow != nil {
+		s.armReplica(ws, j, jobs, byID, nextID)
+	} else {
+		wr.RequeuedJobs, wr.InterruptedJobs = s.armJournal(ws, j, jobs, nextID)
+	}
 	return ws, wr, nil
 }
 
@@ -456,22 +483,31 @@ func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]
 // persister owns one workspace's side of its journal: the compaction loop
 // and the shutdown/crash teardown.
 type persister struct {
-	j        *journal.Journal
-	every    int
-	stop     chan struct{}
-	done     chan struct{}
+	j     *journal.Journal
+	every int
+	stop  chan struct{}
+	done  chan struct{}
+	// started records whether the compaction loop goroutine was launched.
+	// Follower replicas hold a persister (the journal and teardown are the
+	// same) but compact synchronously from the apply loop instead; their
+	// loop starts only on promotion.
+	started  atomic.Bool
 	stopOnce sync.Once
 }
 
 // stopLoop halts the compaction loop and waits for it to exit; safe to
-// call more than once (Shutdown, Delete and Kill all may).
+// call more than once (Shutdown, Delete and Kill all may). A loop that was
+// never started (follower replicas) has nothing to wait for.
 func (p *persister) stopLoop() {
 	p.stopOnce.Do(func() { close(p.stop) })
-	<-p.done
+	if p.started.Load() {
+		<-p.done
+	}
 }
 
 // openWorkspaceJournal provisions a brand-new workspace's journal directory
-// (Create on a durable server) and arms journaling on it.
+// (Create on a durable server) and arms journaling on it — or, on a
+// follower (a workspace discovered on the leader), the replica state.
 func (s *Server) openWorkspaceJournal(ws *Workspace) error {
 	dir := filepath.Join(s.dcfg.Dir, ws.name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -483,7 +519,11 @@ func (s *Server) openWorkspaceJournal(ws *Workspace) error {
 	if err != nil {
 		return err
 	}
-	s.armJournal(ws, j, nil, 0)
+	if s.cfg.Follow != nil {
+		s.armReplica(ws, j, nil, map[string]int{}, 0)
+	} else {
+		s.armJournal(ws, j, nil, 0)
+	}
 	return nil
 }
 
@@ -509,6 +549,7 @@ func (s *Server) armJournal(ws *Workspace, j *journal.Journal, jobs []Job, nextI
 		}
 	})
 	requeued, interrupted = ws.queue.Restore(jobs, nextID)
+	p.started.Store(true)
 	go p.loop(s, ws)
 	return requeued, interrupted
 }
@@ -548,20 +589,7 @@ func (s *Server) compactWorkspace(ws *Workspace) error {
 	if ws.persist == nil {
 		return nil
 	}
-	st := ws.store
-	st.mu.Lock()
-	// Order matters: read the sequence number first, then capture state.
-	// Every record at or below uptoSeq is fully reflected in the captured
-	// state; records landing after the read are preserved by Compact.
-	uptoSeq := ws.persist.j.Seq()
-	wsData, err := session.Marshal(st.ws)
-	if err != nil {
-		st.mu.Unlock()
-		return err
-	}
-	jobs, nextID := ws.queue.snapshotState()
-	st.mu.Unlock()
-	state, err := json.Marshal(persistedState{Workspace: wsData, Jobs: jobs, NextJobID: nextID})
+	state, uptoSeq, err := ws.captureState()
 	if err != nil {
 		return err
 	}
@@ -570,6 +598,35 @@ func (s *Server) compactWorkspace(ws *Workspace) error {
 	}
 	s.metrics.ObserveCompaction()
 	return nil
+}
+
+// captureState captures the workspace's full persisted state (schemas +
+// job table) together with the journal sequence number it reflects —
+// compaction's input, and also what the replication snapshot endpoint
+// ships. On a replica the job table lives in the replica state instead of
+// the queue.
+func (ws *Workspace) captureState() (state []byte, uptoSeq uint64, err error) {
+	if rep := ws.replica.Load(); rep != nil {
+		return rep.capture(ws)
+	}
+	st := ws.store
+	st.mu.Lock()
+	// Order matters: read the sequence number first, then capture state.
+	// Every record at or below uptoSeq is fully reflected in the captured
+	// state; records landing after the read are preserved by Compact.
+	uptoSeq = ws.persist.j.Seq()
+	wsData, err := session.Marshal(st.ws)
+	if err != nil {
+		st.mu.Unlock()
+		return nil, 0, err
+	}
+	jobs, nextID := ws.queue.snapshotState()
+	st.mu.Unlock()
+	state, err = json.Marshal(persistedState{Workspace: wsData, Jobs: jobs, NextJobID: nextID})
+	if err != nil {
+		return nil, 0, err
+	}
+	return state, uptoSeq, nil
 }
 
 // Compact snapshots every workspace, returning the first error.
@@ -652,6 +709,11 @@ func (s *Server) Kill() {
 		srv.Close()
 	} else if ln != nil {
 		ln.Close()
+	}
+	// Signal the follower loop but do not wait: a crash doesn't drain. The
+	// loop's in-flight applies fail harmlessly against the closed journals.
+	if f := s.follow.Load(); f != nil {
+		f.halt(false)
 	}
 	for _, ws := range s.manager.List() {
 		if ws.persist != nil {

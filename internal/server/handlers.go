@@ -112,11 +112,42 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // --- health and metrics ---
 
+// handleHealthz reports liveness plus the replication role. A follower also
+// reports its per-workspace lag, and ?max-lag=N (records) turns the check
+// into a load-balancer gate: a follower lagging beyond N on any workspace —
+// or one that has not completed a sync round yet — answers 503, so stale
+// replicas drop out of a read pool without external lag plumbing.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{
+	resp := map[string]any{
 		"status":  "ok",
 		"version": version.Version,
-	})
+		"role":    s.role(),
+	}
+	status := http.StatusOK
+	if f := s.follow.Load(); f != nil {
+		lag := f.lagSnapshot()
+		resp["leader"] = f.leader
+		resp["replication"] = lag
+		if raw := r.URL.Query().Get("max-lag"); raw != "" {
+			maxLag, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad max-lag %q", raw))
+				return
+			}
+			if len(lag) == 0 {
+				status = http.StatusServiceUnavailable
+				resp["status"] = "syncing"
+			}
+			for _, l := range lag {
+				if l.LagRecords > maxLag {
+					status = http.StatusServiceUnavailable
+					resp["status"] = "lagging"
+					break
+				}
+			}
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -573,7 +604,7 @@ func (s *Server) handleJobsPost(ws *Workspace, w http.ResponseWriter, r *http.Re
 }
 
 func (s *Server) handleJobsList(ws *Workspace, w http.ResponseWriter, r *http.Request) {
-	jobs := ws.queue.List()
+	jobs := ws.jobsView()
 	if jobs == nil {
 		jobs = []Job{}
 	}
@@ -582,7 +613,7 @@ func (s *Server) handleJobsList(ws *Workspace, w http.ResponseWriter, r *http.Re
 
 func (s *Server) handleJobGet(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := ws.queue.Get(id)
+	job, ok := ws.jobView(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
 		return

@@ -142,6 +142,9 @@ type Metrics struct {
 	// JournalFsync times the fsyncs the write-ahead journal performs.
 	JournalFsync *Histogram
 
+	// replication, when set, reports the server's replication role and
+	// per-workspace lag for snapshots.
+	replication func() *ReplicationSnapshot // guarded by mu
 	// queueDepth, when set, reports the live queue depth for snapshots.
 	queueDepth func() int // guarded by mu
 	// similarityStats, when set, reports the store's similarity-cache
@@ -176,6 +179,13 @@ func (m *Metrics) SetSimilarityStatsFunc(fn func() (hits, misses uint64)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.similarityStats = fn
+}
+
+// SetReplicationFunc wires the replication role/lag reporter.
+func (m *Metrics) SetReplicationFunc(fn func() *ReplicationSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replication = fn
 }
 
 // SetWorkspaceCountFunc wires the workspaces_active gauge.
@@ -360,6 +370,42 @@ type MetricsSnapshot struct {
 	SimilarityCacheMisses uint64 `json:"similarity_cache_misses"`
 	// Journal is present only on durable servers (started with a data dir).
 	Journal *JournalSnapshot `json:"journal,omitempty"`
+	// Replication reports the server's role and, on followers, stream
+	// counters and per-workspace lag.
+	Replication *ReplicationSnapshot `json:"replication,omitempty"`
+}
+
+// ReplicaLag is one workspace's replication position relative to the
+// leader, as of the follower's last sync round.
+type ReplicaLag struct {
+	// AppliedSeq is the replica's last applied sequence number.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LeaderSeq is the leader's sequence number when last observed.
+	LeaderSeq uint64 `json:"leader_seq"`
+	// LagRecords is LeaderSeq - AppliedSeq (0 when caught up).
+	LagRecords uint64 `json:"lag_records"`
+	// LagBytes is the leader journal's byte length minus the replica's —
+	// comparable directly because the journals are byte-identical.
+	LagBytes int64 `json:"lag_bytes"`
+}
+
+// ReplicationSnapshot is the replication section of the /metrics response.
+type ReplicationSnapshot struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Leader is the leader's URL (followers only).
+	Leader string `json:"leader,omitempty"`
+	// RecordsApplied counts journal records applied from the stream.
+	RecordsApplied uint64 `json:"records_applied,omitempty"`
+	// BytesApplied counts raw frame bytes applied from the stream.
+	BytesApplied uint64 `json:"bytes_applied,omitempty"`
+	// SnapshotsFetched counts full snapshot bootstraps (first contact,
+	// compaction fallback, divergence repair).
+	SnapshotsFetched uint64 `json:"snapshots_fetched,omitempty"`
+	// SyncErrors counts failed sync rounds (leader down, stream errors).
+	SyncErrors uint64 `json:"sync_errors,omitempty"`
+	// Workspaces is the per-workspace lag table (followers only).
+	Workspaces map[string]ReplicaLag `json:"workspaces,omitempty"`
 }
 
 // JournalSnapshot is the durability section of the /metrics response.
@@ -389,6 +435,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		jobs[string(state)] = n
 	}
 	started := m.started
+	replFn := m.replication
 	depthFn := m.queueDepth
 	simFn := m.similarityStats
 	countFn := m.workspaceCount
@@ -431,6 +478,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			journal.SnapshotAgeSeconds = ageFn()
 		}
 		snap.Journal = journal
+	}
+	if replFn != nil {
+		snap.Replication = replFn()
 	}
 	return snap
 }

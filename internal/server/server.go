@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// store (for example from a loaded workspace file); nil starts empty.
 	// Ignored by Open, where the data directory is authoritative.
 	Store *Store
+	// Follow, when set, starts the server as a read-only follower
+	// replicating the given leader's journals. Followers must be durable
+	// (built with Open): the replicated stream IS a journal. Mutations are
+	// refused with 421 and a Location pointing at the leader; POST
+	// /v1/promote turns the follower into a leader.
+	Follow *FollowerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +85,14 @@ type Server struct {
 	// build (consumed exactly once).
 	seed *Store
 
+	// follow holds the live follower machinery while the server is a
+	// follower; nil means leader. Readers load it lock-free on every
+	// request; promotion swaps it to nil exactly once, serialized by the
+	// promoting claim flag (no lock is held across the transition's
+	// journal re-arming).
+	follow    atomic.Pointer[followState]
+	promoting atomic.Bool
+
 	mu       sync.Mutex
 	listener net.Listener
 	httpSrv  *http.Server
@@ -110,6 +125,7 @@ func newServer(cfg Config, dcfg *DurabilityConfig) *Server {
 	s.metrics.SetQueueDepthFunc(s.manager.TotalQueueDepth)
 	s.metrics.SetSimilarityStatsFunc(s.manager.TotalSimilarityStats)
 	s.metrics.SetWorkspaceCountFunc(s.manager.Len)
+	s.metrics.SetReplicationFunc(s.replicationSnapshot)
 	s.routes()
 	return s
 }
@@ -223,32 +239,44 @@ func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 
-	// Workspace lifecycle.
+	// Workspace lifecycle. Creation and deletion are mutations: on a
+	// follower the workspace set mirrors the leader's, so both redirect.
 	s.handle("GET /v1/workspaces", s.handleWorkspacesList)
-	s.handle("POST /v1/workspaces", s.handleWorkspacesPost)
+	s.handle("POST /v1/workspaces", s.gate(s.handleWorkspacesPost))
 	s.handle("GET /v1/workspaces/{ws}", s.handleWorkspaceGet)
-	s.handle("DELETE /v1/workspaces/{ws}", s.handleWorkspaceDelete)
+	s.handle("DELETE /v1/workspaces/{ws}", s.gate(s.handleWorkspaceDelete))
 
 	// Data plane, workspace-scoped with unprefixed default aliases.
-	s.handleWS("POST", "/schemas", s.handleSchemasPost)
+	// Mutating routes are gated: a follower answers 421 with the leader's
+	// address. Reads — including /integrate, which computes over the
+	// replicated state without mutating it — serve from the replica.
+	s.handleWS("POST", "/schemas", s.gateWS(s.handleSchemasPost))
 	s.handleWS("GET", "/schemas", s.handleSchemasList)
 	s.handleWS("GET", "/schemas/{name}", s.handleSchemaGet)
-	s.handleWS("DELETE", "/schemas/{name}", s.handleSchemaDelete)
+	s.handleWS("DELETE", "/schemas/{name}", s.gateWS(s.handleSchemaDelete))
 
-	s.handleWS("POST", "/equivalences", s.handleEquivalencesPost)
+	s.handleWS("POST", "/equivalences", s.gateWS(s.handleEquivalencesPost))
 	s.handleWS("GET", "/equivalences", s.handleEquivalencesList)
 
 	s.handleWS("GET", "/resemblance", s.handleResemblance)
 	s.handleWS("GET", "/matrix", s.handleMatrix)
 	s.handleWS("GET", "/suggestions", s.handleSuggestions)
 
-	s.handleWS("POST", "/assertions", s.handleAssertionsPost)
+	s.handleWS("POST", "/assertions", s.gateWS(s.handleAssertionsPost))
 	s.handleWS("GET", "/assertions", s.handleAssertionsList)
 
 	s.handleWS("POST", "/integrate", s.handleIntegrate)
-	s.handleWS("POST", "/jobs", s.handleJobsPost)
+	s.handleWS("POST", "/jobs", s.gateWS(s.handleJobsPost))
 	s.handleWS("GET", "/jobs", s.handleJobsList)
 	s.handleWS("GET", "/jobs/{id}", s.handleJobGet)
+
+	// Replication: the leader-side stream API plus follower promotion.
+	// The stream routes are role-agnostic (a follower can feed another
+	// follower); they only require a durable server.
+	s.handle("GET /v1/replication/workspaces", s.handleReplWorkspaces)
+	s.handle("GET /v1/replication/workspaces/{ws}/snapshot", s.handleReplSnapshot)
+	s.handle("GET /v1/replication/workspaces/{ws}/records", s.handleReplRecords)
+	s.handle("POST /v1/promote", s.handlePromote)
 }
 
 // Handler returns the full HTTP handler (httptest and embedding).
@@ -300,6 +328,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := srv.Shutdown(ctx); err != nil {
 			first = err
 		}
+	}
+	// Stop the follower apply loop (and wait it out) before compacting, so
+	// every captured state is quiescent.
+	if f := s.follow.Load(); f != nil {
+		f.halt(true)
 	}
 	// Per workspace: compact before draining the queue, so jobs still
 	// buffered are captured as queued in the snapshot (the drain below only

@@ -104,6 +104,18 @@ func NewStoreFrom(ws *session.Workspace) *Store {
 	}
 }
 
+// Replace swaps the store's workspace wholesale — the replica-bootstrap
+// path, where a snapshot shipped from the leader supersedes everything the
+// store held. All caches are invalidated. The caller must not touch the
+// workspace afterwards.
+func (st *Store) Replace(ws *session.Workspace) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ws = ws
+	st.schemaGen++
+	st.touch()
+}
+
 // SetPersist installs the write-ahead hook (nil disables journaling).
 // Call before the store is shared; replay during recovery runs with the
 // hook unset so replayed operations are not re-journaled.

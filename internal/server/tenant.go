@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +71,11 @@ type Workspace struct {
 	// persist is the workspace's durability layer (journal + compaction
 	// loop); nil on memory-only servers.
 	persist *persister
+	// replica, while non-nil, marks the workspace as a follower replica:
+	// its job table lives here (applied from the leader's stream, never
+	// executed locally) and its store mutates only through the replication
+	// apply path. Promote swaps it back to nil.
+	replica atomic.Pointer[replicaState]
 }
 
 // Name returns the workspace's name.
