@@ -7,7 +7,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS  = -X repro/internal/version.Version=$(VERSION)
 BINDIR   = bin
 
-.PHONY: all build check vet sit-vet test race clean
+.PHONY: all build check vet sit-vet test race loadgen clean
 
 all: check
 
@@ -38,6 +38,11 @@ test:
 
 race:
 	go test -race ./...
+
+# loadgen runs the CI-scale admission-control load harness: 100 open-loop
+# tenants, three phases, ~30 seconds. See cmd/sit-loadgen.
+loadgen:
+	go run ./cmd/sit-loadgen -smoke -v
 
 clean:
 	rm -rf $(BINDIR)

@@ -1,0 +1,711 @@
+// Command sit-loadgen is the sustained-load harness for sit-server's
+// admission-control layer. It starts fresh in-process servers (memory-only,
+// real TCP listeners, real HTTP) and drives thousands of concurrent
+// simulated tenants — one workspace each, uploaded from an
+// internal/workload schema pair — through an open-loop arrival process:
+// requests fire on each tenant's clock whether or not earlier ones have
+// come back, the way real overload arrives.
+//
+// Three phases run back to back, each against its own server:
+//
+//   - baseline: admission control off. Measures the happy path.
+//   - limited: quotas, API keys and rate limits on, with headroom above
+//     the offered load. Every request pays auth + bucket accounting but
+//     none should be refused; the phase exists to price the admission
+//     layer, and the run fails if its mean latency exceeds the baseline
+//     by more than -overhead (default 5%).
+//   - overload: the same limits with the per-workspace rate set below the
+//     offered load. Roughly half the traffic must come back 429, and every
+//     429/503 must carry a Retry-After inside [1, 300] seconds.
+//
+// Any response outside {2xx, 409, 429, 503} fails the run, as does a
+// missing or out-of-range Retry-After on a rejection. With -out the
+// results are written as BENCH_server.json (latency percentiles,
+// throughput, rejection rates, overhead verdict).
+//
+// Usage:
+//
+//	sit-loadgen [-tenants 1000] [-rate 2] [-phase-duration 20s]
+//	            [-workers 1] [-overhead 0.05] [-seed 1]
+//	            [-out BENCH_server.json] [-smoke] [-v]
+//
+// -smoke shrinks any flag left at its default to CI scale (100 tenants,
+// 10s phases — about 30s of measured load) while keeping every check.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ecr"
+	"repro/internal/server"
+	"repro/internal/version"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sit-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// Tokens the harness installs for the limited and overload phases. The
+// server only ever sees their SHA-256 hashes; these plaintexts exist for
+// the duration of one run against a loopback listener.
+const (
+	adminToken = "loadgen-admin-3b9ac1e7"
+	dataToken  = "loadgen-data-51c0afd2"
+)
+
+type options struct {
+	tenants  int
+	rate     float64 // offered per-tenant request rate (req/s)
+	duration time.Duration
+	workers  int // per-workspace job workers (idle here; kept small)
+	overhead float64
+	seed     int64
+	out      string
+	verbose  bool
+}
+
+func run() error {
+	tenants := flag.Int("tenants", 1000, "concurrent simulated tenants (one workspace each)")
+	rate := flag.Float64("rate", 2, "offered request rate per tenant, requests/second")
+	phaseDur := flag.Duration("phase-duration", 20*time.Second, "measured duration of each phase")
+	workers := flag.Int("workers", 1, "per-workspace job worker pool (jobs are not part of the mix; keep small)")
+	overhead := flag.Float64("overhead", 0.05, "maximum tolerated happy-path mean-latency overhead, limits-on vs limits-off")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	out := flag.String("out", "", "write results to this JSON file (BENCH_server.json); empty prints only the summary")
+	smoke := flag.Bool("smoke", false, "CI scale: shrink defaulted flags to 100 tenants and 10s phases")
+	verbose := flag.Bool("v", false, "log per-phase progress")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("sit-loadgen"))
+		return nil
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *smoke {
+		if !set["tenants"] {
+			*tenants = 100
+		}
+		if !set["phase-duration"] {
+			*phaseDur = 10 * time.Second
+		}
+	}
+	opts := options{
+		tenants:  *tenants,
+		rate:     *rate,
+		duration: *phaseDur,
+		workers:  *workers,
+		overhead: *overhead,
+		seed:     *seed,
+		out:      *out,
+		verbose:  *verbose,
+	}
+	if opts.tenants <= 0 || opts.rate <= 0 || opts.duration <= 0 {
+		return fmt.Errorf("-tenants, -rate and -phase-duration must be positive")
+	}
+
+	fixture, err := buildFixture(opts.seed)
+	if err != nil {
+		return err
+	}
+
+	keysPath, err := writeKeysFile()
+	if err != nil {
+		return err
+	}
+	defer os.Remove(keysPath)
+
+	// Limits for the limited phase: rate headroom of 4x the offered load
+	// (plus bursts), quotas above actual usage — admission runs on every
+	// request but refuses none.
+	headroom := server.Limits{
+		MaxSchemas:    8,
+		MaxJobs:       32,
+		WorkspaceRate: 4 * opts.rate,
+	}
+	// Limits for the overload phase: the steady rate is half the offered
+	// load, so once bursts drain roughly half of each tenant's traffic
+	// must be refused with 429.
+	choke := headroom
+	choke.WorkspaceRate = opts.rate / 2
+
+	type phaseSpec struct {
+		name   string
+		limits server.Limits
+		keys   string
+	}
+	specs := []phaseSpec{
+		{name: "baseline"},
+		{name: "limited", limits: headroom, keys: keysPath},
+		{name: "overload", limits: choke, keys: keysPath},
+	}
+
+	phases := map[string]*phaseResult{}
+	for _, spec := range specs {
+		if opts.verbose {
+			fmt.Fprintf(os.Stderr, "phase %s: %d tenants x %.3g req/s for %v\n",
+				spec.name, opts.tenants, opts.rate, opts.duration)
+		}
+		res, err := runPhase(opts, fixture, spec.limits, spec.keys)
+		if err != nil {
+			return fmt.Errorf("phase %s: %w", spec.name, err)
+		}
+		res.Name = spec.name
+		phases[spec.name] = res
+		if opts.verbose {
+			fmt.Fprintf(os.Stderr, "phase %s: %s\n", spec.name, res.summary())
+		}
+	}
+
+	report := buildReport(opts, phases)
+	fmt.Println(report.summary())
+
+	if opts.out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", opts.out)
+	}
+	if !report.Pass {
+		return fmt.Errorf("checks failed: %s", strings.Join(report.Failures, "; "))
+	}
+	return nil
+}
+
+// --- fixture: the schemas and request mix every tenant replays ---
+
+type fixture struct {
+	schemaBodies [][]byte // POST /schemas payloads, one per schema
+	eqBodies     [][]byte // POST /equivalences payloads (idempotent re-declares)
+}
+
+func buildFixture(seed int64) (*fixture, error) {
+	cfg := workload.Config{
+		Seed:           seed,
+		Objects:        8,
+		AttrsPerObject: 3,
+		Overlap:        0.5,
+		Relationships:  2,
+		NamingNoise:    0, // deterministic names: shared objects match exactly
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &fixture{}
+	for _, s := range []*ecr.Schema{w.S1, w.S2} {
+		raw, err := ecr.EncodeJSON(s)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(map[string]json.RawMessage{"schema": raw})
+		if err != nil {
+			return nil, err
+		}
+		f.schemaBodies = append(f.schemaBodies, body)
+	}
+	// Equivalence payloads: the first attribute of every object rendered
+	// into both schemas. The first declare merges the classes, every
+	// repeat is a registry no-op — a mutation that stays 201 forever.
+	byName := map[string]*ecr.ObjectClass{}
+	for _, o := range w.S2.Objects {
+		byName[o.Name] = o
+	}
+	for _, o1 := range w.S1.Objects {
+		o2, ok := byName[o1.Name]
+		if !ok || len(o1.Attributes) == 0 || len(o2.Attributes) == 0 {
+			continue
+		}
+		body, err := json.Marshal(map[string]string{
+			"schema1": w.S1.Name, "attr1": o1.Name + "." + o1.Attributes[0].Name,
+			"schema2": w.S2.Name, "attr2": o2.Name + "." + o2.Attributes[0].Name,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.eqBodies = append(f.eqBodies, body)
+	}
+	if len(f.eqBodies) == 0 {
+		return nil, fmt.Errorf("workload produced no shared objects; raise Overlap")
+	}
+	return f, nil
+}
+
+func writeKeysFile() (string, error) {
+	tmp, err := os.CreateTemp("", "sit-loadgen-keys-*")
+	if err != nil {
+		return "", err
+	}
+	_, err = fmt.Fprintf(tmp, "# sit-loadgen ephemeral keys\n%s admin\n%s data *\n", adminToken, dataToken)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+// --- one phase: fresh server, N tenants, open-loop load ---
+
+// tenantStats collects one tenant's outcomes. Arrivals within a tenant
+// overlap (open loop), so the latency slice takes the mutex; counters that
+// feed the allowed-status check are plain ints under the same lock.
+type tenantStats struct {
+	mu           sync.Mutex
+	latencies    []time.Duration // 2xx responses only
+	sent         int
+	ok2xx        int
+	conflict     int
+	rate429      int
+	unavail503   int
+	unexpected   map[int]int
+	transportErr int
+	retryMissing int // 429/503 without a Retry-After in [1, 300]
+}
+
+type phaseResult struct {
+	Name            string  `json:"name"`
+	Seconds         float64 `json:"seconds"`
+	Sent            int     `json:"requests_sent"`
+	Completed       int     `json:"completed"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	OK              int     `json:"ok_2xx"`
+	Conflict        int     `json:"conflict_409"`
+	RateLimited     int     `json:"rate_limited_429"`
+	Unavailable     int     `json:"unavailable_503"`
+	RejectionRate   float64 `json:"rejection_rate"`
+	Unexpected      int     `json:"unexpected_statuses"`
+	UnexpectedCodes string  `json:"unexpected_code_counts,omitempty"`
+	TransportErrors int     `json:"transport_errors"`
+	RetryMissing    int     `json:"retry_after_violations"`
+	P50us           int64   `json:"p50_us"`
+	P95us           int64   `json:"p95_us"`
+	P99us           int64   `json:"p99_us"`
+	Meanus          int64   `json:"mean_us"`
+	Maxus           int64   `json:"max_us"`
+}
+
+func (p *phaseResult) summary() string {
+	return fmt.Sprintf("%d req, %.0f req/s, p50 %dus p99 %dus, 429 %.1f%%, 503 %d, unexpected %d",
+		p.Completed, p.ThroughputRPS, p.P50us, p.P99us,
+		100*p.RejectionRate, p.Unavailable, p.Unexpected)
+}
+
+func runPhase(opts options, f *fixture, limits server.Limits, keysPath string) (*phaseResult, error) {
+	srv := server.New(server.Config{
+		Workers:       opts.workers,
+		MaxWorkspaces: opts.tenants + 8,
+		Limits:        limits,
+	})
+	if keysPath != "" {
+		if err := srv.SetKeysFile(keysPath); err != nil {
+			return nil, err
+		}
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown(srv)
+	base := "http://" + addr
+
+	client := &http.Client{
+		Timeout: 15 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * opts.tenants,
+			MaxIdleConnsPerHost: 4 * opts.tenants,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	token := ""
+	if keysPath != "" {
+		token = dataToken
+	}
+	if err := setupTenants(client, base, opts.tenants, f, keysPath); err != nil {
+		return nil, err
+	}
+
+	stats := make([]*tenantStats, opts.tenants)
+	for i := range stats {
+		stats[i] = &tenantStats{unexpected: map[int]int{}}
+	}
+
+	interval := time.Duration(float64(time.Second) / opts.rate)
+	var wg sync.WaitGroup       // tenant pacing loops
+	var inflight sync.WaitGroup // individual requests
+	start := time.Now()
+	deadline := start.Add(opts.duration)
+	for i := 0; i < opts.tenants; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ts := stats[id]
+			ws := tenantName(id)
+			// De-synchronized start keeps the arrival process smooth
+			// instead of firing every tenant on the same tick.
+			rng := rand.New(rand.NewSource(int64(id) + opts.seed))
+			time.Sleep(time.Duration(rng.Int63n(int64(interval))))
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			seq := 0
+			for now := time.Now(); now.Before(deadline); now = <-tick.C {
+				ts.mu.Lock()
+				ts.sent++
+				ts.mu.Unlock()
+				inflight.Add(1)
+				go func(n int) {
+					defer inflight.Done()
+					doOp(client, base, ws, token, f, n, ts)
+				}(seq)
+				seq++
+			}
+		}(i)
+	}
+	wg.Wait()
+	inflight.Wait()
+	elapsed := time.Since(start)
+
+	res := &phaseResult{Seconds: round3(elapsed.Seconds())}
+	var all []time.Duration
+	codes := map[int]int{}
+	for _, ts := range stats {
+		res.Sent += ts.sent
+		res.OK += ts.ok2xx
+		res.Conflict += ts.conflict
+		res.RateLimited += ts.rate429
+		res.Unavailable += ts.unavail503
+		res.TransportErrors += ts.transportErr
+		res.RetryMissing += ts.retryMissing
+		for code, n := range ts.unexpected {
+			res.Unexpected += n
+			codes[code] += n
+		}
+		all = append(all, ts.latencies...)
+	}
+	res.Completed = res.OK + res.Conflict + res.RateLimited + res.Unavailable + res.Unexpected
+	if res.Completed > 0 {
+		res.ThroughputRPS = round3(float64(res.Completed) / elapsed.Seconds())
+		res.RejectionRate = round3(float64(res.RateLimited) / float64(res.Completed))
+	}
+	if len(codes) > 0 {
+		parts := make([]string, 0, len(codes))
+		for code, n := range codes {
+			parts = append(parts, fmt.Sprintf("%d:%d", code, n))
+		}
+		sort.Strings(parts)
+		res.UnexpectedCodes = strings.Join(parts, " ")
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50us = percentile(all, 0.50).Microseconds()
+		res.P95us = percentile(all, 0.95).Microseconds()
+		res.P99us = percentile(all, 0.99).Microseconds()
+		res.Maxus = all[len(all)-1].Microseconds()
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		res.Meanus = (sum / time.Duration(len(all))).Microseconds()
+	}
+	return res, nil
+}
+
+func shutdown(srv *server.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+func tenantName(id int) string { return fmt.Sprintf("t%04d", id) }
+
+// setupTenants creates one workspace per tenant and uploads the fixture's
+// schema pair into each, with bounded parallelism. Setup traffic is not
+// measured.
+func setupTenants(client *http.Client, base string, tenants int, f *fixture, keysPath string) error {
+	adminTok, dataTok := "", ""
+	if keysPath != "" {
+		adminTok, dataTok = adminToken, dataToken
+	}
+	const par = 64
+	sem := make(chan struct{}, par)
+	errCh := make(chan error, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ws := tenantName(id)
+			body := fmt.Sprintf(`{"name":%q}`, ws)
+			if code, err := do(client, "POST", base+"/v1/workspaces", adminTok, []byte(body)); err != nil {
+				errCh <- fmt.Errorf("create %s: %w", ws, err)
+				return
+			} else if code != http.StatusCreated {
+				errCh <- fmt.Errorf("create %s: status %d", ws, code)
+				return
+			}
+			for _, sb := range f.schemaBodies {
+				if code, err := do(client, "POST", base+"/v1/workspaces/"+ws+"/schemas", dataTok, sb); err != nil {
+					errCh <- fmt.Errorf("upload %s: %w", ws, err)
+					return
+				} else if code != http.StatusCreated {
+					errCh <- fmt.Errorf("upload %s: status %d", ws, code)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func do(client *http.Client, method, url, token string, body []byte) (int, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// doOp issues the n-th request in a tenant's steady-state mix: three reads
+// (ranked pairs, schema list, similarity matrix) to one idempotent
+// mutation (an equivalence re-declare).
+func doOp(client *http.Client, base, ws, token string, f *fixture, n int, ts *tenantStats) {
+	var (
+		method = "GET"
+		url    string
+		body   []byte
+	)
+	prefix := base + "/v1/workspaces/" + ws
+	switch n % 4 {
+	case 0:
+		url = prefix + "/matrix?schema1=w1&schema2=w2"
+	case 1:
+		url = prefix + "/schemas"
+	case 2:
+		method = "POST"
+		url = prefix + "/equivalences"
+		body = f.eqBodies[(n/4)%len(f.eqBodies)]
+	case 3:
+		url = prefix + "/resemblance?schema1=w1&schema2=w2"
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		ts.mu.Lock()
+		ts.transportErr++
+		ts.mu.Unlock()
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		ts.mu.Lock()
+		ts.transportErr++
+		ts.mu.Unlock()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	code := resp.StatusCode
+	badRetry := false
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || secs < 1 || secs > 300 {
+			badRetry = true
+		}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	switch {
+	case code >= 200 && code < 300:
+		ts.ok2xx++
+		ts.latencies = append(ts.latencies, lat)
+	case code == http.StatusConflict:
+		ts.conflict++
+	case code == http.StatusTooManyRequests:
+		ts.rate429++
+	case code == http.StatusServiceUnavailable:
+		ts.unavail503++
+	default:
+		ts.unexpected[code]++
+	}
+	if badRetry {
+		ts.retryMissing++
+	}
+}
+
+// --- report ---
+
+type report struct {
+	Description string         `json:"description"`
+	Command     string         `json:"command"`
+	Environment map[string]any `json:"environment"`
+	Config      map[string]any `json:"config"`
+	Phases      []*phaseResult `json:"phases"`
+	Overhead    map[string]any `json:"overhead"`
+	Checks      map[string]any `json:"checks"`
+	Pass        bool           `json:"pass"`
+	Failures    []string       `json:"failures,omitempty"`
+}
+
+func buildReport(opts options, phases map[string]*phaseResult) *report {
+	base, lim, over := phases["baseline"], phases["limited"], phases["overload"]
+
+	var failures []string
+	for _, p := range []*phaseResult{base, lim, over} {
+		if p.Unexpected > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d unexpected statuses (%s)", p.Name, p.Unexpected, p.UnexpectedCodes))
+		}
+		if p.RetryMissing > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d rejections without a valid Retry-After", p.Name, p.RetryMissing))
+		}
+		if p.TransportErrors > p.Sent/100 {
+			failures = append(failures, fmt.Sprintf("%s: %d transport errors", p.Name, p.TransportErrors))
+		}
+	}
+	for _, p := range []*phaseResult{base, lim} {
+		if p.RateLimited > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d requests rate-limited despite headroom", p.Name, p.RateLimited))
+		}
+	}
+	if over.RateLimited == 0 {
+		failures = append(failures, "overload: no 429s despite offered load above the rate limit")
+	}
+
+	// Happy-path overhead: limits-on vs limits-off mean latency. The
+	// absolute slack keeps sub-millisecond loopback numbers from failing
+	// on scheduler noise.
+	const slackUS = 200
+	frac := 0.0
+	if base.Meanus > 0 {
+		frac = round3(float64(lim.Meanus-base.Meanus) / float64(base.Meanus))
+	}
+	overheadPass := frac <= opts.overhead || lim.Meanus-base.Meanus <= slackUS
+	if !overheadPass {
+		failures = append(failures, fmt.Sprintf(
+			"admission overhead %.1f%% exceeds %.1f%% (baseline mean %dus, limited mean %dus)",
+			100*frac, 100*opts.overhead, base.Meanus, lim.Meanus))
+	}
+
+	cpu := cpuModel()
+	return &report{
+		Description: "Admission-control load harness: open-loop HTTP load from concurrent simulated tenants (one workspace each, schemas from internal/workload) against in-process sit-servers. baseline = admission off; limited = API keys + quotas + per-workspace token buckets with 4x rate headroom (prices the admission layer on the happy path); overload = rate limit at half the offered load (prices the rejection path and audits Retry-After honesty on every 429/503).",
+		Command: fmt.Sprintf("go run ./cmd/sit-loadgen -tenants %d -rate %g -phase-duration %s -out BENCH_server.json",
+			opts.tenants, opts.rate, opts.duration),
+		Environment: map[string]any{
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"cpus": runtime.NumCPU(), "cpu": cpu,
+			"date": time.Now().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"tenants":          opts.tenants,
+			"rate_per_tenant":  opts.rate,
+			"phase_seconds":    opts.duration.Seconds(),
+			"request_mix":      "GET matrix / GET schemas / POST equivalences / GET resemblance, round-robin",
+			"limited_ws_rate":  4 * opts.rate,
+			"overload_ws_rate": opts.rate / 2,
+		},
+		Phases: []*phaseResult{base, lim, over},
+		Overhead: map[string]any{
+			"baseline_mean_us": base.Meanus,
+			"limited_mean_us":  lim.Meanus,
+			"fraction":         frac,
+			"tolerance":        opts.overhead,
+			"slack_us":         slackUS,
+			"pass":             overheadPass,
+		},
+		Checks: map[string]any{
+			"allowed_statuses":       "2xx 409 429 503",
+			"retry_after_violations": base.RetryMissing + lim.RetryMissing + over.RetryMissing,
+			"unexpected_statuses":    base.Unexpected + lim.Unexpected + over.Unexpected,
+		},
+		Pass:     len(failures) == 0,
+		Failures: failures,
+	}
+}
+
+func (r *report) summary() string {
+	var b strings.Builder
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-9s %s\n", p.Name+":", p.summary())
+	}
+	fmt.Fprintf(&b, "overhead: %.1f%% (tolerance %.1f%%)  pass: %v",
+		100*r.Overhead["fraction"].(float64), 100*r.Overhead["tolerance"].(float64), r.Pass)
+	return b.String()
+}
+
+// --- small helpers ---
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func round3(f float64) float64 { return float64(int64(f*1000+0.5)) / 1000 }
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return "unknown"
+}

@@ -20,7 +20,10 @@
 //	           [-data-dir dir] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 256]
 //	           [-follow http://leader:8080] [-poll-interval 100ms]
-//	           [-pprof addr]
+//	           [-follow-key token] [-keys file]
+//	           [-max-schemas 0] [-max-jobs 0] [-max-journal-bytes 0]
+//	           [-max-body-bytes 4194304] [-ws-rate 0] [-ws-burst 0]
+//	           [-key-rate 0] [-key-burst 0] [-pprof addr]
 //
 // With -data-dir the server is durable: every mutating operation (schema
 // upload, equivalence, assertion, job lifecycle) is written ahead to an
@@ -41,6 +44,14 @@
 // /v1/promote turns a follower into a leader. -follow requires -data-dir:
 // the replicated stream IS a write-ahead journal. See docs/MANUAL.md,
 // "Replication and read scale-out".
+//
+// Admission control is opt-in and off by default. -keys installs API-key
+// authentication from a keys file (one `<token> admin` or
+// `<token> data <ws1,ws2|*>` line per key; SIGHUP reloads it without a
+// restart), the -max-* flags arm per-workspace quotas, and -ws-rate /
+// -key-rate arm token-bucket rate limiting per workspace and per key.
+// Rejections answer 429 (quota, rate) or 413 (body cap), always with an
+// honest Retry-After. See docs/MANUAL.md, "Admission control and quotas".
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener drains
 // in-flight requests and the job queue finishes in-flight jobs within the
@@ -90,6 +101,16 @@ func run() error {
 	snapshotEvery := flag.Int("snapshot-every", 256, "compact the journal into a snapshot after this many records")
 	follow := flag.String("follow", "", "run as a read-only follower replicating this leader URL (requires -data-dir)")
 	pollInterval := flag.Duration("poll-interval", 100*time.Millisecond, "follower sync pacing when idle or disconnected (with -follow)")
+	followKey := flag.String("follow-key", "", "API key the follower presents to the leader (with -follow, when the leader runs -keys)")
+	keysFile := flag.String("keys", "", "API keys file; installs key authentication on every route (SIGHUP reloads it)")
+	maxSchemas := flag.Int("max-schemas", 0, "per-workspace schema quota; 0 is unlimited")
+	maxJobs := flag.Int("max-jobs", 0, "per-workspace queued-plus-running job quota (429; distinct from -queue's 503); 0 is unlimited")
+	maxJournalBytes := flag.Int64("max-journal-bytes", 0, "per-workspace journal length quota in bytes; 0 is unlimited")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "mutation request body cap in bytes (413 beyond it); 0 keeps the 4 MiB default")
+	wsRate := flag.Float64("ws-rate", 0, "per-workspace steady request rate in requests/second; 0 disables workspace rate limiting")
+	wsBurst := flag.Int("ws-burst", 0, "per-workspace token-bucket burst; 0 derives max(1, 2*ws-rate)")
+	keyRate := flag.Float64("key-rate", 0, "per-API-key steady request rate in requests/second (with -keys); 0 disables per-key rate limiting")
+	keyBurst := flag.Int("key-burst", 0, "per-API-key token-bucket burst; 0 derives max(1, 2*key-rate)")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate debug address (for example localhost:6060); empty disables it")
 	showVersion := flag.Bool("version", false, "print the version and exit")
@@ -112,6 +133,16 @@ func run() error {
 		JobTimeout:     *jobTimeout,
 		ShutdownGrace:  *grace,
 		Logger:         logger,
+		Limits: server.Limits{
+			MaxSchemas:      *maxSchemas,
+			MaxJobs:         *maxJobs,
+			MaxJournalBytes: *maxJournalBytes,
+			MaxBodyBytes:    *maxBodyBytes,
+			WorkspaceRate:   *wsRate,
+			WorkspaceBurst:  *wsBurst,
+			KeyRate:         *keyRate,
+			KeyBurst:        *keyBurst,
+		},
 	}
 
 	if *follow != "" {
@@ -121,7 +152,7 @@ func run() error {
 		if *schemas != "" || *workspace != "" {
 			return fmt.Errorf("-follow cannot be combined with -schemas or -workspace (a follower's state comes from the leader)")
 		}
-		cfg.Follow = &server.FollowerConfig{Leader: *follow, PollInterval: *pollInterval}
+		cfg.Follow = &server.FollowerConfig{Leader: *follow, PollInterval: *pollInterval, APIKey: *followKey}
 	}
 
 	var srv *server.Server
@@ -192,8 +223,34 @@ func run() error {
 		}
 	}
 
+	if *keysFile != "" {
+		if err := srv.SetKeysFile(*keysFile); err != nil {
+			return err
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *keysFile != "" {
+		// SIGHUP re-reads the keys file in place: rotate keys by rewriting
+		// the file and signalling, no restart. A broken file is rejected
+		// whole and the previous key set stays live.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := srv.ReloadKeys(); err != nil {
+					if logger != nil {
+						logger.Error("keys reload", "error", err)
+					}
+				} else if logger != nil {
+					logger.Info("keys reloaded", "path", *keysFile)
+				}
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		stopPprof, err := servePprof(*pprofAddr, logger)

@@ -1,7 +1,7 @@
 // Command sit-vet is the repo's static-analysis vettool: it runs the
 // internal/analysis suite — lockguard, errtype, journalorder, metriclabel,
-// lockio — under `go vet -vettool`, which drives it across every package
-// and caches its results alongside the compiler's.
+// lockio, admission — under `go vet -vettool`, which drives it across every
+// package and caches its results alongside the compiler's.
 //
 // Usage:
 //
@@ -15,6 +15,7 @@ package main
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/admission"
 	"repro/internal/analysis/errtype"
 	"repro/internal/analysis/journalorder"
 	"repro/internal/analysis/lockguard"
@@ -55,6 +56,31 @@ var journalCfg = journalorder.Config{
 	},
 }
 
+// admissionCfg wires the admission-chain invariant: every route the server
+// registers must be wrapped in exactly one admitter at the registration
+// site, and nothing may register on the raw mux outside the //sit:admission
+// plumbing (Server.handle).
+var admissionCfg = admission.Config{
+	Packages: []string{"repro/internal/server"},
+	Registrars: []string{
+		"repro/internal/server.Server.handle",
+		"repro/internal/server.Server.handleWS",
+	},
+	Admitters: []string{
+		"repro/internal/server.Server.admitOpen",
+		"repro/internal/server.Server.admitPeer",
+		"repro/internal/server.Server.admitAdmin",
+		"repro/internal/server.Server.admitRead",
+		"repro/internal/server.Server.admitMutate",
+	},
+	RawRegistrars: []string{
+		"net/http.ServeMux.Handle",
+		"net/http.ServeMux.HandleFunc",
+		"net/http.Handle",
+		"net/http.HandleFunc",
+	},
+}
+
 func main() {
 	unit.Main([]*analysis.Analyzer{
 		lockguard.Analyzer,
@@ -62,5 +88,6 @@ func main() {
 		journalorder.New(journalCfg),
 		metriclabel.Analyzer,
 		lockio.Analyzer,
+		admission.New(admissionCfg),
 	}...)
 }

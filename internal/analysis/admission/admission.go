@@ -1,0 +1,166 @@
+// Package admission enforces the server's front-door invariant: every
+// handler registered on a route must pass through exactly one admitter —
+// the auth/quota/rate-limit middleware chain — before any handler work.
+//
+// The analyzer is configured with three sets of functions, named
+// "pkgpath.Recv.Method" (or "pkgpath.Func"):
+//
+//   - Registrars: the sanctioned route-registration helpers (Server.handle,
+//     Server.handleWS). Every call must wrap its handler argument in an
+//     admitter at the call site;
+//   - Admitters: the admission wrappers (admitOpen, admitPeer, admitAdmin,
+//     admitRead, admitMutate). An un-admitted route is a finding even when
+//     it is "just" a health probe — admitOpen exists precisely so the
+//     decision to skip auth is explicit and auditable;
+//   - RawRegistrars: mux-level registration (http.ServeMux.Handle and
+//     friends). Calling one directly bypasses the registrars entirely, so
+//     any such call in a configured package is a finding.
+//
+// Functions marked "//sit:admission" are the registration plumbing itself
+// (the registrar bodies, which necessarily touch the raw mux and pass
+// handlers through untouched); the directive exempts a function's body,
+// it never silences a route defined elsewhere.
+package admission
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Config names the registrar, admitter and raw-registration functions.
+type Config struct {
+	// Packages are the import paths where the admission contract holds
+	// (the HTTP serving layer). Empty means every package.
+	Packages []string
+	// Registrars are the route-registration helpers, "pkgpath.Recv.Method".
+	Registrars []string
+	// Admitters are the admission wrappers a registered handler must pass
+	// through at the registration call site.
+	Admitters []string
+	// RawRegistrars are mux-level registration calls that bypass the
+	// registrars; calling one outside //sit:admission plumbing is a finding.
+	RawRegistrars []string
+}
+
+// New builds an admission analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	pkgs := map[string]bool{}
+	for _, p := range cfg.Packages {
+		pkgs[p] = true
+	}
+	reg := map[string]bool{}
+	for _, r := range cfg.Registrars {
+		reg[r] = true
+	}
+	adm := map[string]bool{}
+	for _, a := range cfg.Admitters {
+		adm[a] = true
+	}
+	raw := map[string]bool{}
+	for _, r := range cfg.RawRegistrars {
+		raw[r] = true
+	}
+	return &analysis.Analyzer{
+		Name: "admission",
+		Doc:  "registered handlers must pass through the admission middleware chain",
+		Run: func(pass *analysis.Pass) error {
+			if len(pkgs) > 0 && !pkgs[pass.Pkg.Path()] {
+				return nil
+			}
+			return run(pass, reg, adm, raw)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, registrars, admitters, rawRegistrars map[string]bool) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fn.Doc, "admission") {
+				continue
+			}
+			checkFunc(pass, fn, registrars, admitters, rawRegistrars)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, registrars, admitters, rawRegistrars map[string]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(pass, call)
+		if name == "" {
+			return true
+		}
+		switch {
+		case rawRegistrars[name]:
+			pass.Reportf(call.Pos(), "route registered on the raw mux via %s, bypassing the admission chain; register through a sanctioned registrar", name)
+		case registrars[name]:
+			if !admitted(pass, call, admitters) {
+				pass.Reportf(call.Pos(), "handler registered via %s without an admitter; wrap it in the auth/quota/rate-limit chain (admitOpen if the route is deliberately open)", name)
+			}
+		}
+		return true
+	})
+}
+
+// admitted reports whether any argument of the registrar call is, at the
+// call site, a call to one of the admitters. Requiring the wrap at the
+// registration site (not somewhere up the data flow) keeps the route table
+// self-evidently safe to audit.
+func admitted(pass *analysis.Pass, call *ast.CallExpr, admitters map[string]bool) bool {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if admitters[calleeName(pass, inner)] {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName resolves a call to "pkgpath.Recv.Method" / "pkgpath.Func", or
+// "" for calls through function values and other statically unresolvable
+// forms.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Pkg().Path()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if rn := namedName(sig.Recv().Type()); rn != "" {
+			name += "." + rn
+		}
+	}
+	return name + "." + fn.Name()
+}
+
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

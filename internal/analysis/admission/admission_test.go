@@ -1,0 +1,17 @@
+package admission_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/admission"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestAdmission(t *testing.T) {
+	a := admission.New(admission.Config{
+		Registrars:    []string{"adm.Server.handle"},
+		Admitters:     []string{"adm.Server.admitOpen", "adm.Server.admitRead"},
+		RawRegistrars: []string{"adm/web.Mux.Handle"},
+	})
+	analyzertest.Run(t, "testdata/src", "adm", a)
+}

@@ -1,0 +1,38 @@
+// Package adm exercises admission: routes registered with and without an
+// admitter, raw-mux registration, and the //sit:admission plumbing
+// exemption.
+package adm
+
+import "adm/web"
+
+type Server struct{ mux *web.Mux }
+
+func (s *Server) admitOpen(h web.Handler) web.Handler { return h }
+
+func (s *Server) admitRead(h web.Handler) web.Handler { return h }
+
+func (s *Server) gate(h web.Handler) web.Handler { return h }
+
+// handle is the sanctioned registration plumbing: it necessarily touches
+// the raw mux and passes already-admitted handlers through untouched.
+//
+//sit:admission
+func (s *Server) handle(pattern string, h web.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+func (s *Server) health()  {}
+func (s *Server) metrics() {}
+func (s *Server) create()  {}
+
+func (s *Server) goodRoutes() {
+	s.handle("GET /healthz", s.admitOpen(s.health))
+	s.handle("GET /metrics", s.admitRead(s.metrics))
+	s.handle("POST /v1/things", s.admitRead(s.gate(s.create)))
+}
+
+func (s *Server) badRoutes() {
+	s.handle("GET /naked", s.metrics)                // want "handler registered via adm.Server.handle without an admitter"
+	s.handle("POST /gated", s.gate(s.create))        // want "handler registered via adm.Server.handle without an admitter"
+	s.mux.Handle("GET /raw", s.admitOpen(s.metrics)) // want "route registered on the raw mux via adm/web.Mux.Handle"
+}

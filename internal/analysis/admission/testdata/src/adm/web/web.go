@@ -1,0 +1,11 @@
+// Package web is the raw-mux stand-in for the admission fixture: Mux.Handle
+// is the configured raw registrar.
+package web
+
+type Handler func()
+
+type Mux struct{ routes map[string]Handler }
+
+func NewMux() *Mux { return &Mux{routes: map[string]Handler{}} }
+
+func (m *Mux) Handle(pattern string, h Handler) { m.routes[pattern] = h }

@@ -1,0 +1,549 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// limitedServer returns a quiet server with the given limits and its
+// httptest wrapper.
+func limitedServer(t testing.TB, limits Limits) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{Workers: 2, QueueCapacity: 16, Limits: limits})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	return srv, ts
+}
+
+// --- token bucket ---
+
+func TestBucketTake(t *testing.T) {
+	b := newBucket(10, 2) // 10 tokens/s, burst 2
+	t0 := time.Now()
+
+	// The bucket starts full: the burst admits immediately.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(t0); !ok {
+			t.Fatalf("take %d refused on a full bucket", i)
+		}
+	}
+	// Empty: refusal reports the deficit, one token at 10/s = 100ms.
+	ok, wait := b.take(t0)
+	if ok {
+		t.Fatal("take admitted on an empty bucket")
+	}
+	if wait <= 90*time.Millisecond || wait > 110*time.Millisecond {
+		t.Fatalf("deficit wait = %v, want ~100ms", wait)
+	}
+
+	// 100ms later exactly one token has accrued.
+	t1 := t0.Add(100 * time.Millisecond)
+	if ok, _ := b.take(t1); !ok {
+		t.Fatal("token did not accrue after the deficit elapsed")
+	}
+	if ok, _ := b.take(t1); ok {
+		t.Fatal("second token minted from a single refill interval")
+	}
+
+	// A long idle stretch caps at the burst, never beyond.
+	t2 := t1.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(t2); !ok {
+			t.Fatalf("take %d refused after a long idle", i)
+		}
+	}
+	if ok, _ := b.take(t2); ok {
+		t.Fatal("bucket accrued beyond its burst")
+	}
+}
+
+func TestBucketClockNeverRewinds(t *testing.T) {
+	b := newBucket(1, 1)
+	t0 := time.Now()
+	if ok, _ := b.take(t0); !ok {
+		t.Fatal("first take refused")
+	}
+	// A take with an earlier timestamp (goroutine scheduling skew) must
+	// not mint tokens or panic; elapsed < 0 is ignored.
+	if ok, _ := b.take(t0.Add(-time.Minute)); ok {
+		t.Fatal("rewound clock minted a token")
+	}
+}
+
+func TestClampRetryAfter(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-5, minRetryAfterSeconds},
+		{0, minRetryAfterSeconds},
+		{1, 1},
+		{42, 42},
+		{maxRetryAfterSeconds, maxRetryAfterSeconds},
+		{100000, maxRetryAfterSeconds},
+	} {
+		if got := clampRetryAfter(tc.in); got != tc.want {
+			t.Errorf("clampRetryAfter(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLimitsWithDefaults(t *testing.T) {
+	l := Limits{}.withDefaults()
+	if l.MaxBodyBytes != maxBodyBytes {
+		t.Errorf("MaxBodyBytes default = %d, want %d", l.MaxBodyBytes, maxBodyBytes)
+	}
+	if l.WorkspaceBurst != 0 || l.KeyBurst != 0 {
+		t.Errorf("bursts armed without rates: %+v", l)
+	}
+	l = Limits{WorkspaceRate: 2.5, KeyRate: 0.2}.withDefaults()
+	if l.WorkspaceBurst != 5 {
+		t.Errorf("WorkspaceBurst = %d, want ceil(2*2.5) = 5", l.WorkspaceBurst)
+	}
+	if l.KeyBurst != 1 {
+		t.Errorf("KeyBurst = %d, want floor of 1", l.KeyBurst)
+	}
+}
+
+// retryAfterSeconds on a fresh server (no measured integration latency,
+// empty queue) must still answer at least the floor — never 0.
+func TestRetryAfterSecondsFloor(t *testing.T) {
+	srv, _ := limitedServer(t, Limits{})
+	ws, err := srv.manager.Get(DefaultWorkspace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.retryAfterSeconds(ws); got < minRetryAfterSeconds {
+		t.Fatalf("retryAfterSeconds on a fresh server = %d, want >= %d", got, minRetryAfterSeconds)
+	}
+}
+
+// --- rate limiting over HTTP ---
+
+func TestWorkspaceRateLimitHTTP(t *testing.T) {
+	srv, ts := limitedServer(t, Limits{WorkspaceRate: 0.001, WorkspaceBurst: 2})
+	client := ts.Client()
+
+	codes := map[int]int{}
+	var retryAfter string
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL + "/v1/schemas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes[resp.StatusCode]++
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter = resp.Header.Get("Retry-After")
+		}
+	}
+	if codes[http.StatusOK] != 2 || codes[http.StatusTooManyRequests] != 3 {
+		t.Fatalf("status counts = %v, want 2x200 + 3x429", codes)
+	}
+	secs, err := strconv.Atoi(retryAfter)
+	if err != nil || secs < minRetryAfterSeconds || secs > maxRetryAfterSeconds {
+		t.Fatalf("429 Retry-After = %q, want an int in [%d, %d]",
+			retryAfter, minRetryAfterSeconds, maxRetryAfterSeconds)
+	}
+	if got := srv.Metrics().Snapshot().Admission.RateLimitedTotal; got != 3 {
+		t.Fatalf("rate_limited_total = %d, want 3", got)
+	}
+
+	// The health probe is admitOpen: never limited.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under rate limit = %d", resp.StatusCode)
+	}
+}
+
+// Buckets are per workspace: exhausting one tenant's budget must not
+// touch another's.
+func TestRateLimitIsPerWorkspace(t *testing.T) {
+	_, ts := limitedServer(t, Limits{WorkspaceRate: 0.001, WorkspaceBurst: 1})
+	client := ts.Client()
+	for _, name := range []string{"alpha", "beta"} {
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces",
+			workspaceRequest{Name: name}, nil); status != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, status)
+		}
+	}
+	// Drain alpha's single token, then verify beta still answers.
+	for i, want := range []int{http.StatusOK, http.StatusTooManyRequests} {
+		resp, err := client.Get(ts.URL + "/v1/workspaces/alpha/schemas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("alpha request %d = %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+	resp, err := client.Get(ts.URL + "/v1/workspaces/beta/schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta caught alpha's rate limit: %d", resp.StatusCode)
+	}
+}
+
+// --- quotas ---
+
+func TestSchemaQuota(t *testing.T) {
+	srv, ts := limitedServer(t, Limits{MaxSchemas: 2})
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL) // two schemas: at quota
+
+	status := doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]string{"ddl": "schema extra\nentity E {\n attr Id: int key\n}\n"}, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("upload beyond MaxSchemas = %d, want 429", status)
+	}
+	if got := srv.Metrics().Snapshot().Admission.QuotaRejectionsTotal; got != 1 {
+		t.Fatalf("quota_rejections_total = %d, want 1", got)
+	}
+
+	// Deleting one frees the slot.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/schemas/sc1", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	status = doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]string{"ddl": "schema extra\nentity E {\n attr Id: int key\n}\n"}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("upload after delete = %d, want 201", status)
+	}
+}
+
+func TestJobQuota(t *testing.T) {
+	// A queue whose worker blocks until released: the quota counts
+	// queued-plus-running, so with MaxJobs 2 the third submit refuses.
+	release := make(chan struct{})
+	q := NewQueue(1, 16, time.Minute, func(ctx context.Context, req JobRequest) (*IntegrationResult, error) {
+		<-release
+		return &IntegrationResult{}, nil
+	})
+	defer q.Kill()
+	defer close(release)
+	q.SetMaxJobs(2)
+
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(JobRequest{Type: "integrate", Schema1: "a", Schema2: "b"}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := q.Submit(JobRequest{Type: "integrate", Schema1: "a", Schema2: "b"})
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("third submit error = %v, want ErrQuota", err)
+	}
+}
+
+func TestQuotaEndpoint(t *testing.T) {
+	_, ts := limitedServer(t, Limits{MaxSchemas: 4, MaxJobs: 8, MaxBodyBytes: 1 << 20})
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	var rep QuotaReport
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/quota", nil, &rep); status != http.StatusOK {
+		t.Fatalf("quota status = %d", status)
+	}
+	if rep.Workspace != DefaultWorkspace {
+		t.Errorf("workspace = %q", rep.Workspace)
+	}
+	if rep.Limits.MaxSchemas != 4 || rep.Limits.MaxJobs != 8 || rep.Limits.MaxBodyBytes != 1<<20 {
+		t.Errorf("limits = %+v", rep.Limits)
+	}
+	if rep.Usage.Schemas != 2 {
+		t.Errorf("usage.schemas = %d, want 2", rep.Usage.Schemas)
+	}
+	if rep.Usage.JournalBytes != 0 {
+		t.Errorf("memory-only server reports journal bytes: %d", rep.Usage.JournalBytes)
+	}
+}
+
+// --- body caps ---
+
+func TestBodyTooLarge(t *testing.T) {
+	srv, ts := limitedServer(t, Limits{MaxBodyBytes: 256})
+	client := ts.Client()
+
+	big := strings.Repeat("x", 600)
+	status := doJSON(t, client, "POST", ts.URL+"/v1/schemas", map[string]string{"ddl": big}, nil)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized JSON body = %d, want 413", status)
+	}
+
+	// The plain-text DDL path has its own reader; same cap, same 413.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/schemas", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized DDL body = %d, want 413", resp.StatusCode)
+	}
+
+	if got := srv.Metrics().Snapshot().Admission.BodyTooLargeTotal; got != 2 {
+		t.Fatalf("body_too_large_total = %d, want 2", got)
+	}
+
+	// A body under the cap still works.
+	status = doJSON(t, client, "POST", ts.URL+"/v1/schemas",
+		map[string]string{"ddl": "schema s\nentity E {\n attr Id: int key\n}\n"}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("small body after cap = %d", status)
+	}
+}
+
+// --- flood isolation ---
+
+// TestFloodIsolation is the noisy-neighbor acceptance test: eight tenants
+// share a server, one floods at ~50x the per-workspace rate, and the seven
+// behaved tenants must see zero rejections and zero errors. Run under
+// -race this also hammers the bucket/auth/metrics paths concurrently.
+func TestFloodIsolation(t *testing.T) {
+	const (
+		tenants   = 8
+		perTenant = 60 // requests each behaved tenant sends
+		floodReqs = 1500
+	)
+	// Burst 120 covers each behaved tenant's whole run even if the race
+	// detector serializes it into a burst; the flooder sends 1500.
+	_, ts := limitedServer(t, Limits{WorkspaceRate: 100, WorkspaceBurst: 120})
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: tenants * 4}
+
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant%d", i)
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/workspaces",
+			workspaceRequest{Name: names[i]}, nil); status != http.StatusCreated {
+			t.Fatalf("create %s: status %d", names[i], status)
+		}
+	}
+
+	get := func(ws string) int {
+		resp, err := client.Get(ts.URL + "/v1/workspaces/" + ws + "/schemas")
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+				t.Errorf("429 without a valid Retry-After (%q)", resp.Header.Get("Retry-After"))
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var wg sync.WaitGroup
+	behavedBad := make([]int, tenants-1) // non-200 counts per behaved tenant
+	var flood429 int
+	for i := 0; i < tenants-1; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; n < perTenant; n++ {
+				if get(names[id]) != http.StatusOK {
+					behavedBad[id]++
+				}
+				time.Sleep(2 * time.Millisecond) // ~500/s offered, under burst
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < floodReqs; n++ { // no pacing: far beyond the budget
+			if get(names[tenants-1]) == http.StatusTooManyRequests {
+				flood429++
+			}
+		}
+	}()
+	wg.Wait()
+
+	for id, bad := range behavedBad {
+		if bad != 0 {
+			t.Errorf("behaved tenant %d saw %d non-200 responses", id, bad)
+		}
+	}
+	if flood429 == 0 {
+		t.Error("flooding tenant was never rate-limited")
+	}
+}
+
+// --- quota accounting across a crash ---
+
+// TestQuotaSurvivesKill verifies admission state is rebuilt from the
+// journal: schema counts (quota enforcement picks up where it left off)
+// and journal-byte usage (byte-exact, recomputed from the file on open)
+// survive an unclean death.
+func TestQuotaSurvivesKill(t *testing.T) {
+	dir := t.TempDir()
+	limits := Limits{MaxSchemas: 2, MaxJournalBytes: 1 << 20}
+
+	srv, _, err := Open(Config{Workers: 2, QueueCapacity: 16, Limits: limits},
+		DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	var before QuotaReport
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/quota", nil, &before); status != http.StatusOK {
+		t.Fatalf("quota status = %d", status)
+	}
+	if before.Usage.Schemas != 2 || before.Usage.JournalBytes == 0 {
+		t.Fatalf("pre-kill usage = %+v", before.Usage)
+	}
+
+	// Crash: no drain, no snapshot. The journal is all that remains.
+	ts.Close()
+	srv.Kill()
+
+	srv2, _, err := Open(Config{Workers: 2, QueueCapacity: 16, Limits: limits},
+		DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Kill()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := ts2.Client()
+
+	var after QuotaReport
+	if status := doJSON(t, client2, "GET", ts2.URL+"/v1/quota", nil, &after); status != http.StatusOK {
+		t.Fatalf("quota after restart = %d", status)
+	}
+	if after.Usage.Schemas != 2 {
+		t.Fatalf("schemas after restart = %d, want 2", after.Usage.Schemas)
+	}
+	if after.Usage.JournalBytes != before.Usage.JournalBytes {
+		t.Fatalf("journal bytes drifted across the kill: %d -> %d",
+			before.Usage.JournalBytes, after.Usage.JournalBytes)
+	}
+
+	// The recovered count still enforces: a third schema is over quota.
+	status := doJSON(t, client2, "POST", ts2.URL+"/v1/schemas",
+		map[string]string{"ddl": "schema extra\nentity E {\n attr Id: int key\n}\n"}, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("upload beyond recovered quota = %d, want 429", status)
+	}
+}
+
+// TestJournalByteQuota fills a tiny journal budget and verifies mutations
+// refuse with 429 + Retry-After while reads keep working.
+func TestJournalByteQuota(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, err := Open(Config{Workers: 2, QueueCapacity: 16, Limits: Limits{MaxJournalBytes: 64}},
+		DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Kill()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// The first upload passes (journal still under 64 bytes) and pushes
+	// the file over; the next mutation must refuse.
+	uploadPaperSchemas(t, client, ts.URL)
+	req := equivalenceRequest{Schema1: "sc1", Attr1: "Student.Name", Schema2: "sc2", Attr2: "Grad_student.Name"}
+	status := doJSON(t, client, "POST", ts.URL+"/v1/equivalences", req, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("mutation over journal quota = %d, want 429", status)
+	}
+	// Reads stay up: overload of the write path never blocks the read path.
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/schemas", nil, nil); status != http.StatusOK {
+		t.Fatalf("read under journal quota = %d", status)
+	}
+}
+
+// --- limiter fast-path benchmarks (CI smoke runs these) ---
+
+// BenchmarkBucketTake prices the limiter's hot path: one mutex'd refill
+// and spend. Zero allocations.
+func BenchmarkBucketTake(b *testing.B) {
+	bk := newBucket(1e12, 1<<30)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bk.take(now)
+	}
+}
+
+// BenchmarkRateLimitedRejection prices a full server-side 429: admission
+// refusal ahead of any handler work, static body, no JSON encoder.
+func BenchmarkRateLimitedRejection(b *testing.B) {
+	srv := New(Config{Workers: 1, QueueCapacity: 4, Limits: Limits{WorkspaceRate: 1e-9, WorkspaceBurst: 1}})
+	defer srv.Shutdown(context.Background())
+	h := srv.Handler()
+	req := httptest.NewRequest("GET", "/v1/schemas", nil)
+	// Drain the single token so every measured iteration is a rejection.
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := nullResponseWriter{h: make(http.Header, 4)}
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkAdmittedRead prices the happy path through the full admission
+// chain (no keys, generous bucket) for comparison against the same route
+// with admission disabled.
+func BenchmarkAdmittedRead(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		limits Limits
+	}{
+		{"limits-off", Limits{}},
+		{"limits-on", Limits{MaxSchemas: 100, WorkspaceRate: 1e12, WorkspaceBurst: 1 << 30}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			srv := New(Config{Workers: 1, QueueCapacity: 4, Limits: tc.limits})
+			defer srv.Shutdown(context.Background())
+			h := srv.Handler()
+			req := httptest.NewRequest("GET", "/v1/schemas", nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := nullResponseWriter{h: make(http.Header, 4)}
+				h.ServeHTTP(w, req)
+			}
+		})
+	}
+}
+
+// nullResponseWriter discards the response; benchmarks measure the server,
+// not a recorder's buffer growth.
+type nullResponseWriter struct{ h http.Header }
+
+func (w nullResponseWriter) Header() http.Header         { return w.h }
+func (w nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w nullResponseWriter) WriteHeader(int)             {}

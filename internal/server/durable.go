@@ -30,6 +30,10 @@ const (
 	opJobSubmit    = "job_submit"
 	opJobStart     = "job_start"
 	opJobFinish    = "job_finish"
+	// opSetKeys replaces the API-key set (hashes only, never tokens). It
+	// rides the default workspace's journal so followers replicate and
+	// enforce the same keys; last record wins on replay.
+	opSetKeys = "set_keys"
 )
 
 // Per-workspace on-disk layout: each workspace keeps its own journal and
@@ -90,11 +94,14 @@ type jobFinishRec struct {
 }
 
 // persistedState is the snapshot body: the full workspace (in the saved-
-// workspace encoding the interactive tool also uses) plus the job table.
+// workspace encoding the interactive tool also uses) plus the job table
+// and — default workspace only — the journaled API-key hashes, so a
+// compacted journal (or a shipped snapshot) still carries the key set.
 type persistedState struct {
 	Workspace json.RawMessage `json:"workspace,omitempty"`
 	Jobs      []Job           `json:"jobs,omitempty"`
 	NextJobID int             `json:"nextJobId"`
+	Keys      []apiKeyEntry   `json:"keys,omitempty"`
 }
 
 // DurabilityConfig parameterizes the server's journals.
@@ -325,26 +332,27 @@ func scanWorkspaceDirs(dir string) ([]string, error) {
 
 // decodePersistedState rebuilds a workspace and job table from a snapshot
 // body (recovery, and replica bootstrap — the leader's snapshot wire format
-// IS the snapshot file format).
-func decodePersistedState(state []byte) (*session.Workspace, []Job, map[string]int, int, error) {
+// IS the snapshot file format). keys is the snapshot's API-key set (default
+// workspace only; nil elsewhere).
+func decodePersistedState(state []byte) (*session.Workspace, []Job, map[string]int, int, []apiKeyEntry, error) {
 	sessWS := session.NewWorkspace()
 	var jobs []Job
 	byID := map[string]int{}
 	var ps persistedState
 	if err := json.Unmarshal(state, &ps); err != nil {
-		return nil, nil, nil, 0, fmt.Errorf("decode snapshot state: %w", err)
+		return nil, nil, nil, 0, nil, fmt.Errorf("decode snapshot state: %w", err)
 	}
 	if len(ps.Workspace) > 0 {
 		var err error
 		if sessWS, err = session.Unmarshal(ps.Workspace); err != nil {
-			return nil, nil, nil, 0, fmt.Errorf("rebuild workspace from snapshot: %w", err)
+			return nil, nil, nil, 0, nil, fmt.Errorf("rebuild workspace from snapshot: %w", err)
 		}
 	}
 	for _, job := range ps.Jobs {
 		byID[job.ID] = len(jobs)
 		jobs = append(jobs, job)
 	}
-	return sessWS, jobs, byID, ps.NextJobID, nil
+	return sessWS, jobs, byID, ps.NextJobID, ps.Keys, nil
 }
 
 // recoverWorkspace rebuilds one workspace from its subdirectory: snapshot
@@ -367,17 +375,31 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 	var jobs []Job
 	byID := map[string]int{}
 	nextID := 0
+	var snapKeys []apiKeyEntry
 	if state, seq, ok := j.Snapshot(); ok {
-		if sessWS, jobs, byID, nextID, err = decodePersistedState(state); err != nil {
+		if sessWS, jobs, byID, nextID, snapKeys, err = decodePersistedState(state); err != nil {
 			j.Close()
 			return nil, wr, err
 		}
 		wr.SnapshotSeq = seq
 	}
 
+	// The key set rides the default workspace's journal only; a keys hook on
+	// any other workspace would silently eat a corrupt record.
+	var keysHook func([]apiKeyEntry) error
+	if name == DefaultWorkspace {
+		keysHook = s.applyJournaledKeys
+		if len(snapKeys) > 0 {
+			if err := s.applyJournaledKeys(snapKeys); err != nil {
+				j.Close()
+				return nil, wr, err
+			}
+		}
+	}
+
 	store := NewStoreFrom(sessWS)
 	for _, rec := range j.Records() {
-		if err := applyRecord(store, rec, byID, &jobs, &nextID); err != nil {
+		if err := applyRecord(store, rec, byID, &jobs, &nextID, keysHook); err != nil {
 			j.Close()
 			return nil, wr, fmt.Errorf("replay journal record %d (%s): %w", rec.Seq, rec.Op, err)
 		}
@@ -388,7 +410,7 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 	wr.RecoveredJobs = len(jobs)
 
 	ws := s.newWorkspaceFrom(name, store)
-	if s.cfg.Follow != nil {
+	if s.followerAtBuild() {
 		s.armReplica(ws, j, jobs, byID, nextID)
 	} else {
 		wr.RequeuedJobs, wr.InterruptedJobs = s.armJournal(ws, j, jobs, nextID)
@@ -397,9 +419,20 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 }
 
 // applyRecord replays one journal record against the store being rebuilt
-// (store journaling is not armed yet, so nothing is re-journaled).
-func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]Job, nextID *int) error {
+// (store journaling is not armed yet, so nothing is re-journaled). keys,
+// when non-nil, receives op_set_keys payloads — wired only for the default
+// workspace, whose journal carries the key set.
+func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]Job, nextID *int, keys func([]apiKeyEntry) error) error {
 	switch rec.Op {
+	case opSetKeys:
+		if keys == nil {
+			return fmt.Errorf("set_keys record outside the default workspace's journal")
+		}
+		var r setKeysRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		return keys(r.Keys)
 	case opAddSchemas:
 		var r addSchemasRec
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
@@ -519,7 +552,7 @@ func (s *Server) openWorkspaceJournal(ws *Workspace) error {
 	if err != nil {
 		return err
 	}
-	if s.cfg.Follow != nil {
+	if s.followerAtBuild() {
 		s.armReplica(ws, j, nil, map[string]int{}, 0)
 	} else {
 		s.armJournal(ws, j, nil, 0)
@@ -589,7 +622,7 @@ func (s *Server) compactWorkspace(ws *Workspace) error {
 	if ws.persist == nil {
 		return nil
 	}
-	state, uptoSeq, err := ws.captureState()
+	state, uptoSeq, err := s.captureState(ws)
 	if err != nil {
 		return err
 	}
@@ -601,13 +634,13 @@ func (s *Server) compactWorkspace(ws *Workspace) error {
 }
 
 // captureState captures the workspace's full persisted state (schemas +
-// job table) together with the journal sequence number it reflects —
-// compaction's input, and also what the replication snapshot endpoint
-// ships. On a replica the job table lives in the replica state instead of
-// the queue.
-func (ws *Workspace) captureState() (state []byte, uptoSeq uint64, err error) {
+// job table, plus — default workspace only — the journaled key set)
+// together with the journal sequence number it reflects — compaction's
+// input, and also what the replication snapshot endpoint ships. On a
+// replica the job table lives in the replica state instead of the queue.
+func (s *Server) captureState(ws *Workspace) (state []byte, uptoSeq uint64, err error) {
 	if rep := ws.replica.Load(); rep != nil {
-		return rep.capture(ws)
+		return rep.capture(s, ws)
 	}
 	st := ws.store
 	st.mu.Lock()
@@ -622,7 +655,9 @@ func (ws *Workspace) captureState() (state []byte, uptoSeq uint64, err error) {
 	}
 	jobs, nextID := ws.queue.snapshotState()
 	st.mu.Unlock()
-	state, err = json.Marshal(persistedState{Workspace: wsData, Jobs: jobs, NextJobID: nextID})
+	state, err = json.Marshal(persistedState{
+		Workspace: wsData, Jobs: jobs, NextJobID: nextID, Keys: s.snapshotKeys(ws.name),
+	})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -493,7 +493,7 @@ func TestQueueShutdownPersistsQueuedJobs(t *testing.T) {
 	nextID := 0
 	st := NewStore()
 	for _, rec := range j2.Records() {
-		if err := applyRecord(st, rec, byID, &jobs, &nextID); err != nil {
+		if err := applyRecord(st, rec, byID, &jobs, &nextID, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

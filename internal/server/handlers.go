@@ -81,30 +81,73 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError renders an error body. Every 429 and 503 the server writes
+// carries a Retry-After: paths that can estimate one (queue backlog, bucket
+// deficit) set the header before coming here, and this fallback guarantees
+// the floor for the rest — a backoff hint of "0" or none at all invites an
+// immediate retry storm.
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", strconv.Itoa(minRetryAfterSeconds))
+		}
+	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 // errStatus maps a pipeline error onto an HTTP status: durability failures
 // are 503 (the request was valid; the journal could not record it), missing
-// structures are 404, everything else is the caller's fault. Classification
-// goes through typed errors, never message text — the messages embed
-// user-controlled names that could otherwise steer the status.
+// structures are 404, exhausted quotas are 429, oversized bodies are 413,
+// everything else is the caller's fault. Classification goes through typed
+// errors, never message text — the messages embed user-controlled names
+// that could otherwise steer the status.
 func errStatus(err error) int {
-	if journal.IsError(err) {
+	switch {
+	case journal.IsError(err):
 		return http.StatusServiceUnavailable
-	}
-	if errors.Is(err, ErrNotFound) {
+	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// bodyLimit is the mutation-body cap for this server.
+func (s *Server) bodyLimit() int64 {
+	if s.limits.MaxBodyBytes > 0 {
+		return s.limits.MaxBodyBytes
+	}
+	return maxBodyBytes
+}
+
+// mapBodyError classifies a body-read failure, converting MaxBytesReader
+// overflow into the typed 413 error (and counting it).
+func (s *Server) mapBodyError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.metrics.ObserveBodyTooLarge()
+		return fmt.Errorf("server: %w: limit is %d bytes", ErrBodyTooLarge, mbe.Limit)
+	}
+	return err
+}
+
+// decodeBody decodes a JSON request body under the configured size cap.
+// Overflow is 413 with ErrBodyTooLarge; the cap cuts the read off at the
+// limit, so an oversized upload is never buffered in full.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		err = s.mapBodyError(err)
+		if errors.Is(err, ErrBodyTooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		}
 		return false
 	}
 	return true
@@ -193,7 +236,7 @@ type workspaceRequest struct {
 
 func (s *Server) handleWorkspacesPost(w http.ResponseWriter, r *http.Request) {
 	var req workspaceRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	ws, err := s.manager.Create(req.Name)
@@ -214,12 +257,7 @@ func (s *Server) handleWorkspacesPost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, newWorkspaceInfo(ws))
 }
 
-func (s *Server) handleWorkspaceGet(w http.ResponseWriter, r *http.Request) {
-	ws, err := s.manager.Get(r.PathValue("ws"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
+func (s *Server) handleWorkspaceGet(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, newWorkspaceInfo(ws))
 }
 
@@ -249,13 +287,14 @@ func (s *Server) handleSchemasPost(ws *Workspace, w http.ResponseWriter, r *http
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var req schemasRequest
 	if ct == "text/plain" || ct == "application/x-ecr-ddl" {
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			err = s.mapBodyError(err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		req.DDL = string(body)
-	} else if !decodeBody(w, r, &req) {
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 
@@ -278,6 +317,9 @@ func (s *Server) handleSchemasPost(ws *Workspace, w http.ResponseWriter, r *http
 		err = fmt.Errorf("request needs a ddl or schema field")
 	}
 	if err != nil {
+		if errors.Is(err, ErrQuota) {
+			s.metrics.ObserveQuotaRejection()
+		}
 		writeError(w, errStatus(err), err)
 		return
 	}
@@ -338,7 +380,7 @@ type equivalenceRequest struct {
 
 func (s *Server) handleEquivalencesPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req equivalenceRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := ws.store.DeclareEquivalence(req.Schema1, req.Attr1, req.Schema2, req.Attr2); err != nil {
@@ -449,7 +491,7 @@ type assertionResponse struct {
 
 func (s *Server) handleAssertionsPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req assertionRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	res, err := ws.store.Assert(req.Schema1, req.Object1, req.Code, req.Schema2, req.Object2, req.Relationship)
@@ -523,7 +565,7 @@ func (s *Server) runIntegration(ws *Workspace, req JobRequest) (*IntegrationResu
 
 func (s *Server) handleIntegrate(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Type == "" {
@@ -546,28 +588,28 @@ func (s *Server) handleIntegrate(ws *Workspace, w http.ResponseWriter, r *http.R
 	writeJSON(w, http.StatusOK, result)
 }
 
+// fallbackJobSeconds paces the backlog estimate when the latency histogram
+// is still empty (a fresh server has measured nothing yet): assume one
+// second per queued job rather than zero, which would compute a useless
+// "Retry-After: 0".
+const fallbackJobSeconds = 1.0
+
 // retryAfterSeconds estimates how long a rejected submitter should back
 // off before the workspace's queue has room: the current backlog divided
 // across the worker pool, paced by the mean observed integration latency
-// (1s when the histogram is still empty), clamped to [1s, 300s].
+// (fallbackJobSeconds when unmeasured), clamped to
+// [minRetryAfterSeconds, maxRetryAfterSeconds].
 func (s *Server) retryAfterSeconds(ws *Workspace) int {
 	mean := s.metrics.IntegrationLatency.Mean()
 	if mean <= 0 {
-		mean = 1
+		mean = fallbackJobSeconds
 	}
 	depth := ws.queue.Depth()
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = 1
 	}
-	secs := int(mean*float64(depth)/float64(workers) + 0.5)
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > 300 {
-		secs = 300
-	}
-	return secs
+	return clampRetryAfter(int(mean*float64(depth)/float64(workers) + 0.5))
 }
 
 // jobPath is the URL a submitted job can be polled at. Jobs are namespaced
@@ -583,13 +625,20 @@ func jobPath(r *http.Request, id string) string {
 
 func (s *Server) handleJobsPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	job, err := ws.queue.Submit(req)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
+		case errors.Is(err, ErrQuota):
+			// The tenant's own envelope is full — unlike a full buffer this
+			// clears only when the tenant's jobs finish, so the same backlog
+			// estimate paces the retry.
+			status = http.StatusTooManyRequests
+			s.metrics.ObserveQuotaRejection()
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(ws)))
 		case errors.Is(err, errQueueFull):
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(ws)))

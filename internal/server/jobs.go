@@ -121,6 +121,10 @@ type Queue struct {
 	// persistErr receives journal failures on paths that cannot reject
 	// (state transitions); nil drops them.
 	persistErr func(error) // guarded by mu
+	// maxJobs, when positive, caps queued+running jobs — the tenant's quota
+	// envelope (429), distinct from the buffer capacity (503, transient).
+	// Replica queues leave it 0: replicated records must always apply.
+	maxJobs int // guarded by mu
 }
 
 // NewQueue starts a queue with the given worker count and buffer capacity.
@@ -166,8 +170,18 @@ func (q *Queue) SetPersist(fn func(op string, v any) error, onErr func(error)) {
 	q.persistErr = onErr
 }
 
+// SetMaxJobs installs the queued+running quota (0 = unlimited). Call
+// before the queue is shared, or from the promotion path where replica
+// queues become writable.
+func (q *Queue) SetMaxJobs(max int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.maxJobs = max
+}
+
 // Submit validates and enqueues a job, returning its snapshot. It fails
-// when the queue buffer is full or the queue is shut down.
+// when the workspace's job quota or the queue buffer is full, or the queue
+// is shut down.
 func (q *Queue) Submit(req JobRequest) (Job, error) {
 	if err := req.Validate(); err != nil {
 		return Job{}, err
@@ -176,6 +190,12 @@ func (q *Queue) Submit(req JobRequest) (Job, error) {
 	if q.closed {
 		q.mu.Unlock()
 		return Job{}, fmt.Errorf("server: %w", errQueueClosed)
+	}
+	// The quota rejects before journaling for the same reason the buffer
+	// check does: a refused job must never reach the log.
+	if depth, max := q.depth, q.maxJobs; max > 0 && depth >= max {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("server: job %w: %d jobs queued or running (max %d)", ErrQuota, depth, max)
 	}
 	// Reject a full buffer before journaling, so a rejected job never
 	// reaches the log (and would not be resurrected on restart). Workers

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -147,6 +148,14 @@ type Metrics struct {
 	replication func() *ReplicationSnapshot // guarded by mu
 	// queueDepth, when set, reports the live queue depth for snapshots.
 	queueDepth func() int // guarded by mu
+
+	// Admission counters. Lock-free atomics: the rejection paths run ahead
+	// of all handler work and must stay free of lock contention — a flood
+	// of 429s bumping a shared mutex would be its own overload vector.
+	authFailures    atomic.Uint64
+	rateLimited     atomic.Uint64
+	quotaRejections atomic.Uint64
+	bodyTooLarge    atomic.Uint64
 	// similarityStats, when set, reports the store's similarity-cache
 	// hit and miss counters for snapshots.
 	similarityStats func() (hits, misses uint64) // guarded by mu
@@ -259,6 +268,19 @@ func (m *Metrics) ObserveJob(ws string, state JobState) {
 	}
 }
 
+// ObserveAuthFailure counts one request refused 401/403 by API-key auth.
+func (m *Metrics) ObserveAuthFailure() { m.authFailures.Add(1) }
+
+// ObserveRateLimited counts one request refused 429 by a token bucket.
+func (m *Metrics) ObserveRateLimited() { m.rateLimited.Add(1) }
+
+// ObserveQuotaRejection counts one request refused because a workspace
+// quota (schemas, jobs, journal bytes) was exhausted.
+func (m *Metrics) ObserveQuotaRejection() { m.quotaRejections.Add(1) }
+
+// ObserveBodyTooLarge counts one request body refused 413 over the cap.
+func (m *Metrics) ObserveBodyTooLarge() { m.bodyTooLarge.Add(1) }
+
 // ObservePanic counts one recovered handler panic.
 func (m *Metrics) ObservePanic() {
 	m.mu.Lock()
@@ -368,6 +390,8 @@ type MetricsSnapshot struct {
 	// per schema pair in the store).
 	SimilarityCacheHits   uint64 `json:"similarity_cache_hits"`
 	SimilarityCacheMisses uint64 `json:"similarity_cache_misses"`
+	// Admission reports the admission-control rejection counters.
+	Admission AdmissionSnapshot `json:"admission"`
 	// Journal is present only on durable servers (started with a data dir).
 	Journal *JournalSnapshot `json:"journal,omitempty"`
 	// Replication reports the server's role and, on followers, stream
@@ -406,6 +430,15 @@ type ReplicationSnapshot struct {
 	SyncErrors uint64 `json:"sync_errors,omitempty"`
 	// Workspaces is the per-workspace lag table (followers only).
 	Workspaces map[string]ReplicaLag `json:"workspaces,omitempty"`
+}
+
+// AdmissionSnapshot is the admission-control section of the /metrics
+// response: how many requests the front door turned away, and why.
+type AdmissionSnapshot struct {
+	AuthFailuresTotal    uint64 `json:"auth_failures_total"`
+	RateLimitedTotal     uint64 `json:"rate_limited_total"`
+	QuotaRejectionsTotal uint64 `json:"quota_rejections_total"`
+	BodyTooLargeTotal    uint64 `json:"body_too_large_total"`
 }
 
 // JournalSnapshot is the durability section of the /metrics response.
@@ -462,6 +495,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PanicsTotal:        panics,
 		IntegrationLatency: m.IntegrationLatency.Snapshot(),
 		Workspaces:         wsSnap,
+		Admission: AdmissionSnapshot{
+			AuthFailuresTotal:    m.authFailures.Load(),
+			RateLimitedTotal:     m.rateLimited.Load(),
+			QuotaRejectionsTotal: m.quotaRejections.Load(),
+			BodyTooLargeTotal:    m.bodyTooLarge.Load(),
+		},
 	}
 	if depthFn != nil {
 		snap.QueueDepth = depthFn()

@@ -29,6 +29,21 @@ type FollowerConfig struct {
 	// Client overrides the HTTP client used against the leader (tests,
 	// custom transports); nil uses http.DefaultClient.
 	Client *http.Client
+	// APIKey authenticates the stream requests against the leader (an
+	// admin-scoped key) when the leader enforces API keys.
+	APIKey string
+}
+
+// authedTransport injects the follower's API key into every leader call.
+type authedTransport struct {
+	key  string
+	next http.RoundTripper
+}
+
+func (t authedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r = r.Clone(r.Context())
+	r.Header.Set("Authorization", "Bearer "+t.key)
+	return t.next.RoundTrip(r)
 }
 
 // maxStreamWait caps how long the leader-side record stream long-polls
@@ -115,7 +130,7 @@ type replicaState struct {
 // whole capture (locking st.mu inside, the same order ApplyFrame uses)
 // makes the state exact for appliedSeq: the apply loop cannot slip a
 // record in between reading the sequence number and marshaling the store.
-func (rep *replicaState) capture(ws *Workspace) (state []byte, uptoSeq uint64, err error) {
+func (rep *replicaState) capture(s *Server, ws *Workspace) (state []byte, uptoSeq uint64, err error) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	uptoSeq = rep.appliedSeq
@@ -127,7 +142,9 @@ func (rep *replicaState) capture(ws *Workspace) (state []byte, uptoSeq uint64, e
 		return nil, 0, err
 	}
 	jobs := append([]Job(nil), rep.jobs...)
-	state, err = json.Marshal(persistedState{Workspace: wsData, Jobs: jobs, NextJobID: rep.nextJobID})
+	state, err = json.Marshal(persistedState{
+		Workspace: wsData, Jobs: jobs, NextJobID: rep.nextJobID, Keys: s.snapshotKeys(ws.name),
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -193,10 +210,22 @@ func (s *Server) startFollowing() error {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
+	client := fc.Client
+	if fc.APIKey != "" {
+		base := http.DefaultTransport
+		if client != nil && client.Transport != nil {
+			base = client.Transport
+		}
+		authed := &http.Client{Transport: authedTransport{key: fc.APIKey, next: base}}
+		if client != nil {
+			authed.Timeout = client.Timeout
+		}
+		client = authed
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &followState{
 		leader: strings.TrimRight(fc.Leader, "/"),
-		client: replication.NewClient(fc.Leader, fc.Client),
+		client: replication.NewClient(fc.Leader, client),
 		poll:   poll,
 		ctx:    ctx,
 		cancel: cancel,
@@ -382,12 +411,17 @@ func (t followerTarget) Bootstrap(name string, snap replication.Snapshot) error 
 	if rep == nil || ws.persist == nil {
 		return fmt.Errorf("workspace %q is not a replica", name)
 	}
-	sessWS, jobs, byID, nextID, err := decodePersistedState(snap.State)
+	sessWS, jobs, byID, nextID, snapKeys, err := decodePersistedState(snap.State)
 	if err != nil {
 		return err
 	}
 	if err := ws.persist.j.ResetTo(snap.State, snap.Seq); err != nil {
 		return err
+	}
+	if name == DefaultWorkspace && len(snapKeys) > 0 {
+		if err := t.s.applyJournaledKeys(snapKeys); err != nil {
+			return err
+		}
 	}
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
@@ -414,9 +448,13 @@ func (t followerTarget) ApplyFrame(name string, line []byte, rec replication.Rec
 	if _, err := ws.persist.j.AppendFrame(line); err != nil {
 		return err
 	}
+	var keysHook func([]apiKeyEntry) error
+	if name == DefaultWorkspace {
+		keysHook = t.s.applyJournaledKeys
+	}
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	if err := applyRecord(ws.store, rec, rep.byID, &rep.jobs, &rep.nextJobID); err != nil {
+	if err := applyRecord(ws.store, rec, rep.byID, &rep.jobs, &rep.nextJobID, keysHook); err != nil {
 		return fmt.Errorf("apply journaled record %d (%s): %w", rec.Seq, rec.Op, err)
 	}
 	rep.appliedSeq = rec.Seq
@@ -427,13 +465,15 @@ func (t followerTarget) ApplyFrame(name string, line []byte, rec replication.Rec
 
 // redirectToLeader answers a mutation on a follower: 421 (Misdirected
 // Request) with a Location pointing the client at the leader's copy of the
-// same path. Returns true when the request was consumed.
+// same path, plus a Retry-After floor for clients that treat any rejection
+// as "back off and retry here". Returns true when the request was consumed.
 func (s *Server) redirectToLeader(w http.ResponseWriter, r *http.Request) bool {
 	f := s.follow.Load()
 	if f == nil {
 		return false
 	}
 	w.Header().Set("Location", f.leader+r.URL.RequestURI())
+	w.Header().Set("Retry-After", strconv.Itoa(minRetryAfterSeconds))
 	writeError(w, http.StatusMisdirectedRequest,
 		fmt.Errorf("this server is a read-only follower of %s; send writes to the leader", f.leader))
 	return true
@@ -446,16 +486,6 @@ func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		h(w, r)
-	}
-}
-
-// gateWS is gate for workspace-scoped handlers.
-func (s *Server) gateWS(h func(*Workspace, http.ResponseWriter, *http.Request)) func(*Workspace, http.ResponseWriter, *http.Request) {
-	return func(ws *Workspace, w http.ResponseWriter, r *http.Request) {
-		if s.redirectToLeader(w, r) {
-			return
-		}
-		h(ws, w, r)
 	}
 }
 
@@ -531,7 +561,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	state, seq, err := ws.captureState()
+	state, seq, err := s.captureState(ws)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -641,6 +671,11 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	f.halt(true)
 
+	// Latch before re-arming: workspaces created from here on (and the
+	// re-armed replicas below) are leader workspaces — they journal their own
+	// mutations and enforce the write-plane quotas.
+	s.promoted.Store(true)
+
 	requeued, interrupted := 0, 0
 	for _, ws := range s.manager.List() {
 		rep := ws.replica.Load()
@@ -652,6 +687,8 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		nextID := rep.nextJobID
 		rep.mu.Unlock()
 		ws.replica.Store(nil)
+		ws.store.SetMaxSchemas(s.limits.MaxSchemas)
+		ws.queue.SetMaxJobs(s.limits.MaxJobs)
 		rq, ir := s.armJournal(ws, ws.persist.j, jobs, nextID)
 		requeued += rq
 		interrupted += ir

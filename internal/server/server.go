@@ -42,6 +42,10 @@ type Config struct {
 	// refused with 421 and a Location pointing at the leader; POST
 	// /v1/promote turns the follower into a leader.
 	Follow *FollowerConfig
+	// Limits bounds per-workspace and per-key resource consumption
+	// (quotas and token-bucket rates). The zero value disables admission
+	// control. API keys are installed separately via SetKeysFile.
+	Limits Limits
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +96,28 @@ type Server struct {
 	// journal re-arming).
 	follow    atomic.Pointer[followState]
 	promoting atomic.Bool
+	// promoted latches true once a follower has been promoted, so
+	// workspaces built afterwards arm as journaling leaders even though
+	// cfg.Follow is still set.
+	promoted atomic.Bool
+
+	// limits is cfg.Limits with defaults applied (set once in newServer).
+	limits Limits
+
+	// API-key state. fileKeys holds the set loaded from the -keys file;
+	// replKeys holds the set that arrived through the journal (replay or
+	// replication). effectiveKeys picks by role; nil both means auth off.
+	fileKeys atomic.Pointer[keySet]
+	replKeys atomic.Pointer[keySet]
+
+	keyMu sync.Mutex
+	// keysPath remembers the -keys file for ReloadKeys/SIGHUP.
+	keysPath string // guarded by keyMu
+	// keysJournaled is the canonical JSON of the last journaled (or
+	// replayed) key set, the journalKeys dedupe check; keyEntries is the
+	// same set in entry form, for snapshots.
+	keysJournaled string        // guarded by keyMu
+	keyEntries    []apiKeyEntry // guarded by keyMu
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -120,6 +146,7 @@ func newServer(cfg Config, dcfg *DurabilityConfig) *Server {
 		mux:     http.NewServeMux(),
 		log:     cfg.Logger,
 		dcfg:    dcfg,
+		limits:  cfg.Limits.withDefaults(),
 	}
 	s.manager = NewManager(cfg.MaxWorkspaces, s.buildWorkspace, s.destroyWorkspace)
 	s.metrics.SetQueueDepthFunc(s.manager.TotalQueueDepth)
@@ -132,7 +159,11 @@ func newServer(cfg Config, dcfg *DurabilityConfig) *Server {
 
 // newWorkspaceFrom assembles a workspace around an existing store: its own
 // job queue (own job-ID sequence) whose executor runs against that store,
-// wired into the shared metrics under the workspace's name.
+// wired into the shared metrics under the workspace's name, plus its
+// admission state — a rate-limit bucket always, and the schema/job quotas
+// unless the workspace is being built as a follower replica (replicated
+// records the leader accepted must always apply; promotion arms the
+// quotas then).
 func (s *Server) newWorkspaceFrom(name string, st *Store) *Workspace {
 	ws := &Workspace{name: name, created: time.Now().UTC(), store: st}
 	ws.queue = NewQueue(s.cfg.Workers, s.cfg.QueueCapacity, s.cfg.JobTimeout,
@@ -143,7 +174,22 @@ func (s *Server) newWorkspaceFrom(name string, st *Store) *Workspace {
 			return s.runIntegration(ws, req)
 		})
 	ws.queue.SetObserver(func(j Job) { s.metrics.ObserveJob(name, j.State) })
+	if s.limits.WorkspaceRate > 0 {
+		ws.bucket = newBucket(s.limits.WorkspaceRate, s.limits.WorkspaceBurst)
+	}
+	if !s.followerAtBuild() {
+		st.SetMaxSchemas(s.limits.MaxSchemas)
+		ws.queue.SetMaxJobs(s.limits.MaxJobs)
+	}
 	return ws
+}
+
+// followerAtBuild reports whether a workspace being built right now should
+// arm as a follower replica: the server was configured as a follower and
+// has not been promoted since. (cfg.Follow alone is wrong after a
+// promotion — workspaces created on the new leader must journal.)
+func (s *Server) followerAtBuild() bool {
+	return s.cfg.Follow != nil && !s.promoted.Load()
 }
 
 // buildWorkspace provisions a brand-new workspace (Manager.Create hook):
@@ -205,8 +251,11 @@ func (s *Server) Store() *Store { return s.defaultWS().store }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // handle registers a route with the standard middleware stack. pattern
-// doubles as the request-metrics label, so it must be a mux pattern.
+// doubles as the request-metrics label, so it must be a mux pattern. The
+// handler must already be wrapped in an admitter — routes() is checked by
+// the admission analyzer; this function is the sanctioned mux door.
 //
+//sit:admission
 //sit:metriclabel pattern
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.Handle(pattern, instrument(pattern, s.log, s.metrics, s.cfg.RequestTimeout, h))
@@ -215,68 +264,67 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // handleWS registers one data-plane route twice: under the workspace
 // prefix (/v1/workspaces/{ws}/...) and unprefixed (/v1/...) as an alias
 // for the default workspace, so pre-workspace clients keep working. The
-// handler receives the resolved workspace; an unknown name is 404.
+// handler must already be admitted (admitRead/admitMutate resolve the
+// workspace and run the auth/rate/quota chain).
 //
+//sit:admission
 //sit:metriclabel method suffix
-func (s *Server) handleWS(method, suffix string, h func(*Workspace, http.ResponseWriter, *http.Request)) {
-	wrapped := func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("ws")
-		if name == "" {
-			name = DefaultWorkspace
-		}
-		ws, err := s.manager.Get(name)
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		h(ws, w, r)
-	}
-	s.handle(method+" /v1"+suffix, wrapped)
-	s.handle(method+" /v1/workspaces/{ws}"+suffix, wrapped)
+func (s *Server) handleWS(method, suffix string, h http.HandlerFunc) {
+	s.handle(method+" /v1"+suffix, h)
+	s.handle(method+" /v1/workspaces/{ws}"+suffix, h)
 }
 
 func (s *Server) routes() {
-	s.handle("GET /healthz", s.handleHealthz)
-	s.handle("GET /metrics", s.handleMetrics)
+	// Every handler passes through exactly one admitter (the admission
+	// analyzer enforces it): admitOpen for probes, admitPeer for the
+	// server-to-server stream, admitAdmin for the control plane, and
+	// admitRead/admitMutate for the data plane — which authenticate,
+	// resolve the workspace, charge the per-key and per-workspace token
+	// buckets and (mutations) apply the follower gate and journal quota
+	// before any handler work runs.
+	s.handle("GET /healthz", s.admitOpen(s.handleHealthz))
+	s.handle("GET /metrics", s.admitAdmin(s.handleMetrics))
 
 	// Workspace lifecycle. Creation and deletion are mutations: on a
 	// follower the workspace set mirrors the leader's, so both redirect.
-	s.handle("GET /v1/workspaces", s.handleWorkspacesList)
-	s.handle("POST /v1/workspaces", s.gate(s.handleWorkspacesPost))
-	s.handle("GET /v1/workspaces/{ws}", s.handleWorkspaceGet)
-	s.handle("DELETE /v1/workspaces/{ws}", s.gate(s.handleWorkspaceDelete))
+	s.handle("GET /v1/workspaces", s.admitAdmin(s.handleWorkspacesList))
+	s.handle("POST /v1/workspaces", s.admitAdmin(s.gate(s.handleWorkspacesPost)))
+	s.handle("GET /v1/workspaces/{ws}", s.admitRead(s.handleWorkspaceGet))
+	s.handle("DELETE /v1/workspaces/{ws}", s.admitAdmin(s.gate(s.handleWorkspaceDelete)))
 
 	// Data plane, workspace-scoped with unprefixed default aliases.
-	// Mutating routes are gated: a follower answers 421 with the leader's
-	// address. Reads — including /integrate, which computes over the
-	// replicated state without mutating it — serve from the replica.
-	s.handleWS("POST", "/schemas", s.gateWS(s.handleSchemasPost))
-	s.handleWS("GET", "/schemas", s.handleSchemasList)
-	s.handleWS("GET", "/schemas/{name}", s.handleSchemaGet)
-	s.handleWS("DELETE", "/schemas/{name}", s.gateWS(s.handleSchemaDelete))
+	// Mutating routes redirect on a follower (inside admitMutate); reads —
+	// including /integrate, which computes over the replicated state
+	// without mutating it — serve from the replica.
+	s.handleWS("POST", "/schemas", s.admitMutate(s.handleSchemasPost))
+	s.handleWS("GET", "/schemas", s.admitRead(s.handleSchemasList))
+	s.handleWS("GET", "/schemas/{name}", s.admitRead(s.handleSchemaGet))
+	s.handleWS("DELETE", "/schemas/{name}", s.admitMutate(s.handleSchemaDelete))
 
-	s.handleWS("POST", "/equivalences", s.gateWS(s.handleEquivalencesPost))
-	s.handleWS("GET", "/equivalences", s.handleEquivalencesList)
+	s.handleWS("POST", "/equivalences", s.admitMutate(s.handleEquivalencesPost))
+	s.handleWS("GET", "/equivalences", s.admitRead(s.handleEquivalencesList))
 
-	s.handleWS("GET", "/resemblance", s.handleResemblance)
-	s.handleWS("GET", "/matrix", s.handleMatrix)
-	s.handleWS("GET", "/suggestions", s.handleSuggestions)
+	s.handleWS("GET", "/resemblance", s.admitRead(s.handleResemblance))
+	s.handleWS("GET", "/matrix", s.admitRead(s.handleMatrix))
+	s.handleWS("GET", "/suggestions", s.admitRead(s.handleSuggestions))
 
-	s.handleWS("POST", "/assertions", s.gateWS(s.handleAssertionsPost))
-	s.handleWS("GET", "/assertions", s.handleAssertionsList)
+	s.handleWS("POST", "/assertions", s.admitMutate(s.handleAssertionsPost))
+	s.handleWS("GET", "/assertions", s.admitRead(s.handleAssertionsList))
 
-	s.handleWS("POST", "/integrate", s.handleIntegrate)
-	s.handleWS("POST", "/jobs", s.gateWS(s.handleJobsPost))
-	s.handleWS("GET", "/jobs", s.handleJobsList)
-	s.handleWS("GET", "/jobs/{id}", s.handleJobGet)
+	s.handleWS("POST", "/integrate", s.admitRead(s.handleIntegrate))
+	s.handleWS("POST", "/jobs", s.admitMutate(s.handleJobsPost))
+	s.handleWS("GET", "/jobs", s.admitRead(s.handleJobsList))
+	s.handleWS("GET", "/jobs/{id}", s.admitRead(s.handleJobGet))
+
+	s.handleWS("GET", "/quota", s.admitRead(s.handleQuotaGet))
 
 	// Replication: the leader-side stream API plus follower promotion.
 	// The stream routes are role-agnostic (a follower can feed another
 	// follower); they only require a durable server.
-	s.handle("GET /v1/replication/workspaces", s.handleReplWorkspaces)
-	s.handle("GET /v1/replication/workspaces/{ws}/snapshot", s.handleReplSnapshot)
-	s.handle("GET /v1/replication/workspaces/{ws}/records", s.handleReplRecords)
-	s.handle("POST /v1/promote", s.handlePromote)
+	s.handle("GET /v1/replication/workspaces", s.admitPeer(s.handleReplWorkspaces))
+	s.handle("GET /v1/replication/workspaces/{ws}/snapshot", s.admitPeer(s.handleReplSnapshot))
+	s.handle("GET /v1/replication/workspaces/{ws}/records", s.admitPeer(s.handleReplRecords))
+	s.handle("POST /v1/promote", s.admitAdmin(s.handlePromote))
 }
 
 // Handler returns the full HTTP handler (httptest and embedding).

@@ -59,6 +59,10 @@ type Store struct {
 	// applied, so an operation the journal rejected never reaches memory
 	// and an operation in the journal always replays cleanly.
 	persist func(op string, v any) error // guarded by mu
+	// maxSchemas, when positive, caps how many schemas the store may hold.
+	// Checked before journaling, so a quota rejection never reaches the log;
+	// replica stores leave it 0 — replicated records must always apply.
+	maxSchemas int // guarded by mu
 }
 
 type cachedResult struct {
@@ -196,6 +200,15 @@ func (st *Store) SimilarityCacheStats() (hits, misses uint64) {
 	return st.simHits.Load(), st.simMisses.Load()
 }
 
+// SetMaxSchemas installs the schema-count quota (0 = unlimited). Call
+// before the store is shared, or from the promotion path where replicated
+// stores become writable.
+func (st *Store) SetMaxSchemas(max int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.maxSchemas = max
+}
+
 // AddSchemas validates and registers the given schemas, all or none.
 func (st *Store) AddSchemas(schemas []*ecr.Schema) ([]string, error) {
 	if len(schemas) == 0 {
@@ -212,6 +225,10 @@ func (st *Store) AddSchemas(schemas []*ecr.Schema) ([]string, error) {
 			return nil, fmt.Errorf("server: schema %q already defined", s.Name)
 		}
 		seen[s.Name] = true
+	}
+	if have := len(st.ws.Schemas()); st.maxSchemas > 0 && have+len(schemas) > st.maxSchemas {
+		return nil, fmt.Errorf("server: schema %w: workspace holds %d of %d and the request adds %d",
+			ErrQuota, have, st.maxSchemas, len(schemas))
 	}
 	if st.persist != nil {
 		rec := addSchemasRec{}

@@ -71,6 +71,9 @@ type Workspace struct {
 	// persist is the workspace's durability layer (journal + compaction
 	// loop); nil on memory-only servers.
 	persist *persister
+	// bucket rate-limits the workspace's data plane; nil when
+	// Limits.WorkspaceRate is unset. The bucket carries its own lock.
+	bucket *bucket
 	// replica, while non-nil, marks the workspace as a follower replica:
 	// its job table lives here (applied from the leader's stream, never
 	// executed locally) and its store mutates only through the replication
