@@ -40,7 +40,7 @@ func benchLeader(b *testing.B, records int) (*server.Server, *httptest.Server) {
 		b.Fatal(err)
 	}
 	for srv.Journal().Seq() < uint64(records) {
-		if _, err := srv.Store().Assert("sc1", "Student", 5, "sc2", "Faculty", false); err != nil {
+		if _, _, err := srv.Store().Assert("sc1", "Student", 5, "sc2", "Faculty", false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +97,7 @@ func BenchmarkReplicationPropagation(b *testing.B) {
 	defer f.Kill()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := leader.Store().Assert("sc1", "Student", 5, "sc2", "Faculty", false); err != nil {
+		if _, _, err := leader.Store().Assert("sc1", "Student", 5, "sc2", "Faculty", false); err != nil {
 			b.Fatal(err)
 		}
 		want := leader.Journal().Seq()

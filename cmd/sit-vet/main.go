@@ -46,6 +46,10 @@ var journalCfg = journalorder.Config{
 		"repro/internal/session.Workspace.RemoveSchema",
 		"repro/internal/equivalence.Registry.Declare",
 		"repro/internal/assertion.Set.AssertAndClose",
+		"repro/internal/assertion.Engine.Assert",
+		"repro/internal/assertion.Engine.AssertAndClose",
+		"repro/internal/assertion.Engine.Override",
+		"repro/internal/assertion.Engine.Retract",
 	},
 	JournalFns: []string{
 		"repro/internal/server.Store.journal",

@@ -1,0 +1,456 @@
+package assertion
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/errtest"
+)
+
+func TestEngineDerivesIncrementally(t *testing.T) {
+	e := NewEngine()
+	a, b, c := key("s1", "A"), key("s2", "B"), key("s2", "C")
+	if v := e.Version(); v != 0 {
+		t.Fatalf("fresh engine version = %d", v)
+	}
+	if err := e.Assert(a, b, Equals); err != nil {
+		t.Fatal(err)
+	}
+	res := e.AssertAndClose(b, c, ContainedIn)
+	if !res.Consistent() {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+	if len(res.Derived) != 1 {
+		t.Fatalf("derived = %+v, want A contained-in C", res.Derived)
+	}
+	d := res.Derived[0]
+	if d.A != a || d.B != c || d.Kind != ContainedIn || !d.Derived {
+		t.Errorf("derived entry = %+v", d)
+	}
+	if len(d.Trace) != 2 {
+		t.Errorf("trace = %+v, want the two supporting statements", d.Trace)
+	}
+	if got := e.Kind(a, c); got != ContainedIn {
+		t.Errorf("Kind(A,C) = %v", got)
+	}
+	if v := e.Version(); v != 2 {
+		t.Errorf("version = %d after two mutations", v)
+	}
+}
+
+func TestEngineDirectConflictLeavesMatrixUnchanged(t *testing.T) {
+	e := NewEngine()
+	p, q := key("s1", "P"), key("s2", "Q")
+	if err := e.Assert(p, q, ContainedIn); err != nil {
+		t.Fatal(err)
+	}
+	v := e.Version()
+	err := e.Assert(p, q, DisjointNonintegrable)
+	c, ok := err.(*Conflict)
+	if !ok {
+		t.Fatalf("want *Conflict, got %v", err)
+	}
+	if c.Existing.Kind != ContainedIn || c.Proposed.Kind != DisjointNonintegrable {
+		t.Errorf("conflict = %+v", c)
+	}
+	if e.Version() != v {
+		t.Errorf("version moved on a rejected assert: %d -> %d", v, e.Version())
+	}
+	if got := e.Kind(p, q); got != ContainedIn {
+		t.Errorf("matrix changed by rejected assert: %v", got)
+	}
+	if !e.Consistent() {
+		t.Error("a rejected direct conflict must not contradict the matrix")
+	}
+}
+
+func TestEngineCompatibleRestatementUpgrades(t *testing.T) {
+	e := NewEngine()
+	a, b, c := key("s1", "A"), key("s2", "B"), key("s2", "C")
+	mustAssert(t, e, a, b, Equals)
+	mustAssert(t, e, b, c, Equals)
+	ent, ok := e.Entry(a, c)
+	if !ok || !ent.Derived {
+		t.Fatalf("A=C should be derived, got %+v ok=%v", ent, ok)
+	}
+	// Restating the derived equality makes it DDA-specified.
+	if err := e.Assert(a, c, Equals); err != nil {
+		t.Fatal(err)
+	}
+	ent, ok = e.Entry(a, c)
+	if !ok || ent.Derived || ent.Trace != nil {
+		t.Errorf("restated entry = %+v ok=%v, want specified without trace", ent, ok)
+	}
+}
+
+// TestEngineRetractKeepsIndependentDerivations is the regression test for
+// the dense Set's retract behaviour, which dropped the whole derived
+// closure: a derivation whose supports are untouched by the retraction must
+// survive it.
+func TestEngineRetractKeepsIndependentDerivations(t *testing.T) {
+	e := NewEngine()
+	x, y := key("s1", "X"), key("s2", "Y")
+	z, w := key("s1", "Z"), key("s2", "W")
+	mustAssert(t, e, x, y, Equals)
+	mustAssert(t, e, z, w, Equals)
+	mustAssert(t, e, y, z, Equals) // derives X=Z, Y=W, X=W
+	if _, ok := e.Entry(x, w); !ok {
+		t.Fatal("X=W should be derived before the retract")
+	}
+	res, err := e.Retract(x, y)
+	if err != nil || !res.Found {
+		t.Fatalf("retract: %v found=%v", err, res.Found)
+	}
+	// Z=W and Y=Z still imply Y=W; everything through the X-Y edge goes.
+	if ent, ok := e.Entry(y, w); !ok || !ent.Derived {
+		t.Errorf("Y=W lost despite intact supports: %+v ok=%v", ent, ok)
+	}
+	for _, gone := range [][2]ObjKey{{x, y}, {x, z}, {x, w}} {
+		if _, ok := e.Entry(gone[0], gone[1]); ok {
+			t.Errorf("%s/%s should be gone after retracting X=Y", gone[0], gone[1])
+		}
+	}
+}
+
+// TestEngineRetractRederives covers the delete-and-rederive step: a
+// retracted statement that is still implied by the remaining entries
+// reappears as a derived entry.
+func TestEngineRetractRederives(t *testing.T) {
+	e := NewEngine()
+	a, b, c := key("s1", "A"), key("s2", "B"), key("s2", "C")
+	mustAssert(t, e, a, b, Equals)
+	mustAssert(t, e, b, c, Equals)
+	if err := e.Assert(a, c, Equals); err != nil { // restate the derivation
+		t.Fatal(err)
+	}
+	res, err := e.Retract(a, c)
+	if err != nil || !res.Found {
+		t.Fatalf("retract: %v found=%v", err, res.Found)
+	}
+	if len(res.Rederived) != 1 || res.Rederived[0].A != a || res.Rederived[0].B != c {
+		t.Fatalf("rederived = %+v, want A=C", res.Rederived)
+	}
+	if len(res.Removed) != 0 {
+		t.Errorf("removed = %+v, want none (the pair was re-derived)", res.Removed)
+	}
+	ent, ok := e.Entry(a, c)
+	if !ok || !ent.Derived || ent.Kind != Equals {
+		t.Errorf("A=C after retract = %+v ok=%v, want derived equals", ent, ok)
+	}
+}
+
+func TestEngineRetractDerivedRejected(t *testing.T) {
+	e := NewEngine()
+	a, b, c := key("s1", "A"), key("s2", "B"), key("s2", "C")
+	mustAssert(t, e, a, b, Equals)
+	mustAssert(t, e, b, c, Equals)
+	v := e.Version()
+	_, err := e.Retract(a, c)
+	de, ok := err.(*DerivedError)
+	if !ok {
+		t.Fatalf("want *DerivedError, got %v", err)
+	}
+	errtest.WantSubstring(t, de, "derived from:")
+	if e.Version() != v {
+		t.Error("rejected retract must not bump the version")
+	}
+	if res, err := e.Retract(key("s1", "Nope"), key("s2", "Nada")); err != nil || res.Found {
+		t.Errorf("absent pair: res=%+v err=%v", res, err)
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	e := NewEngine()
+	a, b := key("s1", "A"), key("s2", "B")
+	c, d := key("s1", "C"), key("s2", "D")
+	mustAssert(t, e, a, b, Equals)
+	mustAssert(t, e, b, c, Equals)
+	mustAssert(t, e, c, d, Equals)
+	chain, ok := e.Explain(a, d)
+	if !ok {
+		t.Fatal("A=D should be derived")
+	}
+	got := map[string]bool{}
+	for _, s := range chain {
+		got[s.String()] = true
+	}
+	// The chain must ground the derivation in DDA-specified statements
+	// (in stored canonical orientation).
+	for _, ent := range e.Entries() {
+		if ent.Derived {
+			continue
+		}
+		if !got[ent.Statement.String()] {
+			t.Errorf("explanation missing %s (got %v)", ent.Statement, chain)
+		}
+	}
+	// A specified entry explains as itself.
+	chain, ok = e.Explain(a, b)
+	if !ok || len(chain) != 1 || chain[0].Kind != Equals {
+		t.Errorf("specified explanation = %v ok=%v", chain, ok)
+	}
+	if _, ok := e.Explain(a, key("s2", "Nope")); ok {
+		t.Error("absent pair should not explain")
+	}
+}
+
+// TestEngineConflictedModeMatchesDense drives the engine into a
+// contradicted state (which a direct Assert cannot reach — the
+// contradiction must come out of a composition) and checks that every
+// subsequent operation keeps matching the dense oracle until the matrix is
+// clean again.
+func TestEngineConflictedModeMatchesDense(t *testing.T) {
+	h := newDiffHarness()
+	in, gs, st := key("sc3", "Instructor"), key("sc4", "Grad_student"), key("sc4", "Student")
+	// Two specified edges whose composition contradicts a third specified
+	// edge: Instructor disjoint Grad_student is asserted first, then the
+	// chain Instructor⊆Student, Student⊆Grad_student derives
+	// Instructor⊆Grad_student — contradiction.
+	steps := []diffOp{
+		{op: opAssertK, a: in, b: gs, kind: DisjointNonintegrable},
+		{op: opAssertK, a: in, b: st, kind: ContainedIn},
+		{op: opAssertK, a: st, b: gs, kind: ContainedIn},
+	}
+	for i, s := range steps {
+		if err := h.step(s); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if h.engine.Consistent() {
+		t.Fatal("the composed contradiction should leave the matrix conflicted")
+	}
+	if len(h.engine.Conflicts()) == 0 {
+		t.Fatal("standing conflicts missing")
+	}
+	if chain := h.engine.ExplainConflict(h.engine.Conflicts()[0]); len(chain) < 2 {
+		t.Errorf("conflict explanation too small: %v", chain)
+	}
+	// Operations in conflicted mode still match the dense computation.
+	if err := h.step(diffOp{op: opAssertK, a: key("sc3", "Course"), b: st, kind: MayBe}); err != nil {
+		t.Fatal(err)
+	}
+	// Retracting one leg of the contradiction restores consistency.
+	if err := h.step(diffOp{op: opRetractK, a: in, b: st}); err != nil {
+		t.Fatal(err)
+	}
+	if !h.engine.Consistent() {
+		t.Errorf("still conflicted after removing a leg: %v", h.engine.Conflicts())
+	}
+}
+
+func mustAssert(t *testing.T, e *Engine, a, b ObjKey, kind Kind) {
+	t.Helper()
+	if err := e.Assert(a, b, kind); err != nil {
+		t.Fatalf("assert %s/%s %v: %v", a, b, kind, err)
+	}
+}
+
+// --- differential harness: Engine vs dense Set oracle ---
+
+const (
+	opAssertK = iota
+	opOverrideK
+	opRetractK
+)
+
+type diffOp struct {
+	op   int
+	a, b ObjKey
+	kind Kind
+}
+
+func (o diffOp) String() string {
+	switch o.op {
+	case opAssertK:
+		return fmt.Sprintf("assert %s/%s %v", o.a, o.b, o.kind)
+	case opOverrideK:
+		return fmt.Sprintf("override %s/%s %v", o.a, o.b, o.kind)
+	default:
+		return fmt.Sprintf("retract %s/%s", o.a, o.b)
+	}
+}
+
+// diffHarness applies every operation to the incremental engine and to a
+// dense oracle — a Set holding the same specified entries, re-closed from
+// scratch (DropDerived + Close) after every mutation — and fails on the
+// first divergence in entries, traces, or conflicts.
+type diffHarness struct {
+	engine *Engine
+	oracle *Set
+	// oracleConflicts carries the dense conflicts of the last re-closure,
+	// mirroring the engine's standing conflicts.
+	oracleConflicts []*Conflict
+}
+
+func newDiffHarness() *diffHarness {
+	return &diffHarness{engine: NewEngine(), oracle: NewSet()}
+}
+
+func (h *diffHarness) step(op diffOp) error {
+	engErr := h.applyEngine(op)
+	oraErr := h.applyOracle(op)
+	if (engErr == nil) != (oraErr == nil) {
+		return fmt.Errorf("%s: engine err %v, oracle err %v", op, engErr, oraErr)
+	}
+	if engErr != nil && fmt.Sprint(engErr) != fmt.Sprint(oraErr) {
+		return fmt.Errorf("%s: error text diverged\nengine: %v\noracle: %v", op, engErr, oraErr)
+	}
+	return h.compare(op)
+}
+
+func (h *diffHarness) applyEngine(op diffOp) error {
+	switch op.op {
+	case opAssertK:
+		return h.engine.Assert(op.a, op.b, op.kind)
+	case opOverrideK:
+		_, err := h.engine.Override(op.a, op.b, op.kind)
+		return err
+	default:
+		_, err := h.engine.Retract(op.a, op.b)
+		return err
+	}
+}
+
+func (h *diffHarness) applyOracle(op diffOp) error {
+	switch op.op {
+	case opAssertK:
+		if err := h.oracle.Assert(op.a, op.b, op.kind); err != nil {
+			return err
+		}
+	case opOverrideK:
+		if err := h.oracle.Override(op.a, op.b, op.kind); err != nil {
+			return err
+		}
+	default:
+		ent, ok := h.oracle.Entry(op.a, op.b)
+		if !ok {
+			return nil // no-op retract; no re-close needed
+		}
+		if ent.Derived {
+			return &DerivedError{Entry: ent}
+		}
+		h.oracle.Retract(op.a, op.b)
+	}
+	h.oracle.DropDerived()
+	res := h.oracle.Close()
+	h.oracleConflicts = res.Conflicts
+	return nil
+}
+
+func (h *diffHarness) compare(op diffOp) error {
+	got, want := h.engine.Entries(), h.oracle.Entries()
+	if len(got) != len(want) {
+		return fmt.Errorf("after %s: %d entries vs oracle %d\nengine: %v\noracle: %v",
+			op, len(got), len(want), renderEntries(got), renderEntries(want))
+	}
+	for i := range got {
+		if renderEntry(got[i]) != renderEntry(want[i]) {
+			return fmt.Errorf("after %s: entry %d diverged\nengine: %s\noracle: %s",
+				op, i, renderEntry(got[i]), renderEntry(want[i]))
+		}
+	}
+	gc, wc := renderConflicts(h.engine.Conflicts()), renderConflicts(h.oracleConflicts)
+	if gc != wc {
+		return fmt.Errorf("after %s: conflicts diverged\nengine: %s\noracle: %s", op, gc, wc)
+	}
+	if h.engine.Consistent() != (len(h.oracleConflicts) == 0) {
+		return fmt.Errorf("after %s: Consistent()=%v but oracle holds %d conflicts",
+			op, h.engine.Consistent(), len(h.oracleConflicts))
+	}
+	return nil
+}
+
+func renderEntry(e Entry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s derived=%v", e.Statement, e.Derived)
+	for _, t := range e.Trace {
+		fmt.Fprintf(&sb, " <- %s", t)
+	}
+	return sb.String()
+}
+
+func renderEntries(es []Entry) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = renderEntry(e)
+	}
+	return strings.Join(parts, "; ")
+}
+
+func renderConflicts(cs []*Conflict) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.Error()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// diffUniverse is the object universe the randomized and fuzz differential
+// tests draw pairs from: two schemas, six objects each. Small enough that
+// random streams collide constantly (restatements, overrides of derived
+// entries, retracts of cascade survivors), large enough for long chains.
+func diffUniverse() []ObjKey {
+	var objs []ObjKey
+	for _, schema := range []string{"s1", "s2"} {
+		for _, o := range []string{"A", "B", "C", "D", "E", "F"} {
+			objs = append(objs, key(schema, o))
+		}
+	}
+	return objs
+}
+
+// decodeDiffOps turns a byte string into a differential op stream over the
+// shared universe — three bytes per op — so the fuzzer and the seeded
+// random test share one format.
+func decodeDiffOps(data []byte) []diffOp {
+	objs := diffUniverse()
+	var ops []diffOp
+	for i := 0; i+2 < len(data) && len(ops) < 512; i += 3 {
+		c, x, y := data[i], data[i+1], data[i+2]
+		a := objs[int(x)%len(objs)]
+		b := objs[int(y)%len(objs)]
+		if a == b {
+			continue
+		}
+		kind, err := KindFromCode(int(c>>2) % 6)
+		if err != nil {
+			continue
+		}
+		switch c % 4 {
+		case 3:
+			ops = append(ops, diffOp{op: opRetractK, a: a, b: b})
+		case 2:
+			ops = append(ops, diffOp{op: opOverrideK, a: a, b: b, kind: kind})
+		default:
+			ops = append(ops, diffOp{op: opAssertK, a: a, b: b, kind: kind})
+		}
+	}
+	return ops
+}
+
+// TestEngineDifferentialRandom replays seeded random op streams through the
+// engine and the dense oracle, requiring byte-identical state after every
+// operation. Run with -race in CI.
+func TestEngineDifferentialRandom(t *testing.T) {
+	streams := 32
+	if testing.Short() {
+		streams = 8
+	}
+	for seed := 0; seed < streams; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			data := make([]byte, 3*400)
+			rng.Read(data)
+			h := newDiffHarness()
+			for i, op := range decodeDiffOps(data) {
+				if err := h.step(op); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, i, err)
+				}
+			}
+		})
+	}
+}

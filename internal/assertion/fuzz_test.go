@@ -1,0 +1,31 @@
+package assertion
+
+import "testing"
+
+// FuzzClosure feeds arbitrary operation streams (three bytes per op:
+// opcode+kind, object a, object b — the format of decodeDiffOps) through
+// the incremental engine and the dense re-closure oracle, failing on any
+// divergence in entries, traces, conflicts, or error text. It shares the
+// differential harness with TestEngineDifferentialRandom, so a crasher
+// found here replays as a deterministic unit test.
+func FuzzClosure(f *testing.F) {
+	// A consistent chain that derives transitively, then retracts.
+	f.Add([]byte{0x04, 0x00, 0x06, 0x04, 0x06, 0x07, 0x04, 0x07, 0x08, 0x03, 0x00, 0x06})
+	// The Screen 9 shape: two containments and a contradicting disjoint,
+	// then an override of one leg.
+	f.Add([]byte{0x08, 0x00, 0x06, 0x08, 0x06, 0x07, 0x00, 0x00, 0x07, 0x02, 0x00, 0x06})
+	// Equality clique with overrides and retracts exercising the
+	// delete-and-rederive cascade.
+	f.Add([]byte{
+		0x04, 0x00, 0x06, 0x04, 0x01, 0x06, 0x04, 0x02, 0x06,
+		0x06, 0x00, 0x01, 0x03, 0x00, 0x06, 0x03, 0x01, 0x06,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := newDiffHarness()
+		for i, op := range decodeDiffOps(data) {
+			if err := h.step(op); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	})
+}

@@ -89,28 +89,101 @@ func canonicalPair(a, b ObjKey) (pairKey, bool) {
 	return pairKey{a, b}, false
 }
 
+// pairID packs the interned ids of a pair (smaller id in the high half), so
+// a pair lookup is one uint64 map probe instead of hashing two ObjKeys.
+type pairID uint64
+
+func packIDs(i, j int32) pairID {
+	if j < i {
+		i, j = j, i
+	}
+	return pairID(uint64(uint32(i))<<32 | uint64(uint32(j)))
+}
+
+func unpackIDs(p pairID) (int32, int32) {
+	return int32(uint32(p >> 32)), int32(uint32(p))
+}
+
 // Set is the Entity Assertion matrix: assertions between pairs of objects,
 // stored symmetrically (asking about (b, a) returns the inverse kind of the
 // entry stored for (a, b)). The same structure serves relationship sets.
 //
+// Internally every ObjKey is interned to a dense int id; entries are keyed
+// by the packed id pair and each object carries a posting list of its
+// neighbors' ids kept sorted by key order, so closure passes iterate packed
+// slices instead of re-sorting map keys every round. Ids are never reused;
+// an object stays interned after its last entry is removed (its posting
+// list just goes empty).
+//
 // The zero value is not ready to use; call NewSet.
 type Set struct {
-	entries map[pairKey]*Entry
-	// neighbors indexes, for each object, the objects it has an entry
-	// with, to keep closure passes near-linear in the number of entries.
-	neighbors map[ObjKey]map[ObjKey]bool
+	ids  map[ObjKey]int32
+	keys []ObjKey
+	// adj[i] lists the ids of the objects i has an entry with, sorted by
+	// key order of the neighbor.
+	adj     [][]int32
+	entries map[pairID]*Entry
 }
 
 // NewSet returns an empty assertion matrix.
 func NewSet() *Set {
 	return &Set{
-		entries:   make(map[pairKey]*Entry),
-		neighbors: make(map[ObjKey]map[ObjKey]bool),
+		ids:     make(map[ObjKey]int32),
+		entries: make(map[pairID]*Entry),
 	}
 }
 
 // Len returns the number of asserted (or derived) pairs.
 func (s *Set) Len() int { return len(s.entries) }
+
+// intern returns the dense id for k, assigning the next one on first sight.
+func (s *Set) intern(k ObjKey) int32 {
+	if id, ok := s.ids[k]; ok {
+		return id
+	}
+	id := int32(len(s.keys))
+	s.ids[k] = id
+	s.keys = append(s.keys, k)
+	s.adj = append(s.adj, nil)
+	return id
+}
+
+// adjInsert adds n to i's posting list, keeping it sorted by key order.
+func (s *Set) adjInsert(i, n int32) {
+	list := s.adj[i]
+	at := sort.Search(len(list), func(x int) bool { return !lessKey(s.keys[list[x]], s.keys[n]) })
+	if at < len(list) && list[at] == n {
+		return
+	}
+	list = append(list, 0)
+	copy(list[at+1:], list[at:])
+	list[at] = n
+	s.adj[i] = list
+}
+
+func (s *Set) adjRemove(i, n int32) {
+	list := s.adj[i]
+	at := sort.Search(len(list), func(x int) bool { return !lessKey(s.keys[list[x]], s.keys[n]) })
+	if at < len(list) && list[at] == n {
+		s.adj[i] = append(list[:at], list[at+1:]...)
+	}
+}
+
+// lookup returns the entry held for the canonical pair (a, b) and its
+// packed id, without interning anything.
+func (s *Set) lookup(a, b ObjKey) (*Entry, pairID, bool) {
+	ia, ok := s.ids[a]
+	if !ok {
+		return nil, 0, false
+	}
+	ib, ok := s.ids[b]
+	if !ok {
+		return nil, 0, false
+	}
+	pid := packIDs(ia, ib)
+	e, ok := s.entries[pid]
+	return e, pid, ok
+}
 
 // Assert records that A <kind> B, as the DDA stated it. If the pair already
 // holds an assertion whose domain relation contradicts the new one, Assert
@@ -129,7 +202,7 @@ func (s *Set) Assert(a, b ObjKey, kind Kind) error {
 	if swapped {
 		stored = kind.Inverse()
 	}
-	if e, ok := s.entries[key]; ok {
+	if e, _, ok := s.lookup(key.a, key.b); ok {
 		if e.Kind.Rel() != stored.Rel() {
 			return &Conflict{
 				Existing: *e,
@@ -164,20 +237,26 @@ func (s *Set) Override(a, b ObjKey, kind Kind) error {
 		stored = kind.Inverse()
 	}
 	s.DropDerived()
-	s.remove(key)
+	if _, pid, ok := s.lookup(key.a, key.b); ok {
+		i, j := unpackIDs(pid)
+		s.removeIDs(i, j)
+	}
 	s.put(&Entry{Statement: Statement{A: key.a, B: key.b, Kind: stored}})
 	return nil
 }
 
 // Retract removes the assertion held between a and b (specified or derived)
 // and reports whether one existed. Derived entries are dropped wholesale
-// since their support may be gone.
+// since their support may be gone; the incremental Engine supersedes this
+// with support-counted deletion that keeps re-derivable entries alive.
 func (s *Set) Retract(a, b ObjKey) bool {
 	key, _ := canonicalPair(a, b)
-	if _, ok := s.entries[key]; !ok {
+	_, pid, ok := s.lookup(key.a, key.b)
+	if !ok {
 		return false
 	}
-	s.remove(key)
+	i, j := unpackIDs(pid)
+	s.removeIDs(i, j)
 	s.DropDerived()
 	return true
 }
@@ -185,41 +264,50 @@ func (s *Set) Retract(a, b ObjKey) bool {
 // DropDerived removes every derived entry, keeping only DDA-specified
 // assertions.
 func (s *Set) DropDerived() {
-	for key, e := range s.entries {
+	for pid, e := range s.entries {
 		if e.Derived {
-			s.remove(key)
+			i, j := unpackIDs(pid)
+			s.removeIDs(i, j)
 		}
 	}
 }
 
 func (s *Set) put(e *Entry) {
 	key, _ := canonicalPair(e.A, e.B)
-	s.entries[key] = e
-	if s.neighbors[key.a] == nil {
-		s.neighbors[key.a] = make(map[ObjKey]bool)
-	}
-	if s.neighbors[key.b] == nil {
-		s.neighbors[key.b] = make(map[ObjKey]bool)
-	}
-	s.neighbors[key.a][key.b] = true
-	s.neighbors[key.b][key.a] = true
+	ia, ib := s.intern(key.a), s.intern(key.b)
+	s.entries[packIDs(ia, ib)] = e
+	s.adjInsert(ia, ib)
+	s.adjInsert(ib, ia)
 }
 
-func (s *Set) remove(key pairKey) {
-	delete(s.entries, key)
-	if m := s.neighbors[key.a]; m != nil {
-		delete(m, key.b)
-	}
-	if m := s.neighbors[key.b]; m != nil {
-		delete(m, key.a)
-	}
+func (s *Set) removeIDs(i, j int32) {
+	delete(s.entries, packIDs(i, j))
+	s.adjRemove(i, j)
+	s.adjRemove(j, i)
 }
+
+// kindAt returns the assertion held from i's point of view toward j
+// (Unspecified if none). Internal id-level twin of Kind.
+func (s *Set) kindAt(i, j int32) Kind {
+	e, ok := s.entries[packIDs(i, j)]
+	if !ok {
+		return Unspecified
+	}
+	// The stored orientation puts the key-smaller object first.
+	if lessKey(s.keys[j], s.keys[i]) {
+		return e.Kind.Inverse()
+	}
+	return e.Kind
+}
+
+// relAt is kindAt reduced to the domain relation.
+func (s *Set) relAt(i, j int32) Rel { return s.kindAt(i, j).Rel() }
 
 // Kind returns the assertion held from a's point of view toward b
 // (Unspecified if none).
 func (s *Set) Kind(a, b ObjKey) Kind {
 	key, swapped := canonicalPair(a, b)
-	e, ok := s.entries[key]
+	e, _, ok := s.lookup(key.a, key.b)
 	if !ok {
 		return Unspecified
 	}
@@ -232,7 +320,7 @@ func (s *Set) Kind(a, b ObjKey) Kind {
 // Entry returns the stored entry for the pair in canonical orientation.
 func (s *Set) Entry(a, b ObjKey) (Entry, bool) {
 	key, _ := canonicalPair(a, b)
-	e, ok := s.entries[key]
+	e, _, ok := s.lookup(key.a, key.b)
 	if !ok {
 		return Entry{}, false
 	}
@@ -255,15 +343,26 @@ func (s *Set) Entries() []Entry {
 	return out
 }
 
-// Objects returns every object mentioned by any entry, sorted.
-func (s *Set) Objects() []ObjKey {
-	var out []ObjKey
-	for k, m := range s.neighbors {
-		if len(m) > 0 {
-			out = append(out, k)
+// objectIDs returns the ids of every object with at least one entry, sorted
+// by key order.
+func (s *Set) objectIDs() []int32 {
+	out := make([]int32, 0, len(s.keys))
+	for i := range s.adj {
+		if len(s.adj[i]) > 0 {
+			out = append(out, int32(i))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return lessKey(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return lessKey(s.keys[out[i]], s.keys[out[j]]) })
+	return out
+}
+
+// Objects returns every object mentioned by any entry, sorted.
+func (s *Set) Objects() []ObjKey {
+	ids := s.objectIDs()
+	out := make([]ObjKey, len(ids))
+	for i, id := range ids {
+		out[i] = s.keys[id]
+	}
 	return out
 }
 
@@ -276,9 +375,4 @@ func (s *Set) Clone() *Set {
 		c.put(&cp)
 	}
 	return c
-}
-
-// rel returns the domain relation from a toward b, or relNone.
-func (s *Set) rel(a, b ObjKey) Rel {
-	return s.Kind(a, b).Rel()
 }

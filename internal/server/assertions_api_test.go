@@ -1,0 +1,230 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/assertion"
+	"repro/internal/journal"
+)
+
+func TestAssertionRetractEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	post := assertionRequest{Schema1: "sc1", Object1: "Student", Code: 3, Schema2: "sc2", Object2: "Grad_student"}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/assertions", post, nil); status != http.StatusCreated {
+		t.Fatalf("assert status = %d", status)
+	}
+
+	del := retractRequest{Schema1: "sc1", Object1: "Student", Schema2: "sc2", Object2: "Grad_student"}
+	var resp retractResponse
+	if status := doJSON(t, client, "DELETE", ts.URL+"/v1/assertions", del, &resp); status != http.StatusOK {
+		t.Fatalf("retract status = %d", status)
+	}
+	if !resp.Found || !resp.Consistent || len(resp.Removed) != 1 {
+		t.Errorf("retract response = %+v", resp)
+	}
+
+	// The pair is gone; a second delete is 404.
+	if status := doJSON(t, client, "DELETE", ts.URL+"/v1/assertions", del, nil); status != http.StatusNotFound {
+		t.Errorf("re-retract status = %d, want 404", status)
+	}
+	var listed struct {
+		Assertions []struct {
+			Statement string `json:"statement"`
+		} `json:"assertions"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/assertions?schema1=sc1&schema2=sc2", nil, &listed)
+	if len(listed.Assertions) != 0 {
+		t.Errorf("assertions after retract = %+v", listed.Assertions)
+	}
+}
+
+func TestAssertionExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	post := assertionRequest{Schema1: "sc1", Object1: "Student", Code: 3, Schema2: "sc2", Object2: "Grad_student"}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/assertions", post, nil); status != http.StatusCreated {
+		t.Fatalf("assert status = %d", status)
+	}
+
+	var explained struct {
+		ImpliedBy []string `json:"implied_by"`
+	}
+	status := doJSON(t, client, "GET",
+		ts.URL+"/v1/assertions/explain?schema1=sc1&schema2=sc2&object1=Student&object2=Grad_student", nil, &explained)
+	if status != http.StatusOK || len(explained.ImpliedBy) != 1 {
+		t.Fatalf("explain: status=%d %+v", status, explained)
+	}
+
+	// A pair with no entry is 404; missing params are 400.
+	if status := doJSON(t, client, "GET",
+		ts.URL+"/v1/assertions/explain?schema1=sc1&schema2=sc2&object1=Department&object2=Faculty", nil, nil); status != http.StatusNotFound {
+		t.Errorf("absent pair status = %d", status)
+	}
+	if status := doJSON(t, client, "GET",
+		ts.URL+"/v1/assertions/explain?schema1=sc1&schema2=sc2", nil, nil); status != http.StatusBadRequest {
+		t.Errorf("missing objects status = %d", status)
+	}
+}
+
+// TestStoreRetractDerivedRejected drives the engine into holding a derived
+// cross-schema entry (the HTTP API cannot specify the intra-schema legs
+// such a derivation needs, so the legs are planted on the engine directly)
+// and checks that Store.Retract refuses it with the typed error that maps
+// to 409. The store is memory-only, so the direct engine pokes have no
+// write-ahead contract to honor.
+//
+//sit:replay
+func TestStoreRetractDerivedRejected(t *testing.T) {
+	st := paperStore(t)
+	eng, err := st.engineFor("sc1", "Student", "sc2", "Grad_student", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	student := assertion.ObjKey{Schema: "sc1", Object: "Student"}
+	dept := assertion.ObjKey{Schema: "sc1", Object: "Department"}
+	grad := assertion.ObjKey{Schema: "sc2", Object: "Grad_student"}
+	if err := eng.Assert(student, dept, assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Assert(dept, grad, assertion.Equals); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Retract("sc1", "Student", "sc2", "Grad_student", false)
+	var derived *assertion.DerivedError
+	if !errors.As(err, &derived) {
+		t.Fatalf("want DerivedError, got %v", err)
+	}
+	if got := errStatus(err); got != http.StatusConflict {
+		t.Errorf("errStatus(DerivedError) = %d, want 409", got)
+	}
+	// The rejected retract must not have journaled or changed anything.
+	if ent, ok := eng.Entry(student, grad); !ok || !ent.Derived {
+		t.Errorf("derived entry disturbed: %+v ok=%v", ent, ok)
+	}
+}
+
+func TestStoreClosureCache(t *testing.T) {
+	st := paperStore(t)
+	assertPaperAssertions(t, st)
+
+	hits0, misses0, derived0, _ := st.ClosureStats()
+	if derived0 == 0 {
+		t.Error("paper assertions derive entries; closure_derived_total = 0")
+	}
+	if _, err := st.Assertions("sc1", "sc2", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Assertions("sc1", "sc2", false); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _, _ := st.ClosureStats()
+	if hits != hits0+1 || misses != misses0+1 {
+		t.Errorf("after two listings: hits %d->%d misses %d->%d, want one of each",
+			hits0, hits, misses0, misses)
+	}
+
+	// A mutation bumps the engine version, so the next listing misses.
+	if _, _, err := st.Assert("sc1", "Department", 1, "sc2", "Faculty", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Assertions("sc1", "sc2", false); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2, _, _ := st.ClosureStats()
+	if misses2 != misses+1 {
+		t.Errorf("listing after mutation: misses %d->%d, want a fresh miss", misses, misses2)
+	}
+
+	// Removing a schema invalidates the cached listing outright.
+	if _, err := st.RemoveSchema("sc1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Assertions("sc1", "sc2", false); err == nil {
+		t.Error("listing for a removed schema should fail")
+	}
+}
+
+func TestMetricsReportClosureCounters(t *testing.T) {
+	_, ts := testServer(t)
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+	for _, a := range paperAssertions() {
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/assertions", a, nil); status != http.StatusCreated {
+			t.Fatalf("assert %+v: %d", a, status)
+		}
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/assertions?schema1=sc1&schema2=sc2", nil, nil)
+	doJSON(t, client, "GET", ts.URL+"/v1/assertions?schema1=sc1&schema2=sc2", nil, nil)
+
+	var snap map[string]any
+	if status := doJSON(t, client, "GET", ts.URL+"/metrics", nil, &snap); status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	for _, key := range []string{
+		"closure_cache_hits", "closure_cache_misses",
+		"closure_derived_total", "closure_conflicts_total",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics snapshot missing %q", key)
+		}
+	}
+	if hits, _ := snap["closure_cache_hits"].(float64); hits < 1 {
+		t.Errorf("closure_cache_hits = %v, want >= 1 after repeated listing", snap["closure_cache_hits"])
+	}
+	if derived, _ := snap["closure_derived_total"].(float64); derived < 1 {
+		t.Errorf("closure_derived_total = %v, want >= 1", snap["closure_derived_total"])
+	}
+}
+
+// TestDurableRetractReplay checks that retractions journal and replay: a
+// crash after an assert + retract recovers to a workspace without the
+// assertion.
+func TestDurableRetractReplay(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := openDurable(t, dir, journal.Hooks{})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	uploadPaperSchemas(t, client, ts.URL)
+
+	keep := assertionRequest{Schema1: "sc1", Object1: "Department", Code: 1, Schema2: "sc2", Object2: "Department"}
+	drop := assertionRequest{Schema1: "sc1", Object1: "Student", Code: 3, Schema2: "sc2", Object2: "Grad_student"}
+	for _, a := range []assertionRequest{keep, drop} {
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/assertions", a, nil); status != http.StatusCreated {
+			t.Fatalf("assert %+v: %d", a, status)
+		}
+	}
+	del := retractRequest{Schema1: "sc1", Object1: "Student", Schema2: "sc2", Object2: "Grad_student"}
+	var resp retractResponse
+	if status := doJSON(t, client, "DELETE", ts.URL+"/v1/assertions", del, &resp); status != http.StatusOK || !resp.Found {
+		t.Fatalf("retract: %d %+v", status, resp)
+	}
+
+	ts.Close()
+	srv.Kill()
+
+	srv2, report := openDurable(t, dir, journal.Hooks{})
+	if report.ReplayedRecords == 0 {
+		t.Fatalf("nothing replayed: %+v", report)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Kill()
+	var listed struct {
+		Assertions []struct {
+			Statement string `json:"statement"`
+		} `json:"assertions"`
+	}
+	doJSON(t, ts2.Client(), "GET", ts2.URL+"/v1/assertions?schema1=sc1&schema2=sc2", nil, &listed)
+	if len(listed.Assertions) != 1 || !strings.Contains(listed.Assertions[0].Statement, "Department") {
+		t.Errorf("recovered assertions = %+v, want only the Department equality", listed.Assertions)
+	}
+}

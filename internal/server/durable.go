@@ -27,6 +27,7 @@ const (
 	opRemoveSchema = "remove_schema"
 	opDeclareEquiv = "declare_equiv"
 	opAssert       = "assert"
+	opRetract      = "retract"
 	opJobSubmit    = "job_submit"
 	opJobStart     = "job_start"
 	opJobFinish    = "job_finish"
@@ -69,6 +70,14 @@ type assertRec struct {
 	Schema1 string `json:"schema1"`
 	Object1 string `json:"object1"`
 	Code    int    `json:"code"`
+	Schema2 string `json:"schema2"`
+	Object2 string `json:"object2"`
+	Rel     bool   `json:"rel,omitempty"`
+}
+
+type retractRec struct {
+	Schema1 string `json:"schema1"`
+	Object1 string `json:"object1"`
 	Schema2 string `json:"schema2"`
 	Object2 string `json:"object2"`
 	Rel     bool   `json:"rel,omitempty"`
@@ -466,7 +475,14 @@ func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return err
 		}
-		_, err := store.Assert(r.Schema1, r.Object1, r.Code, r.Schema2, r.Object2, r.Rel)
+		_, _, err := store.Assert(r.Schema1, r.Object1, r.Code, r.Schema2, r.Object2, r.Rel)
+		return err
+	case opRetract:
+		var r retractRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		_, err := store.Retract(r.Schema1, r.Object1, r.Schema2, r.Object2, r.Rel)
 		return err
 	case opJobSubmit:
 		var r jobSubmitRec

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/assertion"
 	"repro/internal/ecr"
 	"repro/internal/integrate"
 	"repro/internal/journal"
@@ -102,9 +103,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // errors, never message text — the messages embed user-controlled names
 // that could otherwise steer the status.
 func errStatus(err error) int {
+	var derived *assertion.DerivedError
 	switch {
 	case journal.IsError(err):
 		return http.StatusServiceUnavailable
+	case errors.As(err, &derived):
+		// Retracting a derived entry conflicts with its supports.
+		return http.StatusConflict
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrQuota):
@@ -481,12 +486,21 @@ type assertionRequest struct {
 	Relationship bool `json:"relationship,omitempty"`
 }
 
-// assertionResponse reports the immediate closure of the matrix after the
-// new assertion.
+// conflictJSON reports one contradiction plus the chain of DDA-specified
+// assertions that jointly imply it (the conflict-explanation API).
+type conflictJSON struct {
+	Conflict string   `json:"conflict"`
+	Implies  []string `json:"implied_by,omitempty"`
+}
+
+// assertionResponse reports the incremental closure of the matrix after the
+// new assertion: the entries this operation derived and the standing
+// conflicts, each grounded in its supporting assertions.
 type assertionResponse struct {
-	Consistent bool     `json:"consistent"`
-	Derived    []string `json:"derived,omitempty"`
-	Conflicts  []string `json:"conflicts,omitempty"`
+	Consistent bool           `json:"consistent"`
+	Derived    []string       `json:"derived,omitempty"`
+	Conflicts  []string       `json:"conflicts,omitempty"`
+	Explained  []conflictJSON `json:"conflict_chains,omitempty"`
 }
 
 func (s *Server) handleAssertionsPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
@@ -494,7 +508,7 @@ func (s *Server) handleAssertionsPost(ws *Workspace, w http.ResponseWriter, r *h
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	res, err := ws.store.Assert(req.Schema1, req.Object1, req.Code, req.Schema2, req.Object2, req.Relationship)
+	res, chains, err := ws.store.Assert(req.Schema1, req.Object1, req.Code, req.Schema2, req.Object2, req.Relationship)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -503,14 +517,94 @@ func (s *Server) handleAssertionsPost(ws *Workspace, w http.ResponseWriter, r *h
 	for _, d := range res.Derived {
 		resp.Derived = append(resp.Derived, d.Statement.String())
 	}
-	for _, c := range res.Conflicts {
+	for i, c := range res.Conflicts {
 		resp.Conflicts = append(resp.Conflicts, c.Error())
+		cj := conflictJSON{Conflict: c.Error()}
+		if i < len(chains) {
+			cj.Implies = chains[i]
+		}
+		resp.Explained = append(resp.Explained, cj)
 	}
 	status := http.StatusCreated
 	if !resp.Consistent {
 		status = http.StatusConflict
 	}
 	writeJSON(w, status, resp)
+}
+
+// retractRequest names the assertion to remove; the shape mirrors
+// assertionRequest without a code.
+type retractRequest struct {
+	Schema1      string `json:"schema1"`
+	Object1      string `json:"object1"`
+	Schema2      string `json:"schema2"`
+	Object2      string `json:"object2"`
+	Relationship bool   `json:"relationship,omitempty"`
+}
+
+// retractResponse reports what the retraction did: the statements that left
+// the matrix and the derived entries that survived (or reappeared) through
+// an alternative derivation.
+type retractResponse struct {
+	Found      bool     `json:"found"`
+	Consistent bool     `json:"consistent"`
+	Removed    []string `json:"removed,omitempty"`
+	Rederived  []string `json:"rederived,omitempty"`
+	Conflicts  []string `json:"conflicts,omitempty"`
+}
+
+func (s *Server) handleAssertionsDelete(ws *Workspace, w http.ResponseWriter, r *http.Request) {
+	var req retractRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, err := ws.store.Retract(req.Schema1, req.Object1, req.Schema2, req.Object2, req.Relationship)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	if !res.Found {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no assertion held between %s.%s and %s.%s",
+			req.Schema1, req.Object1, req.Schema2, req.Object2))
+		return
+	}
+	resp := retractResponse{Found: true, Consistent: len(res.Conflicts) == 0}
+	for _, st := range res.Removed {
+		resp.Removed = append(resp.Removed, st.String())
+	}
+	for _, e := range res.Rederived {
+		resp.Rederived = append(resp.Rederived, e.Statement.String())
+	}
+	for _, c := range res.Conflicts {
+		resp.Conflicts = append(resp.Conflicts, c.Error())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAssertionExplain serves the conflict-explanation API's read side:
+// the chain of DDA-specified assertions implying the entry held for a pair.
+func (s *Server) handleAssertionExplain(ws *Workspace, w http.ResponseWriter, r *http.Request) {
+	s1, s2, rel, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	o1 := r.URL.Query().Get("object1")
+	o2 := r.URL.Query().Get("object2")
+	if o1 == "" || o2 == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: object1 and object2 query parameters required"))
+		return
+	}
+	chain, found, err := ws.store.ExplainAssertion(s1, o1, s2, o2, rel)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	if !found {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no assertion held between %s.%s and %s.%s", s1, o1, s2, o2))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"implied_by": chain})
 }
 
 func (s *Server) handleAssertionsList(ws *Workspace, w http.ResponseWriter, r *http.Request) {

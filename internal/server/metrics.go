@@ -159,6 +159,10 @@ type Metrics struct {
 	// similarityStats, when set, reports the store's similarity-cache
 	// hit and miss counters for snapshots.
 	similarityStats func() (hits, misses uint64) // guarded by mu
+	// closureStats, when set, reports the stores' assertion-closure
+	// counters: listing-cache hits and misses plus cumulative derived
+	// entries and conflicts from incremental closure.
+	closureStats func() (hits, misses, derived, conflicts uint64) // guarded by mu
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -188,6 +192,13 @@ func (m *Metrics) SetSimilarityStatsFunc(fn func() (hits, misses uint64)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.similarityStats = fn
+}
+
+// SetClosureStatsFunc wires the assertion-closure counters.
+func (m *Metrics) SetClosureStatsFunc(fn func() (hits, misses, derived, conflicts uint64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closureStats = fn
 }
 
 // SetReplicationFunc wires the replication role/lag reporter.
@@ -390,6 +401,13 @@ type MetricsSnapshot struct {
 	// per schema pair in the store).
 	SimilarityCacheHits   uint64 `json:"similarity_cache_hits"`
 	SimilarityCacheMisses uint64 `json:"similarity_cache_misses"`
+	// Assertion-closure counters: listing-cache hits/misses plus the
+	// cumulative derived entries and conflicts produced by incremental
+	// closure across all workspaces.
+	ClosureCacheHits    uint64 `json:"closure_cache_hits"`
+	ClosureCacheMisses  uint64 `json:"closure_cache_misses"`
+	ClosureDerivedTotal uint64 `json:"closure_derived_total"`
+	ClosureConflictsTotal uint64 `json:"closure_conflicts_total"`
 	// Admission reports the admission-control rejection counters.
 	Admission AdmissionSnapshot `json:"admission"`
 	// Journal is present only on durable servers (started with a data dir).
@@ -471,6 +489,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	replFn := m.replication
 	depthFn := m.queueDepth
 	simFn := m.similarityStats
+	cloFn := m.closureStats
 	countFn := m.workspaceCount
 	panics := m.panics
 	wsSnap := m.snapshotWorkspacesLocked()
@@ -510,6 +529,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if simFn != nil {
 		snap.SimilarityCacheHits, snap.SimilarityCacheMisses = simFn()
+	}
+	if cloFn != nil {
+		snap.ClosureCacheHits, snap.ClosureCacheMisses,
+			snap.ClosureDerivedTotal, snap.ClosureConflictsTotal = cloFn()
 	}
 	if journal != nil {
 		journal.FsyncSeconds = m.JournalFsync.Snapshot()

@@ -151,6 +151,7 @@ func newServer(cfg Config, dcfg *DurabilityConfig) *Server {
 	s.manager = NewManager(cfg.MaxWorkspaces, s.buildWorkspace, s.destroyWorkspace)
 	s.metrics.SetQueueDepthFunc(s.manager.TotalQueueDepth)
 	s.metrics.SetSimilarityStatsFunc(s.manager.TotalSimilarityStats)
+	s.metrics.SetClosureStatsFunc(s.manager.TotalClosureStats)
 	s.metrics.SetWorkspaceCountFunc(s.manager.Len)
 	s.metrics.SetReplicationFunc(s.replicationSnapshot)
 	s.routes()
@@ -310,6 +311,8 @@ func (s *Server) routes() {
 
 	s.handleWS("POST", "/assertions", s.admitMutate(s.handleAssertionsPost))
 	s.handleWS("GET", "/assertions", s.admitRead(s.handleAssertionsList))
+	s.handleWS("DELETE", "/assertions", s.admitMutate(s.handleAssertionsDelete))
+	s.handleWS("GET", "/assertions/explain", s.admitRead(s.handleAssertionExplain))
 
 	s.handleWS("POST", "/integrate", s.admitRead(s.handleIntegrate))
 	s.handleWS("POST", "/jobs", s.admitMutate(s.handleJobsPost))

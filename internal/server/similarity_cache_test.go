@@ -102,7 +102,7 @@ func TestRankedPairsCacheCorrectness(t *testing.T) {
 	// Assertions bump the store generation but must NOT drop the ranking
 	// cache: the ranking after an assertion still matches dense, via a hit.
 	hitsBefore, _ := st.SimilarityCacheStats()
-	if _, err := st.Assert("u1", "Student", 1, "u2", "Student", false); err != nil {
+	if _, _, err := st.Assert("u1", "Student", 1, "u2", "Student", false); err != nil {
 		t.Fatal(err)
 	}
 	check("after-assert")

@@ -54,6 +54,17 @@ type Store struct {
 	simCache map[simKey]simEntry // guarded by simMu
 	// simHits/simMisses count similarity-cache outcomes for /metrics.
 	simHits, simMisses atomic.Uint64
+	// cloMu guards cloCache, the versioned closure-result cache: assertion
+	// listings are stamped with the engine's version counter and the
+	// schema generation, so repeated reads of an unchanged matrix are
+	// served without re-copying entries (lock order: st.mu before cloMu).
+	cloMu    sync.Mutex
+	cloCache map[cloKey]cloEntry // guarded by cloMu
+	// cloHits/cloMisses count closure-cache outcomes; closureDerived and
+	// closureConflicts count entries derived and conflicts reported by
+	// assertion operations, all for /metrics.
+	cloHits, cloMisses               atomic.Uint64
+	closureDerived, closureConflicts atomic.Uint64
 	// persist, when set, journals every mutation before it is applied
 	// (write-ahead): mutations are pre-validated, then journaled, then
 	// applied, so an operation the journal rejected never reaches memory
@@ -88,6 +99,21 @@ type simEntry struct {
 	matrix     *equivalence.Matrix
 }
 
+// cloKey identifies one cached closure listing: the ordered schema pair and
+// the structure kind.
+type cloKey struct {
+	schema1, schema2 string
+	rel              bool
+}
+
+// cloEntry is one cached assertion listing, valid while the engine version
+// and schema generation it was computed under remain current.
+type cloEntry struct {
+	version   uint64
+	schemaGen uint64
+	entries   []assertion.Entry
+}
+
 // ErrNotFound marks lookups of named structures that do not exist; handlers
 // map it to 404 with errors.Is rather than by matching message text (the
 // messages embed user-controlled names).
@@ -105,6 +131,7 @@ func NewStoreFrom(ws *session.Workspace) *Store {
 		ws:       ws,
 		results:  map[string]cachedResult{},
 		simCache: map[simKey]simEntry{},
+		cloCache: map[cloKey]cloEntry{},
 	}
 }
 
@@ -164,6 +191,17 @@ func (st *Store) touch() {
 		}
 	}
 	st.simMu.Unlock()
+	// Closure entries from an older schema generation can never validate
+	// again; same-generation entries self-invalidate against the engine
+	// version at lookup time (and are overwritten in place), so they are
+	// left alone here.
+	st.cloMu.Lock()
+	for k, e := range st.cloCache {
+		if e.schemaGen != st.schemaGen {
+			delete(st.cloCache, k)
+		}
+	}
+	st.cloMu.Unlock()
 }
 
 // simLookup consults the similarity cache; callers hold st.mu (read or
@@ -457,66 +495,181 @@ func (st *Store) Suggest(schema1, schema2 string, threshold float64) ([]resembla
 		resemblance.DefaultWeights(), dictionary.Builtin(), threshold), nil
 }
 
+// engineFor validates that both named structures exist and returns the
+// pair's assertion engine; callers hold the write lock (the engine is
+// created on first touch).
+//
+//sit:locked mu
+func (st *Store) engineFor(schema1, object1, schema2, object2 string, rel bool) (*assertion.Engine, error) {
+	s1, s2, err := st.schemaPair(schema1, schema2)
+	if err != nil {
+		return nil, err
+	}
+	if rel {
+		if s1.Relationship(object1) == nil {
+			return nil, fmt.Errorf("server: schema %s has no relationship set %q", s1.Name, object1)
+		}
+		if s2.Relationship(object2) == nil {
+			return nil, fmt.Errorf("server: schema %s has no relationship set %q", s2.Name, object2)
+		}
+		return st.ws.RelationshipAssertions(schema1, schema2), nil
+	}
+	if s1.Object(object1) == nil {
+		return nil, fmt.Errorf("server: schema %s has no object class %q", s1.Name, object1)
+	}
+	if s2.Object(object2) == nil {
+		return nil, fmt.Errorf("server: schema %s has no object class %q", s2.Name, object2)
+	}
+	return st.ws.ObjectAssertions(schema1, schema2), nil
+}
+
 // Assert records an assertion between object classes (or, with rel,
-// relationship sets) of the two schemas and immediately closes the matrix.
-// The closure result carries derived assertions and conflicts; a conflicted
+// relationship sets) of the two schemas; the incremental engine closes the
+// matrix as part of the operation. The closure result carries the entries
+// this assertion derived and the matrix's conflicts; chains grounds each
+// conflict in the DDA-specified assertions that imply it. A conflicted
 // matrix keeps the assertion, as the interactive tool does, leaving
 // resolution to a later Retract.
-func (st *Store) Assert(schema1, object1 string, code int, schema2, object2 string, rel bool) (assertion.CloseResult, error) {
+func (st *Store) Assert(schema1, object1 string, code int, schema2, object2 string, rel bool) (assertion.CloseResult, [][]string, error) {
 	kind, err := assertion.KindFromCode(code)
 	if err != nil {
-		return assertion.CloseResult{}, err
+		return assertion.CloseResult{}, nil, err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	s1, s2, err := st.schemaPair(schema1, schema2)
+	eng, err := st.engineFor(schema1, object1, schema2, object2, rel)
 	if err != nil {
-		return assertion.CloseResult{}, err
-	}
-	var set *assertion.Set
-	if rel {
-		if s1.Relationship(object1) == nil {
-			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no relationship set %q", s1.Name, object1)
-		}
-		if s2.Relationship(object2) == nil {
-			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no relationship set %q", s2.Name, object2)
-		}
-		set = st.ws.RelationshipAssertions(schema1, schema2)
-	} else {
-		if s1.Object(object1) == nil {
-			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no object class %q", s1.Name, object1)
-		}
-		if s2.Object(object2) == nil {
-			return assertion.CloseResult{}, fmt.Errorf("server: schema %s has no object class %q", s2.Name, object2)
-		}
-		set = st.ws.ObjectAssertions(schema1, schema2)
+		return assertion.CloseResult{}, nil, err
 	}
 	if err := st.journal(opAssert, assertRec{
 		Schema1: schema1, Object1: object1, Code: code,
 		Schema2: schema2, Object2: object2, Rel: rel,
 	}); err != nil {
-		return assertion.CloseResult{}, err
+		return assertion.CloseResult{}, nil, err
 	}
-	res := set.AssertAndClose(
+	res := eng.AssertAndClose(
 		assertion.ObjKey{Schema: schema1, Object: object1},
 		assertion.ObjKey{Schema: schema2, Object: object2}, kind)
+	st.closureDerived.Add(uint64(len(res.Derived)))
+	st.closureConflicts.Add(uint64(len(res.Conflicts)))
+	st.touch()
+	return res, st.explainConflicts(eng, res.Conflicts), nil
+}
+
+// Retract removes the DDA-specified assertion between the two structures,
+// dropping exactly the derived entries that lost their last support and
+// re-deriving the ones that still follow from the rest of the matrix.
+// Retracting a derived entry fails with an *assertion.DerivedError carrying
+// the derivation chain; Found is false when no assertion was held.
+func (st *Store) Retract(schema1, object1, schema2, object2 string, rel bool) (assertion.RetractResult, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	eng, err := st.engineFor(schema1, object1, schema2, object2, rel)
+	if err != nil {
+		return assertion.RetractResult{}, err
+	}
+	a := assertion.ObjKey{Schema: schema1, Object: object1}
+	b := assertion.ObjKey{Schema: schema2, Object: object2}
+	// Pre-validate so the journaled record always replays: an absent pair
+	// or a derived entry never reaches the log.
+	ent, ok := eng.Entry(a, b)
+	if !ok {
+		return assertion.RetractResult{}, nil
+	}
+	if ent.Derived {
+		return assertion.RetractResult{}, &assertion.DerivedError{Entry: ent}
+	}
+	if err := st.journal(opRetract, retractRec{
+		Schema1: schema1, Object1: object1,
+		Schema2: schema2, Object2: object2, Rel: rel,
+	}); err != nil {
+		return assertion.RetractResult{}, err
+	}
+	res, err := eng.Retract(a, b)
+	if err != nil {
+		return assertion.RetractResult{}, err // unreachable after the pre-checks above
+	}
 	st.touch()
 	return res, nil
 }
 
-// Assertions lists the entries of the pair's assertion matrix.
+// ExplainAssertion returns the chain of DDA-specified assertions implying
+// the entry held between the two structures (the entry itself when it is
+// specified). found is false when the pair holds no entry.
+func (st *Store) ExplainAssertion(schema1, object1, schema2, object2 string, rel bool) (chain []string, found bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	eng, err := st.engineFor(schema1, object1, schema2, object2, rel)
+	if err != nil {
+		return nil, false, err
+	}
+	stmts, ok := eng.Explain(
+		assertion.ObjKey{Schema: schema1, Object: object1},
+		assertion.ObjKey{Schema: schema2, Object: object2})
+	if !ok {
+		return nil, false, nil
+	}
+	for _, s := range stmts {
+		chain = append(chain, s.String())
+	}
+	return chain, true, nil
+}
+
+// explainConflicts grounds every conflict in its supporting specified
+// assertions; callers hold the write lock.
+//
+//sit:locked mu
+func (st *Store) explainConflicts(eng *assertion.Engine, conflicts []*assertion.Conflict) [][]string {
+	if len(conflicts) == 0 {
+		return nil
+	}
+	out := make([][]string, len(conflicts))
+	for i, c := range conflicts {
+		for _, s := range eng.ExplainConflict(c) {
+			out[i] = append(out[i], s.String())
+		}
+	}
+	return out
+}
+
+// Assertions lists the entries of the pair's assertion matrix. Listings are
+// cached per (pair, kind) and stamped with the engine's version counter, so
+// repeated reads of an unchanged matrix cost one map probe; callers must
+// not mutate the result.
 func (st *Store) Assertions(schema1, schema2 string, rel bool) ([]assertion.Entry, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, _, err := st.schemaPair(schema1, schema2); err != nil {
 		return nil, err
 	}
-	// ObjectAssertions/RelationshipAssertions create the empty set on
+	// ObjectAssertions/RelationshipAssertions create the empty engine on
 	// first touch, hence the write lock.
+	var eng *assertion.Engine
 	if rel {
-		return st.ws.RelationshipAssertions(schema1, schema2).Entries(), nil
+		eng = st.ws.RelationshipAssertions(schema1, schema2)
+	} else {
+		eng = st.ws.ObjectAssertions(schema1, schema2)
 	}
-	return st.ws.ObjectAssertions(schema1, schema2).Entries(), nil
+	key := cloKey{schema1: schema1, schema2: schema2, rel: rel}
+	st.cloMu.Lock()
+	e, ok := st.cloCache[key]
+	st.cloMu.Unlock()
+	if ok && e.version == eng.Version() && e.schemaGen == st.schemaGen {
+		st.cloHits.Add(1)
+		return e.entries, nil
+	}
+	st.cloMisses.Add(1)
+	entries := eng.Entries()
+	st.cloMu.Lock()
+	st.cloCache[key] = cloEntry{version: eng.Version(), schemaGen: st.schemaGen, entries: entries}
+	st.cloMu.Unlock()
+	return entries, nil
+}
+
+// ClosureStats reports the closure-cache and closure-operation counters:
+// cache hits and misses, entries derived, and conflicts reported.
+func (st *Store) ClosureStats() (hits, misses, derived, conflicts uint64) {
+	return st.cloHits.Load(), st.cloMisses.Load(), st.closureDerived.Load(), st.closureConflicts.Load()
 }
 
 // Integrate runs (or returns the cached) integration of the pair using the

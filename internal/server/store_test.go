@@ -52,7 +52,7 @@ func assertPaperAssertions(t testing.TB, st *Store) {
 		{"Student", 4, "Faculty", false},
 		{"Majors", 1, "Stud_major", true},
 	} {
-		res, err := st.Assert("sc1", a.o1, a.code, "sc2", a.o2, a.rel)
+		res, _, err := st.Assert("sc1", a.o1, a.code, "sc2", a.o2, a.rel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,13 +182,13 @@ func TestStoreRankedPairsAndSuggestions(t *testing.T) {
 
 func TestStoreAssertValidation(t *testing.T) {
 	st := paperStore(t)
-	if _, err := st.Assert("sc1", "Nope", 1, "sc2", "Department", false); err == nil {
+	if _, _, err := st.Assert("sc1", "Nope", 1, "sc2", "Department", false); err == nil {
 		t.Error("unknown object accepted")
 	}
-	if _, err := st.Assert("sc1", "Student", 9, "sc2", "Grad_student", false); err == nil {
+	if _, _, err := st.Assert("sc1", "Student", 9, "sc2", "Grad_student", false); err == nil {
 		t.Error("bad code accepted")
 	}
-	if _, err := st.Assert("sc1", "Majors", 1, "sc2", "Nope", true); err == nil {
+	if _, _, err := st.Assert("sc1", "Majors", 1, "sc2", "Nope", true); err == nil {
 		t.Error("unknown relationship accepted")
 	}
 }
@@ -201,10 +201,10 @@ func TestStoreAssertConflict(t *testing.T) {
 	// Instructor contained-in Grad_student, then Instructor disjoint from
 	// Grad_student: the second assertion contradicts the held one and the
 	// closure reports the conflict while keeping the matrix unchanged.
-	if res, err := st.Assert("sc3", "Instructor", 2, "sc4", "Grad_student", false); err != nil || !res.Consistent() {
+	if res, _, err := st.Assert("sc3", "Instructor", 2, "sc4", "Grad_student", false); err != nil || !res.Consistent() {
 		t.Fatalf("setup assertion failed: %v %v", err, res.Conflicts)
 	}
-	res, err := st.Assert("sc3", "Instructor", 0, "sc4", "Grad_student", false)
+	res, _, err := st.Assert("sc3", "Instructor", 0, "sc4", "Grad_student", false)
 	if err != nil {
 		t.Fatal(err)
 	}

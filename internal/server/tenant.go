@@ -248,3 +248,16 @@ func (m *Manager) TotalSimilarityStats() (hits, misses uint64) {
 	}
 	return hits, misses
 }
+
+// TotalClosureStats sums the assertion-closure counters across every
+// workspace.
+func (m *Manager) TotalClosureStats() (hits, misses, derived, conflicts uint64) {
+	for _, ws := range m.List() {
+		h, miss, d, c := ws.store.ClosureStats()
+		hits += h
+		misses += miss
+		derived += d
+		conflicts += c
+	}
+	return hits, misses, derived, conflicts
+}

@@ -11,9 +11,9 @@ import (
 
 // runAssertions drives phase 3 (screens 8 and 9): pairs ranked by the
 // resemblance function are shown, the DDA enters assertion codes, the tool
-// closes the matrix after each entry and raises the conflict screen when a
-// contradiction appears. rel selects the relationship subphase (menu
-// option 5) over the object subphase (option 3).
+// closes the matrix incrementally after each entry and raises the conflict
+// screen when a contradiction appears. rel selects the relationship
+// subphase (menu option 5) over the object subphase (option 3).
 func (s *Session) runAssertions(rel bool) {
 	const phase = "ASSERTION SPECIFICATION"
 	n1, n2, ok := s.pickSchemaPair(phase)
@@ -22,7 +22,7 @@ func (s *Session) runAssertions(rel bool) {
 	}
 	s1, s2 := s.ws.Schema(n1), s.ws.Schema(n2)
 
-	var set *assertion.Set
+	var set *assertion.Engine
 	if rel {
 		set = s.ws.RelationshipAssertions(n1, n2)
 	} else {
@@ -38,7 +38,7 @@ func (s *Session) runAssertions(rel bool) {
 			pairs = s.ws.RankObjects(s1, s2)
 		}
 		s.io.Display(assertionCollectionScreen(pairs, set, scroll, rel).Text())
-		line, ok := s.io.ReadLine("Enter <#> <assertion 0-5>, (S)croll, (L)egend, (M)atrix, or (E)xit : ")
+		line, ok := s.io.ReadLine("Enter <#> <assertion 0-5>, (S)croll, (L)egend, (M)atrix, (R)etract <#>, or (E)xit : ")
 		if !ok {
 			return
 		}
@@ -60,18 +60,34 @@ func (s *Session) runAssertions(rel bool) {
 		case "m":
 			// The Entity Assertion matrix, as the tool stores it:
 			// every pair of structures across the two schemas.
-			var objs []assertion.ObjKey
-			for _, p := range pairs {
-				k := assertion.ObjKey{Schema: p.Schema1, Object: p.Object1}
-				if len(objs) == 0 || objs[len(objs)-1] != k {
-					objs = appendUniqueKey(objs, k)
-				}
-			}
-			for _, p := range pairs {
-				objs = appendUniqueKey(objs, assertion.ObjKey{Schema: p.Schema2, Object: p.Object2})
-			}
-			s.io.Display(matrixScreen(phase, set, objs).Text())
+			s.io.Display(matrixScreen(phase, set, matrixObjects(pairs)).Text())
 			s.io.ReadLine("Press enter to continue => ")
+			continue
+		case "r":
+			if len(fields) != 2 {
+				s.notify(phase, "usage: r <pair #>")
+				continue
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx < 1 || idx > len(pairs) {
+				s.notify(phase, "usage: r <pair #>")
+				continue
+			}
+			p := pairs[idx-1]
+			a := assertion.ObjKey{Schema: p.Schema1, Object: p.Object1}
+			b := assertion.ObjKey{Schema: p.Schema2, Object: p.Object2}
+			res, err := set.Retract(a, b)
+			if err != nil {
+				s.notify(phase, err.Error())
+				continue
+			}
+			if !res.Found {
+				s.notify(phase, fmt.Sprintf("no assertion held between %s and %s", a, b))
+				continue
+			}
+			s.notify(phase, fmt.Sprintf("retracted; %d entries removed, %d re-derived",
+				len(res.Removed), len(res.Rederived)))
+			s.ws.Invalidate()
 			continue
 		case "e", "x":
 			return
@@ -104,7 +120,7 @@ func (s *Session) runAssertions(rel bool) {
 
 // resolveConflict drives the Assertion Conflict Resolution screen
 // (Screen 9) for one conflict.
-func (s *Session) resolveConflict(set *assertion.Set, c *assertion.Conflict) {
+func (s *Session) resolveConflict(set *assertion.Engine, c *assertion.Conflict) {
 	const phase = "ASSERTION SPECIFICATION"
 	for {
 		s.io.Display(conflictResolutionScreen(c).Text())
@@ -124,11 +140,11 @@ func (s *Session) resolveConflict(set *assertion.Set, c *assertion.Conflict) {
 				s.notify(phase, "The derived contradiction has no single replacement; retract one of the supporting assertions.")
 				return
 			}
-			if err := set.Override(c.Proposed.A, c.Proposed.B, c.Proposed.Kind); err != nil {
+			res, err := set.Override(c.Proposed.A, c.Proposed.B, c.Proposed.Kind)
+			if err != nil {
 				s.notify(phase, err.Error())
 				return
 			}
-			res := set.Close()
 			if res.Consistent() {
 				return
 			}
@@ -139,12 +155,24 @@ func (s *Session) resolveConflict(set *assertion.Set, c *assertion.Conflict) {
 	}
 }
 
-// appendUniqueKey appends k if absent.
-func appendUniqueKey(keys []assertion.ObjKey, k assertion.ObjKey) []assertion.ObjKey {
-	for _, e := range keys {
-		if e == k {
-			return keys
+// matrixObjects collects the distinct objects of the ranked pairs in
+// first-appearance order — schema 1's objects, then schema 2's — with a
+// set-backed dedup so building the matrix view stays linear in the number
+// of pairs.
+func matrixObjects(pairs []resemblance.Pair) []assertion.ObjKey {
+	seen := make(map[assertion.ObjKey]struct{}, 2*len(pairs))
+	objs := make([]assertion.ObjKey, 0, 2*len(pairs))
+	add := func(k assertion.ObjKey) {
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			objs = append(objs, k)
 		}
 	}
-	return append(keys, k)
+	for _, p := range pairs {
+		add(assertion.ObjKey{Schema: p.Schema1, Object: p.Object1})
+	}
+	for _, p := range pairs {
+		add(assertion.ObjKey{Schema: p.Schema2, Object: p.Object2})
+	}
+	return objs
 }

@@ -297,32 +297,18 @@ func TestResultsIntegrationConflictOffersResolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := ws.ObjectAssertions("b1", "b2")
-	// P = M, P ⊂ Q... then M disjoint Q contradicts (M=P⊂Q means M and Q
-	// share members). Assert without closing so the conflict surfaces in
-	// task 6.
-	for _, a := range []struct {
-		o1, s2o string
-		k       assertion.Kind
-	}{
-		{"P", "M", assertion.Equals},
-	} {
-		if err := set.Assert(assertion.ObjKey{Schema: "b1", Object: a.o1},
-			assertion.ObjKey{Schema: "b2", Object: a.s2o}, a.k); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := set.Assert(assertion.ObjKey{Schema: "b1", Object: "Q"},
-		assertion.ObjKey{Schema: "b2", Object: "M"}, assertion.Contains); err != nil {
+	// The incremental engine closes on every assert, so a contradiction
+	// can no longer be smuggled in unclosed; exercise the integration
+	// error path with an intra-schema assertion instead, which the
+	// engine accepts (the matrix is schema-agnostic) and integration
+	// rejects.
+	if err := set.Assert(assertion.ObjKey{Schema: "b1", Object: "P"},
+		assertion.ObjKey{Schema: "b2", Object: "M"}, assertion.Equals); err != nil {
 		t.Fatal(err)
 	}
-	// Intra-schema contradiction: P disjoint Q is impossible since
-	// P = M ⊂ Q. Assert it before closure can notice.
 	if err := set.Assert(assertion.ObjKey{Schema: "b1", Object: "P"},
-		assertion.ObjKey{Schema: "b1", Object: "Q"}, assertion.DisjointNonintegrable); err == nil {
-		// Intra-schema user assertions are allowed at the Set level;
-		// integration rejects them. That still exercises the error
-		// path below.
-		_ = err
+		assertion.ObjKey{Schema: "b1", Object: "Q"}, assertion.DisjointNonintegrable); err != nil {
+		t.Fatal(err)
 	}
 	io := NewScriptIO(
 		"6", "b1", "b2",

@@ -213,7 +213,7 @@ func equivalenceScreen(reg *equivalence.Registry, ref1, ref2 objRef) *tui.Screen
 }
 
 // assertionCollectionScreen is Screen 8.
-func assertionCollectionScreen(pairs []resemblance.Pair, asserts *assertion.Set, scroll int, rel bool) *tui.Screen {
+func assertionCollectionScreen(pairs []resemblance.Pair, asserts *assertion.Engine, scroll int, rel bool) *tui.Screen {
 	var cells [][]string
 	cells = append(cells, []string{"Schema_Name1.Obj_Class1", "Schema_Name2.Obj_Class2", "ATTRIBUTE RATIO", "ASSERTION"})
 	for _, p := range pairs {
@@ -242,7 +242,7 @@ func assertionCollectionScreen(pairs []resemblance.Pair, asserts *assertion.Set,
 		Name:    name,
 		Windows: []*tui.Window{{Title: aligned[0], Rows: tui.NumberRows(aligned[1:], 1), Height: 10, Scroll: scroll}},
 		Header:  nil,
-		Menu:    "Enter <#> <assertion 0-5>, (S)croll, (L)egend, or (E)xit :",
+		Menu:    "Enter <#> <assertion 0-5>, (S)croll, (L)egend, (R)etract, or (E)xit :",
 	}
 }
 
@@ -290,7 +290,7 @@ func conflictResolutionScreen(c *assertion.Conflict) *tui.Screen {
 
 // matrixScreen shows the Entity Assertion matrix (or its relationship-set
 // counterpart) as the tool stores it.
-func matrixScreen(phase string, set *assertion.Set, objs []assertion.ObjKey) *tui.Screen {
+func matrixScreen(phase string, set *assertion.Engine, objs []assertion.ObjKey) *tui.Screen {
 	rows := strings.Split(strings.TrimRight(set.Matrix(objs), "\n"), "\n")
 	return &tui.Screen{
 		Phase:   phase,

@@ -28,9 +28,11 @@ type Workspace struct {
 	// sim is the sparse similarity engine over registry, maintained
 	// incrementally through the registry's observer hooks.
 	sim *similarity.Engine
-	// Assertion matrices per schema pair, keyed by sorted pair name.
-	objAsserts map[string]*assertion.Set
-	relAsserts map[string]*assertion.Set
+	// Assertion closure engines per schema pair, keyed by sorted pair
+	// name. Each engine maintains its matrix and transitive closure
+	// incrementally.
+	objAsserts map[string]*assertion.Engine
+	relAsserts map[string]*assertion.Engine
 	// results caches integration outcomes per pair for the viewing
 	// screens; not persisted (recomputed on demand).
 	results map[string]*integrate.Result
@@ -40,8 +42,8 @@ type Workspace struct {
 func NewWorkspace() *Workspace {
 	w := &Workspace{
 		registry:   equivalence.NewRegistry(),
-		objAsserts: map[string]*assertion.Set{},
-		relAsserts: map[string]*assertion.Set{},
+		objAsserts: map[string]*assertion.Engine{},
+		relAsserts: map[string]*assertion.Engine{},
 		results:    map[string]*integrate.Result{},
 	}
 	w.sim = similarity.Attach(w.registry)
@@ -136,21 +138,21 @@ func pairHasSchema(key, name string) bool {
 }
 
 // ObjectAssertions returns (creating if needed) the object-class assertion
-// matrix for a schema pair.
-func (w *Workspace) ObjectAssertions(s1, s2 string) *assertion.Set {
+// engine for a schema pair.
+func (w *Workspace) ObjectAssertions(s1, s2 string) *assertion.Engine {
 	key := pairKey(s1, s2)
 	if w.objAsserts[key] == nil {
-		w.objAsserts[key] = assertion.NewSet()
+		w.objAsserts[key] = assertion.NewEngine()
 	}
 	return w.objAsserts[key]
 }
 
 // RelationshipAssertions returns (creating if needed) the relationship-set
-// assertion matrix for a schema pair.
-func (w *Workspace) RelationshipAssertions(s1, s2 string) *assertion.Set {
+// assertion engine for a schema pair.
+func (w *Workspace) RelationshipAssertions(s1, s2 string) *assertion.Engine {
 	key := pairKey(s1, s2)
 	if w.relAsserts[key] == nil {
-		w.relAsserts[key] = assertion.NewSet()
+		w.relAsserts[key] = assertion.NewEngine()
 	}
 	return w.relAsserts[key]
 }
@@ -177,8 +179,8 @@ func (w *Workspace) Integrate(s1, s2 string) (*integrate.Result, error) {
 	res, err := integrate.Integrate(integrate.Input{
 		S1: a, S2: b,
 		Registry:      w.registry,
-		Objects:       w.ObjectAssertions(s1, s2),
-		Relationships: w.RelationshipAssertions(s1, s2),
+		Objects:       w.ObjectAssertions(s1, s2).Set(),
+		Relationships: w.RelationshipAssertions(s1, s2).Set(),
 	})
 	if err != nil {
 		return nil, err
@@ -218,7 +220,7 @@ func Marshal(w *Workspace) ([]byte, error) {
 		Schemas:      w.schemas,
 		Equivalences: w.registry.Classes(),
 	}
-	collect := func(sets map[string]*assertion.Set) []storedAssertion {
+	collect := func(sets map[string]*assertion.Engine) []storedAssertion {
 		var keys []string
 		for k := range sets {
 			keys = append(keys, k)
@@ -285,7 +287,7 @@ func Unmarshal(data []byte) (*Workspace, error) {
 			}
 		}
 	}
-	apply := func(stored []storedAssertion, pick func(s1, s2 string) *assertion.Set) error {
+	apply := func(stored []storedAssertion, pick func(s1, s2 string) *assertion.Engine) error {
 		for _, a := range stored {
 			kind, err := assertion.KindFromCode(a.Code)
 			if err != nil {

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/assertion"
+)
+
+// AssertionOpKind distinguishes the operations of a generated assertion
+// stream.
+type AssertionOpKind int
+
+const (
+	// OpAssert states a new (or restates a derivable) assertion.
+	OpAssert AssertionOpKind = iota
+	// OpRetract withdraws a previously asserted statement.
+	OpRetract
+)
+
+// AssertionOp is one operation of a generated stream.
+type AssertionOp struct {
+	Op   AssertionOpKind
+	A, B assertion.ObjKey
+	// Kind is the asserted relation (OpAssert only).
+	Kind assertion.Kind
+}
+
+// AssertionConfig parameterizes a generated assertion-op stream.
+type AssertionConfig struct {
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Ops is the number of operations to emit.
+	Ops int
+	// Components is the number of independent object groups. Assertions
+	// never cross components, so closure work stays bounded per component
+	// no matter how long the stream runs.
+	Components int
+	// Depth is the containment-tree depth per component; a component has
+	// 2^(Depth+1)-1 objects. Zero means the default of 4 (31 objects).
+	Depth int
+	// RetractFraction is the probability (0..1) that an op retracts a
+	// currently specified statement instead of asserting a new one.
+	RetractFraction float64
+}
+
+// DefaultAssertionConfig returns a stream with bounded components sized so
+// that million-op streams stay conflict-free and memory-bounded.
+func DefaultAssertionConfig(seed int64, ops int) AssertionConfig {
+	return AssertionConfig{
+		Seed: seed,
+		Ops:  ops,
+		// A depth-4 component holds 31 objects — 465 distinct pairs — so
+		// ~300 asserts per component keeps rejection sampling cheap and
+		// leaves headroom for assert-only (RetractFraction = 0) streams.
+		Components:      1 + ops/300,
+		Depth:           4,
+		RetractFraction: 0.1,
+	}
+}
+
+// assertionTruth is the ground-truth model of one stream: every object is
+// a node of a containment tree (heap-indexed, node 1 the root), so any two
+// objects in a component stand in a definite relation — ancestor means
+// 'contains', anything else means disjoint subtrees. Every assertion the
+// stream emits agrees with this interval model, which makes arbitrarily
+// long streams closure-consistent by construction: any composition of true
+// statements derives another true statement, never a contradiction.
+type assertionTruth struct {
+	nodes int // per component, heap indices 1..nodes
+}
+
+// trueKind returns the modeled relation from node u toward node v of the
+// same component.
+func (tr assertionTruth) trueKind(u, v int) assertion.Kind {
+	if isAncestor(u, v) {
+		return assertion.Contains
+	}
+	if isAncestor(v, u) {
+		return assertion.ContainedIn
+	}
+	return assertion.DisjointIntegrable
+}
+
+func isAncestor(u, v int) bool {
+	for v > u {
+		v >>= 1
+	}
+	return v == u
+}
+
+// GenerateAssertions emits a reproducible assertion-op stream with the
+// properties the closure benchmarks need: conflict-free at any length,
+// retractions that always target currently specified statements, and
+// per-component closure bounded by the component size.
+func GenerateAssertions(cfg AssertionConfig) ([]AssertionOp, error) {
+	if cfg.Ops < 0 {
+		return nil, fmt.Errorf("workload: %d ops", cfg.Ops)
+	}
+	if cfg.Components <= 0 {
+		return nil, fmt.Errorf("workload: %d components", cfg.Components)
+	}
+	if cfg.RetractFraction < 0 || cfg.RetractFraction > 1 {
+		return nil, fmt.Errorf("workload: retract fraction %v out of range", cfg.RetractFraction)
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 4
+	}
+	if depth < 1 || depth > 10 {
+		return nil, fmt.Errorf("workload: depth %d out of range", depth)
+	}
+	tr := assertionTruth{nodes: 1<<(depth+1) - 1}
+	// An assert-only stream needs a fresh pair per op; refuse configs
+	// that would saturate the components and spin forever. (Streams with
+	// retracts recycle pairs, so only near-full saturation matters.)
+	capacity := cfg.Components * tr.nodes * (tr.nodes - 1) / 2
+	if cfg.RetractFraction == 0 && cfg.Ops > capacity*3/4 {
+		return nil, fmt.Errorf("workload: %d assert-only ops exceed 3/4 of the %d distinct pairs; add components or depth",
+			cfg.Ops, capacity)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// specified tracks the live specified statements per component so a
+	// retract always targets one and an assert never repeats one.
+	type pair struct{ u, v int }
+	specified := make([]map[pair]bool, cfg.Components)
+	stock := make([][]pair, cfg.Components)
+	for i := range specified {
+		specified[i] = map[pair]bool{}
+	}
+	objKey := func(comp, node int) assertion.ObjKey {
+		// Two schema names so the stream also exercises the session and
+		// server paths, which key assertion sets by schema pair.
+		schema := "w1"
+		if node%2 == 0 {
+			schema = "w2"
+		}
+		return assertion.ObjKey{Schema: schema, Object: fmt.Sprintf("c%d_n%d", comp, node)}
+	}
+
+	ops := make([]AssertionOp, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		comp := rng.Intn(cfg.Components)
+		live := specified[comp]
+		if len(live) > 0 && rng.Float64() < cfg.RetractFraction {
+			p := stock[comp][rng.Intn(len(stock[comp]))]
+			if !live[p] {
+				continue // already retracted; stock is append-only
+			}
+			delete(live, p)
+			ops = append(ops, AssertionOp{
+				Op: OpRetract,
+				A:  objKey(comp, p.u),
+				B:  objKey(comp, p.v),
+			})
+			continue
+		}
+		u := 1 + rng.Intn(tr.nodes)
+		v := 1 + rng.Intn(tr.nodes)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if live[p] {
+			continue
+		}
+		live[p] = true
+		stock[comp] = append(stock[comp], p)
+		ops = append(ops, AssertionOp{
+			Op:   OpAssert,
+			A:    objKey(comp, u),
+			B:    objKey(comp, v),
+			Kind: tr.trueKind(u, v),
+		})
+	}
+	return ops, nil
+}
+
+// ApplyAssertions replays a generated stream against an engine, failing on
+// any conflict or rejected operation — a generated stream is consistent by
+// construction, so any error is a bug in the engine or the generator.
+func ApplyAssertions(e *assertion.Engine, ops []AssertionOp) error {
+	for i, op := range ops {
+		switch op.Op {
+		case OpAssert:
+			if err := e.Assert(op.A, op.B, op.Kind); err != nil {
+				return fmt.Errorf("workload: op %d assert %s/%s: %w", i, op.A, op.B, err)
+			}
+		case OpRetract:
+			res, err := e.Retract(op.A, op.B)
+			if err != nil {
+				return fmt.Errorf("workload: op %d retract %s/%s: %w", i, op.A, op.B, err)
+			}
+			if !res.Found {
+				return fmt.Errorf("workload: op %d retract %s/%s: not found", i, op.A, op.B)
+			}
+		}
+		if !e.Consistent() {
+			return fmt.Errorf("workload: op %d left the matrix conflicted", i)
+		}
+	}
+	return nil
+}

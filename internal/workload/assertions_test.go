@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/assertion"
+)
+
+func TestGenerateAssertionsConsistent(t *testing.T) {
+	cfg := DefaultAssertionConfig(7, 20000)
+	ops, err := GenerateAssertions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != cfg.Ops {
+		t.Fatalf("got %d ops, want %d", len(ops), cfg.Ops)
+	}
+	var retracts int
+	for _, op := range ops {
+		if op.Op == OpRetract {
+			retracts++
+		}
+	}
+	if retracts == 0 {
+		t.Error("stream has no retracts despite RetractFraction > 0")
+	}
+	e := assertion.NewEngine()
+	if err := ApplyAssertions(e, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Consistent() {
+		t.Error("generated stream left the matrix conflicted")
+	}
+	if e.Len() == 0 {
+		t.Error("empty matrix after 20k ops")
+	}
+}
+
+func TestGenerateAssertionsDeterministic(t *testing.T) {
+	cfg := DefaultAssertionConfig(3, 2000)
+	a, err := GenerateAssertions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateAssertions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different streams")
+	}
+	cfg.Seed++
+	c, err := GenerateAssertions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestGenerateAssertionsMatchesDenseClosure replays a generated stream
+// (with retracts) through the engine and checks the end state against a
+// dense re-closure of the surviving specified statements.
+func TestGenerateAssertionsMatchesDenseClosure(t *testing.T) {
+	cfg := DefaultAssertionConfig(11, 3000)
+	cfg.Components = 4 // dense collision rate: many restatements and retracts
+	ops, err := GenerateAssertions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := assertion.NewEngine()
+	if err := ApplyAssertions(e, ops); err != nil {
+		t.Fatal(err)
+	}
+	dense := assertion.NewSet()
+	for _, ent := range e.Entries() {
+		if ent.Derived {
+			continue
+		}
+		if err := dense.Assert(ent.A, ent.B, ent.Kind); err != nil {
+			t.Fatalf("replaying specified entries: %v", err)
+		}
+	}
+	if res := dense.Close(); !res.Consistent() {
+		t.Fatalf("dense closure of the stream's end state conflicts: %v", res.Conflicts)
+	}
+	if got, want := e.Len(), dense.Len(); got != want {
+		t.Errorf("engine holds %d entries, dense closure %d", got, want)
+	}
+}
+
+func TestGenerateAssertionsValidatesConfig(t *testing.T) {
+	for _, cfg := range []AssertionConfig{
+		{Seed: 1, Ops: -1, Components: 1},
+		{Seed: 1, Ops: 10, Components: 0},
+		{Seed: 1, Ops: 10, Components: 1, RetractFraction: 1.5},
+		{Seed: 1, Ops: 10, Components: 1, Depth: 11},
+	} {
+		if _, err := GenerateAssertions(cfg); err == nil {
+			t.Errorf("%+v: want error", cfg)
+		}
+	}
+}
