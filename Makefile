@@ -7,7 +7,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS  = -X repro/internal/version.Version=$(VERSION)
 BINDIR   = bin
 
-.PHONY: all build check vet sit-vet test race loadgen bench-assertions clean
+.PHONY: all build check vet sit-vet test race loadgen bench-assertions bench-translate clean
 
 all: check
 
@@ -48,6 +48,11 @@ loadgen:
 # re-closure at 10^3..10^6 assertions and rewrites BENCH_assertions.json.
 bench-assertions:
 	go test -run=TestWriteAssertionBenchReport -assertion-bench-report .
+
+# bench-translate sweeps whole-source parse throughput per schema frontend
+# at 10^2..10^4 entity sets and rewrites BENCH_translate.json.
+bench-translate:
+	go test -run=TestWriteTranslateBenchReport -translate-bench-report .
 
 clean:
 	rm -rf $(BINDIR)

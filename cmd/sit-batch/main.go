@@ -1,13 +1,15 @@
-// Command sit-batch runs one schema integration non-interactively: given an
-// ECR DDL file with the component schemas and a specification file with the
-// equivalences and assertions (the scripted DDA), it prints the integrated
-// schema as ECR DDL plus, on request, the mappings, the diagram and the
-// integration report.
+// Command sit-batch runs one schema integration non-interactively: given
+// component schemas in any registered frontend format (ECR DDL, ECR JSON,
+// SQL, hierarchical, JSON Schema, Avro — sniffed per file, or forced with
+// -format) and a specification file with the equivalences and assertions
+// (the scripted DDA), it prints the integrated schema as ECR DDL plus, on
+// request, the mappings, the diagram and the integration report.
 //
 // Usage:
 //
 //	sit-batch -schemas schemas.ecr -spec integration.spec [-out out.ecr]
 //	          [-json] [-mappings] [-diagram] [-report]
+//	sit-batch -schemas emp.sql,dept.avsc -spec integration.spec
 //	sit-batch -schemas schemas.ecr -plan
 package main
 
@@ -16,13 +18,29 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"repro/internal/batch"
 	"repro/internal/dictionary"
 	"repro/internal/ecr"
 	"repro/internal/mapping"
 	"repro/internal/plan"
+	"repro/internal/translate"
 	"repro/internal/version"
 )
+
+// schemaBaseName is the fallback schema name for formats that do not name
+// their schema in-text: the file's base name without extension.
+func schemaBaseName(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	return base
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -32,7 +50,8 @@ func main() {
 }
 
 func run() error {
-	schemasPath := flag.String("schemas", "", "ECR DDL file holding the component schemas")
+	schemasPath := flag.String("schemas", "", "comma-separated schema source files (any registered frontend format)")
+	format := flag.String("format", "", "force the input format for every -schemas file (default: sniffed per file)")
 	specPath := flag.String("spec", "", "integration specification file")
 	outPath := flag.String("out", "", "write the integrated schema's DDL to this file (default stdout)")
 	asJSON := flag.Bool("json", false, "emit the integrated schema as JSON instead of DDL")
@@ -53,13 +72,26 @@ func run() error {
 	if *schemasPath == "" {
 		return fmt.Errorf("-schemas is required")
 	}
-	ddl, err := os.ReadFile(*schemasPath)
-	if err != nil {
-		return err
+	var schemas []*ecr.Schema
+	for _, path := range strings.Split(*schemasPath, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// The frontend registry resolves the format; schemas that do not
+		// name themselves (sql, avro) take the file's base name.
+		res, _, err := translate.Parse(*format, schemaBaseName(path), src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		schemas = append(schemas, res.Schemas...)
 	}
-	schemas, err := ecr.ParseSchemas(string(ddl))
-	if err != nil {
-		return err
+	if len(schemas) == 0 {
+		return fmt.Errorf("no schemas in %q", *schemasPath)
 	}
 	if *planOnly {
 		p, err := plan.Order(schemas, nil, nil)

@@ -1,19 +1,24 @@
-// Command sit-translate converts a conventional database schema —
-// relational (SQL DDL subset) or hierarchical (segment-tree language) —
-// into the ECR data model, implementing the schema translation step the
-// paper describes as the upstream of its integration tool (Navathe & Awong
-// 1987). Its output feeds directly into sit or sit-batch.
+// Command sit-translate converts a conventional database schema into the
+// ECR data model through the frontend registry, implementing the schema
+// translation step the paper describes as the upstream of its integration
+// tool (Navathe & Awong 1987). Every registered frontend — dictionary, sql,
+// hierarchical, jsonschema, avro — is available; with no explicit -format
+// the input format is sniffed. Output feeds directly into sit or sit-batch.
 //
 // Usage:
 //
-//	sit-translate -sql db.sql -name mydb [-notes] [-diagram]
-//	sit-translate -hier db.hier [-notes] [-diagram]
+//	sit-translate -in db.sql [-format sql] -name mydb [-notes] [-diagram]
+//	sit-translate -in db.avsc               # format auto-detected
+//
+// The historical -sql and -hier flags remain as shorthands for
+// -in <file> -format sql|hierarchical.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/ecr"
 	"repro/internal/translate"
@@ -28,9 +33,11 @@ func main() {
 }
 
 func run() error {
-	sqlPath := flag.String("sql", "", "relational schema (SQL DDL subset)")
-	hierPath := flag.String("hier", "", "hierarchical schema (segment-tree language)")
-	name := flag.String("name", "db", "schema name for -sql input")
+	inPath := flag.String("in", "", "schema source file (any registered format)")
+	format := flag.String("format", "", "input format: "+strings.Join(translate.Formats(), "|")+" (default: sniffed)")
+	sqlPath := flag.String("sql", "", "shorthand for -in <file> -format sql")
+	hierPath := flag.String("hier", "", "shorthand for -in <file> -format hierarchical")
+	name := flag.String("name", "db", "schema name for formats that do not carry one (sql, avro)")
 	notes := flag.Bool("notes", false, "print the abstraction decisions as comments")
 	diagram := flag.Bool("diagram", false, "print a text diagram of the result")
 	dotOut := flag.String("dot", "", "write a Graphviz rendering of the result to this file")
@@ -41,55 +48,54 @@ func run() error {
 		fmt.Println(version.String("sit-translate"))
 		return nil
 	}
-	if (*sqlPath == "") == (*hierPath == "") {
-		return fmt.Errorf("exactly one of -sql or -hier is required")
+	path := *inPath
+	set := 0
+	for _, p := range []string{*inPath, *sqlPath, *hierPath} {
+		if p != "" {
+			set++
+		}
 	}
-
-	var schema *ecr.Schema
-	var decisionNotes []string
+	if set != 1 {
+		return fmt.Errorf("exactly one of -in, -sql or -hier is required")
+	}
 	switch {
 	case *sqlPath != "":
-		data, err := os.ReadFile(*sqlPath)
-		if err != nil {
-			return err
-		}
-		db, err := translate.ParseSQL(*name, string(data))
-		if err != nil {
-			return err
-		}
-		res, err := translate.FromRelational(db)
-		if err != nil {
-			return err
-		}
-		schema, decisionNotes = res.Schema, res.Notes
-	default:
-		data, err := os.ReadFile(*hierPath)
-		if err != nil {
-			return err
-		}
-		h, err := translate.ParseHierarchy(string(data))
-		if err != nil {
-			return err
-		}
-		res, err := translate.FromHierarchical(h)
-		if err != nil {
-			return err
-		}
-		schema, decisionNotes = res.Schema, res.Notes
+		path, *format = *sqlPath, "sql"
+	case *hierPath != "":
+		path, *format = *hierPath, "hierarchical"
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, used, err := translate.Parse(*format, *name, data)
+	if err != nil {
+		return err
 	}
 
 	if *notes {
-		for _, n := range decisionNotes {
+		fmt.Printf("# format: %s\n", used)
+		for _, n := range res.Notes {
 			fmt.Println("#", n)
 		}
 	}
-	fmt.Print(ecr.FormatSchema(schema))
-	if *diagram {
-		fmt.Println()
-		fmt.Print(ecr.Diagram(schema))
+	for i, schema := range res.Schemas {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(ecr.FormatSchema(schema))
+		if *diagram {
+			fmt.Println()
+			fmt.Print(ecr.Diagram(schema))
+		}
 	}
 	if *dotOut != "" {
-		if err := os.WriteFile(*dotOut, []byte(ecr.DOT(schema)), 0o644); err != nil {
+		var buf strings.Builder
+		for _, schema := range res.Schemas {
+			buf.WriteString(ecr.DOT(schema))
+		}
+		if err := os.WriteFile(*dotOut, []byte(buf.String()), 0o644); err != nil {
 			return err
 		}
 	}

@@ -1,25 +1,28 @@
-// Federated: global schema design over three pre-existing databases.
+// Federated: global schema design over pre-existing databases, driven
+// entirely over the server's HTTP API.
 //
 // This example exercises the paper's second integration context: several
-// databases already exist — here a relational personnel database, a
-// hierarchical projects database, and a native ECR sales schema — and a
-// single global schema is designed over them. The conventional schemas are
-// first translated into the ECR model (the Navathe & Awong step), then
-// folded together by repeated binary integration, and finally a query
-// against the global schema is mapped into per-database subqueries.
+// databases already exist — here a relational personnel database and a
+// hierarchical projects database, plus a native ECR sales schema — and a
+// single global schema is designed over them. Each conventional schema is
+// uploaded through POST /schemas in its own definition language (the
+// frontend registry translates it into ECR), the integration is run and
+// persisted through POST /integrations, instance rows are loaded through
+// POST /rows, and finally a global query is translated and executed through
+// POST /query: the server fans it out to per-database subqueries via the
+// saved mapping table and merges the answers.
 //
 // Run with: go run ./examples/federated
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
-
-	"repro/internal/assertion"
-	"repro/internal/core"
-	"repro/internal/ecr"
-	"repro/internal/mapping"
-	"repro/internal/translate"
+	"net/http"
+	"net/http/httptest"
+	"repro/internal/server"
 )
 
 const personnelSQL = `
@@ -34,11 +37,6 @@ CREATE TABLE Employee (
     Dept VARCHAR(40) NOT NULL,
     FOREIGN KEY (Dept) REFERENCES Department (Dname)
 );
-CREATE TABLE Engineer (
-    Eno INT PRIMARY KEY,
-    Discipline VARCHAR(40),
-    FOREIGN KEY (Eno) REFERENCES Employee (Eno)
-);
 `
 
 const projectsHier = `
@@ -49,10 +47,6 @@ segment Division {
     segment Project {
         field Pname char key
         field Budget int
-        segment Task {
-            field Tname char key
-            field Hours int
-        }
     }
 }
 `
@@ -63,87 +57,148 @@ entity Customer {
     attr Name: char key
     attr Region: char
 }
-entity Product {
-    attr Pname: char key
-    attr Price: real
-}
-relationship Buys (Customer (0,n), Product (0,n)) {
-    attr Quantity: int
-}
 `
 
 func main() {
-	// Step 1: translate the conventional schemas into ECR.
-	db, err := translate.ParseSQL("personnel", personnelSQL)
-	check(err)
-	rel, err := translate.FromRelational(db)
-	check(err)
+	srv := server.New(server.Config{Workers: 1, QueueCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	base := ts.URL + "/v1"
+
+	// Step 1: upload each database's schema in its native language. The
+	// format field routes through the frontend registry; sales is sniffed.
+	var up struct {
+		Added  []string `json:"added"`
+		Format string   `json:"format"`
+		Notes  []string `json:"notes"`
+	}
+	post(base+"/schemas", map[string]string{
+		"source": personnelSQL, "format": "sql", "name": "personnel",
+	}, &up)
 	fmt.Println("--- personnel (relational -> ECR) ---")
-	for _, n := range rel.Notes {
+	for _, n := range up.Notes {
 		fmt.Println("  ", n)
 	}
-	fmt.Print(ecr.Diagram(rel.Schema))
-	fmt.Println()
+	post(base+"/schemas", map[string]string{"source": projectsHier}, &up)
+	fmt.Printf("--- projects uploaded (sniffed as %s) ---\n", up.Format)
+	post(base+"/schemas", map[string]string{"source": salesECR}, &up)
+	fmt.Printf("--- sales uploaded (sniffed as %s) ---\n", up.Format)
 
-	h, err := translate.ParseHierarchy(projectsHier)
-	check(err)
-	hier, err := translate.FromHierarchical(h)
-	check(err)
-	fmt.Println("--- projects (hierarchical -> ECR) ---")
-	fmt.Print(ecr.Diagram(hier.Schema))
-	fmt.Println()
+	// Step 2: the relational Department and the hierarchical Division
+	// describe the same real-world units; integrate and persist the result
+	// with its mapping table.
+	post(base+"/equivalences", map[string]string{
+		"schema1": "personnel", "attr1": "Department.Dname",
+		"schema2": "projects", "attr2": "Division.Dname",
+	}, nil)
+	post(base+"/assertions", map[string]any{
+		"schema1": "personnel", "object1": "Department", "code": 1,
+		"schema2": "projects", "object2": "Division",
+	}, nil)
+	var info struct {
+		Schema     string   `json:"schema"`
+		Components []string `json:"components"`
+	}
+	post(base+"/integrations", map[string]string{
+		"name": "global", "schema1": "personnel", "schema2": "projects",
+	}, &info)
+	fmt.Printf("--- integration saved: %s over %v ---\n", info.Schema, info.Components)
 
-	sales, err := ecr.ParseSchema(salesECR)
-	check(err)
+	// Step 3: load rows into the component databases.
+	post(base+"/rows", map[string]any{
+		"schema": "personnel", "structure": "Department",
+		"rows": []map[string]string{
+			{"Dname": "R&D", "Budget": "900"},
+			{"Dname": "Sales", "Budget": "400"},
+		},
+	}, nil)
+	post(base+"/rows", map[string]any{
+		"schema": "projects", "structure": "Division",
+		"rows": []map[string]string{
+			{"Dname": "R&D", "Location": "Lausanne"},
+			{"Dname": "Ops", "Location": "Geneva"},
+		},
+	}, nil)
 
-	// Step 2: integrate personnel with projects. The relational
-	// Department and the hierarchical Division describe the same
-	// real-world units.
-	it1, err := core.New(rel.Schema, hier.Schema)
-	check(err)
-	check(it1.DeclareEquivalent("Department.Dname", "Division.Dname"))
-	check(it1.Assert("Department", assertion.Equals, "Division"))
-	step1, err := it1.Integrate("global1")
-	check(err)
-
-	// Step 3: fold in the sales schema. Customers and employees are
-	// disjoint but both are business partners worth a common concept.
-	it2, err := core.New(step1.Schema, sales)
-	check(err)
-	check(it2.Assert("Employee", assertion.DisjointIntegrable, "Customer"))
-	global, err := it2.Integrate("global")
-	check(err)
-
-	fmt.Println("--- global schema ---")
-	fmt.Print(ecr.Diagram(global.Schema))
-	fmt.Println()
-
-	// Step 4: translate a global request into per-database requests.
-	// The merged department/division class of step 1 carries two
-	// sources; querying it fans out to both databases.
+	// Step 4: fetch the saved integration and find the merged class — the
+	// department/division concept carrying a source in each database.
+	var saved struct {
+		Schema struct {
+			Objects []struct {
+				Name    string `json:"name"`
+				Sources []any  `json:"sources"`
+			} `json:"objects"`
+		} `json:"schema"`
+	}
+	get(base+"/integrations/global", &saved)
 	merged := ""
-	for _, o := range step1.Schema.Objects {
+	for _, o := range saved.Schema.Objects {
 		if len(o.Sources) == 2 {
 			merged = o.Name
 			break
 		}
 	}
-	q := mapping.Query{Schema: "global1", Object: merged, Project: []string{"D_Dname"}}
-	subs, skipped, err := mapping.IntegratedToComponents(q, step1.Mappings, step1.Schema)
-	check(err)
-	fmt.Println("--- global query fan-out ---")
-	fmt.Println("global object:", merged)
-	fmt.Println("query:        ", q.String())
-	for _, sub := range subs {
-		fmt.Println("  component: ", sub.String())
+	fmt.Println("merged class:", merged)
+
+	// Step 5: one global query fans out to both databases; the R&D unit is
+	// known to both and comes back merged.
+	var res struct {
+		Direction string              `json:"direction"`
+		Rendered  []string            `json:"rendered"`
+		Executed  bool                `json:"executed"`
+		Rows      []map[string]string `json:"rows"`
 	}
-	for _, sk := range skipped {
-		fmt.Println("  skipped:   ", sk)
+	post(base+"/query", map[string]any{
+		"integration": "global",
+		"query":       map[string]any{"schema": info.Schema, "object": merged},
+	}, &res)
+	fmt.Println("--- global query fan-out ---")
+	fmt.Println("direction:", res.Direction)
+	for _, r := range res.Rendered {
+		fmt.Println("  component: ", r)
+	}
+	fmt.Println("executed:", res.Executed)
+	for _, row := range res.Rows {
+		fmt.Println("  row:", row)
 	}
 }
 
-func check(err error) {
+// get fetches url and decodes the JSON response into out.
+func get(url string, out any) {
+	resp, err := http.Get(url)
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// post sends v as JSON and decodes the response into out (when non-nil).
+func post(url string, v any, out any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

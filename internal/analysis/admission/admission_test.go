@@ -9,8 +9,8 @@ import (
 
 func TestAdmission(t *testing.T) {
 	a := admission.New(admission.Config{
-		Registrars:    []string{"adm.Server.handle"},
-		Admitters:     []string{"adm.Server.admitOpen", "adm.Server.admitRead"},
+		Registrars:    []string{"adm.Server.handle", "adm.Server.handleWS"},
+		Admitters:     []string{"adm.Server.admitOpen", "adm.Server.admitRead", "adm.Server.admitMutate"},
 		RawRegistrars: []string{"adm/web.Mux.Handle"},
 	})
 	analyzertest.Run(t, "testdata/src", "adm", a)

@@ -11,6 +11,8 @@ func (s *Server) admitOpen(h web.Handler) web.Handler { return h }
 
 func (s *Server) admitRead(h web.Handler) web.Handler { return h }
 
+func (s *Server) admitMutate(h web.Handler) web.Handler { return h }
+
 func (s *Server) gate(h web.Handler) web.Handler { return h }
 
 // handle is the sanctioned registration plumbing: it necessarily touches
@@ -21,18 +23,31 @@ func (s *Server) handle(pattern string, h web.Handler) {
 	s.mux.Handle(pattern, h)
 }
 
+// handleWS mirrors the workspace-scoped registrar: one data-plane route
+// registered under two prefixes, handler already admitted by the caller.
+//
+//sit:admission
+func (s *Server) handleWS(method, suffix string, h web.Handler) {
+	s.mux.Handle(method+" /v1"+suffix, h)
+	s.mux.Handle(method+" /v1/workspaces/{ws}"+suffix, h)
+}
+
 func (s *Server) health()  {}
 func (s *Server) metrics() {}
 func (s *Server) create()  {}
+func (s *Server) query()   {}
 
 func (s *Server) goodRoutes() {
 	s.handle("GET /healthz", s.admitOpen(s.health))
 	s.handle("GET /metrics", s.admitRead(s.metrics))
 	s.handle("POST /v1/things", s.admitRead(s.gate(s.create)))
+	s.handleWS("POST", "/query", s.admitRead(s.query))
+	s.handleWS("POST", "/rows", s.admitMutate(s.create))
 }
 
 func (s *Server) badRoutes() {
 	s.handle("GET /naked", s.metrics)                // want "handler registered via adm.Server.handle without an admitter"
 	s.handle("POST /gated", s.gate(s.create))        // want "handler registered via adm.Server.handle without an admitter"
+	s.handleWS("POST", "/query", s.query)            // want "handler registered via adm.Server.handleWS without an admitter"
 	s.mux.Handle("GET /raw", s.admitOpen(s.metrics)) // want "route registered on the raw mux via adm/web.Mux.Handle"
 }

@@ -118,6 +118,64 @@ func (st *Store) Insert(structure string, row Row) error {
 	return nil
 }
 
+// ValidateRows checks a batch of rows against a structure without storing
+// anything: every row attribute must exist on the structure, key attributes
+// must be present, and key values must be unique against both the stored
+// rows and the rest of the batch. Callers that journal before applying use
+// this to guarantee a journaled batch replays cleanly.
+func (st *Store) ValidateRows(structure string, rows []Row) error {
+	attrs, err := st.attributesOf(structure)
+	if err != nil {
+		return err
+	}
+	byName := map[string]ecr.Attribute{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	batchKeys := map[string]map[string]bool{}
+	for i, row := range rows {
+		for col := range row {
+			if _, ok := byName[col]; !ok {
+				return fmt.Errorf("instance: %s.%s: row %d has no attribute %q", st.schema.Name, structure, i, col)
+			}
+		}
+		for _, a := range attrs {
+			if !a.Key {
+				continue
+			}
+			v, ok := row[a.Name]
+			if !ok {
+				return fmt.Errorf("instance: %s.%s: row %d: key attribute %q missing", st.schema.Name, structure, i, a.Name)
+			}
+			for _, existing := range st.rows[structure] {
+				if existing[a.Name] == v {
+					return fmt.Errorf("instance: %s.%s: duplicate key %s=%q", st.schema.Name, structure, a.Name, v)
+				}
+			}
+			if batchKeys[a.Name] == nil {
+				batchKeys[a.Name] = map[string]bool{}
+			}
+			if batchKeys[a.Name][v] {
+				return fmt.Errorf("instance: %s.%s: duplicate key %s=%q within batch", st.schema.Name, structure, a.Name, v)
+			}
+			batchKeys[a.Name][v] = true
+		}
+	}
+	return nil
+}
+
+// InsertAll validates a batch and stores it atomically: either every row is
+// inserted or none is.
+func (st *Store) InsertAll(structure string, rows []Row) error {
+	if err := st.ValidateRows(structure, rows); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		st.rows[structure] = append(st.rows[structure], row.clone())
+	}
+	return nil
+}
+
 // Count returns the number of rows stored directly in a structure.
 func (st *Store) Count(structure string) int { return len(st.rows[structure]) }
 

@@ -114,10 +114,7 @@ func IntegratedToComponents(q Query, t *Table, integrated *ecr.Schema) (queries 
 			sub := Query{Schema: src.Schema, Object: src.Object}
 			ok := true
 			for _, p := range q.Project {
-				attr, found := t.SourceAttr(src, q.Object, p)
-				if !found {
-					attr, found = t.SourceAttr(src, target, p)
-				}
+				attr, found := sourceAttrOf(t, integrated, src, q.Object, target, p)
 				if !found {
 					ok = false
 					skipped = append(skipped, fmt.Sprintf("%s lacks attribute %s", key, p))
@@ -129,10 +126,7 @@ func IntegratedToComponents(q Query, t *Table, integrated *ecr.Schema) (queries 
 				continue
 			}
 			for _, p := range q.Where {
-				attr, found := t.SourceAttr(src, q.Object, p.Attr)
-				if !found {
-					attr, found = t.SourceAttr(src, target, p.Attr)
-				}
+				attr, found := sourceAttrOf(t, integrated, src, q.Object, target, p.Attr)
 				if !found {
 					ok = false
 					skipped = append(skipped, fmt.Sprintf("%s lacks attribute %s", key, p.Attr))
@@ -146,6 +140,55 @@ func IntegratedToComponents(q Query, t *Table, integrated *ecr.Schema) (queries 
 		}
 	}
 	return queries, skipped, nil
+}
+
+// sourceAttrOf resolves the component attribute feeding an integrated
+// attribute of the queried structure. Integration lifts attributes shared
+// with an ancestor onto that ancestor, so beyond the queried structure and
+// the fan-out target the lookup also climbs the target's IS-A ancestors —
+// the attribute is inherited downward, its mapping entry lives upward.
+func sourceAttrOf(t *Table, integrated *ecr.Schema, src ecr.ObjectRef, qObject, target, attr string) (string, bool) {
+	if a, ok := t.SourceAttr(src, qObject, attr); ok {
+		return a, true
+	}
+	if target != qObject {
+		if a, ok := t.SourceAttr(src, target, attr); ok {
+			return a, true
+		}
+	}
+	if integrated == nil {
+		return "", false
+	}
+	for _, anc := range ancestors(integrated, target) {
+		if a, ok := t.SourceAttr(src, anc, attr); ok {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// ancestors returns the names of every structure above name in the IS-A
+// lattice of the schema.
+func ancestors(s *ecr.Schema, name string) []string {
+	var out []string
+	seen := map[string]bool{name: true}
+	queue := []string{name}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		o := s.Object(cur)
+		if o == nil {
+			continue
+		}
+		for _, parent := range o.Parents {
+			if !seen[parent] {
+				seen[parent] = true
+				out = append(out, parent)
+				queue = append(queue, parent)
+			}
+		}
+	}
+	return out
 }
 
 // descendants returns the names of every structure below name in the IS-A

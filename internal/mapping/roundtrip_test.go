@@ -1,0 +1,90 @@
+package mapping_test
+
+import (
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/integrate"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// TestRoundTripGeneratedWorkloads is the property test behind the federated
+// query path: over generated schema pairs with known ground truth, every
+// component view query whose attributes are mapped must survive the
+// view→integrated→components round trip — the rewritten global query fans
+// back out to the original view with the original attribute names.
+func TestRoundTripGeneratedWorkloads(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		w, err := workload.Generate(workload.DefaultConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := integrate.Integrate(integrate.Input{
+			S1: w.S1, S2: w.S2,
+			Registry:      w.Registry,
+			Objects:       w.Objects,
+			Relationships: w.Relationships,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tab, s := res.Mappings, res.Schema
+		checked := 0
+		for _, comp := range []*ecr.Schema{w.S1, w.S2} {
+			for _, o := range comp.Objects {
+				if _, ok := tab.TargetObject(ecr.ObjectRef{Schema: comp.Name, Object: o.Name}); !ok {
+					continue
+				}
+				var proj []string
+				for _, a := range o.Attributes {
+					if _, _, ok := tab.TargetAttr(ecr.AttrRef{Schema: comp.Name, Object: o.Name, Attr: a.Name}); ok {
+						proj = append(proj, a.Name)
+					}
+				}
+				if len(proj) == 0 {
+					continue
+				}
+				checked++
+				q := mapping.Query{Schema: comp.Name, Object: o.Name, Project: proj}
+				up, err := mapping.ViewToIntegrated(q, tab)
+				if err != nil {
+					t.Fatalf("seed %d: lift %s.%s: %v", seed, comp.Name, o.Name, err)
+				}
+				if up.Schema != tab.Integrated {
+					t.Fatalf("seed %d: lifted query targets %q, want %q", seed, up.Schema, tab.Integrated)
+				}
+				subs, _, err := mapping.IntegratedToComponents(up, tab, s)
+				if err != nil {
+					t.Fatalf("seed %d: fan out %s: %v", seed, up.String(), err)
+				}
+				found := false
+				for _, sub := range subs {
+					if sub.Schema != comp.Name || sub.Object != o.Name {
+						continue
+					}
+					got := map[string]bool{}
+					for _, p := range sub.Project {
+						got[p] = true
+					}
+					all := true
+					for _, p := range proj {
+						if !got[p] {
+							all = false
+						}
+					}
+					if all {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("seed %d: round trip lost view %s.%s %v: %v",
+						seed, comp.Name, o.Name, proj, subs)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("seed %d: no mapped view objects to check", seed)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/ecr"
+	"repro/internal/instance"
 	"repro/internal/journal"
 	"repro/internal/session"
 )
@@ -31,6 +32,11 @@ const (
 	opJobSubmit    = "job_submit"
 	opJobStart     = "job_start"
 	opJobFinish    = "job_finish"
+	// opSaveIntegration persists one integration result (materialized
+	// schema + mapping table); opLoadRows persists one accepted instance-row
+	// batch. Together they make the federated query layer durable.
+	opSaveIntegration = "save_integration"
+	opLoadRows        = "load_rows"
 	// opSetKeys replaces the API-key set (hashes only, never tokens). It
 	// rides the default workspace's journal so followers replicate and
 	// enforce the same keys; last record wins on replay.
@@ -83,6 +89,25 @@ type retractRec struct {
 	Rel     bool   `json:"rel,omitempty"`
 }
 
+// saveIntegrationRec persists one integration result under a name: the
+// integrated schema and the mapping table, both materialized to JSON, so
+// replay installs them verbatim without re-running the integration.
+type saveIntegrationRec struct {
+	Name    string          `json:"name"`
+	Schema1 string          `json:"schema1"`
+	Schema2 string          `json:"schema2"`
+	Schema  json.RawMessage `json:"schema"`
+	Table   json.RawMessage `json:"table"`
+}
+
+// loadRowsRec persists one accepted row batch; batches are validated before
+// journaling, so replaying them in order always succeeds.
+type loadRowsRec struct {
+	Schema    string         `json:"schema"`
+	Structure string         `json:"structure"`
+	Rows      []instance.Row `json:"rows"`
+}
+
 type jobSubmitRec struct {
 	ID      string     `json:"id"`
 	Request JobRequest `json:"request"`
@@ -103,14 +128,17 @@ type jobFinishRec struct {
 }
 
 // persistedState is the snapshot body: the full workspace (in the saved-
-// workspace encoding the interactive tool also uses) plus the job table
-// and — default workspace only — the journaled API-key hashes, so a
-// compacted journal (or a shipped snapshot) still carries the key set.
+// workspace encoding the interactive tool also uses) plus the job table,
+// the federation state (saved integrations and the row-batch log), and —
+// default workspace only — the journaled API-key hashes, so a compacted
+// journal (or a shipped snapshot) still carries the key set.
 type persistedState struct {
-	Workspace json.RawMessage `json:"workspace,omitempty"`
-	Jobs      []Job           `json:"jobs,omitempty"`
-	NextJobID int             `json:"nextJobId"`
-	Keys      []apiKeyEntry   `json:"keys,omitempty"`
+	Workspace    json.RawMessage      `json:"workspace,omitempty"`
+	Jobs         []Job                `json:"jobs,omitempty"`
+	NextJobID    int                  `json:"nextJobId"`
+	Keys         []apiKeyEntry        `json:"keys,omitempty"`
+	Integrations []saveIntegrationRec `json:"integrations,omitempty"`
+	Rows         []loadRowsRec        `json:"rows,omitempty"`
 }
 
 // DurabilityConfig parameterizes the server's journals.
@@ -339,29 +367,44 @@ func scanWorkspaceDirs(dir string) ([]string, error) {
 	return names, nil
 }
 
+// decodedState is a snapshot body decoded for recovery or replica
+// bootstrap: the workspace, the job table (indexed by ID), the snapshot's
+// API-key set (default workspace only; nil elsewhere), and the federation
+// state (saved integrations plus the row-batch log).
+type decodedState struct {
+	ws           *session.Workspace
+	jobs         []Job
+	byID         map[string]int
+	nextJobID    int
+	keys         []apiKeyEntry
+	integrations []saveIntegrationRec
+	rows         []loadRowsRec
+}
+
 // decodePersistedState rebuilds a workspace and job table from a snapshot
 // body (recovery, and replica bootstrap — the leader's snapshot wire format
-// IS the snapshot file format). keys is the snapshot's API-key set (default
-// workspace only; nil elsewhere).
-func decodePersistedState(state []byte) (*session.Workspace, []Job, map[string]int, int, []apiKeyEntry, error) {
-	sessWS := session.NewWorkspace()
-	var jobs []Job
-	byID := map[string]int{}
+// IS the snapshot file format).
+func decodePersistedState(state []byte) (*decodedState, error) {
+	dec := &decodedState{ws: session.NewWorkspace(), byID: map[string]int{}}
 	var ps persistedState
 	if err := json.Unmarshal(state, &ps); err != nil {
-		return nil, nil, nil, 0, nil, fmt.Errorf("decode snapshot state: %w", err)
+		return nil, fmt.Errorf("decode snapshot state: %w", err)
 	}
 	if len(ps.Workspace) > 0 {
 		var err error
-		if sessWS, err = session.Unmarshal(ps.Workspace); err != nil {
-			return nil, nil, nil, 0, nil, fmt.Errorf("rebuild workspace from snapshot: %w", err)
+		if dec.ws, err = session.Unmarshal(ps.Workspace); err != nil {
+			return nil, fmt.Errorf("rebuild workspace from snapshot: %w", err)
 		}
 	}
 	for _, job := range ps.Jobs {
-		byID[job.ID] = len(jobs)
-		jobs = append(jobs, job)
+		dec.byID[job.ID] = len(dec.jobs)
+		dec.jobs = append(dec.jobs, job)
 	}
-	return sessWS, jobs, byID, ps.NextJobID, ps.Keys, nil
+	dec.nextJobID = ps.NextJobID
+	dec.keys = ps.Keys
+	dec.integrations = ps.Integrations
+	dec.rows = ps.Rows
+	return dec, nil
 }
 
 // recoverWorkspace rebuilds one workspace from its subdirectory: snapshot
@@ -380,13 +423,9 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 		return nil, wr, err
 	}
 
-	sessWS := session.NewWorkspace()
-	var jobs []Job
-	byID := map[string]int{}
-	nextID := 0
-	var snapKeys []apiKeyEntry
+	dec := &decodedState{ws: session.NewWorkspace(), byID: map[string]int{}}
 	if state, seq, ok := j.Snapshot(); ok {
-		if sessWS, jobs, byID, nextID, snapKeys, err = decodePersistedState(state); err != nil {
+		if dec, err = decodePersistedState(state); err != nil {
 			j.Close()
 			return nil, wr, err
 		}
@@ -398,17 +437,21 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 	var keysHook func([]apiKeyEntry) error
 	if name == DefaultWorkspace {
 		keysHook = s.applyJournaledKeys
-		if len(snapKeys) > 0 {
-			if err := s.applyJournaledKeys(snapKeys); err != nil {
+		if len(dec.keys) > 0 {
+			if err := s.applyJournaledKeys(dec.keys); err != nil {
 				j.Close()
 				return nil, wr, err
 			}
 		}
 	}
 
-	store := NewStoreFrom(sessWS)
+	store := NewStoreFrom(dec.ws)
+	if err := store.restoreFederation(dec.integrations, dec.rows); err != nil {
+		j.Close()
+		return nil, wr, fmt.Errorf("restore federation state: %w", err)
+	}
 	for _, rec := range j.Records() {
-		if err := applyRecord(store, rec, byID, &jobs, &nextID, keysHook); err != nil {
+		if err := applyRecord(store, rec, dec.byID, &dec.jobs, &dec.nextJobID, keysHook); err != nil {
 			j.Close()
 			return nil, wr, fmt.Errorf("replay journal record %d (%s): %w", rec.Seq, rec.Op, err)
 		}
@@ -416,13 +459,13 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 	}
 	wr.DroppedBytes = j.DroppedBytes()
 	wr.Schemas = len(store.SchemaNames())
-	wr.RecoveredJobs = len(jobs)
+	wr.RecoveredJobs = len(dec.jobs)
 
 	ws := s.newWorkspaceFrom(name, store)
 	if s.followerAtBuild() {
-		s.armReplica(ws, j, jobs, byID, nextID)
+		s.armReplica(ws, j, dec.jobs, dec.byID, dec.nextJobID)
 	} else {
-		wr.RequeuedJobs, wr.InterruptedJobs = s.armJournal(ws, j, jobs, nextID)
+		wr.RequeuedJobs, wr.InterruptedJobs = s.armJournal(ws, j, dec.jobs, dec.nextJobID)
 	}
 	return ws, wr, nil
 }
@@ -484,6 +527,18 @@ func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]
 		}
 		_, err := store.Retract(r.Schema1, r.Object1, r.Schema2, r.Object2, r.Rel)
 		return err
+	case opSaveIntegration:
+		var r saveIntegrationRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		return store.applySaveIntegration(r)
+	case opLoadRows:
+		var r loadRowsRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		return store.applyLoadRows(r)
 	case opJobSubmit:
 		var r jobSubmitRec
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
@@ -669,10 +724,16 @@ func (s *Server) captureState(ws *Workspace) (state []byte, uptoSeq uint64, err 
 		st.mu.Unlock()
 		return nil, 0, err
 	}
+	ints, rows, err := st.federationSnapshotLocked()
+	if err != nil {
+		st.mu.Unlock()
+		return nil, 0, err
+	}
 	jobs, nextID := ws.queue.snapshotState()
 	st.mu.Unlock()
 	state, err = json.Marshal(persistedState{
 		Workspace: wsData, Jobs: jobs, NextJobID: nextID, Keys: s.snapshotKeys(ws.name),
+		Integrations: ints, Rows: rows,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -16,6 +16,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/journal"
 	"repro/internal/mapping"
+	"repro/internal/translate"
 	"repro/internal/version"
 )
 
@@ -281,45 +282,71 @@ func (s *Server) handleWorkspaceDelete(w http.ResponseWriter, r *http.Request) {
 
 // --- schemas ---
 
-// schemasRequest uploads component schemas: either DDL text (one or more
-// "schema" blocks) or one schema in the ECR JSON encoding.
+// schemasRequest uploads component schemas. Legacy fields: ddl (one or more
+// ECR DDL "schema" blocks) or schema (one schema in the ECR JSON encoding).
+// The general path is source + format: source text in any registered
+// frontend language (dictionary, sql, hierarchical, avro, jsonschema); an
+// empty format is sniffed. name is the fallback schema name for formats
+// that do not carry one in-text.
 type schemasRequest struct {
 	DDL    string          `json:"ddl,omitempty"`
 	Schema json.RawMessage `json:"schema,omitempty"`
+	Source string          `json:"source,omitempty"`
+	Format string          `json:"format,omitempty"`
+	Name   string          `json:"name,omitempty"`
 }
 
 func (s *Server) handleSchemasPost(ws *Workspace, w http.ResponseWriter, r *http.Request) {
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var req schemasRequest
 	if ct == "text/plain" || ct == "application/x-ecr-ddl" {
+		// Raw text bodies go straight to the registry; ?format= and ?name=
+		// stand in for the JSON envelope's fields.
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 		if err != nil {
 			err = s.mapBodyError(err)
 			writeError(w, errStatus(err), err)
 			return
 		}
-		req.DDL = string(body)
+		req.Source = string(body)
+		req.Format = r.URL.Query().Get("format")
+		req.Name = r.URL.Query().Get("name")
 	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 
-	var (
-		added []string
-		err   error
-	)
-	switch {
-	case req.DDL != "" && req.Schema != nil:
-		err = fmt.Errorf("request has both ddl and schema; send one")
-	case req.DDL != "":
-		added, err = ws.store.AddSchemasDDL(req.DDL)
-	case req.Schema != nil:
-		var schema *ecr.Schema
-		schema, err = ecr.DecodeJSON(req.Schema)
-		if err == nil {
-			added, err = ws.store.AddSchemas([]*ecr.Schema{schema})
+	// Resolve the three body forms to (source, format) for the registry.
+	// The legacy ddl and schema fields are both dictionary-format sources.
+	var src []byte
+	format := req.Format
+	fields := 0
+	if req.DDL != "" {
+		fields++
+		src, format = []byte(req.DDL), "dictionary"
+	}
+	if req.Schema != nil {
+		fields++
+		src, format = req.Schema, "dictionary"
+	}
+	if req.Source != "" {
+		fields++
+		src = []byte(req.Source)
+	}
+	if fields != 1 {
+		var err error
+		if fields == 0 {
+			err = fmt.Errorf("request needs a ddl, schema or source field")
+		} else {
+			err = fmt.Errorf("request has more than one of ddl, schema and source; send one")
 		}
-	default:
-		err = fmt.Errorf("request needs a ddl or schema field")
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	res, used, err := translate.Parse(format, req.Name, src)
+	var added []string
+	if err == nil {
+		added, err = ws.store.AddSchemas(res.Schemas)
 	}
 	if err != nil {
 		if errors.Is(err, ErrQuota) {
@@ -328,7 +355,12 @@ func (s *Server) handleSchemasPost(ws *Workspace, w http.ResponseWriter, r *http
 		writeError(w, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"added": added})
+	s.metrics.ObserveSchemaParse(boundedFormat(used))
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"added":  added,
+		"format": used,
+		"notes":  res.Notes,
+	})
 }
 
 func (s *Server) handleSchemasList(ws *Workspace, w http.ResponseWriter, r *http.Request) {

@@ -118,6 +118,12 @@ type Metrics struct {
 	jobs     map[JobState]uint64          // guarded by mu
 	panics   uint64                       // guarded by mu
 
+	// schemaParses counts schema uploads by frontend format;
+	// queryTranslations counts /query translations by direction. Both label
+	// sets are clamped by the caller (boundedFormat/boundedDirection).
+	schemaParses      map[string]uint64 // guarded by mu
+	queryTranslations map[string]uint64 // guarded by mu
+
 	// workspaces holds per-tenant counters for live workspaces (bounded by
 	// the server's workspace cap); otherWS accumulates counters folded in
 	// from deleted workspaces. Both guarded by mu.
@@ -171,6 +177,8 @@ func NewMetrics() *Metrics {
 		started:            time.Now().UTC(),
 		requests:           map[string]map[string]uint64{},
 		jobs:               map[JobState]uint64{},
+		schemaParses:       map[string]uint64{},
+		queryTranslations:  map[string]uint64{},
 		workspaces:         map[string]*WorkspaceCounters{},
 		IntegrationLatency: NewHistogram(),
 		JournalFsync:       NewHistogram(),
@@ -277,6 +285,26 @@ func (m *Metrics) ObserveJob(ws string, state JobState) {
 	case JobDone, JobFailed, JobCanceled:
 		m.workspace(ws).JobsFinished++
 	}
+}
+
+// ObserveSchemaParse counts one schema upload by the frontend format that
+// parsed it. format must already be clamped (boundedFormat).
+//
+//sit:metriclabel format
+func (m *Metrics) ObserveSchemaParse(format string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schemaParses[format]++
+}
+
+// ObserveQueryTranslation counts one /query translation by direction.
+// direction must already be clamped (boundedDirection).
+//
+//sit:metriclabel direction
+func (m *Metrics) ObserveQueryTranslation(direction string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queryTranslations[direction]++
 }
 
 // ObserveAuthFailure counts one request refused 401/403 by API-key auth.
@@ -404,10 +432,15 @@ type MetricsSnapshot struct {
 	// Assertion-closure counters: listing-cache hits/misses plus the
 	// cumulative derived entries and conflicts produced by incremental
 	// closure across all workspaces.
-	ClosureCacheHits    uint64 `json:"closure_cache_hits"`
-	ClosureCacheMisses  uint64 `json:"closure_cache_misses"`
-	ClosureDerivedTotal uint64 `json:"closure_derived_total"`
+	ClosureCacheHits      uint64 `json:"closure_cache_hits"`
+	ClosureCacheMisses    uint64 `json:"closure_cache_misses"`
+	ClosureDerivedTotal   uint64 `json:"closure_derived_total"`
 	ClosureConflictsTotal uint64 `json:"closure_conflicts_total"`
+	// SchemaParses counts schema uploads by frontend format (dictionary,
+	// sql, hierarchical, avro, jsonschema).
+	SchemaParses map[string]uint64 `json:"schema_parses,omitempty"`
+	// QueryTranslations counts federated query translations by direction.
+	QueryTranslations map[string]uint64 `json:"query_translations,omitempty"`
 	// Admission reports the admission-control rejection counters.
 	Admission AdmissionSnapshot `json:"admission"`
 	// Journal is present only on durable servers (started with a data dir).
@@ -485,6 +518,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for state, n := range m.jobs {
 		jobs[string(state)] = n
 	}
+	var parses map[string]uint64
+	if len(m.schemaParses) > 0 {
+		parses = make(map[string]uint64, len(m.schemaParses))
+		for format, n := range m.schemaParses {
+			parses[format] = n
+		}
+	}
+	var translations map[string]uint64
+	if len(m.queryTranslations) > 0 {
+		translations = make(map[string]uint64, len(m.queryTranslations))
+		for dir, n := range m.queryTranslations {
+			translations[dir] = n
+		}
+	}
 	started := m.started
 	replFn := m.replication
 	depthFn := m.queueDepth
@@ -514,6 +561,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PanicsTotal:        panics,
 		IntegrationLatency: m.IntegrationLatency.Snapshot(),
 		Workspaces:         wsSnap,
+		SchemaParses:       parses,
+		QueryTranslations:  translations,
 		Admission: AdmissionSnapshot{
 			AuthFailuresTotal:    m.authFailures.Load(),
 			RateLimitedTotal:     m.rateLimited.Load(),

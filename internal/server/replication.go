@@ -137,6 +137,11 @@ func (rep *replicaState) capture(s *Server, ws *Workspace) (state []byte, uptoSe
 	st := ws.store
 	st.mu.Lock()
 	wsData, err := session.Marshal(st.ws)
+	var ints []saveIntegrationRec
+	var rows []loadRowsRec
+	if err == nil {
+		ints, rows, err = st.federationSnapshotLocked()
+	}
 	st.mu.Unlock()
 	if err != nil {
 		return nil, 0, err
@@ -144,6 +149,7 @@ func (rep *replicaState) capture(s *Server, ws *Workspace) (state []byte, uptoSe
 	jobs := append([]Job(nil), rep.jobs...)
 	state, err = json.Marshal(persistedState{
 		Workspace: wsData, Jobs: jobs, NextJobID: rep.nextJobID, Keys: s.snapshotKeys(ws.name),
+		Integrations: ints, Rows: rows,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -411,22 +417,25 @@ func (t followerTarget) Bootstrap(name string, snap replication.Snapshot) error 
 	if rep == nil || ws.persist == nil {
 		return fmt.Errorf("workspace %q is not a replica", name)
 	}
-	sessWS, jobs, byID, nextID, snapKeys, err := decodePersistedState(snap.State)
+	dec, err := decodePersistedState(snap.State)
 	if err != nil {
 		return err
 	}
 	if err := ws.persist.j.ResetTo(snap.State, snap.Seq); err != nil {
 		return err
 	}
-	if name == DefaultWorkspace && len(snapKeys) > 0 {
-		if err := t.s.applyJournaledKeys(snapKeys); err != nil {
+	if name == DefaultWorkspace && len(dec.keys) > 0 {
+		if err := t.s.applyJournaledKeys(dec.keys); err != nil {
 			return err
 		}
 	}
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	ws.store.Replace(sessWS)
-	rep.jobs, rep.byID, rep.nextJobID = jobs, byID, nextID
+	ws.store.Replace(dec.ws)
+	if err := ws.store.restoreFederation(dec.integrations, dec.rows); err != nil {
+		return fmt.Errorf("restore federation state: %w", err)
+	}
+	rep.jobs, rep.byID, rep.nextJobID = dec.jobs, dec.byID, dec.nextJobID
 	rep.appliedSeq = snap.Seq
 	return nil
 }

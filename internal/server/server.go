@@ -315,6 +315,11 @@ func (s *Server) routes() {
 	s.handleWS("GET", "/assertions/explain", s.admitRead(s.handleAssertionExplain))
 
 	s.handleWS("POST", "/integrate", s.admitRead(s.handleIntegrate))
+	s.handleWS("POST", "/integrations", s.admitMutate(s.handleIntegrationsPost))
+	s.handleWS("GET", "/integrations", s.admitRead(s.handleIntegrationsList))
+	s.handleWS("GET", "/integrations/{name}", s.admitRead(s.handleIntegrationGet))
+	s.handleWS("POST", "/rows", s.admitMutate(s.handleRowsPost))
+	s.handleWS("POST", "/query", s.admitRead(s.handleQueryPost))
 	s.handleWS("POST", "/jobs", s.admitMutate(s.handleJobsPost))
 	s.handleWS("GET", "/jobs", s.admitRead(s.handleJobsList))
 	s.handleWS("GET", "/jobs/{id}", s.admitRead(s.handleJobGet))

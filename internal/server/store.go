@@ -21,6 +21,7 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/ecr"
 	"repro/internal/equivalence"
+	"repro/internal/instance"
 	"repro/internal/integrate"
 	"repro/internal/resemblance"
 	"repro/internal/session"
@@ -74,6 +75,17 @@ type Store struct {
 	// Checked before journaling, so a quota rejection never reaches the log;
 	// replica stores leave it 0 — replicated records must always apply.
 	maxSchemas int // guarded by mu
+
+	// Federation state: saved integration results (the materialized
+	// integrated schema plus its mapping table), the instance stores holding
+	// loaded rows, and the ordered log of accepted row batches. The row log —
+	// not the stores — is what snapshots carry; an instance store is rebuilt
+	// by replaying its batches. Saves and row loads journal write-ahead like
+	// every other mutation, so mapping tables and rows survive a crash and
+	// replicate to followers.
+	integrations map[string]*savedIntegration // guarded by mu
+	instances    map[string]*instance.Store   // guarded by mu
+	rowLog       []loadRowsRec                // guarded by mu
 }
 
 type cachedResult struct {
@@ -128,10 +140,12 @@ func NewStore() *Store {
 // saved JSON file). The caller must not touch the workspace afterwards.
 func NewStoreFrom(ws *session.Workspace) *Store {
 	return &Store{
-		ws:       ws,
-		results:  map[string]cachedResult{},
-		simCache: map[simKey]simEntry{},
-		cloCache: map[cloKey]cloEntry{},
+		ws:           ws,
+		results:      map[string]cachedResult{},
+		simCache:     map[simKey]simEntry{},
+		cloCache:     map[cloKey]cloEntry{},
+		integrations: map[string]*savedIntegration{},
+		instances:    map[string]*instance.Store{},
 	}
 }
 
@@ -143,6 +157,11 @@ func (st *Store) Replace(ws *session.Workspace) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.ws = ws
+	// The snapshot supersedes the federation state too; the bootstrap path
+	// reinstalls the snapshot's copy via restoreFederation right after.
+	st.integrations = map[string]*savedIntegration{}
+	st.instances = map[string]*instance.Store{}
+	st.rowLog = nil
 	st.schemaGen++
 	st.touch()
 }
@@ -365,6 +384,7 @@ func (st *Store) RemoveSchema(name string) (found bool, err error) {
 		return true, err
 	}
 	st.ws.RemoveSchema(name)
+	st.pruneFederationLocked(name)
 	st.schemaGen++
 	st.touch()
 	return true, nil

@@ -1,0 +1,421 @@
+package translate
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// avroFrontend abstracts an Avro schema document — a single record or a
+// JSON array of named types — into ECR:
+//
+//   - every record becomes an entity set; fields of primitive type become
+//     attributes (int/long -> int, float/double -> real, string -> char,
+//     boolean -> bool, bytes -> char with a note; the date and timestamp
+//     logical types -> date), with the "key": true field extension marking
+//     key attributes;
+//   - a field typed as another record (by name, inline, or as the union
+//     ["null", Record]) becomes a binary relationship set <Owner>_<Target>:
+//     the owner participates (1,1), or (0,1) for the nullable union; the
+//     target (0,n). An array of records yields (0,n) on both sides;
+//   - a field typed as an enum keeps a char attribute and additionally
+//     yields one category per symbol, named <Owner>_<Symbol>, over the
+//     owning record.
+type avroFrontend struct{}
+
+func (avroFrontend) Name() string { return "avro" }
+
+func (avroFrontend) Sniff(src []byte) bool {
+	v, ok := jsonRoot(src)
+	if !ok {
+		return false
+	}
+	return avroLooksLikeNamedType(v)
+}
+
+func avroLooksLikeNamedType(v any) bool {
+	switch t := v.(type) {
+	case map[string]any:
+		typ, _ := t["type"].(string)
+		_, hasFields := t["fields"]
+		_, hasSymbols := t["symbols"]
+		return (typ == "record" && hasFields) || (typ == "enum" && hasSymbols)
+	case []any:
+		if len(t) == 0 {
+			return false
+		}
+		for _, e := range t {
+			if !avroLooksLikeNamedType(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// avroField is one field of a record; Type stays raw because Avro types are
+// polymorphic (string, object, or union array).
+type avroField struct {
+	Name string          `json:"name"`
+	Type json.RawMessage `json:"type"`
+	Key  bool            `json:"key"`
+}
+
+// avroType is the object form of a type: a named record/enum, a logical
+// type annotation, or an array.
+type avroType struct {
+	Type        string          `json:"type"`
+	Name        string          `json:"name"`
+	LogicalType string          `json:"logicalType"`
+	Fields      []avroField     `json:"fields"`
+	Symbols     []string        `json:"symbols"`
+	Items       json.RawMessage `json:"items"`
+}
+
+// avroParser accumulates named types in encounter order.
+type avroParser struct {
+	records []*avroType
+	enums   map[string]*avroType
+	known   map[string]string // short name -> "record" | "enum"
+}
+
+func (avroFrontend) Parse(name string, src []byte) (*Result, error) {
+	var root json.RawMessage = src
+	p := &avroParser{enums: map[string]*avroType{}, known: map[string]string{}}
+
+	// The document is a single named type or an array of them.
+	var arr []json.RawMessage
+	if err := json.Unmarshal(root, &arr); err != nil {
+		arr = []json.RawMessage{root}
+	}
+	for _, raw := range arr {
+		if _, err := p.collect(raw); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.records) == 0 {
+		return nil, fmt.Errorf("translate: avro: no records in document")
+	}
+
+	schemaName := name
+	if schemaName == "" {
+		schemaName = "avro"
+	}
+	out := ecr.NewSchema(schemaName)
+	res := &Result{Schemas: []*ecr.Schema{out}}
+	notef := func(format string, args ...any) {
+		res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+	}
+
+	type pendingRef struct {
+		owner, field, target string
+		card                 ecr.Cardinality
+	}
+	type pendingCat struct {
+		name, parent string
+	}
+	var refs []pendingRef
+	var cats []pendingCat
+
+	// Pass 1: records become entity sets; reference and enum fields are
+	// collected for later passes.
+	for _, rec := range p.records {
+		o := &ecr.ObjectClass{Name: rec.Name, Kind: ecr.KindEntity}
+		for _, f := range rec.Fields {
+			ft, err := p.fieldType(f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("translate: avro: record %s field %s: %w", rec.Name, f.Name, err)
+			}
+			switch ft.kind {
+			case "record":
+				minCard := 1
+				if ft.nullable {
+					minCard = 0
+				}
+				refs = append(refs, pendingRef{
+					owner: rec.Name, field: f.Name, target: ft.name,
+					card: ecr.Cardinality{Min: minCard, Max: 1},
+				})
+			case "recordArray":
+				refs = append(refs, pendingRef{
+					owner: rec.Name, field: f.Name, target: ft.name,
+					card: ecr.Cardinality{Min: 0, Max: ecr.N},
+				})
+			case "enum":
+				o.Attributes = append(o.Attributes, ecr.Attribute{
+					Name: f.Name, Domain: "char", Key: f.Key,
+				})
+				for _, sym := range p.enums[ft.name].Symbols {
+					cats = append(cats, pendingCat{
+						name:   rec.Name + "_" + sanitizeName(sym),
+						parent: rec.Name,
+					})
+				}
+			default: // scalar
+				if ft.warn != "" {
+					notef("record %s: field %s: %s", rec.Name, f.Name, ft.warn)
+				}
+				o.Attributes = append(o.Attributes, ecr.Attribute{
+					Name: f.Name, Domain: ft.domain, Key: f.Key,
+				})
+			}
+		}
+		if err := out.AddObject(o); err != nil {
+			return nil, err
+		}
+		notef("record %s -> entity set %s", rec.Name, o.Name)
+	}
+
+	for _, c := range cats {
+		if out.Object(c.name) != nil {
+			continue
+		}
+		o := &ecr.ObjectClass{Name: c.name, Kind: ecr.KindCategory, Parents: []string{c.parent}}
+		if err := out.AddObject(o); err != nil {
+			return nil, err
+		}
+		notef("enum symbol -> category %s of %s", c.name, c.parent)
+	}
+
+	// Pass 2: relationship sets from record-reference fields.
+	for _, r := range refs {
+		if out.Object(r.target) == nil {
+			return nil, fmt.Errorf("translate: avro: %s.%s references undefined record %q", r.owner, r.field, r.target)
+		}
+		rs := &ecr.RelationshipSet{
+			Name: r.owner + "_" + r.target,
+			Participants: []ecr.Participation{
+				{Object: r.owner, Card: r.card},
+				{Object: r.target, Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			},
+		}
+		if r.owner == r.target {
+			// A self-reference needs roles to tell the sides apart.
+			rs.Participants[0].Role = sanitizeName(r.field)
+			rs.Participants[1].Role = "of"
+		}
+		if out.Relationship(rs.Name) != nil {
+			rs.Name = rs.Name + "_" + sanitizeName(r.field)
+		}
+		if err := out.AddRelationship(rs); err != nil {
+			return nil, err
+		}
+		notef("reference field %s.%s -> relationship set %s", r.owner, r.field, rs.Name)
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: avro: result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// collect registers the named types defined by raw (a record or enum in
+// object form, possibly nested inside fields) and returns the short name.
+func (p *avroParser) collect(raw json.RawMessage) (string, error) {
+	var t avroType
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return "", fmt.Errorf("translate: avro: %w", err)
+	}
+	short := shortAvroName(t.Name)
+	switch t.Type {
+	case "record":
+		if short == "" {
+			return "", fmt.Errorf("translate: avro: record with no name")
+		}
+		if _, dup := p.known[short]; dup {
+			return "", fmt.Errorf("translate: avro: duplicate named type %q", short)
+		}
+		t.Name = short
+		p.known[short] = "record"
+		p.records = append(p.records, &t)
+		// Inline named types defined inside fields register too.
+		for _, f := range t.Fields {
+			if err := p.collectFromFieldType(f.Type); err != nil {
+				return "", err
+			}
+		}
+		return short, nil
+	case "enum":
+		if short == "" {
+			return "", fmt.Errorf("translate: avro: enum with no name")
+		}
+		if _, dup := p.known[short]; dup {
+			return "", fmt.Errorf("translate: avro: duplicate named type %q", short)
+		}
+		t.Name = short
+		p.known[short] = "enum"
+		p.enums[short] = &t
+		return short, nil
+	default:
+		return "", fmt.Errorf("translate: avro: top-level type %q is not a named type", t.Type)
+	}
+}
+
+// collectFromFieldType walks a field's type looking for inline record/enum
+// definitions (directly, in a union, or as array items).
+func (p *avroParser) collectFromFieldType(raw json.RawMessage) error {
+	trimmed := strings.TrimSpace(string(raw))
+	if trimmed == "" {
+		return nil
+	}
+	switch trimmed[0] {
+	case '{':
+		var t avroType
+		if err := json.Unmarshal(raw, &t); err != nil {
+			return fmt.Errorf("translate: avro: %w", err)
+		}
+		switch t.Type {
+		case "record", "enum":
+			_, err := p.collect(raw)
+			return err
+		case "array":
+			return p.collectFromFieldType(t.Items)
+		}
+		return nil
+	case '[':
+		var branches []json.RawMessage
+		if err := json.Unmarshal(raw, &branches); err != nil {
+			return fmt.Errorf("translate: avro: %w", err)
+		}
+		for _, b := range branches {
+			if err := p.collectFromFieldType(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// resolvedType classifies a field type once named types are known.
+type resolvedType struct {
+	kind     string // "scalar" | "record" | "recordArray" | "enum"
+	name     string // named-type short name for record/enum kinds
+	domain   string // ECR domain for scalars
+	nullable bool   // union with "null"
+	warn     string
+}
+
+// fieldType resolves a field's raw type. Named types may be referenced
+// before their definition appears; collect has already walked the whole
+// document, so p.known is complete.
+func (p *avroParser) fieldType(raw json.RawMessage) (resolvedType, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if trimmed == "" {
+		return resolvedType{}, fmt.Errorf("missing type")
+	}
+	switch trimmed[0] {
+	case '"':
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return resolvedType{}, err
+		}
+		return p.namedOrPrimitive(s)
+	case '{':
+		var t avroType
+		if err := json.Unmarshal(raw, &t); err != nil {
+			return resolvedType{}, err
+		}
+		switch t.Type {
+		case "record", "enum":
+			return p.namedOrPrimitive(shortAvroName(t.Name))
+		case "array":
+			item, err := p.fieldType(t.Items)
+			if err != nil {
+				return resolvedType{}, err
+			}
+			if item.kind == "record" {
+				return resolvedType{kind: "recordArray", name: item.name}, nil
+			}
+			return resolvedType{kind: "scalar", domain: item.domain,
+				warn: "array of scalars flattened to a single-valued attribute"}, nil
+		default:
+			// Logical types ride on a primitive: {"type":"int","logicalType":"date"}.
+			if t.LogicalType != "" {
+				return logicalDomain(t.LogicalType, t.Type), nil
+			}
+			return p.namedOrPrimitive(t.Type)
+		}
+	case '[':
+		var branches []json.RawMessage
+		if err := json.Unmarshal(raw, &branches); err != nil {
+			return resolvedType{}, err
+		}
+		var nonNull []json.RawMessage
+		sawNull := false
+		for _, b := range branches {
+			if strings.TrimSpace(string(b)) == `"null"` {
+				sawNull = true
+				continue
+			}
+			nonNull = append(nonNull, b)
+		}
+		if len(nonNull) != 1 {
+			return resolvedType{kind: "scalar", domain: "char",
+				warn: fmt.Sprintf("union of %d non-null branches defaulted to domain char", len(nonNull))}, nil
+		}
+		rt, err := p.fieldType(nonNull[0])
+		if err != nil {
+			return resolvedType{}, err
+		}
+		rt.nullable = rt.nullable || sawNull
+		return rt, nil
+	}
+	return resolvedType{}, fmt.Errorf("unrecognised type %s", trimmed)
+}
+
+func (p *avroParser) namedOrPrimitive(s string) (resolvedType, error) {
+	switch p.known[s] {
+	case "record":
+		return resolvedType{kind: "record", name: s}, nil
+	case "enum":
+		return resolvedType{kind: "enum", name: s}, nil
+	}
+	switch s {
+	case "int", "long":
+		return resolvedType{kind: "scalar", domain: "int"}, nil
+	case "float", "double":
+		return resolvedType{kind: "scalar", domain: "real"}, nil
+	case "string":
+		return resolvedType{kind: "scalar", domain: "char"}, nil
+	case "boolean":
+		return resolvedType{kind: "scalar", domain: "bool"}, nil
+	case "bytes":
+		return resolvedType{kind: "scalar", domain: "char",
+			warn: "bytes mapped to domain char"}, nil
+	case "null":
+		return resolvedType{kind: "scalar", domain: "char",
+			warn: "null type defaulted to domain char"}, nil
+	default:
+		return resolvedType{}, fmt.Errorf("unknown type %q", s)
+	}
+}
+
+// logicalDomain maps Avro logical types to ECR domains.
+func logicalDomain(logical, base string) resolvedType {
+	switch logical {
+	case "date", "timestamp-millis", "timestamp-micros", "time-millis", "time-micros":
+		return resolvedType{kind: "scalar", domain: "date"}
+	case "decimal":
+		return resolvedType{kind: "scalar", domain: "real"}
+	default:
+		rt, err := (&avroParser{known: map[string]string{}}).namedOrPrimitive(base)
+		if err != nil {
+			return resolvedType{kind: "scalar", domain: "char",
+				warn: fmt.Sprintf("unknown logical type %q on unknown base %q defaulted to domain char", logical, base)}
+		}
+		rt.warn = fmt.Sprintf("unknown logical type %q mapped by its base type %q", logical, base)
+		return rt
+	}
+}
+
+// shortAvroName strips an Avro namespace ("com.example.User" -> "User").
+func shortAvroName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,59 @@
+package translate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ecr"
+	"repro/internal/workload"
+)
+
+// TestFourFrontendsAgree renders generated conceptual schemas in the four
+// frontend languages and asserts every rendering abstracts to the same ECR
+// schema (ecr.Diff empty against the generator's expected schema). This is
+// the cross-frontend equivalence property the registry exists for: a schema
+// owner should get the same integration behaviour regardless of which
+// definition language they upload.
+func TestFourFrontendsAgree(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := workload.DefaultFormsConfig(seed)
+			if seed%2 == 0 {
+				cfg.Objects = 12
+				cfg.Refs = 15
+			}
+			forms, err := workload.GenerateForms(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sources := map[string]string{
+				"dictionary": forms.Dictionary,
+				"sql":        forms.SQL,
+				"jsonschema": forms.JSONSchema,
+				"avro":       forms.Avro,
+			}
+			for format, src := range sources {
+				res, used, err := Parse(format, forms.Name, []byte(src))
+				if err != nil {
+					t.Fatalf("%s: parse: %v\nsource:\n%s", format, err, src)
+				}
+				if used != format {
+					t.Fatalf("explicit format %q resolved to %q", format, used)
+				}
+				if len(res.Schemas) != 1 {
+					t.Fatalf("%s: %d schemas", format, len(res.Schemas))
+				}
+				if d := ecr.Diff(forms.Expected, res.Schemas[0]); len(d) != 0 {
+					t.Errorf("%s disagrees with expected ECR:\n%v", format, d)
+				}
+				// The rendering must also be recognized without an explicit
+				// format name.
+				detected, ok := Detect([]byte(src))
+				if !ok || detected.Name() != format {
+					t.Errorf("%s rendering sniffed as %v", format, detected)
+				}
+			}
+		})
+	}
+}

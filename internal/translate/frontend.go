@@ -1,0 +1,243 @@
+package translate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// A Frontend is one schema-definition language the tool can ingest. Every
+// ingestion path — POST /schemas, sit-translate, sit-batch — goes through
+// the same registry of frontends, so a format added here is immediately
+// available everywhere. A frontend turns source text into validated ECR
+// schemas plus provenance notes recording each abstraction decision.
+type Frontend interface {
+	// Name is the format identifier ("dictionary", "sql", ...).
+	Name() string
+	// Sniff reports whether the source looks like this format. Detection
+	// asks each registered frontend in order; the first match wins.
+	Sniff(src []byte) bool
+	// Parse translates the source into ECR. name is the fallback schema
+	// name for formats that do not carry one of their own (SQL DDL, Avro);
+	// the dictionary and hierarchical languages name their schemas in-text
+	// and ignore it, and JSON Schema prefers its title.
+	Parse(name string, src []byte) (*Result, error)
+}
+
+// Result is the outcome of parsing one source through a frontend. Most
+// formats define a single schema; the dictionary format may define several.
+type Result struct {
+	Schemas []*ecr.Schema
+	// Notes log, per construct, the abstraction decision applied and any
+	// warnings (unknown domains, skipped constructs).
+	Notes []string
+}
+
+// frontends is the registry, in detection order. Order matters for Sniff:
+// the specific JSON dialects (Avro, then JSON Schema) are probed before
+// anything that would accept generic JSON.
+var frontends []Frontend
+
+// Register appends a frontend to the registry. Registering a duplicate
+// format name is a programming error.
+func Register(f Frontend) {
+	for _, g := range frontends {
+		if g.Name() == f.Name() {
+			panic(fmt.Sprintf("translate: frontend %q registered twice", f.Name()))
+		}
+	}
+	frontends = append(frontends, f)
+}
+
+func init() {
+	Register(dictionaryFrontend{})
+	Register(sqlFrontend{})
+	Register(hierarchicalFrontend{})
+	Register(avroFrontend{})
+	Register(jsonSchemaFrontend{})
+}
+
+// Formats lists the registered format names in registration order.
+func Formats() []string {
+	names := make([]string, len(frontends))
+	for i, f := range frontends {
+		names[i] = f.Name()
+	}
+	return names
+}
+
+// Lookup returns the frontend registered under the format name.
+func Lookup(format string) (Frontend, bool) {
+	for _, f := range frontends {
+		if f.Name() == format {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Detect sniffs the source against every registered frontend and returns
+// the first match.
+func Detect(src []byte) (Frontend, bool) {
+	for _, f := range frontends {
+		if f.Sniff(src) {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Parse resolves a format (explicit name, or sniffed when format is empty)
+// and parses the source through it. It returns the result and the name of
+// the format actually used.
+func Parse(format, name string, src []byte) (*Result, string, error) {
+	var f Frontend
+	if format != "" {
+		var ok bool
+		if f, ok = Lookup(format); !ok {
+			return nil, "", fmt.Errorf("translate: unknown format %q (have %s)", format, strings.Join(Formats(), ", "))
+		}
+	} else {
+		var ok bool
+		if f, ok = Detect(src); !ok {
+			return nil, "", fmt.Errorf("translate: cannot detect schema format (have %s)", strings.Join(Formats(), ", "))
+		}
+	}
+	res, err := f.Parse(name, src)
+	if err != nil {
+		return nil, f.Name(), err
+	}
+	return res, f.Name(), nil
+}
+
+// jsonRoot decodes the top-level JSON value of src, reporting whether src
+// is JSON at all. Used by the sniffers of the three JSON-carried formats.
+func jsonRoot(src []byte) (any, bool) {
+	trimmed := bytes.TrimSpace(src)
+	if len(trimmed) == 0 || (trimmed[0] != '{' && trimmed[0] != '[') {
+		return nil, false
+	}
+	var v any
+	if err := json.Unmarshal(trimmed, &v); err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// firstWord returns the first '#'-comment-stripped word of the source,
+// lower-cased — enough to recognise the keyword-led textual languages.
+func firstWord(src []byte) string {
+	for _, line := range strings.Split(string(src), "\n") {
+		if i := strings.IndexAny(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "--"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			return strings.ToLower(fields[0])
+		}
+	}
+	return ""
+}
+
+// --- dictionary (ECR DDL or ECR JSON) ---
+
+// dictionaryFrontend ingests the tool's own data-dictionary formats: the
+// ECR DDL text language (possibly several schemas per file) or a single
+// schema in the workspace JSON form.
+type dictionaryFrontend struct{}
+
+func (dictionaryFrontend) Name() string { return "dictionary" }
+
+func (dictionaryFrontend) Sniff(src []byte) bool {
+	if v, ok := jsonRoot(src); ok {
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return false
+		}
+		// The ECR JSON form: {"name": ..., "objects": [...], ...}.
+		_, hasObjects := obj["objects"]
+		_, hasRels := obj["relationships"]
+		_, hasName := obj["name"]
+		return hasName && (hasObjects || hasRels)
+	}
+	return firstWord(src) == "schema"
+}
+
+func (dictionaryFrontend) Parse(name string, src []byte) (*Result, error) {
+	if _, ok := jsonRoot(src); ok {
+		s, err := ecr.DecodeJSON(src)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Schemas: []*ecr.Schema{s},
+			Notes:   []string{fmt.Sprintf("dictionary: decoded schema %s from JSON", s.Name)},
+		}, nil
+	}
+	schemas, err := ecr.ParseSchemas(string(src))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schemas: schemas}
+	for _, s := range schemas {
+		res.Notes = append(res.Notes, fmt.Sprintf("dictionary: parsed schema %s", s.Name))
+	}
+	return res, nil
+}
+
+// --- sql ---
+
+// sqlFrontend ingests relational CREATE TABLE DDL and abstracts it through
+// the Navathe & Awong classification (FromRelational).
+type sqlFrontend struct{}
+
+func (sqlFrontend) Name() string { return "sql" }
+
+func (sqlFrontend) Sniff(src []byte) bool {
+	return firstWord(src) == "create"
+}
+
+func (sqlFrontend) Parse(name string, src []byte) (*Result, error) {
+	if name == "" {
+		name = "db"
+	}
+	db, err := ParseSQL(name, string(src))
+	if err != nil {
+		return nil, err
+	}
+	rel, err := FromRelational(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schemas: []*ecr.Schema{rel.Schema}, Notes: rel.Notes}, nil
+}
+
+// --- hierarchical ---
+
+// hierarchicalFrontend ingests the segment-tree language and abstracts it
+// through FromHierarchical. The hierarchy names itself in-text.
+type hierarchicalFrontend struct{}
+
+func (hierarchicalFrontend) Name() string { return "hierarchical" }
+
+func (hierarchicalFrontend) Sniff(src []byte) bool {
+	return firstWord(src) == "hierarchy"
+}
+
+func (hierarchicalFrontend) Parse(name string, src []byte) (*Result, error) {
+	h, err := ParseHierarchy(string(src))
+	if err != nil {
+		return nil, err
+	}
+	res, err := FromHierarchical(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schemas: []*ecr.Schema{res.Schema}, Notes: res.Notes}, nil
+}

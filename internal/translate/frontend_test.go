@@ -1,0 +1,346 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecr"
+)
+
+// personnelJSONSchema is the JSON Schema running sample: three entity
+// definitions, a required-subset category, an enum, a required $ref, a
+// nullable $ref (absent from required) and an array-of-$ref.
+const personnelJSONSchema = `{
+  "$schema": "https://json-schema.org/draft/2020-12/schema",
+  "title": "personnel",
+  "$defs": {
+    "Department": {
+      "type": "object",
+      "properties": {
+        "Dname": {"type": "string", "x-key": true},
+        "Budget": {"type": "integer"}
+      }
+    },
+    "Employee": {
+      "type": "object",
+      "properties": {
+        "Eno": {"type": "integer", "x-key": true},
+        "Name": {"type": "string"},
+        "Hired": {"type": "string", "format": "date"},
+        "Grade": {"type": "string", "enum": ["junior", "senior"]},
+        "dept": {"$ref": "#/$defs/Department"},
+        "projects": {"type": "array", "items": {"$ref": "#/$defs/Project"}}
+      },
+      "required": ["Eno", "dept"]
+    },
+    "Project": {
+      "type": "object",
+      "properties": {
+        "Pname": {"type": "string", "x-key": true}
+      }
+    },
+    "Manager": {
+      "allOf": [
+        {"$ref": "#/$defs/Employee"},
+        {"type": "object", "properties": {"Bonus": {"type": "number"}}}
+      ]
+    }
+  }
+}`
+
+// personnelAvro is the Avro running sample: the same shape as the JSON
+// Schema sample plus a self-referencing nullable union and a logical date.
+const personnelAvro = `[
+  {"type": "record", "name": "Department", "fields": [
+    {"name": "Dname", "type": "string", "key": true},
+    {"name": "Budget", "type": "int"}
+  ]},
+  {"type": "record", "name": "Employee", "fields": [
+    {"name": "Eno", "type": "long", "key": true},
+    {"name": "Hired", "type": {"type": "int", "logicalType": "date"}},
+    {"name": "Grade", "type": {"type": "enum", "name": "Grade", "symbols": ["junior", "senior"]}},
+    {"name": "dept", "type": "Department"},
+    {"name": "mentor", "type": ["null", "Employee"]},
+    {"name": "projects", "type": {"type": "array", "items": "Project"}}
+  ]},
+  {"type": "record", "name": "Project", "fields": [
+    {"name": "Pname", "type": "string", "key": true}
+  ]}
+]`
+
+func TestRegistryFormats(t *testing.T) {
+	want := []string{"dictionary", "sql", "hierarchical", "avro", "jsonschema"}
+	got := Formats()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Formats() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		f, ok := Lookup(name)
+		if !ok || f.Name() != name {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := Lookup("xml"); ok {
+		t.Error("Lookup of unregistered format succeeded")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"ddl", "# comment\nschema sc1\nentity E { attr A: int key }", "dictionary"},
+		{"ecr-json", `{"name": "s", "objects": [{"name": "E", "kind": "E", "attributes": [{"name": "A", "domain": "int", "key": true}]}]}`, "dictionary"},
+		{"sql", universitySQL, "sql"},
+		{"hier", schoolHierarchy, "hierarchical"},
+		{"jsonschema", personnelJSONSchema, "jsonschema"},
+		{"jsonschema-bare", `{"type": "object", "properties": {"a": {"type": "integer"}}}`, "jsonschema"},
+		{"avro", personnelAvro, "avro"},
+		{"avro-single", `{"type": "record", "name": "R", "fields": [{"name": "a", "type": "int"}]}`, "avro"},
+	}
+	for _, c := range cases {
+		f, ok := Detect([]byte(c.src))
+		if !ok {
+			t.Errorf("%s: no frontend detected", c.name)
+			continue
+		}
+		if f.Name() != c.want {
+			t.Errorf("%s: detected %q, want %q", c.name, f.Name(), c.want)
+		}
+		// An explicit-format parse and a sniffed parse must agree.
+		res, used, err := Parse("", c.name, []byte(c.src))
+		if err != nil {
+			t.Errorf("%s: sniffed parse: %v", c.name, err)
+			continue
+		}
+		if used != c.want || len(res.Schemas) == 0 {
+			t.Errorf("%s: sniffed parse used %q with %d schemas", c.name, used, len(res.Schemas))
+		}
+	}
+	if _, ok := Detect([]byte("garbage input ~~~")); ok {
+		t.Error("Detect accepted garbage")
+	}
+	if _, _, err := Parse("", "x", []byte("garbage input ~~~")); err == nil {
+		t.Error("Parse of undetectable input succeeded")
+	}
+	if _, _, err := Parse("cobol", "x", []byte("whatever")); err == nil {
+		t.Error("Parse with unknown explicit format succeeded")
+	}
+}
+
+func TestJSONSchemaFrontend(t *testing.T) {
+	res, used, err := Parse("jsonschema", "", []byte(personnelJSONSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != "jsonschema" || len(res.Schemas) != 1 {
+		t.Fatalf("used=%q schemas=%d", used, len(res.Schemas))
+	}
+	s := res.Schemas[0]
+	if s.Name != "personnel" {
+		t.Errorf("schema name %q, want personnel (from title)", s.Name)
+	}
+	for _, e := range []string{"Department", "Employee", "Project"} {
+		o := s.Object(e)
+		if o == nil || o.Kind != ecr.KindEntity {
+			t.Fatalf("entity %s missing or wrong kind", e)
+		}
+	}
+	// Required-subset idiom: Manager is a category of Employee.
+	mgr := s.Object("Manager")
+	if mgr == nil || mgr.Kind != ecr.KindCategory || len(mgr.Parents) != 1 || mgr.Parents[0] != "Employee" {
+		t.Fatalf("Manager should be a category of Employee: %+v", mgr)
+	}
+	if len(mgr.Attributes) != 1 || mgr.Attributes[0].Name != "Bonus" || mgr.Attributes[0].Domain != "real" {
+		t.Errorf("Manager attributes wrong: %+v", mgr.Attributes)
+	}
+	// Enum symbols become categories.
+	for _, c := range []string{"Employee_junior", "Employee_senior"} {
+		o := s.Object(c)
+		if o == nil || o.Kind != ecr.KindCategory || o.Parents[0] != "Employee" {
+			t.Errorf("enum category %s missing or wrong: %+v", c, o)
+		}
+	}
+	// x-key and format mappings.
+	emp := s.Object("Employee")
+	var hired, eno ecr.Attribute
+	for _, a := range emp.Attributes {
+		switch a.Name {
+		case "Hired":
+			hired = a
+		case "Eno":
+			eno = a
+		case "dept", "projects":
+			t.Errorf("$ref property %s must not become an attribute", a.Name)
+		}
+	}
+	if hired.Domain != "date" {
+		t.Errorf("Hired domain %q, want date", hired.Domain)
+	}
+	if !eno.Key || eno.Domain != "int" {
+		t.Errorf("Eno should be an int key: %+v", eno)
+	}
+	// Required $ref: (1,1) on the owner; array-of-$ref: (0,n)/(0,n).
+	dep := s.Relationship("Employee_Department")
+	if dep == nil {
+		t.Fatal("relationship Employee_Department missing")
+	}
+	if dep.Participants[0].Object != "Employee" || dep.Participants[0].Card != (ecr.Cardinality{Min: 1, Max: 1}) {
+		t.Errorf("Employee side of Employee_Department: %+v", dep.Participants[0])
+	}
+	if dep.Participants[1].Object != "Department" || dep.Participants[1].Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Errorf("Department side of Employee_Department: %+v", dep.Participants[1])
+	}
+	proj := s.Relationship("Employee_Project")
+	if proj == nil || proj.Participants[0].Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Fatalf("Employee_Project should be (0,n) on the owner: %+v", proj)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("result schema invalid: %v", err)
+	}
+}
+
+func TestJSONSchemaRootObject(t *testing.T) {
+	src := `{"title": "Invoice", "type": "object", "properties": {
+		"number": {"type": "integer", "x-key": true},
+		"total": {"type": "number"}
+	}}`
+	res, _, err := Parse("jsonschema", "", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Schemas[0].Object("Invoice")
+	if o == nil || len(o.Attributes) != 2 {
+		t.Fatalf("root object should become entity Invoice: %+v", o)
+	}
+}
+
+func TestJSONSchemaUndefinedRef(t *testing.T) {
+	src := `{"$defs": {"A": {"type": "object", "properties": {"b": {"$ref": "#/$defs/Missing"}}}}}`
+	if _, _, err := Parse("jsonschema", "", []byte(src)); err == nil {
+		t.Fatal("undefined $ref target should fail")
+	}
+}
+
+func TestAvroFrontend(t *testing.T) {
+	res, used, err := Parse("", "personnel", []byte(personnelAvro))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != "avro" {
+		t.Fatalf("sniffed %q, want avro", used)
+	}
+	s := res.Schemas[0]
+	if s.Name != "personnel" {
+		t.Errorf("schema name %q", s.Name)
+	}
+	for _, e := range []string{"Department", "Employee", "Project"} {
+		o := s.Object(e)
+		if o == nil || o.Kind != ecr.KindEntity {
+			t.Fatalf("entity %s missing", e)
+		}
+	}
+	emp := s.Object("Employee")
+	var hired, eno, grade ecr.Attribute
+	for _, a := range emp.Attributes {
+		switch a.Name {
+		case "Hired":
+			hired = a
+		case "Eno":
+			eno = a
+		case "Grade":
+			grade = a
+		case "dept", "mentor", "projects":
+			t.Errorf("reference field %s must not become an attribute", a.Name)
+		}
+	}
+	if hired.Domain != "date" {
+		t.Errorf("logicalType date should map to date, got %q", hired.Domain)
+	}
+	if !eno.Key || eno.Domain != "int" {
+		t.Errorf("Eno should be an int key: %+v", eno)
+	}
+	if grade.Domain != "char" {
+		t.Errorf("enum field keeps a char attribute, got %q", grade.Domain)
+	}
+	for _, c := range []string{"Employee_junior", "Employee_senior"} {
+		o := s.Object(c)
+		if o == nil || o.Kind != ecr.KindCategory || o.Parents[0] != "Employee" {
+			t.Errorf("enum category %s missing or wrong: %+v", c, o)
+		}
+	}
+	dep := s.Relationship("Employee_Department")
+	if dep == nil || dep.Participants[0].Card != (ecr.Cardinality{Min: 1, Max: 1}) {
+		t.Fatalf("plain record reference should be (1,1): %+v", dep)
+	}
+	mentor := s.Relationship("Employee_Employee")
+	if mentor == nil || mentor.Participants[0].Card != (ecr.Cardinality{Min: 0, Max: 1}) {
+		t.Fatalf("nullable union reference should be (0,1): %+v", mentor)
+	}
+	proj := s.Relationship("Employee_Project")
+	if proj == nil || proj.Participants[0].Card != (ecr.Cardinality{Min: 0, Max: ecr.N}) {
+		t.Fatalf("array reference should be (0,n): %+v", proj)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("result schema invalid: %v", err)
+	}
+}
+
+func TestAvroInlineRecord(t *testing.T) {
+	src := `{"type": "record", "name": "com.example.Order", "fields": [
+		{"name": "id", "type": "long", "key": true},
+		{"name": "customer", "type": {"type": "record", "name": "Customer", "fields": [
+			{"name": "cno", "type": "int", "key": true}
+		]}}
+	]}`
+	res, _, err := Parse("avro", "orders", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schemas[0]
+	if s.Object("Order") == nil || s.Object("Customer") == nil {
+		t.Fatalf("namespaced and inline records should both register: %v", s.String())
+	}
+	if s.Relationship("Order_Customer") == nil {
+		t.Fatal("inline record field should become relationship Order_Customer")
+	}
+}
+
+func TestAvroErrors(t *testing.T) {
+	bad := []string{
+		`{"type": "record", "name": "R", "fields": [{"name": "f", "type": "Nope"}]}`,
+		`{"type": "enum", "name": "E", "symbols": ["a"]}`, // no records
+		`[]`,
+		`{"type": "record", "fields": []}`, // no name
+	}
+	for _, src := range bad {
+		if _, err := (avroFrontend{}).Parse("x", []byte(src)); err == nil {
+			t.Errorf("expected error for %s", src)
+		}
+	}
+}
+
+// TestDictionaryJSONRoundTrip: the dictionary frontend accepts the
+// workspace JSON encoding of a schema and returns an equivalent schema.
+func TestDictionaryJSONRoundTrip(t *testing.T) {
+	schemas, err := ecr.ParseSchemas("schema s\nentity E { attr A: int key }\nentity F { attr B: char }\nrelationship R (E (0,1), F (0,n))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ecr.EncodeJSON(schemas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, used, err := Parse("", "", enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != "dictionary" {
+		t.Fatalf("sniffed %q", used)
+	}
+	if d := ecr.Diff(schemas[0], res.Schemas[0]); len(d) != 0 {
+		t.Fatalf("round-trip diff: %v", d)
+	}
+}

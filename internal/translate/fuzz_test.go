@@ -22,6 +22,49 @@ func FuzzParseSQL(f *testing.F) {
 	})
 }
 
+// FuzzJSONSchema guards the JSON Schema frontend: arbitrary input must
+// either fail cleanly or produce a schema that passes ecr.Validate.
+func FuzzJSONSchema(f *testing.F) {
+	f.Add(personnelJSONSchema)
+	f.Add(`{"type": "object", "properties": {"a": {"type": "integer", "x-key": true}}}`)
+	f.Add(`{"$defs": {"A": {"properties": {"b": {"$ref": "#/$defs/A"}}}}}`)
+	f.Add(`{"$defs": {"A": {"allOf": [{"$ref": "#/$defs/B"}, {"properties": {}}]}, "B": {"properties": {"k": {"type": "string"}}}}}`)
+	f.Add(`{"properties": {"e": {"type": "string", "enum": ["x", "y", ""]}}}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := (jsonSchemaFrontend{}).Parse("f", []byte(src))
+		if err != nil {
+			return
+		}
+		for _, s := range res.Schemas {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted schema fails validation: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzAvro guards the Avro frontend the same way.
+func FuzzAvro(f *testing.F) {
+	f.Add(personnelAvro)
+	f.Add(`{"type": "record", "name": "R", "fields": [{"name": "a", "type": "int", "key": true}]}`)
+	f.Add(`{"type": "record", "name": "R", "fields": [{"name": "s", "type": ["null", "R"]}]}`)
+	f.Add(`[{"type": "record", "name": "A", "fields": [{"name": "b", "type": {"type": "array", "items": "A"}}]}]`)
+	f.Add(`{"type": "record", "name": "R", "fields": [{"name": "e", "type": {"type": "enum", "name": "E", "symbols": ["x"]}}]}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := (avroFrontend{}).Parse("f", []byte(src))
+		if err != nil {
+			return
+		}
+		for _, s := range res.Schemas {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted schema fails validation: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzParseHierarchy guards the segment-tree parser the same way.
 func FuzzParseHierarchy(f *testing.F) {
 	f.Add(schoolHierarchy)

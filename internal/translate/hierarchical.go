@@ -63,9 +63,13 @@ func FromHierarchical(h *Hierarchy) (*HierarchicalResult, error) {
 		}
 		o := &ecr.ObjectClass{Name: seg.Name, Kind: ecr.KindEntity}
 		for _, f := range seg.Fields {
+			domain, known := mapDomain(f.Type)
+			if !known {
+				notef("segment %s: field %s: unknown type %q mapped to domain char", seg.Name, f.Name, f.Type)
+			}
 			o.Attributes = append(o.Attributes, ecr.Attribute{
 				Name:   f.Name,
-				Domain: mapDomain(f.Type),
+				Domain: domain,
 				Key:    f.Key,
 			})
 		}

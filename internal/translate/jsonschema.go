@@ -1,0 +1,343 @@
+package translate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// jsonSchemaFrontend abstracts a JSON Schema document into ECR:
+//
+//   - the root object schema (when it has properties) and every entry of
+//     $defs/definitions becomes an entity set; scalar properties become
+//     attributes (integer -> int, number -> real, boolean -> bool,
+//     string -> char, string with format date/date-time -> date), with the
+//     "x-key": true extension keyword marking key attributes;
+//   - a property holding a $ref to another definition becomes a binary
+//     relationship set <owner>_<target>: the owner participates (1,1) when
+//     the property is required, (0,1) otherwise; the target (0,n). An array
+//     whose items are a $ref yields (0,n) on both sides;
+//   - a definition of the form allOf: [{$ref: Parent}, {properties...}] —
+//     the required-subset idiom — becomes a category of Parent;
+//   - a string property constrained by enum additionally yields one
+//     category per symbol, named <Entity>_<symbol>, over the owning entity.
+type jsonSchemaFrontend struct{}
+
+func (jsonSchemaFrontend) Name() string { return "jsonschema" }
+
+func (jsonSchemaFrontend) Sniff(src []byte) bool {
+	v, ok := jsonRoot(src)
+	if !ok {
+		return false
+	}
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return false
+	}
+	if _, ok := obj["$schema"]; ok {
+		return true
+	}
+	if _, ok := obj["$defs"]; ok {
+		return true
+	}
+	if _, ok := obj["definitions"]; ok {
+		return true
+	}
+	_, hasProps := obj["properties"]
+	return obj["type"] == "object" && hasProps
+}
+
+// jsDocument is the subset of JSON Schema the frontend understands.
+type jsDocument struct {
+	Title       string             `json:"title"`
+	Type        string             `json:"type"`
+	Properties  map[string]*jsNode `json:"properties"`
+	Required    []string           `json:"required"`
+	Defs        map[string]*jsNode `json:"$defs"`
+	Definitions map[string]*jsNode `json:"definitions"`
+}
+
+// jsNode is any nested schema: a definition, a property, or an allOf arm.
+type jsNode struct {
+	Type       string             `json:"type"`
+	Format     string             `json:"format"`
+	Ref        string             `json:"$ref"`
+	Enum       []string           `json:"enum"`
+	Items      *jsNode            `json:"items"`
+	Properties map[string]*jsNode `json:"properties"`
+	Required   []string           `json:"required"`
+	AllOf      []*jsNode          `json:"allOf"`
+	XKey       bool               `json:"x-key"`
+}
+
+func (n *jsNode) isRequired(name string) bool {
+	for _, r := range n.Required {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (jsonSchemaFrontend) Parse(name string, src []byte) (*Result, error) {
+	var doc jsDocument
+	dec := json.NewDecoder(bytes.NewReader(src))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("translate: jsonschema: %w", err)
+	}
+	// The document's own title wins; the argument is only a fallback.
+	schemaName := doc.Title
+	if schemaName == "" {
+		schemaName = name
+	}
+	if schemaName == "" {
+		schemaName = "jsonschema"
+	}
+	out := ecr.NewSchema(schemaName)
+	res := &Result{Schemas: []*ecr.Schema{out}}
+	notef := func(format string, args ...any) {
+		res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+	}
+
+	// Collect the named object schemas: $defs/definitions entries, plus the
+	// root itself when it defines properties (named after the document).
+	defs := map[string]*jsNode{}
+	var order []string
+	add := func(defName string, node *jsNode) {
+		if _, ok := defs[defName]; !ok {
+			defs[defName] = node
+			order = append(order, defName)
+		}
+	}
+	if len(doc.Properties) > 0 {
+		add(rootDefName(doc.Title, schemaName), &jsNode{
+			Type:       doc.Type,
+			Properties: doc.Properties,
+			Required:   doc.Required,
+		})
+	}
+	for _, table := range []map[string]*jsNode{doc.Defs, doc.Definitions} {
+		names := make([]string, 0, len(table))
+		for defName := range table {
+			names = append(names, defName)
+		}
+		sort.Strings(names)
+		for _, defName := range names {
+			add(defName, table[defName])
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("translate: jsonschema: no object schemas (need properties, $defs or definitions)")
+	}
+
+	type pendingRef struct {
+		owner, prop, target string
+		card                ecr.Cardinality
+	}
+	type pendingCat struct {
+		name, parent string
+	}
+	var refs []pendingRef
+	var cats []pendingCat
+
+	// Pass 1: entity sets and categories; relationship endpoints are
+	// collected and emitted after every class exists.
+	for _, defName := range order {
+		node := defs[defName]
+		parent, body, isCat := categoryParts(node)
+		kind, label := ecr.KindEntity, "entity set"
+		if isCat {
+			kind, label = ecr.KindCategory, fmt.Sprintf("category of %s", parent)
+		} else {
+			body = node
+		}
+		o := &ecr.ObjectClass{Name: defName, Kind: kind}
+		if isCat {
+			o.Parents = []string{parent}
+		}
+		props := make([]string, 0, len(body.Properties))
+		for propName := range body.Properties {
+			props = append(props, propName)
+		}
+		sort.Strings(props)
+		for _, propName := range props {
+			p := body.Properties[propName]
+			switch {
+			case p.Ref != "":
+				target, err := refTarget(p.Ref)
+				if err != nil {
+					return nil, err
+				}
+				minCard := 0
+				if body.isRequired(propName) {
+					minCard = 1
+				}
+				refs = append(refs, pendingRef{
+					owner: defName, prop: propName, target: target,
+					card: ecr.Cardinality{Min: minCard, Max: 1},
+				})
+			case p.Type == "array" && p.Items != nil && p.Items.Ref != "":
+				target, err := refTarget(p.Items.Ref)
+				if err != nil {
+					return nil, err
+				}
+				refs = append(refs, pendingRef{
+					owner: defName, prop: propName, target: target,
+					card: ecr.Cardinality{Min: 0, Max: ecr.N},
+				})
+			default:
+				domain, warn := jsDomain(p)
+				if warn != "" {
+					notef("definition %s: property %s: %s", defName, propName, warn)
+				}
+				o.Attributes = append(o.Attributes, ecr.Attribute{
+					Name:   propName,
+					Domain: domain,
+					Key:    p.XKey,
+				})
+				for _, sym := range p.Enum {
+					cats = append(cats, pendingCat{
+						name:   defName + "_" + sanitizeName(sym),
+						parent: defName,
+					})
+				}
+			}
+		}
+		if err := out.AddObject(o); err != nil {
+			return nil, err
+		}
+		notef("definition %s -> %s", defName, label)
+	}
+
+	// Enum-symbol categories (after every entity exists; dedup by name).
+	for _, c := range cats {
+		if out.Object(c.name) != nil {
+			continue
+		}
+		o := &ecr.ObjectClass{Name: c.name, Kind: ecr.KindCategory, Parents: []string{c.parent}}
+		if err := out.AddObject(o); err != nil {
+			return nil, err
+		}
+		notef("enum symbol -> category %s of %s", c.name, c.parent)
+	}
+
+	// Pass 2: relationship sets from $ref properties.
+	for _, r := range refs {
+		if out.Object(r.target) == nil {
+			return nil, fmt.Errorf("translate: jsonschema: %s.%s references undefined schema %q", r.owner, r.prop, r.target)
+		}
+		rs := &ecr.RelationshipSet{
+			Name: r.owner + "_" + r.target,
+			Participants: []ecr.Participation{
+				{Object: r.owner, Card: r.card},
+				{Object: r.target, Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			},
+		}
+		if r.owner == r.target {
+			// A self-reference needs roles to tell the sides apart.
+			rs.Participants[0].Role = sanitizeName(r.prop)
+			rs.Participants[1].Role = "of"
+		}
+		if out.Relationship(rs.Name) != nil {
+			rs.Name = rs.Name + "_" + sanitizeName(r.prop)
+		}
+		if err := out.AddRelationship(rs); err != nil {
+			return nil, err
+		}
+		notef("$ref property %s.%s -> relationship set %s", r.owner, r.prop, rs.Name)
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: jsonschema: result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// categoryParts recognises the required-subset idiom
+// allOf: [{$ref: Parent}, {object body}] and returns its pieces.
+func categoryParts(node *jsNode) (parent string, body *jsNode, ok bool) {
+	if len(node.AllOf) != 2 {
+		return "", nil, false
+	}
+	refArm, bodyArm := node.AllOf[0], node.AllOf[1]
+	if refArm.Ref == "" && bodyArm.Ref != "" {
+		refArm, bodyArm = bodyArm, refArm
+	}
+	if refArm.Ref == "" || bodyArm.Ref != "" {
+		return "", nil, false
+	}
+	target, err := refTarget(refArm.Ref)
+	if err != nil {
+		return "", nil, false
+	}
+	return target, bodyArm, true
+}
+
+// refTarget resolves a local JSON pointer ("#/$defs/Name",
+// "#/definitions/Name" or plain "#/Name") to the definition name.
+func refTarget(ref string) (string, error) {
+	if !strings.HasPrefix(ref, "#/") {
+		return "", fmt.Errorf("translate: jsonschema: only local $ref supported, got %q", ref)
+	}
+	parts := strings.Split(strings.TrimPrefix(ref, "#/"), "/")
+	name := parts[len(parts)-1]
+	if name == "" {
+		return "", fmt.Errorf("translate: jsonschema: bad $ref %q", ref)
+	}
+	return name, nil
+}
+
+// jsDomain maps a scalar property schema to an ECR domain, with a warning
+// for types the mapping does not recognise.
+func jsDomain(p *jsNode) (domain, warn string) {
+	switch p.Type {
+	case "integer":
+		return "int", ""
+	case "number":
+		return "real", ""
+	case "boolean":
+		return "bool", ""
+	case "string":
+		switch p.Format {
+		case "date", "date-time", "time":
+			return "date", ""
+		}
+		return "char", ""
+	case "", "null", "object", "array":
+		return "char", fmt.Sprintf("unmappable type %q defaulted to domain char", p.Type)
+	default:
+		return "char", fmt.Sprintf("unknown type %q defaulted to domain char", p.Type)
+	}
+}
+
+// rootDefName names the entity built from the root object schema.
+func rootDefName(title, schemaName string) string {
+	if title != "" {
+		return sanitizeName(title)
+	}
+	return sanitizeName(schemaName)
+}
+
+// sanitizeName folds a free-form label (enum symbol, document title) into an
+// identifier: runs of non-alphanumerics collapse to '_'.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	lastUnder := false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnder = false
+		default:
+			if !lastUnder && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			lastUnder = true
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}

@@ -135,9 +135,13 @@ func FromRelational(db *Database) (*RelationalResult, error) {
 				if fkCols[c.Name] && !t.isKeyColumn(c.Name) {
 					continue // represented by an implied relationship
 				}
+				domain, known := mapDomain(c.Type)
+				if !known {
+					notef("table %s: column %s: unknown SQL type %q mapped to domain char", t.Name, c.Name, c.Type)
+				}
 				o.Attributes = append(o.Attributes, ecr.Attribute{
 					Name:   c.Name,
-					Domain: mapDomain(c.Type),
+					Domain: domain,
 					Key:    t.isKeyColumn(c.Name),
 				})
 			}
@@ -152,9 +156,13 @@ func FromRelational(db *Database) (*RelationalResult, error) {
 				if t.isKeyColumn(c.Name) {
 					continue // inherited identity
 				}
+				domain, known := mapDomain(c.Type)
+				if !known {
+					notef("table %s: column %s: unknown SQL type %q mapped to domain char", t.Name, c.Name, c.Type)
+				}
 				o.Attributes = append(o.Attributes, ecr.Attribute{
 					Name:   c.Name,
-					Domain: mapDomain(c.Type),
+					Domain: domain,
 				})
 			}
 			if err := out.AddObject(o); err != nil {
@@ -180,9 +188,13 @@ func FromRelational(db *Database) (*RelationalResult, error) {
 				if fkCols[c.Name] {
 					continue
 				}
+				domain, known := mapDomain(c.Type)
+				if !known {
+					notef("table %s: column %s: unknown SQL type %q mapped to domain char", t.Name, c.Name, c.Type)
+				}
 				rs.Attributes = append(rs.Attributes, ecr.Attribute{
 					Name:   c.Name,
-					Domain: mapDomain(c.Type),
+					Domain: domain,
 				})
 			}
 			if err := out.AddRelationship(rs); err != nil {
@@ -354,23 +366,27 @@ func joinParticipants(rs *ecr.RelationshipSet) string {
 }
 
 // mapDomain converts a SQL-ish column type to an ECR attribute domain.
-func mapDomain(sqlType string) string {
+// Parameterized forms (NUMERIC(10,2), VARCHAR(40)) map by their base type.
+// known is false when the type is unrecognised and the char default was
+// applied — callers turn that into a warning note rather than silently
+// losing the declared type.
+func mapDomain(sqlType string) (domain string, known bool) {
 	t := strings.ToLower(sqlType)
 	if i := strings.IndexByte(t, '('); i >= 0 {
 		t = t[:i]
 	}
 	switch t {
 	case "int", "integer", "smallint", "bigint", "serial":
-		return "int"
+		return "int", true
 	case "float", "real", "double", "decimal", "numeric":
-		return "real"
+		return "real", true
 	case "date", "time", "timestamp", "datetime":
-		return "date"
+		return "date", true
 	case "char", "varchar", "text", "string", "clob":
-		return "char"
+		return "char", true
 	case "bool", "boolean", "bit":
-		return "bool"
+		return "bool", true
 	default:
-		return "char"
+		return "char", false
 	}
 }

@@ -226,18 +226,77 @@ CREATE TABLE B (Id INT PRIMARY KEY, Aref INT, FOREIGN KEY (Aref) REFERENCES A (I
 }
 
 func TestMapDomain(t *testing.T) {
-	cases := map[string]string{
-		"INT":         "int",
-		"VARCHAR(40)": "char",
-		"REAL":        "real",
-		"DATE":        "date",
-		"BOOLEAN":     "bool",
-		"WEIRD":       "char",
+	cases := []struct {
+		in    string
+		want  string
+		known bool
+	}{
+		{"INT", "int", true},
+		{"VARCHAR(40)", "char", true},
+		{"NUMERIC(10,2)", "real", true},
+		{"DECIMAL(8,3)", "real", true},
+		{"REAL", "real", true},
+		{"DATE", "date", true},
+		{"BOOLEAN", "bool", true},
+		{"WEIRD", "char", false},
+		{"VARCHAR2", "char", false},
+		{"VARCHAR2(30)", "char", false},
+		{"NVARCHAR(20)", "char", false},
+		{"", "char", false},
 	}
-	for in, want := range cases {
-		if got := mapDomain(in); got != want {
-			t.Errorf("mapDomain(%q) = %q, want %q", in, got, want)
+	for _, c := range cases {
+		got, known := mapDomain(c.in)
+		if got != c.want || known != c.known {
+			t.Errorf("mapDomain(%q) = %q, %v, want %q, %v", c.in, got, known, c.want, c.known)
 		}
+	}
+}
+
+// TestUnknownTypeWarning: an unrecognised column type must surface as a
+// note on the translation result, not vanish into the char default.
+func TestUnknownTypeWarning(t *testing.T) {
+	db, err := ParseSQL("legacy", `
+CREATE TABLE Part (
+    Pno VARCHAR2(10) NOT NULL,
+    Weight NUMERIC(10,2),
+    Blob_data LONGRAW,
+    PRIMARY KEY (Pno)
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromRelational(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := func(name string) ecr.Attribute {
+		for _, a := range res.Schema.Object("Part").Attributes {
+			if a.Name == name {
+				return a
+			}
+		}
+		t.Fatalf("attribute %s missing", name)
+		return ecr.Attribute{}
+	}
+	if a := attr("Weight"); a.Domain != "real" {
+		t.Errorf("NUMERIC(10,2) should map to real, got %q", a.Domain)
+	}
+	if a := attr("Pno"); a.Domain != "char" {
+		t.Errorf("VARCHAR2 should default to char, got %q", a.Domain)
+	}
+	warned := map[string]bool{}
+	for _, n := range res.Notes {
+		for _, col := range []string{"Pno", "Blob_data", "Weight"} {
+			if strings.Contains(n, "unknown SQL type") && strings.Contains(n, col) {
+				warned[col] = true
+			}
+		}
+	}
+	if !warned["Pno"] || !warned["Blob_data"] {
+		t.Errorf("expected unknown-type warnings for Pno and Blob_data, notes: %v", res.Notes)
+	}
+	if warned["Weight"] {
+		t.Errorf("NUMERIC(10,2) is a known type; no warning expected, notes: %v", res.Notes)
 	}
 }
 

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ecr"
+)
+
+// FormsConfig parameterizes a multi-format schema rendering: one conceptual
+// schema emitted as equivalent sources in every frontend language the tool
+// ingests. The generated shape restricts itself to the intersection the
+// four languages can express identically — flat entity sets with typed
+// attributes (first attribute the key) and binary owner->target references
+// with (0,1)/(1,1) owner cardinality — so that parsing any rendering must
+// produce the same ECR schema.
+type FormsConfig struct {
+	// Seed makes the rendering reproducible.
+	Seed int64
+	// Objects is the number of entity sets.
+	Objects int
+	// AttrsPerObject is the number of attributes per entity set.
+	AttrsPerObject int
+	// Refs is the number of owner->target references attempted; duplicate
+	// owner/target pairs are skipped, so the final count may be lower.
+	Refs int
+}
+
+// DefaultFormsConfig returns a small multi-format workload.
+func DefaultFormsConfig(seed int64) FormsConfig {
+	return FormsConfig{Seed: seed, Objects: 8, AttrsPerObject: 4, Refs: 6}
+}
+
+// Forms is one conceptual schema rendered in the four frontend languages,
+// with the ECR schema every rendering must abstract to.
+type Forms struct {
+	Name       string
+	Expected   *ecr.Schema
+	Dictionary string
+	SQL        string
+	JSONSchema string
+	Avro       string
+}
+
+// formsDomains are the ECR domains expressible in all four languages.
+var formsDomains = []string{"int", "real", "char", "date", "bool"}
+
+type formsRef struct {
+	owner, target string
+	min           int // 0 (optional reference) or 1 (mandatory)
+}
+
+// GenerateForms builds the conceptual schema and renders it four ways.
+func GenerateForms(cfg FormsConfig) (*Forms, error) {
+	if cfg.Objects <= 0 || cfg.AttrsPerObject <= 0 {
+		return nil, fmt.Errorf("workload: Objects and AttrsPerObject must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	name := fmt.Sprintf("forms%d", cfg.Seed)
+
+	// The conceptual schema: entities with attribute specs.
+	type entity struct {
+		name  string
+		attrs []attrSpec
+	}
+	entities := make([]entity, cfg.Objects)
+	for i := range entities {
+		word := attrWords[rng.Intn(len(attrWords))]
+		entities[i] = entity{
+			name: fmt.Sprintf("%s%s%02d", strings.ToUpper(word[:1]), word[1:], i),
+		}
+		for j := 0; j < cfg.AttrsPerObject; j++ {
+			entities[i].attrs = append(entities[i].attrs, attrSpec{
+				name:   fmt.Sprintf("%s_%02d", attrWords[rng.Intn(len(attrWords))], j),
+				domain: formsDomains[rng.Intn(len(formsDomains))],
+				key:    j == 0,
+			})
+		}
+	}
+
+	// References: owner -> target, deduplicated per pair; never self-
+	// referencing (the languages express self-references with different
+	// role conventions).
+	var refs []formsRef
+	if cfg.Objects > 1 {
+		seen := map[string]bool{}
+		for i := 0; i < cfg.Refs; i++ {
+			owner := entities[i%cfg.Objects].name
+			target := entities[(i%cfg.Objects+1+rng.Intn(cfg.Objects-1))%cfg.Objects].name
+			if owner == target || seen[owner+"\x00"+target] {
+				continue
+			}
+			seen[owner+"\x00"+target] = true
+			refs = append(refs, formsRef{owner: owner, target: target, min: rng.Intn(2)})
+		}
+	}
+
+	// Expected ECR.
+	expected := ecr.NewSchema(name)
+	for _, e := range entities {
+		o := &ecr.ObjectClass{Name: e.name, Kind: ecr.KindEntity}
+		for _, a := range e.attrs {
+			o.Attributes = append(o.Attributes, ecr.Attribute{Name: a.name, Domain: a.domain, Key: a.key})
+		}
+		if err := expected.AddObject(o); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range refs {
+		rs := &ecr.RelationshipSet{
+			Name: r.owner + "_" + r.target,
+			Participants: []ecr.Participation{
+				{Object: r.owner, Card: ecr.Cardinality{Min: r.min, Max: 1}},
+				{Object: r.target, Card: ecr.Cardinality{Min: 0, Max: ecr.N}},
+			},
+		}
+		if err := expected.AddRelationship(rs); err != nil {
+			return nil, err
+		}
+	}
+	if err := expected.Validate(); err != nil {
+		return nil, err
+	}
+
+	refsOf := func(owner string) []formsRef {
+		var out []formsRef
+		for _, r := range refs {
+			if r.owner == owner {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	keyAttr := func(name string) string {
+		for _, e := range entities {
+			if e.name == name {
+				return e.attrs[0].name
+			}
+		}
+		return ""
+	}
+
+	f := &Forms{Name: name, Expected: expected}
+
+	// Dictionary DDL.
+	var ddl strings.Builder
+	fmt.Fprintf(&ddl, "schema %s\n\n", name)
+	for _, e := range entities {
+		fmt.Fprintf(&ddl, "entity %s {\n", e.name)
+		for _, a := range e.attrs {
+			fmt.Fprintf(&ddl, "    attr %s: %s", a.name, a.domain)
+			if a.key {
+				ddl.WriteString(" key")
+			}
+			ddl.WriteByte('\n')
+		}
+		ddl.WriteString("}\n\n")
+	}
+	for _, r := range refs {
+		fmt.Fprintf(&ddl, "relationship %s_%s (%s (%d,1), %s (0,n))\n",
+			r.owner, r.target, r.owner, r.min, r.target)
+	}
+	f.Dictionary = ddl.String()
+
+	// SQL DDL: reference columns become foreign keys outside the primary
+	// key, which FromRelational abstracts back into <owner>_<target>
+	// relationship sets; the columns themselves carry no attribute.
+	var sql strings.Builder
+	sqlType := map[string]string{
+		"int": "INT", "real": "REAL", "char": "VARCHAR(40)",
+		"date": "DATE", "bool": "BOOLEAN",
+	}
+	for _, e := range entities {
+		fmt.Fprintf(&sql, "CREATE TABLE %s (\n", e.name)
+		for _, a := range e.attrs {
+			fmt.Fprintf(&sql, "    %s %s", a.name, sqlType[a.domain])
+			if a.key {
+				sql.WriteString(" NOT NULL")
+			}
+			sql.WriteString(",\n")
+		}
+		var fks []string
+		for _, r := range refsOf(e.name) {
+			col := "fk_" + strings.ToLower(r.target)
+			notNull := ""
+			if r.min == 1 {
+				notNull = " NOT NULL"
+			}
+			fmt.Fprintf(&sql, "    %s INT%s,\n", col, notNull)
+			fks = append(fks, fmt.Sprintf("    FOREIGN KEY (%s) REFERENCES %s (%s)",
+				col, r.target, keyAttr(r.target)))
+		}
+		fmt.Fprintf(&sql, "    PRIMARY KEY (%s)", e.attrs[0].name)
+		if len(fks) > 0 {
+			sql.WriteString(",\n" + strings.Join(fks, ",\n"))
+		}
+		sql.WriteString("\n);\n\n")
+	}
+	f.SQL = sql.String()
+
+	// JSON Schema: one $defs entry per entity; references are $ref
+	// properties, required when mandatory.
+	var js strings.Builder
+	jsType := map[string]string{
+		"int": `"type": "integer"`, "real": `"type": "number"`,
+		"char": `"type": "string"`, "bool": `"type": "boolean"`,
+		"date": `"type": "string", "format": "date"`,
+	}
+	fmt.Fprintf(&js, "{\n  \"title\": %q,\n  \"$defs\": {\n", name)
+	for ei, e := range entities {
+		fmt.Fprintf(&js, "    %q: {\n      \"type\": \"object\",\n      \"properties\": {\n", e.name)
+		var props, required []string
+		for _, a := range e.attrs {
+			p := fmt.Sprintf("        %q: {%s", a.name, jsType[a.domain])
+			if a.key {
+				p += `, "x-key": true`
+			}
+			props = append(props, p+"}")
+		}
+		for _, r := range refsOf(e.name) {
+			prop := "ref_" + strings.ToLower(r.target)
+			props = append(props, fmt.Sprintf("        %q: {\"$ref\": \"#/$defs/%s\"}", prop, r.target))
+			if r.min == 1 {
+				required = append(required, fmt.Sprintf("%q", prop))
+			}
+		}
+		js.WriteString(strings.Join(props, ",\n"))
+		js.WriteString("\n      }")
+		if len(required) > 0 {
+			fmt.Fprintf(&js, ",\n      \"required\": [%s]", strings.Join(required, ", "))
+		}
+		js.WriteString("\n    }")
+		if ei < len(entities)-1 {
+			js.WriteString(",")
+		}
+		js.WriteString("\n")
+	}
+	js.WriteString("  }\n}\n")
+	f.JSONSchema = js.String()
+
+	// Avro: an array of records; references are record-named field types,
+	// wrapped in ["null", T] when optional.
+	var av strings.Builder
+	avType := map[string]string{
+		"int": `"int"`, "real": `"double"`, "char": `"string"`,
+		"bool": `"boolean"`, "date": `{"type": "int", "logicalType": "date"}`,
+	}
+	av.WriteString("[\n")
+	for ei, e := range entities {
+		fmt.Fprintf(&av, "  {\"type\": \"record\", \"name\": %q, \"fields\": [\n", e.name)
+		var fields []string
+		for _, a := range e.attrs {
+			fld := fmt.Sprintf("    {\"name\": %q, \"type\": %s", a.name, avType[a.domain])
+			if a.key {
+				fld += `, "key": true`
+			}
+			fields = append(fields, fld+"}")
+		}
+		for _, r := range refsOf(e.name) {
+			typ := fmt.Sprintf("%q", r.target)
+			if r.min == 0 {
+				typ = fmt.Sprintf("[\"null\", %q]", r.target)
+			}
+			fields = append(fields, fmt.Sprintf("    {\"name\": \"ref_%s\", \"type\": %s}",
+				strings.ToLower(r.target), typ))
+		}
+		av.WriteString(strings.Join(fields, ",\n"))
+		av.WriteString("\n  ]}")
+		if ei < len(entities)-1 {
+			av.WriteString(",")
+		}
+		av.WriteString("\n")
+	}
+	av.WriteString("]\n")
+	f.Avro = av.String()
+
+	return f, nil
+}
