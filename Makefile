@@ -27,11 +27,15 @@ vet:
 	$(MAKE) sit-vet
 
 # sit-vet runs the project-specific analyzers (lock discipline, error
-# classification, journal ordering, metric cardinality, I/O under locks)
-# over the whole tree through the go vet driver.
+# classification, journal ordering, metric cardinality, I/O under locks,
+# lock-order deadlock detection, durability completeness, hot-path
+# allocations, directive hygiene) twice: once through the go vet driver
+# (rides go's build cache) and once in standalone module mode, which also
+# analyzes _test.go files — go vet never hands test variants to a vettool.
 sit-vet:
 	go build -o $(BINDIR)/sit-vet ./cmd/sit-vet
 	go vet -vettool=$(BINDIR)/sit-vet ./...
+	$(BINDIR)/sit-vet -mod -cache $(BINDIR)/sit-vet.factcache ./...
 
 test:
 	go test ./...

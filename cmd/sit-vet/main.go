@@ -1,26 +1,40 @@
 // Command sit-vet is the repo's static-analysis vettool: it runs the
 // internal/analysis suite — lockguard, errtype, journalorder, metriclabel,
-// lockio, admission — under `go vet -vettool`, which drives it across every
-// package and caches its results alongside the compiler's.
-//
-// Usage:
+// lockio, admission, directive, hotalloc, lockorder, statecapture — in two
+// modes:
 //
 //	go build -o bin/sit-vet ./cmd/sit-vet
-//	go vet -vettool=bin/sit-vet ./...
+//	go vet -vettool=bin/sit-vet ./...   # unit mode: go vet drives it
+//	bin/sit-vet -mod ./...              # module mode: test files included
 //
-// or simply `make vet`. Each diagnostic is an invariant violation, not a
-// style nit; there is no suppression syntax. Fix the code or, if the code
-// is right and the contract is wrong, fix the annotation it checks.
+// or simply `make vet`, which runs both. Unit mode rides go vet's build
+// cache but never sees _test.go files (go vet does not hand test variants
+// to a vettool); module mode loads the whole package graph itself —
+// including test variants — propagates cross-package facts in process,
+// and keeps its own result cache (-cache).
+//
+// Each diagnostic is an invariant violation, not a style nit; there is no
+// suppression syntax. Fix the code or, if the code is right and the
+// contract is wrong, fix the annotation it checks.
 package main
 
 import (
+	"flag"
+	"fmt"
+	"os"
+
 	"repro/internal/analysis"
 	"repro/internal/analysis/admission"
+	"repro/internal/analysis/directive"
 	"repro/internal/analysis/errtype"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/journalorder"
 	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/lockio"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/metriclabel"
+	"repro/internal/analysis/modrun"
+	"repro/internal/analysis/statecapture"
 	"repro/internal/analysis/unit"
 )
 
@@ -85,13 +99,61 @@ var admissionCfg = admission.Config{
 	},
 }
 
-func main() {
-	unit.Main([]*analysis.Analyzer{
+// statecaptureCfg anchors durability-completeness checking in the server
+// package, where the op* journal constants live: every op must have a
+// journal write site, a //sit:replay case, //sit:captures coverage on the
+// snapshot path and //sit:bootstrap coverage on the follower seed path.
+var statecaptureCfg = statecapture.Config{
+	Package:  "repro/internal/server",
+	OpPrefix: "op",
+}
+
+// analyzers is the full suite, in both drivers.
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
 		lockguard.Analyzer,
 		errtype.Analyzer,
 		journalorder.New(journalCfg),
 		metriclabel.Analyzer,
 		lockio.Analyzer,
 		admission.New(admissionCfg),
-	}...)
+		directive.New(),
+		hotalloc.New(),
+		lockorder.New(),
+		statecapture.New(statecaptureCfg),
+	}
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-mod" {
+		os.Exit(runModule(os.Args[2:]))
+	}
+	unit.Main(analyzers()...)
+}
+
+// runModule is the standalone whole-module mode: analyze every package
+// matched by the patterns, test variants included.
+func runModule(args []string) int {
+	fs := flag.NewFlagSet("sit-vet -mod", flag.ExitOnError)
+	cache := fs.String("cache", "", "cross-run result cache file (stale caches are discarded, never reused)")
+	noTests := fs.Bool("notests", false, "skip test variants")
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := modrun.Run(os.Stderr, analyzers(), modrun.Options{
+		Patterns:  patterns,
+		CachePath: *cache,
+		ToolID:    unit.ToolID(),
+		NoTests:   *noTests,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sit-vet:", err)
+		return 1
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
 }

@@ -45,7 +45,16 @@ type Analyzer struct {
 	// pass.Report. The returned error aborts the whole run (reserve it for
 	// internal failures, not findings).
 	Run func(pass *Pass) error
+	// FactTypes lists prototype values of every fact type the analyzer
+	// exports or imports (pointer-to-struct implementing Fact). A non-empty
+	// list tells the drivers the analyzer participates in cross-package
+	// facts, so it must also run over dependency-only units to keep the
+	// fact stream complete.
+	FactTypes []Fact
 }
+
+// UsesFacts reports whether the analyzer exchanges cross-package facts.
+func (a *Analyzer) UsesFacts() bool { return len(a.FactTypes) > 0 }
 
 // Pass carries one type-checked package through an analyzer.
 type Pass struct {
@@ -57,6 +66,11 @@ type Pass struct {
 
 	// report receives each diagnostic; installed by the driver.
 	report func(Diagnostic)
+	// imported holds facts from the package's dependencies; exported
+	// collects facts this package's analyzers produce. Both installed by
+	// the driver (nil outside fact-carrying runs).
+	imported *FactSet
+	exported *FactSet
 }
 
 // Diagnostic is one finding.
@@ -86,17 +100,31 @@ func (a *Analyzer) run(pass *Pass, report func(Diagnostic)) error {
 }
 
 // RunAll applies every analyzer to the package described by fset/files/pkg/
-// info and returns the diagnostics sorted by position.
+// info and returns the diagnostics sorted by position. No facts flow in or
+// out; single-package drivers and tests of fact-free analyzers use this.
 func RunAll(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, _, err := RunWithFacts(analyzers, fset, files, pkg, info, nil)
+	return diags, err
+}
+
+// RunWithFacts applies every analyzer to the package, seeding each pass
+// with the dependency facts in imported and returning the diagnostics
+// (sorted by position) together with the package's exported fact set —
+// everything the analyzers exported plus the imported set, so drivers
+// propagate facts transitively by handing each package's output to its
+// dependents.
+func RunWithFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported *FactSet) ([]Diagnostic, *FactSet, error) {
+	exported := NewFactSet()
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, imported: imported, exported: exported}
 		if err := a.run(pass, func(d Diagnostic) { diags = append(diags, d) }); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	exported.Merge(imported)
+	return diags, exported, nil
 }
 
 func sortDiagnostics(diags []Diagnostic) {

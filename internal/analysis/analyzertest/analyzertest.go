@@ -9,10 +9,21 @@
 // source. A fixture line expecting a diagnostic carries a trailing
 //
 //	// want "regexp"
+//	// want "first" "second"
+//	// want 12:"regexp"
 //
-// comment (several quoted regexps may follow one want). The test fails on
-// any unmatched expectation and on any unexpected diagnostic, so every
-// fixture proves both true positives and non-findings.
+// comment: several quoted regexps may follow one want, each naming one
+// expected diagnostic on that line, and a regexp may be prefixed with a
+// column number and colon to pin the diagnostic's column as well. The
+// test fails on any unmatched expectation and on any unexpected
+// diagnostic, so every fixture proves both true positives and
+// non-findings.
+//
+// For analyzers that exchange cross-package facts, Run analyzes the
+// fixture package's fixture-local imports first, in dependency order,
+// threading each package's exported fact set to its dependents — the
+// same propagation the real drivers perform — and checks want comments
+// in those dependency packages too.
 package analyzertest
 
 import (
@@ -28,10 +39,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"testing"
 
 	"repro/internal/analysis"
 )
+
+// TB is the subset of *testing.T the runner needs; tests of the runner
+// itself substitute a recorder.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
 
 // loader type-checks fixture packages, resolving fixture-local imports
 // under srcRoot and everything else through the source importer.
@@ -114,10 +132,44 @@ func (l *loader) load(path string) (*loaded, error) {
 	return lp, lp.err
 }
 
-// expectation is one // want entry.
+// topo returns every loaded fixture package, dependencies first.
+func (l *loader) topo() []string {
+	visited := map[string]bool{}
+	var order []string
+	var visit func(path string)
+	visit = func(path string) {
+		if visited[path] {
+			return
+		}
+		visited[path] = true
+		lp := l.pkgs[path]
+		if lp == nil || lp.pkg == nil {
+			return
+		}
+		for _, imp := range lp.pkg.Imports() {
+			if _, ok := l.pkgs[imp.Path()]; ok {
+				visit(imp.Path())
+			}
+		}
+		order = append(order, path)
+	}
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// expectation is one // want entry: a message regexp, optionally pinned
+// to a column.
 type expectation struct {
 	file    string
 	line    int
+	col     int // 0 means any column
 	re      *regexp.Regexp
 	raw     string
 	matched bool
@@ -125,7 +177,7 @@ type expectation struct {
 
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
-func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+func parseWants(t TB, fset *token.FileSet, files []*ast.File) []*expectation {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range files {
@@ -138,7 +190,17 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expecta
 				pos := fset.Position(c.Pos())
 				rest := strings.TrimSpace(m[1])
 				for rest != "" {
-					if rest[0] != '"' {
+					col := 0
+					// Optional "N:" column prefix before the quoted regexp.
+					if i := strings.IndexAny(rest, `:"`); i >= 0 && rest[i] == ':' {
+						n, err := strconv.Atoi(rest[:i])
+						if err != nil || n <= 0 {
+							t.Fatalf("%s: malformed want column prefix in %q", pos, c.Text)
+						}
+						col = n
+						rest = rest[i+1:]
+					}
+					if rest == "" || rest[0] != '"' {
 						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
 					}
 					lit, err := strconv.QuotedPrefix(rest)
@@ -151,7 +213,7 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expecta
 						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
 					}
 					wants = append(wants, &expectation{
-						file: pos.Filename, line: pos.Line, re: re, raw: pattern,
+						file: pos.Filename, line: pos.Line, col: col, re: re, raw: pattern,
 					})
 					rest = strings.TrimSpace(rest[len(lit):])
 				}
@@ -161,26 +223,44 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expecta
 	return wants
 }
 
-// Run loads the fixture package at srcRoot/<pkgPath> and checks the
-// analyzer's diagnostics against the fixture's want comments.
-func Run(t *testing.T, srcRoot, pkgPath string, a *analysis.Analyzer) {
+// Run loads the fixture package at srcRoot/<pkgPath> — analyzing its
+// fixture-local imports first with facts flowing between packages — and
+// checks the analyzer's diagnostics against every loaded fixture file's
+// want comments.
+func Run(t TB, srcRoot, pkgPath string, a *analysis.Analyzer) {
 	t.Helper()
 	l := newLoader(srcRoot)
-	lp, err := l.load(pkgPath)
-	if err != nil {
+	if _, err := l.load(pkgPath); err != nil {
 		t.Fatalf("load fixture %s: %v", pkgPath, err)
 	}
-	diags, err := analysis.RunAll([]*analysis.Analyzer{a}, l.fset, lp.files, lp.pkg, lp.info)
-	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+
+	facts := map[string]*analysis.FactSet{}
+	var diags []analysis.Diagnostic
+	var allFiles []*ast.File
+	for _, path := range l.topo() {
+		lp := l.pkgs[path]
+		imported := analysis.NewFactSet()
+		for _, imp := range lp.pkg.Imports() {
+			if fs, ok := facts[imp.Path()]; ok {
+				imported.Merge(fs)
+			}
+		}
+		ds, exported, err := analysis.RunWithFacts([]*analysis.Analyzer{a}, l.fset, lp.files, lp.pkg, lp.info, imported)
+		if err != nil {
+			t.Fatalf("run %s over %s: %v", a.Name, path, err)
+		}
+		facts[path] = exported
+		diags = append(diags, ds...)
+		allFiles = append(allFiles, lp.files...)
 	}
-	wants := parseWants(t, l.fset, lp.files)
+	wants := parseWants(t, l.fset, allFiles)
 
 	for _, d := range diags {
 		pos := l.fset.Position(d.Pos)
 		found := false
 		for _, w := range wants {
-			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line &&
+				(w.col == 0 || w.col == pos.Column) && w.re.MatchString(d.Message) {
 				w.matched = true
 				found = true
 				break
@@ -192,7 +272,11 @@ func Run(t *testing.T, srcRoot, pkgPath string, a *analysis.Analyzer) {
 	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+			if w.col > 0 {
+				t.Errorf("%s:%d:%d: expected diagnostic matching %q, got none", w.file, w.line, w.col, w.raw)
+			} else {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+			}
 		}
 	}
 }

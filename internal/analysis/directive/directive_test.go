@@ -1,0 +1,57 @@
+package directive
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestNamesAndArity(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "dir", New())
+}
+
+func TestMisplacedDirective(t *testing.T) {
+	// A directive floating inside a function body (or anywhere that is
+	// not a function doc comment) has no effect; the analyzer says so at
+	// the comment itself, which a // want comment cannot share a line
+	// with — hence a direct test.
+	const src = `package p
+
+func f() {
+	//sit:locked mu
+	x := 1
+	_ = x
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: map[*ast.Ident]types.Object{},
+		Uses: map[*ast.Ident]types.Object{},
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAll([]*analysis.Analyzer{New()}, fset, []*ast.File{file}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "misplaced //sit:locked") {
+		t.Fatalf("diagnostics = %+v, want one misplaced //sit:locked", diags)
+	}
+	if line := fset.Position(diags[0].Pos).Line; line != 4 {
+		t.Fatalf("reported at line %d, want 4 (the comment)", line)
+	}
+}

@@ -1,0 +1,229 @@
+// Package hotalloc flags heap allocations and interface conversions in
+// functions annotated //sit:hotpath — the paths whose benchmarks assert
+// zero allocations per operation (admission bucket take, journal
+// TailSince, similarity and closure cache reads).
+//
+// Flagged constructs: make, new and append calls; slice and map
+// composite literals; address-of composite literals (which escape);
+// closures (func literals); non-constant string concatenation;
+// string↔[]byte/[]rune conversions; explicit conversions to interface
+// types; and any call into package fmt (which boxes its arguments).
+//
+// The one exemption: a hot path may allocate its results. Anything
+// inside a return statement, or assigned to a named result variable, is
+// allowed — TailSince legitimately allocates the buffer it returns.
+//
+// The check is intraprocedural: calls into other functions are not
+// followed (an annotated callee is checked on its own; an unannotated
+// one is trusted). Plain struct value literals are not flagged — they
+// stay on the stack unless they escape, and escape is what the flagged
+// forms capture.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// New returns the hotalloc analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "hotalloc",
+		Doc:  "flag heap allocations and interface conversions on //sit:hotpath functions",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && analysis.HasDirective(fd.Doc, "hotpath") {
+				check(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Named result variables: assignments to them are the function
+	// building its results, which a hot path is allowed to allocate.
+	results := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, fld := range fd.Type.Results.List {
+			for _, name := range fld.Names {
+				if obj := info.Defs[name]; obj != nil {
+					results[obj] = true
+				}
+			}
+		}
+	}
+
+	// Pass 1: mark every node whose allocation is the function's result —
+	// subtrees of return statements and of right-hand sides assigned to
+	// named results.
+	allowed := map[ast.Node]bool{}
+	markAll := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m != nil {
+				allowed[m] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				markAll(r)
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && results[info.Uses[id]] {
+						markAll(x.Rhs[i])
+					}
+				}
+			} else if len(x.Rhs) == 1 && allResults(info, x.Lhs, results) {
+				markAll(x.Rhs[0])
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag allocating constructs outside the allowed set.
+	// suppressed prevents double reports for nested forms (the composite
+	// literal inside &T{...}, the inner adds of a concat chain).
+	suppressed := map[ast.Node]bool{}
+	flag := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "hot path allocates: %s; //sit:hotpath permits allocating only the function's results", what)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || allowed[n] {
+			return n != nil && !isFuncLit(n) // allowed subtrees need no checks, but closures still end the hot path
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !suppressed[x] {
+				flag(x.Pos(), "closure")
+			}
+			return false // the literal's body runs outside this hot path
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := x.X.(*ast.CompositeLit); ok {
+					flag(x.Pos(), "&composite literal (escapes)")
+					suppressed[cl] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if suppressed[x] {
+				return true
+			}
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				flag(x.Pos(), "slice literal")
+			case *types.Map:
+				flag(x.Pos(), "map literal")
+			}
+		case *ast.BinaryExpr:
+			if suppressed[x] || x.Op != token.ADD {
+				return true
+			}
+			if t := info.TypeOf(x); t != nil && isString(t) && info.Types[x].Value == nil {
+				flag(x.Pos(), "string concatenation")
+				suppressMoreAdds(x, suppressed)
+			}
+		case *ast.CallExpr:
+			classifyCall(pass, x, flag)
+		}
+		return true
+	})
+}
+
+// classifyCall flags allocating calls: the allocating builtins,
+// string/byte-slice and interface conversions, and anything in fmt.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr, flag func(token.Pos, string)) {
+	info := pass.TypesInfo
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				flag(call.Pos(), b.Name())
+			}
+			return
+		}
+	}
+	// Conversion: the "function" is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		target := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case isInterface(target) && src != nil && !isInterface(src):
+			flag(call.Pos(), "conversion to interface "+target.String())
+		case isString(target) && isByteOrRuneSlice(src):
+			flag(call.Pos(), "conversion from "+src.String()+" to string")
+		case isByteOrRuneSlice(target) && src != nil && isString(src):
+			flag(call.Pos(), "conversion from string to "+target.String())
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			flag(call.Pos(), "call into fmt ("+fn.Name()+" boxes its arguments)")
+		}
+	}
+}
+
+// suppressMoreAdds marks the nested adds of a concat chain so a+b+c is
+// reported once.
+func suppressMoreAdds(x *ast.BinaryExpr, suppressed map[ast.Node]bool) {
+	for _, side := range []ast.Expr{x.X, x.Y} {
+		if be, ok := side.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+			suppressed[be] = true
+			suppressMoreAdds(be, suppressed)
+		}
+	}
+}
+
+func allResults(info *types.Info, lhs []ast.Expr, results map[types.Object]bool) bool {
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || !results[info.Uses[id]] {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+func isFuncLit(n ast.Node) bool {
+	_, ok := n.(*ast.FuncLit)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

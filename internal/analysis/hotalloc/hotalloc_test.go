@@ -1,0 +1,11 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestHotPathAllocations(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "ha", New())
+}

@@ -1,0 +1,51 @@
+package ha
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// take is a zero-alloc hot path; every construct below breaks that.
+//
+//sit:hotpath
+func take(n int, s string) int {
+	buf := make([]byte, n)       // want "hot path allocates: make"
+	grown := append(buf, 1)      // want "hot path allocates: append"
+	b := []byte(s)               // want "hot path allocates: conversion from string to \\[\\]byte"
+	t := string(buf)             // want "hot path allocates: conversion from \\[\\]byte to string"
+	lit := []int{1, 2}           // want "hot path allocates: slice literal"
+	m := map[string]int{}        // want "hot path allocates: map literal"
+	p := &point{x: 1}            // want "hot path allocates: &composite literal \\(escapes\\)"
+	f := func() int { return 0 } // want "hot path allocates: closure"
+	msg := s + t + "!"           // want "hot path allocates: string concatenation"
+	boxed := any(n)              // want "hot path allocates: conversion to interface"
+	fmt.Println(msg, boxed)      // want "hot path allocates: call into fmt \\(Println boxes its arguments\\)"
+	q := new(point)              // want "hot path allocates: new"
+	v := point{x: n}             // a plain struct value stays on the stack: no diagnostic
+	return len(grown) + len(b) + len(lit) + m["a"] + p.x + f() + q.x + v.x
+}
+
+// results builds and returns its output: named-result assignments and
+// return expressions are the allocation the caller asked for.
+//
+//sit:hotpath
+func results(n int) (out []byte) {
+	out = make([]byte, n)
+	out = append(out, byte(n))
+	return out
+}
+
+// returnsDirect allocates only inside its return statement.
+//
+//sit:hotpath
+func returnsDirect(n int, parts []string) ([]int, string, error) {
+	if n < 0 {
+		return nil, "", fmt.Errorf("negative count %d", n)
+	}
+	return []int{n}, parts[0] + parts[1], nil
+}
+
+// cold is unannotated; nothing here is checked.
+func cold(n int) []byte {
+	f := func() []byte { return make([]byte, n) }
+	return f()
+}

@@ -55,7 +55,7 @@ func New(cfg Config) *analysis.Analyzer {
 		Name: "journalorder",
 		Doc:  "journal durable-state mutations before applying them",
 		Run: func(pass *analysis.Pass) error {
-			if len(pkgs) > 0 && !pkgs[pass.Pkg.Path()] {
+			if len(pkgs) > 0 && !pkgs[analysis.BasePath(pass.Pkg.Path())] {
 				return nil
 			}
 			return run(pass, mut, jrn)
@@ -121,7 +121,7 @@ func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
 	if fn == nil || fn.Pkg() == nil {
 		return ""
 	}
-	name := fn.Pkg().Path()
+	name := analysis.BasePath(fn.Pkg().Path())
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 		if rn := namedName(sig.Recv().Type()); rn != "" {
 			name += "." + rn

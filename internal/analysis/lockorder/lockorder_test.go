@@ -1,0 +1,21 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestIntraPackageCycle(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "lo", New())
+}
+
+func TestDirectiveSeededCycle(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "lodir", New())
+}
+
+func TestCrossPackageCycleThroughFacts(t *testing.T) {
+	// xb's reverse edge meets xa's forward edge only via the imported
+	// graph fact; the witness chain crosses the package boundary.
+	analyzertest.Run(t, "testdata/src", "xb", New())
+}

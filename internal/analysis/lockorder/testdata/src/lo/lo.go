@@ -1,0 +1,52 @@
+package lo
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func abDirect(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock-order deadlock: lo.A.mu -> lo.B.mu \\(at lo.go:12\\); lo.B.mu -> lo.A.mu \\(at lo.go:19 -> lo.go:23\\)"
+	b.mu.Unlock()
+}
+
+func baViaCall(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a)
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// abAgain acquires in the same order as abDirect: the A->B edge is
+// already in the graph and the cycle is already reported, so no new
+// diagnostic.
+func abAgain(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// twoInstances locks two instances of one class; classes are
+// instance-insensitive, so no self-edge and no report.
+func twoInstances(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// sequential holds nothing while acquiring: no edges.
+func sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

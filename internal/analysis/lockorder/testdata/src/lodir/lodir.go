@@ -1,0 +1,24 @@
+package lodir
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+var gmu sync.Mutex
+
+// lockG runs with the receiver's mutex held per its directive, so the
+// acquisition below is the S.mu -> gmu edge; the reverse edge in other
+// completes the cycle.
+//
+//sit:locked mu
+func (s *S) lockG() {
+	gmu.Lock() // want "lock-order deadlock: lodir.S.mu -> lodir.gmu \\(at lodir.go:15\\); lodir.gmu -> lodir.S.mu \\(at lodir.go:22\\)"
+	gmu.Unlock()
+}
+
+func other(s *S) {
+	gmu.Lock()
+	defer gmu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}

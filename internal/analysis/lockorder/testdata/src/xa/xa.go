@@ -1,0 +1,20 @@
+package xa
+
+import "sync"
+
+type Pair struct {
+	MuA sync.Mutex
+	MuB sync.Mutex
+}
+
+func AThenB(p *Pair) {
+	p.MuA.Lock()
+	defer p.MuA.Unlock()
+	p.MuB.Lock()
+	p.MuB.Unlock()
+}
+
+func LockA(p *Pair) {
+	p.MuA.Lock()
+	p.MuA.Unlock()
+}

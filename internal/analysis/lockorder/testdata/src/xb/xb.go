@@ -1,0 +1,9 @@
+package xb
+
+import "xa"
+
+func BThenA(p *xa.Pair) {
+	p.MuB.Lock()
+	defer p.MuB.Unlock()
+	xa.LockA(p) // want "lock-order deadlock: xa.Pair.MuB -> xa.Pair.MuA \\(at xb.go:8 -> xa.go:18\\); xa.Pair.MuA -> xa.Pair.MuB \\(at xa.go:13\\)"
+}

@@ -1,0 +1,325 @@
+// Package statecapture verifies durability completeness: every journal
+// operation constant must have all four legs of its lifecycle, or a
+// crash, snapshot or follower bootstrap silently loses state.
+//
+// The four legs of an op:
+//
+//   - write — the op constant is passed to some journaling call
+//     (st.journal(opX, …), q.persist(opX, …), j.Append(opX, …));
+//   - replay — a `case opX:` appears in a function marked //sit:replay,
+//     so recovery applies the record;
+//   - capture — the op is listed in a //sit:captures directive on the
+//     snapshot function, attesting the state the op mutates is included
+//     in snapshots (which replace the journal prefix on compaction);
+//   - bootstrap — the op is listed in a //sit:bootstrap directive on the
+//     follower bootstrap path, attesting a freshly seeded follower
+//     restores that state.
+//
+// Op constants are package-scoped string constants whose name starts
+// with Config.OpPrefix. Every analyzed package exports what it observed
+// as a package fact; the anchor package named by Config.Package merges
+// its own observations with its dependencies' facts and reports any op
+// with a missing leg at the constant's declaration. A //sit:captures or
+// //sit:bootstrap argument that names no known op is reported too —
+// coverage claimed for a nonexistent op is a stale directive.
+package statecapture
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/analysis"
+)
+
+// Config names the anchor package and the op constant prefix.
+type Config struct {
+	// Package is the anchor: the package (base import path) where the
+	// merged coverage is checked and diagnostics are reported.
+	Package string
+	// OpPrefix is the prefix of journal-op constant names ("op" in the
+	// server); a constant counts only if it is string-typed and the prefix
+	// is followed by an upper-case rune, so opAddSchemas matches while
+	// openMode and the standard library's int-typed opRead do not.
+	OpPrefix string
+}
+
+// sameModule reports whether pkgPath lives under the same top-level
+// module prefix as the anchor package. Packages outside it — the entire
+// standard library in particular — are never in scope: their constants
+// are not journal ops no matter what they are named.
+func (cfg Config) sameModule(pkgPath string) bool {
+	prefix := cfg.Package
+	if i := strings.Index(prefix, "/"); i >= 0 {
+		prefix = prefix[:i]
+	}
+	return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+}
+
+// coverageFact is the package fact: which ops this package declares,
+// which legs it observed, and which directive references it made.
+type coverageFact struct {
+	Ops  map[string]opInfo `json:"ops"`
+	Refs []opRef           `json:"refs,omitempty"`
+}
+
+func (*coverageFact) AFact() {}
+
+type opInfo struct {
+	Decl      string `json:"decl,omitempty"` // file:line of the const declaration
+	Write     bool   `json:"write,omitempty"`
+	Replay    bool   `json:"replay,omitempty"`
+	Capture   bool   `json:"capture,omitempty"`
+	Bootstrap bool   `json:"bootstrap,omitempty"`
+}
+
+type opRef struct {
+	Name      string `json:"name"`
+	Directive string `json:"directive"`
+	Pos       string `json:"pos"`
+}
+
+// New returns a statecapture analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "statecapture",
+		Doc:       "verify every journal op is written, replayed, captured in snapshots and applied on bootstrap",
+		FactTypes: []analysis.Fact{(*coverageFact)(nil)},
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	// Out-of-module packages (std and any vendored deps) carry no journal
+	// ops; skip them entirely rather than exporting empty facts.
+	if !cfg.sameModule(analysis.BasePath(pass.Pkg.Path())) {
+		return nil
+	}
+	own := &coverageFact{Ops: map[string]opInfo{}}
+	declPos := map[string]token.Pos{} // local const decls
+	refPos := map[int]token.Pos{}     // own.Refs index → position
+	isOp := func(obj types.Object) bool {
+		c, ok := obj.(*types.Const)
+		if !ok || c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+			return false
+		}
+		if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			return false
+		}
+		if !cfg.sameModule(analysis.BasePath(c.Pkg().Path())) {
+			return false
+		}
+		rest, found := strings.CutPrefix(c.Name(), cfg.OpPrefix)
+		return found && rest != "" && unicode.IsUpper(rune(rest[0]))
+	}
+
+	// Local op declarations.
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if isOp(obj) {
+			own.Ops[name] = opInfo{Decl: posStr(pass.Fset, obj.Pos())}
+			declPos[name] = obj.Pos()
+		}
+	}
+
+	mark := func(name string, leg func(*opInfo)) {
+		oi := own.Ops[name]
+		leg(&oi)
+		own.Ops[name] = oi
+	}
+
+	// Legs observed in this package's functions.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, d := range analysis.Directives(fd.Doc) {
+				var leg func(*opInfo)
+				switch d.Name {
+				case "captures":
+					leg = func(oi *opInfo) { oi.Capture = true }
+				case "bootstrap":
+					leg = func(oi *opInfo) { oi.Bootstrap = true }
+				default:
+					continue
+				}
+				for _, name := range strings.Fields(d.Args) {
+					mark(name, leg)
+					refPos[len(own.Refs)] = fd.Name.Pos()
+					own.Refs = append(own.Refs, opRef{Name: name, Directive: d.Name, Pos: posStr(pass.Fset, fd.Name.Pos())})
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, "replay") {
+				// Replay leg: case labels naming an op constant.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					cc, ok := n.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					for _, e := range cc.List {
+						if obj := exprConst(pass.TypesInfo, e); obj != nil && isOp(obj) {
+							mark(obj.Name(), func(oi *opInfo) { oi.Replay = true })
+						}
+					}
+					return true
+				})
+				continue
+			}
+			// Write leg: the op constant handed to any call outside replay
+			// functions — st.journal(opX, …), q.persist(opX, …),
+			// j.Append(opX, …) and the like.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					if obj := exprConst(pass.TypesInfo, arg); obj != nil && isOp(obj) {
+						mark(obj.Name(), func(oi *opInfo) { oi.Write = true })
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if analysis.BasePath(pass.Pkg.Path()) != cfg.Package {
+		if len(own.Ops) > 0 || len(own.Refs) > 0 {
+			pass.ExportPackageFact(own)
+		}
+		return nil
+	}
+
+	// Anchor: merge dependency facts into the local view and check.
+	merged := map[string]opInfo{}
+	declPkg := map[string]string{}
+	var refs []opRef
+	refAt := map[int]token.Pos{}
+	for _, rec := range pass.AllImportedFacts(analysis.PackageFactKind, (*coverageFact)(nil)) {
+		var cf coverageFact
+		if err := rec.Decode(&cf); err != nil {
+			continue
+		}
+		for name, oi := range cf.Ops {
+			m := merged[name]
+			mergeInto(&m, oi)
+			merged[name] = m
+			if oi.Decl != "" {
+				declPkg[name] = rec.Key
+			}
+		}
+		refs = append(refs, cf.Refs...)
+	}
+	for name, oi := range own.Ops {
+		m := merged[name]
+		mergeInto(&m, oi)
+		merged[name] = m
+	}
+	for i, r := range own.Refs {
+		refAt[len(refs)] = refPos[i]
+		refs = append(refs, r)
+	}
+
+	for i, r := range refs {
+		// An op exists only if its constant declaration was seen; a
+		// directive reference alone must not conjure one into existence.
+		if merged[r.Name].Decl != "" {
+			continue
+		}
+		if pos, ok := refAt[i]; ok {
+			pass.Reportf(pos, "//sit:%s names unknown op %s: stale or misspelled coverage claim", r.Directive, r.Name)
+		} else {
+			pass.Reportf(pass.Files[0].Name.Pos(), "//sit:%s at %s names unknown op %s: stale or misspelled coverage claim", r.Directive, r.Pos, r.Name)
+		}
+	}
+
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oi := merged[name]
+		if oi.Decl == "" {
+			continue // reference to a nonexistent op, reported above
+		}
+		var missing []string
+		if !oi.Write {
+			missing = append(missing, "a journal write site")
+		}
+		if !oi.Replay {
+			missing = append(missing, "a case in a //sit:replay function")
+		}
+		if !oi.Capture {
+			missing = append(missing, "//sit:captures coverage in the snapshot path")
+		}
+		if !oi.Bootstrap {
+			missing = append(missing, "//sit:bootstrap coverage in the follower seed path")
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		msg := fmt.Sprintf("journal op %s is missing %s: state written under this op would be lost across that leg", name, strings.Join(missing, ", "))
+		if pos, ok := declPos[name]; ok {
+			pass.Reportf(pos, "%s", msg)
+		} else {
+			pass.Reportf(importPos(pass, declPkg[name]), "%s (declared at %s)", msg, oi.Decl)
+		}
+	}
+	return nil
+}
+
+func mergeInto(dst *opInfo, src opInfo) {
+	if src.Decl != "" {
+		dst.Decl = src.Decl
+	}
+	dst.Write = dst.Write || src.Write
+	dst.Replay = dst.Replay || src.Replay
+	dst.Capture = dst.Capture || src.Capture
+	dst.Bootstrap = dst.Bootstrap || src.Bootstrap
+}
+
+// exprConst resolves an identifier or pkg-qualified selector to the
+// constant it names.
+func exprConst(info *types.Info, e ast.Expr) *types.Const {
+	switch x := e.(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[x].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[x.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// importPos locates the import of pkgPath in the anchor's files, falling
+// back to the first file's package clause.
+func importPos(pass *analysis.Pass, pkgPath string) token.Pos {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == pkgPath {
+				return imp.Pos()
+			}
+		}
+	}
+	return pass.Files[0].Name.Pos()
+}
+
+func posStr(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,22 @@
+package statecapture
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestMissingLegs(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "sc", New(Config{Package: "sc", OpPrefix: "op"}))
+}
+
+func TestUnknownOpReference(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "scbad", New(Config{Package: "scbad", OpPrefix: "op"}))
+}
+
+func TestCrossPackageCoverage(t *testing.T) {
+	// ops declares and writes/replays; root claims capture and bootstrap
+	// coverage. The missing bootstrap leg for OpBeta surfaces in the
+	// anchor (root), pointing back at the declaring package.
+	analyzertest.Run(t, "testdata/src", "scx/root", New(Config{Package: "scx/root", OpPrefix: "Op"}))
+}

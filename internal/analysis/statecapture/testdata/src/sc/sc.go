@@ -1,0 +1,42 @@
+package sc
+
+const (
+	opGood        = "good"
+	opNoWrite     = "no_write"     // want "journal op opNoWrite is missing a journal write site"
+	opNoReplay    = "no_replay"    // want "journal op opNoReplay is missing a case in a //sit:replay function"
+	opNoCapture   = "no_capture"   // want "journal op opNoCapture is missing //sit:captures coverage in the snapshot path"
+	opNoBootstrap = "no_bootstrap" // want "journal op opNoBootstrap is missing //sit:bootstrap coverage in the follower seed path"
+)
+
+// openMode has the prefix letters but not an op name shape; it needs no
+// lifecycle and produces no diagnostics.
+const openMode = "rw"
+
+func journal(op string, rec any) {}
+
+func mutate() {
+	journal(opGood, nil)
+	journal(opNoReplay, nil)
+	journal(opNoCapture, nil)
+	journal(opNoBootstrap, nil)
+	_ = openMode
+}
+
+// apply replays journal records on recovery.
+//
+//sit:replay
+func apply(op string) {
+	switch op {
+	case opGood, opNoWrite, opNoCapture, opNoBootstrap:
+	}
+}
+
+// capture snapshots the state every listed op mutates.
+//
+//sit:captures opGood opNoWrite opNoReplay opNoBootstrap
+func capture() {}
+
+// bootstrap seeds a follower with the state every listed op mutates.
+//
+//sit:bootstrap opGood opNoWrite opNoReplay opNoCapture
+func bootstrap() {}

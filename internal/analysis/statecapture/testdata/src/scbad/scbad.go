@@ -1,0 +1,24 @@
+package scbad
+
+const opReal = "real"
+
+func journal(op string, rec any) {}
+
+func mutate() { journal(opReal, nil) }
+
+// apply replays journal records.
+//
+//sit:replay
+func apply(op string) {
+	switch op {
+	case opReal:
+	}
+}
+
+// capture claims coverage for an op that does not exist.
+//
+//sit:captures opReal opVanished
+func capture() {} // want "//sit:captures names unknown op opVanished: stale or misspelled coverage claim"
+
+//sit:bootstrap opReal
+func bootstrap() {}

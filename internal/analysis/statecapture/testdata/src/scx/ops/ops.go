@@ -1,0 +1,22 @@
+package ops
+
+const (
+	OpAlpha = "alpha"
+	OpBeta  = "beta"
+)
+
+func journal(op string, rec any) {}
+
+func Mutate() {
+	journal(OpAlpha, nil)
+	journal(OpBeta, nil)
+}
+
+// Apply replays journal records.
+//
+//sit:replay
+func Apply(op string) {
+	switch op {
+	case OpAlpha, OpBeta:
+	}
+}

@@ -1,0 +1,15 @@
+package root
+
+import "scx/ops" // want "journal op OpBeta is missing //sit:bootstrap coverage in the follower seed path: state written under this op would be lost across that leg \\(declared at ops.go:5\\)"
+
+func Use() { ops.Mutate() }
+
+// capture snapshots both ops' state.
+//
+//sit:captures OpAlpha OpBeta
+func capture() {}
+
+// bootstrap seeds a follower, but OpBeta's state was forgotten here.
+//
+//sit:bootstrap OpAlpha
+func bootstrap() {}

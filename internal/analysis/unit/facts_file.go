@@ -1,0 +1,97 @@
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// FactsVersion names the on-disk facts format. Any file carrying a
+// different version — including the pre-facts "sit-vet facts v1" stamp —
+// is stale and rejected, never silently reused: a stale fact stream would
+// let a lock-order edge or a durability leg vanish without a diagnostic.
+const FactsVersion = "sit-vet-facts/2"
+
+// factsFile is the envelope written at cfg.VetxOutput: the format version,
+// the content hash of the tool that wrote it, and the fact records.
+type factsFile struct {
+	Version string                `json:"version"`
+	ToolID  string                `json:"toolID"`
+	Facts   []analysis.FactRecord `json:"facts,omitempty"`
+}
+
+// Stale-facts kinds, carried on StaleFactsError so callers (and tests) can
+// distinguish the failure without matching message text.
+const (
+	StaleV1Stamp = "v1-stamp" // written by the pre-facts v1 driver
+	StaleVersion = "version"  // envelope version != FactsVersion
+	StaleTool    = "tool"     // written by a different tool build
+	StaleCorrupt = "corrupt"  // not a well-formed envelope at all
+)
+
+// StaleFactsError reports a facts file that must not be reused: wrong
+// format version, another tool build's output, or bytes that don't parse.
+type StaleFactsError struct {
+	Path   string
+	Kind   string // one of the Stale* constants
+	Detail string
+}
+
+func (e *StaleFactsError) Error() string {
+	switch e.Kind {
+	case StaleCorrupt:
+		return fmt.Sprintf("unit: corrupt facts file %s: %s", e.Path, e.Detail)
+	default:
+		return fmt.Sprintf("unit: stale facts file %s: %s", e.Path, e.Detail)
+	}
+}
+
+// WriteFactsFile serializes the fact set (nil means empty) to path,
+// stamped with the writing tool's content hash.
+func WriteFactsFile(path, toolID string, fs *analysis.FactSet) error {
+	var recs []analysis.FactRecord
+	if fs != nil {
+		recs = fs.Records()
+	}
+	data, err := json.Marshal(factsFile{Version: FactsVersion, ToolID: toolID, Facts: recs})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// ReadFactsFile loads a facts file, rejecting anything stale: a version
+// other than FactsVersion, or a file written by a different tool build
+// than toolID (pass "" to skip the tool check — same-process reads).
+func ReadFactsFile(path, toolID string) (*analysis.FactSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff factsFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		// The v1 driver wrote a plain text stamp; name it in the error so
+		// the fix (rebuild, or clear the stale cache entry) is obvious.
+		if strings.HasPrefix(string(data), "sit-vet facts v1") {
+			return nil, &StaleFactsError{Path: path, Kind: StaleV1Stamp,
+				Detail: "written by the pre-facts v1 driver; rebuild sit-vet and re-run"}
+		}
+		return nil, &StaleFactsError{Path: path, Kind: StaleCorrupt, Detail: err.Error()}
+	}
+	if ff.Version != FactsVersion {
+		return nil, &StaleFactsError{Path: path, Kind: StaleVersion,
+			Detail: fmt.Sprintf("version %q, want %q; refusing to reuse it", ff.Version, FactsVersion)}
+	}
+	if toolID != "" && ff.ToolID != toolID {
+		return nil, &StaleFactsError{Path: path, Kind: StaleTool,
+			Detail: fmt.Sprintf("written by tool build %.12s, this build is %.12s; refusing to reuse it", ff.ToolID, toolID)}
+	}
+	fs := analysis.NewFactSet()
+	for _, r := range ff.Facts {
+		fs.Add(r)
+	}
+	return fs, nil
+}

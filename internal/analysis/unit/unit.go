@@ -14,9 +14,18 @@
 //     "file:line:col: message [analyzer]" and exit 2 if there were any.
 //
 // go vet drives the tool over the whole dependency graph, not just the
-// packages named on the command line; dependencies arrive with VetxOnly set
-// and are not analyzed — the driver only records the (empty) facts file go
-// vet expects at cfg.VetxOutput.
+// packages named on the command line; dependencies arrive with VetxOnly
+// set. The .vetx files go vet threads between units are this driver's
+// cross-package fact channel: every unit's output carries the facts its
+// analyzers exported plus everything imported from its dependencies
+// (transitive propagation), and fact-using analyzers also run over
+// VetxOnly units — diagnostics suppressed, facts kept — so a
+// dependency-only package still feeds the stream. That includes
+// standard-library units (cfg.Standard lists a unit's std dependencies,
+// never the unit itself), so fact-using analyzers that only care about
+// module code must gate on the package path themselves. A stale facts
+// file (old version or another tool build) is rejected with an error,
+// never silently reused.
 package unit
 
 import (
@@ -32,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 )
@@ -81,8 +91,25 @@ func Main(analyzers ...*analysis.Analyzer) {
 }
 
 // selfHash hashes the tool binary so the version string changes whenever
-// the tool does, keeping go vet's result cache honest.
+// the tool does, keeping go vet's result cache honest; the same hash
+// stamps every facts file this build writes, so a facts file from another
+// build reads as stale. Computed once — run() consults it per dependency.
+var selfHashOnce struct {
+	sync.Once
+	v string
+}
+
 func selfHash() string {
+	selfHashOnce.Do(func() { selfHashOnce.v = computeSelfHash() })
+	return selfHashOnce.v
+}
+
+// ToolID returns the content hash of this tool build — the stamp on
+// every facts file, and the cache-key component for the standalone
+// module driver.
+func ToolID() string { return selfHash() }
+
+func computeSelfHash() string {
 	exe, err := os.Executable()
 	if err != nil {
 		return "unknown"
@@ -108,14 +135,33 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return fail(fmt.Errorf("parsing %s: %w", cfgFile, err))
 	}
-	// go vet expects a facts file for every unit, dependencies included.
-	// This driver keeps no cross-package facts, so the file is a stamp.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("sit-vet facts v1\n"), 0o666); err != nil {
-			return fail(err)
+	// A VetxOnly unit (a dependency of the named packages) is analyzed
+	// only as far as facts require: fact-using analyzers run with their
+	// diagnostics suppressed; without any, the unit contributes only its
+	// dependencies' facts, forwarded.
+	toRun := analyzers
+	if cfg.VetxOnly {
+		toRun = nil
+		for _, a := range analyzers {
+			if a.UsesFacts() {
+				toRun = append(toRun, a)
+			}
 		}
 	}
-	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+	imported := analysis.NewFactSet()
+	for dep, vetx := range cfg.PackageVetx {
+		fs, err := ReadFactsFile(vetx, selfHash())
+		if err != nil {
+			return fail(fmt.Errorf("facts for dependency %s: %w", dep, err))
+		}
+		imported.Merge(fs)
+	}
+	if len(toRun) == 0 {
+		if cfg.VetxOutput != "" {
+			if err := WriteFactsFile(cfg.VetxOutput, selfHash(), imported); err != nil {
+				return fail(err)
+			}
+		}
 		return 0
 	}
 
@@ -164,9 +210,17 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 		return fail(fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err))
 	}
 
-	diags, err := analysis.RunAll(analyzers, fset, files, pkg, info)
+	diags, exported, err := analysis.RunWithFacts(toRun, fset, files, pkg, info, imported)
 	if err != nil {
 		return fail(err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := WriteFactsFile(cfg.VetxOutput, selfHash(), exported); err != nil {
+			return fail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)

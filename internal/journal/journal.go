@@ -518,6 +518,12 @@ func (j *Journal) AppendFrame(line []byte) (Record, error) {
 // snapshot's sequence number) and last the log's current sequence; when
 // from is below horizon the requested records no longer exist and data is
 // nil — the caller must ship a snapshot instead.
+//
+// Every follower poll lands here while the journal lock is held; the only
+// permitted allocation is the result buffer itself (a named result, which
+// hotalloc exempts).
+//
+//sit:hotpath
 func (j *Journal) TailSince(from uint64) (data []byte, horizon, last uint64, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -122,6 +122,11 @@ func newBucket(rate float64, burst int) *bucket {
 // what an honest Retry-After is made of. now must come from time.Now():
 // the arithmetic runs on Go's monotonic clock reading, so wall-clock jumps
 // never mint or burn tokens.
+//
+// Every admitted request passes through here; BenchmarkBucketTake asserts
+// zero allocations and hotalloc enforces it at vet time.
+//
+//sit:hotpath
 func (b *bucket) take(now time.Time) (ok bool, wait time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -474,6 +474,8 @@ func (s *Server) recoverWorkspace(name string) (*Workspace, WorkspaceRecovery, e
 // (store journaling is not armed yet, so nothing is re-journaled). keys,
 // when non-nil, receives op_set_keys payloads — wired only for the default
 // workspace, whose journal carries the key set.
+//
+//sit:replay
 func applyRecord(store *Store, rec journal.Record, byID map[string]int, jobs *[]Job, nextID *int, keys func([]apiKeyEntry) error) error {
 	switch rec.Op {
 	case opSetKeys:
@@ -709,6 +711,14 @@ func (s *Server) compactWorkspace(ws *Workspace) error {
 // together with the journal sequence number it reflects — compaction's
 // input, and also what the replication snapshot endpoint ships. On a
 // replica the job table lives in the replica state instead of the queue.
+//
+// The //sit:captures list is this function's durability contract: every
+// journal op whose effect is carried by the captured state. Adding an op
+// without extending persistedState (and this list) fails `make vet`.
+//
+//sit:captures opAddSchemas opRemoveSchema opDeclareEquiv opAssert opRetract
+//sit:captures opJobSubmit opJobStart opJobFinish
+//sit:captures opSaveIntegration opLoadRows opSetKeys
 func (s *Server) captureState(ws *Workspace) (state []byte, uptoSeq uint64, err error) {
 	if rep := ws.replica.Load(); rep != nil {
 		return rep.capture(s, ws)

@@ -408,6 +408,14 @@ func (t followerTarget) AppliedSeq(name string) (uint64, error) {
 // journal is reset first (durability before visibility — a crash between
 // the two steps recovers the snapshot's consistent state), then the store
 // and job table are swapped under the replica lock.
+//
+// The //sit:bootstrap list is the follower-seed contract: every journal
+// op whose effect a freshly seeded follower restores from the shipped
+// snapshot. An op missing here means a follower would silently diverge.
+//
+//sit:bootstrap opAddSchemas opRemoveSchema opDeclareEquiv opAssert opRetract
+//sit:bootstrap opJobSubmit opJobStart opJobFinish
+//sit:bootstrap opSaveIntegration opLoadRows opSetKeys
 func (t followerTarget) Bootstrap(name string, snap replication.Snapshot) error {
 	ws, err := t.s.ensureReplicaWorkspace(name)
 	if err != nil {

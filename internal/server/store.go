@@ -226,7 +226,11 @@ func (st *Store) touch() {
 // simLookup consults the similarity cache; callers hold st.mu (read or
 // write), so the version stamps cannot move underneath the comparison.
 //
+// A cache hit must cost a map probe, not garbage: this sits under every
+// integration's inner loop.
+//
 //sit:rlocked mu
+//sit:hotpath
 func (st *Store) simLookup(key simKey) (simEntry, bool) {
 	regV := st.ws.Registry().Version()
 	st.simMu.Lock()
@@ -244,6 +248,7 @@ func (st *Store) simLookup(key simKey) (simEntry, bool) {
 // stamps match the state the result was computed under.
 //
 //sit:rlocked mu
+//sit:hotpath
 func (st *Store) simStore(key simKey, e simEntry) {
 	e.regVersion = st.ws.Registry().Version()
 	e.schemaGen = st.schemaGen
@@ -656,6 +661,12 @@ func (st *Store) explainConflicts(eng *assertion.Engine, conflicts []*assertion.
 // cached per (pair, kind) and stamped with the engine's version counter, so
 // repeated reads of an unchanged matrix cost one map probe; callers must
 // not mutate the result.
+//
+// The cached read is the steady state — assertion listings poll this from
+// the UI and the replication tests — so the function body must not
+// allocate (the miss path's garbage lives inside eng.Entries).
+//
+//sit:hotpath
 func (st *Store) Assertions(schema1, schema2 string, rel bool) ([]assertion.Entry, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
